@@ -1,0 +1,93 @@
+// Command corpusgen generates the synthetic web and dumps it for
+// inspection: page statistics, a sample of documents with their
+// ground-truth sentence labels, or the whole corpus as JSON.
+//
+// Usage:
+//
+//	corpusgen [-seed N] [-sample K] [-json]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"etap/internal/corpus"
+)
+
+func main() {
+	var (
+		seed     = flag.Int64("seed", 1, "generation seed")
+		sample   = flag.Int("sample", 3, "documents to print per kind")
+		asJSON   = flag.Bool("json", false, "dump the whole corpus as JSON to stdout")
+		relevant = flag.Int("relevant", 0, "relevant docs per driver (0 = default)")
+		backgrnd = flag.Int("background", 0, "background docs (0 = default)")
+	)
+	flag.Parse()
+
+	gen := corpus.NewGenerator(corpus.Config{
+		Seed:              *seed,
+		RelevantPerDriver: *relevant,
+		BackgroundDocs:    *backgrnd,
+	})
+	docs := gen.World()
+
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(docs); err != nil {
+			fmt.Fprintln(os.Stderr, "corpusgen:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	kinds := map[corpus.DocKind]int{}
+	triggers := map[corpus.Driver]int{}
+	sentences := 0
+	for _, d := range docs {
+		kinds[d.Kind]++
+		sentences += len(d.Sentences)
+		for _, drv := range corpus.Drivers {
+			triggers[drv] += d.TriggerCount(drv)
+		}
+	}
+	fmt.Printf("documents: %d (relevant %d, hard-negative %d, background %d)\n",
+		len(docs), kinds[corpus.KindRelevant], kinds[corpus.KindHardNegative],
+		kinds[corpus.KindBackground])
+	fmt.Printf("sentences: %d\n", sentences)
+	for _, drv := range corpus.Drivers {
+		fmt.Printf("trigger sentences, %s: %d\n", drv.Title(), triggers[drv])
+	}
+
+	printed := map[corpus.DocKind]int{}
+	for _, d := range docs {
+		if printed[d.Kind] >= *sample {
+			continue
+		}
+		printed[d.Kind]++
+		fmt.Printf("\n--- %s [%s] %s\n", d.ID, kindName(d.Kind), d.URL)
+		for _, s := range d.Sentences {
+			tag := " "
+			switch {
+			case s.Driver != "":
+				tag = "T" // trigger
+			case s.Misleading:
+				tag = "M"
+			}
+			fmt.Printf("  [%s] %s\n", tag, s.Text)
+		}
+	}
+}
+
+func kindName(k corpus.DocKind) string {
+	switch k {
+	case corpus.KindRelevant:
+		return "relevant"
+	case corpus.KindHardNegative:
+		return "hard-negative"
+	default:
+		return "background"
+	}
+}

@@ -1,0 +1,173 @@
+// Command etap runs the full ETAP pipeline end to end: generate (or
+// reuse) a synthetic web, train the built-in sales drivers, extract
+// trigger events, and print ranked leads — the Figure 7/8 views — plus
+// the company-level MRR ranking of Equation 2.
+//
+// Usage:
+//
+//	etap [flags]
+//
+//	-seed      int     world/training seed (default 1)
+//	-driver    string  driver to report: mergers-acquisitions,
+//	                   change-in-management, revenue-growth, or "all"
+//	-top       int     number of ranked events to print (default 15)
+//	-threshold float   classifier threshold for trigger events (default 0.5)
+//	-orient            rank by semantic orientation instead of score
+//	-companies         also print the company MRR ranking
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"etap"
+	"etap/internal/store"
+)
+
+func main() {
+	var (
+		seed      = flag.Int64("seed", 1, "world and training seed")
+		driver    = flag.String("driver", "all", "sales driver to report, or 'all'")
+		top       = flag.Int("top", 15, "ranked events to print")
+		threshold = flag.Float64("threshold", 0.5, "classifier threshold")
+		orient    = flag.Bool("orient", false, "rank by semantic orientation")
+		companies = flag.Bool("companies", false, "print company MRR ranking")
+		saveDir   = flag.String("save-models", "", "directory to save trained driver models into")
+		loadDir   = flag.String("load-models", "", "directory to load driver models from instead of training")
+		leadsPath = flag.String("leads", "", "JSONL lead store: merge this run's trigger events into it")
+	)
+	flag.Parse()
+
+	if err := run(*seed, *driver, *top, *threshold, *orient, *companies, *saveDir, *loadDir, *leadsPath); err != nil {
+		fmt.Fprintln(os.Stderr, "etap:", err)
+		os.Exit(1)
+	}
+}
+
+func run(seed int64, driver string, top int, threshold float64, orient, companies bool, saveDir, loadDir, leadsPath string) error {
+	fmt.Println("generating synthetic web...")
+	gen := etap.NewWorldGenerator(etap.WorldConfig{Seed: seed})
+	docs := gen.World()
+	w := etap.BuildWeb(docs)
+	fmt.Printf("  %d pages on %d hosts\n", w.Len(), len(w.Hosts()))
+
+	sys := etap.NewSystem(w, etap.Config{Seed: seed})
+	var selected []etap.SalesDriver
+	for _, d := range etap.DefaultDrivers() {
+		if driver == "all" || driver == d.ID {
+			selected = append(selected, d)
+		}
+	}
+	if len(selected) == 0 {
+		return fmt.Errorf("unknown driver %q", driver)
+	}
+
+	for _, d := range selected {
+		if loadDir != "" {
+			data, err := os.ReadFile(filepath.Join(loadDir, d.ID+".json"))
+			if err != nil {
+				return fmt.Errorf("loading %s: %w", d.ID, err)
+			}
+			if err := sys.UnmarshalDriver(data, d.Filter); err != nil {
+				return fmt.Errorf("loading %s: %w", d.ID, err)
+			}
+			fmt.Printf("loaded %-24s from %s\n", d.ID, loadDir)
+			continue
+		}
+		var pure []string
+		for _, p := range gen.PurePositives(etap.Driver(d.ID), 40) {
+			pure = append(pure, p.Text)
+		}
+		stats, err := sys.AddDriver(d, pure)
+		if err != nil {
+			return fmt.Errorf("training %s: %w", d.ID, err)
+		}
+		fmt.Printf("trained %-24s noisy=%d pure=%d negs=%d vocab=%d iterations=%d\n",
+			d.ID, stats.NoisyPositives, stats.PurePositives, stats.Negatives,
+			stats.VocabularySize, len(stats.NoiseHistory))
+	}
+
+	if saveDir != "" {
+		if err := os.MkdirAll(saveDir, 0o755); err != nil {
+			return err
+		}
+		for _, d := range selected {
+			data, err := sys.MarshalDriver(d.ID)
+			if err != nil {
+				return fmt.Errorf("saving %s: %w", d.ID, err)
+			}
+			path := filepath.Join(saveDir, d.ID+".json")
+			if err := os.WriteFile(path, data, 0o644); err != nil {
+				return err
+			}
+			fmt.Printf("saved %s (%d bytes)\n", path, len(data))
+		}
+	}
+
+	var pages []*etap.Page
+	for _, u := range w.URLs() {
+		if p, ok := w.Page(u); ok {
+			pages = append(pages, p)
+		}
+	}
+
+	var allRanked []etap.Ranked
+	for _, d := range selected {
+		events, err := sys.ExtractEventsParallel(d.ID, pages, threshold, 0)
+		if err != nil {
+			return err
+		}
+		var ranked []etap.Ranked
+		if orient && d.Orientation != nil {
+			ranked = etap.RankByOrientation(events)
+		} else {
+			ranked = etap.RankByScore(events)
+		}
+		allRanked = append(allRanked, ranked...)
+
+		fmt.Printf("\n=== %s: %d trigger events\n", d.Title, len(events))
+		n := top
+		if n > len(ranked) {
+			n = len(ranked)
+		}
+		for _, ev := range ranked[:n] {
+			text := ev.Text
+			if len(text) > 110 {
+				text = text[:110] + "..."
+			}
+			fmt.Printf("%3d. [%.3f] %-24s %s\n", ev.Rank, ev.Score, ev.Company, text)
+		}
+	}
+
+	if leadsPath != "" {
+		st, err := store.LoadFile(leadsPath)
+		if err != nil {
+			return fmt.Errorf("loading lead store: %w", err)
+		}
+		var events []etap.Event
+		for _, r := range allRanked {
+			events = append(events, r.Event)
+		}
+		added := st.Add(events, time.Now())
+		if err := st.SaveFile(leadsPath); err != nil {
+			return fmt.Errorf("saving lead store: %w", err)
+		}
+		fmt.Printf("\nlead store %s: %d leads (%d new this run)\n", leadsPath, st.Len(), added)
+	}
+
+	if companies {
+		fmt.Println("\n=== company profiles (mean reciprocal rank)")
+		profiles := etap.BuildCompanyProfiles(allRanked, 2005, 6)
+		n := top
+		if n > len(profiles) {
+			n = len(profiles)
+		}
+		for i, p := range profiles[:n] {
+			fmt.Printf("%3d. %s\n", i+1, p)
+		}
+	}
+	return nil
+}

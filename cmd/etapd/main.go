@@ -1,0 +1,110 @@
+// Command etapd serves a trained ETAP system over HTTP: the lead-store
+// browsing/review API plus on-demand snippet scoring. It trains the
+// built-in drivers at startup (or loads previously saved models) and can
+// pre-populate the lead store from a full extraction pass.
+//
+// Usage:
+//
+//	etapd [-addr :8080] [-seed N] [-load-models dir] [-leads leads.jsonl]
+//	      [-extract]
+//
+// Try it:
+//
+//	etapd -extract &
+//	curl 'localhost:8080/leads?min=0.9&top=5'
+//	curl 'localhost:8080/score?driver=change-in-management&text=Acme+named+a+new+CEO'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"time"
+
+	"etap"
+	"etap/internal/serve"
+	"etap/internal/store"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8080", "listen address")
+		seed      = flag.Int64("seed", 1, "world and training seed")
+		loadDir   = flag.String("load-models", "", "load driver models instead of training")
+		leadsPath = flag.String("leads", "", "JSONL lead store to load (and keep updating via the API)")
+		extract   = flag.Bool("extract", false, "run a full extraction pass at startup to populate the store")
+	)
+	flag.Parse()
+
+	if err := run(*addr, *seed, *loadDir, *leadsPath, *extract); err != nil {
+		fmt.Fprintln(os.Stderr, "etapd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, seed int64, loadDir, leadsPath string, extract bool) error {
+	gen := etap.NewWorldGenerator(etap.WorldConfig{Seed: seed})
+	w := etap.BuildWeb(gen.World())
+	sys := etap.NewSystem(w, etap.Config{Seed: seed})
+
+	for _, d := range etap.DefaultDrivers() {
+		if loadDir != "" {
+			data, err := os.ReadFile(filepath.Join(loadDir, d.ID+".json"))
+			if err != nil {
+				return fmt.Errorf("loading %s: %w", d.ID, err)
+			}
+			if err := sys.UnmarshalDriver(data, d.Filter); err != nil {
+				return err
+			}
+			fmt.Println("loaded", d.ID)
+			continue
+		}
+		var pure []string
+		for _, p := range gen.PurePositives(etap.Driver(d.ID), 40) {
+			pure = append(pure, p.Text)
+		}
+		if _, err := sys.AddDriver(d, pure); err != nil {
+			return fmt.Errorf("training %s: %w", d.ID, err)
+		}
+		fmt.Println("trained", d.ID)
+	}
+
+	var st *store.Store
+	var err error
+	if leadsPath != "" {
+		st, err = store.LoadFile(leadsPath)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("lead store %s: %d leads\n", leadsPath, st.Len())
+	} else {
+		st = store.New()
+	}
+
+	if extract {
+		var pages []*etap.Page
+		for _, u := range w.URLs() {
+			if p, ok := w.Page(u); ok {
+				pages = append(pages, p)
+			}
+		}
+		for _, d := range etap.DefaultDrivers() {
+			events, err := sys.ExtractEventsParallel(d.ID, pages, 0.5, 0)
+			if err != nil {
+				return err
+			}
+			added := st.Add(events, time.Now())
+			fmt.Printf("extracted %s: %d events (%d new)\n", d.ID, len(events), added)
+		}
+		if leadsPath != "" {
+			if err := st.SaveFile(leadsPath); err != nil {
+				return err
+			}
+		}
+	}
+
+	fmt.Println("serving on", addr)
+	return http.ListenAndServe(addr, serve.New(sys, st))
+}

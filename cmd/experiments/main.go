@@ -1,0 +1,114 @@
+// Command experiments regenerates the paper's evaluation artifacts on the
+// synthetic web: Table 1 and Figures 3-8, plus the ablations documented
+// in DESIGN.md.
+//
+// Usage:
+//
+//	experiments [-seed N] [-exp table1|fig3|fig4|fig5|fig6|fig7|fig8|ablations|all]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"etap/internal/corpus"
+	"etap/internal/experiments"
+)
+
+func main() {
+	var (
+		seed   = flag.Int64("seed", 7, "experiment seed")
+		exp    = flag.String("exp", "all", "experiment to run")
+		mdPath = flag.String("md", "", "write a full markdown report to this file and exit")
+	)
+	flag.Parse()
+
+	env := experiments.Build(experiments.Setup{Seed: *seed})
+	if *mdPath != "" {
+		if err := os.WriteFile(*mdPath, []byte(experiments.Report(env)), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		fmt.Println("wrote", *mdPath)
+		return
+	}
+	ok := false
+	runAll := *exp == "all"
+
+	if runAll || *exp == "table1" {
+		ok = true
+		fmt.Println("## Table 1 — P/R/F1 after two noise-elimination iterations")
+		fmt.Println(experiments.Table1(env))
+	}
+	if runAll || *exp == "fig3" {
+		ok = true
+		fmt.Println("## Figure 3 — RIG of PA vs IV, mergers & acquisitions")
+		fmt.Println(experiments.FigureRIG(env, corpus.MergersAcquisitions))
+	}
+	if runAll || *exp == "fig4" {
+		ok = true
+		fmt.Println("## Figure 4 — RIG of PA vs IV, change in management")
+		fmt.Println(experiments.FigureRIG(env, corpus.ChangeInManagement))
+	}
+	if runAll || *exp == "fig5" || *exp == "fig6" {
+		ok = true
+		demo := experiments.Figures56(env)
+		fmt.Printf("## Figures 5-6 — results for the smart query %s\n", demo.Query)
+		if demo.TopHit != nil {
+			fmt.Printf("top hit: %s (%s)\n", demo.TopHit.Title, demo.TopHit.URL)
+		}
+		if *exp != "fig6" {
+			fmt.Println("\npositive snippets (Figure 5):")
+			for _, s := range demo.Positive {
+				fmt.Println("  +", s)
+			}
+		}
+		if *exp != "fig5" {
+			fmt.Println("\nnoise snippets rejected by the filter (Figure 6):")
+			for _, s := range demo.Noise {
+				fmt.Println("  -", s)
+			}
+		}
+		fmt.Println()
+	}
+	if runAll || *exp == "fig7" {
+		ok = true
+		fmt.Println("## Figure 7 — trigger events ranked by classification score")
+		fmt.Println(experiments.Figure7(env, 15))
+	}
+	if runAll || *exp == "fig8" {
+		ok = true
+		fmt.Println("## Figure 8 — trigger events ranked by semantic orientation")
+		fmt.Println(experiments.Figure8(env, 15))
+	}
+	if runAll || *exp == "rankquality" {
+		ok = true
+		fmt.Println("## Ranking quality (P@k / AP / AUC of the ranked trigger-event list)")
+		for _, d := range []corpus.Driver{corpus.MergersAcquisitions, corpus.ChangeInManagement, corpus.RevenueGrowth} {
+			fmt.Println(experiments.RankingQuality(env, d))
+		}
+		fmt.Println()
+	}
+	if runAll || *exp == "sweep" {
+		ok = true
+		fmt.Println("## Threshold sweep (precision/recall trade-off)")
+		for _, d := range []corpus.Driver{corpus.MergersAcquisitions, corpus.ChangeInManagement} {
+			fmt.Println(experiments.ThresholdSweep(env, d))
+		}
+	}
+	if runAll || *exp == "ablations" {
+		ok = true
+		fmt.Println("## Ablations")
+		fmt.Println(experiments.AblationAbstraction(env, corpus.ChangeInManagement))
+		fmt.Println(experiments.AblationNoiseIterations(env, corpus.MergersAcquisitions))
+		fmt.Println(experiments.AblationNoiseStrategy(env, corpus.ChangeInManagement))
+		fmt.Println(experiments.AblationClassifiers(env, corpus.ChangeInManagement))
+		fmt.Println(experiments.AblationSnippetSize(env, corpus.ChangeInManagement))
+		fmt.Println(experiments.AblationNERMissRate(env, corpus.ChangeInManagement))
+	}
+	if !ok {
+		fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,73 @@
+// Command leads queries a JSONL lead store written by `etap -leads`:
+// filter by driver, company or minimum score, list unreviewed leads, and
+// mark leads reviewed — the domain-specialist workflow of Section 4.
+//
+// Usage:
+//
+//	leads -store leads.jsonl [-driver d] [-company c] [-min 0.8]
+//	      [-unreviewed] [-review <snippetID>] [-top 20]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"etap/internal/store"
+)
+
+func main() {
+	var (
+		path       = flag.String("store", "leads.jsonl", "lead store path")
+		driver     = flag.String("driver", "", "filter: sales driver id")
+		company    = flag.String("company", "", "filter: company (alias-resolved)")
+		minScore   = flag.Float64("min", 0, "filter: minimum classifier score")
+		unreviewed = flag.Bool("unreviewed", false, "only unreviewed leads")
+		review     = flag.String("review", "", "mark this snippet ID reviewed and save")
+		top        = flag.Int("top", 20, "max leads to print")
+	)
+	flag.Parse()
+
+	st, err := store.LoadFile(*path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "leads:", err)
+		os.Exit(1)
+	}
+
+	if *review != "" {
+		if !st.MarkReviewed(*review) {
+			fmt.Fprintf(os.Stderr, "leads: no lead %q in %s\n", *review, *path)
+			os.Exit(1)
+		}
+		if err := st.SaveFile(*path); err != nil {
+			fmt.Fprintln(os.Stderr, "leads:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("marked %s reviewed\n", *review)
+		return
+	}
+
+	results := st.Find(store.Query{
+		Driver:     *driver,
+		Company:    *company,
+		MinScore:   *minScore,
+		Unreviewed: *unreviewed,
+	})
+	fmt.Printf("%d/%d leads match\n", len(results), st.Len())
+	for i, l := range results {
+		if i >= *top {
+			fmt.Printf("... and %d more\n", len(results)-*top)
+			break
+		}
+		text := l.Text
+		if len(text) > 90 {
+			text = text[:90] + "..."
+		}
+		mark := " "
+		if l.Reviewed {
+			mark = "R"
+		}
+		fmt.Printf("[%s] %.3f %-22s %-22s %s (%s)\n",
+			mark, l.Score, l.Driver, l.Company, text, l.SnippetID)
+	}
+}

@@ -1,0 +1,128 @@
+package etap_test
+
+import (
+	"testing"
+
+	"etap"
+)
+
+// TestFacadeEndToEnd drives the whole pipeline through the public API
+// only, the way a downstream user would.
+func TestFacadeEndToEnd(t *testing.T) {
+	gen := etap.NewWorldGenerator(etap.WorldConfig{
+		Seed: 99, RelevantPerDriver: 40, BackgroundDocs: 120,
+		HardNegativePerDriver: 10, FamousEventDocs: 4,
+	})
+	w := etap.BuildWeb(gen.World())
+	sys := etap.NewSystem(w, etap.Config{Seed: 99, TopK: 60, NegativeCount: 600})
+
+	var cim etap.SalesDriver
+	for _, d := range etap.DefaultDrivers() {
+		if d.ID == string(etap.ChangeInManagement) {
+			cim = d
+		}
+	}
+	var pure []string
+	for _, p := range gen.PurePositives(etap.ChangeInManagement, 20) {
+		pure = append(pure, p.Text)
+	}
+	stats, err := sys.AddDriver(cim, pure)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.NoisyPositives == 0 {
+		t.Fatal("no noisy positives")
+	}
+
+	pages := w.Search(`"new ceo"`, 50)
+	if len(pages) == 0 {
+		t.Fatal("search returned nothing")
+	}
+	events, err := sys.ExtractEvents(string(etap.ChangeInManagement), pages, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) == 0 {
+		t.Fatal("no events extracted")
+	}
+	ranked := etap.RankByScore(events)
+	if ranked[0].Rank != 1 {
+		t.Fatal("ranking broken")
+	}
+	companies := etap.CompanyMRR(ranked)
+	if len(companies) == 0 {
+		t.Fatal("no company scores")
+	}
+	if companies[0].MRR <= 0 || companies[0].MRR > 1 {
+		t.Fatalf("MRR out of range: %+v", companies[0])
+	}
+}
+
+func TestFacadeCrawl(t *testing.T) {
+	docs := etap.GenerateWorld(etap.WorldConfig{
+		Seed: 5, RelevantPerDriver: 10, BackgroundDocs: 30,
+		HardNegativePerDriver: 5, FamousEventDocs: 2,
+	})
+	w := etap.BuildWeb(docs)
+	res := etap.Crawl(w, etap.CrawlConfig{
+		Seeds:    []string{docs[0].URL},
+		Topic:    []string{"merger", "acquisition"},
+		MaxPages: 25,
+	})
+	if len(res.Pages) == 0 {
+		t.Fatal("crawl fetched nothing")
+	}
+	if len(res.Pages) > 25 {
+		t.Fatalf("crawl exceeded MaxPages: %d", len(res.Pages))
+	}
+}
+
+func TestFacadeProfilesAndSuggestions(t *testing.T) {
+	gen := etap.NewWorldGenerator(etap.WorldConfig{
+		Seed: 7, RelevantPerDriver: 30, BackgroundDocs: 80,
+		HardNegativePerDriver: 8, FamousEventDocs: 3,
+	})
+	w := etap.BuildWeb(gen.World())
+	sys := etap.NewSystem(w, etap.Config{Seed: 7, TopK: 50, NegativeCount: 500})
+	var ma etap.SalesDriver
+	for _, d := range etap.DefaultDrivers() {
+		if d.ID == string(etap.MergersAcquisitions) {
+			ma = d
+		}
+	}
+	if _, err := sys.AddDriver(ma, nil); err != nil {
+		t.Fatal(err)
+	}
+	pages := w.Search("merger", 60)
+	events, err := sys.ExtractEvents(ma.ID, pages, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	profiles := etap.BuildCompanyProfiles(etap.RankByScore(events), 2005, 6)
+	if len(profiles) == 0 {
+		t.Fatal("no profiles")
+	}
+	if profiles[0].Events == 0 || profiles[0].MRR <= 0 {
+		t.Fatalf("profile malformed: %+v", profiles[0])
+	}
+
+	var pure, bg []string
+	for _, p := range gen.PurePositives(etap.MergersAcquisitions, 30) {
+		pure = append(pure, p.Text)
+	}
+	for _, b := range gen.BackgroundSnippets(80) {
+		bg = append(bg, b.Text)
+	}
+	if qs := etap.SuggestQueries(pure, bg, 5); len(qs) == 0 {
+		t.Fatal("no suggested queries")
+	}
+}
+
+func TestFacadeOrientation(t *testing.T) {
+	lx := etap.DefaultRevenueLexicon()
+	pos := lx.Score("The firm posted significant growth and a solid quarter.")
+	neg := lx.Score("The firm suffered severe losses and a sharp decline.")
+	if pos <= 0 || neg >= 0 {
+		t.Fatalf("orientation scores: pos=%v neg=%v", pos, neg)
+	}
+}

@@ -1,0 +1,3 @@
+module etap
+
+go 1.22

@@ -1,0 +1,217 @@
+package etap_test
+
+// End-to-end integration tests driving the complete ETAP pipeline the
+// way cmd/etap does — crawl, train, extract, rank, persist — and
+// checking the results against the corpus ground truth.
+
+import (
+	"strings"
+	"testing"
+
+	"etap"
+	"etap/internal/corpus"
+	"etap/internal/gather"
+)
+
+// buildFixture creates a medium world plus the trained system for one
+// driver, returning ground-truth lookups.
+func buildFixture(t testing.TB, seed int64, d etap.Driver) (*etap.WorldGenerator, []etap.Document, *etap.Web, *etap.System) {
+	t.Helper()
+	gen := etap.NewWorldGenerator(etap.WorldConfig{
+		Seed: seed, RelevantPerDriver: 50, BackgroundDocs: 150,
+		HardNegativePerDriver: 15, FamousEventDocs: 5,
+	})
+	docs := gen.World()
+	w := etap.BuildWeb(docs)
+	sys := etap.NewSystem(w, etap.Config{Seed: seed, TopK: 80, NegativeCount: 800})
+	var spec etap.SalesDriver
+	for _, sd := range etap.DefaultDrivers() {
+		if sd.ID == string(d) {
+			spec = sd
+		}
+	}
+	var pure []string
+	for _, p := range gen.PurePositives(d, 25) {
+		pure = append(pure, p.Text)
+	}
+	if _, err := sys.AddDriver(spec, pure); err != nil {
+		t.Fatal(err)
+	}
+	return gen, docs, w, sys
+}
+
+func docIndex(docs []etap.Document) map[string]*etap.Document {
+	out := make(map[string]*etap.Document, len(docs))
+	for i := range docs {
+		out[docs[i].URL] = &docs[i]
+	}
+	return out
+}
+
+func urlOf(snippetID string) string {
+	return snippetID[:strings.LastIndexByte(snippetID, '#')]
+}
+
+// TestPipelineCrawlToLeads runs crawl → extract → rank → MRR and checks
+// the extracted events against ground truth.
+func TestPipelineCrawlToLeads(t *testing.T) {
+	_, docs, w, sys := buildFixture(t, 71, etap.MergersAcquisitions)
+	byURL := docIndex(docs)
+
+	var seeds []string
+	hosts := map[string]bool{}
+	for _, d := range docs {
+		if !hosts[d.Host] {
+			hosts[d.Host] = true
+			seeds = append(seeds, d.URL)
+		}
+	}
+	crawl := etap.Crawl(w, etap.CrawlConfig{
+		Seeds: seeds,
+		Topic: []string{"merger", "acquisition", "deal"},
+	})
+	if len(crawl.Pages) < w.Len()/2 {
+		t.Fatalf("crawl reached only %d/%d pages", len(crawl.Pages), w.Len())
+	}
+
+	events, err := sys.ExtractEvents(string(etap.MergersAcquisitions), crawl.Pages, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) < 20 {
+		t.Fatalf("only %d events", len(events))
+	}
+	correct := 0
+	for _, ev := range events {
+		if byURL[urlOf(ev.SnippetID)].ContainsTrigger(ev.Text, corpus.MergersAcquisitions) {
+			correct++
+		}
+	}
+	if prec := float64(correct) / float64(len(events)); prec < 0.5 {
+		t.Errorf("event precision %.2f (%d/%d)", prec, correct, len(events))
+	}
+
+	ranked := etap.RankByScore(events)
+	companies := etap.CompanyMRR(ranked)
+	if len(companies) == 0 {
+		t.Fatal("no company scores")
+	}
+	prevMRR := 2.0
+	for _, c := range companies {
+		if c.MRR > prevMRR {
+			t.Fatalf("company ranking not sorted: %+v", companies)
+		}
+		prevMRR = c.MRR
+	}
+}
+
+// TestPipelinePersistenceAcrossSystems trains, serializes, reloads into a
+// fresh system, and checks extraction equivalence end to end.
+func TestPipelinePersistenceAcrossSystems(t *testing.T) {
+	_, docs, w, sys := buildFixture(t, 72, etap.ChangeInManagement)
+	id := string(etap.ChangeInManagement)
+
+	data, err := sys.MarshalDriver(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys2 := etap.NewSystem(w, etap.Config{Seed: 72})
+	if err := sys2.UnmarshalDriver(data, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	var pages []*etap.Page
+	for _, d := range docs[:100] {
+		if p, ok := w.Page(d.URL); ok {
+			pages = append(pages, p)
+		}
+	}
+	a, err := sys.ExtractEvents(id, pages, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sys2.ExtractEvents(id, pages, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("event counts differ after reload: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("event %d differs after reload", i)
+		}
+	}
+}
+
+// TestPipelineParallelFacade checks the concurrent extraction path
+// through the facade types.
+func TestPipelineParallelFacade(t *testing.T) {
+	_, docs, w, sys := buildFixture(t, 73, etap.ChangeInManagement)
+	id := string(etap.ChangeInManagement)
+	var pages []*etap.Page
+	for _, d := range docs {
+		if p, ok := w.Page(d.URL); ok {
+			pages = append(pages, p)
+		}
+	}
+	seq, err := sys.ExtractEvents(id, pages, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := sys.ExtractEventsParallel(id, pages, 0.5, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq) != len(par) {
+		t.Fatalf("parallel facade differs: %d vs %d", len(seq), len(par))
+	}
+}
+
+// TestPipelineIncrementalMonitoring reproduces the leadmonitor example's
+// flow with assertions: only new pages yield events in epoch 2.
+func TestPipelineIncrementalMonitoring(t *testing.T) {
+	gen, docs, w, sys := buildFixture(t, 74, etap.MergersAcquisitions)
+	id := string(etap.MergersAcquisitions)
+
+	monitor := gather.NewMonitor()
+	var pages1 []*etap.Page
+	for _, d := range docs {
+		if p, ok := w.Page(d.URL); ok {
+			pages1 = append(pages1, p)
+		}
+	}
+	if got := monitor.Changed(pages1); len(got) != len(pages1) {
+		t.Fatalf("epoch 1: %d changed, want all %d", len(got), len(pages1))
+	}
+
+	// Epoch 2: same pages plus fresh news.
+	w2 := etap.NewWeb()
+	for _, p := range pages1 {
+		w2.AddPage(*p)
+	}
+	freshDocs := 0
+	for i := 0; i < 10; i++ {
+		d := gen.RelevantDoc(etap.MergersAcquisitions)
+		w2.AddPage(etap.Page{URL: d.URL, Host: d.Host, Title: d.Title, Text: d.Text(), Links: d.Links})
+		freshDocs++
+	}
+	w2.Freeze()
+	var pages2 []*etap.Page
+	for _, u := range w2.URLs() {
+		if p, ok := w2.Page(u); ok {
+			pages2 = append(pages2, p)
+		}
+	}
+	fresh := monitor.Changed(pages2)
+	if len(fresh) != freshDocs {
+		t.Fatalf("epoch 2: %d changed, want %d", len(fresh), freshDocs)
+	}
+	events, err := sys.ExtractEvents(id, fresh, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) == 0 {
+		t.Fatal("no events from fresh M&A pages")
+	}
+}

@@ -1,0 +1,83 @@
+package annotate
+
+import (
+	"testing"
+
+	"etap/internal/corpus"
+	"etap/internal/ner"
+)
+
+// Pipeline-level property: annotating every sentence of a generated
+// world never produces an empty-text unit, unknown entity category, or a
+// unit that is both entity and POS.
+func TestAnnotateCorpusInvariants(t *testing.T) {
+	docs := corpus.NewGenerator(corpus.Config{
+		Seed: 201, RelevantPerDriver: 10, BackgroundDocs: 30,
+		HardNegativePerDriver: 5, FamousEventDocs: 2,
+	}).World()
+	valid := map[ner.Category]bool{"": true}
+	for _, c := range ner.Categories {
+		valid[c] = true
+	}
+	a := New(nil)
+	units := 0
+	for _, d := range docs {
+		for _, s := range d.Sentences {
+			for _, u := range a.Annotate(s.Text) {
+				units++
+				if u.Text == "" {
+					t.Fatalf("empty unit in %q", s.Text)
+				}
+				if !valid[u.Entity] {
+					t.Fatalf("unknown category %q", u.Entity)
+				}
+				if u.IsEntity() && u.POS != "" {
+					t.Fatalf("unit is both entity and POS: %+v", u)
+				}
+				if !u.IsEntity() && u.POS == "" {
+					t.Fatalf("unit with neither entity nor POS: %+v", u)
+				}
+			}
+		}
+	}
+	if units < 1000 {
+		t.Fatalf("only %d units annotated", units)
+	}
+}
+
+// Annotation coverage: across a generated world, a healthy share of
+// trigger sentences must contain the entities their driver's filter
+// needs (the recognizer is the pipeline's foundation).
+func TestAnnotateTriggerCoverage(t *testing.T) {
+	gen := corpus.NewGenerator(corpus.Config{
+		Seed: 202, RelevantPerDriver: 30, BackgroundDocs: 10,
+		HardNegativePerDriver: 2, FamousEventDocs: 2,
+	})
+	a := New(nil)
+	needs := map[corpus.Driver]ner.Category{
+		corpus.MergersAcquisitions: ner.ORG,
+		corpus.ChangeInManagement:  ner.DESIG,
+		corpus.RevenueGrowth:       ner.ORG,
+	}
+	for _, docsDriver := range []corpus.Driver{
+		corpus.MergersAcquisitions, corpus.ChangeInManagement, corpus.RevenueGrowth,
+	} {
+		total, hit := 0, 0
+		for i := 0; i < 20; i++ {
+			doc := gen.RelevantDoc(docsDriver)
+			for _, s := range doc.Sentences {
+				if s.Driver != docsDriver {
+					continue
+				}
+				total++
+				if EntityCategories(a.Annotate(s.Text))[needs[docsDriver]] {
+					hit++
+				}
+			}
+		}
+		if total == 0 || float64(hit)/float64(total) < 0.7 {
+			t.Errorf("%s: %d/%d trigger sentences carry %s",
+				docsDriver, hit, total, needs[docsDriver])
+		}
+	}
+}

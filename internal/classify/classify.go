@@ -1,0 +1,29 @@
+// Package classify provides the text classifiers ETAP builds its event
+// identification on: the naïve Bayes classifier used in the paper's
+// experiments (via Weka there, from scratch here), plus the alternatives
+// the paper cites — a linear SVM [7] trained with Pegasos, and the
+// weighted logistic regression of Lee & Liu [8] for learning from
+// positive and unlabeled data. A shared evaluation harness computes the
+// precision/recall/F1 measures reported in Table 1.
+package classify
+
+import "etap/internal/feature"
+
+// Example is one training or test instance: a sparse feature vector and
+// its class (true = positive for the sales driver).
+type Example struct {
+	X     feature.Vector
+	Label bool
+}
+
+// Classifier scores feature vectors. Score is a monotone confidence for
+// the positive class; Prob is calibrated to [0,1] where the decision
+// threshold is 0.5.
+type Classifier interface {
+	// Prob returns the estimated probability that x belongs to the
+	// positive class.
+	Prob(x feature.Vector) float64
+}
+
+// Predict applies the conventional 0.5 threshold.
+func Predict(c Classifier, x feature.Vector) bool { return c.Prob(x) >= 0.5 }

@@ -1,0 +1,256 @@
+package classify
+
+import (
+	"math/rand"
+	"testing"
+
+	"etap/internal/feature"
+)
+
+// synth generates a linearly separable-ish two-class dataset over a small
+// vocabulary: positives draw mostly from features [0,5), negatives from
+// [5,10), with `noise` fraction of flipped draws.
+func synth(n int, noise float64, seed int64) []Example {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]Example, 0, n)
+	for i := 0; i < n; i++ {
+		label := i%2 == 0
+		base := 0
+		if !label {
+			base = 5
+		}
+		if rng.Float64() < noise {
+			base = 5 - base
+		}
+		var feats []string
+		for j := 0; j < 4; j++ {
+			feats = append(feats, string(rune('a'+base+rng.Intn(5))))
+		}
+		out = append(out, Example{Label: label, X: vec(feats...)})
+	}
+	return out
+}
+
+var testVocab = feature.NewVocab()
+
+func vec(feats ...string) feature.Vector {
+	return feature.Vectorize(testVocab, feats, true)
+}
+
+func TestNaiveBayesSeparable(t *testing.T) {
+	train := synth(200, 0, 1)
+	test := synth(100, 0, 2)
+	nb := TrainNaiveBayes(train, NaiveBayesConfig{})
+	m := Evaluate(nb, test)
+	if m.F1() < 0.95 {
+		t.Fatalf("NB on separable data: %v", m)
+	}
+}
+
+func TestNaiveBayesNoisy(t *testing.T) {
+	train := synth(400, 0.15, 3)
+	test := synth(200, 0, 4)
+	nb := TrainNaiveBayes(train, NaiveBayesConfig{})
+	m := Evaluate(nb, test)
+	if m.F1() < 0.9 {
+		t.Fatalf("NB with 15%% label noise: %v", m)
+	}
+}
+
+func TestNaiveBayesBernoulli(t *testing.T) {
+	train := synth(200, 0, 5)
+	test := synth(100, 0, 6)
+	nb := TrainNaiveBayes(train, NaiveBayesConfig{Model: Bernoulli})
+	m := Evaluate(nb, test)
+	if m.F1() < 0.95 {
+		t.Fatalf("Bernoulli NB: %v", m)
+	}
+}
+
+func TestNaiveBayesProbRange(t *testing.T) {
+	train := synth(100, 0.1, 7)
+	nb := TrainNaiveBayes(train, NaiveBayesConfig{})
+	for _, ex := range train {
+		p := nb.Prob(ex.X)
+		if p < 0 || p > 1 {
+			t.Fatalf("prob out of range: %v", p)
+		}
+	}
+	// Unseen features only.
+	p := nb.Prob(vec("zz-unseen-1", "zz-unseen-2"))
+	if p < 0 || p > 1 {
+		t.Fatalf("unseen-feature prob out of range: %v", p)
+	}
+}
+
+func TestNaiveBayesEmptyTraining(t *testing.T) {
+	nb := TrainNaiveBayes(nil, NaiveBayesConfig{})
+	p := nb.Prob(vec("a"))
+	if p < 0 || p > 1 {
+		t.Fatalf("empty-training prob = %v", p)
+	}
+}
+
+func TestNaiveBayesClassWeight(t *testing.T) {
+	// Heavily imbalanced data; upweighting positives should raise recall.
+	var train []Example
+	for i := 0; i < 20; i++ {
+		train = append(train, Example{Label: true, X: vec("a", "b")})
+	}
+	for i := 0; i < 400; i++ {
+		train = append(train, Example{Label: false, X: vec("x", "y")})
+	}
+	// Ambiguous test point sharing one feature with each class.
+	x := vec("b", "x")
+	plain := TrainNaiveBayes(train, NaiveBayesConfig{}).Prob(x)
+	boosted := TrainNaiveBayes(train, NaiveBayesConfig{ClassWeight: 3}).Prob(x)
+	if boosted <= plain {
+		t.Fatalf("class weight had no effect: plain=%v boosted=%v", plain, boosted)
+	}
+}
+
+func TestSVMSeparable(t *testing.T) {
+	train := synth(300, 0, 8)
+	test := synth(150, 0, 9)
+	svm := TrainSVM(train, SVMConfig{Seed: 1})
+	m := Evaluate(svm, test)
+	if m.F1() < 0.93 {
+		t.Fatalf("SVM on separable data: %v", m)
+	}
+}
+
+func TestSVMDeterministic(t *testing.T) {
+	train := synth(100, 0.1, 10)
+	a := TrainSVM(train, SVMConfig{Seed: 7})
+	b := TrainSVM(train, SVMConfig{Seed: 7})
+	x := train[3].X
+	if a.Prob(x) != b.Prob(x) {
+		t.Fatal("SVM training is not deterministic for a fixed seed")
+	}
+}
+
+func TestSVMMarginSign(t *testing.T) {
+	train := synth(300, 0, 11)
+	svm := TrainSVM(train, SVMConfig{Seed: 2})
+	correct := 0
+	for _, ex := range train {
+		if (svm.Margin(ex.X) > 0) == ex.Label {
+			correct++
+		}
+	}
+	if float64(correct)/float64(len(train)) < 0.95 {
+		t.Fatalf("margin sign agrees on only %d/%d", correct, len(train))
+	}
+}
+
+func TestSVMEmptyTraining(t *testing.T) {
+	svm := TrainSVM(nil, SVMConfig{})
+	if p := svm.Prob(vec("a")); p < 0 || p > 1 {
+		t.Fatalf("empty-training prob = %v", p)
+	}
+}
+
+func TestLogRegSeparable(t *testing.T) {
+	train := synth(300, 0, 12)
+	test := synth(150, 0, 13)
+	lr := TrainLogReg(train, LogRegConfig{Seed: 1})
+	m := Evaluate(lr, test)
+	if m.F1() < 0.95 {
+		t.Fatalf("LogReg on separable data: %v", m)
+	}
+}
+
+func TestLogRegPosWeightShiftsDecision(t *testing.T) {
+	train := synth(200, 0.2, 14)
+	x := train[0].X
+	low := TrainLogReg(train, LogRegConfig{Seed: 3, PosWeight: 0.2}).Prob(x)
+	high := TrainLogReg(train, LogRegConfig{Seed: 3, PosWeight: 3}).Prob(x)
+	if high <= low {
+		t.Fatalf("PosWeight had no effect: low=%v high=%v", low, high)
+	}
+}
+
+func TestMetricsDerivedValues(t *testing.T) {
+	m := Metrics{TP: 8, FP: 2, TN: 85, FN: 5}
+	if got := m.Precision(); got != 0.8 {
+		t.Errorf("precision = %v, want 0.8", got)
+	}
+	if got := m.Recall(); got != 8.0/13.0 {
+		t.Errorf("recall = %v", got)
+	}
+	f1 := 2 * 0.8 * (8.0 / 13.0) / (0.8 + 8.0/13.0)
+	if got := m.F1(); got != f1 {
+		t.Errorf("f1 = %v, want %v", got, f1)
+	}
+	if got := m.Accuracy(); got != 0.93 {
+		t.Errorf("accuracy = %v, want 0.93", got)
+	}
+}
+
+func TestMetricsDegenerate(t *testing.T) {
+	var m Metrics
+	if m.Precision() != 0 || m.Recall() != 0 || m.F1() != 0 || m.Accuracy() != 0 {
+		t.Errorf("zero metrics should be all-zero: %v", m)
+	}
+}
+
+func TestEvaluateAtThreshold(t *testing.T) {
+	train := synth(200, 0, 15)
+	nb := TrainNaiveBayes(train, NaiveBayesConfig{})
+	strict := EvaluateAt(nb, train, 0.99)
+	loose := EvaluateAt(nb, train, 0.01)
+	if strict.TP+strict.FP > loose.TP+loose.FP {
+		t.Fatalf("higher threshold predicted more positives: strict=%v loose=%v", strict, loose)
+	}
+}
+
+func TestKFold(t *testing.T) {
+	examples := synth(200, 0.05, 16)
+	m := KFold(examples, 5, 99, func(train []Example) Classifier {
+		return TrainNaiveBayes(train, NaiveBayesConfig{})
+	})
+	if total := m.TP + m.FP + m.TN + m.FN; total != 200 {
+		t.Fatalf("k-fold covered %d examples, want 200", total)
+	}
+	if m.F1() < 0.9 {
+		t.Fatalf("k-fold F1 = %v", m)
+	}
+}
+
+func TestKFoldDeterministic(t *testing.T) {
+	examples := synth(100, 0.1, 17)
+	train := func(tr []Example) Classifier {
+		return TrainNaiveBayes(tr, NaiveBayesConfig{})
+	}
+	a := KFold(examples, 4, 5, train)
+	b := KFold(examples, 4, 5, train)
+	if a != b {
+		t.Fatalf("k-fold not deterministic: %v vs %v", a, b)
+	}
+}
+
+func BenchmarkTrainNaiveBayes(b *testing.B) {
+	train := synth(1000, 0.1, 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		TrainNaiveBayes(train, NaiveBayesConfig{})
+	}
+}
+
+func BenchmarkNaiveBayesProb(b *testing.B) {
+	train := synth(1000, 0.1, 21)
+	nb := TrainNaiveBayes(train, NaiveBayesConfig{})
+	x := train[0].X
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nb.Prob(x)
+	}
+}
+
+func BenchmarkTrainSVM(b *testing.B) {
+	train := synth(500, 0.1, 22)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		TrainSVM(train, SVMConfig{Seed: 1})
+	}
+}

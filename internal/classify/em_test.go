@@ -1,0 +1,93 @@
+package classify
+
+import (
+	"math/rand"
+	"testing"
+
+	"etap/internal/feature"
+)
+
+// semiSupervised builds a tiny labeled set plus a large unlabeled pool
+// from the same two-cluster distribution.
+func semiSupervised(nLabeled, nUnlabeled int, seed int64) (labeled []Example, unlabeled []feature.Vector, test []Example) {
+	all := synth(nLabeled+nUnlabeled+200, 0, seed)
+	labeled = all[:nLabeled]
+	for _, ex := range all[nLabeled : nLabeled+nUnlabeled] {
+		unlabeled = append(unlabeled, ex.X)
+	}
+	test = all[nLabeled+nUnlabeled:]
+	return labeled, unlabeled, test
+}
+
+func TestEMImprovesOverTinyLabeledSet(t *testing.T) {
+	labeled, unlabeled, test := semiSupervised(6, 400, 31)
+
+	base := TrainNaiveBayes(labeled, NaiveBayesConfig{})
+	em := TrainNaiveBayesEM(labeled, unlabeled, NaiveBayesConfig{}, 8, 1)
+
+	mBase := Evaluate(base, test)
+	mEM := Evaluate(em, test)
+	if mEM.F1() < mBase.F1()-0.02 {
+		t.Fatalf("EM hurt: base %.3f, EM %.3f", mBase.F1(), mEM.F1())
+	}
+	if mEM.F1() < 0.9 {
+		t.Fatalf("EM F1 = %.3f with 400 unlabeled docs", mEM.F1())
+	}
+}
+
+func TestEMNoUnlabeledEqualsSupervised(t *testing.T) {
+	labeled, _, _ := semiSupervised(50, 0, 32)
+	a := TrainNaiveBayes(labeled, NaiveBayesConfig{})
+	b := TrainNaiveBayesEM(labeled, nil, NaiveBayesConfig{}, 5, 1)
+	x := labeled[0].X
+	if a.Prob(x) != b.Prob(x) {
+		t.Fatal("EM with no unlabeled data must equal supervised NB")
+	}
+}
+
+func TestEMUnlabeledWeight(t *testing.T) {
+	labeled, unlabeled, test := semiSupervised(10, 300, 33)
+	full := TrainNaiveBayesEM(labeled, unlabeled, NaiveBayesConfig{}, 5, 1)
+	light := TrainNaiveBayesEM(labeled, unlabeled, NaiveBayesConfig{}, 5, 0.1)
+	mFull := Evaluate(full, test)
+	mLight := Evaluate(light, test)
+	// Both must work; the down-weighted variant stays close to the
+	// supervised solution but should not collapse.
+	if mFull.F1() < 0.85 || mLight.F1() < 0.85 {
+		t.Fatalf("EM variants degraded: full %.3f light %.3f", mFull.F1(), mLight.F1())
+	}
+}
+
+func TestEMDeterministic(t *testing.T) {
+	labeled, unlabeled, _ := semiSupervised(10, 100, 34)
+	a := TrainNaiveBayesEM(labeled, unlabeled, NaiveBayesConfig{}, 5, 1)
+	b := TrainNaiveBayesEM(labeled, unlabeled, NaiveBayesConfig{}, 5, 1)
+	x := unlabeled[0]
+	if a.Prob(x) != b.Prob(x) {
+		t.Fatal("EM training not deterministic")
+	}
+}
+
+func TestEMBernoulli(t *testing.T) {
+	labeled, unlabeled, test := semiSupervised(10, 200, 35)
+	em := TrainNaiveBayesEM(labeled, unlabeled, NaiveBayesConfig{Model: Bernoulli}, 5, 1)
+	if m := Evaluate(em, test); m.F1() < 0.85 {
+		t.Fatalf("Bernoulli EM F1 = %.3f", m.F1())
+	}
+}
+
+func TestEMProbBounds(t *testing.T) {
+	labeled, unlabeled, _ := semiSupervised(8, 150, 36)
+	em := TrainNaiveBayesEM(labeled, unlabeled, NaiveBayesConfig{}, 5, 1)
+	rng := rand.New(rand.NewSource(37))
+	for i := 0; i < 50; i++ {
+		var feats []string
+		for j := 0; j < 1+rng.Intn(6); j++ {
+			feats = append(feats, string(rune('a'+rng.Intn(12))))
+		}
+		p := em.Prob(vec(feats...))
+		if p < 0 || p > 1 {
+			t.Fatalf("prob out of bounds: %v", p)
+		}
+	}
+}

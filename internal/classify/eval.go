@@ -1,0 +1,115 @@
+package classify
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Metrics aggregates a binary confusion matrix and the derived measures
+// reported in Table 1 of the paper.
+type Metrics struct {
+	TP, FP, TN, FN int
+}
+
+// Add records one prediction.
+func (m *Metrics) Add(predicted, actual bool) {
+	switch {
+	case predicted && actual:
+		m.TP++
+	case predicted && !actual:
+		m.FP++
+	case !predicted && !actual:
+		m.TN++
+	default:
+		m.FN++
+	}
+}
+
+// Precision = TP / (TP + FP); 0 when nothing was predicted positive.
+func (m Metrics) Precision() float64 {
+	if m.TP+m.FP == 0 {
+		return 0
+	}
+	return float64(m.TP) / float64(m.TP+m.FP)
+}
+
+// Recall = TP / (TP + FN); 0 when there are no positives.
+func (m Metrics) Recall() float64 {
+	if m.TP+m.FN == 0 {
+		return 0
+	}
+	return float64(m.TP) / float64(m.TP+m.FN)
+}
+
+// F1 is the harmonic mean of precision and recall ("The F1 measure ... is
+// computed as the harmonic mean of the precision and recall measures").
+func (m Metrics) F1() float64 {
+	p, r := m.Precision(), m.Recall()
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+// Accuracy over all predictions.
+func (m Metrics) Accuracy() float64 {
+	total := m.TP + m.FP + m.TN + m.FN
+	if total == 0 {
+		return 0
+	}
+	return float64(m.TP+m.TN) / float64(total)
+}
+
+// String renders the metrics in the paper's table format.
+func (m Metrics) String() string {
+	return fmt.Sprintf("P=%.3f R=%.3f F1=%.3f (tp=%d fp=%d tn=%d fn=%d)",
+		m.Precision(), m.Recall(), m.F1(), m.TP, m.FP, m.TN, m.FN)
+}
+
+// Evaluate scores a classifier over test examples at the 0.5 threshold.
+func Evaluate(c Classifier, test []Example) Metrics {
+	return EvaluateAt(c, test, 0.5)
+}
+
+// EvaluateAt scores a classifier over test examples at the given
+// probability threshold.
+func EvaluateAt(c Classifier, test []Example, threshold float64) Metrics {
+	var m Metrics
+	for _, ex := range test {
+		m.Add(c.Prob(ex.X) >= threshold, ex.Label)
+	}
+	return m
+}
+
+// KFold runs k-fold cross validation, training with train on each fold's
+// complement and evaluating on the fold. The fold assignment is a
+// deterministic function of seed.
+func KFold(examples []Example, k int, seed int64, train func([]Example) Classifier) Metrics {
+	if k < 2 {
+		k = 2
+	}
+	if len(examples) < k {
+		k = len(examples)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	order := rng.Perm(len(examples))
+
+	var total Metrics
+	for fold := 0; fold < k; fold++ {
+		var trainSet, testSet []Example
+		for i, idx := range order {
+			if i%k == fold {
+				testSet = append(testSet, examples[idx])
+			} else {
+				trainSet = append(trainSet, examples[idx])
+			}
+		}
+		c := train(trainSet)
+		m := EvaluateAt(c, testSet, 0.5)
+		total.TP += m.TP
+		total.FP += m.FP
+		total.TN += m.TN
+		total.FN += m.FN
+	}
+	return total
+}

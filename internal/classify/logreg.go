@@ -1,0 +1,94 @@
+package classify
+
+import (
+	"math/rand"
+
+	"etap/internal/feature"
+)
+
+// LogRegConfig configures weighted logistic regression training.
+type LogRegConfig struct {
+	// LearningRate for SGD; 0 means 0.1.
+	LearningRate float64
+	// L2 regularization strength; 0 means 1e-4.
+	L2 float64
+	// Epochs over the data; 0 means 20.
+	Epochs int
+	// PosWeight and NegWeight re-weight the loss per class — the
+	// mechanism of Lee & Liu [8] for learning with positive and
+	// unlabeled examples: weight the (noisy) positive class below the
+	// negative class to absorb label noise. 0 means 1.
+	PosWeight float64
+	NegWeight float64
+	// Seed drives the shuffling order.
+	Seed int64
+}
+
+// LogReg is a two-class logistic regression classifier with per-class
+// loss weights ("weighted logistic regression", Lee & Liu [8]).
+type LogReg struct {
+	w    map[int]float64
+	bias float64
+}
+
+// TrainLogReg fits the model with stochastic gradient descent.
+func TrainLogReg(examples []Example, cfg LogRegConfig) *LogReg {
+	lr := cfg.LearningRate
+	if lr == 0 {
+		lr = 0.1
+	}
+	l2 := cfg.L2
+	if l2 == 0 {
+		l2 = 1e-4
+	}
+	epochs := cfg.Epochs
+	if epochs == 0 {
+		epochs = 20
+	}
+	pw := cfg.PosWeight
+	if pw == 0 {
+		pw = 1
+	}
+	nw := cfg.NegWeight
+	if nw == 0 {
+		nw = 1
+	}
+
+	m := &LogReg{w: make(map[int]float64)}
+	if len(examples) == 0 {
+		return m
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	order := make([]int, len(examples))
+	for i := range order {
+		order[i] = i
+	}
+
+	for e := 0; e < epochs; e++ {
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		eta := lr / (1 + float64(e))
+		for _, idx := range order {
+			ex := examples[idx]
+			p := m.Prob(ex.X)
+			y, cw := 0.0, nw
+			if ex.Label {
+				y, cw = 1.0, pw
+			}
+			g := cw * (p - y)
+			for _, t := range ex.X {
+				m.w[t.ID] -= eta * (g*t.W + l2*m.w[t.ID])
+			}
+			m.bias -= eta * g
+		}
+	}
+	return m
+}
+
+// Prob returns P(positive | x).
+func (m *LogReg) Prob(x feature.Vector) float64 {
+	z := m.bias
+	for _, t := range x {
+		z += m.w[t.ID] * t.W
+	}
+	return sigmoid(z)
+}

@@ -1,0 +1,88 @@
+package classify
+
+import "sort"
+
+// PRPoint is one operating point of a precision-recall curve.
+type PRPoint struct {
+	Threshold float64
+	Precision float64
+	Recall    float64
+}
+
+// PRCurve sweeps the decision threshold over every distinct score and
+// returns the precision/recall trade-off, highest threshold first. It is
+// the data a deployment uses to pick the operating point for each sales
+// driver (the paper evaluates at 0.5; a sales team that wants fewer,
+// surer leads slides right).
+func PRCurve(items []ScoredLabel) []PRPoint {
+	sorted := sortByScore(items)
+	totalPos := 0
+	for _, it := range sorted {
+		if it.Label {
+			totalPos++
+		}
+	}
+	if totalPos == 0 || len(sorted) == 0 {
+		return nil
+	}
+	var out []PRPoint
+	tp, fp := 0, 0
+	for i := 0; i < len(sorted); {
+		// Consume the whole tie group so thresholds are well defined.
+		score := sorted[i].Score
+		for i < len(sorted) && sorted[i].Score == score {
+			if sorted[i].Label {
+				tp++
+			} else {
+				fp++
+			}
+			i++
+		}
+		out = append(out, PRPoint{
+			Threshold: score,
+			Precision: float64(tp) / float64(tp+fp),
+			Recall:    float64(tp) / float64(totalPos),
+		})
+	}
+	return out
+}
+
+// BestF1 returns the operating point maximizing F1 along the curve.
+func BestF1(curve []PRPoint) (PRPoint, float64) {
+	best := PRPoint{}
+	bestF1 := -1.0
+	for _, p := range curve {
+		if p.Precision+p.Recall == 0 {
+			continue
+		}
+		f1 := 2 * p.Precision * p.Recall / (p.Precision + p.Recall)
+		if f1 > bestF1 {
+			bestF1 = f1
+			best = p
+		}
+	}
+	if bestF1 < 0 {
+		return PRPoint{}, 0
+	}
+	return best, bestF1
+}
+
+// InterpolatedPrecisionAt returns the interpolated precision at the
+// given recall level (the maximum precision at any recall >= r), the
+// standard TREC-style measure.
+func InterpolatedPrecisionAt(curve []PRPoint, r float64) float64 {
+	best := 0.0
+	for _, p := range curve {
+		if p.Recall >= r && p.Precision > best {
+			best = p.Precision
+		}
+	}
+	return best
+}
+
+// sortPoints orders a curve by ascending recall (for plotting).
+func sortPoints(curve []PRPoint) []PRPoint {
+	out := append([]PRPoint(nil), curve...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Recall < out[j].Recall })
+	return out
+}

@@ -1,0 +1,107 @@
+package classify
+
+import (
+	"math"
+	"testing"
+)
+
+func prItems() []ScoredLabel {
+	return []ScoredLabel{
+		{0.9, true}, {0.8, true}, {0.7, false}, {0.6, true}, {0.5, false},
+	}
+}
+
+func TestPRCurvePoints(t *testing.T) {
+	curve := PRCurve(prItems())
+	if len(curve) != 5 {
+		t.Fatalf("points = %d, want 5", len(curve))
+	}
+	// Highest threshold first: P=1, R=1/3.
+	if curve[0].Precision != 1 || math.Abs(curve[0].Recall-1.0/3.0) > 1e-12 {
+		t.Errorf("first point: %+v", curve[0])
+	}
+	// Final point: all predicted positive → P=3/5, R=1.
+	last := curve[len(curve)-1]
+	if last.Recall != 1 || math.Abs(last.Precision-0.6) > 1e-12 {
+		t.Errorf("last point: %+v", last)
+	}
+	// Recall is non-decreasing as the threshold falls.
+	for i := 1; i < len(curve); i++ {
+		if curve[i].Recall < curve[i-1].Recall {
+			t.Errorf("recall decreased at %d: %+v", i, curve)
+		}
+	}
+}
+
+func TestPRCurveTiesGrouped(t *testing.T) {
+	items := []ScoredLabel{{0.5, true}, {0.5, false}, {0.5, true}}
+	curve := PRCurve(items)
+	if len(curve) != 1 {
+		t.Fatalf("tie group split: %+v", curve)
+	}
+	if curve[0].Recall != 1 || math.Abs(curve[0].Precision-2.0/3.0) > 1e-12 {
+		t.Errorf("point: %+v", curve[0])
+	}
+}
+
+func TestPRCurveDegenerate(t *testing.T) {
+	if got := PRCurve(nil); got != nil {
+		t.Errorf("empty: %+v", got)
+	}
+	if got := PRCurve([]ScoredLabel{{0.5, false}}); got != nil {
+		t.Errorf("no positives: %+v", got)
+	}
+}
+
+func TestBestF1(t *testing.T) {
+	curve := PRCurve(prItems())
+	point, f1 := BestF1(curve)
+	// Candidates: (1, 1/3)->0.5, (1, 2/3)->0.8, (2/3,2/3)->2/3,
+	// (3/4, 1)->6/7, (3/5, 1)->0.75. Best is threshold 0.6.
+	if math.Abs(f1-6.0/7.0) > 1e-12 || point.Threshold != 0.6 {
+		t.Fatalf("best = %+v f1=%v, want threshold 0.6 f1=6/7", point, f1)
+	}
+	if _, f := BestF1(nil); f != 0 {
+		t.Errorf("empty curve f1 = %v", f)
+	}
+}
+
+func TestInterpolatedPrecisionAt(t *testing.T) {
+	curve := PRCurve(prItems())
+	if got := InterpolatedPrecisionAt(curve, 0.3); got != 1 {
+		t.Errorf("P@R>=0.3 = %v, want 1", got)
+	}
+	if got := InterpolatedPrecisionAt(curve, 1.0); math.Abs(got-0.75) > 1e-12 {
+		t.Errorf("P@R>=1.0 = %v, want 0.75", got)
+	}
+	if got := InterpolatedPrecisionAt(nil, 0.5); got != 0 {
+		t.Errorf("empty = %v", got)
+	}
+}
+
+func TestSortPoints(t *testing.T) {
+	curve := sortPoints(PRCurve(prItems()))
+	for i := 1; i < len(curve); i++ {
+		if curve[i].Recall < curve[i-1].Recall {
+			t.Fatalf("not sorted by recall: %+v", curve)
+		}
+	}
+}
+
+func TestPRCurveOnTrainedClassifier(t *testing.T) {
+	train := synth(300, 0.1, 91)
+	test := synth(200, 0, 92)
+	nb := TrainNaiveBayes(train, NaiveBayesConfig{})
+	items := make([]ScoredLabel, len(test))
+	for i, ex := range test {
+		items[i] = ScoredLabel{Score: nb.Prob(ex.X), Label: ex.Label}
+	}
+	curve := PRCurve(items)
+	if len(curve) == 0 {
+		t.Fatal("empty curve")
+	}
+	_, f1 := BestF1(curve)
+	if f1 < 0.9 {
+		t.Fatalf("best F1 along curve = %v", f1)
+	}
+}

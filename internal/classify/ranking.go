@@ -1,0 +1,93 @@
+package classify
+
+import "sort"
+
+// Ranking-quality measures for scored lists. ETAP's output is a ranked
+// list of trigger events reviewed top-down by a domain specialist
+// (Section 4), so threshold-free measures — AUC, precision@k, average
+// precision — describe its usefulness better than a single operating
+// point.
+
+// ScoredLabel pairs a score with the ground-truth label.
+type ScoredLabel struct {
+	Score float64
+	Label bool
+}
+
+// sortByScore returns the items in descending score order (stable).
+func sortByScore(items []ScoredLabel) []ScoredLabel {
+	out := append([]ScoredLabel(nil), items...)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Score > out[j].Score })
+	return out
+}
+
+// AUC computes the area under the ROC curve: the probability that a
+// random positive outscores a random negative (ties count half).
+// Returns 0.5 for degenerate inputs (no positives or no negatives).
+func AUC(items []ScoredLabel) float64 {
+	// Rank-sum formulation with midranks for ties.
+	sorted := append([]ScoredLabel(nil), items...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Score < sorted[j].Score })
+	var nPos, nNeg float64
+	var rankSum float64 // sum of positive midranks
+	i := 0
+	for i < len(sorted) {
+		j := i
+		for j < len(sorted) && sorted[j].Score == sorted[i].Score {
+			j++
+		}
+		midrank := float64(i+j+1) / 2 // ranks are 1-based
+		for k := i; k < j; k++ {
+			if sorted[k].Label {
+				nPos++
+				rankSum += midrank
+			} else {
+				nNeg++
+			}
+		}
+		i = j
+	}
+	if nPos == 0 || nNeg == 0 {
+		return 0.5
+	}
+	return (rankSum - nPos*(nPos+1)/2) / (nPos * nNeg)
+}
+
+// PrecisionAtK is the fraction of the k highest-scored items that are
+// positive. k > len(items) uses the whole list.
+func PrecisionAtK(items []ScoredLabel, k int) float64 {
+	if k <= 0 {
+		return 0
+	}
+	sorted := sortByScore(items)
+	if k > len(sorted) {
+		k = len(sorted)
+	}
+	if k == 0 {
+		return 0
+	}
+	pos := 0
+	for _, it := range sorted[:k] {
+		if it.Label {
+			pos++
+		}
+	}
+	return float64(pos) / float64(k)
+}
+
+// AveragePrecision computes AP: the mean of precision@k over the ranks k
+// where a positive appears. 0 when there are no positives.
+func AveragePrecision(items []ScoredLabel) float64 {
+	sorted := sortByScore(items)
+	var hits, sum float64
+	for i, it := range sorted {
+		if it.Label {
+			hits++
+			sum += hits / float64(i+1)
+		}
+	}
+	if hits == 0 {
+		return 0
+	}
+	return sum / hits
+}

@@ -1,0 +1,117 @@
+package classify
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAUCPerfect(t *testing.T) {
+	items := []ScoredLabel{
+		{0.9, true}, {0.8, true}, {0.3, false}, {0.1, false},
+	}
+	if got := AUC(items); got != 1 {
+		t.Errorf("perfect AUC = %v, want 1", got)
+	}
+}
+
+func TestAUCInverted(t *testing.T) {
+	items := []ScoredLabel{
+		{0.9, false}, {0.8, false}, {0.3, true}, {0.1, true},
+	}
+	if got := AUC(items); got != 0 {
+		t.Errorf("inverted AUC = %v, want 0", got)
+	}
+}
+
+func TestAUCTiesCountHalf(t *testing.T) {
+	items := []ScoredLabel{{0.5, true}, {0.5, false}}
+	if got := AUC(items); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("tied AUC = %v, want 0.5", got)
+	}
+}
+
+func TestAUCDegenerate(t *testing.T) {
+	if got := AUC(nil); got != 0.5 {
+		t.Errorf("empty AUC = %v", got)
+	}
+	if got := AUC([]ScoredLabel{{0.4, true}}); got != 0.5 {
+		t.Errorf("single-class AUC = %v", got)
+	}
+}
+
+// Property: AUC is invariant under any strictly monotone transform of the
+// scores.
+func TestAUCMonotoneInvariant(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		items := make([]ScoredLabel, 30)
+		for i := range items {
+			items[i] = ScoredLabel{Score: rng.Float64(), Label: rng.Intn(2) == 0}
+		}
+		transformed := make([]ScoredLabel, len(items))
+		for i, it := range items {
+			transformed[i] = ScoredLabel{Score: math.Exp(3 * it.Score), Label: it.Label}
+		}
+		return math.Abs(AUC(items)-AUC(transformed)) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPrecisionAtK(t *testing.T) {
+	items := []ScoredLabel{
+		{0.9, true}, {0.8, false}, {0.7, true}, {0.6, true}, {0.1, false},
+	}
+	if got := PrecisionAtK(items, 1); got != 1 {
+		t.Errorf("P@1 = %v", got)
+	}
+	if got := PrecisionAtK(items, 2); got != 0.5 {
+		t.Errorf("P@2 = %v", got)
+	}
+	if got := PrecisionAtK(items, 4); got != 0.75 {
+		t.Errorf("P@4 = %v", got)
+	}
+	if got := PrecisionAtK(items, 100); got != 3.0/5.0 {
+		t.Errorf("P@overflow = %v", got)
+	}
+	if got := PrecisionAtK(items, 0); got != 0 {
+		t.Errorf("P@0 = %v", got)
+	}
+	if got := PrecisionAtK(nil, 3); got != 0 {
+		t.Errorf("P@k empty = %v", got)
+	}
+}
+
+func TestAveragePrecision(t *testing.T) {
+	// Positives at ranks 1 and 3: AP = (1/1 + 2/3)/2 = 5/6.
+	items := []ScoredLabel{
+		{0.9, true}, {0.8, false}, {0.7, true}, {0.6, false},
+	}
+	if got := AveragePrecision(items); math.Abs(got-5.0/6.0) > 1e-12 {
+		t.Errorf("AP = %v, want 5/6", got)
+	}
+	if got := AveragePrecision([]ScoredLabel{{0.5, false}}); got != 0 {
+		t.Errorf("AP no positives = %v", got)
+	}
+}
+
+// Property: AUC and AP lie in [0,1]; P@k in [0,1].
+func TestRankingMeasureBounds(t *testing.T) {
+	f := func(seed int64, k uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		items := make([]ScoredLabel, 1+rng.Intn(50))
+		for i := range items {
+			items[i] = ScoredLabel{Score: rng.NormFloat64(), Label: rng.Intn(3) == 0}
+		}
+		auc := AUC(items)
+		ap := AveragePrecision(items)
+		pk := PrecisionAtK(items, int(k))
+		return auc >= 0 && auc <= 1 && ap >= 0 && ap <= 1 && pk >= 0 && pk <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,153 @@
+package classify
+
+import (
+	"math"
+	"math/rand"
+
+	"etap/internal/feature"
+)
+
+// SVMConfig configures Pegasos training of the linear SVM.
+type SVMConfig struct {
+	// Lambda is the regularization strength; 0 means 1e-4.
+	Lambda float64
+	// Epochs is the number of passes over the data; 0 means 10.
+	Epochs int
+	// Seed drives the example-sampling order, making training
+	// deterministic.
+	Seed int64
+}
+
+// SVM is a two-class linear support vector machine trained with the
+// Pegasos primal sub-gradient method. It is the alternative classifier
+// the paper cites via Joachims [7] for cases with sufficient pure
+// positive data.
+type SVM struct {
+	w    map[int]float64
+	bias float64
+	// Platt-style calibration parameters mapping margins to
+	// probabilities: p = sigmoid(a*margin + b).
+	a, b float64
+}
+
+// TrainSVM fits a linear SVM on examples.
+func TrainSVM(examples []Example, cfg SVMConfig) *SVM {
+	lambda := cfg.Lambda
+	if lambda == 0 {
+		lambda = 1e-4
+	}
+	epochs := cfg.Epochs
+	if epochs == 0 {
+		epochs = 10
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	s := &SVM{w: make(map[int]float64)}
+	if len(examples) == 0 {
+		s.a = 1
+		return s
+	}
+
+	t := 0
+	steps := epochs * len(examples)
+	for t < steps {
+		t++
+		ex := examples[rng.Intn(len(examples))]
+		y := -1.0
+		if ex.Label {
+			y = 1.0
+		}
+		eta := 1 / (lambda * float64(t))
+		margin := s.margin(ex.X)
+		// Sub-gradient step: shrink w, then add the hinge-loss term.
+		scale := 1 - eta*lambda
+		if scale < 0 {
+			scale = 0
+		}
+		for id := range s.w {
+			s.w[id] *= scale
+		}
+		s.bias *= scale
+		if y*margin < 1 {
+			for _, term := range ex.X {
+				s.w[term.ID] += eta * y * term.W
+			}
+			s.bias += eta * y * 0.1 // small bias learning rate
+		}
+	}
+
+	s.calibrate(examples)
+	return s
+}
+
+// margin returns w·x + b.
+func (s *SVM) margin(x feature.Vector) float64 {
+	m := s.bias
+	for _, t := range x {
+		m += s.w[t.ID] * t.W
+	}
+	return m
+}
+
+// calibrate fits a one-dimensional logistic map from margins to
+// probabilities on the training data (a light-weight Platt scaling: fixed
+// small number of Newton steps on the two-parameter sigmoid).
+func (s *SVM) calibrate(examples []Example) {
+	s.a, s.b = 1, 0
+	for iter := 0; iter < 50; iter++ {
+		var ga, gb, haa, hbb, hab float64
+		for _, ex := range examples {
+			m := s.margin(ex.X)
+			p := sigmoid(s.a*m + s.b)
+			y := 0.0
+			if ex.Label {
+				y = 1.0
+			}
+			d := p - y
+			ga += d * m
+			gb += d
+			w := p * (1 - p)
+			haa += w * m * m
+			hbb += w
+			hab += w * m
+		}
+		// Regularize the Hessian lightly for stability.
+		haa += 1e-6
+		hbb += 1e-6
+		det := haa*hbb - hab*hab
+		if math.Abs(det) < 1e-12 {
+			break
+		}
+		da := (ga*hbb - gb*hab) / det
+		db := (gb*haa - ga*hab) / det
+		s.a -= da
+		s.b -= db
+		if math.Abs(da)+math.Abs(db) < 1e-9 {
+			break
+		}
+	}
+	// A degenerate calibration (negative slope) would flip the decision;
+	// fall back to the raw margin in that case.
+	if s.a <= 0 {
+		s.a, s.b = 1, 0
+	}
+}
+
+// Prob returns the calibrated probability of the positive class.
+func (s *SVM) Prob(x feature.Vector) float64 {
+	return sigmoid(s.a*s.margin(x) + s.b)
+}
+
+// Margin exposes the raw decision value for callers that rank rather than
+// threshold.
+func (s *SVM) Margin(x feature.Vector) float64 { return s.margin(x) }
+
+func sigmoid(z float64) float64 {
+	if z > 700 {
+		return 1
+	}
+	if z < -700 {
+		return 0
+	}
+	return 1 / (1 + math.Exp(-z))
+}

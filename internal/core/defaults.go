@@ -1,0 +1,91 @@
+package core
+
+import (
+	"strings"
+
+	"etap/internal/corpus"
+	"etap/internal/htmlx"
+	"etap/internal/rank"
+	"etap/internal/train"
+	"etap/internal/web"
+)
+
+// DefaultDrivers returns the three sales drivers ETAP ships with
+// (Section 2), configured with the paper's smart queries and snippet
+// filters; revenue growth additionally carries the semantic-orientation
+// lexicon of Section 4.
+func DefaultDrivers() []SalesDriver {
+	specs := train.DefaultSpecs()
+	out := make([]SalesDriver, 0, len(corpus.Drivers))
+	for _, d := range corpus.Drivers {
+		spec := specs[d]
+		sd := SalesDriver{
+			ID:           string(d),
+			Title:        d.Title(),
+			SmartQueries: spec.SmartQueries,
+			Filter:       spec.Filter,
+		}
+		if d == corpus.RevenueGrowth {
+			sd.Orientation = rank.DefaultRevenueLexicon()
+		}
+		out = append(out, sd)
+	}
+	return out
+}
+
+// BuildWeb converts generated corpus documents into a frozen web with a
+// search index — the standard bridge between the synthetic corpus and the
+// pipeline.
+func BuildWeb(docs []corpus.Document) *web.Web {
+	w := web.New()
+	for _, d := range docs {
+		w.AddPage(web.Page{
+			URL:   d.URL,
+			Host:  d.Host,
+			Title: d.Title,
+			Text:  d.Text(),
+			Links: d.Links,
+		})
+	}
+	w.Freeze()
+	return w
+}
+
+// BuildWebFromHTML exercises the full gathering path a real deployment
+// takes: every document is rendered to the HTML a crawler would fetch,
+// then the page text, title and links are recovered with internal/htmlx.
+// The resulting web is behaviourally equivalent to BuildWeb's (same
+// sentences, same links), which TestBuildWebFromHTMLEquivalence asserts.
+func BuildWebFromHTML(docs []corpus.Document) *web.Web {
+	w := web.New()
+	for _, d := range docs {
+		html := corpus.RenderHTML(&d)
+		text := htmlx.ExtractText(html)
+		// The nav/header/footer blocks are page chrome, not article
+		// text; a production gatherer strips known chrome. Here chrome
+		// is exactly the first block (nav links) and the last ("Served
+		// by ..."), so trim them.
+		text = stripChrome(text, d.Title)
+		w.AddPage(web.Page{
+			URL:   d.URL,
+			Host:  d.Host,
+			Title: htmlx.Title(html),
+			Text:  text,
+			Links: htmlx.ExtractLinks(html),
+		})
+	}
+	w.Freeze()
+	return w
+}
+
+// stripChrome removes the navigation prefix (everything before the
+// repeated title heading) and the footer suffix from extracted text.
+func stripChrome(text, title string) string {
+	if i := strings.Index(text, title); i >= 0 {
+		text = text[i+len(title):]
+	}
+	if i := strings.LastIndex(text, "Served by "); i >= 0 {
+		text = text[:i]
+	}
+	return strings.TrimSpace(text)
+}

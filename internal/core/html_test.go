@@ -1,0 +1,103 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"etap/internal/corpus"
+	"etap/internal/textproc"
+)
+
+func TestBuildWebFromHTMLEquivalence(t *testing.T) {
+	docs := corpus.NewGenerator(corpus.Config{
+		Seed: 81, RelevantPerDriver: 15, BackgroundDocs: 40,
+		HardNegativePerDriver: 5, FamousEventDocs: 2,
+	}).World()
+
+	plain := BuildWeb(docs)
+	fromHTML := BuildWebFromHTML(docs)
+
+	if plain.Len() != fromHTML.Len() {
+		t.Fatalf("page counts differ: %d vs %d", plain.Len(), fromHTML.Len())
+	}
+	for _, d := range docs {
+		p1, _ := plain.Page(d.URL)
+		p2, ok := fromHTML.Page(d.URL)
+		if !ok {
+			t.Fatalf("%s missing from HTML web", d.URL)
+		}
+		// Same content after the round trip, modulo whitespace (HTML
+		// blocks become paragraph breaks — which can only *improve*
+		// sentence boundaries, e.g. after "... Quartzite Inc.").
+		n1 := strings.Join(strings.Fields(p1.Text), " ")
+		n2 := strings.Join(strings.Fields(p2.Text), " ")
+		if n1 != n2 {
+			t.Fatalf("%s content differs:\n plain: %q\n html:  %q", d.URL, n1, n2)
+		}
+		// And the HTML path never yields fewer sentences than plain.
+		if s1, s2 := textproc.SplitSentences(p1.Text), textproc.SplitSentences(p2.Text); len(s2) < len(s1) {
+			t.Fatalf("%s: HTML path lost sentences: %d vs %d", d.URL, len(s2), len(s1))
+		}
+		// Same links and title.
+		if len(p1.Links) != len(p2.Links) {
+			t.Fatalf("%s: link counts differ: %v vs %v", d.URL, p1.Links, p2.Links)
+		}
+		for i := range p1.Links {
+			if p1.Links[i] != p2.Links[i] {
+				t.Fatalf("%s: link %d differs", d.URL, i)
+			}
+		}
+		if p2.Title != p1.Title {
+			t.Fatalf("%s: title %q vs %q", d.URL, p2.Title, p1.Title)
+		}
+	}
+}
+
+func TestBuildWebFromHTMLPipelineSmoke(t *testing.T) {
+	gen := corpus.NewGenerator(corpus.Config{
+		Seed: 82, RelevantPerDriver: 40, BackgroundDocs: 120,
+		HardNegativePerDriver: 10, FamousEventDocs: 4,
+	})
+	docs := gen.World()
+	w := BuildWebFromHTML(docs)
+	sys := New(w, Config{Seed: 82, TopK: 60, NegativeCount: 600})
+	var spec SalesDriver
+	for _, sd := range DefaultDrivers() {
+		if sd.ID == string(corpus.ChangeInManagement) {
+			spec = sd
+		}
+	}
+	stats, err := sys.AddDriver(spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.NoisyPositives < 20 {
+		t.Fatalf("HTML path produced only %d noisy positives (%s)",
+			stats.NoisyPositives, stats.Generation)
+	}
+	pages := w.Search(`"new ceo"`, 30)
+	events, err := sys.ExtractEvents(string(corpus.ChangeInManagement), pages, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) == 0 {
+		t.Fatal("no events extracted over the HTML-built web")
+	}
+}
+
+func TestRenderHTMLEscapes(t *testing.T) {
+	doc := corpus.Document{
+		Title: "A & B <deal>",
+		Host:  "h.example.com",
+		Sentences: []corpus.Sentence{
+			{Text: "Revenue rose 5% & margins held."},
+		},
+	}
+	html := corpus.RenderHTML(&doc)
+	if strings.Contains(html, "<deal>") {
+		t.Error("title not escaped")
+	}
+	if !strings.Contains(html, "&amp;") {
+		t.Error("ampersand not escaped")
+	}
+}

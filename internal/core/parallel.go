@@ -1,0 +1,97 @@
+package core
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+
+	"etap/internal/feature"
+	"etap/internal/rank"
+	"etap/internal/snippet"
+	"etap/internal/web"
+)
+
+// ExtractEventsParallel is ExtractEvents with a worker pool: pages are
+// scored concurrently, which matters when ETAP processes a full crawl.
+// The result is identical to the sequential version — events arrive in
+// (page, snippet) order regardless of scheduling. workers <= 0 uses
+// GOMAXPROCS.
+func (s *System) ExtractEventsParallel(driverID string, pages []*web.Page, threshold float64, workers int) ([]rank.Event, error) {
+	td, ok := s.drivers[driverID]
+	if !ok {
+		return nil, ErrUnknownDriver
+	}
+	if threshold <= 0 {
+		threshold = 0.5
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(pages) {
+		workers = len(pages)
+	}
+	if workers <= 1 {
+		return s.ExtractEvents(driverID, pages, threshold)
+	}
+
+	type indexed struct {
+		page   int
+		events []rank.Event
+	}
+	jobs := make(chan int)
+	results := make(chan indexed, workers)
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			gen := snippet.Generator{N: s.cfg.SnippetN}
+			for pi := range jobs {
+				page := pages[pi]
+				var events []rank.Event
+				for _, sn := range gen.Split(page.URL, page.Text) {
+					units := s.ann.Annotate(sn.Text)
+					x := feature.Vectorize(td.vocab, feature.Extract(units, td.policy), false)
+					p := td.clf.Prob(x)
+					if p < threshold {
+						continue
+					}
+					ev := rank.Event{
+						SnippetID: sn.ID,
+						Text:      sn.Text,
+						Driver:    driverID,
+						Score:     p,
+						Company:   firstOrg(units),
+					}
+					if td.spec.Orientation != nil {
+						ev.Orientation = td.spec.Orientation.Score(sn.Text)
+					}
+					events = append(events, ev)
+				}
+				results <- indexed{page: pi, events: events}
+			}
+		}()
+	}
+	go func() {
+		for i := range pages {
+			jobs <- i
+		}
+		close(jobs)
+		wg.Wait()
+		close(results)
+	}()
+
+	collected := make([]indexed, 0, len(pages))
+	for r := range results {
+		if len(r.events) > 0 {
+			collected = append(collected, r)
+		}
+	}
+	sort.Slice(collected, func(i, j int) bool { return collected[i].page < collected[j].page })
+	var out []rank.Event
+	for _, c := range collected {
+		out = append(out, c.events...)
+	}
+	return out, nil
+}

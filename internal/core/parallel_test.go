@@ -1,0 +1,110 @@
+package core
+
+import (
+	"testing"
+
+	"etap/internal/corpus"
+	"etap/internal/web"
+)
+
+func TestExtractEventsParallelMatchesSequential(t *testing.T) {
+	f := newFixture(t, 41, Config{Seed: 41})
+	f.addDriver(t, corpus.ChangeInManagement, 15)
+	id := string(corpus.ChangeInManagement)
+
+	var pages []*web.Page
+	for _, d := range f.docs {
+		if p, ok := f.web.Page(d.URL); ok {
+			pages = append(pages, p)
+		}
+	}
+	seq, err := f.sys.ExtractEvents(id, pages, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 8} {
+		par, err := f.sys.ExtractEventsParallel(id, pages, 0.5, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(par) != len(seq) {
+			t.Fatalf("workers=%d: %d events vs %d sequential", workers, len(par), len(seq))
+		}
+		for i := range seq {
+			if par[i] != seq[i] {
+				t.Fatalf("workers=%d: event %d differs:\n par: %+v\n seq: %+v",
+					workers, i, par[i], seq[i])
+			}
+		}
+	}
+}
+
+func TestExtractEventsParallelSingleWorkerFallback(t *testing.T) {
+	f := newFixture(t, 42, Config{Seed: 42})
+	f.addDriver(t, corpus.MergersAcquisitions, 10)
+	id := string(corpus.MergersAcquisitions)
+	pages := f.web.Search("merger", 20)
+	par, err := f.sys.ExtractEventsParallel(id, pages, 0.5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, _ := f.sys.ExtractEvents(id, pages, 0.5)
+	if len(par) != len(seq) {
+		t.Fatalf("fallback differs: %d vs %d", len(par), len(seq))
+	}
+}
+
+func TestExtractEventsParallelUnknownDriver(t *testing.T) {
+	f := newFixture(t, 43, Config{Seed: 43})
+	if _, err := f.sys.ExtractEventsParallel("ghost", nil, 0.5, 4); err != ErrUnknownDriver {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestExtractEventsParallelEmptyPages(t *testing.T) {
+	f := newFixture(t, 44, Config{Seed: 44})
+	f.addDriver(t, corpus.ChangeInManagement, 5)
+	events, err := f.sys.ExtractEventsParallel(string(corpus.ChangeInManagement), nil, 0.5, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 0 {
+		t.Fatalf("events from no pages: %d", len(events))
+	}
+}
+
+func BenchmarkExtractEventsSequential(b *testing.B) {
+	f := newFixture(b, 45, Config{Seed: 45})
+	f.addDriver(b, corpus.ChangeInManagement, 10)
+	id := string(corpus.ChangeInManagement)
+	var pages []*web.Page
+	for _, d := range f.docs {
+		if p, ok := f.web.Page(d.URL); ok {
+			pages = append(pages, p)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.sys.ExtractEvents(id, pages, 0.5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExtractEventsParallel(b *testing.B) {
+	f := newFixture(b, 45, Config{Seed: 45})
+	f.addDriver(b, corpus.ChangeInManagement, 10)
+	id := string(corpus.ChangeInManagement)
+	var pages []*web.Page
+	for _, d := range f.docs {
+		if p, ok := f.web.Page(d.URL); ok {
+			pages = append(pages, p)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.sys.ExtractEventsParallel(id, pages, 0.5, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

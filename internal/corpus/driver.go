@@ -1,0 +1,41 @@
+// Package corpus generates the deterministic synthetic Web that stands in
+// for the live 2005 Web the paper crawled. It produces business-news
+// documents whose sentences carry ground-truth labels: trigger-event
+// sentences for each sales driver, misleading near-miss sentences (the
+// biography outliers the paper discusses for change in management),
+// business-neutral filler and generic noise, plus page boilerplate.
+//
+// The generator is seeded and fully reproducible. Template inventories are
+// split into a training pool (reachable via smart queries, Section 3.3.1)
+// and a held-out pool used to emit the "manually labeled" pure-positive
+// and test data, so that classifiers must generalize across phrasings.
+package corpus
+
+// Driver identifies a sales driver. ETAP "currently considers three sales
+// drivers, viz., mergers & acquisitions, change in management, and
+// revenue growth."
+type Driver string
+
+// The three sales drivers of the paper.
+const (
+	MergersAcquisitions Driver = "mergers-acquisitions"
+	ChangeInManagement  Driver = "change-in-management"
+	RevenueGrowth       Driver = "revenue-growth"
+)
+
+// Drivers lists the built-in sales drivers.
+var Drivers = []Driver{MergersAcquisitions, ChangeInManagement, RevenueGrowth}
+
+// Title returns the human-readable driver name used in the paper.
+func (d Driver) Title() string {
+	switch d {
+	case MergersAcquisitions:
+		return "Mergers & acquisitions"
+	case ChangeInManagement:
+		return "Change in management"
+	case RevenueGrowth:
+		return "Revenue growth"
+	default:
+		return string(d)
+	}
+}

@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"testing"
+
+	"etap/internal/corpus"
+)
+
+func TestAblationAbstraction(t *testing.T) {
+	env := Build(smallSetup(21))
+	res := AblationAbstraction(env, corpus.ChangeInManagement)
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	t.Logf("\n%s", res)
+	for _, r := range res.Rows {
+		if r.Measured.F1() <= 0 {
+			t.Errorf("%s produced zero F1", r.Name)
+		}
+	}
+}
+
+func TestAblationNoiseIterations(t *testing.T) {
+	env := Build(smallSetup(22))
+	res := AblationNoiseIterations(env, corpus.MergersAcquisitions)
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	t.Logf("\n%s", res)
+}
+
+func TestAblationNoiseStrategy(t *testing.T) {
+	env := Build(smallSetup(26))
+	res := AblationNoiseStrategy(env, corpus.ChangeInManagement)
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	t.Logf("\n%s", res)
+	for _, r := range res.Rows {
+		if r.Measured.F1() < 0.3 {
+			t.Errorf("%s collapsed: %v", r.Name, r.Measured)
+		}
+	}
+}
+
+func TestAblationClassifiers(t *testing.T) {
+	env := Build(smallSetup(23))
+	res := AblationClassifiers(env, corpus.ChangeInManagement)
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for _, r := range res.Rows {
+		if r.Measured.F1() < 0.2 {
+			t.Errorf("%s collapsed: %v", r.Name, r.Measured)
+		}
+	}
+	t.Logf("\n%s", res)
+}
+
+func TestAblationSnippetSize(t *testing.T) {
+	env := Build(smallSetup(24))
+	res := AblationSnippetSize(env, corpus.ChangeInManagement)
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	t.Logf("\n%s", res)
+}
+
+func TestAblationNERMissRateDegradesAttribution(t *testing.T) {
+	env := Build(smallSetup(25))
+	res := AblationNERMissRate(env, corpus.ChangeInManagement)
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	t.Logf("\n%s", res)
+	// The paper's conclusion: "wrong annotation of company and person
+	// names leads to incorrect trigger events". Attribution quality must
+	// fall as the recognizer misses more entities.
+	if res.Rows[2].Attributed >= res.Rows[0].Attributed {
+		t.Errorf("40%% NER misses did not hurt attribution: %.3f vs %.3f",
+			res.Rows[2].Attributed, res.Rows[0].Attributed)
+	}
+	if res.Rows[0].Events == 0 {
+		t.Error("no events extracted at zero miss rate")
+	}
+}

@@ -1,0 +1,160 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"etap/internal/corpus"
+	"etap/internal/feature"
+)
+
+// smallSetup keeps unit tests fast; bench_test.go at the repo root runs
+// the full-size configuration.
+func smallSetup(seed int64) Setup {
+	return Setup{
+		Seed:                  seed,
+		RelevantPerDriver:     60,
+		BackgroundDocs:        200,
+		HardNegativePerDriver: 20,
+		FamousEventDocs:       6,
+		TopK:                  80,
+		TrainNegatives:        1000,
+		PurePosTrain:          30,
+		TestPositivesMA:       40,
+		TestPositivesCIM:      40,
+		TestBackground:        600,
+	}
+}
+
+func TestTable1Shape(t *testing.T) {
+	// Full-size setup: the paper's ordering (M&A over CiM) is a
+	// full-scale property; small worlds are dominated by variance.
+	env := Build(Setup{Seed: 7})
+	res := Table1(env)
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	var ma, cim Table1Row
+	for _, r := range res.Rows {
+		switch r.Driver {
+		case corpus.MergersAcquisitions:
+			ma = r
+		case corpus.ChangeInManagement:
+			cim = r
+		}
+	}
+	t.Logf("\n%s", res)
+
+	// Shape assertions from the paper:
+	// both drivers work substantially better than chance,
+	if ma.Measured.F1() < 0.55 {
+		t.Errorf("M&A F1 = %.3f, want >= 0.55", ma.Measured.F1())
+	}
+	if cim.Measured.F1() < 0.5 {
+		t.Errorf("CiM F1 = %.3f, want >= 0.5", cim.Measured.F1())
+	}
+	// and M&A outperforms CiM (biography outliers).
+	if ma.Measured.F1() <= cim.Measured.F1() {
+		t.Errorf("M&A F1 (%.3f) should exceed CiM F1 (%.3f)",
+			ma.Measured.F1(), cim.Measured.F1())
+	}
+}
+
+func TestTable1Deterministic(t *testing.T) {
+	a := Table1(Build(smallSetup(2)))
+	b := Table1(Build(smallSetup(2)))
+	for i := range a.Rows {
+		if a.Rows[i].Measured != b.Rows[i].Measured {
+			t.Fatalf("row %d differs: %v vs %v", i, a.Rows[i].Measured, b.Rows[i].Measured)
+		}
+	}
+}
+
+func TestFigureRIGShape(t *testing.T) {
+	env := Build(smallSetup(3))
+	for _, d := range []corpus.Driver{corpus.MergersAcquisitions, corpus.ChangeInManagement} {
+		res := FigureRIG(env, d)
+		if len(res.Comparisons) == 0 {
+			t.Fatalf("%s: no comparisons", d)
+		}
+		byCat := map[string]feature.RIGComparison{}
+		for _, c := range res.Comparisons {
+			byCat[c.Category.String()] = c
+		}
+		// Paper observation 1: content POS (vb, nn, jj) keep IV.
+		for _, cat := range []string{"vb", "nn"} {
+			c := byCat[cat]
+			if c.IV <= c.PA {
+				t.Errorf("%s/%s: IV (%.4f) should beat PA (%.4f)", d, cat, c.IV, c.PA)
+			}
+		}
+		// Paper observation 2: ORG should prefer PA.
+		org := byCat["ORG"]
+		if org.PA <= org.IV {
+			t.Errorf("%s/ORG: PA (%.4f) should beat IV (%.4f)", d, org.PA, org.IV)
+		}
+		t.Logf("\n%s", res)
+	}
+}
+
+func TestFigures56Demo(t *testing.T) {
+	env := Build(smallSetup(4))
+	demo := Figures56(env)
+	if demo.TopHit == nil {
+		t.Fatal("no top hit for \"new ceo\"")
+	}
+	if len(demo.Positive) == 0 {
+		t.Error("no positive snippets on the top hit (Figure 5)")
+	}
+	if len(demo.Noise) == 0 {
+		t.Error("no noise snippets on the top hit (Figure 6)")
+	}
+	if !strings.Contains(strings.ToLower(demo.TopHit.Text), "new") {
+		t.Error("top hit does not mention the query")
+	}
+}
+
+func TestFigure7Ranking(t *testing.T) {
+	env := Build(smallSetup(5))
+	demo := Figure7(env, 20)
+	if len(demo.Events) == 0 {
+		t.Fatal("no ranked events")
+	}
+	for i := 1; i < len(demo.Events); i++ {
+		if demo.Events[i].Score > demo.Events[i-1].Score {
+			t.Fatalf("ranking not by descending score at %d", i)
+		}
+		if demo.Events[i].Rank != i+1 {
+			t.Fatalf("rank %d wrong", i)
+		}
+	}
+}
+
+func TestFigure8Ranking(t *testing.T) {
+	env := Build(smallSetup(6))
+	demo := Figure8(env, 20)
+	if len(demo.Events) == 0 {
+		t.Fatal("no ranked events")
+	}
+	nonZero := 0
+	for i := 1; i < len(demo.Events); i++ {
+		a := demo.Events[i-1].Orientation
+		b := demo.Events[i].Orientation
+		if absf(b) > absf(a) {
+			t.Fatalf("ranking not by descending |orientation| at %d", i)
+		}
+		if demo.Events[i].Orientation != 0 {
+			nonZero++
+		}
+	}
+	if nonZero == 0 {
+		t.Error("no orientation scores in the ranking")
+	}
+}
+
+func absf(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,177 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"etap/internal/annotate"
+	"etap/internal/corpus"
+	"etap/internal/feature"
+	"etap/internal/rank"
+	"etap/internal/snippet"
+	"etap/internal/train"
+	"etap/internal/web"
+)
+
+// FigureRIGResult is the data behind Figures 3 and 4: the PA-vs-IV
+// relative information gains of every abstraction category, computed on
+// the pure positive and negative classes of one driver.
+type FigureRIGResult struct {
+	Driver      corpus.Driver
+	Comparisons []feature.RIGComparison
+}
+
+// FigureRIG computes the Figure 3 (mergers & acquisitions) or Figure 4
+// (change in management) data: RIG for the PA and IV representations of
+// each abstraction category over pure-positive vs negative snippets.
+func FigureRIG(env *Env, d corpus.Driver) FigureRIGResult {
+	ann := annotate.New(nil)
+	var data []feature.Labeled
+	for _, p := range env.Gen.PurePositives(d, 150) {
+		data = append(data, feature.Labeled{Units: ann.Annotate(p.Text), Label: true})
+	}
+	for _, n := range env.Gen.BackgroundSnippets(300) {
+		data = append(data, feature.Labeled{Units: ann.Annotate(n.Text), Label: false})
+	}
+	return FigureRIGResult{
+		Driver:      d,
+		Comparisons: feature.CompareRIG(data, feature.AllCategories()),
+	}
+}
+
+// String renders the figure data as a table of log10 RIG values (the
+// paper's Y axis "corresponds to the logarithm of the relative
+// information gain"); categories that never occur print as "-".
+func (r FigureRIGResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Abstraction category RIG (log10), %s:\n", r.Driver.Title())
+	fmt.Fprintf(&b, "%-12s %12s %12s %10s\n", "category", "log10(PA)", "log10(IV)", "preferred")
+	for _, c := range r.Comparisons {
+		fmt.Fprintf(&b, "%-12s %12s %12s %10s\n",
+			c.Category, logStr(c.PA), logStr(c.IV), c.Preferred())
+	}
+	return b.String()
+}
+
+func logStr(v float64) string {
+	if v <= 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.2f", math.Log10(v))
+}
+
+// QueryDemo is the data behind Figures 5 and 6: the top hit for the
+// "new ceo" smart query, the valid trigger snippets on that page
+// (Figure 5) and the page's noise snippets the filter rejects (Figure 6).
+type QueryDemo struct {
+	Query    string
+	TopHit   *web.Page
+	Positive []string // snippets passing the entity filter
+	Noise    []string // snippets rejected by the filter
+}
+
+// Figures56 runs the paper's worked example: querying "new ceo" returns a
+// page holding both trigger events and noise sentences.
+func Figures56(env *Env) QueryDemo {
+	const query = `"new ceo"`
+	ann := annotate.New(nil)
+	spec := train.DefaultSpecs()[corpus.ChangeInManagement]
+	demo := QueryDemo{Query: query}
+
+	hits := env.Web.Search(query, 10)
+	if len(hits) == 0 {
+		return demo
+	}
+	gen := snippet.Generator{N: snippet.DefaultN}
+	split := func(p *web.Page) (pos, noise []string) {
+		for _, sn := range gen.Split(p.URL, p.Text) {
+			units := ann.Annotate(sn.Text)
+			if spec.Filter(units) {
+				pos = append(pos, sn.Text)
+			} else {
+				noise = append(noise, sn.Text)
+			}
+		}
+		return pos, noise
+	}
+	// Prefer a highly-ranked page that illustrates both sides, like the
+	// paper's Figures 5 and 6 (one page, triggers and noise together).
+	for _, h := range hits {
+		pos, noise := split(h)
+		if demo.TopHit == nil || (len(pos) > 0 && len(noise) > 0 && (len(demo.Positive) == 0 || len(demo.Noise) == 0)) {
+			demo.TopHit, demo.Positive, demo.Noise = h, pos, noise
+		}
+		if len(demo.Positive) > 0 && len(demo.Noise) > 0 {
+			break
+		}
+	}
+	return demo
+}
+
+// RankingDemo is the data behind Figures 7 and 8: a ranked list of
+// trigger events.
+type RankingDemo struct {
+	Driver corpus.Driver
+	Events []rank.Ranked
+}
+
+// Figure7 trains the change-in-management driver and ranks its extracted
+// trigger events by classification score, as in the paper's screenshot.
+func Figure7(env *Env, topK int) RankingDemo {
+	return rankingDemo(env, corpus.ChangeInManagement, topK, false)
+}
+
+// Figure8 trains the revenue-growth driver and ranks its extracted
+// trigger events by semantic-orientation score.
+func Figure8(env *Env, topK int) RankingDemo {
+	return rankingDemo(env, corpus.RevenueGrowth, topK, true)
+}
+
+func rankingDemo(env *Env, d corpus.Driver, topK int, byOrientation bool) RankingDemo {
+	sys := env.System(nil)
+	var pure []string
+	for _, p := range env.Gen.PurePositives(d, env.Setup.withDefaults().PurePosTrain) {
+		pure = append(pure, p.Text)
+	}
+	if _, err := sys.AddDriver(driverSpec(d), pure); err != nil {
+		panic(fmt.Sprintf("experiments: figure demo %s: %v", d, err))
+	}
+
+	var pages []*web.Page
+	for _, doc := range env.Docs {
+		if p, ok := env.Web.Page(doc.URL); ok {
+			pages = append(pages, p)
+		}
+	}
+	events, err := sys.ExtractEvents(string(d), pages, 0.5)
+	if err != nil {
+		panic(err)
+	}
+	var ranked []rank.Ranked
+	if byOrientation {
+		ranked = rank.ByOrientation(events)
+	} else {
+		ranked = rank.ByScore(events)
+	}
+	if topK > 0 && len(ranked) > topK {
+		ranked = ranked[:topK]
+	}
+	return RankingDemo{Driver: d, Events: ranked}
+}
+
+// String renders the ranking the way the ETAP screenshots do: rank,
+// score, company, snippet.
+func (r RankingDemo) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Ranked trigger events, %s:\n", r.Driver.Title())
+	for _, e := range r.Events {
+		text := e.Text
+		if len(text) > 100 {
+			text = text[:100] + "..."
+		}
+		fmt.Fprintf(&b, "%3d. [score %.3f, orient %+.1f] %-22s %s\n",
+			e.Rank, e.Score, e.Orientation, e.Company, text)
+	}
+	return b.String()
+}

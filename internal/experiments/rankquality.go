@@ -1,0 +1,124 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"etap/internal/classify"
+	"etap/internal/corpus"
+	"etap/internal/rank"
+	"etap/internal/web"
+)
+
+// RankingQualityResult measures how good the ranked trigger-event list
+// (the Figure 7 artifact) actually is against ground truth: the domain
+// specialist reads it top-down, so precision at the top matters most.
+type RankingQualityResult struct {
+	Driver      corpus.Driver
+	Events      int     // candidate snippets scored
+	Positives   int     // snippets with a true trigger event
+	PAt10       float64 // precision among the 10 highest ranked
+	PAt25       float64
+	AvgPrec     float64
+	AUC         float64
+	MRRTopValid float64 // fraction of top-10 companies (Eq. 2) with a true event
+}
+
+// RankingQuality trains driver d, scores every snippet of the world
+// (threshold 0 — the full ranked list), labels each against ground
+// truth, and computes ranked-retrieval measures plus the validity of the
+// Equation 2 company ranking.
+func RankingQuality(env *Env, d corpus.Driver) RankingQualityResult {
+	s := env.Setup
+	sys := env.System(nil)
+	var pure []string
+	for _, p := range env.Gen.PurePositives(d, s.PurePosTrain) {
+		pure = append(pure, p.Text)
+	}
+	if _, err := sys.AddDriver(driverSpec(d), pure); err != nil {
+		panic(fmt.Sprintf("experiments: ranking quality %s: %v", d, err))
+	}
+
+	byURL := map[string]*corpus.Document{}
+	var pages []*web.Page
+	for i := range env.Docs {
+		doc := &env.Docs[i]
+		byURL[doc.URL] = doc
+		if p, ok := env.Web.Page(doc.URL); ok {
+			pages = append(pages, p)
+		}
+	}
+
+	// Threshold just above zero: keep the entire scored list.
+	events, err := sys.ExtractEvents(string(d), pages, 1e-9)
+	if err != nil {
+		panic(err)
+	}
+
+	truth := func(ev rank.Event) bool {
+		url := ev.SnippetID[:strings.LastIndexByte(ev.SnippetID, '#')]
+		doc := byURL[url]
+		return doc != nil && doc.ContainsTrigger(ev.Text, d)
+	}
+
+	items := make([]classify.ScoredLabel, len(events))
+	positives := 0
+	for i, ev := range events {
+		label := truth(ev)
+		if label {
+			positives++
+		}
+		items[i] = classify.ScoredLabel{Score: ev.Score, Label: label}
+	}
+
+	// Company ranking validity: of the top-10 companies by MRR over the
+	// thresholded (0.5) list, how many have at least one true event?
+	companiesValid := 0.0
+	strong := make([]rank.Event, 0, len(events))
+	for _, ev := range events {
+		if ev.Score >= 0.5 {
+			strong = append(strong, ev)
+		}
+	}
+	ranked := rank.ByScore(strong)
+	trueCompanies := map[string]bool{}
+	for _, ev := range ranked {
+		if truth(ev.Event) {
+			for _, c := range byURL[ev.SnippetID[:strings.LastIndexByte(ev.SnippetID, '#')]].TriggerCompanies(ev.Text, d) {
+				trueCompanies[rank.Canonical(c)] = true
+			}
+		}
+	}
+	top := rank.CompanyMRR(ranked)
+	if len(top) > 10 {
+		top = top[:10]
+	}
+	if len(top) > 0 {
+		valid := 0
+		for _, c := range top {
+			if trueCompanies[rank.Canonical(c.Company)] {
+				valid++
+			}
+		}
+		companiesValid = float64(valid) / float64(len(top))
+	}
+
+	return RankingQualityResult{
+		Driver:      d,
+		Events:      len(events),
+		Positives:   positives,
+		PAt10:       classify.PrecisionAtK(items, 10),
+		PAt25:       classify.PrecisionAtK(items, 25),
+		AvgPrec:     classify.AveragePrecision(items),
+		AUC:         classify.AUC(items),
+		MRRTopValid: companiesValid,
+	}
+}
+
+// String renders the result.
+func (r RankingQualityResult) String() string {
+	return fmt.Sprintf(
+		"Ranking quality, %s: %d snippets (%d true), P@10=%.2f P@25=%.2f AP=%.3f AUC=%.3f, top-10 companies valid=%.0f%%",
+		r.Driver.Title(), r.Events, r.Positives, r.PAt10, r.PAt25,
+		r.AvgPrec, r.AUC, r.MRRTopValid*100)
+}

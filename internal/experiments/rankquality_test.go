@@ -1,0 +1,39 @@
+package experiments
+
+import (
+	"testing"
+
+	"etap/internal/corpus"
+)
+
+func TestRankingQuality(t *testing.T) {
+	env := Build(smallSetup(61))
+	for _, d := range []corpus.Driver{corpus.MergersAcquisitions, corpus.ChangeInManagement} {
+		res := RankingQuality(env, d)
+		t.Logf("%s", res)
+		if res.Events == 0 || res.Positives == 0 {
+			t.Fatalf("%s: empty result %+v", d, res)
+		}
+		// The ranked list must be strongly better than random: the
+		// specialist reads the top, and the top must be dense in true
+		// trigger events.
+		if res.PAt10 < 0.6 {
+			t.Errorf("%s: P@10 = %.2f, want >= 0.6", d, res.PAt10)
+		}
+		if res.AUC < 0.8 {
+			t.Errorf("%s: AUC = %.3f, want >= 0.8", d, res.AUC)
+		}
+		base := float64(res.Positives) / float64(res.Events)
+		if res.AvgPrec <= base {
+			t.Errorf("%s: AP %.3f not above the random baseline %.3f", d, res.AvgPrec, base)
+		}
+	}
+}
+
+func TestRankingQualityCompanyValidity(t *testing.T) {
+	env := Build(smallSetup(62))
+	res := RankingQuality(env, corpus.MergersAcquisitions)
+	if res.MRRTopValid < 0.5 {
+		t.Errorf("top-10 companies valid = %.2f, want >= 0.5 (%s)", res.MRRTopValid, res)
+	}
+}

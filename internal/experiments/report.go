@@ -1,0 +1,138 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"etap/internal/classify"
+	"etap/internal/corpus"
+)
+
+// Report runs the complete evaluation — Table 1, Figures 3-8, ranking
+// quality, and every ablation — and renders a self-contained markdown
+// document. cmd/experiments -md writes it to disk, so the measured
+// numbers behind EXPERIMENTS.md are regenerable from one command.
+func Report(env *Env) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# ETAP evaluation report (seed %d)\n\n", env.Setup.Seed)
+	fmt.Fprintf(&b, "World: %d documents; training: top-%d pages/query, %d train negatives, %d noise iterations, feature top-%d.\n\n",
+		len(env.Docs), env.Setup.TopK, env.Setup.TrainNegatives,
+		env.Setup.NoiseIterations, env.Setup.FeatureTopK)
+
+	// Table 1.
+	b.WriteString("## Table 1 — precision / recall / F1\n\n")
+	b.WriteString("| Sales driver | P | R | F1 | paper P | paper R | paper F1 |\n")
+	b.WriteString("|---|---|---|---|---|---|---|\n")
+	for _, row := range Table1(env).Rows {
+		fmt.Fprintf(&b, "| %s | %.3f | %.3f | %.3f | %.3f | %.3f | %.3f |\n",
+			row.Driver.Title(),
+			row.Measured.Precision(), row.Measured.Recall(), row.Measured.F1(),
+			row.PaperP, row.PaperR, row.PaperF1)
+	}
+	b.WriteString("\n")
+
+	// Figures 3-4.
+	for _, fig := range []struct {
+		title  string
+		driver corpus.Driver
+	}{
+		{"Figure 3 — RIG of PA vs IV (mergers & acquisitions)", corpus.MergersAcquisitions},
+		{"Figure 4 — RIG of PA vs IV (change in management)", corpus.ChangeInManagement},
+	} {
+		fmt.Fprintf(&b, "## %s\n\n", fig.title)
+		b.WriteString("| category | log10(PA) | log10(IV) | preferred |\n|---|---|---|---|\n")
+		for _, c := range FigureRIG(env, fig.driver).Comparisons {
+			fmt.Fprintf(&b, "| %s | %s | %s | %s |\n",
+				c.Category, logStr(c.PA), logStr(c.IV), c.Preferred())
+		}
+		b.WriteString("\n")
+	}
+
+	// Figures 5-6.
+	demo := Figures56(env)
+	b.WriteString("## Figures 5-6 — the \"new ceo\" smart query\n\n")
+	if demo.TopHit != nil {
+		fmt.Fprintf(&b, "Top hit: %s (`%s`)\n\n", demo.TopHit.Title, demo.TopHit.URL)
+	}
+	b.WriteString("Positive snippets (Figure 5):\n\n")
+	for _, s := range demo.Positive {
+		fmt.Fprintf(&b, "- %s\n", s)
+	}
+	b.WriteString("\nNoise rejected by the filter (Figure 6):\n\n")
+	for _, s := range demo.Noise {
+		fmt.Fprintf(&b, "- %s\n", s)
+	}
+	b.WriteString("\n")
+
+	// Figures 7-8.
+	for _, fig := range []struct {
+		title string
+		demo  RankingDemo
+	}{
+		{"Figure 7 — ranked by classification score", Figure7(env, 10)},
+		{"Figure 8 — ranked by semantic orientation", Figure8(env, 10)},
+	} {
+		fmt.Fprintf(&b, "## %s\n\n", fig.title)
+		b.WriteString("| rank | score | orientation | company | snippet |\n|---|---|---|---|---|\n")
+		for _, e := range fig.demo.Events {
+			text := e.Text
+			if len(text) > 90 {
+				text = text[:90] + "..."
+			}
+			fmt.Fprintf(&b, "| %d | %.3f | %+.1f | %s | %s |\n",
+				e.Rank, e.Score, e.Orientation, e.Company, text)
+		}
+		b.WriteString("\n")
+	}
+
+	// Ranking quality.
+	b.WriteString("## Ranking quality\n\n")
+	b.WriteString("| driver | snippets | true | P@10 | P@25 | AP | AUC | top-10 companies valid |\n")
+	b.WriteString("|---|---|---|---|---|---|---|---|\n")
+	for _, d := range corpus.Drivers {
+		r := RankingQuality(env, d)
+		fmt.Fprintf(&b, "| %s | %d | %d | %.2f | %.2f | %.3f | %.3f | %.0f%% |\n",
+			r.Driver.Title(), r.Events, r.Positives, r.PAt10, r.PAt25,
+			r.AvgPrec, r.AUC, r.MRRTopValid*100)
+	}
+	b.WriteString("\n")
+
+	// Threshold sweep.
+	b.WriteString("## Threshold sweep\n\n")
+	b.WriteString("| driver | P/R/F1 at 0.5 | best F1 point | interp. P@R>=0.7 |\n|---|---|---|---|\n")
+	for _, d := range []corpus.Driver{corpus.MergersAcquisitions, corpus.ChangeInManagement} {
+		sw := ThresholdSweep(env, d)
+		fmt.Fprintf(&b, "| %s | %.3f/%.3f/%.3f | F1=%.3f @ t=%.2f | %.3f |\n",
+			d.Title(), sw.At05.Precision(), sw.At05.Recall(), sw.At05.F1(),
+			sw.BestF1, sw.Best.Threshold,
+			classify.InterpolatedPrecisionAt(sw.Curve, 0.7))
+	}
+	b.WriteString("\n")
+
+	// Ablations.
+	b.WriteString("## Ablations\n\n")
+	for _, abl := range []AblationResult{
+		AblationAbstraction(env, corpus.ChangeInManagement),
+		AblationNoiseIterations(env, corpus.MergersAcquisitions),
+		AblationNoiseStrategy(env, corpus.ChangeInManagement),
+		AblationClassifiers(env, corpus.ChangeInManagement),
+		AblationSnippetSize(env, corpus.ChangeInManagement),
+	} {
+		fmt.Fprintf(&b, "### %s\n\n", abl.Dimension)
+		b.WriteString("| configuration | P | R | F1 |\n|---|---|---|---|\n")
+		for _, row := range abl.Rows {
+			fmt.Fprintf(&b, "| %s | %.3f | %.3f | %.3f |\n",
+				row.Name, row.Measured.Precision(), row.Measured.Recall(), row.Measured.F1())
+		}
+		b.WriteString("\n")
+	}
+	ner := AblationNERMissRate(env, corpus.ChangeInManagement)
+	b.WriteString("### NER miss rate\n\n")
+	b.WriteString("| miss rate | F1 | events | attributed |\n|---|---|---|---|\n")
+	for _, row := range ner.Rows {
+		fmt.Fprintf(&b, "| %s | %.3f | %d | %.1f%% |\n",
+			row.Name, row.Measured.F1(), row.Events, row.Attributed*100)
+	}
+	b.WriteString("\n")
+	return b.String()
+}

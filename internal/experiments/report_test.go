@@ -1,0 +1,40 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestReportContainsEverySection(t *testing.T) {
+	env := Build(smallSetup(71))
+	report := Report(env)
+	for _, section := range []string{
+		"## Table 1",
+		"## Figure 3",
+		"## Figure 4",
+		"## Figures 5-6",
+		"## Figure 7",
+		"## Figure 8",
+		"## Ranking quality",
+		"## Threshold sweep",
+		"## Ablations",
+		"### feature abstraction",
+		"### noise-elimination iterations",
+		"### noise-handling strategy",
+		"### classifier family",
+		"### snippet size n",
+		"### NER miss rate",
+	} {
+		if !strings.Contains(report, section) {
+			t.Errorf("report missing section %q", section)
+		}
+	}
+	// Paper reference numbers included for comparison.
+	if !strings.Contains(report, "0.744") || !strings.Contains(report, "0.715") {
+		t.Error("paper numbers absent from Table 1 section")
+	}
+	// Markdown tables are well formed (no stray empty header rows).
+	if strings.Contains(report, "||") {
+		t.Error("malformed markdown table")
+	}
+}

@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"etap/internal/classify"
+	"etap/internal/corpus"
+)
+
+// SweepResult captures the precision/recall trade-off of one driver's
+// classifier over the Table 1 test set, with notable operating points.
+type SweepResult struct {
+	Driver corpus.Driver
+	Curve  []classify.PRPoint
+	// At05 is the paper's operating point (threshold 0.5).
+	At05 classify.Metrics
+	// Best is the F1-optimal point along the curve.
+	Best   classify.PRPoint
+	BestF1 float64
+}
+
+// ThresholdSweep trains driver d with the standard protocol and sweeps
+// the decision threshold, exposing the whole precision/recall trade-off
+// rather than the single 0.5 point of Table 1.
+func ThresholdSweep(env *Env, d corpus.Driver) SweepResult {
+	s := env.Setup
+	sys := env.System(nil)
+	purePool := env.Gen.PurePositives(d, s.PurePosTrain+56)
+	var pureTexts []string
+	for _, p := range purePool[:s.PurePosTrain] {
+		pureTexts = append(pureTexts, p.Text)
+	}
+	if _, err := sys.AddDriver(driverSpec(d), pureTexts); err != nil {
+		panic(fmt.Sprintf("experiments: sweep %s: %v", d, err))
+	}
+
+	// Same per-driver composition as Table 1 (see evalProtocol).
+	nMislead := int(float64(s.TestBackground)*s.MisleadingShare) / 2
+	var neg []corpus.LabeledSnippet
+	neg = append(neg, env.Gen.MisleadingSnippets(d, nMislead)...)
+	neg = append(neg, env.Gen.BackgroundSnippets(s.TestBackground-nMislead)...)
+
+	var items []classify.ScoredLabel
+	var at05 classify.Metrics
+	score := func(text string, label bool) {
+		p, _ := sys.Score(string(d), text)
+		items = append(items, classify.ScoredLabel{Score: p, Label: label})
+		at05.Add(p >= 0.5, label)
+	}
+	for _, p := range purePool[s.PurePosTrain:] {
+		score(p.Text, true)
+	}
+	for _, n := range neg {
+		score(n.Text, false)
+	}
+
+	curve := classify.PRCurve(items)
+	best, bestF1 := classify.BestF1(curve)
+	return SweepResult{Driver: d, Curve: curve, At05: at05, Best: best, BestF1: bestF1}
+}
+
+// String renders a compact view: the 0.5 point, the best-F1 point, and
+// interpolated precision at standard recall levels.
+func (r SweepResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Threshold sweep, %s:\n", r.Driver.Title())
+	fmt.Fprintf(&b, "  at 0.5:   P=%.3f R=%.3f F1=%.3f\n",
+		r.At05.Precision(), r.At05.Recall(), r.At05.F1())
+	fmt.Fprintf(&b, "  best F1:  P=%.3f R=%.3f F1=%.3f at threshold %.3f\n",
+		r.Best.Precision, r.Best.Recall, r.BestF1, r.Best.Threshold)
+	for _, rec := range []float64{0.5, 0.7, 0.9} {
+		fmt.Fprintf(&b, "  interpolated P@R>=%.1f: %.3f\n",
+			rec, classify.InterpolatedPrecisionAt(r.Curve, rec))
+	}
+	return b.String()
+}

@@ -1,0 +1,33 @@
+package experiments
+
+import (
+	"testing"
+
+	"etap/internal/classify"
+	"etap/internal/corpus"
+)
+
+func TestThresholdSweep(t *testing.T) {
+	env := Build(smallSetup(91))
+	res := ThresholdSweep(env, corpus.ChangeInManagement)
+	t.Logf("\n%s", res)
+	if len(res.Curve) == 0 {
+		t.Fatal("empty curve")
+	}
+	if res.BestF1 < res.At05.F1()-1e-9 {
+		t.Errorf("best F1 (%.3f) below the 0.5 point (%.3f)", res.BestF1, res.At05.F1())
+	}
+	// High-precision operation must be available at moderate recall —
+	// the sales-team use case of reading only the surest leads.
+	if p := classify.InterpolatedPrecisionAt(res.Curve, 0.5); p < 0.6 {
+		t.Errorf("interpolated P@R>=0.5 = %.3f, want >= 0.6", p)
+	}
+}
+
+func TestThresholdSweepDeterministic(t *testing.T) {
+	a := ThresholdSweep(Build(smallSetup(92)), corpus.MergersAcquisitions)
+	b := ThresholdSweep(Build(smallSetup(92)), corpus.MergersAcquisitions)
+	if a.BestF1 != b.BestF1 || a.At05 != b.At05 {
+		t.Fatal("sweep not deterministic")
+	}
+}

@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"etap/internal/classify"
+	"etap/internal/core"
+	"etap/internal/corpus"
+)
+
+// PaperTable1 records the numbers the paper reports (Table 1: "Results
+// after two iterations, using naïve Bayes classifier for the two sales
+// drivers").
+var PaperTable1 = map[corpus.Driver]struct{ P, R, F1 float64 }{
+	corpus.MergersAcquisitions: {P: 0.744, R: 0.806, F1: 0.773},
+	corpus.ChangeInManagement:  {P: 0.656, R: 0.786, F1: 0.715},
+}
+
+// Table1Row is one measured row next to the paper's numbers.
+type Table1Row struct {
+	Driver   corpus.Driver
+	Measured classify.Metrics
+	PaperP   float64
+	PaperR   float64
+	PaperF1  float64
+	Training core.TrainingStats
+}
+
+// Table1Result is the full reproduction of Table 1.
+type Table1Result struct {
+	Rows []Table1Row
+}
+
+// Table1 reproduces the paper's headline experiment: for mergers &
+// acquisitions and change in management, train with noisy positives
+// (smart queries + filters), a pure-positive training portion, and shared
+// negatives, run two noise-elimination iterations of naïve Bayes, then
+// evaluate on a common test set of held-out pure positives plus
+// background snippets (including the misleading near-misses that drag
+// change in management down in the paper).
+func Table1(env *Env) Table1Result {
+	s := env.Setup
+	sys := env.System(nil)
+
+	testDrivers := []struct {
+		d     corpus.Driver
+		nTest int
+	}{
+		{corpus.MergersAcquisitions, s.TestPositivesMA},
+		{corpus.ChangeInManagement, s.TestPositivesCIM},
+	}
+
+	// Common negative test pool: background plus misleading near-misses
+	// for both drivers.
+	nMislead := int(float64(s.TestBackground) * s.MisleadingShare)
+	perDriver := nMislead / 2
+	var negTest []corpus.LabeledSnippet
+	negTest = append(negTest, env.Gen.MisleadingSnippets(corpus.MergersAcquisitions, perDriver)...)
+	negTest = append(negTest, env.Gen.MisleadingSnippets(corpus.ChangeInManagement, nMislead-perDriver)...)
+	negTest = append(negTest, env.Gen.BackgroundSnippets(s.TestBackground-nMislead)...)
+
+	var out Table1Result
+	for _, td := range testDrivers {
+		purePool := env.Gen.PurePositives(td.d, s.PurePosTrain+td.nTest)
+		pureTrain := purePool[:s.PurePosTrain]
+		pureTest := purePool[s.PurePosTrain:]
+
+		var pureTexts []string
+		for _, p := range pureTrain {
+			pureTexts = append(pureTexts, p.Text)
+		}
+		stats, err := sys.AddDriver(driverSpec(td.d), pureTexts)
+		if err != nil {
+			panic(fmt.Sprintf("experiments: table1 %s: %v", td.d, err))
+		}
+
+		var m classify.Metrics
+		for _, p := range pureTest {
+			score, _ := sys.Score(string(td.d), p.Text)
+			m.Add(score >= 0.5, true)
+		}
+		for _, n := range negTest {
+			score, _ := sys.Score(string(td.d), n.Text)
+			m.Add(score >= 0.5, false)
+		}
+		paper := PaperTable1[td.d]
+		out.Rows = append(out.Rows, Table1Row{
+			Driver:   td.d,
+			Measured: m,
+			PaperP:   paper.P,
+			PaperR:   paper.R,
+			PaperF1:  paper.F1,
+			Training: stats,
+		})
+	}
+	return out
+}
+
+// String renders the result in the paper's table layout, with the paper's
+// numbers alongside.
+func (r Table1Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-24s %9s %9s %9s   %s\n", "Sales driver", "Precision", "Recall", "F1", "(paper: P/R/F1)")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-24s %9.3f %9.3f %9.3f   (%.3f/%.3f/%.3f)\n",
+			row.Driver.Title(),
+			row.Measured.Precision(), row.Measured.Recall(), row.Measured.F1(),
+			row.PaperP, row.PaperR, row.PaperF1)
+	}
+	return b.String()
+}

@@ -1,0 +1,71 @@
+package feature
+
+import (
+	"testing"
+
+	"etap/internal/ner"
+	"etap/internal/pos"
+)
+
+func TestParseCategoryRoundTrip(t *testing.T) {
+	for _, c := range AllCategories() {
+		got := ParseCategory(c.String())
+		if got != c {
+			t.Errorf("ParseCategory(%q) = %+v, want %+v", c.String(), got, c)
+		}
+	}
+}
+
+func TestParseCategoryKinds(t *testing.T) {
+	if c := ParseCategory("ORG"); c.Entity != ner.ORG {
+		t.Errorf("ORG parsed as %+v", c)
+	}
+	if c := ParseCategory("vb"); c.POS != pos.TagVB {
+		t.Errorf("vb parsed as %+v", c)
+	}
+}
+
+func TestPolicyMarshalRoundTrip(t *testing.T) {
+	p := DefaultPolicy()
+	m := p.MarshalMap()
+	back := PolicyFromMap(m)
+	if len(back) != len(p) {
+		t.Fatalf("size mismatch: %d vs %d", len(back), len(p))
+	}
+	for c, rep := range p {
+		if back[c] != rep {
+			t.Errorf("%s: %v vs %v", c, back[c], rep)
+		}
+	}
+}
+
+func TestPolicyFromMapUnknownRep(t *testing.T) {
+	p := PolicyFromMap(map[string]string{"ORG": "bogus"})
+	if p[EntityCategory(ner.ORG)] != RepDrop {
+		t.Errorf("unknown rep should map to drop: %v", p)
+	}
+}
+
+func TestVocabNamesRoundTrip(t *testing.T) {
+	v := NewVocab()
+	for _, n := range []string{"w=alpha", "ENT=ORG", "w=beta"} {
+		v.ID(n)
+	}
+	rebuilt := VocabFromNames(v.Names())
+	if rebuilt.Size() != v.Size() {
+		t.Fatalf("sizes: %d vs %d", rebuilt.Size(), v.Size())
+	}
+	for _, n := range v.Names() {
+		a, _ := v.Lookup(n)
+		b, ok := rebuilt.Lookup(n)
+		if !ok || a != b {
+			t.Errorf("%q: id %d vs %d (ok=%v)", n, a, b, ok)
+		}
+	}
+}
+
+func TestRepresentationString(t *testing.T) {
+	if RepPA.String() != "PA" || RepIV.String() != "IV" || RepDrop.String() != "drop" {
+		t.Error("representation names wrong")
+	}
+}

@@ -1,0 +1,197 @@
+package feature
+
+import (
+	"math"
+
+	"etap/internal/annotate"
+)
+
+// Labeled pairs an annotated snippet with its class label (true =
+// positive for the sales driver, false = negative/background).
+type Labeled struct {
+	Units []annotate.Unit
+	Label bool
+}
+
+// rigSmoothing is the total pseudo-count mass added to each conditional
+// label distribution when estimating H(Y|X); the mass is distributed in
+// proportion to the class priors (shrinkage toward the prior). Without
+// smoothing, instance values that occur once have degenerate
+// (zero-entropy) conditionals and the IV representation would look
+// maximally informative for exactly the sparse categories the paper
+// abstracts away; shrinking singletons toward the prior drives their
+// contribution to H(Y|X) back to H(Y), reproducing the paper's
+// observation that entity categories favour PA while content POS favour
+// IV. ("There are millions of person names, company names, place names
+// ... across the Web" — the penalty stands in for that scale.)
+const rigSmoothing = 1.0
+
+// entropy computes H over a slice of counts.
+func entropy(counts []float64) float64 {
+	total := 0.0
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	h := 0.0
+	for _, c := range counts {
+		if c > 0 {
+			p := c / total
+			h -= p * math.Log2(p)
+		}
+	}
+	return h
+}
+
+// RIG computes the relative information gain (Equation 1)
+//
+//	RIG(Y|X) = (H(Y) - H(Y|X)) / H(Y)
+//
+// of the class variable Y given the abstraction variable X for the
+// requested representation. PA is estimated over snippets (X = presence
+// of the category); IV is estimated over category occurrences (X = the
+// instance value), with add-alpha smoothing of the conditionals.
+//
+// The result is 0 when H(Y) == 0 (degenerate label distribution) or when
+// the category never occurs.
+func RIG(data []Labeled, cat Category, rep Representation) float64 {
+	switch rep {
+	case RepPA:
+		return rigPA(data, cat)
+	case RepIV:
+		return rigIV(data, cat)
+	default:
+		return 0
+	}
+}
+
+func rigPA(data []Labeled, cat Category) float64 {
+	// Joint counts over snippets: label x presence.
+	var n [2][2]float64 // [presence][label]
+	for _, d := range data {
+		present := 0
+		for _, u := range d.Units {
+			if cat.Matches(u) {
+				present = 1
+				break
+			}
+		}
+		n[present][labelIndex(d.Label)]++
+	}
+	marg := []float64{n[0][0] + n[1][0], n[0][1] + n[1][1]}
+	hy := entropy(marg)
+	if hy == 0 {
+		return 0
+	}
+	total := marg[0] + marg[1]
+	// Smooth each conditional toward the class prior (see rigSmoothing).
+	p0, p1 := marg[0]/total, marg[1]/total
+	hyx := 0.0
+	for x := 0; x < 2; x++ {
+		nx := n[x][0] + n[x][1]
+		if nx == 0 {
+			continue
+		}
+		hyx += nx / total * entropy([]float64{
+			n[x][0] + 2*rigSmoothing*p0, n[x][1] + 2*rigSmoothing*p1,
+		})
+	}
+	rig := (hy - hyx) / hy
+	if rig < 0 {
+		rig = 0
+	}
+	return rig
+}
+
+func rigIV(data []Labeled, cat Category) float64 {
+	// Observations are category occurrences; X is the instance value.
+	counts := map[string][2]float64{}
+	var totals [2]float64
+	for _, d := range data {
+		li := labelIndex(d.Label)
+		for _, u := range d.Units {
+			if inst, ok := cat.Instance(u); ok {
+				c := counts[inst]
+				c[li]++
+				counts[inst] = c
+				totals[li]++
+			}
+		}
+	}
+	total := totals[0] + totals[1]
+	if total == 0 {
+		return 0
+	}
+	hy := entropy([]float64{totals[0], totals[1]})
+	if hy == 0 {
+		return 0
+	}
+	p0, p1 := totals[0]/total, totals[1]/total
+	hyx := 0.0
+	for _, c := range counts {
+		nv := c[0] + c[1]
+		hyx += nv / total * entropy([]float64{
+			c[0] + 2*rigSmoothing*p0, c[1] + 2*rigSmoothing*p1,
+		})
+	}
+	rig := (hy - hyx) / hy
+	if rig < 0 {
+		rig = 0
+	}
+	return rig
+}
+
+func labelIndex(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// RIGComparison holds the PA and IV relative information gains of one
+// abstraction category — one bar pair in Figures 3 and 4.
+type RIGComparison struct {
+	Category Category
+	PA       float64
+	IV       float64
+}
+
+// Preferred returns the representation with the higher RIG, implementing
+// the paper's "novel technique that helps in identifying the right level
+// of abstraction". Categories that never occur are dropped.
+func (r RIGComparison) Preferred() Representation {
+	if r.PA == 0 && r.IV == 0 {
+		return RepDrop
+	}
+	if r.PA >= r.IV {
+		return RepPA
+	}
+	return RepIV
+}
+
+// CompareRIG computes the PA-vs-IV comparison for every category, in
+// order — the data series behind Figures 3 and 4.
+func CompareRIG(data []Labeled, cats []Category) []RIGComparison {
+	out := make([]RIGComparison, len(cats))
+	for i, c := range cats {
+		out[i] = RIGComparison{
+			Category: c,
+			PA:       RIG(data, c, RepPA),
+			IV:       RIG(data, c, RepIV),
+		}
+	}
+	return out
+}
+
+// ChoosePolicy derives an abstraction policy from labeled data by picking,
+// for each category, the representation with the higher relative
+// information gain.
+func ChoosePolicy(data []Labeled, cats []Category) Policy {
+	p := make(Policy, len(cats))
+	for _, cmp := range CompareRIG(data, cats) {
+		p[cmp.Category] = cmp.Preferred()
+	}
+	return p
+}

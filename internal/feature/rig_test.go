@@ -1,0 +1,213 @@
+package feature
+
+import (
+	"math"
+	"testing"
+
+	"etap/internal/annotate"
+	"etap/internal/ner"
+	"etap/internal/pos"
+)
+
+// mkUnits builds annotated units from shorthand: "ORG:ibm" is an entity,
+// "vb:acquired" a POS word.
+func mkUnits(specs ...string) []annotate.Unit {
+	var out []annotate.Unit
+	for _, s := range specs {
+		for i := 0; i < len(s); i++ {
+			if s[i] == ':' {
+				kind, text := s[:i], s[i+1:]
+				if kind == strings_ToUpper(kind) {
+					out = append(out, annotate.Unit{Text: text, Entity: ner.Category(kind)})
+				} else {
+					out = append(out, annotate.Unit{Text: text, POS: pos.Tag(kind)})
+				}
+				break
+			}
+		}
+	}
+	return out
+}
+
+func strings_ToUpper(s string) string {
+	b := []byte(s)
+	for i := range b {
+		if b[i] >= 'a' && b[i] <= 'z' {
+			b[i] -= 32
+		}
+	}
+	return string(b)
+}
+
+func TestEntropy(t *testing.T) {
+	if got := entropy([]float64{1, 1}); math.Abs(got-1) > 1e-12 {
+		t.Errorf("H(1/2,1/2) = %v, want 1", got)
+	}
+	if got := entropy([]float64{4, 0}); got != 0 {
+		t.Errorf("H(1,0) = %v, want 0", got)
+	}
+	if got := entropy([]float64{}); got != 0 {
+		t.Errorf("H() = %v, want 0", got)
+	}
+}
+
+// A category that is present in every positive and absent from every
+// negative should have high PA RIG.
+func TestRIGPADiscriminativePresence(t *testing.T) {
+	var data []Labeled
+	for i := 0; i < 50; i++ {
+		data = append(data, Labeled{Units: mkUnits("DESIG:CEO", "vb:said"), Label: true})
+		data = append(data, Labeled{Units: mkUnits("vb:said"), Label: false})
+	}
+	rig := RIG(data, EntityCategory(ner.DESIG), RepPA)
+	if rig < 0.8 {
+		t.Errorf("PA RIG = %v, want > 0.8 for perfectly discriminative presence", rig)
+	}
+}
+
+// A category present everywhere (like verbs) should have near-zero PA RIG.
+func TestRIGPAUbiquitousCategory(t *testing.T) {
+	var data []Labeled
+	for i := 0; i < 50; i++ {
+		data = append(data, Labeled{Units: mkUnits("vb:acquired"), Label: true})
+		data = append(data, Labeled{Units: mkUnits("vb:walked"), Label: false})
+	}
+	rig := RIG(data, POSCategory(pos.TagVB), RepPA)
+	if rig > 0.05 {
+		t.Errorf("PA RIG = %v, want ~0 when category occurs in every snippet", rig)
+	}
+}
+
+// The same data has high IV RIG: the verb identity separates the classes.
+func TestRIGIVDiscriminativeInstances(t *testing.T) {
+	var data []Labeled
+	for i := 0; i < 50; i++ {
+		data = append(data, Labeled{Units: mkUnits("vb:acquired"), Label: true})
+		data = append(data, Labeled{Units: mkUnits("vb:walked"), Label: false})
+	}
+	rig := RIG(data, POSCategory(pos.TagVB), RepIV)
+	if rig < 0.5 {
+		t.Errorf("IV RIG = %v, want high for discriminative verb instances", rig)
+	}
+}
+
+// Sparse instances (every org name unique) must yield low IV RIG thanks
+// to smoothing — this is the data-sparsity phenomenon that motivates
+// abstraction.
+func TestRIGIVSparseInstancesPenalized(t *testing.T) {
+	var data []Labeled
+	for i := 0; i < 40; i++ {
+		org := "org" + string(rune('a'+i%26)) + string(rune('a'+i/26))
+		data = append(data, Labeled{Units: mkUnits("ORG:" + org), Label: i%2 == 0})
+	}
+	iv := RIG(data, EntityCategory(ner.ORG), RepIV)
+	if iv > 0.3 {
+		t.Errorf("IV RIG = %v, want small for singleton instances", iv)
+	}
+}
+
+// Paper's headline observation: for entity categories appearing mostly in
+// positives, PA beats IV; for shared discriminative verbs, IV beats PA.
+func TestRIGPaperShape(t *testing.T) {
+	var data []Labeled
+	for i := 0; i < 60; i++ {
+		units := mkUnits(
+			"ORG:company"+string(rune('a'+i%30)), // sparse org names, mostly positive docs
+			"vb:acquired",                        // shared driver verb
+			"nn:deal",
+		)
+		data = append(data, Labeled{Units: units, Label: true})
+		data = append(data, Labeled{Units: mkUnits("vb:walked", "nn:weather"), Label: false})
+	}
+	org := RIGComparison{
+		Category: EntityCategory(ner.ORG),
+		PA:       RIG(data, EntityCategory(ner.ORG), RepPA),
+		IV:       RIG(data, EntityCategory(ner.ORG), RepIV),
+	}
+	vb := RIGComparison{
+		Category: POSCategory(pos.TagVB),
+		PA:       RIG(data, POSCategory(pos.TagVB), RepPA),
+		IV:       RIG(data, POSCategory(pos.TagVB), RepIV),
+	}
+	if org.PA <= org.IV {
+		t.Errorf("ORG: PA (%v) should exceed IV (%v)", org.PA, org.IV)
+	}
+	if vb.IV <= vb.PA {
+		t.Errorf("vb: IV (%v) should exceed PA (%v)", vb.IV, vb.PA)
+	}
+	if org.Preferred() != RepPA {
+		t.Errorf("ORG preferred = %v, want PA", org.Preferred())
+	}
+	if vb.Preferred() != RepIV {
+		t.Errorf("vb preferred = %v, want IV", vb.Preferred())
+	}
+}
+
+func TestRIGDegenerateCases(t *testing.T) {
+	// All same label: H(Y)=0, RIG must be 0 not NaN.
+	data := []Labeled{
+		{Units: mkUnits("ORG:ibm"), Label: true},
+		{Units: mkUnits("ORG:sun"), Label: true},
+	}
+	for _, rep := range []Representation{RepPA, RepIV} {
+		if got := RIG(data, EntityCategory(ner.ORG), rep); got != 0 || math.IsNaN(got) {
+			t.Errorf("degenerate labels, %v: got %v, want 0", rep, got)
+		}
+	}
+	// Category never occurs.
+	if got := RIG(data, EntityCategory(ner.PROD), RepIV); got != 0 {
+		t.Errorf("absent category IV RIG = %v, want 0", got)
+	}
+	// Empty data.
+	if got := RIG(nil, EntityCategory(ner.ORG), RepPA); got != 0 {
+		t.Errorf("empty data RIG = %v, want 0", got)
+	}
+}
+
+func TestRIGBounds(t *testing.T) {
+	var data []Labeled
+	for i := 0; i < 30; i++ {
+		data = append(data, Labeled{Units: mkUnits("DESIG:CEO", "vb:hired"), Label: i%3 == 0})
+	}
+	for _, c := range AllCategories() {
+		for _, rep := range []Representation{RepPA, RepIV} {
+			got := RIG(data, c, rep)
+			if got < 0 || got > 1 || math.IsNaN(got) {
+				t.Errorf("RIG(%v,%v) = %v out of [0,1]", c, rep, got)
+			}
+		}
+	}
+}
+
+func TestChoosePolicy(t *testing.T) {
+	var data []Labeled
+	for i := 0; i < 60; i++ {
+		data = append(data, Labeled{
+			Units: mkUnits("ORG:co"+string(rune('a'+i%30)), "vb:acquired"),
+			Label: true,
+		})
+		data = append(data, Labeled{Units: mkUnits("vb:walked"), Label: false})
+	}
+	p := ChoosePolicy(data, []Category{EntityCategory(ner.ORG), POSCategory(pos.TagVB), EntityCategory(ner.PROD)})
+	if p[EntityCategory(ner.ORG)] != RepPA {
+		t.Errorf("ORG policy = %v, want PA", p[EntityCategory(ner.ORG)])
+	}
+	if p[POSCategory(pos.TagVB)] != RepIV {
+		t.Errorf("vb policy = %v, want IV", p[POSCategory(pos.TagVB)])
+	}
+	if p[EntityCategory(ner.PROD)] != RepDrop {
+		t.Errorf("PROD policy = %v, want drop (never occurs)", p[EntityCategory(ner.PROD)])
+	}
+}
+
+func TestCompareRIGOrder(t *testing.T) {
+	data := []Labeled{
+		{Units: mkUnits("ORG:ibm", "vb:acquired"), Label: true},
+		{Units: mkUnits("nn:weather"), Label: false},
+	}
+	cats := []Category{EntityCategory(ner.ORG), POSCategory(pos.TagVB)}
+	got := CompareRIG(data, cats)
+	if len(got) != 2 || got[0].Category != cats[0] || got[1].Category != cats[1] {
+		t.Fatalf("CompareRIG order mismatch: %+v", got)
+	}
+}

@@ -1,0 +1,121 @@
+package feature
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestVocabInterning(t *testing.T) {
+	v := NewVocab()
+	a := v.ID("alpha")
+	b := v.ID("beta")
+	if a == b {
+		t.Fatal("distinct features share an id")
+	}
+	if again := v.ID("alpha"); again != a {
+		t.Errorf("re-interning changed id: %d vs %d", again, a)
+	}
+	if v.Size() != 2 {
+		t.Errorf("size = %d, want 2", v.Size())
+	}
+	if v.Name(a) != "alpha" || v.Name(b) != "beta" {
+		t.Errorf("name round trip failed")
+	}
+	if _, ok := v.Lookup("gamma"); ok {
+		t.Error("lookup invented a feature")
+	}
+}
+
+func TestVectorizeCountsAndSorts(t *testing.T) {
+	v := NewVocab()
+	vec := Vectorize(v, []string{"b", "a", "b", "c", "b"}, true)
+	if len(vec) != 3 {
+		t.Fatalf("len = %d, want 3", len(vec))
+	}
+	for i := 1; i < len(vec); i++ {
+		if vec[i].ID <= vec[i-1].ID {
+			t.Fatalf("not sorted: %+v", vec)
+		}
+	}
+	id, _ := v.Lookup("b")
+	for _, term := range vec {
+		if term.ID == id && term.W != 3 {
+			t.Errorf("count(b) = %v, want 3", term.W)
+		}
+	}
+}
+
+func TestVectorizeNoGrowSkipsUnknown(t *testing.T) {
+	v := NewVocab()
+	v.ID("known")
+	vec := Vectorize(v, []string{"known", "unknown"}, false)
+	if len(vec) != 1 {
+		t.Fatalf("got %+v, want only known feature", vec)
+	}
+	if v.Size() != 1 {
+		t.Errorf("no-grow mutated vocab: size %d", v.Size())
+	}
+}
+
+func TestDotProduct(t *testing.T) {
+	x := Vector{{0, 1}, {2, 2}, {5, 3}}
+	y := Vector{{1, 4}, {2, 5}, {5, 1}}
+	if got := x.Dot(y); got != 2*5+3*1 {
+		t.Errorf("dot = %v, want 13", got)
+	}
+	if got := x.Dot(nil); got != 0 {
+		t.Errorf("dot with empty = %v", got)
+	}
+}
+
+func TestL2Norm(t *testing.T) {
+	x := Vector{{0, 3}, {1, 4}}
+	if got := x.L2Norm(); math.Abs(got-5) > 1e-12 {
+		t.Errorf("norm = %v, want 5", got)
+	}
+}
+
+func TestScale(t *testing.T) {
+	x := Vector{{0, 1}, {1, 2}}
+	y := x.Scale(2.5)
+	if y[0].W != 2.5 || y[1].W != 5 {
+		t.Errorf("scale: %+v", y)
+	}
+	if x[0].W != 1 {
+		t.Error("scale mutated the receiver")
+	}
+}
+
+// Property: dot product is symmetric and ||x||^2 == x.Dot(x).
+func TestVectorProperties(t *testing.T) {
+	f := func(ids []uint8, ws []int8) bool {
+		v := NewVocab()
+		var feats []string
+		for i := range ids {
+			reps := 1
+			if len(ws) > 0 {
+				reps = int(ws[i%len(ws)]) % 4
+				if reps < 0 {
+					reps = -reps
+				}
+			}
+			for r := 0; r <= reps; r++ {
+				feats = append(feats, string(rune('a'+ids[i]%26)))
+			}
+		}
+		x := Vectorize(v, feats, true)
+		n := x.L2Norm()
+		return math.Abs(n*n-x.Dot(x)) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,221 @@
+package gather
+
+import (
+	"fmt"
+	"testing"
+
+	"etap/internal/corpus"
+	"etap/internal/web"
+)
+
+// chainWeb builds a small hand-wired web: seed -> biz pages -> noise.
+func chainWeb() *web.Web {
+	w := web.New()
+	w.AddPage(web.Page{URL: "u:seed", Text: "business news portal with merger coverage",
+		Links: []string{"u:biz1", "u:noise1"}})
+	w.AddPage(web.Page{URL: "u:biz1", Text: "Acme merger with Widget announced in a large deal",
+		Links: []string{"u:biz2"}})
+	w.AddPage(web.Page{URL: "u:biz2", Text: "The acquisition deal closed and the merger completed",
+		Links: []string{"u:deep"}})
+	w.AddPage(web.Page{URL: "u:noise1", Text: "The weather was pleasant and the park opened",
+		Links: []string{"u:noise2"}})
+	w.AddPage(web.Page{URL: "u:noise2", Text: "A recipe for summer salads with fresh herbs",
+		Links: []string{}})
+	w.AddPage(web.Page{URL: "u:deep", Text: "merger merger merger analysis in depth", Links: nil})
+	return w
+}
+
+func urls(pages []*web.Page) []string {
+	out := make([]string, len(pages))
+	for i, p := range pages {
+		out[i] = p.URL
+	}
+	return out
+}
+
+func TestCrawlVisitsReachablePages(t *testing.T) {
+	w := chainWeb()
+	res := Crawl(w, CrawlConfig{Seeds: []string{"u:seed"}})
+	if len(res.Pages) != 6 {
+		t.Fatalf("visited %v, want all 6", urls(res.Pages))
+	}
+}
+
+func TestCrawlMaxPages(t *testing.T) {
+	w := chainWeb()
+	res := Crawl(w, CrawlConfig{Seeds: []string{"u:seed"}, MaxPages: 3})
+	if len(res.Pages) != 3 {
+		t.Fatalf("got %d pages, want 3", len(res.Pages))
+	}
+}
+
+func TestCrawlMaxDepth(t *testing.T) {
+	w := chainWeb()
+	res := Crawl(w, CrawlConfig{Seeds: []string{"u:seed"}, MaxDepth: 1})
+	// Depth 0 = seed, depth 1 = biz1, noise1. deep pages unreachable.
+	if len(res.Pages) != 3 {
+		t.Fatalf("depth-1 crawl got %v", urls(res.Pages))
+	}
+}
+
+func TestFocusedCrawlPrioritizesTopic(t *testing.T) {
+	w := chainWeb()
+	res := Crawl(w, CrawlConfig{
+		Seeds: []string{"u:seed"},
+		Topic: []string{"merger", "acquisition", "deal"},
+	})
+	// The merger chain should be fetched before the noise chain.
+	pos := map[string]int{}
+	for i, u := range urls(res.Pages) {
+		pos[u] = i
+	}
+	if pos["u:biz1"] > pos["u:noise2"] {
+		t.Fatalf("focused crawl order wrong: %v", urls(res.Pages))
+	}
+}
+
+func TestFocusedCrawlPrunesIrrelevant(t *testing.T) {
+	w := chainWeb()
+	res := Crawl(w, CrawlConfig{
+		Seeds:        []string{"u:seed"},
+		Topic:        []string{"merger", "acquisition", "deal"},
+		MinRelevance: 0.3,
+	})
+	for _, u := range urls(res.Pages) {
+		if u == "u:noise2" {
+			t.Fatalf("crawl expanded an irrelevant page: %v", urls(res.Pages))
+		}
+	}
+}
+
+func TestCrawlDeduplicatesContent(t *testing.T) {
+	w := web.New()
+	w.AddPage(web.Page{URL: "u:a", Text: "identical content here", Links: []string{"u:b"}})
+	w.AddPage(web.Page{URL: "u:b", Text: "Identical   CONTENT here", Links: nil})
+	res := Crawl(w, CrawlConfig{Seeds: []string{"u:a"}})
+	if len(res.Pages) != 1 || res.Duplicates != 1 {
+		t.Fatalf("dedup failed: pages=%v dups=%d", urls(res.Pages), res.Duplicates)
+	}
+}
+
+func TestCrawlDeterministic(t *testing.T) {
+	docs := corpus.NewGenerator(corpus.Config{Seed: 3, RelevantPerDriver: 10, BackgroundDocs: 30, HardNegativePerDriver: 3}).World()
+	w := web.New()
+	for _, d := range docs {
+		w.AddPage(web.Page{URL: d.URL, Host: d.Host, Title: d.Title, Text: d.Text(), Links: d.Links})
+	}
+	cfg := CrawlConfig{Seeds: []string{docs[0].URL}, Topic: []string{"merger", "revenue", "ceo"}}
+	a := Crawl(w, cfg)
+	b := Crawl(w, cfg)
+	if fmt.Sprint(urls(a.Pages)) != fmt.Sprint(urls(b.Pages)) {
+		t.Fatal("crawl order not deterministic")
+	}
+}
+
+func TestCrawlBadSeed(t *testing.T) {
+	w := chainWeb()
+	res := Crawl(w, CrawlConfig{Seeds: []string{"u:missing"}})
+	if len(res.Pages) != 0 {
+		t.Fatalf("pages from missing seed: %v", urls(res.Pages))
+	}
+}
+
+func TestCrawlHandlesCycles(t *testing.T) {
+	w := web.New()
+	w.AddPage(web.Page{URL: "u:a", Text: "alpha page", Links: []string{"u:b", "u:a"}})
+	w.AddPage(web.Page{URL: "u:b", Text: "beta page", Links: []string{"u:a", "u:c"}})
+	w.AddPage(web.Page{URL: "u:c", Text: "gamma page", Links: []string{"u:b"}})
+	res := Crawl(w, CrawlConfig{Seeds: []string{"u:a"}})
+	if len(res.Pages) != 3 {
+		t.Fatalf("cyclic graph crawl = %v", urls(res.Pages))
+	}
+}
+
+func TestCrawlBrokenLinks(t *testing.T) {
+	w := web.New()
+	w.AddPage(web.Page{URL: "u:a", Text: "alpha page", Links: []string{"u:missing", "u:b"}})
+	w.AddPage(web.Page{URL: "u:b", Text: "beta page"})
+	res := Crawl(w, CrawlConfig{Seeds: []string{"u:a"}})
+	if len(res.Pages) != 2 {
+		t.Fatalf("broken link crawl = %v", urls(res.Pages))
+	}
+}
+
+func TestCrawlMultipleSeedsNoDoubleVisit(t *testing.T) {
+	w := chainWeb()
+	res := Crawl(w, CrawlConfig{Seeds: []string{"u:seed", "u:biz1", "u:seed"}})
+	seen := map[string]bool{}
+	for _, u := range urls(res.Pages) {
+		if seen[u] {
+			t.Fatalf("page visited twice: %s", u)
+		}
+		seen[u] = true
+	}
+}
+
+func TestCollectMergesAndDedups(t *testing.T) {
+	p1 := &web.Page{URL: "u:1", Text: "alpha"}
+	p2 := &web.Page{URL: "u:2", Text: "beta"}
+	p2b := &web.Page{URL: "u:2", Text: "beta changed"}
+	p3 := &web.Page{URL: "u:3", Text: "ALPHA"} // content dup of p1
+	got := Collect(
+		StaticSource{SourceName: "db", Pages: []*web.Page{p1, p2}},
+		StaticSource{SourceName: "crawl", Pages: []*web.Page{p2b, p3}},
+	)
+	if len(got) != 2 || got[0].URL != "u:1" || got[1].URL != "u:2" {
+		t.Fatalf("collect = %v", urls(got))
+	}
+}
+
+func TestCrawlSourceAdapter(t *testing.T) {
+	w := chainWeb()
+	res := Crawl(w, CrawlConfig{Seeds: []string{"u:seed"}, MaxPages: 2})
+	src := CrawlSource{SourceName: "focused", Result: res}
+	if src.Name() != "focused" || len(src.Documents()) != 2 {
+		t.Fatalf("adapter broken: %s %d", src.Name(), len(src.Documents()))
+	}
+}
+
+func TestMonitorDetectsChanges(t *testing.T) {
+	m := NewMonitor()
+	p := &web.Page{URL: "u:x", Text: "version one"}
+	if !m.Observe(p) {
+		t.Fatal("first observation must report new")
+	}
+	if m.Observe(p) {
+		t.Fatal("unchanged page reported as changed")
+	}
+	p2 := &web.Page{URL: "u:x", Text: "version two"}
+	if !m.Observe(p2) {
+		t.Fatal("changed page not detected")
+	}
+}
+
+func TestMonitorChangedFilter(t *testing.T) {
+	m := NewMonitor()
+	pages := []*web.Page{
+		{URL: "u:b", Text: "one"},
+		{URL: "u:a", Text: "two"},
+	}
+	first := m.Changed(pages)
+	if len(first) != 2 || first[0].URL != "u:a" {
+		t.Fatalf("first pass = %v", urls(first))
+	}
+	second := m.Changed(pages)
+	if len(second) != 0 {
+		t.Fatalf("second pass = %v", urls(second))
+	}
+}
+
+func BenchmarkCrawl(b *testing.B) {
+	docs := corpus.NewGenerator(corpus.Config{Seed: 4, RelevantPerDriver: 30, BackgroundDocs: 100, HardNegativePerDriver: 10}).World()
+	w := web.New()
+	for _, d := range docs {
+		w.AddPage(web.Page{URL: d.URL, Host: d.Host, Title: d.Title, Text: d.Text(), Links: d.Links})
+	}
+	cfg := CrawlConfig{Seeds: []string{docs[0].URL}, Topic: []string{"merger", "revenue", "ceo"}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Crawl(w, cfg)
+	}
+}

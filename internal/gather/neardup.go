@@ -1,0 +1,109 @@
+package gather
+
+import (
+	"hash/fnv"
+
+	"etap/internal/textproc"
+)
+
+// Near-duplicate detection for the crawler: syndicated news appears on
+// many hosts with tiny edits (different boilerplate, reordered bylines),
+// so exact content hashing misses most duplication. MinHash signatures
+// over word shingles estimate Jaccard similarity cheaply.
+
+// minhashSize is the signature length; 64 hashes bound the estimation
+// error of Jaccard similarity to about 1/sqrt(64) ≈ 0.125.
+const minhashSize = 64
+
+// shingleSize is the words-per-shingle window.
+const shingleSize = 4
+
+// Signature is a MinHash sketch of a document's shingle set.
+type Signature [minhashSize]uint64
+
+// NewSignature sketches the text. Texts shorter than one shingle get a
+// degenerate signature that only matches identical text.
+func NewSignature(text string) Signature {
+	words := textproc.Words(text)
+	var sig Signature
+	for i := range sig {
+		sig[i] = ^uint64(0)
+	}
+	if len(words) == 0 {
+		return sig
+	}
+	n := len(words) - shingleSize + 1
+	if n < 1 {
+		n = 1
+	}
+	for s := 0; s < n; s++ {
+		end := s + shingleSize
+		if end > len(words) {
+			end = len(words)
+		}
+		h := fnv.New64a()
+		for _, w := range words[s:end] {
+			h.Write([]byte(w))
+			h.Write([]byte{0})
+		}
+		base := h.Sum64()
+		// Derive minhashSize hash values from one base hash via
+		// multiply-shift mixing (cheap universal-ish family).
+		for i := range sig {
+			v := base ^ (0x9E3779B97F4A7C15 * uint64(i+1))
+			v *= 0xBF58476D1CE4E5B9
+			v ^= v >> 31
+			if v < sig[i] {
+				sig[i] = v
+			}
+		}
+	}
+	return sig
+}
+
+// Similarity estimates the Jaccard similarity of the underlying shingle
+// sets (fraction of agreeing signature slots).
+func (a Signature) Similarity(b Signature) float64 {
+	agree := 0
+	for i := range a {
+		if a[i] == b[i] {
+			agree++
+		}
+	}
+	return float64(agree) / float64(minhashSize)
+}
+
+// NearDupIndex accumulates signatures and answers "have I seen something
+// this similar before?". Lookup is linear in stored documents — fine at
+// crawl scale here; an LSH bucketing layer would drop in behind the same
+// interface.
+type NearDupIndex struct {
+	threshold float64
+	sigs      []Signature
+}
+
+// NewNearDupIndex builds an index flagging documents whose estimated
+// Jaccard similarity to any previously added document is >= threshold
+// (0 < threshold <= 1; values around 0.9 catch syndication edits).
+func NewNearDupIndex(threshold float64) *NearDupIndex {
+	if threshold <= 0 || threshold > 1 {
+		threshold = 0.9
+	}
+	return &NearDupIndex{threshold: threshold}
+}
+
+// Seen reports whether text near-duplicates an earlier document, and
+// records it otherwise.
+func (ix *NearDupIndex) Seen(text string) bool {
+	sig := NewSignature(text)
+	for _, s := range ix.sigs {
+		if sig.Similarity(s) >= ix.threshold {
+			return true
+		}
+	}
+	ix.sigs = append(ix.sigs, sig)
+	return false
+}
+
+// Len returns the number of distinct documents recorded.
+func (ix *NearDupIndex) Len() int { return len(ix.sigs) }

@@ -1,0 +1,94 @@
+package gather
+
+import (
+	"strings"
+	"testing"
+
+	"etap/internal/web"
+)
+
+const article = "Acme Corp announced that it has acquired Widget Inc for $120 million. " +
+	"The deal closed on Friday after regulators approved the transaction. " +
+	"Analysts called the acquisition a strategic fit for both companies. " +
+	"Shares of Acme rose while Widget investors cheered the premium."
+
+func TestSignatureIdentical(t *testing.T) {
+	a := NewSignature(article)
+	b := NewSignature(article)
+	if got := a.Similarity(b); got != 1 {
+		t.Fatalf("self-similarity = %v", got)
+	}
+}
+
+func TestSignatureSmallEdit(t *testing.T) {
+	edited := strings.Replace(article, "cheered the premium", "welcomed the premium", 1)
+	sim := NewSignature(article).Similarity(NewSignature(edited))
+	if sim < 0.7 {
+		t.Fatalf("small edit similarity = %v, want high", sim)
+	}
+}
+
+func TestSignatureUnrelated(t *testing.T) {
+	other := "The weather stayed pleasant across the coastal towns this week. " +
+		"Hikers enjoyed clear views from the summit trails. " +
+		"Local markets sold the season's first strawberries."
+	sim := NewSignature(article).Similarity(NewSignature(other))
+	if sim > 0.2 {
+		t.Fatalf("unrelated similarity = %v, want low", sim)
+	}
+}
+
+func TestSignatureShortTexts(t *testing.T) {
+	a := NewSignature("one two")
+	b := NewSignature("one two")
+	c := NewSignature("three four")
+	if a.Similarity(b) != 1 {
+		t.Error("identical short texts differ")
+	}
+	if a.Similarity(c) == 1 {
+		t.Error("different short texts match")
+	}
+	_ = NewSignature("") // must not panic
+}
+
+func TestNearDupIndex(t *testing.T) {
+	ix := NewNearDupIndex(0.7)
+	if ix.Seen(article) {
+		t.Fatal("first document flagged")
+	}
+	edited := strings.Replace(article, "Friday", "Monday", 1)
+	if !ix.Seen(edited) {
+		t.Fatal("near-duplicate not flagged")
+	}
+	if ix.Seen("Entirely different content about gardening and music festivals across town squares everywhere.") {
+		t.Fatal("unrelated document flagged")
+	}
+	if ix.Len() != 2 {
+		t.Fatalf("stored %d, want 2", ix.Len())
+	}
+}
+
+func TestCrawlNearDupSkipsSyndicatedCopies(t *testing.T) {
+	w := web.New()
+	w.AddPage(web.Page{URL: "u:orig", Text: article, Links: []string{"u:copy", "u:other"}})
+	w.AddPage(web.Page{URL: "u:copy",
+		Text: strings.Replace(article, "Friday", "Monday", 1)})
+	w.AddPage(web.Page{URL: "u:other",
+		Text: "A completely different story about the botanical garden and its orchid catalogue."})
+
+	plain := Crawl(w, CrawlConfig{Seeds: []string{"u:orig"}})
+	if len(plain.Pages) != 3 {
+		t.Fatalf("exact dedup dropped a near-dup: %v", urls(plain.Pages))
+	}
+	near := Crawl(w, CrawlConfig{Seeds: []string{"u:orig"}, NearDupThreshold: 0.7})
+	if len(near.Pages) != 2 || near.Duplicates != 1 {
+		t.Fatalf("near-dup crawl = %v (dups %d)", urls(near.Pages), near.Duplicates)
+	}
+}
+
+func BenchmarkSignature(b *testing.B) {
+	b.SetBytes(int64(len(article)))
+	for i := 0; i < b.N; i++ {
+		NewSignature(article)
+	}
+}

@@ -1,0 +1,156 @@
+// Package gazetteer holds the shared name inventories used by both the
+// named-entity recognizer (internal/ner) and the synthetic corpus
+// generator (internal/corpus).
+//
+// Sharing one inventory is deliberate: the paper's NER [11] was trained on
+// the same business-news domain it annotated. Keeping generator and
+// recognizer on a common (but not identical — see the Unknown* lists)
+// vocabulary reproduces a realistic accuracy profile: most entities are
+// recognized, some are missed, giving the classifier the same partially
+// abstracted input ETAP saw.
+package gazetteer
+
+// CompanyCores are single-token company core names. The corpus generator
+// composes them with suffixes; the NER recognizes core+suffix and, for a
+// subset, the bare core.
+var CompanyCores = []string{
+	"Averon", "Bluepeak", "Cindral", "Dataforge", "Eastbrook",
+	"Fernwave", "Gridlock", "Halcyon", "Ironwood", "Jetstream",
+	"Kestrel", "Lumina", "Meridian", "Northgate", "Oakline",
+	"Pinnacle", "Quartzite", "Riverton", "Silverlake", "Truenorth",
+	"Umbra", "Vantage", "Westfield", "Xylos", "Yellowstone", "Zephyr",
+	"Acrofin", "Boldware", "Centriq", "Deltacore", "Everhart",
+	"Fluxion", "Glasswing", "Hexatech", "Innovara", "Junipero",
+	"Korvex", "Lakeshore", "Marbelite", "Nimbusoft", "Optiline",
+	"Parallax", "Quillon", "Rockharbor", "Stellarc", "Tidewater",
+	"Ultraviolet", "Vistamar", "Wolfpine", "Xenora", "Zenith",
+	"Arcfield", "Brightstone", "Copperleaf", "Dunmore", "Elmcrest",
+	"Foxglove", "Goldbridge", "Hartwell", "Ivygate", "Jadefall",
+	"Kingfisher", "Longview", "Mistral", "Nightingale", "Overlook",
+	"Palisade", "Quicksilver", "Redwood", "Summitview", "Thornbury",
+	"Unity", "Vermillion", "Whitewater", "Yarrow", "Zelkova",
+}
+
+// CompanySuffixes are the corporate suffixes composed with CompanyCores.
+var CompanySuffixes = []string{
+	"Inc", "Corp", "Ltd", "LLC", "Group", "Holdings", "Systems",
+	"Technologies", "Industries", "Partners", "Solutions", "Networks",
+	"Capital", "Labs", "Software", "Enterprises",
+}
+
+// KnownOrgs are fully-formed organization names the NER recognizes without
+// a suffix (well-known companies, in the paper's world IBM, Daksh, Coors,
+// Molson, Monster, JobsAhead, etc.).
+var KnownOrgs = []string{
+	"IBM", "Daksh", "Coors", "Molson", "Monster", "JobsAhead",
+	"Microsoft", "Oracle", "Google", "Intel", "Cisco", "Dell",
+	"Accenture", "Infosys", "Wipro", "Siebel", "PeopleSoft", "SAP",
+	"Lenovo", "Gateway", "Compaq", "Lucent", "Nortel", "Alcatel",
+}
+
+// FirstNames are person first names.
+var FirstNames = []string{
+	"James", "Mary", "Robert", "Patricia", "John", "Jennifer",
+	"Michael", "Linda", "David", "Elizabeth", "William", "Barbara",
+	"Richard", "Susan", "Joseph", "Jessica", "Thomas", "Sarah",
+	"Charles", "Karen", "Christopher", "Nancy", "Daniel", "Lisa",
+	"Matthew", "Margaret", "Anthony", "Betty", "Mark", "Sandra",
+	"Donald", "Ashley", "Steven", "Dorothy", "Paul", "Kimberly",
+	"Andrew", "Emily", "Joshua", "Donna", "Kenneth", "Michelle",
+	"Kevin", "Carol", "Brian", "Amanda", "George", "Melissa",
+	"Ganesh", "Sachindra", "Sumit", "Raghu", "Sreeram", "Priya",
+	"Anil", "Deepa", "Rajiv", "Meena", "Arjun", "Kavita",
+}
+
+// LastNames are person surnames.
+var LastNames = []string{
+	"Smith", "Johnson", "Williams", "Brown", "Jones", "Garcia",
+	"Miller", "Davis", "Rodriguez", "Martinez", "Hernandez", "Lopez",
+	"Gonzalez", "Wilson", "Anderson", "Thomas", "Taylor", "Moore",
+	"Jackson", "Martin", "Lee", "Perez", "Thompson", "White",
+	"Harris", "Sanchez", "Clark", "Ramirez", "Lewis", "Robinson",
+	"Walker", "Young", "Allen", "King", "Wright", "Scott",
+	"Torres", "Nguyen", "Hill", "Flores", "Green", "Adams",
+	"Nelson", "Baker", "Hall", "Rivera", "Campbell", "Mitchell",
+	"Ramakrishnan", "Joshi", "Negi", "Krishnapuram", "Balakrishnan",
+	"Mehta", "Sharma", "Iyer", "Patel", "Chandra", "Rao", "Andersen",
+}
+
+// Designations are job titles (the DESIG category). Multi-word titles are
+// space-separated; the NER matches them longest-first.
+var Designations = []string{
+	"CEO", "CTO", "CFO", "COO", "CIO",
+	"Chief Executive Officer", "Chief Technology Officer",
+	"Chief Financial Officer", "Chief Operating Officer",
+	"Chief Information Officer", "Chief Marketing Officer",
+	"President", "Vice President", "Senior Vice President",
+	"Executive Vice President", "Chairman", "Chairwoman",
+	"Managing Director", "General Manager", "Director",
+	"Board Member", "Manager", "Head of Sales", "Head of Research",
+	"Treasurer", "Secretary", "Founder", "Co-Founder",
+}
+
+// Places are location names (the PLC category).
+var Places = []string{
+	"New York", "London", "Tokyo", "Bangalore", "Mumbai", "Delhi",
+	"San Francisco", "Boston", "Chicago", "Seattle", "Austin",
+	"Atlanta", "Dallas", "Denver", "Houston", "Toronto", "Paris",
+	"Berlin", "Munich", "Zurich", "Geneva", "Singapore", "Sydney",
+	"Melbourne", "Dublin", "Amsterdam", "Stockholm", "Helsinki",
+	"Washington", "Philadelphia", "Phoenix", "Portland", "Detroit",
+	"Shanghai", "Beijing", "Hong Kong", "Seoul", "Taipei",
+	"New Zealand", "California", "Texas", "Virginia", "Ohio",
+}
+
+// Products are product names (the PROD category).
+var Products = []string{
+	"WebSphere", "ThinkCenter", "DataVault", "CloudBridge",
+	"NetGuard", "StreamLine", "FlexServe", "PowerGrid",
+	"SmartDesk", "RapidDeploy", "OmniStore", "SecureLink",
+	"InsightPro", "FusionWare", "AgileBase", "PrimeStack",
+}
+
+// Objects are generic object names (the OBJ category): named deals,
+// programs, funds and initiatives that are neither orgs nor products.
+var Objects = []string{
+	"Project Horizon", "Operation Bluebird", "Initiative NextGen",
+	"Fund Alpha", "Program Catalyst", "Venture Northstar",
+}
+
+// LengthUnits are the non-currency measurement units (the LNGTH category).
+var LengthUnits = []string{
+	"miles", "kilometers", "meters", "feet", "acres", "hectares",
+	"square feet", "square meters", "tons", "kilograms", "pounds",
+	"gigabytes", "terabytes", "megawatts",
+}
+
+// Months recognized by the PERIOD rules.
+var Months = []string{
+	"January", "February", "March", "April", "May", "June",
+	"July", "August", "September", "October", "November", "December",
+}
+
+// Weekdays recognized by the PERIOD rules.
+var Weekdays = []string{
+	"Monday", "Tuesday", "Wednesday", "Thursday", "Friday",
+	"Saturday", "Sunday",
+}
+
+// Quarters recognized by the PERIOD rules.
+var Quarters = []string{"Q1", "Q2", "Q3", "Q4"}
+
+// UnknownOrgCores are company cores used by the corpus generator but
+// deliberately absent from the NER gazetteer (when used without a
+// corporate suffix). They model out-of-vocabulary entities — the paper
+// notes "wrong annotation of company and person names leads to incorrect
+// trigger events"; these produce exactly that failure mode.
+var UnknownOrgCores = []string{
+	"Brellvane", "Corvantis", "Dresmoor", "Skellig", "Tarvolen",
+	"Vintrix", "Windermoor", "Ostrava", "Pellarin", "Quorvane",
+}
+
+// UnknownSurnames are surnames absent from the NER gazetteer.
+var UnknownSurnames = []string{
+	"Threlkeld", "Vancourt", "Osmanovic", "Brandywine", "Castellane",
+	"Delacroix-Smith", "Eisenhart", "Fothergill",
+}

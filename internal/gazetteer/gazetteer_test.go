@@ -1,0 +1,105 @@
+package gazetteer
+
+import (
+	"strings"
+	"testing"
+)
+
+func noDuplicates(t *testing.T, name string, list []string) {
+	t.Helper()
+	seen := map[string]bool{}
+	for _, v := range list {
+		key := strings.ToLower(v)
+		if seen[key] {
+			t.Errorf("%s: duplicate entry %q", name, v)
+		}
+		seen[key] = true
+	}
+}
+
+func TestInventoriesHaveNoDuplicates(t *testing.T) {
+	noDuplicates(t, "CompanyCores", CompanyCores)
+	noDuplicates(t, "CompanySuffixes", CompanySuffixes)
+	noDuplicates(t, "KnownOrgs", KnownOrgs)
+	noDuplicates(t, "FirstNames", FirstNames)
+	noDuplicates(t, "LastNames", LastNames)
+	noDuplicates(t, "Designations", Designations)
+	noDuplicates(t, "Places", Places)
+	noDuplicates(t, "Products", Products)
+	noDuplicates(t, "UnknownOrgCores", UnknownOrgCores)
+	noDuplicates(t, "UnknownSurnames", UnknownSurnames)
+}
+
+// The unknown lists must be disjoint from the known ones — their whole
+// purpose is to be invisible to the NER.
+func TestUnknownListsAreDisjoint(t *testing.T) {
+	known := map[string]bool{}
+	for _, c := range CompanyCores {
+		known[strings.ToLower(c)] = true
+	}
+	for _, c := range KnownOrgs {
+		known[strings.ToLower(c)] = true
+	}
+	for _, u := range UnknownOrgCores {
+		if known[strings.ToLower(u)] {
+			t.Errorf("UnknownOrgCores contains known org %q", u)
+		}
+	}
+	knownSurnames := map[string]bool{}
+	for _, s := range LastNames {
+		knownSurnames[strings.ToLower(s)] = true
+	}
+	for _, u := range UnknownSurnames {
+		if knownSurnames[strings.ToLower(u)] {
+			t.Errorf("UnknownSurnames contains known surname %q", u)
+		}
+	}
+}
+
+// Company cores must not collide with suffixes, months, or designations:
+// the NER's longest-match scan depends on these being distinguishable.
+func TestCompanyCoresAvoidReservedWords(t *testing.T) {
+	reserved := map[string]bool{}
+	for _, s := range CompanySuffixes {
+		reserved[strings.ToLower(s)] = true
+	}
+	for _, m := range Months {
+		reserved[strings.ToLower(m)] = true
+	}
+	for _, d := range Designations {
+		reserved[strings.ToLower(d)] = true
+	}
+	for _, c := range CompanyCores {
+		if reserved[strings.ToLower(c)] {
+			t.Errorf("CompanyCores entry %q collides with a reserved word", c)
+		}
+	}
+}
+
+func TestInventorySizes(t *testing.T) {
+	// The generator's statistics depend on reasonably wide inventories.
+	if len(CompanyCores) < 50 {
+		t.Errorf("CompanyCores too small: %d", len(CompanyCores))
+	}
+	if len(FirstNames) < 40 || len(LastNames) < 40 {
+		t.Errorf("name inventories too small: %d/%d", len(FirstNames), len(LastNames))
+	}
+	if len(Places) < 30 {
+		t.Errorf("Places too small: %d", len(Places))
+	}
+	if len(Designations) < 20 {
+		t.Errorf("Designations too small: %d", len(Designations))
+	}
+}
+
+func TestMonthsAndWeekdays(t *testing.T) {
+	if len(Months) != 12 {
+		t.Errorf("Months = %d, want 12", len(Months))
+	}
+	if len(Weekdays) != 7 {
+		t.Errorf("Weekdays = %d, want 7", len(Weekdays))
+	}
+	if len(Quarters) != 4 {
+		t.Errorf("Quarters = %d, want 4", len(Quarters))
+	}
+}

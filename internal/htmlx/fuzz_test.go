@@ -1,0 +1,36 @@
+package htmlx
+
+import (
+	"strings"
+	"testing"
+	"unicode/utf8"
+)
+
+// FuzzExtractText asserts the extractor is total: no panics, output
+// contains no markup, and valid UTF-8 stays valid.
+func FuzzExtractText(f *testing.F) {
+	seeds := []string{
+		"",
+		"<p>plain</p>",
+		"<html><head><title>t</title></head><body><p>x</p></body></html>",
+		"<script>alert('<p>')</script>visible",
+		"<a href='u'>link</a> &amp; &#65; &#xzz; &unknown;",
+		"<p>unclosed <b>bold",
+		"<<<>>>",
+		"<P CLASS=\"x\">upper</P>",
+		"text < not a tag > more",
+		"<style>p{}</style><p>after</p>",
+		strings.Repeat("<div>", 100) + "deep" + strings.Repeat("</div>", 100),
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, html string) {
+		text := ExtractText(html)
+		if utf8.ValidString(html) && !utf8.ValidString(text) {
+			t.Fatalf("invalid UTF-8 output from valid input: %q", text)
+		}
+		_ = Title(html)
+		_ = ExtractLinks(html)
+	})
+}

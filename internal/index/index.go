@@ -1,0 +1,341 @@
+// Package index implements the inverted index and ranking that serve as
+// ETAP's search engine substrate. The paper's training-data generation
+// queries Google with "smart queries" like "new ceo" or "IBM Daksh"
+// (Section 3.3.1); this index provides the same capability over the
+// synthetic web: positional postings, BM25 ranking, quoted-phrase and
+// conjunctive queries.
+package index
+
+import (
+	"math"
+	"sort"
+	"strings"
+
+	"etap/internal/textproc"
+)
+
+// Posting records the positions of one term in one document.
+type Posting struct {
+	Doc       int32
+	Positions []int32
+}
+
+// Hit is one ranked search result.
+type Hit struct {
+	DocID string
+	Score float64
+}
+
+// Index is a positional inverted index over added documents. It is not
+// safe for concurrent mutation; build first, then search freely.
+type Index struct {
+	ids      []string
+	byID     map[string]int32
+	postings map[string][]Posting
+	docLen   []float64
+	totalLen float64
+}
+
+// New returns an empty index.
+func New() *Index {
+	return &Index{
+		byID:     make(map[string]int32),
+		postings: make(map[string][]Posting),
+	}
+}
+
+// Len returns the number of indexed documents.
+func (ix *Index) Len() int { return len(ix.ids) }
+
+// terms normalizes text into index terms: lower-cased stemmed word
+// tokens plus number tokens (so queries like "Q4 2004" work).
+func terms(text string) []string {
+	toks := textproc.Tokenize(text)
+	out := make([]string, 0, len(toks))
+	for _, t := range toks {
+		switch t.Kind {
+		case textproc.KindWord:
+			out = append(out, textproc.Stem(t.Lower()))
+		case textproc.KindNumber:
+			out = append(out, t.Text)
+		}
+	}
+	return out
+}
+
+// Add indexes a document. Adding the same docID twice panics: the index
+// has no delete path and silent double-indexing would corrupt scores.
+func (ix *Index) Add(docID, text string) {
+	if _, dup := ix.byID[docID]; dup {
+		panic("index: duplicate document " + docID)
+	}
+	doc := int32(len(ix.ids))
+	ix.ids = append(ix.ids, docID)
+	ix.byID[docID] = doc
+
+	ts := terms(text)
+	ix.docLen = append(ix.docLen, float64(len(ts)))
+	ix.totalLen += float64(len(ts))
+
+	seenAt := map[string][]int32{}
+	for pos, term := range ts {
+		seenAt[term] = append(seenAt[term], int32(pos))
+	}
+	for term, positions := range seenAt {
+		ix.postings[term] = append(ix.postings[term], Posting{Doc: doc, Positions: positions})
+	}
+}
+
+// BM25 parameters (standard defaults).
+const (
+	bm25K1 = 1.2
+	bm25B  = 0.75
+)
+
+func (ix *Index) idf(df int) float64 {
+	n := float64(ix.Len())
+	return math.Log(1 + (n-float64(df)+0.5)/(float64(df)+0.5))
+}
+
+// Query is a parsed search query: required phrases (quoted in the input)
+// and required terms. All parts must match (conjunctive semantics — a
+// smart query is precision-oriented).
+type Query struct {
+	Phrases [][]string
+	Terms   []string
+}
+
+// ParseQuery splits a query string into quoted phrases and bare terms,
+// normalizing both like document text.
+func ParseQuery(q string) Query {
+	var out Query
+	for {
+		start := strings.IndexByte(q, '"')
+		if start < 0 {
+			break
+		}
+		end := strings.IndexByte(q[start+1:], '"')
+		if end < 0 {
+			break
+		}
+		phrase := q[start+1 : start+1+end]
+		if ts := terms(phrase); len(ts) > 0 {
+			out.Phrases = append(out.Phrases, ts)
+		}
+		q = q[:start] + " " + q[start+1+end+1:]
+	}
+	out.Terms = terms(q)
+	return out
+}
+
+// Search ranks documents matching the query and returns the top k (all
+// matches when k <= 0). Multi-token phrases require adjacency; terms and
+// phrases combine conjunctively; ranking is BM25 over all query tokens.
+func (ix *Index) Search(query string, k int) []Hit {
+	return ix.SearchQuery(ParseQuery(query), k)
+}
+
+// SearchQuery is Search over a pre-parsed query.
+func (ix *Index) SearchQuery(q Query, k int) []Hit {
+	required := make([][]Posting, 0, len(q.Terms)+len(q.Phrases))
+	// Single-token phrases degrade to terms.
+	allTerms := append([]string(nil), q.Terms...)
+	var phrases [][]string
+	for _, p := range q.Phrases {
+		if len(p) == 1 {
+			allTerms = append(allTerms, p[0])
+		} else {
+			phrases = append(phrases, p)
+			allTerms = append(allTerms, p...)
+		}
+	}
+	for _, t := range allTerms {
+		pl, ok := ix.postings[t]
+		if !ok {
+			return nil // conjunctive: a missing term empties the result
+		}
+		required = append(required, pl)
+	}
+	if len(required) == 0 {
+		return nil
+	}
+
+	// Intersect candidate doc sets.
+	candidates := docSet(required[0])
+	for _, pl := range required[1:] {
+		next := docSet(pl)
+		for d := range candidates {
+			if !next[d] {
+				delete(candidates, d)
+			}
+		}
+		if len(candidates) == 0 {
+			return nil
+		}
+	}
+
+	// Phrase filter.
+	for _, p := range phrases {
+		for d := range candidates {
+			if !ix.phraseIn(p, d) {
+				delete(candidates, d)
+			}
+		}
+		if len(candidates) == 0 {
+			return nil
+		}
+	}
+
+	// BM25 over the distinct query tokens.
+	distinct := map[string]bool{}
+	for _, t := range allTerms {
+		distinct[t] = true
+	}
+	avgLen := ix.totalLen / math.Max(1, float64(ix.Len()))
+	hits := make([]Hit, 0, len(candidates))
+	for d := range candidates {
+		score := 0.0
+		for t := range distinct {
+			pl := ix.postings[t]
+			idx := sort.Search(len(pl), func(i int) bool { return pl[i].Doc >= d })
+			if idx >= len(pl) || pl[idx].Doc != d {
+				continue
+			}
+			tf := float64(len(pl[idx].Positions))
+			den := tf + bm25K1*(1-bm25B+bm25B*ix.docLen[d]/avgLen)
+			score += ix.idf(len(pl)) * tf * (bm25K1 + 1) / den
+		}
+		hits = append(hits, Hit{DocID: ix.ids[d], Score: score})
+	}
+	sort.Slice(hits, func(i, j int) bool {
+		if hits[i].Score != hits[j].Score {
+			return hits[i].Score > hits[j].Score
+		}
+		return hits[i].DocID < hits[j].DocID
+	})
+	if k > 0 && len(hits) > k {
+		hits = hits[:k]
+	}
+	return hits
+}
+
+// phraseIn reports whether the phrase occurs contiguously in doc d.
+func (ix *Index) phraseIn(phrase []string, d int32) bool {
+	// Gather position lists for each phrase token in doc d.
+	lists := make([][]int32, len(phrase))
+	for i, t := range phrase {
+		pl := ix.postings[t]
+		idx := sort.Search(len(pl), func(j int) bool { return pl[j].Doc >= d })
+		if idx >= len(pl) || pl[idx].Doc != d {
+			return false
+		}
+		lists[i] = pl[idx].Positions
+	}
+	// For each start position of token 0, check the chain.
+	for _, p0 := range lists[0] {
+		ok := true
+		for i := 1; i < len(lists); i++ {
+			if !contains32(lists[i], p0+int32(i)) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+func contains32(sorted []int32, v int32) bool {
+	i := sort.Search(len(sorted), func(j int) bool { return sorted[j] >= v })
+	return i < len(sorted) && sorted[i] == v
+}
+
+func docSet(pl []Posting) map[int32]bool {
+	out := make(map[int32]bool, len(pl))
+	for _, p := range pl {
+		out[p.Doc] = true
+	}
+	return out
+}
+
+// DocFreq returns the document frequency of a term (normalized like
+// document text), used by the PMI-IR lexicon induction.
+func (ix *Index) DocFreq(term string) int {
+	ts := terms(term)
+	if len(ts) == 0 {
+		return 0
+	}
+	return len(ix.postings[ts[0]])
+}
+
+// CoDocFreq returns the number of documents containing both terms —
+// whole-document co-occurrence.
+func (ix *Index) CoDocFreq(a, b string) int {
+	ta, tb := terms(a), terms(b)
+	if len(ta) == 0 || len(tb) == 0 {
+		return 0
+	}
+	da := docSet(ix.postings[ta[0]])
+	n := 0
+	for _, p := range ix.postings[tb[0]] {
+		if da[p.Doc] {
+			n++
+		}
+	}
+	return n
+}
+
+// CoNearFreq returns the number of documents where the two terms occur
+// within `window` token positions of each other — the NEAR operator of
+// Turney's PMI-IR. window <= 0 degrades to CoDocFreq.
+func (ix *Index) CoNearFreq(a, b string, window int) int {
+	if window <= 0 {
+		return ix.CoDocFreq(a, b)
+	}
+	ta, tb := terms(a), terms(b)
+	if len(ta) == 0 || len(tb) == 0 {
+		return 0
+	}
+	pa := ix.postings[ta[0]]
+	pb := ix.postings[tb[0]]
+	n := 0
+	i, j := 0, 0
+	for i < len(pa) && j < len(pb) {
+		switch {
+		case pa[i].Doc < pb[j].Doc:
+			i++
+		case pa[i].Doc > pb[j].Doc:
+			j++
+		default:
+			if positionsNear(pa[i].Positions, pb[j].Positions, int32(window)) {
+				n++
+			}
+			i++
+			j++
+		}
+	}
+	return n
+}
+
+// positionsNear reports whether two sorted position lists have a pair
+// within the window.
+func positionsNear(a, b []int32, window int32) bool {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		d := a[i] - b[j]
+		if d < 0 {
+			d = -d
+		}
+		if d <= window {
+			return true
+		}
+		if a[i] < b[j] {
+			i++
+		} else {
+			j++
+		}
+	}
+	return false
+}

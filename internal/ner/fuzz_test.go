@@ -1,0 +1,52 @@
+package ner
+
+import (
+	"testing"
+
+	"etap/internal/textproc"
+)
+
+// FuzzRecognize asserts recognizer totality: no panics, non-overlapping
+// in-order entities, spans within token bounds, and every entity's
+// category in the 13-category inventory.
+func FuzzRecognize(f *testing.F) {
+	for _, s := range []string{
+		"",
+		"IBM acquired Daksh for $160 million on January 12, 2004.",
+		"Mr. J. K. Smith, the new Chief Executive Officer, arrived at 3:30 pm.",
+		"growth of 10% and 3.5 percentage points over 40 acres",
+		"Q4 2004 fourth quarter last year next month",
+		"$ % 1234 . . . Inc Corp Ltd",
+		"mr mrs dr MR. DR.",
+		"\xff\xfe broken bytes $5",
+	} {
+		f.Add(s)
+	}
+	valid := map[Category]bool{}
+	for _, c := range Categories {
+		valid[c] = true
+	}
+	rec := NewRecognizer()
+	f.Fuzz(func(t *testing.T, s string) {
+		tokens := textproc.Tokenize(s)
+		prev := -1
+		for _, e := range rec.Recognize(tokens) {
+			if !valid[e.Category] {
+				t.Fatalf("unknown category %q", e.Category)
+			}
+			if e.TokenStart < 0 || e.TokenEnd > len(tokens) || e.TokenStart >= e.TokenEnd {
+				t.Fatalf("bad token span %+v", e)
+			}
+			if e.TokenStart < prev {
+				t.Fatalf("overlap at %+v", e)
+			}
+			prev = e.TokenEnd
+			if e.Start < 0 || e.End > len(s) || e.Start >= e.End {
+				t.Fatalf("bad byte span %+v for %q", e, s)
+			}
+			if e.Text == "" {
+				t.Fatalf("empty entity text: %+v", e)
+			}
+		}
+	})
+}

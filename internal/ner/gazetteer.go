@@ -1,0 +1,101 @@
+package ner
+
+import (
+	"strings"
+
+	"etap/internal/gazetteer"
+)
+
+// phraseTable indexes multi-token gazetteer phrases by their lower-cased
+// first token. Matching tries the longest phrase first.
+type phraseTable struct {
+	// byFirst maps the first token (lower-cased) to candidate phrases,
+	// each a slice of lower-cased tokens, sorted longest first.
+	byFirst map[string][][]string
+	cat     Category
+}
+
+func newPhraseTable(cat Category, phrases []string) *phraseTable {
+	t := &phraseTable{byFirst: make(map[string][][]string), cat: cat}
+	for _, p := range phrases {
+		toks := strings.Fields(strings.ToLower(p))
+		if len(toks) == 0 {
+			continue
+		}
+		t.byFirst[toks[0]] = append(t.byFirst[toks[0]], toks)
+	}
+	for k, list := range t.byFirst {
+		// longest first (stable insertion order breaks ties)
+		for i := 1; i < len(list); i++ {
+			for j := i; j > 0 && len(list[j]) > len(list[j-1]); j-- {
+				list[j], list[j-1] = list[j-1], list[j]
+			}
+		}
+		t.byFirst[k] = list
+	}
+	return t
+}
+
+// match reports the number of tokens matched starting at lowered[i]
+// (0 if none). lowered holds the lower-cased surface forms.
+func (t *phraseTable) match(lowered []string, i int) int {
+	cands, ok := t.byFirst[lowered[i]]
+	if !ok {
+		return 0
+	}
+outer:
+	for _, cand := range cands {
+		if i+len(cand) > len(lowered) {
+			continue
+		}
+		for j := 1; j < len(cand); j++ {
+			if lowered[i+j] != cand[j] {
+				continue outer
+			}
+		}
+		return len(cand)
+	}
+	return 0
+}
+
+// gazetteers bundles every lookup structure the recognizer needs.
+type gazetteers struct {
+	designations *phraseTable
+	places       *phraseTable
+	products     *phraseTable
+	objects      *phraseTable
+	lengthUnits  *phraseTable
+
+	knownOrgs    map[string]bool // lower-cased full org names
+	companyCores map[string]bool // lower-cased single-token cores
+	orgSuffixes  map[string]bool // lower-cased corporate suffixes
+	firstNames   map[string]bool
+	lastNames    map[string]bool
+	months       map[string]bool
+	weekdays     map[string]bool
+}
+
+func toSet(words []string) map[string]bool {
+	m := make(map[string]bool, len(words))
+	for _, w := range words {
+		m[strings.ToLower(w)] = true
+	}
+	return m
+}
+
+func defaultGazetteers() *gazetteers {
+	return &gazetteers{
+		designations: newPhraseTable(DESIG, gazetteer.Designations),
+		places:       newPhraseTable(PLC, gazetteer.Places),
+		products:     newPhraseTable(PROD, gazetteer.Products),
+		objects:      newPhraseTable(OBJ, gazetteer.Objects),
+		lengthUnits:  newPhraseTable(LNGTH, gazetteer.LengthUnits),
+		knownOrgs:    toSet(gazetteer.KnownOrgs),
+		companyCores: toSet(gazetteer.CompanyCores),
+		orgSuffixes:  toSet(gazetteer.CompanySuffixes),
+		firstNames:   toSet(gazetteer.FirstNames),
+		lastNames:    toSet(gazetteer.LastNames),
+		months:       toSet(gazetteer.Months),
+		weekdays:     toSet(gazetteer.Weekdays),
+	}
+}

@@ -1,0 +1,145 @@
+package ner
+
+import (
+	"testing"
+)
+
+// Extended table-driven coverage of the numeric and calendar patterns.
+func TestNumericPatterns(t *testing.T) {
+	r := NewRecognizer()
+	cases := []struct {
+		text string
+		cat  Category
+		want string
+	}{
+		// CURRENCY variants
+		{"the deal was worth $5 billion overall", CURRENCY, "$ 5 billion"},
+		{"they paid €20 million for the unit", CURRENCY, "€ 20 million"},
+		{"a fine of $250 was imposed", CURRENCY, "$ 250"},
+		{"the firm raised 30 million euros quickly", CURRENCY, "30 million euros"},
+		{"he earned 90 cents per share", CURRENCY, "90 cents"},
+		{"revenue reached 2 billion rupees in total", CURRENCY, "2 billion rupees"},
+		// PRCNT variants
+		{"growth of 12 pct was reported", PRCNT, "12 pct"},
+		{"margins moved 2 percentage points higher", PRCNT, "2 percentage points"},
+		{"a 3.5% rise followed", PRCNT, "3.5 %"},
+		// TIM variants
+		{"the call begins at 9 am sharp", TIM, "9 am"},
+		{"markets close at 4 : 00 in New York", TIM, "4 : 00"},
+		// PERIOD variants
+		{"results arrive in Q1 2005 as planned", PERIOD, "Q1 2005"},
+		{"the first half was strong", PERIOD, "first half"},
+		{"she joined last week officially", PERIOD, "last week"},
+		{"earnings due on March 3 were delayed", PERIOD, "March 3"},
+		// LNGTH variants
+		{"the warehouse covers 90,000 square feet of space", LNGTH, "90,000 square feet"},
+		{"they stored 12 terabytes of logs", LNGTH, "12 terabytes"},
+		// CNT and YEAR
+		{"the firm hired 75 engineers", CNT, "75"},
+		{"founded in 1985 by two brothers", YEAR, "1985"},
+	}
+	for _, c := range cases {
+		ents := r.RecognizeText(c.text)
+		found := false
+		for _, e := range ents {
+			if e.Category == c.cat && e.Text == c.want {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%q: want %s %q, got %+v", c.text, c.cat, c.want, ents)
+		}
+	}
+}
+
+func TestYearBoundaries(t *testing.T) {
+	r := NewRecognizer()
+	// 4-digit numbers outside 1900-2099 are counts, not years.
+	ents := r.RecognizeText("they produced 5000 units in 1750 days")
+	for _, e := range ents {
+		if e.Category == YEAR {
+			t.Errorf("non-year classified as YEAR: %+v", e)
+		}
+	}
+	ents = r.RecognizeText("in 2099 the lease expires")
+	found := false
+	for _, e := range ents {
+		if e.Category == YEAR && e.Text == "2099" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("2099 not a year: %+v", ents)
+	}
+}
+
+func TestPersonMiddleInitial(t *testing.T) {
+	r := NewRecognizer()
+	ents := r.RecognizeText("The board elected James R. Smith yesterday.")
+	got := find(ents, PRSN)
+	if len(got) != 1 || got[0] != "James R . Smith" {
+		t.Errorf("persons = %v", got)
+	}
+}
+
+func TestDesignationPriorityOverPerson(t *testing.T) {
+	r := NewRecognizer()
+	// "President" alone is a designation, not part of a name.
+	ents := r.RecognizeText("The President spoke to analysts.")
+	if got := find(ents, DESIG); len(got) != 1 || got[0] != "President" {
+		t.Errorf("desig = %v (all %+v)", got, ents)
+	}
+}
+
+func TestOrgSuffixAbsorption(t *testing.T) {
+	r := NewRecognizer()
+	ents := r.RecognizeText("Shares of Meridian Holdings Ltd fell.")
+	got := find(ents, ORG)
+	if len(got) != 1 || got[0] != "Meridian Holdings Ltd" {
+		t.Errorf("orgs = %v", got)
+	}
+}
+
+func TestCurrencyBeatsCount(t *testing.T) {
+	r := NewRecognizer()
+	ents := r.RecognizeText("they spent $40 million on 3 buildings")
+	if got := find(ents, CURRENCY); len(got) != 1 {
+		t.Fatalf("currency = %v", got)
+	}
+	if got := find(ents, CNT); len(got) != 1 || got[0] != "3" {
+		t.Errorf("counts = %v", got)
+	}
+}
+
+func TestMonthWithoutCapitalIsNotPeriod(t *testing.T) {
+	r := NewRecognizer()
+	ents := r.RecognizeText("they may march to the square")
+	if got := find(ents, PERIOD); len(got) != 0 {
+		t.Errorf("periods = %v", got)
+	}
+}
+
+func TestEntitySpanAccessors(t *testing.T) {
+	r := NewRecognizer()
+	ents := r.RecognizeText("IBM acquired Daksh.")
+	if len(ents) != 2 {
+		t.Fatalf("ents = %+v", ents)
+	}
+	if ents[0].Span() != 1 {
+		t.Errorf("span = %d", ents[0].Span())
+	}
+}
+
+func TestCategoriesList(t *testing.T) {
+	if len(Categories) != 13 {
+		t.Fatalf("the recognizer defines %d categories, the paper 13", len(Categories))
+	}
+	seen := map[Category]bool{}
+	for _, c := range Categories {
+		if seen[c] {
+			t.Errorf("duplicate category %s", c)
+		}
+		seen[c] = true
+	}
+}

@@ -1,0 +1,84 @@
+// Package ner implements the named-entity recognizer ETAP relies on for
+// feature abstraction (Section 3.2.1). It identifies and annotates
+// entities in the same 13 categories as the recognizer of [11]:
+//
+//	ORG       organization name
+//	DESIG     designation (job title)
+//	OBJ       object name (named deals, programs, funds)
+//	TIM       time of day
+//	PERIOD    months, days, dates, quarters
+//	CURRENCY  currency measure
+//	YEAR      sole mention of a year
+//	PRCNT     percentage figure
+//	PROD      product name
+//	PLC       place name
+//	PRSN      person name
+//	LNGTH     units of measurement other than currency
+//	CNT       count figures
+//
+// The recognizer is deterministic: gazetteer lookups (longest match wins)
+// plus pattern rules for the numeric categories.
+package ner
+
+import "etap/internal/textproc"
+
+// Category is a named-entity category. Category names are upper-case,
+// matching the paper's convention that distinguishes entity categories
+// from (lower-case) part-of-speech categories.
+type Category string
+
+// The 13 entity categories of the ETAP recognizer.
+const (
+	ORG      Category = "ORG"
+	DESIG    Category = "DESIG"
+	OBJ      Category = "OBJ"
+	TIM      Category = "TIM"
+	PERIOD   Category = "PERIOD"
+	CURRENCY Category = "CURRENCY"
+	YEAR     Category = "YEAR"
+	PRCNT    Category = "PRCNT"
+	PROD     Category = "PROD"
+	PLC      Category = "PLC"
+	PRSN     Category = "PRSN"
+	LNGTH    Category = "LNGTH"
+	CNT      Category = "CNT"
+)
+
+// Categories lists all 13 categories in the paper's order.
+var Categories = []Category{
+	ORG, DESIG, OBJ, TIM, PERIOD, CURRENCY, YEAR, PRCNT, PROD, PLC,
+	PRSN, LNGTH, CNT,
+}
+
+// Entity is a recognized named entity spanning one or more tokens.
+type Entity struct {
+	Category   Category
+	Text       string // surface text joined from the matched tokens
+	TokenStart int    // index of the first matched token
+	TokenEnd   int    // index one past the last matched token
+	Start      int    // byte offset in the source text
+	End        int    // byte offset one past the last byte
+}
+
+// Span returns the number of tokens the entity covers.
+func (e Entity) Span() int { return e.TokenEnd - e.TokenStart }
+
+// joinTokens renders the surface text of tokens[start:end] with single
+// spaces, which is how multi-token gazetteer phrases are stored.
+func joinTokens(tokens []textproc.Token, start, end int) string {
+	if end-start == 1 {
+		return tokens[start].Text
+	}
+	n := 0
+	for i := start; i < end; i++ {
+		n += len(tokens[i].Text) + 1
+	}
+	b := make([]byte, 0, n)
+	for i := start; i < end; i++ {
+		if i > start {
+			b = append(b, ' ')
+		}
+		b = append(b, tokens[i].Text...)
+	}
+	return string(b)
+}

@@ -1,0 +1,146 @@
+// Package noise implements ETAP's iterative noise-elimination training
+// procedure (Section 3.3.2), modelled on Brodley & Friedl [3]:
+//
+//  1. Learn classifier parameters using Pⁿ (noisy positive) and Pᵖ (pure
+//     positive) as the positive class, N as the negative class.
+//  2. Reclassify Pⁿ with the trained classifier; keep only the snippets
+//     assigned the positive class.
+//  3. Iterate until the noisy positive set "does not change considerably".
+//
+// Pure positive data, when available, is oversampled by a factor of 3
+// (Section 3.3.2).
+package noise
+
+import (
+	"etap/internal/classify"
+	"etap/internal/feature"
+)
+
+// DefaultOversample is the pure-positive oversampling factor from the
+// paper ("we use it after oversampling it by a factor of 3").
+const DefaultOversample = 3
+
+// Trainer builds a classifier from labeled examples. The paper uses naïve
+// Bayes; any classify trainer fits.
+type Trainer func(examples []classify.Example) classify.Classifier
+
+// Config controls the iteration.
+type Config struct {
+	// Train builds the per-iteration classifier. Required.
+	Train Trainer
+	// MaxIterations bounds the loop; 0 means 10. The paper's Table 1
+	// reports results "after two iterations" — pass 2 to reproduce it.
+	MaxIterations int
+	// MinChange is the stop threshold: iteration ends when the fraction
+	// of Pⁿ removed in a round is below it. 0 means 0.01.
+	MinChange float64
+	// Oversample is the pure-positive oversampling factor; 0 means
+	// DefaultOversample.
+	Oversample int
+	// Threshold is the positive-class probability above which a noisy
+	// example is kept; 0 means 0.5.
+	Threshold float64
+}
+
+// IterationStats records one round of the loop.
+type IterationStats struct {
+	Iteration int
+	NoisyIn   int // |Pⁿ| entering the round
+	NoisyKept int // |Pⁿ| surviving reclassification
+}
+
+// Result is the outcome of the iterative procedure.
+type Result struct {
+	// Classifier is the classifier trained in the final round.
+	Classifier classify.Classifier
+	// Kept flags which noisy-positive inputs survived to the end.
+	Kept []bool
+	// History has one entry per round.
+	History []IterationStats
+}
+
+// Iterations returns the number of training rounds performed.
+func (r Result) Iterations() int { return len(r.History) }
+
+// Learn runs the iterative noise-elimination procedure over pure-positive
+// vectors (may be empty), noisy-positive vectors and negative vectors.
+func Learn(purePos, noisyPos, negatives []feature.Vector, cfg Config) Result {
+	if cfg.Train == nil {
+		panic("noise: Config.Train is required")
+	}
+	maxIter := cfg.MaxIterations
+	if maxIter <= 0 {
+		maxIter = 10
+	}
+	minChange := cfg.MinChange
+	if minChange <= 0 {
+		minChange = 0.01
+	}
+	oversample := cfg.Oversample
+	if oversample <= 0 {
+		oversample = DefaultOversample
+	}
+	threshold := cfg.Threshold
+	if threshold <= 0 {
+		threshold = 0.5
+	}
+
+	kept := make([]bool, len(noisyPos))
+	for i := range kept {
+		kept[i] = true
+	}
+
+	var res Result
+	for iter := 1; iter <= maxIter; iter++ {
+		examples := buildTrainingSet(purePos, noisyPos, kept, negatives, oversample)
+		clf := cfg.Train(examples)
+
+		in, out := 0, 0
+		for i, x := range noisyPos {
+			if !kept[i] {
+				continue
+			}
+			in++
+			if clf.Prob(x) >= threshold {
+				out++
+			} else {
+				kept[i] = false
+			}
+		}
+		res.Classifier = clf
+		res.History = append(res.History, IterationStats{
+			Iteration: iter, NoisyIn: in, NoisyKept: out,
+		})
+		if in == 0 {
+			break
+		}
+		removed := float64(in-out) / float64(in)
+		if removed < minChange {
+			break
+		}
+	}
+	res.Kept = kept
+	return res
+}
+
+// buildTrainingSet assembles the per-round training data: surviving noisy
+// positives plus oversampled pure positives form the positive class; the
+// negatives form the negative class.
+func buildTrainingSet(purePos, noisyPos []feature.Vector, kept []bool, negatives []feature.Vector, oversample int) []classify.Example {
+	n := len(noisyPos) + len(purePos)*oversample + len(negatives)
+	out := make([]classify.Example, 0, n)
+	for i, x := range noisyPos {
+		if kept[i] {
+			out = append(out, classify.Example{X: x, Label: true})
+		}
+	}
+	for _, x := range purePos {
+		for k := 0; k < oversample; k++ {
+			out = append(out, classify.Example{X: x, Label: true})
+		}
+	}
+	for _, x := range negatives {
+		out = append(out, classify.Example{X: x, Label: false})
+	}
+	return out
+}

@@ -1,0 +1,185 @@
+package noise
+
+import (
+	"math/rand"
+	"testing"
+
+	"etap/internal/classify"
+	"etap/internal/feature"
+)
+
+var vocab = feature.NewVocab()
+
+func vec(feats ...string) feature.Vector {
+	return feature.Vectorize(vocab, feats, true)
+}
+
+// dataset builds noisy positive data where `noiseFrac` of the vectors are
+// actually drawn from the negative distribution.
+func dataset(nNoisy, nNeg int, noiseFrac float64, seed int64) (noisy, negs []feature.Vector, isNoise []bool) {
+	rng := rand.New(rand.NewSource(seed))
+	posWords := []string{"acquire", "merger", "deal", "buyout", "takeover"}
+	negWords := []string{"weather", "game", "recipe", "movie", "travel"}
+	draw := func(words []string) feature.Vector {
+		var fs []string
+		for j := 0; j < 4; j++ {
+			fs = append(fs, words[rng.Intn(len(words))])
+		}
+		return vec(fs...)
+	}
+	for i := 0; i < nNoisy; i++ {
+		if rng.Float64() < noiseFrac {
+			noisy = append(noisy, draw(negWords))
+			isNoise = append(isNoise, true)
+		} else {
+			noisy = append(noisy, draw(posWords))
+			isNoise = append(isNoise, false)
+		}
+	}
+	for i := 0; i < nNeg; i++ {
+		negs = append(negs, draw(negWords))
+	}
+	return noisy, negs, isNoise
+}
+
+func nbTrainer(ex []classify.Example) classify.Classifier {
+	return classify.TrainNaiveBayes(ex, classify.NaiveBayesConfig{})
+}
+
+func TestLearnRemovesNoise(t *testing.T) {
+	noisy, negs, isNoise := dataset(300, 300, 0.25, 1)
+	res := Learn(nil, noisy, negs, Config{Train: nbTrainer})
+
+	removedNoise, removedClean := 0, 0
+	for i, k := range res.Kept {
+		if !k {
+			if isNoise[i] {
+				removedNoise++
+			} else {
+				removedClean++
+			}
+		}
+	}
+	totalNoise := 0
+	for _, n := range isNoise {
+		if n {
+			totalNoise++
+		}
+	}
+	if removedNoise < totalNoise*3/4 {
+		t.Errorf("removed only %d/%d noise vectors", removedNoise, totalNoise)
+	}
+	if removedClean > (300-totalNoise)/10 {
+		t.Errorf("removed %d clean vectors (over 10%%)", removedClean)
+	}
+}
+
+func TestLearnMonotoneShrink(t *testing.T) {
+	noisy, negs, _ := dataset(200, 200, 0.3, 2)
+	res := Learn(nil, noisy, negs, Config{Train: nbTrainer})
+	for i := 1; i < len(res.History); i++ {
+		if res.History[i].NoisyIn != res.History[i-1].NoisyKept {
+			t.Errorf("round %d starts with %d, previous kept %d",
+				i+1, res.History[i].NoisyIn, res.History[i-1].NoisyKept)
+		}
+		if res.History[i].NoisyKept > res.History[i].NoisyIn {
+			t.Errorf("round %d kept more than it saw", i+1)
+		}
+	}
+}
+
+func TestLearnConverges(t *testing.T) {
+	noisy, negs, _ := dataset(200, 200, 0.2, 3)
+	res := Learn(nil, noisy, negs, Config{Train: nbTrainer, MaxIterations: 50})
+	if res.Iterations() >= 50 {
+		t.Errorf("did not converge within %d iterations", res.Iterations())
+	}
+	last := res.History[len(res.History)-1]
+	if last.NoisyIn > 0 {
+		removed := float64(last.NoisyIn-last.NoisyKept) / float64(last.NoisyIn)
+		if removed >= 0.01 {
+			t.Errorf("stopped while still removing %.3f", removed)
+		}
+	}
+}
+
+func TestLearnTwoIterationCap(t *testing.T) {
+	noisy, negs, _ := dataset(200, 200, 0.3, 4)
+	res := Learn(nil, noisy, negs, Config{Train: nbTrainer, MaxIterations: 2})
+	if res.Iterations() > 2 {
+		t.Errorf("iterations = %d, want <= 2", res.Iterations())
+	}
+}
+
+func TestLearnPurePositiveOversampling(t *testing.T) {
+	// With pure positives available, the classifier should anchor on
+	// them even when the noisy set is mostly noise.
+	noisy, negs, _ := dataset(100, 300, 0.8, 5)
+	pure := []feature.Vector{
+		vec("acquire", "merger"), vec("deal", "takeover"), vec("buyout", "acquire"),
+	}
+	res := Learn(pure, noisy, negs, Config{Train: nbTrainer})
+	probe := vec("acquire", "merger", "deal")
+	if p := res.Classifier.Prob(probe); p < 0.5 {
+		t.Errorf("classifier lost the positive concept: P = %v", p)
+	}
+}
+
+func TestLearnEmptyNoisySet(t *testing.T) {
+	pure := []feature.Vector{vec("acquire")}
+	negs := []feature.Vector{vec("weather"), vec("game")}
+	res := Learn(pure, nil, negs, Config{Train: nbTrainer})
+	if res.Classifier == nil {
+		t.Fatal("no classifier trained")
+	}
+	if res.Iterations() != 1 {
+		t.Errorf("iterations = %d, want 1 (nothing to relabel)", res.Iterations())
+	}
+}
+
+func TestLearnPanicsWithoutTrainer(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on nil trainer")
+		}
+	}()
+	Learn(nil, nil, nil, Config{})
+}
+
+func TestLearnKeptMatchesHistory(t *testing.T) {
+	noisy, negs, _ := dataset(150, 150, 0.3, 6)
+	res := Learn(nil, noisy, negs, Config{Train: nbTrainer})
+	kept := 0
+	for _, k := range res.Kept {
+		if k {
+			kept++
+		}
+	}
+	last := res.History[len(res.History)-1]
+	if kept != last.NoisyKept {
+		t.Errorf("Kept count %d != final round NoisyKept %d", kept, last.NoisyKept)
+	}
+}
+
+func TestLearnDeterministic(t *testing.T) {
+	noisy, negs, _ := dataset(150, 150, 0.3, 7)
+	a := Learn(nil, noisy, negs, Config{Train: nbTrainer})
+	b := Learn(nil, noisy, negs, Config{Train: nbTrainer})
+	if a.Iterations() != b.Iterations() {
+		t.Fatalf("iteration counts differ: %d vs %d", a.Iterations(), b.Iterations())
+	}
+	for i := range a.Kept {
+		if a.Kept[i] != b.Kept[i] {
+			t.Fatal("kept sets differ between identical runs")
+		}
+	}
+}
+
+func BenchmarkLearn(b *testing.B) {
+	noisy, negs, _ := dataset(500, 500, 0.25, 8)
+	cfg := Config{Train: nbTrainer, MaxIterations: 2}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Learn(nil, noisy, negs, cfg)
+	}
+}

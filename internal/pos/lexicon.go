@@ -1,0 +1,146 @@
+package pos
+
+// lexicon maps lower-cased word forms to their most likely tag. It covers
+// the closed classes exhaustively and the open-class vocabulary that
+// matters for business news. Words absent from the lexicon fall through
+// to the suffix rules in rules.go.
+var lexicon = map[string]Tag{
+	// determiners
+	"the": TagDT, "a": TagDT, "an": TagDT, "this": TagDT, "that": TagDT,
+	"these": TagDT, "those": TagDT, "each": TagDT, "every": TagDT,
+	"some": TagDT, "any": TagDT, "no": TagDT, "all": TagDT, "both": TagDT,
+	"another": TagDT, "either": TagDT, "neither": TagDT,
+
+	// conjunctions
+	"and": TagCC, "or": TagCC, "but": TagCC, "nor": TagCC, "yet": TagCC,
+	"plus": TagCC,
+
+	// prepositions / subordinators
+	"of": TagIN, "in": TagIN, "on": TagIN, "at": TagIN, "by": TagIN,
+	"for": TagIN, "with": TagIN, "from": TagIN, "into": TagIN,
+	"about": TagIN, "after": TagIN, "before": TagIN, "during": TagIN,
+	"between": TagIN, "through": TagIN, "over": TagIN, "under": TagIN,
+	"against": TagIN, "among": TagIN, "within": TagIN, "without": TagIN,
+	"since": TagIN, "until": TagIN, "despite": TagIN, "amid": TagIN,
+	"as": TagIN, "if": TagIN, "because": TagIN, "while": TagIN,
+	"although": TagIN, "though": TagIN, "whether": TagIN, "per": TagIN,
+	"via": TagIN, "unless": TagIN, "toward": TagIN, "towards": TagIN,
+
+	// pronouns
+	"i": TagPRP, "you": TagPRP, "he": TagPRP, "she": TagPRP, "it": TagPRP,
+	"we": TagPRP, "they": TagPRP, "me": TagPRP, "him": TagPRP,
+	"them": TagPRP, "us": TagPRP, "himself": TagPRP, "herself": TagPRP,
+	"itself": TagPRP, "themselves": TagPRP, "who": TagWP, "whom": TagWP,
+	"my": TagPPS, "your": TagPPS, "his": TagPPS, "her": TagPPS,
+	"its": TagPPS, "our": TagPPS, "their": TagPPS,
+	"which": TagWDT, "whose": TagWDT, "what": TagWP,
+	"when": TagWRB, "where": TagWRB, "why": TagWRB, "how": TagWRB,
+	"there": TagEX,
+
+	// modals and auxiliaries
+	"will": TagMD, "would": TagMD, "shall": TagMD, "should": TagMD,
+	"can": TagMD, "could": TagMD, "may": TagMD, "might": TagMD,
+	"must": TagMD,
+	"is":   TagVBZ, "are": TagVBP, "was": TagVBD, "were": TagVBD,
+	"be": TagVB, "been": TagVBN, "being": TagVBG, "am": TagVBP,
+	"has": TagVBZ, "have": TagVBP, "had": TagVBD, "having": TagVBG,
+	"does": TagVBZ, "do": TagVBP, "did": TagVBD, "doing": TagVBG,
+	"to": TagTO, "not": TagRB, "n't": TagRB,
+
+	// high-frequency adverbs
+	"also": TagRB, "now": TagRB, "then": TagRB, "here": TagRB,
+	"very": TagRB, "too": TagRB, "just": TagRB, "only": TagRB,
+	"again": TagRB, "soon": TagRB, "already": TagRB, "still": TagRB,
+	"recently": TagRB, "sharply": TagRB, "significantly": TagRB,
+	"strongly": TagRB, "steadily": TagRB, "roughly": TagRB,
+	"approximately": TagRB, "nearly": TagRB,
+	"up": TagRB, "down": TagRB, "well": TagRB, "even": TagRB,
+	"more": TagRB, "most": TagRB, "less": TagRB, "least": TagRB,
+	"earlier": TagRB, "later": TagRB, "today": TagRB, "yesterday": TagRB,
+	"tomorrow": TagRB, "ago": TagRB, "once": TagRB, "abroad": TagRB,
+	"respectively": TagRB, "meanwhile": TagRB, "however": TagRB,
+
+	// business-news verbs (base forms; inflections derived by rules)
+	"acquire": TagVB, "merge": TagVB, "buy": TagVB, "purchase": TagVB,
+	"sell": TagVB, "announce": TagVB, "report": TagVB, "appoint": TagVB,
+	"name": TagVB, "hire": TagVB, "join": TagVB, "resign": TagVB,
+	"retire": TagVB, "replace": TagVB, "succeed": TagVB, "promote": TagVB,
+	"grow": TagVB, "rise": TagVB, "fall": TagVB, "decline": TagVB,
+	"increase": TagVB, "decrease": TagVB, "post": TagVB, "record": TagVB,
+	"expand": TagVB, "plan": TagVB, "expect": TagVB, "say": TagVB,
+	"agree": TagVB, "complete": TagVB, "close": TagVB, "approve": TagVB,
+	"lead": TagVB, "serve": TagVB, "step": TagVB, "take": TagVB,
+	"make": TagVB, "pay": TagVB, "raise": TagVB, "cut": TagVB,
+	"launch": TagVB, "open": TagVB, "sign": TagVB, "win": TagVB,
+	"beat": TagVB, "miss": TagVB, "exceed": TagVB, "deliver": TagVB,
+
+	// irregular past forms
+	"bought": TagVBD, "sold": TagVBD, "grew": TagVBD, "rose": TagVBD,
+	"fell": TagVBD, "said": TagVBD, "took": TagVBD, "made": TagVBD,
+	"paid": TagVBD, "led": TagVBD, "won": TagVBD, "left": TagVBD,
+	"became": TagVBD, "began": TagVBD, "held": TagVBD, "met": TagVBD,
+	"saw": TagVBD, "came": TagVBD, "went": TagVBD, "stepped": TagVBD,
+	"beaten": TagVBN, "grown": TagVBN, "risen": TagVBN, "fallen": TagVBN,
+	"taken": TagVBN, "given": TagVBN, "known": TagVBN, "shown": TagVBN,
+
+	// business-news nouns
+	"company": TagNN, "firm": TagNN, "merger": TagNN, "acquisition": TagNN,
+	"deal": TagNN, "transaction": TagNN, "agreement": TagNN,
+	"revenue": TagNN, "profit": TagNN, "loss": TagNN, "growth": TagNN,
+	"quarter": TagNN, "year": TagNN, "month": TagNN, "week": TagNN,
+	"market": TagNN, "share": TagNN, "stock": TagNN, "board": TagNN,
+	"management": TagNN, "executive": TagNN, "officer": TagNN,
+	"chief": TagNN, "president": TagNN, "chairman": TagNN,
+	"director": TagNN, "manager": TagNN, "founder": TagNN,
+	"sales": TagNNS, "earnings": TagNNS, "results": TagNNS,
+	"analysts": TagNNS, "investors": TagNNS, "shares": TagNNS,
+	"percent": TagNN, "percentage": TagNN, "billion": TagCD,
+	"million": TagCD, "thousand": TagCD, "hundred": TagCD,
+	"industry": TagNN, "sector": TagNN, "business": TagNN,
+	"customer": TagNN, "product": TagNN, "service": TagNN,
+	"strategy": TagNN, "integration": TagNN, "expansion": TagNN,
+	"leadership": TagNN, "appointment": TagNN, "succession": TagNN,
+	"tenure": TagNN, "role": TagNN, "position": TagNN, "career": TagNN,
+}
+
+func init() {
+	// common adjectives
+	for _, w := range []string{
+		"new", "former", "current", "interim", "strong", "weak",
+		"high", "low", "large", "small", "big", "major", "minor",
+		"financial", "corporate", "strategic", "global", "annual",
+		"quarterly", "fiscal", "net", "gross", "solid", "robust",
+		"sharp", "severe", "significant", "substantial", "modest",
+		"double-digit", "year-over-year", "worst", "best", "good",
+		"bad", "senior", "junior", "executive_jj", "joint", "combined",
+		"previous", "next", "last", "first", "second", "third",
+		"fourth", "recent", "early", "late", "top", "key", "several",
+		"many", "few", "other", "same", "such", "own", "due",
+		"worldwide", "overall", "long-term", "short-term",
+	} {
+		if w == "executive_jj" {
+			continue
+		}
+		lexicon[w] = TagJJ
+	}
+	lexicon["better"] = TagJJR
+	lexicon["worse"] = TagJJR
+	lexicon["higher"] = TagJJR
+	lexicon["lower"] = TagJJR
+	lexicon["larger"] = TagJJR
+	lexicon["smaller"] = TagJJR
+	lexicon["biggest"] = TagJJS
+	lexicon["largest"] = TagJJS
+	lexicon["highest"] = TagJJS
+	lexicon["lowest"] = TagJJS
+
+	// number words
+	for _, w := range []string{
+		"one", "two", "three", "four", "five", "six", "seven",
+		"eight", "nine", "ten", "eleven", "twelve", "twenty",
+		"thirty", "forty", "fifty", "sixty", "seventy", "eighty",
+		"ninety", "dozen",
+	} {
+		lexicon[w] = TagCD
+	}
+}

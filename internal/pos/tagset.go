@@ -1,0 +1,74 @@
+// Package pos implements a rule-based part-of-speech tagger in the spirit
+// of QTag, the tagger ETAP uses for tokens that are not covered by a named
+// entity category (Section 3.2.1). It combines a closed-class lexicon,
+// suffix/morphology guesses and a contextual repair pass.
+package pos
+
+// Tag is a lower-case Penn-style part-of-speech tag, matching the
+// convention in the paper's figures ("all named entity category names are
+// capitalized while the part of speech category names are expressed in
+// small letters").
+type Tag string
+
+// Fine-grained tags produced by the tagger.
+const (
+	TagNN  Tag = "nn"  // common noun, singular
+	TagNNS Tag = "nns" // common noun, plural
+	TagNP  Tag = "np"  // proper noun
+	TagVB  Tag = "vb"  // verb, base form
+	TagVBD Tag = "vbd" // verb, past tense
+	TagVBG Tag = "vbg" // verb, gerund/present participle
+	TagVBN Tag = "vbn" // verb, past participle
+	TagVBZ Tag = "vbz" // verb, 3rd person singular present
+	TagVBP Tag = "vbp" // verb, non-3rd person present
+	TagMD  Tag = "md"  // modal
+	TagJJ  Tag = "jj"  // adjective
+	TagJJR Tag = "jjr" // adjective, comparative
+	TagJJS Tag = "jjs" // adjective, superlative
+	TagRB  Tag = "rb"  // adverb
+	TagIN  Tag = "in"  // preposition / subordinating conjunction
+	TagDT  Tag = "dt"  // determiner
+	TagCC  Tag = "cc"  // coordinating conjunction
+	TagCD  Tag = "cd"  // cardinal number
+	TagPRP Tag = "prp" // personal pronoun
+	TagPPS Tag = "pp$" // possessive pronoun
+	TagTO  Tag = "to"  // "to"
+	TagEX  Tag = "ex"  // existential "there"
+	TagWDT Tag = "wdt" // wh-determiner
+	TagWP  Tag = "wp"  // wh-pronoun
+	TagWRB Tag = "wrb" // wh-adverb
+	TagPOS Tag = "pos" // possessive marker 's
+	TagUH  Tag = "uh"  // interjection
+	TagSym Tag = "sym" // symbol
+	TagPct Tag = "pct" // punctuation
+)
+
+// Coarse maps a fine-grained tag to the coarse category used by the
+// paper's feature-abstraction analysis (Figures 3 and 4 plot vb, rb, nn,
+// np, jj, in, dt, cd, ...).
+func (t Tag) Coarse() Tag {
+	switch t {
+	case TagNN, TagNNS:
+		return TagNN
+	case TagVB, TagVBD, TagVBG, TagVBN, TagVBZ, TagVBP, TagMD:
+		return TagVB
+	case TagJJ, TagJJR, TagJJS:
+		return TagJJ
+	case TagPRP, TagPPS:
+		return TagPRP
+	default:
+		return t
+	}
+}
+
+// IsContent reports whether the tag belongs to an open (content-word)
+// class. Per the paper's RIG observations, content classes keep their
+// instance-valued representation; closed classes are uninformative either
+// way.
+func (t Tag) IsContent() bool {
+	switch t.Coarse() {
+	case TagNN, TagNP, TagVB, TagJJ, TagRB:
+		return true
+	}
+	return false
+}

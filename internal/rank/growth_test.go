@@ -1,0 +1,85 @@
+package rank
+
+import (
+	"testing"
+
+	"etap/internal/ner"
+)
+
+func TestGrowthFigureUp(t *testing.T) {
+	rec := ner.NewRecognizer()
+	got, ok := GrowthFigure(rec, "Acme Corp reported a revenue growth of 10% in the fourth quarter.")
+	if !ok || got != 10 {
+		t.Fatalf("got %v ok=%v, want +10", got, ok)
+	}
+}
+
+func TestGrowthFigureDown(t *testing.T) {
+	rec := ner.NewRecognizer()
+	got, ok := GrowthFigure(rec, "Sales at Widget Inc fell 7 percent during the year.")
+	if !ok || got != -7 {
+		t.Fatalf("got %v ok=%v, want -7", got, ok)
+	}
+}
+
+func TestGrowthFigureDecimal(t *testing.T) {
+	rec := ner.NewRecognizer()
+	got, ok := GrowthFigure(rec, "Margins rose 3.5 percent on strong demand.")
+	if !ok || got != 3.5 {
+		t.Fatalf("got %v ok=%v, want 3.5", got, ok)
+	}
+}
+
+func TestGrowthFigureLargestWins(t *testing.T) {
+	rec := ner.NewRecognizer()
+	got, ok := GrowthFigure(rec, "Revenue grew 4% while the services unit expanded 22 percent.")
+	if !ok || got != 22 {
+		t.Fatalf("got %v ok=%v, want 22 (headline number)", got, ok)
+	}
+}
+
+func TestGrowthFigureUndirectedIgnored(t *testing.T) {
+	rec := ner.NewRecognizer()
+	// A percentage with no movement word nearby is not a growth figure.
+	if got, ok := GrowthFigure(rec, "The company owns 40% of the venture."); ok {
+		t.Fatalf("undirected percent extracted: %v", got)
+	}
+}
+
+func TestGrowthFigureNoPercent(t *testing.T) {
+	rec := ner.NewRecognizer()
+	if _, ok := GrowthFigure(rec, "Revenue grew strongly this quarter."); ok {
+		t.Fatal("figure invented")
+	}
+}
+
+func TestByGrowthFigureOrdering(t *testing.T) {
+	rec := ner.NewRecognizer()
+	events := []Event{
+		{SnippetID: "small", Score: 0.99, Text: "Revenue at Acme rose 3% this quarter."},
+		{SnippetID: "big", Score: 0.60, Text: "Sales at Widget Inc fell 31 percent during the year."},
+		{SnippetID: "none", Score: 0.95, Text: "The outlook remains broadly unchanged."},
+	}
+	ranked := ByGrowthFigure(events, rec)
+	if ranked[0].SnippetID != "big" {
+		t.Fatalf("largest |figure| should rank first: %+v", ranked)
+	}
+	if ranked[2].SnippetID != "none" {
+		t.Fatalf("figure-less events rank last: %+v", ranked)
+	}
+	if ranked[0].Orientation != -31 {
+		t.Errorf("orientation not set to the signed figure: %v", ranked[0].Orientation)
+	}
+	for i, r := range ranked {
+		if r.Rank != i+1 {
+			t.Errorf("rank %d = %d", i, r.Rank)
+		}
+	}
+}
+
+func TestByGrowthFigureEmpty(t *testing.T) {
+	rec := ner.NewRecognizer()
+	if got := ByGrowthFigure(nil, rec); len(got) != 0 {
+		t.Fatalf("got %+v", got)
+	}
+}

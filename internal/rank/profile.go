@@ -1,0 +1,96 @@
+package rank
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"etap/internal/ner"
+)
+
+// Profile aggregates everything ETAP extracted about one company — the
+// per-company view a sales representative opens after the MRR ranking
+// (Section 4) puts the company on their list.
+type Profile struct {
+	// Company is the display form (first surface reference seen).
+	Company string
+	// MRR is the Equation 2 aggregate.
+	MRR float64
+	// Events counts trigger events across all drivers.
+	Events int
+	// ByDriver counts events per sales driver.
+	ByDriver map[string]int
+	// Best is the company's highest-ranked trigger event.
+	Best Ranked
+	// Latest is the most recent resolvable event date, when any event
+	// carries one (zero otherwise) — the freshness signal Section 6
+	// asks for.
+	Latest Date
+}
+
+// BuildProfiles groups ranked trigger events by (alias-resolved) company
+// and aggregates them into profiles, sorted by descending MRR. rec and
+// ref drive event-date resolution; a nil rec skips dates.
+func BuildProfiles(ranked []Ranked, rec *ner.Recognizer, ref Date) []Profile {
+	type acc struct {
+		profile Profile
+		rrSum   float64
+	}
+	byCompany := map[string]*acc{}
+	for _, r := range ranked {
+		if r.Company == "" || r.Rank <= 0 {
+			continue
+		}
+		key := Canonical(r.Company)
+		a, ok := byCompany[key]
+		if !ok {
+			a = &acc{profile: Profile{
+				Company:  r.Company,
+				ByDriver: map[string]int{},
+				Best:     r,
+			}}
+			byCompany[key] = a
+		}
+		p := &a.profile
+		p.Events++
+		p.ByDriver[r.Driver]++
+		a.rrSum += 1 / float64(r.Rank)
+		if r.Rank < p.Best.Rank {
+			p.Best = r
+		}
+		if rec != nil {
+			if d, ok := EventDate(rec, r.Text, ref); ok {
+				if p.Latest.IsZero() || d.MonthsSince(p.Latest) < 0 {
+					p.Latest = d
+				}
+			}
+		}
+	}
+	out := make([]Profile, 0, len(byCompany))
+	for _, a := range byCompany {
+		a.profile.MRR = a.rrSum / float64(a.profile.Events)
+		out = append(out, a.profile)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].MRR != out[j].MRR {
+			return out[i].MRR > out[j].MRR
+		}
+		return out[i].Company < out[j].Company
+	})
+	return out
+}
+
+// String renders the profile as a one-line summary.
+func (p Profile) String() string {
+	var drivers []string
+	for d, n := range p.ByDriver {
+		drivers = append(drivers, fmt.Sprintf("%s:%d", d, n))
+	}
+	sort.Strings(drivers)
+	date := "undated"
+	if !p.Latest.IsZero() {
+		date = fmt.Sprintf("%04d-%02d", p.Latest.Year, p.Latest.Month)
+	}
+	return fmt.Sprintf("%s MRR=%.3f events=%d [%s] latest=%s",
+		p.Company, p.MRR, p.Events, strings.Join(drivers, " "), date)
+}

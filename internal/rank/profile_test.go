@@ -1,0 +1,72 @@
+package rank
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"etap/internal/ner"
+)
+
+func profileInput() []Ranked {
+	return []Ranked{
+		{Event: Event{Company: "Acme Inc", Driver: "ma",
+			Text: "Acme Inc acquired Widget in January 2005."}, Rank: 1},
+		{Event: Event{Company: "Acme", Driver: "cim",
+			Text: "Acme named a new CEO in 2003."}, Rank: 3},
+		{Event: Event{Company: "Bolt Corp", Driver: "ma",
+			Text: "Bolt Corp bought a rival."}, Rank: 2},
+	}
+}
+
+func TestBuildProfilesAggregates(t *testing.T) {
+	rec := ner.NewRecognizer()
+	profiles := BuildProfiles(profileInput(), rec, Date{Year: 2005, Month: 6})
+	if len(profiles) != 2 {
+		t.Fatalf("profiles = %d", len(profiles))
+	}
+	acme := profiles[0]
+	if Canonical(acme.Company) != "acme" {
+		t.Fatalf("first profile = %+v (alias merge + MRR order)", acme)
+	}
+	if acme.Events != 2 || acme.ByDriver["ma"] != 1 || acme.ByDriver["cim"] != 1 {
+		t.Errorf("acme aggregation: %+v", acme)
+	}
+	wantMRR := (1.0 + 1.0/3.0) / 2
+	if math.Abs(acme.MRR-wantMRR) > 1e-12 {
+		t.Errorf("MRR = %v, want %v", acme.MRR, wantMRR)
+	}
+	if acme.Best.Rank != 1 {
+		t.Errorf("best = %+v", acme.Best)
+	}
+	if acme.Latest.Year != 2005 || acme.Latest.Month != 1 {
+		t.Errorf("latest = %+v, want 2005-01", acme.Latest)
+	}
+}
+
+func TestBuildProfilesNilRecognizer(t *testing.T) {
+	profiles := BuildProfiles(profileInput(), nil, Date{})
+	for _, p := range profiles {
+		if !p.Latest.IsZero() {
+			t.Errorf("dates resolved without a recognizer: %+v", p)
+		}
+	}
+}
+
+func TestBuildProfilesSkipsAnonymous(t *testing.T) {
+	in := []Ranked{{Event: Event{Driver: "ma", Text: "orphan"}, Rank: 1}}
+	if got := BuildProfiles(in, nil, Date{}); len(got) != 0 {
+		t.Fatalf("profiles from anonymous events: %+v", got)
+	}
+}
+
+func TestProfileString(t *testing.T) {
+	rec := ner.NewRecognizer()
+	profiles := BuildProfiles(profileInput(), rec, Date{Year: 2005, Month: 6})
+	s := profiles[0].String()
+	for _, want := range []string{"MRR=", "events=2", "cim:1", "ma:1", "latest=2005-01"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("summary %q missing %q", s, want)
+		}
+	}
+}

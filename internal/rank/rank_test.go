@@ -1,0 +1,129 @@
+package rank
+
+import (
+	"math"
+	"testing"
+)
+
+func TestByScoreOrdersDescending(t *testing.T) {
+	events := []Event{
+		{SnippetID: "a", Score: 0.3},
+		{SnippetID: "b", Score: 0.9},
+		{SnippetID: "c", Score: 0.6},
+	}
+	ranked := ByScore(events)
+	if ranked[0].SnippetID != "b" || ranked[1].SnippetID != "c" || ranked[2].SnippetID != "a" {
+		t.Fatalf("order = %+v", ranked)
+	}
+	for i, r := range ranked {
+		if r.Rank != i+1 {
+			t.Errorf("rank %d = %d", i, r.Rank)
+		}
+	}
+}
+
+func TestByScoreStableTieBreak(t *testing.T) {
+	events := []Event{
+		{SnippetID: "z", Score: 0.5},
+		{SnippetID: "a", Score: 0.5},
+	}
+	ranked := ByScore(events)
+	if ranked[0].SnippetID != "a" {
+		t.Fatalf("tie break should be by snippet id: %+v", ranked)
+	}
+}
+
+func TestByScoreDoesNotMutateInput(t *testing.T) {
+	events := []Event{{SnippetID: "a", Score: 0.1}, {SnippetID: "b", Score: 0.9}}
+	ByScore(events)
+	if events[0].SnippetID != "a" {
+		t.Fatal("input slice reordered")
+	}
+}
+
+func TestByOrientationUsesMagnitude(t *testing.T) {
+	events := []Event{
+		{SnippetID: "weakpos", Orientation: 1},
+		{SnippetID: "strongneg", Orientation: -3},
+		{SnippetID: "strongpos", Orientation: 2.5},
+	}
+	ranked := ByOrientation(events)
+	if ranked[0].SnippetID != "strongneg" || ranked[1].SnippetID != "strongpos" {
+		t.Fatalf("order = %+v", ranked)
+	}
+}
+
+func TestCompanyMRREquation2(t *testing.T) {
+	// Company A: ranks 1 (driver d1) and 2 (driver d2) -> (1 + 0.5)/2.
+	// Company B: rank 4 (d1) -> 0.25.
+	ranked := []Ranked{
+		{Event: Event{Company: "Acme Inc", Driver: "d1"}, Rank: 1},
+		{Event: Event{Company: "Acme", Driver: "d2"}, Rank: 2},
+		{Event: Event{Company: "Bolt Corp", Driver: "d1"}, Rank: 4},
+	}
+	scores := CompanyMRR(ranked)
+	if len(scores) != 2 {
+		t.Fatalf("scores = %+v", scores)
+	}
+	if scores[0].Company != "Acme Inc" || math.Abs(scores[0].MRR-0.75) > 1e-12 {
+		t.Errorf("Acme: %+v", scores[0])
+	}
+	if scores[0].Events != 2 {
+		t.Errorf("Acme events = %d, want 2 (alias merge)", scores[0].Events)
+	}
+	if scores[1].Company != "Bolt Corp" || math.Abs(scores[1].MRR-0.25) > 1e-12 {
+		t.Errorf("Bolt: %+v", scores[1])
+	}
+}
+
+func TestCompanyMRRSkipsAnonymous(t *testing.T) {
+	ranked := []Ranked{
+		{Event: Event{Company: ""}, Rank: 1},
+		{Event: Event{Company: "Acme"}, Rank: 2},
+	}
+	scores := CompanyMRR(ranked)
+	if len(scores) != 1 || scores[0].Company != "Acme" {
+		t.Fatalf("scores = %+v", scores)
+	}
+}
+
+func TestCanonical(t *testing.T) {
+	cases := map[string]string{
+		"Halcyon Systems Inc": "halcyon",
+		"Halcyon Systems":     "halcyon",
+		"HALCYON":             "halcyon",
+		"Acme Corp.":          "acme",
+		"Acme":                "acme",
+		"Widget Holdings Ltd": "widget",
+		"Inc":                 "inc", // never empty the name
+		"Meridian Labs":       "meridian",
+		"Northgate Capital":   "northgate",
+		"Silverlake Group":    "silverlake",
+	}
+	for in, want := range cases {
+		if got := Canonical(in); got != want {
+			t.Errorf("Canonical(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestSameCompany(t *testing.T) {
+	if !SameCompany("Halcyon Systems Inc", "Halcyon Systems") {
+		t.Error("suffix variation not merged")
+	}
+	if !SameCompany("ACME Corp", "Acme") {
+		t.Error("case variation not merged")
+	}
+	if SameCompany("Halcyon Systems", "Meridian Systems") {
+		t.Error("different companies merged")
+	}
+}
+
+func TestByScoreEmpty(t *testing.T) {
+	if got := ByScore(nil); len(got) != 0 {
+		t.Fatalf("got %+v", got)
+	}
+	if got := CompanyMRR(nil); len(got) != 0 {
+		t.Fatalf("got %+v", got)
+	}
+}

@@ -1,0 +1,163 @@
+package rank
+
+import (
+	"math"
+	"strconv"
+	"strings"
+
+	"etap/internal/ner"
+	"etap/internal/textproc"
+)
+
+// Date is a coarse month-granularity date — enough to judge whether a
+// trigger event "belongs to a relevant time period" (Section 6).
+type Date struct {
+	Year  int
+	Month int // 1-12; 0 when only the year is known
+}
+
+// IsZero reports whether the date is unset.
+func (d Date) IsZero() bool { return d.Year == 0 }
+
+// MonthsSince returns the (approximate) number of months from d to ref;
+// negative when d is in the future relative to ref.
+func (d Date) MonthsSince(ref Date) float64 {
+	dm, rm := d.Month, ref.Month
+	if dm == 0 {
+		dm = 6 // mid-year assumption for year-only dates
+	}
+	if rm == 0 {
+		rm = 6
+	}
+	return float64((ref.Year-d.Year)*12 + (rm - dm))
+}
+
+var monthIndex = map[string]int{
+	"january": 1, "february": 2, "march": 3, "april": 4, "may": 5,
+	"june": 6, "july": 7, "august": 8, "september": 9, "october": 10,
+	"november": 11, "december": 12,
+}
+
+// ResolvePeriod resolves a PERIOD or YEAR expression to a Date, given the
+// reference date ref — the paper's future-work item "methods need to be
+// developed to resolve phrases such as 'last year' and 'previous
+// quarter'". Unresolvable expressions return ok=false.
+func ResolvePeriod(expr string, ref Date) (Date, bool) {
+	words := textproc.Words(expr)
+	lower := strings.ToLower(expr)
+
+	// Relative expressions.
+	switch {
+	case strings.Contains(lower, "last year"), strings.Contains(lower, "previous year"):
+		return Date{Year: ref.Year - 1}, true
+	case strings.Contains(lower, "this year"):
+		return Date{Year: ref.Year}, true
+	case strings.Contains(lower, "next year"):
+		return Date{Year: ref.Year + 1}, true
+	case strings.Contains(lower, "last quarter"), strings.Contains(lower, "previous quarter"):
+		m := ref.Month - 3
+		y := ref.Year
+		if m <= 0 {
+			m += 12
+			y--
+		}
+		return Date{Year: y, Month: m}, true
+	case strings.Contains(lower, "this quarter"), strings.Contains(lower, "next quarter"):
+		return Date{Year: ref.Year, Month: ref.Month}, true
+	case strings.Contains(lower, "last month"), strings.Contains(lower, "previous month"):
+		m, y := ref.Month-1, ref.Year
+		if m <= 0 {
+			m, y = 12, y-1
+		}
+		return Date{Year: y, Month: m}, true
+	case strings.Contains(lower, "next month"), strings.Contains(lower, "this month"),
+		strings.Contains(lower, "last week"), strings.Contains(lower, "this week"), strings.Contains(lower, "next week"):
+		return Date{Year: ref.Year, Month: ref.Month}, true
+	}
+
+	// Absolute expressions: month name and/or a 4-digit year.
+	var out Date
+	for _, w := range words {
+		if m, ok := monthIndex[w]; ok {
+			out.Month = m
+		}
+	}
+	for _, f := range strings.FieldsFunc(expr, func(r rune) bool {
+		return r < '0' || r > '9'
+	}) {
+		if len(f) == 4 {
+			if y, err := strconv.Atoi(f); err == nil && y >= 1900 && y <= 2099 {
+				out.Year = y
+			}
+		}
+	}
+	// Quarter expressions: "Q4 2004", "the fourth quarter".
+	if out.Month == 0 {
+		for q, m := range map[string]int{"q1": 2, "q2": 5, "q3": 8, "q4": 11,
+			"first": 2, "second": 5, "third": 8, "fourth": 11} {
+			if strings.Contains(lower, q) && (strings.Contains(lower, "quarter") || q[0] == 'q') {
+				out.Month = m
+				break
+			}
+		}
+	}
+	if out.Year == 0 && out.Month != 0 {
+		out.Year = ref.Year // bare month: assume the reference year
+	}
+	return out, !out.IsZero()
+}
+
+// EventDate extracts the most specific resolvable date from a snippet by
+// running the recognizer over it and resolving its PERIOD and YEAR
+// entities. The latest resolvable date wins (news snippets report the
+// newest fact last). ok is false when nothing resolves.
+func EventDate(rec *ner.Recognizer, text string, ref Date) (Date, bool) {
+	var best Date
+	found := false
+	for _, e := range rec.RecognizeText(text) {
+		if e.Category != ner.PERIOD && e.Category != ner.YEAR {
+			continue
+		}
+		d, ok := ResolvePeriod(e.Text, ref)
+		if !ok {
+			continue
+		}
+		if !found || d.MonthsSince(best) < 0 {
+			best = d
+			found = true
+		}
+	}
+	return best, found
+}
+
+// RecencyWeight maps an event date to a multiplicative weight in (0, 1]:
+// exponential decay with the given half-life in months. Events without a
+// date (zero Date) get the neutral weight 0.5 — the paper's observation
+// that misleading biography snippets "can be further tackled by the
+// ranking component by making the score ... a function of the time period
+// associated with the snippet".
+func RecencyWeight(d Date, ref Date, halfLifeMonths float64) float64 {
+	if d.IsZero() {
+		return 0.5
+	}
+	age := d.MonthsSince(ref)
+	if age < 0 {
+		age = 0 // future-dated events are "now"
+	}
+	if halfLifeMonths <= 0 {
+		halfLifeMonths = 12
+	}
+	return math.Exp2(-age / halfLifeMonths)
+}
+
+// ByScoreAndTime ranks events by classifier score multiplied by recency
+// weight — the time-aware extension of the Figure 7 ranking.
+func ByScoreAndTime(events []Event, rec *ner.Recognizer, ref Date, halfLifeMonths float64) []Ranked {
+	weighted := make([]Event, len(events))
+	for i, e := range events {
+		d, _ := EventDate(rec, e.Text, ref)
+		e.Score *= RecencyWeight(d, ref, halfLifeMonths)
+		weighted[i] = e
+	}
+	return ByScore(weighted)
+}

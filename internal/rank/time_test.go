@@ -1,0 +1,126 @@
+package rank
+
+import (
+	"testing"
+
+	"etap/internal/ner"
+)
+
+var ref = Date{Year: 2005, Month: 6}
+
+func TestResolvePeriodRelative(t *testing.T) {
+	cases := map[string]Date{
+		"last year":        {Year: 2004},
+		"previous year":    {Year: 2004},
+		"this year":        {Year: 2005},
+		"next year":        {Year: 2006},
+		"previous quarter": {Year: 2005, Month: 3},
+		"last month":       {Year: 2005, Month: 5},
+	}
+	for in, want := range cases {
+		got, ok := ResolvePeriod(in, ref)
+		if !ok || got != want {
+			t.Errorf("ResolvePeriod(%q) = %+v ok=%v, want %+v", in, got, ok, want)
+		}
+	}
+}
+
+func TestResolvePeriodQuarterYearBoundary(t *testing.T) {
+	got, ok := ResolvePeriod("previous quarter", Date{Year: 2005, Month: 2})
+	if !ok || got.Year != 2004 || got.Month != 11 {
+		t.Fatalf("got %+v, want 2004-11", got)
+	}
+}
+
+func TestResolvePeriodAbsolute(t *testing.T) {
+	got, ok := ResolvePeriod("January 12, 2004", ref)
+	if !ok || got.Year != 2004 || got.Month != 1 {
+		t.Fatalf("got %+v", got)
+	}
+	got, ok = ResolvePeriod("2003", ref)
+	if !ok || got.Year != 2003 || got.Month != 0 {
+		t.Fatalf("got %+v", got)
+	}
+	got, ok = ResolvePeriod("March", ref)
+	if !ok || got.Year != 2005 || got.Month != 3 {
+		t.Fatalf("bare month: got %+v", got)
+	}
+}
+
+func TestResolvePeriodQuarterExpressions(t *testing.T) {
+	got, ok := ResolvePeriod("Q4 2004", ref)
+	if !ok || got.Year != 2004 || got.Month != 11 {
+		t.Fatalf("Q4 2004: got %+v", got)
+	}
+	got, ok = ResolvePeriod("the fourth quarter", ref)
+	if !ok || got.Month != 11 || got.Year != 2005 {
+		t.Fatalf("fourth quarter: got %+v", got)
+	}
+}
+
+func TestResolvePeriodUnresolvable(t *testing.T) {
+	if _, ok := ResolvePeriod("Friday", ref); ok {
+		t.Error("weekday resolved without context")
+	}
+	if _, ok := ResolvePeriod("", ref); ok {
+		t.Error("empty expression resolved")
+	}
+}
+
+func TestEventDatePrefersLatest(t *testing.T) {
+	rec := ner.NewRecognizer()
+	text := "Mr. Smith was the CEO from 1990 to 1995. The board appointed a successor in January 2005."
+	got, ok := EventDate(rec, text, ref)
+	if !ok || got.Year != 2005 {
+		t.Fatalf("got %+v ok=%v, want 2005", got, ok)
+	}
+}
+
+func TestEventDateNone(t *testing.T) {
+	rec := ner.NewRecognizer()
+	if _, ok := EventDate(rec, "No dates appear in this sentence.", ref); ok {
+		t.Error("date invented")
+	}
+}
+
+func TestRecencyWeight(t *testing.T) {
+	now := RecencyWeight(Date{Year: 2005, Month: 6}, ref, 12)
+	old := RecencyWeight(Date{Year: 1995}, ref, 12)
+	none := RecencyWeight(Date{}, ref, 12)
+	if now != 1 {
+		t.Errorf("current event weight = %v, want 1", now)
+	}
+	if old >= 0.01 {
+		t.Errorf("decade-old event weight = %v, want tiny", old)
+	}
+	if none != 0.5 {
+		t.Errorf("unknown-date weight = %v, want 0.5", none)
+	}
+	future := RecencyWeight(Date{Year: 2006}, ref, 12)
+	if future != 1 {
+		t.Errorf("future event weight = %v, want 1", future)
+	}
+}
+
+func TestByScoreAndTimeDemotesBiographies(t *testing.T) {
+	rec := ner.NewRecognizer()
+	events := []Event{
+		{SnippetID: "bio", Score: 0.95,
+			Text: "Mr. Andersen was the CEO of Halcyon Systems from 1980 to 1985."},
+		{SnippetID: "fresh", Score: 0.85,
+			Text: "Halcyon Systems appointed James Smith as CEO in January 2005."},
+	}
+	ranked := ByScoreAndTime(events, rec, ref, 12)
+	if ranked[0].SnippetID != "fresh" {
+		t.Fatalf("time-aware ranking failed: %+v", ranked)
+	}
+}
+
+func TestMonthsSince(t *testing.T) {
+	if got := (Date{Year: 2004, Month: 6}).MonthsSince(ref); got != 12 {
+		t.Errorf("MonthsSince = %v, want 12", got)
+	}
+	if got := (Date{Year: 2006, Month: 6}).MonthsSince(ref); got != -12 {
+		t.Errorf("future MonthsSince = %v, want -12", got)
+	}
+}

@@ -1,0 +1,185 @@
+// Package serve exposes a trained ETAP system and its lead store over
+// HTTP — the interface the paper's screenshots (Figures 7 and 8) imply:
+// sales representatives browse ranked trigger events, filter them, and
+// mark them reviewed.
+//
+// Endpoints (all JSON):
+//
+//	GET  /drivers                      trained driver IDs
+//	GET  /leads?driver=&company=&min=&unreviewed=1&top=
+//	POST /leads/review?id=<snippetID>  mark a lead reviewed
+//	GET  /score?driver=&text=          classify one snippet
+//	GET  /companies?top=               company MRR ranking from the store
+//	GET  /healthz                      liveness
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+
+	"etap/internal/core"
+	"etap/internal/rank"
+	"etap/internal/store"
+)
+
+// Server wires a trained system and a lead store into an http.Handler.
+// All handlers are safe for concurrent use; store mutations are guarded.
+type Server struct {
+	sys *core.System
+
+	mu    sync.Mutex
+	leads *store.Store
+
+	mux *http.ServeMux
+}
+
+// New builds the server. Either argument may be nil: a nil system
+// disables /score and /drivers, a nil store starts empty.
+func New(sys *core.System, leads *store.Store) *Server {
+	if leads == nil {
+		leads = store.New()
+	}
+	s := &Server{sys: sys, leads: leads, mux: http.NewServeMux()}
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /drivers", s.handleDrivers)
+	s.mux.HandleFunc("GET /leads", s.handleLeads)
+	s.mux.HandleFunc("POST /leads/review", s.handleReview)
+	s.mux.HandleFunc("GET /score", s.handleScore)
+	s.mux.HandleFunc("GET /companies", s.handleCompanies)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	n := s.leads.Len()
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "leads": n})
+}
+
+func (s *Server) handleDrivers(w http.ResponseWriter, _ *http.Request) {
+	if s.sys == nil {
+		writeJSON(w, http.StatusOK, []string{})
+		return
+	}
+	drivers := s.sys.Drivers()
+	sort.Strings(drivers)
+	writeJSON(w, http.StatusOK, drivers)
+}
+
+func (s *Server) handleLeads(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	minScore := 0.0
+	if v := q.Get("min"); v != "" {
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad min")
+			return
+		}
+		minScore = f
+	}
+	top := 50
+	if v := q.Get("top"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			writeError(w, http.StatusBadRequest, "bad top")
+			return
+		}
+		top = n
+	}
+	s.mu.Lock()
+	results := s.leads.Find(store.Query{
+		Driver:     q.Get("driver"),
+		Company:    q.Get("company"),
+		MinScore:   minScore,
+		Unreviewed: q.Get("unreviewed") == "1",
+	})
+	s.mu.Unlock()
+	if len(results) > top {
+		results = results[:top]
+	}
+	writeJSON(w, http.StatusOK, results)
+}
+
+func (s *Server) handleReview(w http.ResponseWriter, r *http.Request) {
+	id := r.URL.Query().Get("id")
+	if id == "" {
+		writeError(w, http.StatusBadRequest, "missing id")
+		return
+	}
+	s.mu.Lock()
+	ok := s.leads.MarkReviewed(id)
+	s.mu.Unlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown lead")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"reviewed": id})
+}
+
+func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
+	if s.sys == nil {
+		writeError(w, http.StatusServiceUnavailable, "no system attached")
+		return
+	}
+	q := r.URL.Query()
+	driver, text := q.Get("driver"), q.Get("text")
+	if driver == "" || text == "" {
+		writeError(w, http.StatusBadRequest, "missing driver or text")
+		return
+	}
+	p, err := s.sys.Score(driver, text)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"driver": driver, "score": p, "trigger": p >= 0.5,
+	})
+}
+
+func (s *Server) handleCompanies(w http.ResponseWriter, r *http.Request) {
+	top := 20
+	if v := r.URL.Query().Get("top"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			writeError(w, http.StatusBadRequest, "bad top")
+			return
+		}
+		top = n
+	}
+	// Rank all stored leads per driver, then aggregate (Equation 2).
+	s.mu.Lock()
+	all := s.leads.Find(store.Query{})
+	s.mu.Unlock()
+	byDriver := map[string][]rank.Event{}
+	for _, l := range all {
+		byDriver[l.Driver] = append(byDriver[l.Driver], l.Event)
+	}
+	var ranked []rank.Ranked
+	for _, events := range byDriver {
+		ranked = append(ranked, rank.ByScore(events)...)
+	}
+	scores := rank.CompanyMRR(ranked)
+	if len(scores) > top {
+		scores = scores[:top]
+	}
+	writeJSON(w, http.StatusOK, scores)
+}

@@ -1,0 +1,191 @@
+// Package store persists ETAP's outputs: a lead store that accumulates
+// extracted trigger events across runs with de-duplication, JSONL
+// serialization for downstream CRM systems, and simple querying. The
+// paper's sales representatives consume "a ranked list of trigger
+// events"; a production deployment needs that list to survive restarts
+// and to merge the output of repeated crawls.
+package store
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"time"
+
+	"etap/internal/rank"
+)
+
+// Lead is a stored trigger event with bookkeeping.
+type Lead struct {
+	rank.Event
+	// FirstSeen is when the event first entered the store (Unix
+	// seconds; injected by the caller for determinism in tests).
+	FirstSeen int64 `json:"firstSeen"`
+	// Reviewed marks leads a domain specialist has validated (Section
+	// 4: the ranking component "acts as a precursor to the analysis
+	// task").
+	Reviewed bool `json:"reviewed"`
+}
+
+// Store is an in-memory lead collection with JSONL persistence. Not safe
+// for concurrent use; wrap with a mutex if shared.
+type Store struct {
+	bySnippet map[string]*Lead
+	order     []string // insertion order of snippet IDs
+}
+
+// New returns an empty store.
+func New() *Store {
+	return &Store{bySnippet: make(map[string]*Lead)}
+}
+
+// Len returns the number of stored leads.
+func (s *Store) Len() int { return len(s.order) }
+
+// Add inserts events, de-duplicating by snippet ID. Re-added events keep
+// their original FirstSeen and Reviewed flags but refresh the score (a
+// re-crawl may re-rank). It reports how many events were new.
+func (s *Store) Add(events []rank.Event, now time.Time) int {
+	added := 0
+	for _, ev := range events {
+		if ev.SnippetID == "" {
+			continue
+		}
+		if existing, ok := s.bySnippet[ev.SnippetID]; ok {
+			existing.Score = ev.Score
+			existing.Orientation = ev.Orientation
+			continue
+		}
+		s.bySnippet[ev.SnippetID] = &Lead{Event: ev, FirstSeen: now.Unix()}
+		s.order = append(s.order, ev.SnippetID)
+		added++
+	}
+	return added
+}
+
+// MarkReviewed flags a lead as specialist-validated.
+func (s *Store) MarkReviewed(snippetID string) bool {
+	l, ok := s.bySnippet[snippetID]
+	if ok {
+		l.Reviewed = true
+	}
+	return ok
+}
+
+// Query filters the stored leads. Zero-valued fields match everything.
+type Query struct {
+	Driver     string
+	Company    string // canonical company match
+	MinScore   float64
+	Unreviewed bool // only leads not yet reviewed
+}
+
+// Find returns matching leads sorted by descending score (ties by
+// snippet ID).
+func (s *Store) Find(q Query) []Lead {
+	var out []Lead
+	for _, id := range s.order {
+		l := s.bySnippet[id]
+		if q.Driver != "" && l.Driver != q.Driver {
+			continue
+		}
+		if q.Company != "" && !rank.SameCompany(q.Company, l.Company) {
+			continue
+		}
+		if l.Score < q.MinScore {
+			continue
+		}
+		if q.Unreviewed && l.Reviewed {
+			continue
+		}
+		out = append(out, *l)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].SnippetID < out[j].SnippetID
+	})
+	return out
+}
+
+// WriteJSONL streams every lead, in insertion order, one JSON object per
+// line.
+func (s *Store) WriteJSONL(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, id := range s.order {
+		if err := enc.Encode(s.bySnippet[id]); err != nil {
+			return fmt.Errorf("store: encoding lead %s: %w", id, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSONL loads leads from a JSONL stream into a new store. Duplicate
+// snippet IDs keep the first occurrence.
+func ReadJSONL(r io.Reader) (*Store, error) {
+	s := New()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var l Lead
+		if err := json.Unmarshal(sc.Bytes(), &l); err != nil {
+			return nil, fmt.Errorf("store: line %d: %w", line, err)
+		}
+		if l.SnippetID == "" {
+			return nil, fmt.Errorf("store: line %d: lead without snippet ID", line)
+		}
+		if _, dup := s.bySnippet[l.SnippetID]; dup {
+			continue
+		}
+		cp := l
+		s.bySnippet[l.SnippetID] = &cp
+		s.order = append(s.order, l.SnippetID)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("store: reading: %w", err)
+	}
+	return s, nil
+}
+
+// SaveFile writes the store to path atomically (write + rename).
+func (s *Store) SaveFile(path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := s.WriteJSONL(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// LoadFile reads a store previously written with SaveFile. A missing
+// file yields an empty store (first run).
+func LoadFile(path string) (*Store, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return New(), nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadJSONL(f)
+}

@@ -1,0 +1,179 @@
+package store
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"etap/internal/rank"
+)
+
+var t0 = time.Unix(1_120_000_000, 0)
+
+func sampleEvents() []rank.Event {
+	return []rank.Event{
+		{SnippetID: "d1#0", Driver: "ma", Company: "Acme Corp", Score: 0.9, Text: "Acme buys Widget."},
+		{SnippetID: "d1#1", Driver: "ma", Company: "Widget Inc", Score: 0.7, Text: "Widget sold."},
+		{SnippetID: "d2#0", Driver: "cim", Company: "Acme", Score: 0.8, Text: "Acme names CEO."},
+	}
+}
+
+func TestAddAndDedup(t *testing.T) {
+	s := New()
+	if added := s.Add(sampleEvents(), t0); added != 3 {
+		t.Fatalf("added = %d", added)
+	}
+	// Re-adding refreshes scores but adds nothing.
+	again := sampleEvents()
+	again[0].Score = 0.95
+	if added := s.Add(again, t0.Add(time.Hour)); added != 0 {
+		t.Fatalf("re-add created leads: %d", added)
+	}
+	leads := s.Find(Query{})
+	if len(leads) != 3 {
+		t.Fatalf("len = %d", len(leads))
+	}
+	if leads[0].Score != 0.95 {
+		t.Errorf("score not refreshed: %v", leads[0].Score)
+	}
+	if leads[0].FirstSeen != t0.Unix() {
+		t.Errorf("FirstSeen changed on re-add")
+	}
+}
+
+func TestAddSkipsAnonymous(t *testing.T) {
+	s := New()
+	if added := s.Add([]rank.Event{{Driver: "ma"}}, t0); added != 0 {
+		t.Fatalf("added id-less event")
+	}
+}
+
+func TestFindFilters(t *testing.T) {
+	s := New()
+	s.Add(sampleEvents(), t0)
+
+	if got := s.Find(Query{Driver: "ma"}); len(got) != 2 {
+		t.Errorf("driver filter: %d", len(got))
+	}
+	// Canonical company match folds "Acme Corp" and "Acme".
+	if got := s.Find(Query{Company: "ACME"}); len(got) != 2 {
+		t.Errorf("company filter: %d", len(got))
+	}
+	if got := s.Find(Query{MinScore: 0.85}); len(got) != 1 || got[0].SnippetID != "d1#0" {
+		t.Errorf("score filter: %+v", got)
+	}
+	s.MarkReviewed("d1#0")
+	if got := s.Find(Query{Unreviewed: true}); len(got) != 2 {
+		t.Errorf("unreviewed filter: %d", len(got))
+	}
+}
+
+func TestFindSorted(t *testing.T) {
+	s := New()
+	s.Add(sampleEvents(), t0)
+	got := s.Find(Query{})
+	for i := 1; i < len(got); i++ {
+		if got[i].Score > got[i-1].Score {
+			t.Fatalf("not sorted: %+v", got)
+		}
+	}
+}
+
+func TestMarkReviewedMissing(t *testing.T) {
+	s := New()
+	if s.MarkReviewed("ghost") {
+		t.Fatal("reviewed a phantom lead")
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	s := New()
+	s.Add(sampleEvents(), t0)
+	s.MarkReviewed("d2#0")
+
+	var buf bytes.Buffer
+	if err := s.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(buf.String(), "\n"); lines != 3 {
+		t.Fatalf("lines = %d", lines)
+	}
+	s2, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Len() != 3 {
+		t.Fatalf("round trip len = %d", s2.Len())
+	}
+	got := s2.Find(Query{Driver: "cim"})
+	if len(got) != 1 || !got[0].Reviewed || got[0].FirstSeen != t0.Unix() {
+		t.Fatalf("lead state lost: %+v", got)
+	}
+}
+
+func TestReadJSONLErrors(t *testing.T) {
+	if _, err := ReadJSONL(strings.NewReader("{broken\n")); err == nil {
+		t.Error("no error for malformed JSON")
+	}
+	if _, err := ReadJSONL(strings.NewReader(`{"firstSeen":1}` + "\n")); err == nil {
+		t.Error("no error for lead without snippet ID")
+	}
+	// Blank lines are tolerated.
+	s, err := ReadJSONL(strings.NewReader("\n\n"))
+	if err != nil || s.Len() != 0 {
+		t.Errorf("blank lines: %v %d", err, s.Len())
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "leads.jsonl")
+
+	s := New()
+	s.Add(sampleEvents(), t0)
+	if err := s.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Len() != 3 {
+		t.Fatalf("loaded %d", s2.Len())
+	}
+	// Missing file -> empty store.
+	s3, err := LoadFile(filepath.Join(dir, "absent.jsonl"))
+	if err != nil || s3.Len() != 0 {
+		t.Fatalf("missing file: %v %d", err, s3.Len())
+	}
+}
+
+func TestIncrementalMergeAcrossRuns(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "leads.jsonl")
+
+	// Run 1.
+	s, _ := LoadFile(path)
+	s.Add(sampleEvents()[:2], t0)
+	if err := s.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	// Run 2: overlapping events, one new.
+	s, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	added := s.Add(sampleEvents(), t0.Add(24*time.Hour))
+	if added != 1 {
+		t.Fatalf("second run added %d, want 1", added)
+	}
+	if err := s.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	final, _ := LoadFile(path)
+	if final.Len() != 3 {
+		t.Fatalf("final len = %d", final.Len())
+	}
+}

@@ -1,0 +1,77 @@
+package textproc
+
+import (
+	"testing"
+	"unicode"
+)
+
+// FuzzTokenize asserts tokenizer totality and span integrity on
+// arbitrary input.
+func FuzzTokenize(f *testing.F) {
+	for _, s := range []string{
+		"", "plain words", "$5.2 billion, up 10%!", "a.b.c...d",
+		"Ünïcödé tèxt — em-dash", "don't stop-the presses",
+		"1,2,3 4.5.6", "\x00\x01 control", "trailing space ",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		toks := Tokenize(s)
+		prev := 0
+		for _, tok := range toks {
+			if tok.Start < prev || tok.End <= tok.Start || tok.End > len(s) {
+				t.Fatalf("bad span %+v for input %q", tok, s)
+			}
+			if s[tok.Start:tok.End] != tok.Text {
+				t.Fatalf("span text mismatch: %+v", tok)
+			}
+			prev = tok.End
+		}
+	})
+}
+
+// FuzzSplitSentences asserts chunker totality: ordered, in-bounds spans
+// whose text is the trimmed span content.
+func FuzzSplitSentences(f *testing.F) {
+	for _, s := range []string{
+		"", "One. Two.", "Mr. X met Dr. Y. They spoke.", "No terminator",
+		"Multi\n\nparagraph\n\ntext.", "Ellipsis... and more? Yes!",
+		"\"Quoted.\" Next.", "3.5 is not a boundary. 4 is the end.",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		prev := 0
+		for _, sent := range SplitSentences(s) {
+			if sent.Start < prev || sent.End < sent.Start || sent.End > len(s) {
+				t.Fatalf("bad span %+v for %q", sent, s)
+			}
+			if sent.Text == "" {
+				t.Fatalf("empty sentence for %q", s)
+			}
+			prev = sent.End
+		}
+	})
+}
+
+// FuzzStem asserts the stemmer never panics and output stays lower-case
+// alphabetic when the input is.
+func FuzzStem(f *testing.F) {
+	for _, s := range []string{"", "running", "ACQUIRED", "a", "ties", "agreed", "sky"} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		out := Stem(s)
+		if len(s) > 0 && len(out) == 0 {
+			alpha := true
+			for _, r := range s {
+				if !unicode.IsLetter(r) {
+					alpha = false
+				}
+			}
+			if alpha {
+				t.Fatalf("stem emptied %q", s)
+			}
+		}
+	})
+}

@@ -1,0 +1,193 @@
+package textproc
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Sentence is a contiguous span of the source document recognized as a
+// single sentence by the rule-based chunker.
+type Sentence struct {
+	Text  string // trimmed sentence text
+	Start int    // byte offset of the first byte in the source
+	End   int    // byte offset one past the last byte
+}
+
+// abbreviations that do not end a sentence even when followed by a period.
+// The set mirrors what a business-news sentence chunker needs: honorifics,
+// corporate suffixes, and common truncations.
+var abbreviations = map[string]bool{
+	"mr": true, "mrs": true, "ms": true, "dr": true, "prof": true,
+	"sr": true, "jr": true, "st": true, "rev": true, "gen": true,
+	"rep": true, "sen": true, "gov": true, "capt": true, "lt": true,
+	"col": true, "sgt": true, "hon": true,
+	"inc": true, "corp": true, "co": true, "ltd": true, "llc": true,
+	"plc": true, "llp": true, "bros": true, "assn": true, "dept": true,
+	"div": true, "mfg": true, "intl": true, "natl": true,
+	"jan": true, "feb": true, "mar": true, "apr": true, "jun": true,
+	"jul": true, "aug": true, "sep": true, "sept": true, "oct": true,
+	"nov": true, "dec": true,
+	"vs": true, "etc": true, "eg": true, "ie": true, "cf": true,
+	"approx": true, "est": true, "fig": true, "no": true, "nos": true,
+	"vol": true, "pp": true, "ed": true, "eds": true,
+	"u.s": true, "u.k": true, "u.s.a": true, "e.u": true,
+	"a.m": true, "p.m": true, "i.e": true, "e.g": true,
+}
+
+// SplitSentences performs rule-based sentence boundary detection.
+//
+// Rules (Section 3.1: "We have built a sentence chunker based on rules for
+// sentence boundary detection"):
+//
+//  1. '.', '!' and '?' are candidate terminators.
+//  2. A period does not terminate when the preceding token is a known
+//     abbreviation, a single capital letter (middle initial), or when it
+//     sits inside a number ("3.5").
+//  3. A candidate only terminates when followed by whitespace and either
+//     end-of-text, an upper-case letter, a digit, or an opening quote.
+//  4. Newlines that separate paragraphs (two or more in a row) always
+//     terminate the current sentence.
+func SplitSentences(text string) []Sentence {
+	var sentences []Sentence
+	// Offsets come from ranging over the string so invalid UTF-8 keeps
+	// correct byte positions (see Tokenize).
+	runes := make([]rune, 0, len(text))
+	byteAt := make([]int, 0, len(text)+1)
+	for i, r := range text {
+		byteAt = append(byteAt, i)
+		runes = append(runes, r)
+	}
+	byteAt = append(byteAt, len(text))
+	n := len(runes)
+
+	flush := func(startRune, endRune int) {
+		if startRune >= endRune {
+			return
+		}
+		raw := text[byteAt[startRune]:byteAt[endRune]]
+		trimmed := strings.TrimSpace(raw)
+		if trimmed == "" {
+			return
+		}
+		lead := len(raw) - len(strings.TrimLeft(raw, " \t\r\n"))
+		trail := len(raw) - len(strings.TrimRight(raw, " \t\r\n"))
+		sentences = append(sentences, Sentence{
+			Text:  trimmed,
+			Start: byteAt[startRune] + lead,
+			End:   byteAt[endRune] - trail,
+		})
+	}
+
+	start := 0
+	i := 0
+	for i < n {
+		r := runes[i]
+
+		// Paragraph break: two or more consecutive newlines.
+		if r == '\n' {
+			j := i
+			nl := 0
+			for j < n && (runes[j] == '\n' || runes[j] == '\r' || runes[j] == ' ' || runes[j] == '\t') {
+				if runes[j] == '\n' {
+					nl++
+				}
+				j++
+			}
+			if nl >= 2 {
+				flush(start, i)
+				start = j
+				i = j
+				continue
+			}
+			i++
+			continue
+		}
+
+		if r != '.' && r != '!' && r != '?' {
+			i++
+			continue
+		}
+
+		if r == '.' {
+			// Period inside a number: "3.5 billion".
+			if i > 0 && i+1 < n && unicode.IsDigit(runes[i-1]) && unicode.IsDigit(runes[i+1]) {
+				i++
+				continue
+			}
+			// Abbreviation or initial before the period.
+			word := precedingWord(runes, i)
+			lw := strings.ToLower(word)
+			if abbreviations[lw] || isInitial(word) {
+				i++
+				continue
+			}
+		}
+
+		// Absorb any run of terminators and closing quotes/brackets.
+		j := i + 1
+		for j < n && (runes[j] == '.' || runes[j] == '!' || runes[j] == '?' ||
+			runes[j] == '"' || runes[j] == '\'' || runes[j] == ')' || runes[j] == ']' ||
+			runes[j] == '”' || runes[j] == '’') {
+			j++
+		}
+
+		// Must be followed by whitespace (or end of text).
+		if j < n && !unicode.IsSpace(runes[j]) {
+			i = j
+			continue
+		}
+		// Skip whitespace and check the next visible rune.
+		k := j
+		for k < n && unicode.IsSpace(runes[k]) {
+			k++
+		}
+		if k < n {
+			next := runes[k]
+			if !unicode.IsUpper(next) && !unicode.IsDigit(next) &&
+				next != '"' && next != '“' && next != '(' && next != '‘' && next != '\'' {
+				i = j
+				continue
+			}
+		}
+
+		flush(start, j)
+		start = k
+		i = k
+	}
+	flush(start, n)
+	return sentences
+}
+
+// precedingWord returns the maximal letter-or-period run that ends
+// immediately before runes[end] (a period position).
+func precedingWord(runes []rune, end int) string {
+	j := end
+	for j > 0 {
+		r := runes[j-1]
+		if unicode.IsLetter(r) || (r == '.' && j-1 > 0 && unicode.IsLetter(runes[j-2])) {
+			j--
+			continue
+		}
+		break
+	}
+	return string(runes[j:end])
+}
+
+// isInitial reports whether word looks like a person's initial ("J",
+// "J.K") — a single capital letter or dotted capitals.
+func isInitial(word string) bool {
+	if word == "" {
+		return false
+	}
+	letters := 0
+	for _, r := range word {
+		if r == '.' {
+			continue
+		}
+		if !unicode.IsUpper(r) {
+			return false
+		}
+		letters++
+	}
+	return letters >= 1 && letters <= 2 && len([]rune(word)) <= 3
+}

@@ -1,0 +1,55 @@
+package textproc
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestIsStopword(t *testing.T) {
+	for _, w := range []string{"the", "The", "THE", "and", "of", "is"} {
+		if !IsStopword(w) {
+			t.Errorf("IsStopword(%q) = false, want true", w)
+		}
+	}
+	for _, w := range []string{"acquire", "ceo", "revenue", "merger", "growth"} {
+		if IsStopword(w) {
+			t.Errorf("IsStopword(%q) = true, want false", w)
+		}
+	}
+}
+
+func TestRemoveStopwords(t *testing.T) {
+	in := []string{"the", "company", "announced", "a", "merger"}
+	got := RemoveStopwords(in)
+	want := []string{"company", "announced", "merger"}
+	if strings.Join(got, " ") != strings.Join(want, " ") {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+func TestRemoveStopwordsEmpty(t *testing.T) {
+	if got := RemoveStopwords(nil); len(got) != 0 {
+		t.Errorf("nil input: got %v", got)
+	}
+	if got := RemoveStopwords([]string{"the", "a"}); len(got) != 0 {
+		t.Errorf("all-stopword input: got %v", got)
+	}
+}
+
+func TestNormalizeWords(t *testing.T) {
+	in := []string{"The", "Companies", "Announced", "a", "Merger"}
+	got := NormalizeWords(in)
+	// lowercased, stopped, stemmed
+	want := []string{"compani", "announc", "merger"}
+	if strings.Join(got, " ") != strings.Join(want, " ") {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+func TestNormalizeWordsPreservesContentWords(t *testing.T) {
+	// Driver-discriminative verbs must survive normalization.
+	got := NormalizeWords([]string{"acquired", "appointed", "grew"})
+	if len(got) != 3 {
+		t.Fatalf("content verbs were stopped: %v", got)
+	}
+}

@@ -1,0 +1,163 @@
+// Package textproc provides the low-level text processing substrate used
+// throughout ETAP: tokenization, rule-based sentence boundary detection,
+// Porter stemming, stop-word filtering and normalization.
+//
+// The pipeline mirrors the pre-processing described in Section 3.2.1 of the
+// paper: "simple operations such as changing all text to lower case,
+// stemming, and stop-word elimination".
+package textproc
+
+import (
+	"strings"
+	"unicode"
+)
+
+// TokenKind classifies a surface token.
+type TokenKind uint8
+
+const (
+	// KindWord is an alphabetic token, possibly with internal
+	// apostrophes or hyphens ("company", "don't", "third-quarter").
+	KindWord TokenKind = iota
+	// KindNumber is a numeric token, possibly with internal commas,
+	// periods or a leading sign ("5", "1,200", "3.5").
+	KindNumber
+	// KindPunct is a single punctuation rune.
+	KindPunct
+	// KindSymbol is a currency or other symbol ("$", "%", "€").
+	KindSymbol
+)
+
+// Token is a surface token with its span in the original text.
+type Token struct {
+	Text  string    // surface form, unmodified
+	Kind  TokenKind // coarse lexical class
+	Start int       // byte offset of the first byte in the source
+	End   int       // byte offset one past the last byte
+}
+
+// IsWord reports whether the token is alphabetic.
+func (t Token) IsWord() bool { return t.Kind == KindWord }
+
+// IsNumber reports whether the token is numeric.
+func (t Token) IsNumber() bool { return t.Kind == KindNumber }
+
+// Lower returns the lower-cased surface form.
+func (t Token) Lower() string { return strings.ToLower(t.Text) }
+
+// Tokenize splits text into word, number, punctuation and symbol tokens.
+// Words keep internal apostrophes and hyphens; numbers keep internal commas
+// and decimal points ("1,200.50" is one token). All offsets are byte
+// offsets into the input.
+func Tokenize(text string) []Token {
+	tokens := make([]Token, 0, len(text)/5)
+	// byteAt[i] is the byte offset of runes[i]; byteAt[len] == len(text).
+	// Offsets come from ranging over the string, which stays correct
+	// even for invalid UTF-8 (each bad byte decodes to U+FFFD but
+	// advances by its true source width).
+	runes := make([]rune, 0, len(text))
+	byteAt := make([]int, 0, len(text)+1)
+	for i, r := range text {
+		byteAt = append(byteAt, i)
+		runes = append(runes, r)
+	}
+	byteAt = append(byteAt, len(text))
+
+	i := 0
+	n := len(runes)
+	for i < n {
+		r := runes[i]
+		// Token text is sliced from the source by byte offsets, so
+		// invalid bytes round-trip exactly.
+		src := func(from, to int) string { return text[byteAt[from]:byteAt[to]] }
+		switch {
+		case unicode.IsSpace(r):
+			i++
+		case unicode.IsLetter(r):
+			j := i + 1
+			for j < n {
+				rj := runes[j]
+				if unicode.IsLetter(rj) || unicode.IsDigit(rj) {
+					j++
+					continue
+				}
+				// Keep internal apostrophes/hyphens/periods when
+				// followed by a letter: "don't", "vice-president",
+				// "U.S.A" (trailing period handled by sentence rules).
+				if (rj == '\'' || rj == '-' || rj == '.' || rj == '&') &&
+					j+1 < n && unicode.IsLetter(runes[j+1]) {
+					j += 2
+					continue
+				}
+				break
+			}
+			tokens = append(tokens, Token{
+				Text:  src(i, j),
+				Kind:  KindWord,
+				Start: byteAt[i],
+				End:   byteAt[j],
+			})
+			i = j
+		case unicode.IsDigit(r):
+			j := i + 1
+			for j < n {
+				rj := runes[j]
+				if unicode.IsDigit(rj) {
+					j++
+					continue
+				}
+				if (rj == ',' || rj == '.') && j+1 < n && unicode.IsDigit(runes[j+1]) {
+					j += 2
+					continue
+				}
+				break
+			}
+			tokens = append(tokens, Token{
+				Text:  src(i, j),
+				Kind:  KindNumber,
+				Start: byteAt[i],
+				End:   byteAt[j],
+			})
+			i = j
+		case isSymbolRune(r):
+			tokens = append(tokens, Token{
+				Text:  src(i, i+1),
+				Kind:  KindSymbol,
+				Start: byteAt[i],
+				End:   byteAt[i+1],
+			})
+			i++
+		default:
+			tokens = append(tokens, Token{
+				Text:  src(i, i+1),
+				Kind:  KindPunct,
+				Start: byteAt[i],
+				End:   byteAt[i+1],
+			})
+			i++
+		}
+	}
+	return tokens
+}
+
+func isSymbolRune(r rune) bool {
+	switch r {
+	case '$', '%', '€', '£', '¥', '#', '+', '=', '<', '>', '@', '^', '~', '|':
+		return true
+	}
+	return unicode.IsSymbol(r) && r != '\''
+}
+
+// Words returns the lower-cased word tokens of text, dropping punctuation,
+// numbers and symbols. It is the convenience entry point used by callers
+// that only need a bag of words.
+func Words(text string) []string {
+	toks := Tokenize(text)
+	out := make([]string, 0, len(toks))
+	for _, t := range toks {
+		if t.Kind == KindWord {
+			out = append(out, strings.ToLower(t.Text))
+		}
+	}
+	return out
+}

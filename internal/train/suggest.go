@@ -1,0 +1,96 @@
+package train
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"etap/internal/textproc"
+)
+
+// SuggestQueries implements the paper's observation that "the smart
+// queries for a sales driver could be obtained by analyzing the pure
+// positive data set": it mines the pure positive snippets for the word
+// bigrams that are frequent there and rare in the background sample, and
+// returns the top k as quoted phrase queries.
+//
+// Scoring is freq_pos * log((freq_pos/Npos) / (freq_bg/Nbg + ε)) — a
+// high-yield phrase must be common in positives (so the query returns
+// many pages) and discriminative against the background (so the pages
+// are relevant). Bigrams made only of stop words are skipped; matching
+// is on stems so inflections pool.
+func SuggestQueries(purePositives, background []string, k int) []string {
+	type stats struct {
+		pos, bg float64
+		surface string // most recent surface form, for the query text
+	}
+	counts := map[string]*stats{}
+
+	collect := func(texts []string, positive bool) float64 {
+		total := 0.0
+		for _, t := range texts {
+			words := textproc.Words(t)
+			for i := 0; i+1 < len(words); i++ {
+				a, b := words[i], words[i+1]
+				if textproc.IsStopword(a) && textproc.IsStopword(b) {
+					continue
+				}
+				key := textproc.Stem(a) + " " + textproc.Stem(b)
+				s := counts[key]
+				if s == nil {
+					s = &stats{}
+					counts[key] = s
+				}
+				if positive {
+					s.pos++
+					s.surface = a + " " + b
+				} else {
+					s.bg++
+				}
+				total++
+			}
+		}
+		return total
+	}
+	nPos := collect(purePositives, true)
+	nBg := collect(background, false)
+	if nPos == 0 {
+		return nil
+	}
+	if nBg == 0 {
+		nBg = 1
+	}
+
+	type scored struct {
+		key, surface string
+		score        float64
+	}
+	var ranked []scored
+	for key, s := range counts {
+		if s.pos < 2 {
+			continue // a query must be reusable, not a one-off phrase
+		}
+		const eps = 1e-9
+		lift := (s.pos / nPos) / (s.bg/nBg + eps)
+		if lift <= 1 {
+			continue
+		}
+		ranked = append(ranked, scored{key: key, surface: s.surface,
+			score: s.pos * math.Log(lift)})
+	}
+	sort.Slice(ranked, func(i, j int) bool {
+		if ranked[i].score != ranked[j].score {
+			return ranked[i].score > ranked[j].score
+		}
+		return ranked[i].key < ranked[j].key
+	})
+	if k > len(ranked) {
+		k = len(ranked)
+	}
+	out := make([]string, 0, k)
+	for _, r := range ranked[:k] {
+		out = append(out, fmt.Sprintf("%q", strings.ToLower(r.surface)))
+	}
+	return out
+}

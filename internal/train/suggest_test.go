@@ -1,0 +1,115 @@
+package train
+
+import (
+	"strings"
+	"testing"
+
+	"etap/internal/corpus"
+	"etap/internal/web"
+)
+
+func TestSuggestQueriesFindsDriverPhrases(t *testing.T) {
+	gen := corpus.NewGenerator(corpus.Config{Seed: 301})
+	var pure []string
+	for _, p := range gen.PurePositives(corpus.MergersAcquisitions, 60) {
+		pure = append(pure, p.Text)
+	}
+	var bg []string
+	for _, b := range gen.BackgroundSnippets(200) {
+		bg = append(bg, b.Text)
+	}
+	got := SuggestQueries(pure, bg, 8)
+	if len(got) != 8 {
+		t.Fatalf("suggestions = %v", got)
+	}
+	// The M&A held-out phrasings must surface: merger/acquisition
+	// bigrams dominate the pure positives.
+	joined := strings.Join(got, " ")
+	hits := 0
+	for _, frag := range []string{"merger", "acqui", "purchase", "buy", "part of", "tie"} {
+		if strings.Contains(joined, frag) {
+			hits++
+		}
+	}
+	if hits < 2 {
+		t.Errorf("no driver vocabulary among suggestions: %v", got)
+	}
+	// Every suggestion is a quoted phrase.
+	for _, q := range got {
+		if !strings.HasPrefix(q, `"`) || !strings.HasSuffix(q, `"`) {
+			t.Errorf("suggestion not quoted: %q", q)
+		}
+	}
+}
+
+// The end-to-end property: suggested queries must actually retrieve
+// driver-relevant pages from the web at high precision — they are smart
+// queries, generated rather than hand-written.
+func TestSuggestedQueriesRetrieveRelevantPages(t *testing.T) {
+	gen := corpus.NewGenerator(corpus.Config{Seed: 302})
+	docs := gen.World()
+	w := buildWebFromDocs(docs)
+	byURL := map[string]*corpus.Document{}
+	for i := range docs {
+		byURL[docs[i].URL] = &docs[i]
+	}
+
+	var pure []string
+	for _, p := range gen.PurePositives(corpus.ChangeInManagement, 60) {
+		pure = append(pure, p.Text)
+	}
+	var bg []string
+	for _, b := range gen.BackgroundSnippets(200) {
+		bg = append(bg, b.Text)
+	}
+	queries := SuggestQueries(pure, bg, 5)
+	if len(queries) == 0 {
+		t.Fatal("no suggestions")
+	}
+
+	relevant, total := 0, 0
+	for _, q := range queries {
+		for _, page := range w.Search(q, 30) {
+			total++
+			if byURL[page.URL].Kind == corpus.KindRelevant &&
+				byURL[page.URL].Driver == corpus.ChangeInManagement {
+				relevant++
+			}
+		}
+	}
+	if total == 0 {
+		t.Fatalf("suggested queries retrieved nothing: %v", queries)
+	}
+	prec := float64(relevant) / float64(total)
+	if prec < 0.5 {
+		t.Errorf("suggested queries precision %.2f (%d/%d): %v", prec, relevant, total, queries)
+	}
+	t.Logf("suggested %v -> %d pages, precision %.2f", queries, total, prec)
+}
+
+func TestSuggestQueriesEdgeCases(t *testing.T) {
+	if got := SuggestQueries(nil, nil, 5); got != nil {
+		t.Errorf("nil input: %v", got)
+	}
+	// Background-free input still works (lift against epsilon).
+	got := SuggestQueries([]string{"alpha beta gamma", "alpha beta delta"}, nil, 3)
+	if len(got) == 0 {
+		t.Error("no suggestions without background")
+	}
+	// Phrases occurring once are not suggested.
+	got = SuggestQueries([]string{"unique phrase here"}, nil, 3)
+	if len(got) != 0 {
+		t.Errorf("one-off phrases suggested: %v", got)
+	}
+}
+
+// buildWebFromDocs indexes generated documents (mirrors core.BuildWeb;
+// importing core here would be an inverted dependency).
+func buildWebFromDocs(docs []corpus.Document) *web.Web {
+	w := web.New()
+	for _, d := range docs {
+		w.AddPage(web.Page{URL: d.URL, Host: d.Host, Title: d.Title, Text: d.Text(), Links: d.Links})
+	}
+	w.Freeze()
+	return w
+}

@@ -1,0 +1,189 @@
+package train
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"etap/internal/annotate"
+	"etap/internal/corpus"
+	"etap/internal/ner"
+	"etap/internal/snippet"
+	"etap/internal/web"
+)
+
+// Spec describes how to generate noisy positive data for one sales
+// driver: the smart queries and the snippet-level entity filter.
+type Spec struct {
+	Driver       corpus.Driver
+	SmartQueries []string
+	Filter       Filter
+}
+
+// DefaultSpecs returns the specs the paper describes for the three
+// built-in drivers: five smart queries each, with the quoted filters of
+// Sections 3.3.1 and 5.1.
+func DefaultSpecs() map[corpus.Driver]Spec {
+	maQueries := make([]string, 0, 5)
+	for _, p := range corpus.FamousPairs() {
+		maQueries = append(maQueries, p[0]+" "+p[1]) // "IBM Daksh" etc.
+	}
+	return map[corpus.Driver]Spec{
+		corpus.MergersAcquisitions: {
+			Driver:       corpus.MergersAcquisitions,
+			SmartQueries: maQueries,
+			// "Discard all snippets not containing two ORG annotations."
+			Filter: MinCount(ner.ORG, 2),
+		},
+		corpus.ChangeInManagement: {
+			Driver: corpus.ChangeInManagement,
+			SmartQueries: []string{
+				`"new ceo"`, `"new cto"`, `"new president"`,
+				`"new managing director"`, `"was appointed"`,
+			},
+			// "Designation AND (Person OR Organization)".
+			Filter: And(Has(ner.DESIG), Or(Has(ner.PRSN), Has(ner.ORG))),
+		},
+		corpus.RevenueGrowth: {
+			Driver: corpus.RevenueGrowth,
+			SmartQueries: []string{
+				`"revenue growth"`, `"quarterly revenue"`, `"record revenue"`,
+				`"earnings grew"`, `"revenue fell"`,
+			},
+			// "Organization AND (Currency OR percent figure)".
+			Filter: And(Has(ner.ORG), Or(Has(ner.CURRENCY), Has(ner.PRCNT))),
+		},
+	}
+}
+
+// Config sizes the generation process.
+type Config struct {
+	// TopK documents fetched per smart query; 0 means 200 ("We gathered
+	// the top 200 documents returned by the search engine").
+	TopK int
+	// SnippetN is the sentences-per-snippet window; 0 means 3.
+	SnippetN int
+}
+
+func (c Config) withDefaults() Config {
+	if c.TopK == 0 {
+		c.TopK = 200
+	}
+	if c.SnippetN == 0 {
+		c.SnippetN = snippet.DefaultN
+	}
+	return c
+}
+
+// Snippet is a generated training snippet with provenance.
+type Snippet struct {
+	Text  string
+	URL   string
+	Units []annotate.Unit // annotation, reused by feature extraction
+}
+
+// Stats reports what the generation step did.
+type Stats struct {
+	QueriesRun       int
+	PagesFetched     int
+	SnippetsSeen     int
+	SnippetsFiltered int // rejected by the entity filter
+	SnippetsKept     int
+	Duplicates       int
+}
+
+// String renders the stats compactly.
+func (s Stats) String() string {
+	return fmt.Sprintf("queries=%d pages=%d snippets=%d kept=%d filtered=%d dups=%d",
+		s.QueriesRun, s.PagesFetched, s.SnippetsSeen, s.SnippetsKept,
+		s.SnippetsFiltered, s.Duplicates)
+}
+
+// NoisyPositives runs the two-step procedure of Section 3.3.1: smart
+// queries fetch top-k pages, pages are split into snippets, snippets are
+// annotated, and the entity filter distills the noisy positive set.
+// Duplicate snippet texts (the same page reached by several queries) are
+// kept once.
+func NoisyPositives(w *web.Web, ann *annotate.Annotator, spec Spec, cfg Config) ([]Snippet, Stats) {
+	cfg = cfg.withDefaults()
+	gen := snippet.Generator{N: cfg.SnippetN}
+
+	var out []Snippet
+	var stats Stats
+	seenPage := map[string]bool{}
+	seenText := map[string]bool{}
+	for _, q := range spec.SmartQueries {
+		stats.QueriesRun++
+		for _, page := range w.Search(q, cfg.TopK) {
+			if seenPage[page.URL] {
+				continue
+			}
+			seenPage[page.URL] = true
+			stats.PagesFetched++
+			for _, sn := range gen.Split(page.URL, page.Text) {
+				stats.SnippetsSeen++
+				units := ann.Annotate(sn.Text)
+				if spec.Filter != nil && !spec.Filter(units) {
+					stats.SnippetsFiltered++
+					continue
+				}
+				key := strings.ToLower(sn.Text)
+				if seenText[key] {
+					stats.Duplicates++
+					continue
+				}
+				seenText[key] = true
+				out = append(out, Snippet{Text: sn.Text, URL: page.URL, Units: units})
+			}
+		}
+	}
+	stats.SnippetsKept = len(out)
+	return out, stats
+}
+
+// Negatives draws n random snippets from the whole web — the negative
+// class ("we construct the negative class by randomly picking a large
+// number of snippets from the Web"). The same set can be reused across
+// drivers. Sampling is deterministic in seed.
+func Negatives(w *web.Web, ann *annotate.Annotator, n int, snippetN int, seed int64) []Snippet {
+	if snippetN <= 0 {
+		snippetN = snippet.DefaultN
+	}
+	gen := snippet.Generator{N: snippetN}
+	urls := w.URLs()
+	if len(urls) == 0 || n <= 0 {
+		return nil
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var out []Snippet
+	seen := map[string]bool{}
+	// Bound the attempts: a tiny web may not have n distinct snippets.
+	for attempts := 0; len(out) < n && attempts < n*20; attempts++ {
+		page, _ := w.Page(urls[rng.Intn(len(urls))])
+		snips := gen.Split(page.URL, page.Text)
+		if len(snips) == 0 {
+			continue
+		}
+		sn := snips[rng.Intn(len(snips))]
+		key := strings.ToLower(sn.Text)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		out = append(out, Snippet{Text: sn.Text, URL: page.URL, Units: ann.Annotate(sn.Text)})
+	}
+	return out
+}
+
+// Oversample repeats each snippet k times (the paper's pure-positive
+// oversampling "by a factor of 3").
+func Oversample(snips []Snippet, k int) []Snippet {
+	if k <= 1 {
+		return snips
+	}
+	out := make([]Snippet, 0, len(snips)*k)
+	for i := 0; i < k; i++ {
+		out = append(out, snips...)
+	}
+	return out
+}

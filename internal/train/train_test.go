@@ -1,0 +1,204 @@
+package train
+
+import (
+	"strings"
+	"testing"
+
+	"etap/internal/annotate"
+	"etap/internal/corpus"
+	"etap/internal/ner"
+	"etap/internal/web"
+)
+
+func buildWeb(t testing.TB, seed int64) (*web.Web, []corpus.Document) {
+	t.Helper()
+	docs := corpus.NewGenerator(corpus.Config{
+		Seed:                  seed,
+		RelevantPerDriver:     40,
+		BackgroundDocs:        120,
+		HardNegativePerDriver: 15,
+		FamousEventDocs:       6,
+	}).World()
+	w := web.New()
+	for _, d := range docs {
+		w.AddPage(web.Page{URL: d.URL, Host: d.Host, Title: d.Title, Text: d.Text(), Links: d.Links})
+	}
+	w.Freeze()
+	return w, docs
+}
+
+func docByURL(docs []corpus.Document, url string) *corpus.Document {
+	for i := range docs {
+		if docs[i].URL == url {
+			return &docs[i]
+		}
+	}
+	return nil
+}
+
+func TestFilterCombinators(t *testing.T) {
+	ann := annotate.New(nil)
+	units := ann.Annotate("Mr. Smith, the new CEO of Halcyon, arrived.")
+
+	if !Has(ner.DESIG)(units) {
+		t.Error("Has(DESIG) = false")
+	}
+	if Has(ner.CURRENCY)(units) {
+		t.Error("Has(CURRENCY) = true")
+	}
+	if !And(Has(ner.DESIG), Or(Has(ner.PRSN), Has(ner.ORG)))(units) {
+		t.Error("paper's CiM filter rejected a textbook CiM snippet")
+	}
+	if !MinCount(ner.ORG, 1)(units) || MinCount(ner.ORG, 2)(units) {
+		t.Error("MinCount thresholds wrong")
+	}
+	if !ContainsAnyStem("arrive")(units) {
+		t.Error("ContainsAnyStem missed a stem match")
+	}
+	if Not(Has(ner.DESIG))(units) {
+		t.Error("Not inverted nothing")
+	}
+}
+
+func TestNoisyPositivesChangeInManagement(t *testing.T) {
+	w, docs := buildWeb(t, 11)
+	ann := annotate.New(nil)
+	spec := DefaultSpecs()[corpus.ChangeInManagement]
+	snips, stats := NoisyPositives(w, ann, spec, Config{TopK: 50})
+
+	if len(snips) < 50 {
+		t.Fatalf("only %d noisy positives (stats: %s)", len(snips), stats)
+	}
+	// Measure actual noise: fraction of snippets without a true CiM
+	// trigger. It must be present (it is *noisy* data) but a minority.
+	noise := 0
+	for _, s := range snips {
+		doc := docByURL(docs, s.URL)
+		if doc == nil {
+			t.Fatalf("snippet from unknown URL %s", s.URL)
+		}
+		if !doc.ContainsTrigger(s.Text, corpus.ChangeInManagement) {
+			noise++
+		}
+	}
+	frac := float64(noise) / float64(len(snips))
+	if frac > 0.6 {
+		t.Errorf("noise fraction %.2f too high — smart queries not working", frac)
+	}
+	if noise == 0 {
+		t.Error("zero noise — the noisy positive set should contain some noise")
+	}
+	t.Logf("CiM noisy positives: %d snippets, noise fraction %.2f (%s)", len(snips), frac, stats)
+}
+
+func TestNoisyPositivesMergersFamousEvents(t *testing.T) {
+	w, docs := buildWeb(t, 12)
+	ann := annotate.New(nil)
+	spec := DefaultSpecs()[corpus.MergersAcquisitions]
+	snips, stats := NoisyPositives(w, ann, spec, Config{TopK: 50})
+	if len(snips) < 20 {
+		t.Fatalf("only %d M&A noisy positives (stats: %s)", len(snips), stats)
+	}
+	hit := 0
+	for _, s := range snips {
+		doc := docByURL(docs, s.URL)
+		if doc.ContainsTrigger(s.Text, corpus.MergersAcquisitions) {
+			hit++
+		}
+	}
+	if float64(hit)/float64(len(snips)) < 0.4 {
+		t.Errorf("only %d/%d M&A snippets contain real triggers", hit, len(snips))
+	}
+}
+
+func TestNoisyPositivesFilterEnforced(t *testing.T) {
+	w, _ := buildWeb(t, 13)
+	ann := annotate.New(nil)
+	spec := DefaultSpecs()[corpus.MergersAcquisitions]
+	snips, _ := NoisyPositives(w, ann, spec, Config{TopK: 30})
+	for _, s := range snips {
+		if annotate.CountEntities(s.Units, ner.ORG) < 2 {
+			t.Fatalf("filter leak: snippet with <2 ORG: %q", s.Text)
+		}
+	}
+}
+
+func TestNoisyPositivesDeduplicates(t *testing.T) {
+	w, _ := buildWeb(t, 14)
+	ann := annotate.New(nil)
+	spec := DefaultSpecs()[corpus.ChangeInManagement]
+	snips, _ := NoisyPositives(w, ann, spec, Config{TopK: 50})
+	seen := map[string]bool{}
+	for _, s := range snips {
+		key := strings.ToLower(s.Text)
+		if seen[key] {
+			t.Fatalf("duplicate snippet text: %q", s.Text)
+		}
+		seen[key] = true
+	}
+}
+
+func TestNegativesSampled(t *testing.T) {
+	w, _ := buildWeb(t, 15)
+	ann := annotate.New(nil)
+	negs := Negatives(w, ann, 200, 3, 7)
+	if len(negs) != 200 {
+		t.Fatalf("got %d negatives, want 200", len(negs))
+	}
+	// Deterministic in seed.
+	again := Negatives(w, ann, 200, 3, 7)
+	for i := range negs {
+		if negs[i].Text != again[i].Text {
+			t.Fatal("negative sampling not deterministic")
+		}
+	}
+	other := Negatives(w, ann, 200, 3, 8)
+	same := 0
+	for i := range negs {
+		if negs[i].Text == other[i].Text {
+			same++
+		}
+	}
+	if same == len(negs) {
+		t.Error("different seeds produced identical samples")
+	}
+}
+
+func TestNegativesEmptyWeb(t *testing.T) {
+	w := web.New()
+	ann := annotate.New(nil)
+	if negs := Negatives(w, ann, 10, 3, 1); negs != nil {
+		t.Fatalf("negatives from empty web: %d", len(negs))
+	}
+}
+
+func TestOversample(t *testing.T) {
+	in := []Snippet{{Text: "a"}, {Text: "b"}}
+	out := Oversample(in, 3)
+	if len(out) != 6 {
+		t.Fatalf("len = %d, want 6", len(out))
+	}
+	if got := Oversample(in, 1); len(got) != 2 {
+		t.Fatalf("k=1 should be identity, got %d", len(got))
+	}
+	if got := Oversample(in, 0); len(got) != 2 {
+		t.Fatalf("k=0 should be identity, got %d", len(got))
+	}
+}
+
+func TestStatsString(t *testing.T) {
+	s := Stats{QueriesRun: 5, PagesFetched: 100, SnippetsSeen: 400, SnippetsKept: 120, SnippetsFiltered: 250, Duplicates: 30}
+	if got := s.String(); !strings.Contains(got, "queries=5") || !strings.Contains(got, "kept=120") {
+		t.Errorf("stats string = %q", got)
+	}
+}
+
+func BenchmarkNoisyPositives(b *testing.B) {
+	w, _ := buildWeb(b, 16)
+	ann := annotate.New(nil)
+	spec := DefaultSpecs()[corpus.ChangeInManagement]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		NoisyPositives(w, ann, spec, Config{TopK: 50})
+	}
+}

@@ -1,0 +1,183 @@
+// Package web models the synthetic Web that replaces the live 2005 Web:
+// a page store keyed by URL, a hyperlink graph, and a search-engine view
+// (backed by internal/index) that answers the smart queries of Section
+// 3.3.1 the way the paper used Google — top-k ranked pages.
+package web
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"etap/internal/index"
+	"etap/internal/textproc"
+)
+
+// Page is one web page.
+type Page struct {
+	URL   string
+	Host  string
+	Title string
+	Text  string
+	Links []string
+}
+
+// Web is an immutable-after-build page store with a search index.
+// Concurrent reads are safe once Freeze has been called.
+type Web struct {
+	pages  map[string]*Page
+	order  []string // insertion order, for deterministic iteration
+	ix     *index.Index
+	frozen bool
+}
+
+// New returns an empty Web.
+func New() *Web {
+	return &Web{pages: make(map[string]*Page), ix: index.New()}
+}
+
+// AddPage stores and indexes a page. Pages must have unique URLs; adding
+// after Freeze or re-adding a URL panics.
+func (w *Web) AddPage(p Page) {
+	if w.frozen {
+		panic("web: AddPage after Freeze")
+	}
+	if p.URL == "" {
+		panic("web: page without URL")
+	}
+	if _, dup := w.pages[p.URL]; dup {
+		panic("web: duplicate URL " + p.URL)
+	}
+	if p.Host == "" {
+		p.Host = hostOf(p.URL)
+	}
+	cp := p
+	w.pages[p.URL] = &cp
+	w.order = append(w.order, p.URL)
+	w.ix.Add(p.URL, p.Title+" "+p.Text)
+}
+
+// Freeze marks the web immutable; searches and lookups remain available.
+func (w *Web) Freeze() { w.frozen = true }
+
+// Len returns the number of pages.
+func (w *Web) Len() int { return len(w.order) }
+
+// Page returns the page at url.
+func (w *Web) Page(url string) (*Page, bool) {
+	p, ok := w.pages[url]
+	return p, ok
+}
+
+// URLs returns all page URLs in insertion order.
+func (w *Web) URLs() []string { return append([]string(nil), w.order...) }
+
+// Search runs a search-engine query and returns the top-k pages, like
+// "we gathered the top 200 documents returned by the search engine ...
+// for each query".
+func (w *Web) Search(query string, k int) []*Page {
+	hits := w.ix.Search(query, k)
+	out := make([]*Page, 0, len(hits))
+	for _, h := range hits {
+		out = append(out, w.pages[h.DocID])
+	}
+	return out
+}
+
+// Index exposes the underlying index for co-occurrence statistics
+// (PMI-IR lexicon induction).
+func (w *Web) Index() *index.Index { return w.ix }
+
+// Result is one search hit with its result snippet — the few words
+// around the best query match, the way the paper's Figure 5 screenshot
+// shows search-engine results.
+type Result struct {
+	Page    *Page
+	Snippet string
+}
+
+// SearchWithSnippets is Search plus a contextual snippet per hit: the
+// window of the page text around the first query-term match, trimmed to
+// word boundaries.
+func (w *Web) SearchWithSnippets(query string, k int) []Result {
+	pages := w.Search(query, k)
+	q := index.ParseQuery(query)
+	var terms []string
+	terms = append(terms, q.Terms...)
+	for _, p := range q.Phrases {
+		terms = append(terms, p...)
+	}
+	out := make([]Result, len(pages))
+	for i, p := range pages {
+		out[i] = Result{Page: p, Snippet: resultSnippet(p.Text, terms)}
+	}
+	return out
+}
+
+// resultSnippet extracts ~20 words around the first occurrence of any
+// query term (stem-compared); falls back to the page head.
+func resultSnippet(text string, queryTerms []string) string {
+	const window = 10
+	stems := map[string]bool{}
+	for _, t := range queryTerms {
+		stems[t] = true
+	}
+	words := strings.Fields(text)
+	hit := -1
+	for i, w := range words {
+		lw := textproc.Stem(strings.ToLower(strings.Trim(w, `.,;:!?"'()`)))
+		if stems[lw] {
+			hit = i
+			break
+		}
+	}
+	if hit < 0 {
+		hit = 0
+	}
+	lo := hit - window
+	if lo < 0 {
+		lo = 0
+	}
+	hi := hit + window
+	if hi > len(words) {
+		hi = len(words)
+	}
+	snippet := strings.Join(words[lo:hi], " ")
+	if lo > 0 {
+		snippet = "... " + snippet
+	}
+	if hi < len(words) {
+		snippet += " ..."
+	}
+	return snippet
+}
+
+// Hosts returns the distinct hosts, sorted.
+func (w *Web) Hosts() []string {
+	set := map[string]bool{}
+	for _, u := range w.order {
+		set[w.pages[u].Host] = true
+	}
+	out := make([]string, 0, len(set))
+	for h := range set {
+		out = append(out, h)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func hostOf(url string) string {
+	s := url
+	if i := strings.Index(s, "://"); i >= 0 {
+		s = s[i+3:]
+	}
+	if i := strings.IndexByte(s, '/'); i >= 0 {
+		s = s[:i]
+	}
+	return s
+}
+
+// String summarizes the web for logs.
+func (w *Web) String() string {
+	return fmt.Sprintf("web{pages: %d, hosts: %d}", w.Len(), len(w.Hosts()))
+}

@@ -1,0 +1,133 @@
+package web
+
+import (
+	"strings"
+	"testing"
+)
+
+func smallWeb() *Web {
+	w := New()
+	w.AddPage(Page{URL: "http://a.example.com/1", Title: "New CEO at Acme",
+		Text: "Acme named a new CEO on Friday.", Links: []string{"http://a.example.com/2"}})
+	w.AddPage(Page{URL: "http://a.example.com/2", Title: "Weather",
+		Text: "The weather stayed pleasant."})
+	w.AddPage(Page{URL: "http://b.example.net/x", Title: "Merger news",
+		Text: "IBM acquired Daksh in a landmark deal."})
+	return w
+}
+
+func TestAddAndLookup(t *testing.T) {
+	w := smallWeb()
+	if w.Len() != 3 {
+		t.Fatalf("len = %d", w.Len())
+	}
+	p, ok := w.Page("http://a.example.com/1")
+	if !ok || p.Title != "New CEO at Acme" {
+		t.Fatalf("lookup failed: %+v", p)
+	}
+	if _, ok := w.Page("http://nowhere/"); ok {
+		t.Fatal("phantom page")
+	}
+}
+
+func TestHostDerivedFromURL(t *testing.T) {
+	w := smallWeb()
+	p, _ := w.Page("http://b.example.net/x")
+	if p.Host != "b.example.net" {
+		t.Fatalf("host = %q", p.Host)
+	}
+}
+
+func TestSearchReturnsPages(t *testing.T) {
+	w := smallWeb()
+	hits := w.Search(`"new ceo"`, 10)
+	if len(hits) != 1 || hits[0].URL != "http://a.example.com/1" {
+		t.Fatalf("hits = %+v", hits)
+	}
+}
+
+func TestSearchTitleIsIndexed(t *testing.T) {
+	w := smallWeb()
+	hits := w.Search("merger", 10)
+	if len(hits) != 1 || hits[0].URL != "http://b.example.net/x" {
+		t.Fatalf("title terms not indexed: %+v", hits)
+	}
+}
+
+func TestURLsInsertionOrder(t *testing.T) {
+	w := smallWeb()
+	urls := w.URLs()
+	if urls[0] != "http://a.example.com/1" || urls[2] != "http://b.example.net/x" {
+		t.Fatalf("order = %v", urls)
+	}
+}
+
+func TestHosts(t *testing.T) {
+	w := smallWeb()
+	hosts := w.Hosts()
+	if len(hosts) != 2 || hosts[0] != "a.example.com" || hosts[1] != "b.example.net" {
+		t.Fatalf("hosts = %v", hosts)
+	}
+}
+
+func TestSearchWithSnippets(t *testing.T) {
+	w := New()
+	w.AddPage(Page{URL: "u:long", Text: "One filler sentence sits here first. " +
+		"Another filler line follows with more words to push the match away. " +
+		"Acme named a new CEO on Friday after a search. Trailing text continues afterwards for a while longer."})
+	res := w.SearchWithSnippets(`"new ceo"`, 5)
+	if len(res) != 1 {
+		t.Fatalf("results = %d", len(res))
+	}
+	sn := res[0].Snippet
+	if !strings.Contains(sn, "new CEO") {
+		t.Fatalf("snippet misses the match: %q", sn)
+	}
+	if !strings.HasPrefix(sn, "... ") || !strings.HasSuffix(sn, " ...") {
+		t.Errorf("snippet not elided: %q", sn)
+	}
+	if len(strings.Fields(sn)) > 24 {
+		t.Errorf("snippet too long: %q", sn)
+	}
+}
+
+func TestSearchWithSnippetsFallback(t *testing.T) {
+	w := New()
+	// Query term appears in title only; snippet falls back to page head.
+	w.AddPage(Page{URL: "u:t", Title: "merger special", Text: "Body text without the word."})
+	res := w.SearchWithSnippets("merger", 5)
+	if len(res) != 1 || res[0].Snippet == "" {
+		t.Fatalf("fallback failed: %+v", res)
+	}
+}
+
+func TestDuplicateURLPanics(t *testing.T) {
+	w := smallWeb()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on duplicate URL")
+		}
+	}()
+	w.AddPage(Page{URL: "http://a.example.com/1", Text: "again"})
+}
+
+func TestAddAfterFreezePanics(t *testing.T) {
+	w := smallWeb()
+	w.Freeze()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on add after freeze")
+		}
+	}()
+	w.AddPage(Page{URL: "http://c.example.org/", Text: "late"})
+}
+
+func TestEmptyURLPanics(t *testing.T) {
+	w := New()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on empty URL")
+		}
+	}()
+	w.AddPage(Page{Text: "no url"})
+}
