@@ -1,0 +1,27 @@
+# CI entry points. `make ci` is what the GitHub Actions workflow runs:
+# vet + build + race-enabled tests, so the race detector gates every PR.
+
+GO ?= go
+
+.PHONY: ci vet build test race bench fmt-check
+
+ci: vet build race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# One pass over every benchmark (quality numbers + observability overhead).
+bench:
+	$(GO) test -run xxx -bench . -benchtime 1x ./...
+
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi

@@ -326,3 +326,52 @@ func BenchmarkPipelineEndToEnd(b *testing.B) {
 	}
 	b.ReportMetric(float64(len(pages))*float64(b.N)/b.Elapsed().Seconds(), "pages/s")
 }
+
+// BenchmarkExtractObservability measures the cost of the obs metrics
+// layer on the extraction hot path: the same trained system and page
+// set run through ExtractEventsParallel with instrumentation enabled
+// (the default) and disabled (Config.DisableMetrics). Compare the two
+// sub-benchmarks' ns/op — the instrumented arm should be within 5% of
+// the disabled arm.
+func BenchmarkExtractObservability(b *testing.B) {
+	for _, bc := range []struct {
+		name    string
+		disable bool
+	}{
+		{"instrumented", false},
+		{"disabled", true},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			gen := etap.NewWorldGenerator(etap.WorldConfig{
+				Seed: 11, RelevantPerDriver: 40, BackgroundDocs: 150,
+				HardNegativePerDriver: 10, FamousEventDocs: 4,
+			})
+			w := etap.BuildWeb(gen.World())
+			sys := etap.NewSystem(w, etap.Config{
+				Seed: 11, TopK: 80, NegativeCount: 800,
+				DisableMetrics: bc.disable,
+			})
+			var driver etap.SalesDriver
+			for _, d := range etap.DefaultDrivers() {
+				if d.ID == string(etap.ChangeInManagement) {
+					driver = d
+				}
+			}
+			if _, err := sys.AddDriver(driver, nil); err != nil {
+				b.Fatal(err)
+			}
+			var pages []*etap.Page
+			for _, u := range w.URLs() {
+				p, _ := w.Page(u)
+				pages = append(pages, p)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := sys.ExtractEventsParallel(driver.ID, pages, 0.5, 0); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(len(pages))*float64(b.N)/b.Elapsed().Seconds(), "pages/s")
+		})
+	}
+}

@@ -6,24 +6,38 @@
 // Usage:
 //
 //	etapd [-addr :8080] [-seed N] [-load-models dir] [-leads leads.jsonl]
-//	      [-extract]
+//	      [-extract] [-log-level info] [-pprof]
+//
+// Observability:
+//
+//	GET /metrics      Prometheus text exposition (pipeline + HTTP metrics)
+//	GET /debug/vars   JSON snapshot of the same registry
+//	GET /healthz      readiness: drivers, store size, uptime, runtime stats
+//	GET /debug/pprof/ Go profiler endpoints (only with -pprof)
+//
+// Logs are structured (log/slog, text to stderr); -log-level selects
+// debug|info|warn|error. Per-request access logs are emitted at debug.
 //
 // Try it:
 //
 //	etapd -extract &
 //	curl 'localhost:8080/leads?min=0.9&top=5'
-//	curl 'localhost:8080/score?driver=change-in-management&text=Acme+named+a+new+CEO'
+//	curl 'localhost:8080/metrics'
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"path/filepath"
 	"time"
 
 	"etap"
+	"etap/internal/obs"
 	"etap/internal/serve"
 	"etap/internal/store"
 )
@@ -35,21 +49,34 @@ func main() {
 		loadDir   = flag.String("load-models", "", "load driver models instead of training")
 		leadsPath = flag.String("leads", "", "JSONL lead store to load (and keep updating via the API)")
 		extract   = flag.Bool("extract", false, "run a full extraction pass at startup to populate the store")
+		logLevel  = flag.String("log-level", "info", "log level: debug|info|warn|error")
+		pprofOn   = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 	)
 	flag.Parse()
 
-	if err := run(*addr, *seed, *loadDir, *leadsPath, *extract); err != nil {
+	level, err := obs.ParseLogLevel(*logLevel)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "etapd:", err)
+		os.Exit(2)
+	}
+	log := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+	slog.SetDefault(log)
+
+	if err := run(log, *addr, *seed, *loadDir, *leadsPath, *extract, *pprofOn); err != nil {
+		log.Error("fatal", "err", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, seed int64, loadDir, leadsPath string, extract bool) error {
+func run(log *slog.Logger, addr string, seed int64, loadDir, leadsPath string, extract, pprofOn bool) error {
+	start := time.Now()
 	gen := etap.NewWorldGenerator(etap.WorldConfig{Seed: seed})
 	w := etap.BuildWeb(gen.World())
 	sys := etap.NewSystem(w, etap.Config{Seed: seed})
+	log.Info("world built", "pages", w.Len(), "seed", seed, "elapsed", time.Since(start))
 
 	for _, d := range etap.DefaultDrivers() {
+		t0 := time.Now()
 		if loadDir != "" {
 			data, err := os.ReadFile(filepath.Join(loadDir, d.ID+".json"))
 			if err != nil {
@@ -58,17 +85,19 @@ func run(addr string, seed int64, loadDir, leadsPath string, extract bool) error
 			if err := sys.UnmarshalDriver(data, d.Filter); err != nil {
 				return err
 			}
-			fmt.Println("loaded", d.ID)
+			log.Info("driver loaded", "driver", d.ID, "elapsed", time.Since(t0))
 			continue
 		}
-		var pure []string
-		for _, p := range gen.PurePositives(etap.Driver(d.ID), 40) {
-			pure = append(pure, p.Text)
-		}
-		if _, err := sys.AddDriver(d, pure); err != nil {
+		stats, err := sys.AddDriver(d, purePositives(gen, d.ID))
+		if err != nil {
 			return fmt.Errorf("training %s: %w", d.ID, err)
 		}
-		fmt.Println("trained", d.ID)
+		log.Info("driver trained", "driver", d.ID,
+			"noisy_positives", stats.NoisyPositives,
+			"negatives", stats.Negatives,
+			"vocabulary", stats.VocabularySize,
+			"noise_rounds", len(stats.NoiseHistory),
+			"elapsed", time.Since(t0))
 	}
 
 	var st *store.Store
@@ -78,25 +107,14 @@ func run(addr string, seed int64, loadDir, leadsPath string, extract bool) error
 		if err != nil {
 			return err
 		}
-		fmt.Printf("lead store %s: %d leads\n", leadsPath, st.Len())
+		log.Info("lead store loaded", "path", leadsPath, "leads", st.Len())
 	} else {
 		st = store.New()
 	}
 
 	if extract {
-		var pages []*etap.Page
-		for _, u := range w.URLs() {
-			if p, ok := w.Page(u); ok {
-				pages = append(pages, p)
-			}
-		}
-		for _, d := range etap.DefaultDrivers() {
-			events, err := sys.ExtractEventsParallel(d.ID, pages, 0.5, 0)
-			if err != nil {
-				return err
-			}
-			added := st.Add(events, time.Now())
-			fmt.Printf("extracted %s: %d events (%d new)\n", d.ID, len(events), added)
+		if err := extractAll(log, sys, w, st); err != nil {
+			return err
 		}
 		if leadsPath != "" {
 			if err := st.SaveFile(leadsPath); err != nil {
@@ -105,6 +123,78 @@ func run(addr string, seed int64, loadDir, leadsPath string, extract bool) error
 		}
 	}
 
-	fmt.Println("serving on", addr)
-	return http.ListenAndServe(addr, serve.New(sys, st))
+	mux := http.NewServeMux()
+	mux.Handle("/", serve.New(sys, st))
+	if pprofOn {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		log.Info("pprof enabled", "path", "/debug/pprof/")
+	}
+
+	log.Info("serving", "addr", addr, "startup", time.Since(start))
+	return http.ListenAndServe(addr, accessLog(log, mux))
+}
+
+// purePositives samples the per-driver labeled snippets used alongside
+// the automatically generated training data.
+func purePositives(gen *etap.WorldGenerator, driverID string) []string {
+	var pure []string
+	for _, p := range gen.PurePositives(etap.Driver(driverID), 40) {
+		pure = append(pure, p.Text)
+	}
+	return pure
+}
+
+// extractAll runs the startup extraction pass under an obs trace so the
+// per-stage cost of populating the store lands in the log and /metrics.
+func extractAll(log *slog.Logger, sys *etap.System, w *etap.Web, st *store.Store) error {
+	var pages []*etap.Page
+	for _, u := range w.URLs() {
+		if p, ok := w.Page(u); ok {
+			pages = append(pages, p)
+		}
+	}
+	tr := obs.NewTrace("startup-extract", nil)
+	ctx := obs.WithTrace(context.Background(), tr)
+	for _, d := range etap.DefaultDrivers() {
+		sp := obs.StartSpan(ctx, "extract")
+		events, err := sys.ExtractEventsParallel(d.ID, pages, 0.5, 0)
+		if err != nil {
+			return err
+		}
+		sp.AddItems(len(events))
+		sp.End()
+		added := st.Add(events, time.Now())
+		log.Info("extracted", "driver", d.ID, "events", len(events), "new", added)
+	}
+	log.Info("extraction pass done", "trace", tr.String(), "elapsed", tr.Elapsed())
+	return nil
+}
+
+// accessLog wraps the handler with a structured per-request log line at
+// debug level (method, path, status, duration).
+func accessLog(log *slog.Logger, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		next.ServeHTTP(sw, r)
+		log.Debug("request",
+			"method", r.Method,
+			"path", r.URL.Path,
+			"status", sw.status,
+			"duration", time.Since(start))
+	})
+}
+
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
 }

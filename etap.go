@@ -40,11 +40,14 @@
 package etap
 
 import (
+	"context"
+
 	"etap/internal/classify"
 	"etap/internal/core"
 	"etap/internal/corpus"
 	"etap/internal/gather"
 	"etap/internal/ner"
+	"etap/internal/obs"
 	"etap/internal/rank"
 	"etap/internal/train"
 	"etap/internal/web"
@@ -192,3 +195,35 @@ func InduceLexicon(w *Web, posSeeds, negSeeds, candidates []string) Lexicon {
 
 // Metrics is a binary confusion matrix with precision/recall/F1.
 type Metrics = classify.Metrics
+
+// MetricsRegistry is the observability registry: atomic counters,
+// gauges and fixed-bucket histograms, rendered as Prometheus text
+// exposition or a JSON snapshot.
+type MetricsRegistry = obs.Registry
+
+// DefaultMetrics returns the process-wide registry every pipeline
+// package reports into — the one etapd serves at /metrics and
+// /debug/vars.
+func DefaultMetrics() *MetricsRegistry { return obs.Default }
+
+// Trace accumulates per-stage wall time and item counts for one logical
+// run (an extraction pass, a training round).
+type Trace = obs.Trace
+
+// Span measures one pipeline-stage invocation within a trace.
+type Span = obs.Span
+
+// NewTrace starts a per-run stage trace reporting into the default
+// registry.
+func NewTrace(name string) *Trace { return obs.NewTrace(name, nil) }
+
+// WithTrace attaches a trace to the context; spans started under it
+// contribute to the trace's summary as well as the registry.
+func WithTrace(ctx context.Context, tr *Trace) context.Context {
+	return obs.WithTrace(ctx, tr)
+}
+
+// StartSpan begins measuring a named pipeline stage; pair with End.
+func StartSpan(ctx context.Context, stage string) *Span {
+	return obs.StartSpan(ctx, stage)
+}

@@ -14,12 +14,14 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"time"
 
 	"etap/internal/annotate"
 	"etap/internal/classify"
 	"etap/internal/feature"
 	"etap/internal/ner"
 	"etap/internal/noise"
+	"etap/internal/obs"
 	"etap/internal/rank"
 	"etap/internal/snippet"
 	"etap/internal/train"
@@ -97,6 +99,12 @@ type Config struct {
 	// unlabeled. Requires pure positives; only meaningful with the
 	// naïve Bayes classifier.
 	SemiSupervised bool
+	// Metrics selects the registry the pipeline reports into; nil means
+	// obs.Default.
+	Metrics *obs.Registry
+	// DisableMetrics turns pipeline instrumentation off entirely —
+	// the control arm of the observability-overhead benchmark.
+	DisableMetrics bool
 }
 
 func (c Config) withDefaults() Config {
@@ -152,6 +160,7 @@ type System struct {
 	ann *annotate.Annotator
 	rec *ner.Recognizer
 	cfg Config
+	met *pipelineMetrics // nil when Config.DisableMetrics
 
 	drivers map[string]*trainedDriver
 	// negatives are shared across drivers ("The same set of negative
@@ -168,13 +177,17 @@ func New(w *web.Web, cfg Config) *System {
 		opts = append(opts, ner.WithMissRate(cfg.MissRate, cfg.Seed))
 	}
 	rec := ner.NewRecognizer(opts...)
-	return &System{
+	sys := &System{
 		web:     w,
 		ann:     annotate.New(rec),
 		rec:     rec,
 		cfg:     cfg,
 		drivers: make(map[string]*trainedDriver),
 	}
+	if !cfg.DisableMetrics {
+		sys.met = newPipelineMetrics(cfg.Metrics)
+	}
+	return sys
 }
 
 // Annotator exposes the system's annotation pipeline.
@@ -215,6 +228,7 @@ func (s *System) AddDriver(d SalesDriver, purePositives []string) (TrainingStats
 	if _, dup := s.drivers[d.ID]; dup {
 		return TrainingStats{}, fmt.Errorf("core: driver %q already added", d.ID)
 	}
+	trainStart := time.Now()
 
 	spec := train.Spec{SmartQueries: d.SmartQueries, Filter: d.Filter}
 	noisy, genStats := train.NoisyPositives(s.web, s.ann, spec, train.Config{
@@ -338,6 +352,9 @@ func (s *System) AddDriver(d SalesDriver, purePositives []string) (TrainingStats
 		policy: policy,
 		stats:  stats,
 	}
+	if s.met != nil {
+		s.met.trainDur.Observe(time.Since(trainStart).Seconds())
+	}
 	return stats, nil
 }
 
@@ -386,30 +403,68 @@ func (s *System) ExtractEvents(driverID string, pages []*web.Page, threshold flo
 	if threshold <= 0 {
 		threshold = 0.5
 	}
+	if s.met != nil {
+		s.met.runs.Inc()
+	}
 	gen := snippet.Generator{N: s.cfg.SnippetN}
 	var events []rank.Event
 	for _, page := range pages {
-		for _, sn := range gen.Split(page.URL, page.Text) {
-			units := s.ann.Annotate(sn.Text)
-			x := feature.Vectorize(td.vocab, feature.Extract(units, td.policy), false)
-			p := td.clf.Prob(x)
-			if p < threshold {
-				continue
-			}
-			ev := rank.Event{
-				SnippetID: sn.ID,
-				Text:      sn.Text,
-				Driver:    driverID,
-				Score:     p,
-				Company:   firstOrg(units),
-			}
-			if td.spec.Orientation != nil {
-				ev.Orientation = td.spec.Orientation.Score(sn.Text)
-			}
-			events = append(events, ev)
-		}
+		events = append(events, s.scorePage(td, driverID, gen, page, threshold)...)
 	}
 	return events, nil
+}
+
+// scorePage splits one page into snippets and scores each against the
+// driver classifier — the per-page unit of work shared by the
+// sequential and parallel extractors. When metrics are enabled it
+// attributes wall time to the snippet/annotate/classify stages and
+// counts snippets scored and events emitted.
+func (s *System) scorePage(td *trainedDriver, driverID string, gen snippet.Generator, page *web.Page, threshold float64) []rank.Event {
+	m := s.met
+	var t time.Time
+	if m != nil {
+		t = time.Now()
+	}
+	snips := gen.Split(page.URL, page.Text)
+	if m != nil {
+		m.snippetDur.Observe(time.Since(t).Seconds())
+	}
+	var events []rank.Event
+	for _, sn := range snips {
+		if m != nil {
+			t = time.Now()
+		}
+		units := s.ann.Annotate(sn.Text)
+		if m != nil {
+			now := time.Now()
+			m.annotateDur.Observe(now.Sub(t).Seconds())
+			t = now
+		}
+		x := feature.Vectorize(td.vocab, feature.Extract(units, td.policy), false)
+		p := td.clf.Prob(x)
+		if m != nil {
+			m.classifyDur.Observe(time.Since(t).Seconds())
+			m.snippets.Inc()
+		}
+		if p < threshold {
+			continue
+		}
+		if m != nil {
+			m.events.Inc()
+		}
+		ev := rank.Event{
+			SnippetID: sn.ID,
+			Text:      sn.Text,
+			Driver:    driverID,
+			Score:     p,
+			Company:   firstOrg(units),
+		}
+		if td.spec.Orientation != nil {
+			ev.Orientation = td.spec.Orientation.Score(sn.Text)
+		}
+		events = append(events, ev)
+	}
+	return events
 }
 
 // Stats returns the training statistics of a driver.

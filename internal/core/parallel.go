@@ -5,7 +5,6 @@ import (
 	"sort"
 	"sync"
 
-	"etap/internal/feature"
 	"etap/internal/rank"
 	"etap/internal/snippet"
 	"etap/internal/web"
@@ -16,6 +15,11 @@ import (
 // The result is identical to the sequential version — events arrive in
 // (page, snippet) order regardless of scheduling. workers <= 0 uses
 // GOMAXPROCS.
+//
+// When metrics are enabled, the etap_extract_queue_depth gauge tracks
+// pages enqueued but not yet claimed and etap_extract_workers_busy
+// tracks workers mid-page — the pair that shows whether a slow run is
+// starved for workers (depth high, busy pegged) or for input.
 func (s *System) ExtractEventsParallel(driverID string, pages []*web.Page, threshold float64, workers int) ([]rank.Event, error) {
 	td, ok := s.drivers[driverID]
 	if !ok {
@@ -33,6 +37,10 @@ func (s *System) ExtractEventsParallel(driverID string, pages []*web.Page, thres
 	if workers <= 1 {
 		return s.ExtractEvents(driverID, pages, threshold)
 	}
+	m := s.met
+	if m != nil {
+		m.runs.Inc()
+	}
 
 	type indexed struct {
 		page   int
@@ -48,26 +56,13 @@ func (s *System) ExtractEventsParallel(driverID string, pages []*web.Page, thres
 			defer wg.Done()
 			gen := snippet.Generator{N: s.cfg.SnippetN}
 			for pi := range jobs {
-				page := pages[pi]
-				var events []rank.Event
-				for _, sn := range gen.Split(page.URL, page.Text) {
-					units := s.ann.Annotate(sn.Text)
-					x := feature.Vectorize(td.vocab, feature.Extract(units, td.policy), false)
-					p := td.clf.Prob(x)
-					if p < threshold {
-						continue
-					}
-					ev := rank.Event{
-						SnippetID: sn.ID,
-						Text:      sn.Text,
-						Driver:    driverID,
-						Score:     p,
-						Company:   firstOrg(units),
-					}
-					if td.spec.Orientation != nil {
-						ev.Orientation = td.spec.Orientation.Score(sn.Text)
-					}
-					events = append(events, ev)
+				if m != nil {
+					m.queueDepth.Dec()
+					m.workersBusy.Inc()
+				}
+				events := s.scorePage(td, driverID, gen, pages[pi], threshold)
+				if m != nil {
+					m.workersBusy.Dec()
 				}
 				results <- indexed{page: pi, events: events}
 			}
@@ -75,6 +70,9 @@ func (s *System) ExtractEventsParallel(driverID string, pages []*web.Page, thres
 	}
 	go func() {
 		for i := range pages {
+			if m != nil {
+				m.queueDepth.Inc()
+			}
 			jobs <- i
 		}
 		close(jobs)

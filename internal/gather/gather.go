@@ -11,8 +11,21 @@ import (
 	"sort"
 	"strings"
 
+	"etap/internal/obs"
 	"etap/internal/textproc"
 	"etap/internal/web"
+)
+
+// Crawl progress reports into the process-wide registry: fetch volume,
+// de-duplication hits, and the live frontier size (sampled once per
+// pop, so a scrape mid-crawl shows how much work remains queued).
+var (
+	mPagesFetched = obs.Default.Counter("etap_gather_pages_fetched_total",
+		"Pages fetched by the focused crawler.")
+	mDuplicates = obs.Default.Counter("etap_gather_duplicates_total",
+		"Pages skipped by exact or near-duplicate detection.")
+	mFrontier = obs.Default.Gauge("etap_gather_frontier_size",
+		"Prioritized URLs waiting in the crawl frontier.")
 )
 
 // CrawlConfig controls a focused crawl.
@@ -109,19 +122,23 @@ func Crawl(w *web.Web, cfg CrawlConfig) CrawlResult {
 
 	for fr.Len() > 0 && len(res.Pages) < maxPages {
 		it := heap.Pop(&fr).(*frontierItem)
+		mFrontier.Set(int64(fr.Len()))
 		page, ok := w.Page(it.url)
 		if !ok {
 			continue
 		}
 		res.Visited++
+		mPagesFetched.Inc()
 		h := contentHash(page.Text)
 		if contentSeen[h] {
 			res.Duplicates++
+			mDuplicates.Inc()
 			continue
 		}
 		contentSeen[h] = true
 		if nearDup != nil && nearDup.Seen(page.Text) {
 			res.Duplicates++
+			mDuplicates.Inc()
 			continue
 		}
 		res.Pages = append(res.Pages, page)

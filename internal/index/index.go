@@ -11,7 +11,18 @@ import (
 	"sort"
 	"strings"
 
+	"etap/internal/obs"
 	"etap/internal/textproc"
+)
+
+// Search traffic reports into the process-wide registry — the search
+// substrate serves every smart query, so postings volume is the first
+// place training-cost regressions show up.
+var (
+	mQueries = obs.Default.Counter("etap_index_queries_total",
+		"Search queries served by the inverted index.")
+	mPostings = obs.Default.Counter("etap_index_postings_scanned_total",
+		"Postings-list entries touched while resolving queries.")
 )
 
 // Posting records the positions of one term in one document.
@@ -137,6 +148,7 @@ func (ix *Index) Search(query string, k int) []Hit {
 
 // SearchQuery is Search over a pre-parsed query.
 func (ix *Index) SearchQuery(q Query, k int) []Hit {
+	mQueries.Inc()
 	required := make([][]Posting, 0, len(q.Terms)+len(q.Phrases))
 	// Single-token phrases degrade to terms.
 	allTerms := append([]string(nil), q.Terms...)
@@ -154,6 +166,7 @@ func (ix *Index) SearchQuery(q Query, k int) []Hit {
 		if !ok {
 			return nil // conjunctive: a missing term empties the result
 		}
+		mPostings.Add(uint64(len(pl)))
 		required = append(required, pl)
 	}
 	if len(required) == 0 {

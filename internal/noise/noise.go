@@ -14,6 +14,17 @@ package noise
 import (
 	"etap/internal/classify"
 	"etap/internal/feature"
+	"etap/internal/obs"
+)
+
+// The noise-elimination loop reports its per-round progress into the
+// process-wide registry: how many Brodley rounds ran and how many noisy
+// positives each round discarded.
+var (
+	mIterations = obs.Default.Counter("etap_train_noise_iterations_total",
+		"Noise-elimination training rounds performed.")
+	mDropped = obs.Default.Counter("etap_train_noise_dropped_total",
+		"Noisy-positive examples discarded by reclassification.")
 )
 
 // DefaultOversample is the pure-positive oversampling factor from the
@@ -111,6 +122,8 @@ func Learn(purePos, noisyPos, negatives []feature.Vector, cfg Config) Result {
 		res.History = append(res.History, IterationStats{
 			Iteration: iter, NoisyIn: in, NoisyKept: out,
 		})
+		mIterations.Inc()
+		mDropped.Add(uint64(in - out))
 		if in == 0 {
 			break
 		}

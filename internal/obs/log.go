@@ -1,0 +1,23 @@
+package obs
+
+import (
+	"fmt"
+	"log/slog"
+	"strings"
+)
+
+// ParseLogLevel maps a -log-level flag value ("debug", "info", "warn",
+// "error", case-insensitive) to a slog.Level.
+func ParseLogLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "", "info":
+		return slog.LevelInfo, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	return 0, fmt.Errorf("obs: unknown log level %q (want debug|info|warn|error)", s)
+}

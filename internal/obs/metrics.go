@@ -1,0 +1,133 @@
+// Package obs is the pipeline-wide observability layer: a
+// dependency-free metrics substrate (atomic counters, gauges and
+// fixed-bucket histograms collected in a Registry that renders both
+// Prometheus text exposition and JSON snapshots) plus a lightweight
+// span/stage-trace API for accounting per-stage wall time and item
+// counts across a whole extraction run.
+//
+// Every pipeline package reports into the process-wide Default registry;
+// etapd exposes it at GET /metrics (Prometheus) and GET /debug/vars
+// (JSON). All metric types are safe for concurrent use and a metric
+// update is a single atomic add — cheap enough for per-snippet hot
+// paths (see BenchmarkExtractObservability).
+package obs
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing counter.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (negative deltas are a programmer error; they wrap).
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is an integer value that can go up and down.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adds delta (which may be negative).
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Inc adds 1.
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec subtracts 1.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram is a fixed-bucket histogram with cumulative bucket counts,
+// a total count and a sum — the Prometheus histogram data model.
+// Buckets are upper bounds in increasing order; an implicit +Inf bucket
+// always exists (the total count).
+type Histogram struct {
+	bounds  []float64
+	buckets []atomic.Uint64 // one per bound; +Inf is implicit via count
+	count   atomic.Uint64
+	sum     atomic.Uint64 // float64 bits, CAS loop
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	return &Histogram{bounds: bounds, buckets: make([]atomic.Uint64, len(bounds))}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	for i, b := range h.bounds {
+		if v <= b {
+			h.buckets[i].Add(1)
+			break
+		}
+	}
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// ObserveSince records the seconds elapsed since start — the timer form:
+//
+//	defer h.ObserveSince(time.Now())
+func (h *Histogram) ObserveSince(start time.Time) {
+	h.Observe(time.Since(start).Seconds())
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// snapshotBuckets returns cumulative per-bound counts (Prometheus
+// `le` semantics, excluding +Inf which equals Count).
+func (h *Histogram) snapshotBuckets() []uint64 {
+	out := make([]uint64, len(h.bounds))
+	var cum uint64
+	for i := range h.bounds {
+		cum += h.buckets[i].Load()
+		out[i] = cum
+	}
+	return out
+}
+
+// Bounds returns the bucket upper bounds (shared; do not mutate).
+func (h *Histogram) Bounds() []float64 { return h.bounds }
+
+// ExponentialBuckets returns n upper bounds starting at start, each
+// factor times the previous — the standard latency bucket layout.
+func ExponentialBuckets(start, factor float64, n int) []float64 {
+	if start <= 0 || factor <= 1 || n < 1 {
+		panic("obs: ExponentialBuckets needs start > 0, factor > 1, n >= 1")
+	}
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// DefDurationBuckets spans 1µs to ~17s — wide enough for both
+// per-snippet stage timings (microseconds) and whole HTTP requests.
+var DefDurationBuckets = ExponentialBuckets(1e-6, 4, 13)

@@ -1,0 +1,293 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Default is the process-wide registry every pipeline package reports
+// into. etapd serves it at /metrics and /debug/vars.
+var Default = NewRegistry()
+
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindGaugeFunc
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindHistogram:
+		return "histogram"
+	default:
+		return "gauge"
+	}
+}
+
+// series is one labeled instance of a metric family.
+type series struct {
+	labels string // rendered {k="v",...} or ""
+	value  any    // *Counter, *Gauge, func() float64, *Histogram
+}
+
+// family groups all series sharing a metric name (and therefore HELP
+// and TYPE lines in the exposition).
+type family struct {
+	name   string
+	help   string
+	kind   metricKind
+	bounds []float64 // histograms only
+	series []*series
+	byKey  map[string]*series
+}
+
+// Registry is a set of named metrics. Get-or-create accessors are safe
+// for concurrent use and idempotent: the same (name, labels) always
+// returns the same metric, so call sites can re-resolve handles freely.
+type Registry struct {
+	mu       sync.RWMutex
+	families map[string]*family
+	order    []string
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// labelKey renders label pairs canonically (sorted by key).
+func labelKey(labels []string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	if len(labels)%2 != 0 {
+		panic("obs: labels must be key/value pairs")
+	}
+	type kv struct{ k, v string }
+	pairs := make([]kv, 0, len(labels)/2)
+	for i := 0; i < len(labels); i += 2 {
+		pairs = append(pairs, kv{labels[i], labels[i+1]})
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].k < pairs[j].k })
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, p := range pairs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(p.k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(p.v))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return strings.ReplaceAll(v, `"`, `\"`)
+}
+
+// get returns the series for (name, labels), creating family and series
+// as needed. mk builds a fresh metric value.
+func (r *Registry) get(name, help string, kind metricKind, bounds []float64, labels []string, mk func() any) any {
+	key := labelKey(labels)
+
+	r.mu.RLock()
+	if f, ok := r.families[name]; ok {
+		if s, ok := f.byKey[key]; ok {
+			r.mu.RUnlock()
+			if f.kind != kind {
+				panic(fmt.Sprintf("obs: metric %q re-registered as %s (was %s)", name, kind, f.kind))
+			}
+			return s.value
+		}
+	}
+	r.mu.RUnlock()
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, help: help, kind: kind, bounds: bounds, byKey: map[string]*series{}}
+		r.families[name] = f
+		r.order = append(r.order, name)
+	}
+	if f.kind != kind {
+		panic(fmt.Sprintf("obs: metric %q re-registered as %s (was %s)", name, kind, f.kind))
+	}
+	s, ok := f.byKey[key]
+	if !ok {
+		s = &series{labels: key, value: mk()}
+		f.byKey[key] = s
+		f.series = append(f.series, s)
+	}
+	return s.value
+}
+
+// Counter returns the counter for (name, labels), registering it on
+// first use. labels are alternating key/value pairs.
+func (r *Registry) Counter(name, help string, labels ...string) *Counter {
+	return r.get(name, help, kindCounter, nil, labels, func() any { return new(Counter) }).(*Counter)
+}
+
+// Gauge returns the gauge for (name, labels), registering it on first
+// use.
+func (r *Registry) Gauge(name, help string, labels ...string) *Gauge {
+	return r.get(name, help, kindGauge, nil, labels, func() any { return new(Gauge) }).(*Gauge)
+}
+
+// GaugeFunc registers a gauge whose value is computed at scrape time
+// (runtime stats, uptime). Re-registering the same (name, labels) keeps
+// the first function.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...string) {
+	r.get(name, help, kindGaugeFunc, nil, labels, func() any { return fn })
+}
+
+// Histogram returns the histogram for (name, labels), registering it on
+// first use. A nil buckets uses DefDurationBuckets. All series of one
+// family share the first registration's buckets.
+func (r *Registry) Histogram(name, help string, buckets []float64, labels ...string) *Histogram {
+	if buckets == nil {
+		buckets = DefDurationBuckets
+	}
+	r.mu.RLock()
+	if f, ok := r.families[name]; ok && f.bounds != nil {
+		buckets = f.bounds
+	}
+	r.mu.RUnlock()
+	return r.get(name, help, kindHistogram, buckets, labels, func() any { return newHistogram(buckets) }).(*Histogram)
+}
+
+// snapshotFamilies copies the family list under the read lock; the
+// metrics themselves are atomic and read lock-free afterwards.
+func (r *Registry) snapshotFamilies() []*family {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]*family, 0, len(r.order))
+	for _, name := range r.order {
+		out = append(out, r.families[name])
+	}
+	return out
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus renders the registry in Prometheus text exposition
+// format (text/plain; version=0.0.4).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	var b strings.Builder
+	for _, f := range r.snapshotFamilies() {
+		if f.help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", f.name, f.help)
+		}
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.kind)
+		for _, s := range f.series {
+			switch v := s.value.(type) {
+			case *Counter:
+				fmt.Fprintf(&b, "%s%s %d\n", f.name, s.labels, v.Value())
+			case *Gauge:
+				fmt.Fprintf(&b, "%s%s %d\n", f.name, s.labels, v.Value())
+			case func() float64:
+				fmt.Fprintf(&b, "%s%s %s\n", f.name, s.labels, formatFloat(v()))
+			case *Histogram:
+				writeHistogram(&b, f.name, s.labels, v)
+			}
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// writeHistogram emits the _bucket/_sum/_count triplet, merging the
+// series labels with the le label.
+func writeHistogram(b *strings.Builder, name, labels string, h *Histogram) {
+	cum := h.snapshotBuckets()
+	count := h.Count()
+	for i, bound := range h.Bounds() {
+		fmt.Fprintf(b, "%s_bucket%s %d\n", name,
+			mergeLabels(labels, `le="`+formatFloat(bound)+`"`), cum[i])
+	}
+	fmt.Fprintf(b, "%s_bucket%s %d\n", name, mergeLabels(labels, `le="+Inf"`), count)
+	fmt.Fprintf(b, "%s_sum%s %s\n", name, labels, formatFloat(h.Sum()))
+	fmt.Fprintf(b, "%s_count%s %d\n", name, labels, count)
+}
+
+func mergeLabels(labels, extra string) string {
+	if labels == "" {
+		return "{" + extra + "}"
+	}
+	return labels[:len(labels)-1] + "," + extra + "}"
+}
+
+// HistogramSnapshot is the JSON form of one histogram series.
+type HistogramSnapshot struct {
+	Count   uint64           `json:"count"`
+	Sum     float64          `json:"sum"`
+	Buckets []BucketSnapshot `json:"buckets"`
+}
+
+// BucketSnapshot is one cumulative histogram bucket.
+type BucketSnapshot struct {
+	LE    float64 `json:"le"`
+	Count uint64  `json:"count"`
+}
+
+// Snapshot returns the registry as a JSON-ready map: counters and
+// gauges map to numbers, histograms to HistogramSnapshot. Keys are the
+// metric name plus rendered labels.
+func (r *Registry) Snapshot() map[string]any {
+	out := map[string]any{}
+	for _, f := range r.snapshotFamilies() {
+		for _, s := range f.series {
+			key := f.name + s.labels
+			switch v := s.value.(type) {
+			case *Counter:
+				out[key] = v.Value()
+			case *Gauge:
+				out[key] = v.Value()
+			case func() float64:
+				out[key] = v()
+			case *Histogram:
+				cum := v.snapshotBuckets()
+				hs := HistogramSnapshot{Count: v.Count(), Sum: v.Sum()}
+				for i, bound := range v.Bounds() {
+					hs.Buckets = append(hs.Buckets, BucketSnapshot{LE: bound, Count: cum[i]})
+				}
+				out[key] = hs
+			}
+		}
+	}
+	return out
+}
+
+// ServeMetrics is an http.HandlerFunc rendering Prometheus text — mount
+// it at GET /metrics.
+func (r *Registry) ServeMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = r.WritePrometheus(w)
+}
+
+// ServeVars is an http.HandlerFunc rendering the JSON snapshot — mount
+// it at GET /debug/vars.
+func (r *Registry) ServeVars(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(r.Snapshot())
+}

@@ -10,6 +10,17 @@ package rank
 import (
 	"sort"
 	"strings"
+	"time"
+
+	"etap/internal/obs"
+)
+
+// Stage instrumentation: ranking reports into the shared per-stage
+// families of the process-wide registry, alongside snippet/annotate/
+// classify from the extraction path.
+var (
+	rankDur   = obs.StageDuration(nil, "rank")
+	rankItems = obs.StageItems(nil, "rank")
 )
 
 // Event is one extracted trigger event: a snippet, the sales driver it
@@ -61,6 +72,8 @@ func ByOrientation(events []Event) []Ranked {
 }
 
 func rankBy(events []Event, less func(a, b Event) bool) []Ranked {
+	defer rankDur.ObserveSince(time.Now())
+	rankItems.Add(uint64(len(events)))
 	sorted := append([]Event(nil), events...)
 	sort.SliceStable(sorted, func(i, j int) bool { return less(sorted[i], sorted[j]) })
 	out := make([]Ranked, len(sorted))

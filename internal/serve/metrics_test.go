@@ -1,0 +1,113 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"etap/internal/obs"
+	"etap/internal/store"
+)
+
+// TestMetricsEndpoint asserts /metrics reflects traffic served by the
+// same Server: per-route request counts, latency histograms, response
+// codes, and the runtime gauges.
+func TestMetricsEndpoint(t *testing.T) {
+	reg := obs.NewRegistry()
+	srv := NewWithRegistry(nil, store.New(), reg)
+
+	for i := 0; i < 3; i++ {
+		if rec, _ := get(t, srv, "/healthz"); rec.Code != http.StatusOK {
+			t.Fatalf("healthz status %d", rec.Code)
+		}
+	}
+	get(t, srv, "/leads")
+
+	rec, body := get(t, srv, "/metrics")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("metrics status %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type %q", ct)
+	}
+	text := string(body)
+	for _, want := range []string{
+		`etap_http_requests_total{path="/healthz"} 3`,
+		`etap_http_requests_total{path="/leads"} 1`,
+		`etap_http_responses_total{code="200",path="/healthz"} 3`,
+		`etap_http_request_duration_seconds_count{path="/healthz"} 3`,
+		"# TYPE etap_http_request_duration_seconds histogram",
+		"etap_go_goroutines",
+		"etap_uptime_seconds",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("metrics missing %q in:\n%s", want, text)
+		}
+	}
+}
+
+// TestVarsEndpoint asserts the JSON snapshot mirrors the same registry.
+func TestVarsEndpoint(t *testing.T) {
+	reg := obs.NewRegistry()
+	srv := NewWithRegistry(nil, store.New(), reg)
+	get(t, srv, "/healthz")
+
+	rec, body := get(t, srv, "/debug/vars")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("vars status %d", rec.Code)
+	}
+	var snap map[string]any
+	if err := json.Unmarshal(body, &snap); err != nil {
+		t.Fatal(err)
+	}
+	if got := snap[`etap_http_requests_total{path="/healthz"}`]; got != float64(1) {
+		t.Fatalf("healthz request count = %v, want 1", got)
+	}
+}
+
+// TestHealthReadiness asserts the enriched /healthz document.
+func TestHealthReadiness(t *testing.T) {
+	srv, _ := testServer(t)
+	_, body := get(t, srv, "/healthz")
+	var h Health
+	if err := json.Unmarshal(body, &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" || h.Leads != 3 || h.Drivers != 1 {
+		t.Fatalf("health = %+v", h)
+	}
+	if h.Goroutines < 1 || h.HeapAllocB == 0 || h.UptimeSeconds < 0 {
+		t.Fatalf("runtime stats missing: %+v", h)
+	}
+}
+
+// TestConcurrentReads drives parallel read traffic; with -race this
+// verifies the RWMutex conversion left no data race between read-only
+// handlers and review mutations.
+func TestConcurrentReads(t *testing.T) {
+	srv, _ := testServer(t)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				get(t, srv, "/leads")
+				get(t, srv, "/companies")
+				get(t, srv, "/healthz")
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			req := httptest.NewRequest(http.MethodPost, "/leads/review?id=a%230", nil)
+			srv.ServeHTTP(httptest.NewRecorder(), req)
+		}
+	}()
+	wg.Wait()
+}

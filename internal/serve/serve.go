@@ -3,53 +3,128 @@
 // sales representatives browse ranked trigger events, filter them, and
 // mark them reviewed.
 //
-// Endpoints (all JSON):
+// Endpoints (all JSON unless noted):
 //
 //	GET  /drivers                      trained driver IDs
 //	GET  /leads?driver=&company=&min=&unreviewed=1&top=
 //	POST /leads/review?id=<snippetID>  mark a lead reviewed
 //	GET  /score?driver=&text=          classify one snippet
 //	GET  /companies?top=               company MRR ranking from the store
-//	GET  /healthz                      liveness
+//	GET  /healthz                      readiness: drivers, store size, uptime, runtime
+//	GET  /metrics                      Prometheus text exposition of the registry
+//	GET  /debug/vars                   JSON snapshot of the registry
+//
+// Every endpoint is instrumented: per-endpoint request counters,
+// response-code counters, and latency histograms report into the
+// server's obs.Registry (the process-wide obs.Default unless
+// NewWithRegistry chose another).
 package serve
 
 import (
 	"encoding/json"
 	"net/http"
+	"runtime"
 	"sort"
 	"strconv"
 	"sync"
+	"time"
 
 	"etap/internal/core"
+	"etap/internal/obs"
 	"etap/internal/rank"
 	"etap/internal/store"
 )
 
 // Server wires a trained system and a lead store into an http.Handler.
-// All handlers are safe for concurrent use; store mutations are guarded.
+// All handlers are safe for concurrent use; store reads take a shared
+// lock so concurrent GETs don't serialize, mutations take the write
+// lock.
 type Server struct {
 	sys *core.System
 
-	mu    sync.Mutex
+	mu    sync.RWMutex
 	leads *store.Store
 
-	mux *http.ServeMux
+	reg   *obs.Registry
+	start time.Time
+	mux   *http.ServeMux
 }
 
-// New builds the server. Either argument may be nil: a nil system
-// disables /score and /drivers, a nil store starts empty.
+// New builds the server over the process-wide metrics registry. Either
+// argument may be nil: a nil system disables /score and /drivers, a nil
+// store starts empty.
 func New(sys *core.System, leads *store.Store) *Server {
+	return NewWithRegistry(sys, leads, nil)
+}
+
+// NewWithRegistry is New reporting into (and exposing at /metrics) a
+// specific registry; nil means obs.Default.
+func NewWithRegistry(sys *core.System, leads *store.Store, reg *obs.Registry) *Server {
 	if leads == nil {
 		leads = store.New()
 	}
-	s := &Server{sys: sys, leads: leads, mux: http.NewServeMux()}
-	s.mux.HandleFunc("GET /healthz", s.handleHealth)
-	s.mux.HandleFunc("GET /drivers", s.handleDrivers)
-	s.mux.HandleFunc("GET /leads", s.handleLeads)
-	s.mux.HandleFunc("POST /leads/review", s.handleReview)
-	s.mux.HandleFunc("GET /score", s.handleScore)
-	s.mux.HandleFunc("GET /companies", s.handleCompanies)
+	if reg == nil {
+		reg = obs.Default
+	}
+	s := &Server{sys: sys, leads: leads, reg: reg, start: time.Now(), mux: http.NewServeMux()}
+	s.registerRuntimeMetrics()
+	s.handle("GET", "/healthz", s.handleHealth)
+	s.handle("GET", "/drivers", s.handleDrivers)
+	s.handle("GET", "/leads", s.handleLeads)
+	s.handle("POST", "/leads/review", s.handleReview)
+	s.handle("GET", "/score", s.handleScore)
+	s.handle("GET", "/companies", s.handleCompanies)
+	s.mux.HandleFunc("GET /metrics", s.reg.ServeMetrics)
+	s.mux.HandleFunc("GET /debug/vars", s.reg.ServeVars)
 	return s
+}
+
+// registerRuntimeMetrics publishes scrape-time runtime gauges. Get-or-
+// create semantics make this idempotent across servers sharing a
+// registry.
+func (s *Server) registerRuntimeMetrics() {
+	s.reg.GaugeFunc("etap_go_goroutines", "Live goroutines.",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	s.reg.GaugeFunc("etap_go_heap_alloc_bytes", "Heap bytes allocated and in use.",
+		func() float64 {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			return float64(ms.HeapAlloc)
+		})
+	s.reg.GaugeFunc("etap_uptime_seconds", "Seconds since the server started.",
+		func() float64 { return time.Since(s.start).Seconds() })
+}
+
+// statusWriter captures the response code for instrumentation.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// handle mounts an instrumented handler: one request counter and
+// latency histogram per route pattern, plus a per-(route, code)
+// response counter. Patterns are static, so label cardinality is
+// bounded by the route table.
+func (s *Server) handle(method, pattern string, h http.HandlerFunc) {
+	requests := s.reg.Counter("etap_http_requests_total",
+		"HTTP requests by route.", "path", pattern)
+	latency := s.reg.Histogram("etap_http_request_duration_seconds",
+		"HTTP request latency by route.", nil, "path", pattern)
+	s.mux.HandleFunc(method+" "+pattern, func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		h(sw, r)
+		requests.Inc()
+		latency.ObserveSince(start)
+		s.reg.Counter("etap_http_responses_total",
+			"HTTP responses by route and status code.",
+			"path", pattern, "code", strconv.Itoa(sw.status)).Inc()
+	})
 }
 
 // ServeHTTP implements http.Handler.
@@ -67,11 +142,36 @@ func writeError(w http.ResponseWriter, status int, msg string) {
 	writeJSON(w, status, map[string]string{"error": msg})
 }
 
+// Health is the /healthz readiness document.
+type Health struct {
+	Status        string  `json:"status"`
+	Leads         int     `json:"leads"`
+	Drivers       int     `json:"drivers"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Goroutines    int     `json:"goroutines"`
+	HeapAllocB    uint64  `json:"heap_alloc_bytes"`
+	NumGC         uint32  `json:"num_gc"`
+}
+
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
-	s.mu.Lock()
+	s.mu.RLock()
 	n := s.leads.Len()
-	s.mu.Unlock()
-	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "leads": n})
+	s.mu.RUnlock()
+	drivers := 0
+	if s.sys != nil {
+		drivers = len(s.sys.Drivers())
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	writeJSON(w, http.StatusOK, Health{
+		Status:        "ok",
+		Leads:         n,
+		Drivers:       drivers,
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Goroutines:    runtime.NumGoroutine(),
+		HeapAllocB:    ms.HeapAlloc,
+		NumGC:         ms.NumGC,
+	})
 }
 
 func (s *Server) handleDrivers(w http.ResponseWriter, _ *http.Request) {
@@ -104,14 +204,14 @@ func (s *Server) handleLeads(w http.ResponseWriter, r *http.Request) {
 		}
 		top = n
 	}
-	s.mu.Lock()
+	s.mu.RLock()
 	results := s.leads.Find(store.Query{
 		Driver:     q.Get("driver"),
 		Company:    q.Get("company"),
 		MinScore:   minScore,
 		Unreviewed: q.Get("unreviewed") == "1",
 	})
-	s.mu.Unlock()
+	s.mu.RUnlock()
 	if len(results) > top {
 		results = results[:top]
 	}
@@ -166,9 +266,9 @@ func (s *Server) handleCompanies(w http.ResponseWriter, r *http.Request) {
 		top = n
 	}
 	// Rank all stored leads per driver, then aggregate (Equation 2).
-	s.mu.Lock()
+	s.mu.RLock()
 	all := s.leads.Find(store.Query{})
-	s.mu.Unlock()
+	s.mu.RUnlock()
 	byDriver := map[string][]rank.Event{}
 	for _, l := range all {
 		byDriver[l.Driver] = append(byDriver[l.Driver], l.Event)

@@ -8,8 +8,24 @@ import (
 	"etap/internal/annotate"
 	"etap/internal/corpus"
 	"etap/internal/ner"
+	"etap/internal/obs"
 	"etap/internal/snippet"
 	"etap/internal/web"
+)
+
+// Training-data generation reports into the process-wide registry so a
+// live etapd shows how much raw material each AddDriver consumed.
+var (
+	mQueries = obs.Default.Counter("etap_train_queries_total",
+		"Smart queries issued during noisy-positive generation.")
+	mPages = obs.Default.Counter("etap_train_pages_fetched_total",
+		"Pages fetched by smart queries during noisy-positive generation.")
+	mSnippetsSeen = obs.Default.Counter("etap_train_snippets_seen_total",
+		"Snippets considered during noisy-positive generation.")
+	mSnippetsKept = obs.Default.Counter("etap_train_snippets_kept_total",
+		"Snippets surviving the entity filter and de-duplication.")
+	mNegatives = obs.Default.Counter("etap_train_negatives_sampled_total",
+		"Random negative snippets sampled from the web.")
 )
 
 // Spec describes how to generate noisy positive data for one sales
@@ -138,6 +154,10 @@ func NoisyPositives(w *web.Web, ann *annotate.Annotator, spec Spec, cfg Config) 
 		}
 	}
 	stats.SnippetsKept = len(out)
+	mQueries.Add(uint64(stats.QueriesRun))
+	mPages.Add(uint64(stats.PagesFetched))
+	mSnippetsSeen.Add(uint64(stats.SnippetsSeen))
+	mSnippetsKept.Add(uint64(stats.SnippetsKept))
 	return out, stats
 }
 
@@ -172,6 +192,7 @@ func Negatives(w *web.Web, ann *annotate.Annotator, n int, snippetN int, seed in
 		seen[key] = true
 		out = append(out, Snippet{Text: sn.Text, URL: page.URL, Units: ann.Annotate(sn.Text)})
 	}
+	mNegatives.Add(uint64(len(out)))
 	return out
 }
 
