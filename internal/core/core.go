@@ -99,11 +99,14 @@ type Config struct {
 	// unlabeled. Requires pure positives; only meaningful with the
 	// naïve Bayes classifier.
 	SemiSupervised bool
-	// Metrics selects the registry the pipeline reports into; nil means
-	// obs.Default.
+	// Metrics selects the registry the extraction hot path (snippet →
+	// annotate → classify → rank) reports into; nil means obs.Default.
+	// It scopes only this pipeline: the train, gather, and index
+	// packages always report into the process-wide obs.Default.
 	Metrics *obs.Registry
-	// DisableMetrics turns pipeline instrumentation off entirely —
-	// the control arm of the observability-overhead benchmark.
+	// DisableMetrics turns extraction-pipeline instrumentation off —
+	// the control arm of the observability-overhead benchmark. Like
+	// Metrics, it does not affect train/gather/index metrics.
 	DisableMetrics bool
 }
 

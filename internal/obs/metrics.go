@@ -56,6 +56,12 @@ func (g *Gauge) Value() int64 { return g.v.Load() }
 // a total count and a sum — the Prometheus histogram data model.
 // Buckets are upper bounds in increasing order; an implicit +Inf bucket
 // always exists (the total count).
+//
+// Bucket, count and sum are separate atomics, not one locked record, so
+// a scrape concurrent with Observe can see a sum slightly out of step
+// with count. Count vs. buckets stays monotonic: Observe bumps count
+// before the bucket and renders read buckets before count, so the
+// exposed +Inf is never less than a finite cumulative bucket.
 type Histogram struct {
 	bounds  []float64
 	buckets []atomic.Uint64 // one per bound; +Inf is implicit via count
@@ -69,13 +75,15 @@ func newHistogram(bounds []float64) *Histogram {
 
 // Observe records one value.
 func (h *Histogram) Observe(v float64) {
+	// count before bucket: renders read buckets before count, so every
+	// observation visible in a bucket is also in the exposed +Inf.
+	h.count.Add(1)
 	for i, b := range h.bounds {
 		if v <= b {
 			h.buckets[i].Add(1)
 			break
 		}
 	}
-	h.count.Add(1)
 	for {
 		old := h.sum.Load()
 		next := math.Float64bits(math.Float64frombits(old) + v)

@@ -2,8 +2,10 @@ package obs
 
 import (
 	"context"
+	"io"
 	"log/slog"
 	"math"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -183,6 +185,85 @@ func TestConcurrentUpdates(t *testing.T) {
 	}
 	if got := h.snapshotBuckets()[0]; got != goroutines*each {
 		t.Fatalf("first bucket = %d, want %d", got, goroutines*each)
+	}
+}
+
+// TestConcurrentScrapeAndRegister races /metrics- and /debug/vars-style
+// scrapes against lazy series creation (a new label value registering a
+// series mid-scrape, like the first 4xx response creating a new
+// etap_http_responses_total{code=...}). Run under -race this guards the
+// registry's series-slice copy in snapshotFamilies.
+func TestConcurrentScrapeAndRegister(t *testing.T) {
+	r := NewRegistry()
+	const goroutines, each = 8, 300
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				code := strconv.Itoa(g*each + i)
+				r.Counter("responses_total", "h", "code", code).Inc()
+				r.Histogram("latency_seconds", "h", nil, "code", code).Observe(1e-3)
+			}
+		}(g)
+	}
+	done := make(chan struct{})
+	var scrapes sync.WaitGroup
+	for g := 0; g < 2; g++ {
+		scrapes.Add(1)
+		go func() {
+			defer scrapes.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+					if err := r.WritePrometheus(io.Discard); err != nil {
+						t.Error(err)
+						return
+					}
+					_ = r.Snapshot()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(done)
+	scrapes.Wait()
+	if got := len(r.Snapshot()); got != goroutines*each*2 {
+		t.Fatalf("series after concurrent registration = %d, want %d", got, goroutines*each*2)
+	}
+}
+
+// TestHistogramBoundsRace races the first registrations of one family
+// with different bucket layouts: every resulting series must share the
+// family's authoritative bounds, whichever registration won.
+func TestHistogramBoundsRace(t *testing.T) {
+	r := NewRegistry()
+	layouts := [][]float64{{0.1, 1}, {0.5, 5, 50}, {1, 2, 4, 8}}
+	var wg sync.WaitGroup
+	hs := make([]*Histogram, 12)
+	for i := range hs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			hs[i] = r.Histogram("contended_seconds", "h",
+				layouts[i%len(layouts)], "worker", strconv.Itoa(i))
+		}(i)
+	}
+	wg.Wait()
+	want := hs[0].Bounds()
+	for i, h := range hs {
+		got := h.Bounds()
+		if len(got) != len(want) {
+			t.Fatalf("series %d has %d bounds, series 0 has %d — family bounds diverged", i, len(got), len(want))
+		}
+		for j := range got {
+			if got[j] != want[j] {
+				t.Fatalf("series %d bounds[%d] = %v, want %v", i, j, got[j], want[j])
+			}
+		}
 	}
 }
 

@@ -102,8 +102,11 @@ func escapeLabel(v string) string {
 }
 
 // get returns the series for (name, labels), creating family and series
-// as needed. mk builds a fresh metric value.
-func (r *Registry) get(name, help string, kind metricKind, bounds []float64, labels []string, mk func() any) any {
+// as needed. mk builds a fresh metric value; it receives the family's
+// authoritative histogram bounds (resolved under the write lock, so all
+// series of one family share the first registration's buckets even when
+// two goroutines race the first registration).
+func (r *Registry) get(name, help string, kind metricKind, bounds []float64, labels []string, mk func(bounds []float64) any) any {
 	key := labelKey(labels)
 
 	r.mu.RLock()
@@ -131,7 +134,7 @@ func (r *Registry) get(name, help string, kind metricKind, bounds []float64, lab
 	}
 	s, ok := f.byKey[key]
 	if !ok {
-		s = &series{labels: key, value: mk()}
+		s = &series{labels: key, value: mk(f.bounds)}
 		f.byKey[key] = s
 		f.series = append(f.series, s)
 	}
@@ -141,45 +144,57 @@ func (r *Registry) get(name, help string, kind metricKind, bounds []float64, lab
 // Counter returns the counter for (name, labels), registering it on
 // first use. labels are alternating key/value pairs.
 func (r *Registry) Counter(name, help string, labels ...string) *Counter {
-	return r.get(name, help, kindCounter, nil, labels, func() any { return new(Counter) }).(*Counter)
+	return r.get(name, help, kindCounter, nil, labels, func([]float64) any { return new(Counter) }).(*Counter)
 }
 
 // Gauge returns the gauge for (name, labels), registering it on first
 // use.
 func (r *Registry) Gauge(name, help string, labels ...string) *Gauge {
-	return r.get(name, help, kindGauge, nil, labels, func() any { return new(Gauge) }).(*Gauge)
+	return r.get(name, help, kindGauge, nil, labels, func([]float64) any { return new(Gauge) }).(*Gauge)
 }
 
 // GaugeFunc registers a gauge whose value is computed at scrape time
 // (runtime stats, uptime). Re-registering the same (name, labels) keeps
 // the first function.
 func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...string) {
-	r.get(name, help, kindGaugeFunc, nil, labels, func() any { return fn })
+	r.get(name, help, kindGaugeFunc, nil, labels, func([]float64) any { return fn })
 }
 
 // Histogram returns the histogram for (name, labels), registering it on
 // first use. A nil buckets uses DefDurationBuckets. All series of one
-// family share the first registration's buckets.
+// family share the first registration's buckets (get resolves the
+// authoritative bounds under the write lock).
 func (r *Registry) Histogram(name, help string, buckets []float64, labels ...string) *Histogram {
 	if buckets == nil {
 		buckets = DefDurationBuckets
 	}
-	r.mu.RLock()
-	if f, ok := r.families[name]; ok && f.bounds != nil {
-		buckets = f.bounds
-	}
-	r.mu.RUnlock()
-	return r.get(name, help, kindHistogram, buckets, labels, func() any { return newHistogram(buckets) }).(*Histogram)
+	return r.get(name, help, kindHistogram, buckets, labels, func(bounds []float64) any { return newHistogram(bounds) }).(*Histogram)
 }
 
-// snapshotFamilies copies the family list under the read lock; the
-// metrics themselves are atomic and read lock-free afterwards.
-func (r *Registry) snapshotFamilies() []*family {
+// familyView is a point-in-time copy of one family taken under the
+// registry lock. The series slice is copied because Registry.get appends
+// to it under the write lock; series contents are immutable after
+// creation and the metric values are atomic, so everything past the copy
+// reads lock-free.
+type familyView struct {
+	name   string
+	help   string
+	kind   metricKind
+	series []*series
+}
+
+func (r *Registry) snapshotFamilies() []familyView {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	out := make([]*family, 0, len(r.order))
+	out := make([]familyView, 0, len(r.order))
 	for _, name := range r.order {
-		out = append(out, r.families[name])
+		f := r.families[name]
+		out = append(out, familyView{
+			name:   f.name,
+			help:   f.help,
+			kind:   f.kind,
+			series: append([]*series(nil), f.series...),
+		})
 	}
 	return out
 }
@@ -217,6 +232,8 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 // writeHistogram emits the _bucket/_sum/_count triplet, merging the
 // series labels with the le label.
 func writeHistogram(b *strings.Builder, name, labels string, h *Histogram) {
+	// Buckets before count (Observe does the reverse): keeps the +Inf
+	// bucket >= every finite bucket under concurrent observation.
 	cum := h.snapshotBuckets()
 	count := h.Count()
 	for i, bound := range h.Bounds() {

@@ -95,7 +95,9 @@ func (s *Server) registerRuntimeMetrics() {
 		func() float64 { return time.Since(s.start).Seconds() })
 }
 
-// statusWriter captures the response code for instrumentation.
+// statusWriter captures the response code for instrumentation. A
+// handler that never calls WriteHeader is recorded as 200, matching
+// net/http's implicit status on first write.
 type statusWriter struct {
 	http.ResponseWriter
 	status int
@@ -105,6 +107,17 @@ func (w *statusWriter) WriteHeader(code int) {
 	w.status = code
 	w.ResponseWriter.WriteHeader(code)
 }
+
+// Flush forwards to the underlying writer so streaming handlers keep
+// working through the instrumentation wrapper.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// Unwrap lets http.ResponseController reach the underlying writer.
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
 
 // handle mounts an instrumented handler: one request counter and
 // latency histogram per route pattern, plus a per-(route, code)

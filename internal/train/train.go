@@ -15,6 +15,8 @@ import (
 
 // Training-data generation reports into the process-wide registry so a
 // live etapd shows how much raw material each AddDriver consumed.
+// Unlike the extraction hot path, these counters are not scoped by
+// core.Config.Metrics/DisableMetrics — they always use obs.Default.
 var (
 	mQueries = obs.Default.Counter("etap_train_queries_total",
 		"Smart queries issued during noisy-positive generation.")
