@@ -1,9 +1,10 @@
-# CI entry points. `make ci` is what the GitHub Actions workflow runs:
-# vet + build + race-enabled tests, so the race detector gates every PR.
+# CI entry points. The GitHub Actions workflow runs `make ci` (vet +
+# build + race-enabled tests, so the race detector gates every PR)
+# followed by `make doccheck`, `make examples` and `make fmt-check`.
 
 GO ?= go
 
-.PHONY: ci vet build test race bench fmt-check
+.PHONY: ci vet build test race bench bench-index doccheck examples fmt-check
 
 ci: vet build race
 
@@ -22,6 +23,21 @@ race:
 # One pass over every benchmark (quality numbers + observability overhead).
 bench:
 	$(GO) test -run xxx -bench . -benchtime 1x ./...
+
+# Index scaling harness: measures sequential vs sharded bulk add and
+# single-shard vs sharded vs cached search over a 50k-doc synthetic
+# corpus, and writes the machine-readable report to BENCH_index.json.
+bench-index:
+	ETAP_BENCH_INDEX=$(CURDIR)/BENCH_index.json $(GO) test ./internal/index -run TestIndexBenchHarness -v
+
+# Doc-comment lint: every exported symbol in the documented packages
+# must carry a godoc comment.
+doccheck:
+	$(GO) run ./cmd/doclint ./internal/index ./internal/web ./internal/gather
+
+# The examples are documentation too — keep them compiling.
+examples:
+	$(GO) build ./examples/...
 
 fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi

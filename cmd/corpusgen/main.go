@@ -1,10 +1,13 @@
 // Command corpusgen generates the synthetic web and dumps it for
 // inspection: page statistics, a sample of documents with their
-// ground-truth sentence labels, or the whole corpus as JSON.
+// ground-truth sentence labels, or the whole corpus as JSON. With
+// -index it additionally builds the sharded search index over the
+// corpus and reports index statistics plus build time.
 //
 // Usage:
 //
 //	corpusgen [-seed N] [-sample K] [-json]
+//	          [-index] [-index-shards N] [-query-cache N]
 package main
 
 import (
@@ -12,17 +15,22 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
+	"etap/internal/core"
 	"etap/internal/corpus"
 )
 
 func main() {
 	var (
-		seed     = flag.Int64("seed", 1, "generation seed")
-		sample   = flag.Int("sample", 3, "documents to print per kind")
-		asJSON   = flag.Bool("json", false, "dump the whole corpus as JSON to stdout")
-		relevant = flag.Int("relevant", 0, "relevant docs per driver (0 = default)")
-		backgrnd = flag.Int("background", 0, "background docs (0 = default)")
+		seed      = flag.Int64("seed", 1, "generation seed")
+		sample    = flag.Int("sample", 3, "documents to print per kind")
+		asJSON    = flag.Bool("json", false, "dump the whole corpus as JSON to stdout")
+		relevant  = flag.Int("relevant", 0, "relevant docs per driver (0 = default)")
+		backgrnd  = flag.Int("background", 0, "background docs (0 = default)")
+		doIndex   = flag.Bool("index", false, "build the search index and print its statistics")
+		shards    = flag.Int("index-shards", 0, "search-index shard count (0 = GOMAXPROCS)")
+		cacheSize = flag.Int("query-cache", 0, "query-result cache entries (0 = default, negative = disabled)")
 	)
 	flag.Parse()
 
@@ -32,6 +40,18 @@ func main() {
 		BackgroundDocs:    *backgrnd,
 	})
 	docs := gen.World()
+
+	if *doIndex {
+		start := time.Now()
+		w := core.BuildWebWith(docs, core.Config{Shards: *shards, CacheSize: *cacheSize})
+		st := w.Index().IndexStats()
+		fmt.Printf("indexed %d documents in %v\n", st.Docs, time.Since(start).Round(time.Millisecond))
+		fmt.Printf("shards: %d\n", st.Shards)
+		fmt.Printf("terms (per-shard entries): %d\n", st.Terms)
+		fmt.Printf("postings: %d\n", st.Postings)
+		fmt.Printf("query cache entries: %d\n", st.CacheEntries)
+		return
+	}
 
 	if *asJSON {
 		enc := json.NewEncoder(os.Stdout)

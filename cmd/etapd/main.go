@@ -7,6 +7,7 @@
 //
 //	etapd [-addr :8080] [-seed N] [-load-models dir] [-leads leads.jsonl]
 //	      [-extract] [-log-level info] [-pprof]
+//	      [-index-shards N] [-query-cache N]
 //
 // Observability:
 //
@@ -42,6 +43,18 @@ import (
 	"etap/internal/store"
 )
 
+// options collects the parsed command-line flags.
+type options struct {
+	addr      string
+	seed      int64
+	loadDir   string
+	leadsPath string
+	extract   bool
+	pprofOn   bool
+	shards    int
+	cacheSize int
+}
+
 func main() {
 	var (
 		addr      = flag.String("addr", ":8080", "listen address")
@@ -51,6 +64,8 @@ func main() {
 		extract   = flag.Bool("extract", false, "run a full extraction pass at startup to populate the store")
 		logLevel  = flag.String("log-level", "info", "log level: debug|info|warn|error")
 		pprofOn   = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
+		shards    = flag.Int("index-shards", 0, "search-index shard count (0 = GOMAXPROCS)")
+		cacheSize = flag.Int("query-cache", 0, "query-result cache entries (0 = default, negative = disabled)")
 	)
 	flag.Parse()
 
@@ -62,23 +77,38 @@ func main() {
 	log := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
 	slog.SetDefault(log)
 
-	if err := run(log, *addr, *seed, *loadDir, *leadsPath, *extract, *pprofOn); err != nil {
+	opts := options{
+		addr:      *addr,
+		seed:      *seed,
+		loadDir:   *loadDir,
+		leadsPath: *leadsPath,
+		extract:   *extract,
+		pprofOn:   *pprofOn,
+		shards:    *shards,
+		cacheSize: *cacheSize,
+	}
+	if err := run(log, opts); err != nil {
 		log.Error("fatal", "err", err)
 		os.Exit(1)
 	}
 }
 
-func run(log *slog.Logger, addr string, seed int64, loadDir, leadsPath string, extract, pprofOn bool) error {
+func run(log *slog.Logger, opts options) error {
 	start := time.Now()
+	seed := opts.seed
 	gen := etap.NewWorldGenerator(etap.WorldConfig{Seed: seed})
-	w := etap.BuildWeb(gen.World())
-	sys := etap.NewSystem(w, etap.Config{Seed: seed})
-	log.Info("world built", "pages", w.Len(), "seed", seed, "elapsed", time.Since(start))
+	cfg := etap.Config{Seed: seed, Shards: opts.shards, CacheSize: opts.cacheSize}
+	w := etap.BuildWebWith(gen.World(), cfg)
+	sys := etap.NewSystem(w, cfg)
+	st0 := w.Index().IndexStats()
+	log.Info("world built", "pages", w.Len(), "seed", seed,
+		"index_shards", st0.Shards, "index_postings", st0.Postings,
+		"elapsed", time.Since(start))
 
 	for _, d := range etap.DefaultDrivers() {
 		t0 := time.Now()
-		if loadDir != "" {
-			data, err := os.ReadFile(filepath.Join(loadDir, d.ID+".json"))
+		if opts.loadDir != "" {
+			data, err := os.ReadFile(filepath.Join(opts.loadDir, d.ID+".json"))
 			if err != nil {
 				return fmt.Errorf("loading %s: %w", d.ID, err)
 			}
@@ -102,22 +132,22 @@ func run(log *slog.Logger, addr string, seed int64, loadDir, leadsPath string, e
 
 	var st *store.Store
 	var err error
-	if leadsPath != "" {
-		st, err = store.LoadFile(leadsPath)
+	if opts.leadsPath != "" {
+		st, err = store.LoadFile(opts.leadsPath)
 		if err != nil {
 			return err
 		}
-		log.Info("lead store loaded", "path", leadsPath, "leads", st.Len())
+		log.Info("lead store loaded", "path", opts.leadsPath, "leads", st.Len())
 	} else {
 		st = store.New()
 	}
 
-	if extract {
+	if opts.extract {
 		if err := extractAll(log, sys, w, st); err != nil {
 			return err
 		}
-		if leadsPath != "" {
-			if err := st.SaveFile(leadsPath); err != nil {
+		if opts.leadsPath != "" {
+			if err := st.SaveFile(opts.leadsPath); err != nil {
 				return err
 			}
 		}
@@ -125,7 +155,7 @@ func run(log *slog.Logger, addr string, seed int64, loadDir, leadsPath string, e
 
 	mux := http.NewServeMux()
 	mux.Handle("/", serve.New(sys, st))
-	if pprofOn {
+	if opts.pprofOn {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -134,8 +164,8 @@ func run(log *slog.Logger, addr string, seed int64, loadDir, leadsPath string, e
 		log.Info("pprof enabled", "path", "/debug/pprof/")
 	}
 
-	log.Info("serving", "addr", addr, "startup", time.Since(start))
-	return http.ListenAndServe(addr, accessLog(log, mux))
+	log.Info("serving", "addr", opts.addr, "startup", time.Since(start))
+	return http.ListenAndServe(opts.addr, accessLog(log, mux))
 }
 
 // purePositives samples the per-driver labeled snippets used alongside

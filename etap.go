@@ -121,10 +121,23 @@ func NewWeb() *Web { return web.New() }
 // BuildWeb indexes generated documents into a frozen web.
 func BuildWeb(docs []Document) *Web { return core.BuildWeb(docs) }
 
+// BuildWebWith is BuildWeb honouring the Config's search-index knobs:
+// Shards selects the index shard count (0 = GOMAXPROCS) and CacheSize
+// the query-result cache capacity (0 = default, negative = disabled).
+// The index bulk-loads concurrently; page order and ranked search
+// results are identical to BuildWeb for any shard count.
+func BuildWebWith(docs []Document, cfg Config) *Web { return core.BuildWebWith(docs, cfg) }
+
 // BuildWebFromHTML renders every document to HTML and recovers text,
 // title and links through the HTML extractor — the path a real crawl
 // takes. Behaviourally equivalent to BuildWeb.
 func BuildWebFromHTML(docs []Document) *Web { return core.BuildWebFromHTML(docs) }
+
+// BuildWebFromHTMLWith is BuildWebFromHTML honouring the Config's
+// search-index knobs, like BuildWebWith.
+func BuildWebFromHTMLWith(docs []Document, cfg Config) *Web {
+	return core.BuildWebFromHTMLWith(docs, cfg)
+}
 
 // CrawlConfig controls a focused crawl of the data-gathering component.
 type CrawlConfig = gather.CrawlConfig

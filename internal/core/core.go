@@ -108,6 +108,15 @@ type Config struct {
 	// the control arm of the observability-overhead benchmark. Like
 	// Metrics, it does not affect train/gather/index metrics.
 	DisableMetrics bool
+	// Shards is the search-index shard count used when this Config
+	// builds a web (BuildWebWith / BuildWebFromHTMLWith); 0 means
+	// GOMAXPROCS. It does not re-shard a web built elsewhere. Ranked
+	// results are identical for any shard count.
+	Shards int
+	// CacheSize is the search-index query-result cache capacity in
+	// entries, applied like Shards at web-build time; 0 means
+	// index.DefaultCacheSize, negative disables caching.
+	CacheSize int
 }
 
 func (c Config) withDefaults() Config {

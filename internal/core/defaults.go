@@ -1,10 +1,13 @@
 package core
 
 import (
+	"runtime"
 	"strings"
+	"sync"
 
 	"etap/internal/corpus"
 	"etap/internal/htmlx"
+	"etap/internal/index"
 	"etap/internal/rank"
 	"etap/internal/train"
 	"etap/internal/web"
@@ -35,18 +38,31 @@ func DefaultDrivers() []SalesDriver {
 
 // BuildWeb converts generated corpus documents into a frozen web with a
 // search index — the standard bridge between the synthetic corpus and the
-// pipeline.
+// pipeline. Equivalent to BuildWebWith with a zero Config.
 func BuildWeb(docs []corpus.Document) *web.Web {
-	w := web.New()
-	for _, d := range docs {
-		w.AddPage(web.Page{
+	return BuildWebWith(docs, Config{})
+}
+
+// BuildWebWith is BuildWeb honouring the Config's index knobs (Shards,
+// CacheSize) and bulk-loading the sharded index concurrently. Page
+// order, page content and ranked search results are identical to a
+// sequential build for any shard count.
+func BuildWebWith(docs []corpus.Document, cfg Config) *web.Web {
+	w := web.New(web.WithIndexOptions(index.Options{
+		Shards:    cfg.Shards,
+		CacheSize: cfg.CacheSize,
+	}))
+	pages := make([]web.Page, len(docs))
+	for i, d := range docs {
+		pages[i] = web.Page{
 			URL:   d.URL,
 			Host:  d.Host,
 			Title: d.Title,
 			Text:  d.Text(),
 			Links: d.Links,
-		})
+		}
 	}
+	w.AddPages(pages)
 	w.Freeze()
 	return w
 }
@@ -56,26 +72,73 @@ func BuildWeb(docs []corpus.Document) *web.Web {
 // then the page text, title and links are recovered with internal/htmlx.
 // The resulting web is behaviourally equivalent to BuildWeb's (same
 // sentences, same links), which TestBuildWebFromHTMLEquivalence asserts.
+// Equivalent to BuildWebFromHTMLWith with a zero Config.
 func BuildWebFromHTML(docs []corpus.Document) *web.Web {
-	w := web.New()
-	for _, d := range docs {
-		html := corpus.RenderHTML(&d)
+	return BuildWebFromHTMLWith(docs, Config{})
+}
+
+// BuildWebFromHTMLWith is BuildWebFromHTML honouring the Config's index
+// knobs. The HTML render runs concurrently in internal/corpus, the
+// text/title/link extraction concurrently here, and the index bulk-load
+// concurrently in internal/web — the three expensive phases of
+// ingesting a crawl.
+func BuildWebFromHTMLWith(docs []corpus.Document, cfg Config) *web.Web {
+	w := web.New(web.WithIndexOptions(index.Options{
+		Shards:    cfg.Shards,
+		CacheSize: cfg.CacheSize,
+	}))
+	rendered := corpus.RenderHTMLAll(docs)
+	pages := make([]web.Page, len(docs))
+	parallelRange(len(docs), func(i int) {
+		html := rendered[i]
 		text := htmlx.ExtractText(html)
 		// The nav/header/footer blocks are page chrome, not article
 		// text; a production gatherer strips known chrome. Here chrome
 		// is exactly the first block (nav links) and the last ("Served
 		// by ..."), so trim them.
-		text = stripChrome(text, d.Title)
-		w.AddPage(web.Page{
-			URL:   d.URL,
-			Host:  d.Host,
+		text = stripChrome(text, docs[i].Title)
+		pages[i] = web.Page{
+			URL:   docs[i].URL,
+			Host:  docs[i].Host,
 			Title: htmlx.Title(html),
 			Text:  text,
 			Links: htmlx.ExtractLinks(html),
-		})
-	}
+		}
+	})
+	w.AddPages(pages)
 	w.Freeze()
 	return w
+}
+
+// parallelRange runs fn(0..n-1) across a GOMAXPROCS worker pool. fn
+// must only touch state owned by its own index.
+func parallelRange(n int, fn func(i int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
 }
 
 // stripChrome removes the navigation prefix (everything before the

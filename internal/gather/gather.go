@@ -8,9 +8,12 @@ package gather
 import (
 	"container/heap"
 	"hash/fnv"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 
+	"etap/internal/index"
 	"etap/internal/obs"
 	"etap/internal/textproc"
 	"etap/internal/web"
@@ -232,26 +235,97 @@ func (s StaticSource) Name() string { return s.SourceName }
 func (s StaticSource) Documents() []*web.Page { return s.Pages }
 
 // Collect merges sources into one de-duplicated collection, stable in
-// (source, page) order.
+// (source, page) order. Content fingerprinting — the expensive,
+// tokenize-every-page part of de-duplication — runs concurrently across
+// a worker pool; the merge itself stays sequential so the kept-page
+// order is deterministic.
 func Collect(sources ...Source) []*web.Page {
+	var all []*web.Page
+	for _, s := range sources {
+		all = append(all, s.Documents()...)
+	}
+	hashes := contentHashAll(all)
+
 	var out []*web.Page
 	seenURL := map[string]bool{}
 	seenContent := map[uint64]bool{}
-	for _, s := range sources {
-		for _, p := range s.Documents() {
-			if seenURL[p.URL] {
-				continue
-			}
-			h := contentHash(p.Text)
-			if seenContent[h] {
-				continue
-			}
-			seenURL[p.URL] = true
-			seenContent[h] = true
-			out = append(out, p)
+	for i, p := range all {
+		if seenURL[p.URL] || seenContent[hashes[i]] {
+			continue
 		}
+		seenURL[p.URL] = true
+		seenContent[hashes[i]] = true
+		out = append(out, p)
 	}
 	return out
+}
+
+// contentHashAll fingerprints every page across a GOMAXPROCS worker
+// pool, preserving order.
+func contentHashAll(pages []*web.Page) []uint64 {
+	out := make([]uint64, len(pages))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(pages) {
+		workers = len(pages)
+	}
+	if workers <= 1 {
+		for i, p := range pages {
+			out[i] = contentHash(p.Text)
+		}
+		return out
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				out[i] = contentHash(pages[i].Text)
+			}
+		}()
+	}
+	for i := range pages {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return out
+}
+
+// IndexCollection bulk-loads a gathered collection into a fresh search
+// index, tokenizing pages concurrently — the bridge from the
+// data-gathering component's collection D to a queryable substrate.
+// Page title and text are indexed together, like web.AddPage does.
+func IndexCollection(pages []*web.Page, opts index.Options) *index.Index {
+	ix := index.NewWithOptions(opts)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(pages) {
+		workers = len(pages)
+	}
+	if workers <= 1 {
+		for _, p := range pages {
+			ix.Add(p.URL, p.Title+" "+p.Text)
+		}
+		return ix
+	}
+	jobs := make(chan *web.Page)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for p := range jobs {
+				ix.Add(p.URL, p.Title+" "+p.Text)
+			}
+		}()
+	}
+	for _, p := range pages {
+		jobs <- p
+	}
+	close(jobs)
+	wg.Wait()
+	return ix
 }
 
 // --- change monitor --------------------------------------------------------

@@ -2,9 +2,11 @@ package gather
 
 import (
 	"fmt"
+	"strings"
 	"testing"
 
 	"etap/internal/corpus"
+	"etap/internal/index"
 	"etap/internal/web"
 )
 
@@ -217,5 +219,52 @@ func BenchmarkCrawl(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		Crawl(w, cfg)
+	}
+}
+
+func TestCollectParallelHashingKeepsOrderAndDedup(t *testing.T) {
+	// Many pages, including exact-content duplicates across sources —
+	// the concurrent fingerprinting must not change which page wins.
+	// Content hashing ignores non-word tokens, so vary the word count,
+	// not digits, to make each page's content genuinely unique.
+	var a, b []*web.Page
+	for i := 0; i < 50; i++ {
+		text := "a merger story" + strings.Repeat(" indeed", i)
+		a = append(a, &web.Page{
+			URL:  fmt.Sprintf("http://s1.example.com/%d", i),
+			Text: text,
+		})
+		b = append(b, &web.Page{
+			URL:  fmt.Sprintf("http://s2.example.com/%d", i),
+			Text: text, // dup content
+		})
+	}
+	got := Collect(StaticSource{SourceName: "a", Pages: a}, StaticSource{SourceName: "b", Pages: b})
+	if len(got) != len(a) {
+		t.Fatalf("kept %d pages, want %d (source b is all duplicates)", len(got), len(a))
+	}
+	for i, p := range got {
+		if p.URL != a[i].URL {
+			t.Fatalf("order changed at %d: %s", i, p.URL)
+		}
+	}
+}
+
+func TestIndexCollection(t *testing.T) {
+	var pages []*web.Page
+	for i := 0; i < 40; i++ {
+		pages = append(pages, &web.Page{
+			URL:   fmt.Sprintf("http://c.example.com/%d", i),
+			Title: "Business update",
+			Text:  fmt.Sprintf("Company %d appointed a new ceo in round %d", i%5, i),
+		})
+	}
+	ix := IndexCollection(pages, index.Options{Shards: 4})
+	if ix.Len() != len(pages) {
+		t.Fatalf("indexed %d docs, want %d", ix.Len(), len(pages))
+	}
+	hits := ix.Search(`"new ceo"`, 0)
+	if len(hits) != len(pages) {
+		t.Fatalf("phrase search found %d docs, want %d", len(hits), len(pages))
 	}
 }

@@ -1,0 +1,207 @@
+package index
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+)
+
+// benchCorpusSize is the corpus the index benchmarks run against — big
+// enough (>=50k docs) that per-query work dominates goroutine overhead.
+const benchCorpusSize = 50000
+
+var (
+	benchDocsOnce sync.Once
+	benchDocs     []corpusDoc
+)
+
+func benchCorpus() []corpusDoc {
+	benchDocsOnce.Do(func() { benchDocs = syntheticCorpus(benchCorpusSize, 1234) })
+	return benchDocs
+}
+
+// loadSequential replays the pre-PR single-threaded build: one shard,
+// one goroutine.
+func loadSequential(docs []corpusDoc) *Index {
+	ix := NewWithOptions(Options{Shards: 1, CacheSize: -1})
+	for _, d := range docs {
+		ix.Add(d.id, d.text)
+	}
+	return ix
+}
+
+// loadSharded bulk-loads concurrently across GOMAXPROCS workers into a
+// GOMAXPROCS-sharded index.
+func loadSharded(docs []corpusDoc, cacheSize int) *Index {
+	ix := NewWithOptions(Options{CacheSize: cacheSize})
+	workers := runtime.GOMAXPROCS(0)
+	var wg sync.WaitGroup
+	chunk := (len(docs) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(docs) {
+			hi = len(docs)
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(part []corpusDoc) {
+			defer wg.Done()
+			for _, d := range part {
+				ix.Add(d.id, d.text)
+			}
+		}(docs[lo:hi])
+	}
+	wg.Wait()
+	return ix
+}
+
+// BenchmarkIndexBulkAdd compares the pre-PR sequential build against
+// the sharded concurrent bulk load on the same corpus.
+func BenchmarkIndexBulkAdd(b *testing.B) {
+	docs := benchCorpus()[:10000]
+	b.Run("sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			loadSequential(docs)
+		}
+	})
+	b.Run("sharded", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			loadSharded(docs, -1)
+		}
+	})
+}
+
+// BenchmarkIndexSearch compares query throughput: single-shard
+// (the pre-PR engine shape), sharded fan-out, and sharded with the
+// query cache enabled.
+func BenchmarkIndexSearch(b *testing.B) {
+	docs := benchCorpus()
+	single := loadSequential(docs)
+	sharded := loadSharded(docs, -1)
+	cached := loadSharded(docs, 0) // default cache
+
+	run := func(ix *Index) func(*testing.B) {
+		return func(b *testing.B) {
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ix.Search(goldenQueries[i%len(goldenQueries)], 10)
+			}
+		}
+	}
+	b.Run("single-shard", run(single))
+	b.Run("sharded", run(sharded))
+	b.Run("sharded-cached", run(cached))
+}
+
+// benchReport is the schema of BENCH_index.json — the perf trajectory
+// record for the search substrate, refreshed by `make bench-index`.
+type benchReport struct {
+	GeneratedAt string  `json:"generated_at"`
+	GoMaxProcs  int     `json:"gomaxprocs"`
+	Docs        int     `json:"docs"`
+	Queries     int     `json:"queries"`
+	Shards      int     `json:"shards"`
+	BulkAdd     addRep  `json:"bulk_add"`
+	Search      srchRep `json:"search"`
+}
+
+type addRep struct {
+	SequentialDocsPerSec float64 `json:"sequential_docs_per_sec"`
+	ShardedDocsPerSec    float64 `json:"sharded_docs_per_sec"`
+	Speedup              float64 `json:"speedup"`
+}
+
+type srchRep struct {
+	SingleShardQPS   float64 `json:"single_shard_qps"`
+	ShardedQPS       float64 `json:"sharded_qps"`
+	ShardedSpeedup   float64 `json:"sharded_speedup"`
+	CachedQPS        float64 `json:"cached_qps"`
+	CachedSpeedup    float64 `json:"cached_speedup"`
+	ResultsIdentical bool    `json:"results_identical"`
+}
+
+// TestIndexBenchHarness measures sequential-vs-sharded bulk add and
+// search throughput on the >=50k-doc corpus and writes BENCH_index.json
+// to the path named by ETAP_BENCH_INDEX. Skipped unless that variable
+// is set — run it via `make bench-index`.
+func TestIndexBenchHarness(t *testing.T) {
+	out := os.Getenv("ETAP_BENCH_INDEX")
+	if out == "" {
+		t.Skip("set ETAP_BENCH_INDEX=<output path> (or run `make bench-index`)")
+	}
+	docs := benchCorpus()
+
+	t0 := time.Now()
+	single := loadSequential(docs)
+	seqLoad := time.Since(t0)
+
+	t0 = time.Now()
+	sharded := loadSharded(docs, -1)
+	parLoad := time.Since(t0)
+
+	const rounds = 40 // rounds × len(goldenQueries) searches per engine
+	nq := rounds * len(goldenQueries)
+	searchAll := func(ix *Index) time.Duration {
+		start := time.Now()
+		for i := 0; i < nq; i++ {
+			ix.Search(goldenQueries[i%len(goldenQueries)], 10)
+		}
+		return time.Since(start)
+	}
+
+	singleDur := searchAll(single)
+	shardedDur := searchAll(sharded)
+	cached := loadSharded(docs, 0)
+	cachedDur := searchAll(cached)
+
+	identical := true
+	for _, q := range goldenQueries {
+		a := single.Search(q, 10)
+		b := sharded.Search(q, 10)
+		if fmt.Sprint(a) != fmt.Sprint(b) {
+			identical = false
+			t.Errorf("query %q: sharded diverged from single-shard", q)
+		}
+	}
+
+	qps := func(d time.Duration) float64 { return float64(nq) / d.Seconds() }
+	rep := benchReport{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		Docs:        len(docs),
+		Queries:     nq,
+		Shards:      sharded.Shards(),
+		BulkAdd: addRep{
+			SequentialDocsPerSec: float64(len(docs)) / seqLoad.Seconds(),
+			ShardedDocsPerSec:    float64(len(docs)) / parLoad.Seconds(),
+			Speedup:              seqLoad.Seconds() / parLoad.Seconds(),
+		},
+		Search: srchRep{
+			SingleShardQPS:   qps(singleDur),
+			ShardedQPS:       qps(shardedDur),
+			ShardedSpeedup:   singleDur.Seconds() / shardedDur.Seconds(),
+			CachedQPS:        qps(cachedDur),
+			CachedSpeedup:    singleDur.Seconds() / cachedDur.Seconds(),
+			ResultsIdentical: identical,
+		},
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("bulk add: sequential %.0f docs/s, sharded %.0f docs/s (%.2fx)",
+		rep.BulkAdd.SequentialDocsPerSec, rep.BulkAdd.ShardedDocsPerSec, rep.BulkAdd.Speedup)
+	t.Logf("search: single %.1f qps, sharded %.1f qps (%.2fx), cached %.1f qps (%.2fx)",
+		rep.Search.SingleShardQPS, rep.Search.ShardedQPS, rep.Search.ShardedSpeedup,
+		rep.Search.CachedQPS, rep.Search.CachedSpeedup)
+}

@@ -1,0 +1,128 @@
+package index
+
+import (
+	"container/list"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// DefaultCacheSize is the query-result cache capacity (entries) used
+// when Options.CacheSize is zero. Smart-query workloads repeat a small
+// set of precision-oriented queries many times, so even a modest cache
+// absorbs most of the load.
+const DefaultCacheSize = 512
+
+// queryCache is an LRU map from normalized query keys to ranked hits.
+// Entries carry the index generation they were computed at; Add bumps
+// the generation, so every cached result is invalidated by the next
+// mutation without the writer having to touch the cache at all.
+//
+// All methods are safe for concurrent use. The cache deliberately uses
+// one plain mutex: entries are small, the critical sections are a map
+// lookup plus a list splice, and the alternative (per-entry locks)
+// costs more than it saves at DefaultCacheSize.
+type queryCache struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List // front = most recently used
+	items map[string]*list.Element
+}
+
+type cacheEntry struct {
+	key  string
+	gen  uint64
+	hits []Hit
+}
+
+func newQueryCache(capacity int) *queryCache {
+	return &queryCache{
+		cap:   capacity,
+		ll:    list.New(),
+		items: make(map[string]*list.Element, capacity),
+	}
+}
+
+// get returns the cached hits for key if present and computed at the
+// current generation. Stale entries (older generation) are dropped on
+// sight. The returned slice is a copy; callers may truncate or reorder
+// it freely.
+func (c *queryCache) get(key string, gen uint64) ([]Hit, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		mCacheMisses.Inc()
+		return nil, false
+	}
+	e := el.Value.(*cacheEntry)
+	if e.gen != gen {
+		// The index changed since this result was computed.
+		c.ll.Remove(el)
+		delete(c.items, key)
+		mCacheEntries.Set(int64(len(c.items)))
+		mCacheMisses.Inc()
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	mCacheHits.Inc()
+	return append([]Hit(nil), e.hits...), true
+}
+
+// put stores hits for key at generation gen, evicting the least
+// recently used entries beyond capacity.
+func (c *queryCache) put(key string, gen uint64, hits []Hit) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		e := el.Value.(*cacheEntry)
+		e.gen = gen
+		e.hits = append([]Hit(nil), hits...)
+		c.ll.MoveToFront(el)
+		return
+	}
+	el := c.ll.PushFront(&cacheEntry{key: key, gen: gen, hits: append([]Hit(nil), hits...)})
+	c.items[key] = el
+	for c.ll.Len() > c.cap {
+		back := c.ll.Back()
+		c.ll.Remove(back)
+		delete(c.items, back.Value.(*cacheEntry).key)
+		mCacheEvictions.Inc()
+	}
+	mCacheEntries.Set(int64(len(c.items)))
+}
+
+// len returns the number of live entries.
+func (c *queryCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// cacheKey renders a parsed query plus result bound k into a canonical
+// string. Terms and phrases are sorted so queries that differ only in
+// token order share an entry (conjunctive matching and BM25 scoring are
+// both order-insensitive); phrase-internal order is preserved because
+// adjacency is order-sensitive.
+func cacheKey(q Query, k int) string {
+	terms := append([]string(nil), q.Terms...)
+	sort.Strings(terms)
+	phrases := make([]string, len(q.Phrases))
+	for i, p := range q.Phrases {
+		phrases[i] = strings.Join(p, " ")
+	}
+	sort.Strings(phrases)
+	var b strings.Builder
+	b.WriteString("k=")
+	b.WriteString(strconv.Itoa(k))
+	for _, t := range terms {
+		b.WriteString("\x00t:")
+		b.WriteString(t)
+	}
+	for _, p := range phrases {
+		b.WriteString("\x00p:")
+		b.WriteString(p)
+	}
+	return b.String()
+}

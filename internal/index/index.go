@@ -1,31 +1,69 @@
-// Package index implements the inverted index and ranking that serve as
-// ETAP's search engine substrate. The paper's training-data generation
-// queries Google with "smart queries" like "new ceo" or "IBM Daksh"
-// (Section 3.3.1); this index provides the same capability over the
-// synthetic web: positional postings, BM25 ranking, quoted-phrase and
-// conjunctive queries.
+// Package index implements the sharded inverted index and ranking that
+// serve as ETAP's search engine substrate. The paper's training-data
+// generation queries Google with "smart queries" like "new ceo" or "IBM
+// Daksh" (Section 3.3.1); this index provides the same capability over
+// the synthetic web: positional postings, BM25 ranking, quoted-phrase
+// and conjunctive queries.
+//
+// # Sharding
+//
+// The index is split into N shards (Options.Shards, default
+// GOMAXPROCS). A document is routed to a shard by a hash of its ID and
+// lives there entirely, so matching and scoring are shard-local;
+// corpus-wide statistics (document count, average length, per-term
+// document frequency) are aggregated before scoring, which keeps ranked
+// results — order and score — bit-identical across shard counts.
+// Add takes only the owning shard's write lock, so concurrent bulk
+// loading scales across cores; SearchQuery fans out across shards in
+// parallel and merges the per-shard results through a bounded top-k
+// heap.
+//
+// # Query cache
+//
+// An LRU cache (Options.CacheSize, default DefaultCacheSize) keyed on
+// the normalized query memoizes ranked results. Every Add bumps the
+// index generation, which invalidates all cached entries at once —
+// smart-query workloads are many small repeated queries over a corpus
+// that mutates rarely, exactly the shape an LRU absorbs.
 package index
 
 import (
+	"hash/maphash"
 	"math"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"etap/internal/obs"
 	"etap/internal/textproc"
 )
 
 // Search traffic reports into the process-wide registry — the search
-// substrate serves every smart query, so postings volume is the first
-// place training-cost regressions show up.
+// substrate serves every smart query, so postings volume and cache
+// efficiency are the first places training-cost regressions show up.
 var (
 	mQueries = obs.Default.Counter("etap_index_queries_total",
 		"Search queries served by the inverted index.")
 	mPostings = obs.Default.Counter("etap_index_postings_scanned_total",
 		"Postings-list entries touched while resolving queries.")
+	mCacheHits = obs.Default.Counter("etap_index_cache_hits_total",
+		"Queries answered from the result cache.")
+	mCacheMisses = obs.Default.Counter("etap_index_cache_misses_total",
+		"Queries that had to be resolved against the shards.")
+	mCacheEvictions = obs.Default.Counter("etap_index_cache_evictions_total",
+		"Cache entries evicted by the LRU capacity bound.")
+	mCacheEntries = obs.Default.Gauge("etap_index_cache_entries",
+		"Live entries in the query-result cache.")
+	mFanout = obs.Default.Histogram("etap_index_fanout_duration_seconds",
+		"Wall time of the per-query parallel fan-out across shards.", nil)
 )
 
-// Posting records the positions of one term in one document.
+// Posting records the positions of one term in one document. Doc is an
+// index into the owning shard's document table (shard-local, not
+// global).
 type Posting struct {
 	Doc       int32
 	Positions []int32
@@ -37,26 +75,77 @@ type Hit struct {
 	Score float64
 }
 
-// Index is a positional inverted index over added documents. It is not
-// safe for concurrent mutation; build first, then search freely.
-type Index struct {
-	ids      []string
-	byID     map[string]int32
-	postings map[string][]Posting
-	docLen   []float64
-	totalLen float64
+// Options configures a new index.
+type Options struct {
+	// Shards is the number of index shards; 0 means GOMAXPROCS, and
+	// values are clamped to at least 1. More shards increase bulk-load
+	// and query fan-out parallelism; ranked results are identical for
+	// any shard count.
+	Shards int
+	// CacheSize is the query-result cache capacity in entries; 0 means
+	// DefaultCacheSize, negative disables caching.
+	CacheSize int
 }
 
-// New returns an empty index.
-func New() *Index {
-	return &Index{
-		byID:     make(map[string]int32),
-		postings: make(map[string][]Posting),
-	}
+// Index is a positional inverted index over added documents, sharded by
+// document ID. Add and the query methods are safe for concurrent use —
+// build with concurrent Adds, search from any number of goroutines. A
+// search concurrent with Adds sees some consistent prefix of the
+// documents added so far.
+type Index struct {
+	shards []*shard
+	seed   maphash.Seed
+	gen    atomic.Uint64 // bumped on every Add; versions cache entries
+	cache  *queryCache   // nil when disabled
 }
+
+// New returns an empty index with default options (GOMAXPROCS shards,
+// DefaultCacheSize query cache).
+func New() *Index { return NewWithOptions(Options{}) }
+
+// NewWithOptions returns an empty index configured by o.
+func NewWithOptions(o Options) *Index {
+	n := o.Shards
+	if n == 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	if n < 1 {
+		n = 1
+	}
+	ix := &Index{shards: make([]*shard, n), seed: maphash.MakeSeed()}
+	for i := range ix.shards {
+		ix.shards[i] = newShard()
+	}
+	switch {
+	case o.CacheSize > 0:
+		ix.cache = newQueryCache(o.CacheSize)
+	case o.CacheSize == 0:
+		ix.cache = newQueryCache(DefaultCacheSize)
+	}
+	return ix
+}
+
+// Shards returns the shard count.
+func (ix *Index) Shards() int { return len(ix.shards) }
 
 // Len returns the number of indexed documents.
-func (ix *Index) Len() int { return len(ix.ids) }
+func (ix *Index) Len() int {
+	n := 0
+	for _, s := range ix.shards {
+		s.mu.RLock()
+		n += len(s.ids)
+		s.mu.RUnlock()
+	}
+	return n
+}
+
+// shardFor routes a document ID to its owning shard.
+func (ix *Index) shardFor(docID string) *shard {
+	if len(ix.shards) == 1 {
+		return ix.shards[0]
+	}
+	return ix.shards[maphash.String(ix.seed, docID)%uint64(len(ix.shards))]
+}
 
 // terms normalizes text into index terms: lower-cased stemmed word
 // tokens plus number tokens (so queries like "Q4 2004" work).
@@ -74,27 +163,16 @@ func terms(text string) []string {
 	return out
 }
 
-// Add indexes a document. Adding the same docID twice panics: the index
-// has no delete path and silent double-indexing would corrupt scores.
+// Add indexes a document. It is safe to call concurrently: tokenization
+// runs outside any lock and only the owning shard's write lock is
+// taken, so bulk loading parallelizes across shards. Adding the same
+// docID twice panics: the index has no delete path and silent
+// double-indexing would corrupt scores. Every Add invalidates the query
+// cache (by advancing the index generation).
 func (ix *Index) Add(docID, text string) {
-	if _, dup := ix.byID[docID]; dup {
-		panic("index: duplicate document " + docID)
-	}
-	doc := int32(len(ix.ids))
-	ix.ids = append(ix.ids, docID)
-	ix.byID[docID] = doc
-
 	ts := terms(text)
-	ix.docLen = append(ix.docLen, float64(len(ts)))
-	ix.totalLen += float64(len(ts))
-
-	seenAt := map[string][]int32{}
-	for pos, term := range ts {
-		seenAt[term] = append(seenAt[term], int32(pos))
-	}
-	for term, positions := range seenAt {
-		ix.postings[term] = append(ix.postings[term], Posting{Doc: doc, Positions: positions})
-	}
+	ix.shardFor(docID).add(docID, ts)
+	ix.gen.Add(1)
 }
 
 // BM25 parameters (standard defaults).
@@ -102,11 +180,6 @@ const (
 	bm25K1 = 1.2
 	bm25B  = 0.75
 )
-
-func (ix *Index) idf(df int) float64 {
-	n := float64(ix.Len())
-	return math.Log(1 + (n-float64(df)+0.5)/(float64(df)+0.5))
-}
 
 // Query is a parsed search query: required phrases (quoted in the input)
 // and required terms. All parts must match (conjunctive semantics — a
@@ -117,7 +190,9 @@ type Query struct {
 }
 
 // ParseQuery splits a query string into quoted phrases and bare terms,
-// normalizing both like document text.
+// normalizing both like document text. An unterminated quote is not a
+// phrase: its quote character is dropped and the tail parses as plain
+// terms.
 func ParseQuery(q string) Query {
 	var out Query
 	for {
@@ -127,6 +202,9 @@ func ParseQuery(q string) Query {
 		}
 		end := strings.IndexByte(q[start+1:], '"')
 		if end < 0 {
+			// Unterminated quote: strip it and fall through to plain
+			// term parsing instead of silently dropping the tail.
+			q = q[:start] + " " + q[start+1:]
 			break
 		}
 		phrase := q[start+1 : start+1+end]
@@ -146,10 +224,12 @@ func (ix *Index) Search(query string, k int) []Hit {
 	return ix.SearchQuery(ParseQuery(query), k)
 }
 
-// SearchQuery is Search over a pre-parsed query.
+// SearchQuery is Search over a pre-parsed query: cache lookup first,
+// then a parallel fan-out across shards merged through a bounded top-k
+// heap. Results are identical — order and score — for any shard count.
 func (ix *Index) SearchQuery(q Query, k int) []Hit {
 	mQueries.Inc()
-	required := make([][]Posting, 0, len(q.Terms)+len(q.Phrases))
+
 	// Single-token phrases degrade to terms.
 	allTerms := append([]string(nil), q.Terms...)
 	var phrases [][]string
@@ -161,116 +241,97 @@ func (ix *Index) SearchQuery(q Query, k int) []Hit {
 			allTerms = append(allTerms, p...)
 		}
 	}
-	for _, t := range allTerms {
-		pl, ok := ix.postings[t]
-		if !ok {
-			return nil // conjunctive: a missing term empties the result
-		}
-		mPostings.Add(uint64(len(pl)))
-		required = append(required, pl)
-	}
-	if len(required) == 0 {
+	if len(allTerms) == 0 {
 		return nil
 	}
 
-	// Intersect candidate doc sets.
-	candidates := docSet(required[0])
-	for _, pl := range required[1:] {
-		next := docSet(pl)
-		for d := range candidates {
-			if !next[d] {
-				delete(candidates, d)
-			}
-		}
-		if len(candidates) == 0 {
-			return nil
+	var key string
+	gen := ix.gen.Load()
+	if ix.cache != nil {
+		key = cacheKey(q, k)
+		if hits, ok := ix.cache.get(key, gen); ok {
+			return hits
 		}
 	}
 
-	// Phrase filter.
-	for _, p := range phrases {
-		for d := range candidates {
-			if !ix.phraseIn(p, d) {
-				delete(candidates, d)
-			}
-		}
-		if len(candidates) == 0 {
-			return nil
-		}
-	}
-
-	// BM25 over the distinct query tokens.
-	distinct := map[string]bool{}
-	for _, t := range allTerms {
-		distinct[t] = true
-	}
-	avgLen := ix.totalLen / math.Max(1, float64(ix.Len()))
-	hits := make([]Hit, 0, len(candidates))
-	for d := range candidates {
-		score := 0.0
-		for t := range distinct {
-			pl := ix.postings[t]
-			idx := sort.Search(len(pl), func(i int) bool { return pl[i].Doc >= d })
-			if idx >= len(pl) || pl[idx].Doc != d {
-				continue
-			}
-			tf := float64(len(pl[idx].Positions))
-			den := tf + bm25K1*(1-bm25B+bm25B*ix.docLen[d]/avgLen)
-			score += ix.idf(len(pl)) * tf * (bm25K1 + 1) / den
-		}
-		hits = append(hits, Hit{DocID: ix.ids[d], Score: score})
-	}
-	sort.Slice(hits, func(i, j int) bool {
-		if hits[i].Score != hits[j].Score {
-			return hits[i].Score > hits[j].Score
-		}
-		return hits[i].DocID < hits[j].DocID
-	})
-	if k > 0 && len(hits) > k {
-		hits = hits[:k]
+	hits := ix.resolve(allTerms, phrases, k)
+	if ix.cache != nil {
+		// Versioned under the generation read before resolving: if an
+		// Add raced the search, the entry is already stale and the next
+		// get drops it.
+		ix.cache.put(key, gen, hits)
 	}
 	return hits
 }
 
-// phraseIn reports whether the phrase occurs contiguously in doc d.
-func (ix *Index) phraseIn(phrase []string, d int32) bool {
-	// Gather position lists for each phrase token in doc d.
-	lists := make([][]int32, len(phrase))
-	for i, t := range phrase {
-		pl := ix.postings[t]
-		idx := sort.Search(len(pl), func(j int) bool { return pl[j].Doc >= d })
-		if idx >= len(pl) || pl[idx].Doc != d {
-			return false
-		}
-		lists[i] = pl[idx].Positions
-	}
-	// For each start position of token 0, check the chain.
-	for _, p0 := range lists[0] {
-		ok := true
-		for i := 1; i < len(lists); i++ {
-			if !contains32(lists[i], p0+int32(i)) {
-				ok = false
-				break
-			}
-		}
-		if ok {
-			return true
+// resolve answers a parsed query against the shards.
+func (ix *Index) resolve(allTerms []string, phrases [][]string, k int) []Hit {
+	// Distinct query tokens in sorted order — the shared scoring basis.
+	seen := map[string]bool{}
+	distinct := make([]string, 0, len(allTerms))
+	for _, t := range allTerms {
+		if !seen[t] {
+			seen[t] = true
+			distinct = append(distinct, t)
 		}
 	}
-	return false
-}
+	sort.Strings(distinct)
 
-func contains32(sorted []int32, v int32) bool {
-	i := sort.Search(len(sorted), func(j int) bool { return sorted[j] >= v })
-	return i < len(sorted) && sorted[i] == v
-}
-
-func docSet(pl []Posting) map[int32]bool {
-	out := make(map[int32]bool, len(pl))
-	for _, p := range pl {
-		out[p.Doc] = true
+	// Phase 1: aggregate corpus-wide statistics (document count, total
+	// length, per-term document frequency) across shards.
+	nDocs, totalLen := 0, 0.0
+	df := make([]int, len(distinct))
+	for _, s := range ix.shards {
+		st := s.snapshotStats(distinct)
+		nDocs += st.docs
+		totalLen += st.totalLen
+		for i, d := range st.df {
+			df[i] += d
+		}
 	}
-	return out
+	var scanned uint64
+	for _, d := range df {
+		if d == 0 {
+			// Conjunctive semantics: a term absent from the whole corpus
+			// empties the result.
+			return nil
+		}
+		scanned += uint64(d)
+	}
+	mPostings.Add(scanned)
+
+	idfs := make([]float64, len(distinct))
+	for i, d := range df {
+		idfs[i] = idf(nDocs, d)
+	}
+	avgLen := totalLen / math.Max(1, float64(nDocs))
+
+	// Phase 2: fan out matching + scoring across shards in parallel.
+	perShard := make([][]Hit, len(ix.shards))
+	if len(ix.shards) == 1 {
+		perShard[0] = ix.shards[0].search(allTerms, phrases, distinct, idfs, avgLen)
+	} else {
+		start := time.Now()
+		var wg sync.WaitGroup
+		for i, s := range ix.shards {
+			wg.Add(1)
+			go func(i int, s *shard) {
+				defer wg.Done()
+				perShard[i] = s.search(allTerms, phrases, distinct, idfs, avgLen)
+			}(i, s)
+		}
+		wg.Wait()
+		mFanout.ObserveSince(start)
+	}
+
+	// Merge: bounded heap keeps only the k best across shards.
+	merger := newTopK(k)
+	for _, hs := range perShard {
+		for _, h := range hs {
+			merger.push(h)
+		}
+	}
+	return merger.results()
 }
 
 // DocFreq returns the document frequency of a term (normalized like
@@ -280,22 +341,24 @@ func (ix *Index) DocFreq(term string) int {
 	if len(ts) == 0 {
 		return 0
 	}
-	return len(ix.postings[ts[0]])
+	n := 0
+	for _, s := range ix.shards {
+		n += s.docFreq(ts[0])
+	}
+	return n
 }
 
 // CoDocFreq returns the number of documents containing both terms —
-// whole-document co-occurrence.
+// whole-document co-occurrence. Documents never span shards, so the
+// corpus-wide count is the sum of shard-local counts.
 func (ix *Index) CoDocFreq(a, b string) int {
 	ta, tb := terms(a), terms(b)
 	if len(ta) == 0 || len(tb) == 0 {
 		return 0
 	}
-	da := docSet(ix.postings[ta[0]])
 	n := 0
-	for _, p := range ix.postings[tb[0]] {
-		if da[p.Doc] {
-			n++
-		}
+	for _, s := range ix.shards {
+		n += s.coDocFreq(ta[0], tb[0])
 	}
 	return n
 }
@@ -311,44 +374,41 @@ func (ix *Index) CoNearFreq(a, b string, window int) int {
 	if len(ta) == 0 || len(tb) == 0 {
 		return 0
 	}
-	pa := ix.postings[ta[0]]
-	pb := ix.postings[tb[0]]
 	n := 0
-	i, j := 0, 0
-	for i < len(pa) && j < len(pb) {
-		switch {
-		case pa[i].Doc < pb[j].Doc:
-			i++
-		case pa[i].Doc > pb[j].Doc:
-			j++
-		default:
-			if positionsNear(pa[i].Positions, pb[j].Positions, int32(window)) {
-				n++
-			}
-			i++
-			j++
-		}
+	for _, s := range ix.shards {
+		n += s.coNearFreq(ta[0], tb[0], int32(window))
 	}
 	return n
 }
 
-// positionsNear reports whether two sorted position lists have a pair
-// within the window.
-func positionsNear(a, b []int32, window int32) bool {
-	i, j := 0, 0
-	for i < len(a) && j < len(b) {
-		d := a[i] - b[j]
-		if d < 0 {
-			d = -d
-		}
-		if d <= window {
-			return true
-		}
-		if a[i] < b[j] {
-			i++
-		} else {
-			j++
-		}
+// Stats is a point-in-time summary of the index, for operational
+// inspection (corpusgen -index, tests, logs).
+type Stats struct {
+	// Docs is the number of indexed documents.
+	Docs int
+	// Shards is the configured shard count.
+	Shards int
+	// Terms is the total number of term→postings entries summed across
+	// shards (a term present in several shards counts once per shard).
+	Terms int
+	// Postings is the total number of (term, document) postings.
+	Postings int
+	// CacheEntries is the number of live query-cache entries; zero when
+	// the cache is disabled.
+	CacheEntries int
+}
+
+// IndexStats returns current index statistics.
+func (ix *Index) IndexStats() Stats {
+	st := Stats{Shards: len(ix.shards)}
+	for _, s := range ix.shards {
+		d, t, p := s.size()
+		st.Docs += d
+		st.Terms += t
+		st.Postings += p
 	}
-	return false
+	if ix.cache != nil {
+		st.CacheEntries = ix.cache.len()
+	}
+	return st
 }

@@ -146,6 +146,55 @@ func TestParseQuery(t *testing.T) {
 	}
 }
 
+func TestParseQueryUnterminatedQuote(t *testing.T) {
+	// A dangling quote must not swallow the rest of the query: the tail
+	// parses as plain terms.
+	q := ParseQuery(`growth "new ceo`)
+	if len(q.Phrases) != 0 {
+		t.Fatalf("phrases = %v, want none", q.Phrases)
+	}
+	want := map[string]bool{"growth": true, "new": true, "ceo": true}
+	if len(q.Terms) != 3 {
+		t.Fatalf("terms = %v, want growth/new/ceo", q.Terms)
+	}
+	for _, term := range q.Terms {
+		if !want[term] {
+			t.Fatalf("unexpected term %q in %v", term, q.Terms)
+		}
+	}
+	// A valid phrase before the dangling quote still parses as a phrase.
+	q = ParseQuery(`"IBM Daksh" deal "new ceo`)
+	if len(q.Phrases) != 1 || len(q.Phrases[0]) != 2 {
+		t.Fatalf("phrases = %v, want the IBM Daksh phrase only", q.Phrases)
+	}
+	if len(q.Terms) != 3 {
+		t.Fatalf("terms = %v, want deal/new/ceo", q.Terms)
+	}
+}
+
+func TestSearchUnterminatedQuoteMatches(t *testing.T) {
+	ix := buildIndex()
+	// Previously the dangling-quote tail was dropped and this query
+	// degenerated to match-nothing; now it behaves like "IBM Daksh".
+	hits := ix.Search(`IBM "Daksh`, 0)
+	if len(hits) != 2 {
+		t.Fatalf("got %v, want d5 and d6", ids(hits))
+	}
+}
+
+func TestShardsAndStats(t *testing.T) {
+	ix := NewWithOptions(Options{Shards: 3})
+	if ix.Shards() != 3 {
+		t.Fatalf("Shards() = %d", ix.Shards())
+	}
+	ix.Add("a", "merger announced today")
+	ix.Add("b", "merger closed yesterday")
+	st := ix.IndexStats()
+	if st.Docs != 2 || st.Shards != 3 || st.Postings == 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
 func TestDocFreqAndCoDocFreq(t *testing.T) {
 	ix := buildIndex()
 	if df := ix.DocFreq("ceo"); df != 3 {

@@ -1,0 +1,276 @@
+package index
+
+import (
+	"math"
+	"sort"
+	"sync"
+)
+
+// shard is one slice of the index: a term→postings map over the subset
+// of documents whose ID hashes to it. A document lives entirely within
+// one shard, so conjunctive matching, phrase adjacency and per-document
+// scoring never cross shard boundaries; only document frequencies and
+// length statistics must be aggregated globally (SearchQuery does that
+// before fanning out).
+//
+// Each shard carries its own RWMutex: Add takes the write lock of the
+// owning shard only, searches take read locks, so bulk loading
+// parallelizes across shards and queries never serialize behind each
+// other.
+type shard struct {
+	mu       sync.RWMutex
+	ids      []string
+	byID     map[string]int32
+	postings map[string][]Posting
+	docLen   []float64
+	totalLen float64
+}
+
+func newShard() *shard {
+	return &shard{
+		byID:     make(map[string]int32),
+		postings: make(map[string][]Posting),
+	}
+}
+
+// add indexes one document under the shard's write lock. Duplicate IDs
+// panic (the hash routes equal IDs to the same shard, so shard-local
+// detection is global detection).
+func (s *shard) add(docID string, ts []string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.byID[docID]; dup {
+		panic("index: duplicate document " + docID)
+	}
+	doc := int32(len(s.ids))
+	s.ids = append(s.ids, docID)
+	s.byID[docID] = doc
+	s.docLen = append(s.docLen, float64(len(ts)))
+	s.totalLen += float64(len(ts))
+
+	seenAt := map[string][]int32{}
+	for pos, term := range ts {
+		seenAt[term] = append(seenAt[term], int32(pos))
+	}
+	for term, positions := range seenAt {
+		s.postings[term] = append(s.postings[term], Posting{Doc: doc, Positions: positions})
+	}
+}
+
+// stats is the shard's contribution to the corpus-wide statistics BM25
+// needs: document count, summed document length, and per-term document
+// frequencies for the query's distinct terms.
+type shardStats struct {
+	docs     int
+	totalLen float64
+	df       []int // parallel to the distinct-terms slice passed in
+}
+
+// snapshotStats reads the shard's corpus statistics under the read lock.
+func (s *shard) snapshotStats(distinct []string) shardStats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	st := shardStats{docs: len(s.ids), totalLen: s.totalLen, df: make([]int, len(distinct))}
+	for i, t := range distinct {
+		st.df[i] = len(s.postings[t])
+	}
+	return st
+}
+
+// search resolves the query against this shard's documents: conjunctive
+// intersection, phrase adjacency filtering, then BM25 scoring with the
+// caller-supplied global idf values and average document length. The
+// returned hits are unordered; the caller merges and ranks across
+// shards. Scores are bit-identical regardless of shard count because
+// every per-document input (tf, docLen, idf, avgLen) and the summation
+// order (sorted distinct terms) are shard-independent.
+func (s *shard) search(allTerms []string, phrases [][]string, distinct []string, idf []float64, avgLen float64) []Hit {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+
+	required := make([][]Posting, 0, len(allTerms))
+	for _, t := range allTerms {
+		pl, ok := s.postings[t]
+		if !ok {
+			return nil // conjunctive: this shard holds no matching docs
+		}
+		required = append(required, pl)
+	}
+	if len(required) == 0 {
+		return nil
+	}
+
+	// Intersect candidate doc sets.
+	candidates := docSet(required[0])
+	for _, pl := range required[1:] {
+		next := docSet(pl)
+		for d := range candidates {
+			if !next[d] {
+				delete(candidates, d)
+			}
+		}
+		if len(candidates) == 0 {
+			return nil
+		}
+	}
+
+	// Phrase filter.
+	for _, p := range phrases {
+		for d := range candidates {
+			if !s.phraseIn(p, d) {
+				delete(candidates, d)
+			}
+		}
+		if len(candidates) == 0 {
+			return nil
+		}
+	}
+
+	// BM25 over the distinct query tokens, in sorted term order so the
+	// floating-point summation is deterministic and shard-independent.
+	hits := make([]Hit, 0, len(candidates))
+	for d := range candidates {
+		score := 0.0
+		for i, t := range distinct {
+			pl := s.postings[t]
+			idx := sort.Search(len(pl), func(j int) bool { return pl[j].Doc >= d })
+			if idx >= len(pl) || pl[idx].Doc != d {
+				continue
+			}
+			tf := float64(len(pl[idx].Positions))
+			den := tf + bm25K1*(1-bm25B+bm25B*s.docLen[d]/avgLen)
+			score += idf[i] * tf * (bm25K1 + 1) / den
+		}
+		hits = append(hits, Hit{DocID: s.ids[d], Score: score})
+	}
+	return hits
+}
+
+// phraseIn reports whether the phrase occurs contiguously in doc d.
+// Callers hold at least the read lock.
+func (s *shard) phraseIn(phrase []string, d int32) bool {
+	// Gather position lists for each phrase token in doc d.
+	lists := make([][]int32, len(phrase))
+	for i, t := range phrase {
+		pl := s.postings[t]
+		idx := sort.Search(len(pl), func(j int) bool { return pl[j].Doc >= d })
+		if idx >= len(pl) || pl[idx].Doc != d {
+			return false
+		}
+		lists[i] = pl[idx].Positions
+	}
+	// For each start position of token 0, check the chain.
+	for _, p0 := range lists[0] {
+		ok := true
+		for i := 1; i < len(lists); i++ {
+			if !contains32(lists[i], p0+int32(i)) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+// coDocFreq counts this shard's documents containing both terms.
+func (s *shard) coDocFreq(ta, tb string) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	da := docSet(s.postings[ta])
+	n := 0
+	for _, p := range s.postings[tb] {
+		if da[p.Doc] {
+			n++
+		}
+	}
+	return n
+}
+
+// coNearFreq counts this shard's documents where the two terms occur
+// within `window` positions of each other.
+func (s *shard) coNearFreq(ta, tb string, window int32) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	pa := s.postings[ta]
+	pb := s.postings[tb]
+	n := 0
+	i, j := 0, 0
+	for i < len(pa) && j < len(pb) {
+		switch {
+		case pa[i].Doc < pb[j].Doc:
+			i++
+		case pa[i].Doc > pb[j].Doc:
+			j++
+		default:
+			if positionsNear(pa[i].Positions, pb[j].Positions, window) {
+				n++
+			}
+			i++
+			j++
+		}
+	}
+	return n
+}
+
+// docFreq returns the shard-local document frequency of one term.
+func (s *shard) docFreq(t string) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.postings[t])
+}
+
+// size reports the shard's document count and number of postings-map
+// entries (term, docs-containing-it pairs) for Stats.
+func (s *shard) size() (docs, terms, postings int) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	docs = len(s.ids)
+	terms = len(s.postings)
+	for _, pl := range s.postings {
+		postings += len(pl)
+	}
+	return docs, terms, postings
+}
+
+func contains32(sorted []int32, v int32) bool {
+	i := sort.Search(len(sorted), func(j int) bool { return sorted[j] >= v })
+	return i < len(sorted) && sorted[i] == v
+}
+
+func docSet(pl []Posting) map[int32]bool {
+	out := make(map[int32]bool, len(pl))
+	for _, p := range pl {
+		out[p.Doc] = true
+	}
+	return out
+}
+
+// positionsNear reports whether two sorted position lists have a pair
+// within the window.
+func positionsNear(a, b []int32, window int32) bool {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		d := a[i] - b[j]
+		if d < 0 {
+			d = -d
+		}
+		if d <= window {
+			return true
+		}
+		if a[i] < b[j] {
+			i++
+		} else {
+			j++
+		}
+	}
+	return false
+}
+
+// idf is the BM25 inverse document frequency for a term with document
+// frequency df in a corpus of n documents.
+func idf(n, df int) float64 {
+	return math.Log(1 + (float64(n)-float64(df)+0.5)/(float64(df)+0.5))
+}

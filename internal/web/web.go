@@ -6,8 +6,10 @@ package web
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 
 	"etap/internal/index"
 	"etap/internal/textproc"
@@ -31,9 +33,27 @@ type Web struct {
 	frozen bool
 }
 
-// New returns an empty Web.
-func New() *Web {
-	return &Web{pages: make(map[string]*Page), ix: index.New()}
+// Option configures a Web at construction time.
+type Option func(*webOptions)
+
+type webOptions struct {
+	index index.Options
+}
+
+// WithIndexOptions selects the search-index configuration (shard count,
+// query-cache capacity) for webs built with New.
+func WithIndexOptions(o index.Options) Option {
+	return func(wo *webOptions) { wo.index = o }
+}
+
+// New returns an empty Web. With no options the search index uses its
+// defaults (GOMAXPROCS shards, DefaultCacheSize query cache).
+func New(opts ...Option) *Web {
+	var wo webOptions
+	for _, o := range opts {
+		o(&wo)
+	}
+	return &Web{pages: make(map[string]*Page), ix: index.NewWithOptions(wo.index)}
 }
 
 // AddPage stores and indexes a page. Pages must have unique URLs; adding
@@ -55,6 +75,63 @@ func (w *Web) AddPage(p Page) {
 	w.pages[p.URL] = &cp
 	w.order = append(w.order, p.URL)
 	w.ix.Add(p.URL, p.Title+" "+p.Text)
+}
+
+// AddPages bulk-loads pages: page-store bookkeeping (ordering,
+// duplicate detection) stays sequential and deterministic, while the
+// expensive tokenize-and-index work fans out across a worker pool
+// feeding the sharded index concurrently. Behaviour is identical to
+// calling AddPage for each page in order; only the load parallelizes.
+func (w *Web) AddPages(pages []Page) {
+	if w.frozen {
+		panic("web: AddPages after Freeze")
+	}
+	// Sequential phase: validate and store so order and duplicate
+	// detection don't depend on scheduling.
+	stored := make([]*Page, 0, len(pages))
+	for _, p := range pages {
+		if p.URL == "" {
+			panic("web: page without URL")
+		}
+		if _, dup := w.pages[p.URL]; dup {
+			panic("web: duplicate URL " + p.URL)
+		}
+		if p.Host == "" {
+			p.Host = hostOf(p.URL)
+		}
+		cp := p
+		w.pages[p.URL] = &cp
+		w.order = append(w.order, p.URL)
+		stored = append(stored, &cp)
+	}
+	// Concurrent phase: the index hashes documents to shards, so
+	// workers rarely contend on a shard lock.
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(stored) {
+		workers = len(stored)
+	}
+	if workers <= 1 {
+		for _, p := range stored {
+			w.ix.Add(p.URL, p.Title+" "+p.Text)
+		}
+		return
+	}
+	jobs := make(chan *Page)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for p := range jobs {
+				w.ix.Add(p.URL, p.Title+" "+p.Text)
+			}
+		}()
+	}
+	for _, p := range stored {
+		jobs <- p
+	}
+	close(jobs)
+	wg.Wait()
 }
 
 // Freeze marks the web immutable; searches and lookups remain available.

@@ -1,8 +1,11 @@
 package web
 
 import (
+	"fmt"
 	"strings"
 	"testing"
+
+	"etap/internal/index"
 )
 
 func smallWeb() *Web {
@@ -130,4 +133,69 @@ func TestEmptyURLPanics(t *testing.T) {
 		}
 	}()
 	w.AddPage(Page{Text: "no url"})
+}
+
+func TestAddPagesMatchesAddPage(t *testing.T) {
+	pages := make([]Page, 60)
+	for i := range pages {
+		pages[i] = Page{
+			URL:   fmt.Sprintf("http://bulk.example.com/%d", i),
+			Title: fmt.Sprintf("Story %d", i),
+			Text:  fmt.Sprintf("Company %d announced a merger and a new ceo on day %d", i%7, i),
+			Links: []string{"http://bulk.example.com/0"},
+		}
+	}
+	seq := New()
+	for _, p := range pages {
+		seq.AddPage(p)
+	}
+	seq.Freeze()
+
+	bulk := New()
+	bulk.AddPages(pages)
+	bulk.Freeze()
+
+	if seq.Len() != bulk.Len() {
+		t.Fatalf("Len: %d vs %d", seq.Len(), bulk.Len())
+	}
+	if fmt.Sprint(seq.URLs()) != fmt.Sprint(bulk.URLs()) {
+		t.Fatal("AddPages changed page order")
+	}
+	pageURLs := func(ps []*Page) []string {
+		out := make([]string, len(ps))
+		for i, p := range ps {
+			out[i] = p.URL
+		}
+		return out
+	}
+	for _, q := range []string{`"new ceo"`, "merger", "company 3"} {
+		a, b := pageURLs(seq.Search(q, 0)), pageURLs(bulk.Search(q, 0))
+		if fmt.Sprint(a) != fmt.Sprint(b) {
+			t.Fatalf("query %q: sequential %v vs bulk %v", q, a, b)
+		}
+	}
+}
+
+func TestAddPagesDuplicatePanics(t *testing.T) {
+	w := New()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on duplicate URL in AddPages")
+		}
+	}()
+	w.AddPages([]Page{
+		{URL: "http://dup.example.com/", Text: "one"},
+		{URL: "http://dup.example.com/", Text: "two"},
+	})
+}
+
+func TestWithIndexOptions(t *testing.T) {
+	w := New(WithIndexOptions(index.Options{Shards: 3, CacheSize: -1}))
+	w.AddPage(Page{URL: "http://x.example.com/", Text: "merger news"})
+	if got := w.Index().Shards(); got != 3 {
+		t.Fatalf("Shards() = %d, want 3", got)
+	}
+	if hits := w.Search("merger", 0); len(hits) != 1 {
+		t.Fatalf("search on sharded web: %v", hits)
+	}
 }
