@@ -1,0 +1,171 @@
+package main
+
+import (
+	"context"
+	"io"
+	"log/slog"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+
+	"etap/internal/rank"
+	"etap/internal/serve"
+	"etap/internal/store"
+)
+
+func seedStoreFile(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "leads.jsonl")
+	s := store.New()
+	s.Add([]rank.Event{
+		{SnippetID: "k#0", Driver: "ma", Company: "Acme", Score: 0.9, Text: "Acme buys Widget."},
+		{SnippetID: "k#1", Driver: "ma", Company: "Widget", Score: 0.5, Text: "Widget sold."},
+	}, time.Unix(1_120_000_000, 0))
+	if err := s.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func quietLog() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, nil))
+}
+
+// TestShutdownCheckpointSurvivesSIGTERM is the kill test: a daemon with
+// a loaded lead store accepts a review over live HTTP, receives a real
+// SIGTERM, exits cleanly, and the review is present when the store is
+// reloaded — the data-loss bug this PR fixes.
+func TestShutdownCheckpointSurvivesSIGTERM(t *testing.T) {
+	path := seedStoreFile(t)
+	st, err := store.LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	log := quietLog()
+	api := serve.New(nil, st)
+	cp := newCheckpointer(api, path, log)
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM)
+	defer stop()
+	srv := &http.Server{Handler: api, ReadHeaderTimeout: 5 * time.Second}
+	done := make(chan error, 1)
+	go func() { done <- serveUntilShutdown(ctx, log, srv, ln, 5*time.Second, cp) }()
+
+	base := "http://" + ln.Addr().String()
+	// Review a lead through the live API: an unsaved store mutation.
+	resp, err := http.Post(base+"/leads/review?id=k%230", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("review status %d", resp.StatusCode)
+	}
+
+	// The test binary is its own process; a real SIGTERM exercises the
+	// production signal path end to end.
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("shutdown: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not shut down after SIGTERM")
+	}
+
+	// Restart: the review must have survived.
+	reloaded, err := store.LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := reloaded.Find(store.Query{})
+	if len(got) != 2 {
+		t.Fatalf("reloaded %d leads", len(got))
+	}
+	seen := false
+	for _, l := range got {
+		if l.SnippetID == "k#0" {
+			seen = true
+			if !l.Reviewed {
+				t.Fatal("review lost across SIGTERM")
+			}
+		}
+	}
+	if !seen {
+		t.Fatal("lead k#0 missing after restart")
+	}
+}
+
+// TestCheckpointerSkipsWhenUnchanged verifies the revision gate: ticks
+// with no store mutations don't rewrite the file.
+func TestCheckpointerSkipsWhenUnchanged(t *testing.T) {
+	path := seedStoreFile(t)
+	st, err := store.LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	api := serve.New(nil, st)
+	cp := newCheckpointer(api, path, quietLog())
+
+	skips0 := mCheckpointSkips.Value()
+	saves0 := mCheckpoints.Value()
+	if err := cp.save("test"); err != nil {
+		t.Fatal(err)
+	}
+	if mCheckpoints.Value() != saves0+1 {
+		t.Fatal("first save did not write")
+	}
+	// Unchanged store: the next two saves are skips.
+	if err := cp.save("test"); err != nil {
+		t.Fatal(err)
+	}
+	if err := cp.save("test"); err != nil {
+		t.Fatal(err)
+	}
+	if got := mCheckpointSkips.Value() - skips0; got != 2 {
+		t.Fatalf("skips = %d, want 2", got)
+	}
+	if mCheckpoints.Value() != saves0+1 {
+		t.Fatal("no-op save rewrote the file")
+	}
+	// A mutation re-arms the checkpointer.
+	req := httptest.NewRequest(http.MethodPost, "/leads/review?id=k%231", nil)
+	rec := httptest.NewRecorder()
+	api.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("review status %d", rec.Code)
+	}
+	if err := cp.save("test"); err != nil {
+		t.Fatal(err)
+	}
+	if mCheckpoints.Value() != saves0+2 {
+		t.Fatal("post-mutation save skipped")
+	}
+}
+
+// TestServeUntilShutdownPropagatesServeError covers the non-signal exit
+// path: a listener error surfaces instead of hanging.
+func TestServeUntilShutdownPropagatesServeError(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln.Close() // Serve on a closed listener fails immediately.
+	srv := &http.Server{Handler: http.NotFoundHandler()}
+	if err := serveUntilShutdown(context.Background(), quietLog(), srv, ln, time.Second, nil); err == nil {
+		t.Fatal("closed-listener error swallowed")
+	}
+}

@@ -8,6 +8,14 @@
 //	etapd [-addr :8080] [-seed N] [-load-models dir] [-leads leads.jsonl]
 //	      [-extract] [-log-level info] [-pprof]
 //	      [-index-shards N] [-query-cache N]
+//	      [-shutdown-timeout 10s] [-checkpoint-interval 30s]
+//
+// Lifecycle: SIGTERM or SIGINT triggers a graceful shutdown — the
+// listener stops accepting, in-flight requests drain for up to
+// -shutdown-timeout, and the lead store is checkpointed to -leads so
+// reviews made through the API survive the restart. While running, the
+// store is also checkpointed every -checkpoint-interval (skipped when
+// nothing changed).
 //
 // Observability:
 //
@@ -31,10 +39,13 @@ import (
 	"flag"
 	"fmt"
 	"log/slog"
+	"net"
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"syscall"
 	"time"
 
 	"etap"
@@ -45,27 +56,31 @@ import (
 
 // options collects the parsed command-line flags.
 type options struct {
-	addr      string
-	seed      int64
-	loadDir   string
-	leadsPath string
-	extract   bool
-	pprofOn   bool
-	shards    int
-	cacheSize int
+	addr       string
+	seed       int64
+	loadDir    string
+	leadsPath  string
+	extract    bool
+	pprofOn    bool
+	shards     int
+	cacheSize  int
+	drain      time.Duration
+	checkpoint time.Duration
 }
 
 func main() {
 	var (
-		addr      = flag.String("addr", ":8080", "listen address")
-		seed      = flag.Int64("seed", 1, "world and training seed")
-		loadDir   = flag.String("load-models", "", "load driver models instead of training")
-		leadsPath = flag.String("leads", "", "JSONL lead store to load (and keep updating via the API)")
-		extract   = flag.Bool("extract", false, "run a full extraction pass at startup to populate the store")
-		logLevel  = flag.String("log-level", "info", "log level: debug|info|warn|error")
-		pprofOn   = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
-		shards    = flag.Int("index-shards", 0, "search-index shard count (0 = GOMAXPROCS)")
-		cacheSize = flag.Int("query-cache", 0, "query-result cache entries (0 = default, negative = disabled)")
+		addr       = flag.String("addr", ":8080", "listen address")
+		seed       = flag.Int64("seed", 1, "world and training seed")
+		loadDir    = flag.String("load-models", "", "load driver models instead of training")
+		leadsPath  = flag.String("leads", "", "JSONL lead store to load (and keep updating via the API)")
+		extract    = flag.Bool("extract", false, "run a full extraction pass at startup to populate the store")
+		logLevel   = flag.String("log-level", "info", "log level: debug|info|warn|error")
+		pprofOn    = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
+		shards     = flag.Int("index-shards", 0, "search-index shard count (0 = GOMAXPROCS)")
+		cacheSize  = flag.Int("query-cache", 0, "query-result cache entries (0 = default, negative = disabled)")
+		drain      = flag.Duration("shutdown-timeout", 10*time.Second, "grace period for in-flight requests on SIGTERM/SIGINT")
+		checkpoint = flag.Duration("checkpoint-interval", 30*time.Second, "how often to checkpoint the lead store to -leads (0 disables periodic saves)")
 	)
 	flag.Parse()
 
@@ -78,22 +93,32 @@ func main() {
 	slog.SetDefault(log)
 
 	opts := options{
-		addr:      *addr,
-		seed:      *seed,
-		loadDir:   *loadDir,
-		leadsPath: *leadsPath,
-		extract:   *extract,
-		pprofOn:   *pprofOn,
-		shards:    *shards,
-		cacheSize: *cacheSize,
+		addr:       *addr,
+		seed:       *seed,
+		loadDir:    *loadDir,
+		leadsPath:  *leadsPath,
+		extract:    *extract,
+		pprofOn:    *pprofOn,
+		shards:     *shards,
+		cacheSize:  *cacheSize,
+		drain:      *drain,
+		checkpoint: *checkpoint,
 	}
-	if err := run(log, opts); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		// Once the first signal starts the graceful path, restore the
+		// default disposition so a second signal kills immediately.
+		<-ctx.Done()
+		stop()
+	}()
+	if err := run(ctx, log, opts); err != nil {
 		log.Error("fatal", "err", err)
 		os.Exit(1)
 	}
 }
 
-func run(log *slog.Logger, opts options) error {
+func run(ctx context.Context, log *slog.Logger, opts options) error {
 	start := time.Now()
 	seed := opts.seed
 	gen := etap.NewWorldGenerator(etap.WorldConfig{Seed: seed})
@@ -153,8 +178,9 @@ func run(log *slog.Logger, opts options) error {
 		}
 	}
 
+	api := serve.New(sys, st)
 	mux := http.NewServeMux()
-	mux.Handle("/", serve.New(sys, st))
+	mux.Handle("/", api)
 	if opts.pprofOn {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -164,8 +190,27 @@ func run(log *slog.Logger, opts options) error {
 		log.Info("pprof enabled", "path", "/debug/pprof/")
 	}
 
-	log.Info("serving", "addr", opts.addr, "startup", time.Since(start))
-	return http.ListenAndServe(opts.addr, accessLog(log, mux))
+	var cp *checkpointer
+	if opts.leadsPath != "" {
+		cp = newCheckpointer(api, opts.leadsPath, log)
+		if opts.checkpoint > 0 {
+			go cp.run(ctx, opts.checkpoint)
+		}
+	}
+
+	ln, err := net.Listen("tcp", opts.addr)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{
+		Handler:           accessLog(log, mux),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       15 * time.Second,
+		WriteTimeout:      30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	log.Info("serving", "addr", ln.Addr().String(), "startup", time.Since(start))
+	return serveUntilShutdown(ctx, log, srv, ln, opts.drain, cp)
 }
 
 // purePositives samples the per-driver labeled snippets used alongside
@@ -209,33 +254,12 @@ func extractAll(log *slog.Logger, sys *etap.System, w *etap.Web, st *store.Store
 func accessLog(log *slog.Logger, next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
-		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		sw := serve.NewStatusWriter(w)
 		next.ServeHTTP(sw, r)
 		log.Debug("request",
 			"method", r.Method,
 			"path", r.URL.Path,
-			"status", sw.status,
+			"status", sw.Status(),
 			"duration", time.Since(start))
 	})
 }
-
-type statusWriter struct {
-	http.ResponseWriter
-	status int
-}
-
-func (w *statusWriter) WriteHeader(code int) {
-	w.status = code
-	w.ResponseWriter.WriteHeader(code)
-}
-
-// Flush forwards to the underlying writer so streaming handlers keep
-// working through the access-log wrapper.
-func (w *statusWriter) Flush() {
-	if f, ok := w.ResponseWriter.(http.Flusher); ok {
-		f.Flush()
-	}
-}
-
-// Unwrap lets http.ResponseController reach the underlying writer.
-func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }

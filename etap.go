@@ -148,6 +148,31 @@ type CrawlResult = gather.CrawlResult
 // Crawl runs the focused crawler over a web.
 func Crawl(w *Web, cfg CrawlConfig) CrawlResult { return gather.Crawl(w, cfg) }
 
+// Fetcher is the page-retrieval seam the crawler fetches through; the
+// web itself implements it, and FaultFetcher wraps any implementation
+// with deterministic failures.
+type Fetcher = web.Fetcher
+
+// FaultConfig tunes deterministic fault injection for a FaultFetcher.
+type FaultConfig = web.FaultConfig
+
+// NewFaultFetcher wraps a fetcher with seeded transient/permanent
+// failures and optional latency, for resilience testing.
+func NewFaultFetcher(next Fetcher, cfg FaultConfig) Fetcher {
+	return web.NewFaultFetcher(next, cfg)
+}
+
+// RetryConfig tunes the crawler's retry/backoff and per-host circuit
+// breaker.
+type RetryConfig = gather.RetryConfig
+
+// FetchError reports one URL the crawler gave up on, with the reason.
+type FetchError = gather.FetchError
+
+// FetchOptions bundles the fetch policy a Config threads into
+// System.Crawl: retry settings plus optional fault injection.
+type FetchOptions = gather.FetchOptions
+
 // Event is one extracted trigger event.
 type Event = rank.Event
 

@@ -19,6 +19,7 @@ import (
 	"etap/internal/annotate"
 	"etap/internal/classify"
 	"etap/internal/feature"
+	"etap/internal/gather"
 	"etap/internal/ner"
 	"etap/internal/noise"
 	"etap/internal/obs"
@@ -117,6 +118,11 @@ type Config struct {
 	// entries, applied like Shards at web-build time; 0 means
 	// index.DefaultCacheSize, negative disables caching.
 	CacheSize int
+	// Fetch is the data-gathering fetch policy — retry/backoff/breaker
+	// settings and optional fault injection — applied by System.Crawl.
+	// The zero value means gather's documented defaults and no injected
+	// faults.
+	Fetch gather.FetchOptions
 }
 
 func (c Config) withDefaults() Config {
@@ -210,6 +216,21 @@ func (s *System) Recognizer() *ner.Recognizer { return s.rec }
 
 // Web exposes the underlying web.
 func (s *System) Web() *web.Web { return s.web }
+
+// Crawl runs the focused crawler over the system's web with the
+// system's fetch policy threaded in: when the crawl supplies no
+// Fetcher and the config enables fault injection, the web is wrapped
+// in a FaultFetcher; when the crawl's retry settings are zero, the
+// system's take effect. Explicit per-crawl settings always win.
+func (s *System) Crawl(cfg gather.CrawlConfig) gather.CrawlResult {
+	if cfg.Fetcher == nil && s.cfg.Fetch.Fault != nil {
+		cfg.Fetcher = web.NewFaultFetcher(s.web, *s.cfg.Fetch.Fault)
+	}
+	if cfg.Retry.IsZero() {
+		cfg.Retry = s.cfg.Fetch.Retry
+	}
+	return gather.Crawl(s.web, cfg)
+}
 
 // Drivers returns the IDs of the trained drivers, in no particular order.
 func (s *System) Drivers() []string {

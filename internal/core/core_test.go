@@ -3,9 +3,11 @@ package core
 import (
 	"errors"
 	"testing"
+	"time"
 
 	"etap/internal/classify"
 	"etap/internal/corpus"
+	"etap/internal/gather"
 	"etap/internal/rank"
 	"etap/internal/web"
 )
@@ -329,5 +331,27 @@ func TestDriversList(t *testing.T) {
 	got := f.sys.Drivers()
 	if len(got) != 1 || got[0] != string(corpus.ChangeInManagement) {
 		t.Fatalf("Drivers() = %v", got)
+	}
+}
+
+func TestSystemCrawlThreadsFetchPolicy(t *testing.T) {
+	w := web.New()
+	w.AddPage(web.Page{URL: "u:a", Text: "alpha news", Links: []string{"u:b"}})
+	w.AddPage(web.Page{URL: "u:b", Text: "beta news"})
+	sys := New(w, Config{Fetch: gather.FetchOptions{
+		Fault: &web.FaultConfig{Seed: 3, TransientRate: 1, MaxTransient: 1},
+		Retry: gather.RetryConfig{MaxAttempts: 4, Sleep: func(time.Duration) {}},
+	}})
+	got := sys.Crawl(gather.CrawlConfig{Seeds: []string{"u:a"}})
+	if len(got.Pages) != 2 || len(got.Failed) != 0 {
+		t.Fatalf("crawl: %d pages, %d failed", len(got.Pages), len(got.Failed))
+	}
+	if got.Retries == 0 {
+		t.Fatal("fault injection from Config.Fetch not applied (no retries)")
+	}
+	// An explicit per-crawl fetcher wins over the config's fault layer.
+	clean := sys.Crawl(gather.CrawlConfig{Seeds: []string{"u:a"}, Fetcher: w})
+	if clean.Retries != 0 || len(clean.Pages) != 2 {
+		t.Fatalf("explicit fetcher overridden: retries=%d pages=%d", clean.Retries, len(clean.Pages))
 	}
 }

@@ -1,0 +1,299 @@
+// Fetch robustness for the focused crawler: retry with exponential
+// backoff and seeded jitter, a per-attempt timeout, and a per-host
+// circuit breaker — the failure-handling skeleton production
+// business-news pipelines treat as first-class. Everything is
+// deterministic given the configuration seeds: the breaker is
+// fetch-indexed rather than wall-clock-timed and the jitter stream is
+// seeded, so a crawl against a seeded fault injector reproduces
+// exactly.
+package gather
+
+import (
+	"context"
+	"math/rand"
+	"time"
+
+	"etap/internal/obs"
+	"etap/internal/web"
+)
+
+// Fetch-robustness series: retries, backoff pauses, abandoned fetches,
+// and circuit-breaker activity all report into the process-wide
+// registry alongside the crawl-volume metrics above.
+var (
+	mRetries = obs.Default.Counter("etap_gather_retries_total",
+		"Fetch retries after a transient failure or attempt timeout.")
+	mBackoffSleeps = obs.Default.Counter("etap_gather_backoff_sleeps_total",
+		"Backoff pauses taken between fetch retries.")
+	mBackoff = obs.Default.Histogram("etap_gather_backoff_seconds",
+		"Backoff pause duration before a fetch retry.", nil)
+	mFetchFailures = obs.Default.Counter("etap_gather_fetch_failures_total",
+		"Fetches abandoned after exhausting retries or hitting a permanent error.")
+	mBreakerTrips = obs.Default.Counter("etap_gather_breaker_trips_total",
+		"Per-host circuit breakers tripped open.")
+	mBreakerOpen = obs.Default.Gauge("etap_gather_breaker_open",
+		"Per-host circuit breakers currently open.")
+	mBreakerShortCircuits = obs.Default.Counter("etap_gather_breaker_short_circuits_total",
+		"Fetches skipped without an attempt because the host's breaker was open.")
+)
+
+// RetryConfig tunes fetch retry, backoff, and the per-host circuit
+// breaker used by Crawl. The zero value selects the defaults noted per
+// field.
+type RetryConfig struct {
+	// MaxAttempts is the fetch attempts per URL including the first;
+	// 0 means 4, negative means a single attempt (no retries).
+	MaxAttempts int
+	// BaseBackoff is the pause after the first failure, doubling each
+	// retry; 0 means 50ms.
+	BaseBackoff time.Duration
+	// MaxBackoff caps the pause; 0 means 2s.
+	MaxBackoff time.Duration
+	// AttemptTimeout bounds each fetch attempt via a context deadline;
+	// 0 means 1s, negative disables the per-attempt deadline.
+	AttemptTimeout time.Duration
+	// JitterSeed seeds the deterministic backoff jitter (a factor in
+	// [0.5, 1.5) per pause); the same seed reproduces the same sleep
+	// schedule.
+	JitterSeed int64
+	// BreakerThreshold is the consecutive failure count that opens a
+	// host's breaker; 0 means 5, negative disables the breaker.
+	BreakerThreshold int
+	// BreakerCooldown is how many fetches to an open host are skipped
+	// before a single half-open probe is allowed through; 0 means 8.
+	BreakerCooldown int
+	// Sleep replaces time.Sleep for backoff pauses (tests inject a
+	// recorder); nil means time.Sleep.
+	Sleep func(time.Duration)
+}
+
+// IsZero reports whether every field is unset, i.e. the config would
+// apply pure library defaults. Used when threading a system-level
+// default under an explicit per-crawl override.
+func (c RetryConfig) IsZero() bool {
+	return c.MaxAttempts == 0 && c.BaseBackoff == 0 && c.MaxBackoff == 0 &&
+		c.AttemptTimeout == 0 && c.JitterSeed == 0 &&
+		c.BreakerThreshold == 0 && c.BreakerCooldown == 0 && c.Sleep == nil
+}
+
+// withDefaults resolves the zero fields to the documented defaults.
+func (c RetryConfig) withDefaults() RetryConfig {
+	if c.MaxAttempts == 0 {
+		c.MaxAttempts = 4
+	}
+	if c.MaxAttempts < 1 {
+		c.MaxAttempts = 1
+	}
+	if c.BaseBackoff == 0 {
+		c.BaseBackoff = 50 * time.Millisecond
+	}
+	if c.MaxBackoff == 0 {
+		c.MaxBackoff = 2 * time.Second
+	}
+	if c.AttemptTimeout == 0 {
+		c.AttemptTimeout = time.Second
+	}
+	if c.BreakerThreshold == 0 {
+		c.BreakerThreshold = 5
+	}
+	if c.BreakerCooldown == 0 {
+		c.BreakerCooldown = 8
+	}
+	if c.Sleep == nil {
+		c.Sleep = time.Sleep
+	}
+	return c
+}
+
+// Failure reasons recorded in FetchError.Reason.
+const (
+	// FailNotFound marks a permanent failure (dead link or gone host).
+	FailNotFound = "not-found"
+	// FailExhausted marks a URL abandoned after MaxAttempts transient
+	// failures.
+	FailExhausted = "transient-exhausted"
+	// FailBreakerOpen marks a URL skipped without an attempt because
+	// its host's circuit breaker was open.
+	FailBreakerOpen = "breaker-open"
+)
+
+// FetchError reports one frontier URL the crawl abandoned and why —
+// the graceful-degradation half of CrawlResult: the crawl returns the
+// pages it could fetch plus this report instead of silently skipping.
+type FetchError struct {
+	// URL is the abandoned frontier entry.
+	URL string
+	// Host is the URL's host — the circuit-breaker scope.
+	Host string
+	// Attempts is how many fetch attempts were made (0 when the
+	// breaker short-circuited the URL).
+	Attempts int
+	// Reason classifies the failure: FailNotFound, FailExhausted, or
+	// FailBreakerOpen.
+	Reason string
+	// Err is the last underlying error's message.
+	Err string
+}
+
+// hostBreaker tracks one host's health. State is fetch-indexed, not
+// timed: an open breaker skips the next cooldown fetches to the host,
+// then admits a single half-open probe — success closes it, failure
+// re-opens a full cooldown. Deterministic by construction.
+type hostBreaker struct {
+	fails    int // consecutive failures while closed
+	open     bool
+	cooldown int // skips remaining before the half-open probe
+}
+
+// retrier wraps a Fetcher with the full robustness stack for one
+// crawl. Not safe for concurrent use (the crawl loop is sequential).
+type retrier struct {
+	fetch    web.Fetcher
+	cfg      RetryConfig
+	breakers map[string]*hostBreaker
+	jitter   *rand.Rand
+	retries  int
+}
+
+func newRetrier(fetch web.Fetcher, cfg RetryConfig) *retrier {
+	cfg = cfg.withDefaults()
+	return &retrier{
+		fetch:    fetch,
+		cfg:      cfg,
+		breakers: make(map[string]*hostBreaker),
+		jitter:   rand.New(rand.NewSource(cfg.JitterSeed)),
+	}
+}
+
+// do fetches url with retries, backoff, the per-attempt timeout, and
+// the host breaker. It returns the page or a FetchError describing why
+// the URL was abandoned.
+func (r *retrier) do(url string) (*web.Page, *FetchError) {
+	host := web.HostOf(url)
+	br := r.breakers[host]
+	if br == nil {
+		br = &hostBreaker{}
+		r.breakers[host] = br
+	}
+	if br.open {
+		if br.cooldown > 0 {
+			br.cooldown--
+			mBreakerShortCircuits.Inc()
+			return nil, &FetchError{URL: url, Host: host, Reason: FailBreakerOpen,
+				Err: "circuit breaker open for host " + host}
+		}
+		// Cooldown spent: fall through as the half-open probe.
+	}
+	var lastErr error
+	for attempt := 1; attempt <= r.cfg.MaxAttempts; attempt++ {
+		if attempt > 1 {
+			r.retries++
+			mRetries.Inc()
+			r.pause(attempt)
+		}
+		page, err := r.attempt(url)
+		if err == nil {
+			r.onSuccess(br)
+			return page, nil
+		}
+		lastErr = err
+		if !web.IsTransient(err) {
+			// Permanent: the host answered, the page is gone. No
+			// breaker impact and no point retrying.
+			mFetchFailures.Inc()
+			return nil, &FetchError{URL: url, Host: host, Attempts: attempt,
+				Reason: FailNotFound, Err: err.Error()}
+		}
+	}
+	r.onFailure(br)
+	mFetchFailures.Inc()
+	return nil, &FetchError{URL: url, Host: host, Attempts: r.cfg.MaxAttempts,
+		Reason: FailExhausted, Err: lastErr.Error()}
+}
+
+// attempt runs one fetch under the per-attempt deadline.
+func (r *retrier) attempt(url string) (*web.Page, error) {
+	ctx := context.Background()
+	if r.cfg.AttemptTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, r.cfg.AttemptTimeout)
+		defer cancel()
+	}
+	return r.fetch.Fetch(ctx, url)
+}
+
+// pause sleeps the exponential backoff for the given attempt (2 is the
+// first retry), jittered by a seeded factor in [0.5, 1.5) and capped
+// at MaxBackoff.
+func (r *retrier) pause(attempt int) {
+	d := r.cfg.BaseBackoff
+	for i := 2; i < attempt; i++ {
+		d *= 2
+		if d >= r.cfg.MaxBackoff {
+			break
+		}
+	}
+	if d > r.cfg.MaxBackoff {
+		d = r.cfg.MaxBackoff
+	}
+	d = time.Duration(float64(d) * (0.5 + r.jitter.Float64()))
+	if d > r.cfg.MaxBackoff {
+		d = r.cfg.MaxBackoff
+	}
+	mBackoffSleeps.Inc()
+	mBackoff.Observe(d.Seconds())
+	r.cfg.Sleep(d)
+}
+
+// onSuccess resets the host's failure streak and closes an open
+// breaker (a successful half-open probe).
+func (r *retrier) onSuccess(br *hostBreaker) {
+	br.fails = 0
+	if br.open {
+		br.open = false
+		mBreakerOpen.Dec()
+	}
+}
+
+// onFailure advances the host's breaker: a failed half-open probe
+// re-opens a full cooldown; enough consecutive failures while closed
+// trip it open.
+func (r *retrier) onFailure(br *hostBreaker) {
+	if r.cfg.BreakerThreshold < 0 {
+		return
+	}
+	if br.open {
+		br.cooldown = r.cfg.BreakerCooldown
+		mBreakerTrips.Inc()
+		return
+	}
+	br.fails++
+	if br.fails >= r.cfg.BreakerThreshold {
+		br.open = true
+		br.cooldown = r.cfg.BreakerCooldown
+		mBreakerTrips.Inc()
+		mBreakerOpen.Inc()
+	}
+}
+
+// finish releases the crawl's breaker state: breakers die with the
+// crawl, so open ones stop counting toward the process-wide gauge.
+func (r *retrier) finish() {
+	for _, br := range r.breakers {
+		if br.open {
+			mBreakerOpen.Dec()
+		}
+	}
+}
+
+// FetchOptions bundles the crawl-time fetch robustness knobs a System
+// threads into each crawl (core.Config.Fetch): retry/backoff/breaker
+// tuning plus optional deterministic fault injection for failure-path
+// testing and chaos runs.
+type FetchOptions struct {
+	// Retry tunes retry, backoff, and the circuit breaker.
+	Retry RetryConfig
+	// Fault, when non-nil, wraps the web in a web.FaultFetcher with
+	// this configuration.
+	Fault *web.FaultConfig
+}

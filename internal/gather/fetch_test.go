@@ -1,0 +1,258 @@
+package gather
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"etap/internal/web"
+)
+
+// scriptFetcher is a hand-scripted web.Fetcher: per-URL remaining
+// transient-failure budgets (-1 = fail forever), optional hangs that
+// only the context deadline ends, and a call log.
+type scriptFetcher struct {
+	pages map[string]*web.Page
+	fails map[string]int // remaining transient failures; -1 = forever
+	hang  map[string]bool
+	calls []string
+}
+
+func newScriptFetcher() *scriptFetcher {
+	return &scriptFetcher{
+		pages: map[string]*web.Page{},
+		fails: map[string]int{},
+		hang:  map[string]bool{},
+	}
+}
+
+func (f *scriptFetcher) add(url, text string) {
+	f.pages[url] = &web.Page{URL: url, Host: web.HostOf(url), Text: text}
+}
+
+// Fetch implements web.Fetcher.
+func (f *scriptFetcher) Fetch(ctx context.Context, url string) (*web.Page, error) {
+	f.calls = append(f.calls, url)
+	if f.hang[url] {
+		<-ctx.Done()
+		return nil, ctx.Err()
+	}
+	if n := f.fails[url]; n != 0 {
+		if n > 0 {
+			f.fails[url] = n - 1
+		}
+		return nil, &web.TransientError{URL: url}
+	}
+	p, ok := f.pages[url]
+	if !ok {
+		return nil, fmt.Errorf("%s: %w", url, web.ErrNotFound)
+	}
+	return p, nil
+}
+
+func noSleep(time.Duration) {}
+
+func TestRetrierRecoversFromTransientFailures(t *testing.T) {
+	f := newScriptFetcher()
+	f.add("http://h/a", "alpha")
+	f.fails["http://h/a"] = 2
+	r := newRetrier(f, RetryConfig{MaxAttempts: 4, Sleep: noSleep})
+	page, ferr := r.do("http://h/a")
+	if ferr != nil {
+		t.Fatalf("retry did not recover: %+v", ferr)
+	}
+	if page.Text != "alpha" || len(f.calls) != 3 {
+		t.Fatalf("page=%v calls=%v", page, f.calls)
+	}
+	if r.retries != 2 {
+		t.Fatalf("retries = %d, want 2", r.retries)
+	}
+}
+
+func TestRetrierExhaustsAndReports(t *testing.T) {
+	f := newScriptFetcher()
+	f.fails["http://h/a"] = -1
+	r := newRetrier(f, RetryConfig{MaxAttempts: 3, Sleep: noSleep})
+	before := mFetchFailures.Value()
+	_, ferr := r.do("http://h/a")
+	if ferr == nil || ferr.Reason != FailExhausted || ferr.Attempts != 3 {
+		t.Fatalf("ferr = %+v", ferr)
+	}
+	if ferr.Host != "h" || ferr.Err == "" {
+		t.Fatalf("ferr = %+v", ferr)
+	}
+	if mFetchFailures.Value() != before+1 {
+		t.Fatal("fetch-failure counter not bumped")
+	}
+}
+
+func TestRetrierPermanentErrorSkipsRetries(t *testing.T) {
+	f := newScriptFetcher() // knows no pages: everything is not-found
+	r := newRetrier(f, RetryConfig{MaxAttempts: 4, Sleep: noSleep})
+	_, ferr := r.do("http://h/gone")
+	if ferr == nil || ferr.Reason != FailNotFound || ferr.Attempts != 1 {
+		t.Fatalf("ferr = %+v", ferr)
+	}
+	if len(f.calls) != 1 {
+		t.Fatalf("permanent error was retried: %v", f.calls)
+	}
+}
+
+func TestRetrierAttemptTimeout(t *testing.T) {
+	f := newScriptFetcher()
+	f.hang["http://h/slow"] = true
+	r := newRetrier(f, RetryConfig{MaxAttempts: 2, AttemptTimeout: 5 * time.Millisecond, Sleep: noSleep})
+	_, ferr := r.do("http://h/slow")
+	if ferr == nil || ferr.Reason != FailExhausted || ferr.Attempts != 2 {
+		t.Fatalf("ferr = %+v", ferr)
+	}
+	if !strings.Contains(ferr.Err, "deadline") {
+		t.Fatalf("timeout not surfaced: %q", ferr.Err)
+	}
+}
+
+func TestBackoffGrowsIsCappedAndDeterministic(t *testing.T) {
+	schedule := func(seed int64) []time.Duration {
+		f := newScriptFetcher()
+		f.fails["http://h/a"] = -1
+		var sleeps []time.Duration
+		r := newRetrier(f, RetryConfig{
+			MaxAttempts: 4,
+			BaseBackoff: 100 * time.Millisecond,
+			MaxBackoff:  300 * time.Millisecond,
+			JitterSeed:  seed,
+			Sleep:       func(d time.Duration) { sleeps = append(sleeps, d) },
+		})
+		r.do("http://h/a")
+		return sleeps
+	}
+	sleeps := schedule(42)
+	if len(sleeps) != 3 {
+		t.Fatalf("sleeps = %v", sleeps)
+	}
+	// Jitter is a factor in [0.5, 1.5) over 100ms, 200ms, then the
+	// 300ms cap (everything re-clamped to the cap).
+	bounds := []struct{ lo, hi time.Duration }{
+		{50 * time.Millisecond, 150 * time.Millisecond},
+		{100 * time.Millisecond, 300 * time.Millisecond},
+		{150 * time.Millisecond, 300 * time.Millisecond},
+	}
+	for i, d := range sleeps {
+		if d < bounds[i].lo || d > bounds[i].hi {
+			t.Errorf("sleep %d = %v outside [%v, %v]", i, d, bounds[i].lo, bounds[i].hi)
+		}
+	}
+	again := schedule(42)
+	for i := range sleeps {
+		if sleeps[i] != again[i] {
+			t.Fatalf("jitter not deterministic: %v vs %v", sleeps, again)
+		}
+	}
+}
+
+func TestBreakerOpensShortCircuitsAndRecovers(t *testing.T) {
+	f := newScriptFetcher()
+	for i := 1; i <= 9; i++ {
+		u := fmt.Sprintf("http://bad.example.com/%d", i)
+		f.add(u, "content")
+		f.fails[u] = -1
+	}
+	tripsBefore, openBefore := mBreakerTrips.Value(), mBreakerOpen.Value()
+	r := newRetrier(f, RetryConfig{
+		MaxAttempts: 2, BreakerThreshold: 2, BreakerCooldown: 3, Sleep: noSleep,
+	})
+	reason := func(i int) string {
+		_, ferr := r.do(fmt.Sprintf("http://bad.example.com/%d", i))
+		if ferr == nil {
+			return "ok"
+		}
+		return ferr.Reason
+	}
+	// Two exhausted URLs trip the host breaker.
+	if got := reason(1); got != FailExhausted {
+		t.Fatalf("url 1: %s", got)
+	}
+	if got := reason(2); got != FailExhausted {
+		t.Fatalf("url 2: %s", got)
+	}
+	if mBreakerTrips.Value() != tripsBefore+1 || mBreakerOpen.Value() != openBefore+1 {
+		t.Fatal("breaker trip not recorded")
+	}
+	// The next three fetches to the host are short-circuited with no
+	// attempt at all.
+	callsBefore := len(f.calls)
+	for i := 3; i <= 5; i++ {
+		if got := reason(i); got != FailBreakerOpen {
+			t.Fatalf("url %d: %s", i, got)
+		}
+	}
+	if len(f.calls) != callsBefore {
+		t.Fatalf("open breaker still attempted fetches: %v", f.calls[callsBefore:])
+	}
+	// Cooldown spent: the half-open probe goes through, fails, and
+	// re-opens a full cooldown.
+	if got := reason(6); got != FailExhausted {
+		t.Fatalf("half-open probe: %s", got)
+	}
+	if got := reason(7); got != FailBreakerOpen {
+		t.Fatalf("after failed probe: %s", got)
+	}
+	// Heal the host, drain the cooldown, and let the probe succeed.
+	for u := range f.fails {
+		f.fails[u] = 0
+	}
+	reason(8)
+	reason(9) // cooldown now spent
+	if got := reason(1); got != "ok" {
+		t.Fatalf("successful probe: %s", got)
+	}
+	if mBreakerOpen.Value() != openBefore {
+		t.Fatal("breaker-open gauge not released on recovery")
+	}
+	// Closed again: the host serves normally.
+	if got := reason(2); got != "ok" {
+		t.Fatalf("after recovery: %s", got)
+	}
+}
+
+func TestBreakerDisabled(t *testing.T) {
+	f := newScriptFetcher()
+	for i := 1; i <= 8; i++ {
+		f.fails[fmt.Sprintf("http://bad.example.com/%d", i)] = -1
+	}
+	r := newRetrier(f, RetryConfig{MaxAttempts: 1, BreakerThreshold: -1, Sleep: noSleep})
+	for i := 1; i <= 8; i++ {
+		_, ferr := r.do(fmt.Sprintf("http://bad.example.com/%d", i))
+		if ferr == nil || ferr.Reason == FailBreakerOpen {
+			t.Fatalf("url %d: breaker engaged while disabled: %+v", i, ferr)
+		}
+	}
+}
+
+func TestRetrierFinishReleasesOpenBreakers(t *testing.T) {
+	f := newScriptFetcher()
+	f.fails["http://bad.example.com/1"] = -1
+	f.fails["http://bad.example.com/2"] = -1
+	before := mBreakerOpen.Value()
+	r := newRetrier(f, RetryConfig{MaxAttempts: 1, BreakerThreshold: 2, Sleep: noSleep})
+	r.do("http://bad.example.com/1")
+	r.do("http://bad.example.com/2")
+	if mBreakerOpen.Value() != before+1 {
+		t.Fatal("breaker did not open")
+	}
+	r.finish()
+	if mBreakerOpen.Value() != before {
+		t.Fatal("finish did not release the open breaker")
+	}
+}
+
+func TestRetryConfigIsZero(t *testing.T) {
+	if !(RetryConfig{}).IsZero() {
+		t.Fatal("zero value not recognized")
+	}
+	if (RetryConfig{MaxAttempts: 1}).IsZero() || (RetryConfig{Sleep: noSleep}).IsZero() {
+		t.Fatal("non-zero config reported as zero")
+	}
+}

@@ -20,8 +20,9 @@ import (
 )
 
 // Crawl progress reports into the process-wide registry: fetch volume,
-// de-duplication hits, and the live frontier size (sampled once per
-// pop, so a scrape mid-crawl shows how much work remains queued).
+// de-duplication hits, and the live frontier size (updated on every
+// push and pop, and zeroed when the crawl returns, so a scrape
+// mid-crawl shows how much work remains queued).
 var (
 	mPagesFetched = obs.Default.Counter("etap_gather_pages_fetched_total",
 		"Pages fetched by the focused crawler.")
@@ -51,6 +52,13 @@ type CrawlConfig struct {
 	// above it (syndicated copies with small edits). Exact-content
 	// de-duplication always applies.
 	NearDupThreshold float64
+	// Fetcher overrides the page source; nil fetches directly from the
+	// web passed to Crawl. Wrap with web.NewFaultFetcher to exercise
+	// the failure paths deterministically.
+	Fetcher web.Fetcher
+	// Retry tunes fetch retry/backoff and the per-host circuit
+	// breaker; the zero value applies the library defaults.
+	Retry RetryConfig
 }
 
 // CrawlResult is the outcome of a crawl.
@@ -59,8 +67,14 @@ type CrawlResult struct {
 	Pages []*web.Page
 	// Duplicates counts pages skipped by content de-duplication.
 	Duplicates int
-	// Visited counts fetch attempts (including duplicates).
+	// Visited counts successful fetches (including duplicates).
 	Visited int
+	// Failed reports the frontier URLs the crawl abandoned — after
+	// exhausting retries, on a permanent error, or because a host's
+	// circuit breaker was open — instead of silently skipping them.
+	Failed []FetchError
+	// Retries counts fetch retries performed across the crawl.
+	Retries int
 }
 
 // frontierItem is one prioritized URL.
@@ -69,6 +83,7 @@ type frontierItem struct {
 	depth int
 	score float64
 	seq   int // FIFO tie-break for determinism
+	index int // heap position, maintained for heap.Fix re-prioritization
 }
 
 type frontier []*frontierItem
@@ -80,12 +95,21 @@ func (f frontier) Less(i, j int) bool {
 	}
 	return f[i].seq < f[j].seq
 }
-func (f frontier) Swap(i, j int) { f[i], f[j] = f[j], f[i] }
-func (f *frontier) Push(x any)   { *f = append(*f, x.(*frontierItem)) }
+func (f frontier) Swap(i, j int) {
+	f[i], f[j] = f[j], f[i]
+	f[i].index = i
+	f[j].index = j
+}
+func (f *frontier) Push(x any) {
+	it := x.(*frontierItem)
+	it.index = len(*f)
+	*f = append(*f, it)
+}
 func (f *frontier) Pop() any {
 	old := *f
 	n := len(old)
 	it := old[n-1]
+	it.index = -1
 	*f = old[:n-1]
 	return it
 }
@@ -102,8 +126,21 @@ func Crawl(w *web.Web, cfg CrawlConfig) CrawlResult {
 	}
 	topic := stemSet(cfg.Topic)
 
+	fetcher := cfg.Fetcher
+	if fetcher == nil {
+		fetcher = w
+	}
+	rt := newRetrier(fetcher, cfg.Retry)
+	defer rt.finish()
+	// The frontier gauge tracks the live queue on every push and pop,
+	// and is zeroed on return: a crawl that exits with items still
+	// queued abandons them, so leaving the last sampled size up would
+	// go stale.
+	defer mFrontier.Set(0)
+
 	var res CrawlResult
 	seen := map[string]bool{}
+	queued := map[string]*frontierItem{}
 	contentSeen := map[uint64]bool{}
 	var nearDup *NearDupIndex
 	if cfg.NearDupThreshold > 0 {
@@ -112,12 +149,29 @@ func Crawl(w *web.Web, cfg CrawlConfig) CrawlResult {
 	var fr frontier
 	seq := 0
 	push := func(url string, depth int, score float64) {
+		if it, ok := queued[url]; ok {
+			// Rediscovered via a better parent while still queued:
+			// raise the item's priority (and take the shallower
+			// depth) so the first discovery's low score doesn't lock
+			// in a late fetch.
+			if score > it.score {
+				it.score = score
+				if depth < it.depth {
+					it.depth = depth
+				}
+				heap.Fix(&fr, it.index)
+			}
+			return
+		}
 		if seen[url] {
 			return
 		}
 		seen[url] = true
 		seq++
-		heap.Push(&fr, &frontierItem{url: url, depth: depth, score: score, seq: seq})
+		it := &frontierItem{url: url, depth: depth, score: score, seq: seq}
+		heap.Push(&fr, it)
+		queued[url] = it
+		mFrontier.Set(int64(fr.Len()))
 	}
 	for _, s := range cfg.Seeds {
 		push(s, 0, 1)
@@ -125,9 +179,11 @@ func Crawl(w *web.Web, cfg CrawlConfig) CrawlResult {
 
 	for fr.Len() > 0 && len(res.Pages) < maxPages {
 		it := heap.Pop(&fr).(*frontierItem)
+		delete(queued, it.url)
 		mFrontier.Set(int64(fr.Len()))
-		page, ok := w.Page(it.url)
-		if !ok {
+		page, ferr := rt.do(it.url)
+		if ferr != nil {
+			res.Failed = append(res.Failed, *ferr)
 			continue
 		}
 		res.Visited++
@@ -157,6 +213,7 @@ func Crawl(w *web.Web, cfg CrawlConfig) CrawlResult {
 			push(l, it.depth+1, score)
 		}
 	}
+	res.Retries = rt.retries
 	return res
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 	"testing"
+	"time"
 
 	"etap/internal/corpus"
 	"etap/internal/index"
@@ -206,6 +207,114 @@ func TestMonitorChangedFilter(t *testing.T) {
 	second := m.Changed(pages)
 	if len(second) != 0 {
 		t.Fatalf("second pass = %v", urls(second))
+	}
+}
+
+func TestCrawlFrontierGaugeZeroedOnReturn(t *testing.T) {
+	// A crawl cut off by MaxPages exits with items still queued; the
+	// frontier gauge must read 0 afterwards, not the size sampled at
+	// the last pop.
+	w := chainWeb()
+	res := Crawl(w, CrawlConfig{Seeds: []string{"u:seed"}, MaxPages: 2})
+	if len(res.Pages) != 2 {
+		t.Fatalf("pages = %v", urls(res.Pages))
+	}
+	if v := mFrontier.Value(); v != 0 {
+		t.Fatalf("frontier gauge stale after crawl: %d", v)
+	}
+}
+
+func TestCrawlRediscoveryRaisesQueuedPriority(t *testing.T) {
+	// t is first discovered via the irrelevant parent a (score 0) and
+	// rediscovered via the highly relevant parent b (score 1) while
+	// still queued: the crawl must fetch t before a's other child c.
+	w := web.New()
+	w.AddPage(web.Page{URL: "u:seed", Text: "merger news hub",
+		Links: []string{"u:a", "u:b"}})
+	w.AddPage(web.Page{URL: "u:a", Text: "sports daily roundup",
+		Links: []string{"u:c", "u:t"}})
+	w.AddPage(web.Page{URL: "u:b", Text: "merger coverage desk",
+		Links: []string{"u:t"}})
+	w.AddPage(web.Page{URL: "u:t", Text: "the merger target report"})
+	w.AddPage(web.Page{URL: "u:c", Text: "boring filler column"})
+	res := Crawl(w, CrawlConfig{Seeds: []string{"u:seed"}, Topic: []string{"merger"}})
+	pos := map[string]int{}
+	for i, u := range urls(res.Pages) {
+		pos[u] = i
+	}
+	if pos["u:t"] > pos["u:c"] {
+		t.Fatalf("low-relevance discovery locked in t's priority: %v", urls(res.Pages))
+	}
+	if len(res.Pages) != 5 {
+		t.Fatalf("rediscovery lost pages: %v", urls(res.Pages))
+	}
+}
+
+func TestCrawlWithInjectedFaultsMatchesFaultFree(t *testing.T) {
+	// Acceptance: with 30% seeded transient fetch failures, retrying
+	// reaches exactly the fault-free page set, deterministically.
+	docs := corpus.NewGenerator(corpus.Config{Seed: 5, RelevantPerDriver: 12, BackgroundDocs: 40, HardNegativePerDriver: 4}).World()
+	w := web.New()
+	for _, d := range docs {
+		w.AddPage(web.Page{URL: d.URL, Host: d.Host, Title: d.Title, Text: d.Text(), Links: d.Links})
+	}
+	cfg := CrawlConfig{Seeds: []string{docs[0].URL}, Topic: []string{"merger", "revenue", "ceo"}}
+	base := Crawl(w, cfg)
+
+	faulty := cfg
+	faulty.Fetcher = web.NewFaultFetcher(w, web.FaultConfig{Seed: 9, TransientRate: 0.3, MaxTransient: 3})
+	faulty.Retry = RetryConfig{MaxAttempts: 5, Sleep: func(time.Duration) {}}
+	retriesBefore := mRetries.Value()
+	got := Crawl(w, faulty)
+	if fmt.Sprint(urls(got.Pages)) != fmt.Sprint(urls(base.Pages)) {
+		t.Fatalf("faulty crawl diverged:\nbase  %v\nfaulty %v", urls(base.Pages), urls(got.Pages))
+	}
+	if len(got.Failed) != 0 {
+		t.Fatalf("transient faults leaked into Failed: %+v", got.Failed)
+	}
+	if got.Retries == 0 {
+		t.Fatal("30%% fault rate produced no retries")
+	}
+	if mRetries.Value() != retriesBefore+uint64(got.Retries) {
+		t.Fatalf("retry metric off: counter moved %d, result says %d",
+			mRetries.Value()-retriesBefore, got.Retries)
+	}
+	// Determinism: a fresh injector with the same seed reproduces the
+	// same retry count.
+	faulty.Fetcher = web.NewFaultFetcher(w, web.FaultConfig{Seed: 9, TransientRate: 0.3, MaxTransient: 3})
+	rerun := Crawl(w, faulty)
+	if rerun.Retries != got.Retries {
+		t.Fatalf("retries not deterministic: %d vs %d", got.Retries, rerun.Retries)
+	}
+}
+
+func TestCrawlDegradesGracefullyAndReportsFailures(t *testing.T) {
+	// A permanently dead link and an always-failing URL both land in
+	// Failed with their reasons while the rest of the crawl proceeds.
+	f := newScriptFetcher()
+	f.add("u:seed", "business news portal")
+	f.add("u:ok", "a merger story")
+	f.add("u:flaky", "unreachable forever")
+	f.pages["u:seed"].Links = []string{"u:ok", "u:flaky", "u:gone"}
+	f.fails["u:flaky"] = -1
+	w := web.New()
+	res := Crawl(w, CrawlConfig{
+		Seeds:   []string{"u:seed"},
+		Fetcher: f,
+		Retry:   RetryConfig{MaxAttempts: 2, Sleep: func(time.Duration) {}},
+	})
+	if len(res.Pages) != 2 {
+		t.Fatalf("pages = %v", urls(res.Pages))
+	}
+	reasons := map[string]string{}
+	for _, fe := range res.Failed {
+		reasons[fe.URL] = fe.Reason
+	}
+	if reasons["u:flaky"] != FailExhausted || reasons["u:gone"] != FailNotFound {
+		t.Fatalf("failure report wrong: %+v", res.Failed)
+	}
+	if len(res.Failed) != 2 {
+		t.Fatalf("failure report wrong: %+v", res.Failed)
 	}
 }
 

@@ -22,11 +22,13 @@ package serve
 
 import (
 	"encoding/json"
+	"math"
 	"net/http"
 	"runtime"
 	"sort"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"etap/internal/core"
@@ -44,6 +46,7 @@ type Server struct {
 
 	mu    sync.RWMutex
 	leads *store.Store
+	rev   atomic.Uint64 // store mutation count, bumped under mu
 
 	reg   *obs.Registry
 	start time.Time
@@ -95,30 +98,6 @@ func (s *Server) registerRuntimeMetrics() {
 		func() float64 { return time.Since(s.start).Seconds() })
 }
 
-// statusWriter captures the response code for instrumentation. A
-// handler that never calls WriteHeader is recorded as 200, matching
-// net/http's implicit status on first write.
-type statusWriter struct {
-	http.ResponseWriter
-	status int
-}
-
-func (w *statusWriter) WriteHeader(code int) {
-	w.status = code
-	w.ResponseWriter.WriteHeader(code)
-}
-
-// Flush forwards to the underlying writer so streaming handlers keep
-// working through the instrumentation wrapper.
-func (w *statusWriter) Flush() {
-	if f, ok := w.ResponseWriter.(http.Flusher); ok {
-		f.Flush()
-	}
-}
-
-// Unwrap lets http.ResponseController reach the underlying writer.
-func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
-
 // handle mounts an instrumented handler: one request counter and
 // latency histogram per route pattern, plus a per-(route, code)
 // response counter. Patterns are static, so label cardinality is
@@ -130,19 +109,34 @@ func (s *Server) handle(method, pattern string, h http.HandlerFunc) {
 		"HTTP request latency by route.", nil, "path", pattern)
 	s.mux.HandleFunc(method+" "+pattern, func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
-		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		sw := NewStatusWriter(w)
 		h(sw, r)
 		requests.Inc()
 		latency.ObserveSince(start)
 		s.reg.Counter("etap_http_responses_total",
 			"HTTP responses by route and status code.",
-			"path", pattern, "code", strconv.Itoa(sw.status)).Inc()
+			"path", pattern, "code", strconv.Itoa(sw.Status())).Inc()
 	})
 }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
+}
+
+// Revision returns the lead-store mutation count: it increments on
+// every successful state change through the API, so a checkpointer can
+// skip saves when nothing changed.
+func (s *Server) Revision() uint64 { return s.rev.Load() }
+
+// SaveLeads checkpoints the lead store to path (atomic write+rename)
+// under the store's read lock, returning the revision the snapshot
+// captured. Mutations take the write lock, so the revision and the
+// written bytes are consistent.
+func (s *Server) SaveLeads(path string) (uint64, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.rev.Load(), s.leads.SaveFile(path)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -197,13 +191,20 @@ func (s *Server) handleDrivers(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, drivers)
 }
 
+// maxTop caps the top parameter on list endpoints: a request for more
+// is a 400, not an unbounded response.
+const maxTop = 1000
+
 func (s *Server) handleLeads(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
 	minScore := 0.0
 	if v := q.Get("min"); v != "" {
 		f, err := strconv.ParseFloat(v, 64)
-		if err != nil {
-			writeError(w, http.StatusBadRequest, "bad min")
+		// ParseFloat accepts "NaN" and "±Inf"; a NaN MinScore makes
+		// every score comparison false and the filter match everything,
+		// so reject non-finite values outright.
+		if err != nil || math.IsNaN(f) || math.IsInf(f, 0) {
+			writeError(w, http.StatusBadRequest, "bad min: want a finite number")
 			return
 		}
 		minScore = f
@@ -211,8 +212,8 @@ func (s *Server) handleLeads(w http.ResponseWriter, r *http.Request) {
 	top := 50
 	if v := q.Get("top"); v != "" {
 		n, err := strconv.Atoi(v)
-		if err != nil || n < 1 {
-			writeError(w, http.StatusBadRequest, "bad top")
+		if err != nil || n < 1 || n > maxTop {
+			writeError(w, http.StatusBadRequest, "bad top: want 1..1000")
 			return
 		}
 		top = n
@@ -239,6 +240,9 @@ func (s *Server) handleReview(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.Lock()
 	ok := s.leads.MarkReviewed(id)
+	if ok {
+		s.rev.Add(1)
+	}
 	s.mu.Unlock()
 	if !ok {
 		writeError(w, http.StatusNotFound, "unknown lead")
@@ -272,8 +276,8 @@ func (s *Server) handleCompanies(w http.ResponseWriter, r *http.Request) {
 	top := 20
 	if v := r.URL.Query().Get("top"); v != "" {
 		n, err := strconv.Atoi(v)
-		if err != nil || n < 1 {
-			writeError(w, http.StatusBadRequest, "bad top")
+		if err != nil || n < 1 || n > maxTop {
+			writeError(w, http.StatusBadRequest, "bad top: want 1..1000")
 			return
 		}
 		top = n

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
@@ -175,6 +176,98 @@ func TestCompaniesEndpoint(t *testing.T) {
 	// Acme has events in two drivers (rank 1 in each) -> MRR 1.
 	if rank.Canonical(scores[0].Company) != "acme" || scores[0].Events != 2 {
 		t.Fatalf("top company = %+v", scores[0])
+	}
+}
+
+// paramStore is a lightweight store for handler-validation tests that
+// don't need a trained system.
+func paramStore() *store.Store {
+	st := store.New()
+	st.Add([]rank.Event{
+		{SnippetID: "p#0", Driver: "ma", Company: "Acme", Score: 0.9, Text: "Acme buys Widget."},
+		{SnippetID: "p#1", Driver: "ma", Company: "Widget", Score: 0.4, Text: "Widget sold."},
+	}, time.Unix(1_120_000_000, 0))
+	return st
+}
+
+func TestLeadsParamValidation(t *testing.T) {
+	srv := New(nil, paramStore())
+	cases := []struct {
+		name string
+		path string
+		code int
+		want int // leads expected in a 200 body; -1 = skip
+	}{
+		{"no params", "/leads", http.StatusOK, 2},
+		{"good min", "/leads?min=0.5", http.StatusOK, 1},
+		{"nan min", "/leads?min=NaN", http.StatusBadRequest, -1},
+		{"inf min", "/leads?min=Inf", http.StatusBadRequest, -1},
+		{"plus inf min", "/leads?min=%2BInf", http.StatusBadRequest, -1},
+		{"minus inf min", "/leads?min=-Inf", http.StatusBadRequest, -1},
+		{"garbage min", "/leads?min=abc", http.StatusBadRequest, -1},
+		{"good top", "/leads?top=1", http.StatusOK, 1},
+		{"max top", "/leads?top=1000", http.StatusOK, 2},
+		{"zero top", "/leads?top=0", http.StatusBadRequest, -1},
+		{"negative top", "/leads?top=-3", http.StatusBadRequest, -1},
+		{"oversized top", "/leads?top=1001", http.StatusBadRequest, -1},
+		{"garbage top", "/leads?top=ten", http.StatusBadRequest, -1},
+		{"oversized companies top", "/companies?top=99999", http.StatusBadRequest, -1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rec, body := get(t, srv, tc.path)
+			if rec.Code != tc.code {
+				t.Fatalf("%s: code %d, want %d (%s)", tc.path, rec.Code, tc.code, body)
+			}
+			if tc.want < 0 {
+				return
+			}
+			var leads []store.Lead
+			if err := json.Unmarshal(body, &leads); err != nil {
+				t.Fatal(err)
+			}
+			if len(leads) != tc.want {
+				t.Fatalf("%s: %d leads, want %d", tc.path, len(leads), tc.want)
+			}
+		})
+	}
+}
+
+func TestRevisionAndSaveLeads(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "leads.jsonl")
+	srv := New(nil, paramStore())
+	if srv.Revision() != 0 {
+		t.Fatalf("fresh revision = %d", srv.Revision())
+	}
+	// A failed review does not move the revision; a successful one does.
+	req := httptest.NewRequest(http.MethodPost, "/leads/review?id=ghost", nil)
+	srv.ServeHTTP(httptest.NewRecorder(), req)
+	if srv.Revision() != 0 {
+		t.Fatal("404 review bumped the revision")
+	}
+	req = httptest.NewRequest(http.MethodPost, "/leads/review?id=p%230", nil)
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK || srv.Revision() != 1 {
+		t.Fatalf("review: code %d revision %d", rec.Code, srv.Revision())
+	}
+	rev, err := srv.SaveLeads(path)
+	if err != nil || rev != 1 {
+		t.Fatalf("SaveLeads: rev %d err %v", rev, err)
+	}
+	loaded, err := store.LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := loaded.Find(store.Query{})
+	if len(got) != 2 {
+		t.Fatalf("saved %d leads", len(got))
+	}
+	for _, l := range got {
+		if l.SnippetID == "p#0" && !l.Reviewed {
+			t.Fatal("reviewed flag lost in checkpoint")
+		}
 	}
 }
 

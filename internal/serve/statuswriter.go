@@ -1,0 +1,37 @@
+package serve
+
+import "net/http"
+
+// StatusWriter wraps a ResponseWriter and records the response code —
+// the single implementation shared by the serve instrumentation and
+// cmd/etapd's access log. A handler that never calls WriteHeader is
+// recorded as 200, matching net/http's implicit status on first write.
+type StatusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+// NewStatusWriter wraps w with the recorded status initialized to 200.
+func NewStatusWriter(w http.ResponseWriter) *StatusWriter {
+	return &StatusWriter{ResponseWriter: w, status: http.StatusOK}
+}
+
+// Status returns the recorded response code.
+func (w *StatusWriter) Status() int { return w.status }
+
+// WriteHeader records and forwards the response code.
+func (w *StatusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// Flush forwards to the underlying writer so streaming handlers keep
+// working through the wrapper.
+func (w *StatusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// Unwrap lets http.ResponseController reach the underlying writer.
+func (w *StatusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }

@@ -150,6 +150,59 @@ func TestSaveLoadFile(t *testing.T) {
 	}
 }
 
+func TestSaveLoadRoundTripAfterReview(t *testing.T) {
+	// The shutdown-checkpoint contract: MarkReviewed mutations written
+	// with SaveFile come back intact from LoadFile — flags, scores,
+	// FirstSeen, and insertion order all survive the round trip.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "leads.jsonl")
+
+	s := New()
+	s.Add(sampleEvents(), t0)
+	if !s.MarkReviewed("d1#0") || !s.MarkReviewed("d2#0") {
+		t.Fatal("marking failed")
+	}
+	if err := s.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := s.Find(Query{})
+	got := loaded.Find(Query{})
+	if len(got) != len(want) {
+		t.Fatalf("len %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("lead %d diverged: %+v vs %+v", i, got[i], want[i])
+		}
+	}
+	reviewed := map[string]bool{}
+	for _, l := range got {
+		reviewed[l.SnippetID] = l.Reviewed
+	}
+	if !reviewed["d1#0"] || !reviewed["d2#0"] || reviewed["d1#1"] {
+		t.Fatalf("reviewed flags lost: %v", reviewed)
+	}
+	// A second save/load of the loaded store is stable (idempotent
+	// persistence, no drift across restarts).
+	if err := loaded.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	reloaded, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got2 := reloaded.Find(Query{})
+	for i := range want {
+		if got2[i] != want[i] {
+			t.Fatalf("second round trip diverged at %d", i)
+		}
+	}
+}
+
 func TestIncrementalMergeAcrossRuns(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "leads.jsonl")

@@ -1,0 +1,164 @@
+// Fetcher seam: the crawler reaches pages through a narrow interface
+// rather than the Web's map directly, so a fault-injecting (or, later,
+// a real network) implementation can slot in without touching the
+// crawl logic. The FaultFetcher here is the deterministic chaos layer:
+// seeded per-URL transient errors, dead links, and latency make every
+// failure path reproducible in tests.
+package web
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"time"
+)
+
+// Fetcher resolves a URL to a page. Implementations may fail
+// transiently (retryable — see IsTransient) or permanently
+// (ErrNotFound), and must honour context cancellation for slow
+// fetches. The Web itself is the always-reliable implementation.
+type Fetcher interface {
+	// Fetch returns the page behind url or an error.
+	Fetch(ctx context.Context, url string) (*Page, error)
+}
+
+// ErrNotFound reports a URL with no page behind it — a permanent
+// failure that no amount of retrying can fix.
+var ErrNotFound = errors.New("web: page not found")
+
+// TransientError is a retryable fetch failure: the page exists but
+// this attempt did not reach it (injected fault, flaky host).
+type TransientError struct {
+	// URL is the fetch target.
+	URL string
+	// Attempt is the 1-based attempt count the injector has seen for
+	// this URL.
+	Attempt int
+}
+
+// Error implements error.
+func (e *TransientError) Error() string {
+	return fmt.Sprintf("web: transient fetch failure for %s (attempt %d)", e.URL, e.Attempt)
+}
+
+// IsTransient reports whether err is worth retrying: a transient
+// failure or an attempt that ran out of time (context deadline).
+func IsTransient(err error) bool {
+	var te *TransientError
+	return errors.As(err, &te) ||
+		errors.Is(err, context.DeadlineExceeded) ||
+		errors.Is(err, context.Canceled)
+}
+
+// Fetch implements Fetcher over the page store: a lookup never fails
+// transiently, and a missing page is ErrNotFound.
+func (w *Web) Fetch(_ context.Context, url string) (*Page, error) {
+	p, ok := w.pages[url]
+	if !ok {
+		return nil, fmt.Errorf("%s: %w", url, ErrNotFound)
+	}
+	return p, nil
+}
+
+// FaultConfig tunes deterministic fault injection. Which URLs fail,
+// how often, and how slowly is a pure function of (Seed, URL), so the
+// same configuration reproduces the same fault pattern run after run.
+type FaultConfig struct {
+	// Seed drives the per-URL fault assignment.
+	Seed int64
+	// TransientRate is the fraction of URLs in [0,1] that fail with a
+	// TransientError a bounded number of times before succeeding.
+	TransientRate float64
+	// MaxTransient caps consecutive transient failures per faulty URL;
+	// each faulty URL fails a deterministic count in [1, MaxTransient]
+	// and then succeeds. 0 means 2.
+	MaxTransient int
+	// PermanentRate is the fraction of URLs that always fail (dead
+	// links / gone hosts). Drawn before the transient band, so the two
+	// rates are additive and must sum to at most 1.
+	PermanentRate float64
+	// Latency is injected before every attempt on a faulty URL
+	// (honouring context cancellation), simulating slow hosts; 0 adds
+	// none.
+	Latency time.Duration
+}
+
+// FaultFetcher wraps a Fetcher with seeded fault injection so crawl
+// failure paths are testable and reproducible. Safe for concurrent
+// use.
+type FaultFetcher struct {
+	next Fetcher
+	cfg  FaultConfig
+
+	mu       sync.Mutex
+	attempts map[string]int
+}
+
+// NewFaultFetcher wraps next with the configured fault injection.
+func NewFaultFetcher(next Fetcher, cfg FaultConfig) *FaultFetcher {
+	if cfg.MaxTransient <= 0 {
+		cfg.MaxTransient = 2
+	}
+	return &FaultFetcher{next: next, cfg: cfg, attempts: make(map[string]int)}
+}
+
+// Fetch implements Fetcher: faulty URLs pay the injected latency and
+// fail (permanently, or transiently until their per-URL failure budget
+// is spent); clean URLs pass straight through.
+func (f *FaultFetcher) Fetch(ctx context.Context, url string) (*Page, error) {
+	band, sub := f.roll(url)
+	permanent := band < f.cfg.PermanentRate
+	transient := !permanent && band < f.cfg.PermanentRate+f.cfg.TransientRate
+	if (permanent || transient) && f.cfg.Latency > 0 {
+		t := time.NewTimer(f.cfg.Latency)
+		defer t.Stop()
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	if permanent {
+		return nil, fmt.Errorf("%s: host gone: %w", url, ErrNotFound)
+	}
+	if transient {
+		f.mu.Lock()
+		f.attempts[url]++
+		n := f.attempts[url]
+		f.mu.Unlock()
+		fails := 1 + int(sub*float64(f.cfg.MaxTransient))
+		if fails > f.cfg.MaxTransient {
+			fails = f.cfg.MaxTransient
+		}
+		if n <= fails {
+			return nil, &TransientError{URL: url, Attempt: n}
+		}
+	}
+	return f.next.Fetch(ctx, url)
+}
+
+// roll derives two independent uniforms in [0,1) from (seed, url): the
+// first picks the fault band, the second the per-URL failure count.
+// The FNV sum gets a murmur-style finalizer: URLs that differ only in
+// their last characters leave FNV's low bits barely mixed (the prime
+// mod 2³² is small), which would cluster sibling URLs into one band.
+func (f *FaultFetcher) roll(url string) (band, sub float64) {
+	h := fnv.New64a()
+	var seed [8]byte
+	s := uint64(f.cfg.Seed)
+	for i := range seed {
+		seed[i] = byte(s >> (8 * i))
+	}
+	h.Write(seed[:])
+	h.Write([]byte(url))
+	v := h.Sum64()
+	v ^= v >> 33
+	v *= 0xff51afd7ed558ccd
+	v ^= v >> 33
+	v *= 0xc4ceb9fe1a85ec53
+	v ^= v >> 33
+	const m = 1 << 32
+	return float64(uint32(v)) / m, float64(uint32(v>>32)) / m
+}

@@ -1,0 +1,129 @@
+package web
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+func faultWeb(n int) *Web {
+	w := New()
+	for i := 0; i < n; i++ {
+		w.AddPage(Page{URL: fmt.Sprintf("http://h%d.example.com/p", i), Text: fmt.Sprintf("page %d", i)})
+	}
+	return w
+}
+
+func TestWebFetch(t *testing.T) {
+	w := faultWeb(1)
+	p, err := w.Fetch(context.Background(), "http://h0.example.com/p")
+	if err != nil || p.Text != "page 0" {
+		t.Fatalf("fetch: %v %v", p, err)
+	}
+	if _, err := w.Fetch(context.Background(), "u:missing"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("missing page error = %v", err)
+	}
+}
+
+func TestFaultFetcherDeterministic(t *testing.T) {
+	w := faultWeb(40)
+	cfg := FaultConfig{Seed: 7, TransientRate: 0.4, MaxTransient: 3, PermanentRate: 0.1}
+	outcome := func() []string {
+		f := NewFaultFetcher(w, cfg)
+		var out []string
+		for _, u := range w.URLs() {
+			// Hammer each URL a few times to expose the full
+			// transient-then-success sequence.
+			for k := 0; k < 5; k++ {
+				_, err := f.Fetch(context.Background(), u)
+				out = append(out, fmt.Sprint(err))
+			}
+		}
+		return out
+	}
+	a, b := outcome(), outcome()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("fault pattern not deterministic at %d: %q vs %q", i, a[i], b[i])
+		}
+	}
+}
+
+func TestFaultFetcherTransientThenSuccess(t *testing.T) {
+	w := faultWeb(60)
+	f := NewFaultFetcher(w, FaultConfig{Seed: 3, TransientRate: 1, MaxTransient: 3})
+	for _, u := range w.URLs() {
+		fails := 0
+		for {
+			_, err := f.Fetch(context.Background(), u)
+			if err == nil {
+				break
+			}
+			var te *TransientError
+			if !errors.As(err, &te) {
+				t.Fatalf("%s: unexpected error %v", u, err)
+			}
+			if !IsTransient(err) {
+				t.Fatalf("transient error not classified as transient: %v", err)
+			}
+			fails++
+			if fails > 3 {
+				t.Fatalf("%s: more than MaxTransient failures", u)
+			}
+		}
+		if fails == 0 {
+			t.Fatalf("%s: TransientRate 1 produced no failure", u)
+		}
+		// Once recovered, the URL stays healthy.
+		if _, err := f.Fetch(context.Background(), u); err != nil {
+			t.Fatalf("%s: relapsed after recovery: %v", u, err)
+		}
+	}
+}
+
+func TestFaultFetcherPermanent(t *testing.T) {
+	w := faultWeb(10)
+	f := NewFaultFetcher(w, FaultConfig{Seed: 1, PermanentRate: 1})
+	for _, u := range w.URLs() {
+		for k := 0; k < 3; k++ {
+			if _, err := f.Fetch(context.Background(), u); !errors.Is(err, ErrNotFound) {
+				t.Fatalf("%s attempt %d: want permanent ErrNotFound, got %v", u, k, err)
+			}
+		}
+	}
+}
+
+func TestFaultFetcherRateRoughlyHolds(t *testing.T) {
+	w := faultWeb(400)
+	f := NewFaultFetcher(w, FaultConfig{Seed: 11, TransientRate: 0.3})
+	faulty := 0
+	for _, u := range w.URLs() {
+		if _, err := f.Fetch(context.Background(), u); err != nil {
+			faulty++
+		}
+	}
+	frac := float64(faulty) / 400
+	if frac < 0.2 || frac > 0.4 {
+		t.Fatalf("30%% transient rate produced %.0f%% faulty URLs", frac*100)
+	}
+}
+
+func TestFaultFetcherLatencyHonoursContext(t *testing.T) {
+	w := faultWeb(1)
+	f := NewFaultFetcher(w, FaultConfig{Seed: 1, TransientRate: 1, Latency: time.Minute})
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := f.Fetch(ctx, w.URLs()[0])
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want deadline error, got %v", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("latency injection ignored the context deadline")
+	}
+	if !IsTransient(err) {
+		t.Fatal("attempt timeout must be retryable")
+	}
+}

@@ -69,7 +69,7 @@ func (w *Web) AddPage(p Page) {
 		panic("web: duplicate URL " + p.URL)
 	}
 	if p.Host == "" {
-		p.Host = hostOf(p.URL)
+		p.Host = HostOf(p.URL)
 	}
 	cp := p
 	w.pages[p.URL] = &cp
@@ -97,7 +97,7 @@ func (w *Web) AddPages(pages []Page) {
 			panic("web: duplicate URL " + p.URL)
 		}
 		if p.Host == "" {
-			p.Host = hostOf(p.URL)
+			p.Host = HostOf(p.URL)
 		}
 		cp := p
 		w.pages[p.URL] = &cp
@@ -243,7 +243,9 @@ func (w *Web) Hosts() []string {
 	return out
 }
 
-func hostOf(url string) string {
+// HostOf extracts the host portion of a URL ("http://host/x" →
+// "host"); URLs without a scheme or path separator are their own host.
+func HostOf(url string) string {
 	s := url
 	if i := strings.Index(s, "://"); i >= 0 {
 		s = s[i+3:]
