@@ -1,18 +1,27 @@
 # CI entry points. The GitHub Actions workflow runs `make ci` (vet +
-# build + race-enabled tests, so the race detector gates every PR)
-# followed by `make doccheck`, `make examples` and `make fmt-check`.
+# build + lint + race-enabled tests, so the race detector and the
+# repo's own static analysis gate every PR) followed by
+# `make doccheck`, `make examples` and `make fmt-check`.
 
 GO ?= go
 
-.PHONY: ci vet build test race bench bench-index doccheck examples fmt-check
+.PHONY: ci vet build lint test race bench bench-index doccheck examples fmt-check
 
-ci: vet build race
+ci: vet build lint race
 
+# go vet covers the generic checks (including copylocks, which catches
+# mutexes copied by value in any position); etaplint layers the
+# repo-specific invariants on top — see LINTING.md for the catalog.
 vet:
 	$(GO) vet ./...
 
 build:
 	$(GO) build ./...
+
+# Repo-aware static analysis: determinism, metric discipline, error
+# swallowing, context plumbing, mutex discipline, doc comments.
+lint:
+	$(GO) run ./cmd/etaplint ./...
 
 test:
 	$(GO) test ./...
@@ -30,10 +39,11 @@ bench:
 bench-index:
 	ETAP_BENCH_INDEX=$(CURDIR)/BENCH_index.json $(GO) test ./internal/index -run TestIndexBenchHarness -v
 
-# Doc-comment lint: every exported symbol in the documented packages
-# must carry a godoc comment.
+# Doc-comment lint: every exported symbol must carry a godoc comment.
+# Now served by etaplint's doc-comments rule over the whole repository
+# (cmd/doclint remains as a deprecated forwarding shim).
 doccheck:
-	$(GO) run ./cmd/doclint ./internal/index ./internal/web ./internal/gather
+	$(GO) run ./cmd/etaplint -rules doc-comments ./...
 
 # The examples are documentation too — keep them compiling.
 examples:

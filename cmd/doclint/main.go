@@ -1,142 +1,58 @@
-// Command doclint checks that every exported symbol in the given
-// package directories carries a godoc comment. It is the repository's
-// dependency-free stand-in for a doc-comment linter and gates CI via
-// `make doccheck`.
+// Command doclint is deprecated: the doc-comment check now lives in
+// the etaplint framework as the doc-comments rule, alongside the rest
+// of the repository's invariant checks. This shim forwards to it so
+// existing invocations keep working.
 //
-// Usage:
+// Use instead:
 //
-//	doclint ./internal/index ./internal/web ./internal/gather
+//	go run ./cmd/etaplint -rules doc-comments ./...
 //
-// A symbol passes when the declaration itself or its enclosing
-// const/var/type block is documented. Test files are ignored. Exit
-// status is 1 when any exported symbol is undocumented, with one
-// "file:line: symbol" diagnostic per finding.
+// See LINTING.md for the full rule catalog.
 package main
 
 import (
 	"fmt"
-	"go/ast"
-	"go/parser"
-	"go/token"
 	"os"
-	"sort"
-	"strings"
+
+	"etap/internal/lint"
 )
 
 func main() {
+	fmt.Fprintln(os.Stderr, "doclint: deprecated; forwarding to etaplint -rules doc-comments (see LINTING.md)")
 	if len(os.Args) < 2 {
 		fmt.Fprintln(os.Stderr, "usage: doclint <package-dir> [dir...]")
 		os.Exit(2)
 	}
-	var problems []string
-	for _, dir := range os.Args[1:] {
-		ps, err := lintDir(dir)
+	loader, err := lint.NewLoader(".")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "doclint:", err)
+		os.Exit(2)
+	}
+	rules, err := lint.SelectRules("doc-comments")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "doclint:", err)
+		os.Exit(2)
+	}
+	dirs, err := loader.Expand(os.Args[1:])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "doclint:", err)
+		os.Exit(2)
+	}
+	var pkgs []*lint.Package
+	for _, dir := range dirs {
+		p, err := loader.Load(dir)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "doclint:", err)
 			os.Exit(2)
 		}
-		problems = append(problems, ps...)
+		pkgs = append(pkgs, p)
 	}
-	if len(problems) > 0 {
-		sort.Strings(problems)
-		for _, p := range problems {
-			fmt.Fprintln(os.Stderr, p)
-		}
-		fmt.Fprintf(os.Stderr, "doclint: %d exported symbols without doc comments\n", len(problems))
+	findings := lint.Run(pkgs, rules)
+	if err := lint.WriteText(os.Stdout, findings); err != nil {
+		fmt.Fprintln(os.Stderr, "doclint:", err)
+		os.Exit(2)
+	}
+	if len(findings) > 0 {
 		os.Exit(1)
 	}
-}
-
-// lintDir parses every non-test Go file in dir and returns one
-// diagnostic per undocumented exported symbol.
-func lintDir(dir string) ([]string, error) {
-	fset := token.NewFileSet()
-	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
-		return !strings.HasSuffix(fi.Name(), "_test.go")
-	}, parser.ParseComments)
-	if err != nil {
-		return nil, err
-	}
-	var out []string
-	report := func(pos token.Pos, kind, name string) {
-		p := fset.Position(pos)
-		out = append(out, fmt.Sprintf("%s:%d: exported %s %s has no doc comment", p.Filename, p.Line, kind, name))
-	}
-	for _, pkg := range pkgs {
-		for _, file := range pkg.Files {
-			for _, decl := range file.Decls {
-				switch d := decl.(type) {
-				case *ast.FuncDecl:
-					lintFunc(d, report)
-				case *ast.GenDecl:
-					lintGen(d, report)
-				}
-			}
-		}
-	}
-	return out, nil
-}
-
-// lintFunc flags undocumented exported functions and methods. Methods
-// on unexported receiver types are skipped — they are not part of the
-// package's godoc surface.
-func lintFunc(d *ast.FuncDecl, report func(token.Pos, string, string)) {
-	if !d.Name.IsExported() || d.Doc != nil {
-		return
-	}
-	kind, name := "function", d.Name.Name
-	if d.Recv != nil && len(d.Recv.List) == 1 {
-		recv := receiverName(d.Recv.List[0].Type)
-		if recv == "" || !ast.IsExported(recv) {
-			return
-		}
-		kind, name = "method", recv+"."+name
-	}
-	report(d.Pos(), kind, name)
-}
-
-// lintGen flags undocumented exported types, constants and variables.
-// A doc comment on the enclosing const/var/type block covers every
-// spec inside it, matching how godoc renders grouped declarations.
-func lintGen(d *ast.GenDecl, report func(token.Pos, string, string)) {
-	for _, spec := range d.Specs {
-		switch s := spec.(type) {
-		case *ast.TypeSpec:
-			if s.Name.IsExported() && s.Doc == nil && d.Doc == nil {
-				report(s.Pos(), "type", s.Name.Name)
-			}
-		case *ast.ValueSpec:
-			if s.Doc != nil || d.Doc != nil || s.Comment != nil {
-				continue
-			}
-			for _, n := range s.Names {
-				if n.IsExported() {
-					report(n.Pos(), kindOf(d.Tok), n.Name)
-				}
-			}
-		}
-	}
-}
-
-func kindOf(tok token.Token) string {
-	if tok == token.CONST {
-		return "constant"
-	}
-	return "variable"
-}
-
-// receiverName unwraps a method receiver type expression down to its
-// type name (handling pointers and generic instantiations).
-func receiverName(expr ast.Expr) string {
-	switch t := expr.(type) {
-	case *ast.Ident:
-		return t.Name
-	case *ast.StarExpr:
-		return receiverName(t.X)
-	case *ast.IndexExpr:
-		return receiverName(t.X)
-	case *ast.IndexListExpr:
-		return receiverName(t.X)
-	}
-	return ""
 }

@@ -7,7 +7,7 @@
 //
 //	etapd [-addr :8080] [-seed N] [-load-models dir] [-leads leads.jsonl]
 //	      [-extract] [-log-level info] [-pprof]
-//	      [-index-shards N] [-query-cache N]
+//	      [-index-shards N] [-query-cache N] [-index-seed N]
 //	      [-shutdown-timeout 10s] [-checkpoint-interval 30s]
 //
 // Lifecycle: SIGTERM or SIGINT triggers a graceful shutdown — the
@@ -64,6 +64,7 @@ type options struct {
 	pprofOn    bool
 	shards     int
 	cacheSize  int
+	routeSeed  uint64
 	drain      time.Duration
 	checkpoint time.Duration
 }
@@ -79,6 +80,7 @@ func main() {
 		pprofOn    = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 		shards     = flag.Int("index-shards", 0, "search-index shard count (0 = GOMAXPROCS)")
 		cacheSize  = flag.Int("query-cache", 0, "query-result cache entries (0 = default, negative = disabled)")
+		routeSeed  = flag.Uint64("index-seed", 0, "deterministic shard-routing seed (0 = random per process)")
 		drain      = flag.Duration("shutdown-timeout", 10*time.Second, "grace period for in-flight requests on SIGTERM/SIGINT")
 		checkpoint = flag.Duration("checkpoint-interval", 30*time.Second, "how often to checkpoint the lead store to -leads (0 disables periodic saves)")
 	)
@@ -101,6 +103,7 @@ func main() {
 		pprofOn:    *pprofOn,
 		shards:     *shards,
 		cacheSize:  *cacheSize,
+		routeSeed:  *routeSeed,
 		drain:      *drain,
 		checkpoint: *checkpoint,
 	}
@@ -122,7 +125,7 @@ func run(ctx context.Context, log *slog.Logger, opts options) error {
 	start := time.Now()
 	seed := opts.seed
 	gen := etap.NewWorldGenerator(etap.WorldConfig{Seed: seed})
-	cfg := etap.Config{Seed: seed, Shards: opts.shards, CacheSize: opts.cacheSize}
+	cfg := etap.Config{Seed: seed, Shards: opts.shards, CacheSize: opts.cacheSize, RouteSeed: opts.routeSeed}
 	w := etap.BuildWebWith(gen.World(), cfg)
 	sys := etap.NewSystem(w, cfg)
 	st0 := w.Index().IndexStats()

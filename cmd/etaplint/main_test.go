@@ -1,0 +1,82 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"etap/internal/lint"
+)
+
+// mutexTestdata is a package with known mutex-discipline violations,
+// loaded under its real path (the rule is not path-scoped).
+const mutexTestdata = "../../internal/lint/testdata/src/mutex/pkg"
+
+func TestRunReportsViolationsWithPositions(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	code := run([]string{"-rules", "mutex-discipline", mutexTestdata}, &out, &errBuf)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1\nstdout:\n%s\nstderr:\n%s", code, out.String(), errBuf.String())
+	}
+	text := out.String()
+	if !strings.Contains(text, "mu.go:") {
+		t.Errorf("output lacks a positioned finding:\n%s", text)
+	}
+	if !strings.Contains(text, "[mutex-discipline]") {
+		t.Errorf("output lacks the rule ID:\n%s", text)
+	}
+	if !strings.Contains(errBuf.String(), "finding(s) at or above severity") {
+		t.Errorf("stderr lacks the failure summary:\n%s", errBuf.String())
+	}
+}
+
+func TestRunCleanPackage(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	code := run([]string{"-rules", "mutex-discipline", "../../internal/snippet"}, &out, &errBuf)
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0\nstdout:\n%s\nstderr:\n%s", code, out.String(), errBuf.String())
+	}
+	if out.Len() != 0 {
+		t.Errorf("clean package produced output:\n%s", out.String())
+	}
+}
+
+func TestRunJSONOutput(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	code := run([]string{"-json", "-rules", "mutex-discipline", mutexTestdata}, &out, &errBuf)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1\nstderr:\n%s", code, errBuf.String())
+	}
+	var findings []lint.JSONFinding
+	if err := json.Unmarshal(out.Bytes(), &findings); err != nil {
+		t.Fatalf("-json output does not decode: %v\n%s", err, out.String())
+	}
+	if len(findings) == 0 {
+		t.Fatal("-json output decoded to zero findings")
+	}
+	for _, f := range findings {
+		if f.Rule != "mutex-discipline" || f.File == "" || f.Line <= 0 || f.Message == "" {
+			t.Errorf("finding fields incomplete: %+v", f)
+		}
+	}
+}
+
+func TestRunUnknownRule(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"-rules", "no-such-rule", "."}, &out, &errBuf); code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+}
+
+func TestRunList(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errBuf); code != 0 {
+		t.Fatalf("exit code = %d, want 0\nstderr:\n%s", code, errBuf.String())
+	}
+	for _, name := range lint.RuleNames() {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-list output lacks rule %s:\n%s", name, out.String())
+		}
+	}
+}

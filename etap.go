@@ -145,8 +145,11 @@ type CrawlConfig = gather.CrawlConfig
 // CrawlResult is the outcome of a focused crawl.
 type CrawlResult = gather.CrawlResult
 
-// Crawl runs the focused crawler over a web.
-func Crawl(w *Web, cfg CrawlConfig) CrawlResult { return gather.Crawl(w, cfg) }
+// Crawl runs the focused crawler over a web. The context bounds the
+// crawl and propagates into every fetch attempt.
+func Crawl(ctx context.Context, w *Web, cfg CrawlConfig) CrawlResult {
+	return gather.Crawl(ctx, w, cfg)
+}
 
 // Fetcher is the page-retrieval seam the crawler fetches through; the
 // web itself implements it, and FaultFetcher wraps any implementation

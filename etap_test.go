@@ -1,6 +1,7 @@
 package etap_test
 
 import (
+	"context"
 	"testing"
 
 	"etap"
@@ -64,7 +65,7 @@ func TestFacadeCrawl(t *testing.T) {
 		HardNegativePerDriver: 5, FamousEventDocs: 2,
 	})
 	w := etap.BuildWeb(docs)
-	res := etap.Crawl(w, etap.CrawlConfig{
+	res := etap.Crawl(context.Background(), w, etap.CrawlConfig{
 		Seeds:    []string{docs[0].URL},
 		Topic:    []string{"merger", "acquisition"},
 		MaxPages: 25,

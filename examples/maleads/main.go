@@ -19,6 +19,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -41,7 +42,7 @@ func main() {
 			seeds = append(seeds, d.URL)
 		}
 	}
-	crawl := etap.Crawl(w, etap.CrawlConfig{
+	crawl := etap.Crawl(context.Background(), w, etap.CrawlConfig{
 		Seeds:    seeds,
 		Topic:    []string{"merger", "acquisition", "acquire", "takeover", "deal"},
 		MaxPages: 600,

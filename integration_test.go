@@ -5,6 +5,7 @@ package etap_test
 // checking the results against the corpus ground truth.
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -66,7 +67,7 @@ func TestPipelineCrawlToLeads(t *testing.T) {
 			seeds = append(seeds, d.URL)
 		}
 	}
-	crawl := etap.Crawl(w, etap.CrawlConfig{
+	crawl := etap.Crawl(context.Background(), w, etap.CrawlConfig{
 		Seeds: seeds,
 		Topic: []string{"merger", "acquisition", "deal"},
 	})

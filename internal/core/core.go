@@ -11,6 +11,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -118,6 +119,11 @@ type Config struct {
 	// entries, applied like Shards at web-build time; 0 means
 	// index.DefaultCacheSize, negative disables caching.
 	CacheSize int
+	// RouteSeed, when non-zero, makes the search index's shard routing
+	// deterministic across process restarts (see index.Options.RouteSeed).
+	// Applied like Shards at web-build time; 0 keeps the per-process
+	// random routing.
+	RouteSeed uint64
 	// Fetch is the data-gathering fetch policy — retry/backoff/breaker
 	// settings and optional fault injection — applied by System.Crawl.
 	// The zero value means gather's documented defaults and no injected
@@ -221,15 +227,16 @@ func (s *System) Web() *web.Web { return s.web }
 // system's fetch policy threaded in: when the crawl supplies no
 // Fetcher and the config enables fault injection, the web is wrapped
 // in a FaultFetcher; when the crawl's retry settings are zero, the
-// system's take effect. Explicit per-crawl settings always win.
-func (s *System) Crawl(cfg gather.CrawlConfig) gather.CrawlResult {
+// system's take effect. Explicit per-crawl settings always win. The
+// context bounds the crawl and propagates into every fetch attempt.
+func (s *System) Crawl(ctx context.Context, cfg gather.CrawlConfig) gather.CrawlResult {
 	if cfg.Fetcher == nil && s.cfg.Fetch.Fault != nil {
 		cfg.Fetcher = web.NewFaultFetcher(s.web, *s.cfg.Fetch.Fault)
 	}
 	if cfg.Retry.IsZero() {
 		cfg.Retry = s.cfg.Fetch.Retry
 	}
-	return gather.Crawl(s.web, cfg)
+	return gather.Crawl(ctx, s.web, cfg)
 }
 
 // Drivers returns the IDs of the trained drivers, in no particular order.

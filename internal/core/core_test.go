@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"testing"
 	"time"
@@ -342,7 +343,7 @@ func TestSystemCrawlThreadsFetchPolicy(t *testing.T) {
 		Fault: &web.FaultConfig{Seed: 3, TransientRate: 1, MaxTransient: 1},
 		Retry: gather.RetryConfig{MaxAttempts: 4, Sleep: func(time.Duration) {}},
 	}})
-	got := sys.Crawl(gather.CrawlConfig{Seeds: []string{"u:a"}})
+	got := sys.Crawl(context.Background(), gather.CrawlConfig{Seeds: []string{"u:a"}})
 	if len(got.Pages) != 2 || len(got.Failed) != 0 {
 		t.Fatalf("crawl: %d pages, %d failed", len(got.Pages), len(got.Failed))
 	}
@@ -350,7 +351,7 @@ func TestSystemCrawlThreadsFetchPolicy(t *testing.T) {
 		t.Fatal("fault injection from Config.Fetch not applied (no retries)")
 	}
 	// An explicit per-crawl fetcher wins over the config's fault layer.
-	clean := sys.Crawl(gather.CrawlConfig{Seeds: []string{"u:a"}, Fetcher: w})
+	clean := sys.Crawl(context.Background(), gather.CrawlConfig{Seeds: []string{"u:a"}, Fetcher: w})
 	if clean.Retries != 0 || len(clean.Pages) != 2 {
 		t.Fatalf("explicit fetcher overridden: retries=%d pages=%d", clean.Retries, len(clean.Pages))
 	}

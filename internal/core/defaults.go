@@ -44,13 +44,14 @@ func BuildWeb(docs []corpus.Document) *web.Web {
 }
 
 // BuildWebWith is BuildWeb honouring the Config's index knobs (Shards,
-// CacheSize) and bulk-loading the sharded index concurrently. Page
-// order, page content and ranked search results are identical to a
-// sequential build for any shard count.
+// CacheSize, RouteSeed) and bulk-loading the sharded index
+// concurrently. Page order, page content and ranked search results are
+// identical to a sequential build for any shard count.
 func BuildWebWith(docs []corpus.Document, cfg Config) *web.Web {
 	w := web.New(web.WithIndexOptions(index.Options{
 		Shards:    cfg.Shards,
 		CacheSize: cfg.CacheSize,
+		RouteSeed: cfg.RouteSeed,
 	}))
 	pages := make([]web.Page, len(docs))
 	for i, d := range docs {
@@ -86,6 +87,7 @@ func BuildWebFromHTMLWith(docs []corpus.Document, cfg Config) *web.Web {
 	w := web.New(web.WithIndexOptions(index.Options{
 		Shards:    cfg.Shards,
 		CacheSize: cfg.CacheSize,
+		RouteSeed: cfg.RouteSeed,
 	}))
 	rendered := corpus.RenderHTMLAll(docs)
 	pages := make([]web.Page, len(docs))

@@ -64,11 +64,11 @@ func evalProtocol(env *Env, d corpus.Driver, nTestPos int, mutate func(*core.Con
 
 	var m classify.Metrics
 	for _, p := range purePool[s.PurePosTrain:] {
-		score, _ := sys.Score(string(d), p.Text)
+		score := mustScore(sys, d, p.Text)
 		m.Add(score >= 0.5, true)
 	}
 	for _, n := range negTest {
-		score, _ := sys.Score(string(d), n.Text)
+		score := mustScore(sys, d, n.Text)
 		m.Add(score >= 0.5, false)
 	}
 	return m
@@ -229,11 +229,11 @@ func AblationNERMissRate(env *Env, d corpus.Driver) NERAblationResult {
 
 		var m classify.Metrics
 		for _, p := range purePool[s.PurePosTrain:] {
-			score, _ := sys.Score(string(d), p.Text)
+			score := mustScore(sys, d, p.Text)
 			m.Add(score >= 0.5, true)
 		}
 		for _, n := range env.Gen.BackgroundSnippets(800) {
-			score, _ := sys.Score(string(d), n.Text)
+			score := mustScore(sys, d, n.Text)
 			m.Add(score >= 0.5, false)
 		}
 

@@ -8,6 +8,8 @@
 package experiments
 
 import (
+	"fmt"
+
 	"etap/internal/core"
 	"etap/internal/corpus"
 	"etap/internal/web"
@@ -103,6 +105,17 @@ func (e *Env) System(mutate func(*core.Config)) *core.System {
 		mutate(&cfg)
 	}
 	return core.New(e.Web, cfg)
+}
+
+// mustScore scores text under the driver's trained classifier,
+// panicking on error like the rest of the harness: an unknown or
+// untrained driver here is a bug in the experiment, not bad input.
+func mustScore(sys *core.System, d corpus.Driver, text string) float64 {
+	score, err := sys.Score(string(d), text)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: score %s: %v", d, err))
+	}
+	return score
 }
 
 // driverSpec returns the built-in SalesDriver for d.

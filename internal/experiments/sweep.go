@@ -44,7 +44,7 @@ func ThresholdSweep(env *Env, d corpus.Driver) SweepResult {
 	var items []classify.ScoredLabel
 	var at05 classify.Metrics
 	score := func(text string, label bool) {
-		p, _ := sys.Score(string(d), text)
+		p := mustScore(sys, d, text)
 		items = append(items, classify.ScoredLabel{Score: p, Label: label})
 		at05.Add(p >= 0.5, label)
 	}

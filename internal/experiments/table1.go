@@ -77,11 +77,11 @@ func Table1(env *Env) Table1Result {
 
 		var m classify.Metrics
 		for _, p := range pureTest {
-			score, _ := sys.Score(string(td.d), p.Text)
+			score := mustScore(sys, td.d, p.Text)
 			m.Add(score >= 0.5, true)
 		}
 		for _, n := range negTest {
-			score, _ := sys.Score(string(td.d), n.Text)
+			score := mustScore(sys, td.d, n.Text)
 			m.Add(score >= 0.5, false)
 		}
 		paper := PaperTable1[td.d]

@@ -104,6 +104,7 @@ const (
 	RepDrop
 )
 
+// String returns the paper's short name for the representation.
 func (r Representation) String() string {
 	switch r {
 	case RepPA:

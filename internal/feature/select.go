@@ -28,6 +28,8 @@ const (
 	MutualInfo
 )
 
+// String returns the measure's short name as used in experiment
+// reports.
 func (m SelectionMeasure) String() string {
 	switch m {
 	case ChiSquare:

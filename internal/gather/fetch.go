@@ -166,9 +166,10 @@ func newRetrier(fetch web.Fetcher, cfg RetryConfig) *retrier {
 }
 
 // do fetches url with retries, backoff, the per-attempt timeout, and
-// the host breaker. It returns the page or a FetchError describing why
-// the URL was abandoned.
-func (r *retrier) do(url string) (*web.Page, *FetchError) {
+// the host breaker, deriving each attempt's deadline from the crawl's
+// context. It returns the page or a FetchError describing why the URL
+// was abandoned.
+func (r *retrier) do(ctx context.Context, url string) (*web.Page, *FetchError) {
 	host := web.HostOf(url)
 	br := r.breakers[host]
 	if br == nil {
@@ -191,7 +192,7 @@ func (r *retrier) do(url string) (*web.Page, *FetchError) {
 			mRetries.Inc()
 			r.pause(attempt)
 		}
-		page, err := r.attempt(url)
+		page, err := r.attempt(ctx, url)
 		if err == nil {
 			r.onSuccess(br)
 			return page, nil
@@ -211,9 +212,10 @@ func (r *retrier) do(url string) (*web.Page, *FetchError) {
 		Reason: FailExhausted, Err: lastErr.Error()}
 }
 
-// attempt runs one fetch under the per-attempt deadline.
-func (r *retrier) attempt(url string) (*web.Page, error) {
-	ctx := context.Background()
+// attempt runs one fetch under the per-attempt deadline, derived from
+// the caller's context so crawl-level cancellation propagates into
+// in-flight fetches.
+func (r *retrier) attempt(ctx context.Context, url string) (*web.Page, error) {
 	if r.cfg.AttemptTimeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, r.cfg.AttemptTimeout)

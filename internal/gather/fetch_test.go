@@ -59,7 +59,7 @@ func TestRetrierRecoversFromTransientFailures(t *testing.T) {
 	f.add("http://h/a", "alpha")
 	f.fails["http://h/a"] = 2
 	r := newRetrier(f, RetryConfig{MaxAttempts: 4, Sleep: noSleep})
-	page, ferr := r.do("http://h/a")
+	page, ferr := r.do(context.Background(), "http://h/a")
 	if ferr != nil {
 		t.Fatalf("retry did not recover: %+v", ferr)
 	}
@@ -76,7 +76,7 @@ func TestRetrierExhaustsAndReports(t *testing.T) {
 	f.fails["http://h/a"] = -1
 	r := newRetrier(f, RetryConfig{MaxAttempts: 3, Sleep: noSleep})
 	before := mFetchFailures.Value()
-	_, ferr := r.do("http://h/a")
+	_, ferr := r.do(context.Background(), "http://h/a")
 	if ferr == nil || ferr.Reason != FailExhausted || ferr.Attempts != 3 {
 		t.Fatalf("ferr = %+v", ferr)
 	}
@@ -91,7 +91,7 @@ func TestRetrierExhaustsAndReports(t *testing.T) {
 func TestRetrierPermanentErrorSkipsRetries(t *testing.T) {
 	f := newScriptFetcher() // knows no pages: everything is not-found
 	r := newRetrier(f, RetryConfig{MaxAttempts: 4, Sleep: noSleep})
-	_, ferr := r.do("http://h/gone")
+	_, ferr := r.do(context.Background(), "http://h/gone")
 	if ferr == nil || ferr.Reason != FailNotFound || ferr.Attempts != 1 {
 		t.Fatalf("ferr = %+v", ferr)
 	}
@@ -104,7 +104,7 @@ func TestRetrierAttemptTimeout(t *testing.T) {
 	f := newScriptFetcher()
 	f.hang["http://h/slow"] = true
 	r := newRetrier(f, RetryConfig{MaxAttempts: 2, AttemptTimeout: 5 * time.Millisecond, Sleep: noSleep})
-	_, ferr := r.do("http://h/slow")
+	_, ferr := r.do(context.Background(), "http://h/slow")
 	if ferr == nil || ferr.Reason != FailExhausted || ferr.Attempts != 2 {
 		t.Fatalf("ferr = %+v", ferr)
 	}
@@ -125,7 +125,7 @@ func TestBackoffGrowsIsCappedAndDeterministic(t *testing.T) {
 			JitterSeed:  seed,
 			Sleep:       func(d time.Duration) { sleeps = append(sleeps, d) },
 		})
-		r.do("http://h/a")
+		r.do(context.Background(), "http://h/a")
 		return sleeps
 	}
 	sleeps := schedule(42)
@@ -164,7 +164,7 @@ func TestBreakerOpensShortCircuitsAndRecovers(t *testing.T) {
 		MaxAttempts: 2, BreakerThreshold: 2, BreakerCooldown: 3, Sleep: noSleep,
 	})
 	reason := func(i int) string {
-		_, ferr := r.do(fmt.Sprintf("http://bad.example.com/%d", i))
+		_, ferr := r.do(context.Background(), fmt.Sprintf("http://bad.example.com/%d", i))
 		if ferr == nil {
 			return "ok"
 		}
@@ -224,7 +224,7 @@ func TestBreakerDisabled(t *testing.T) {
 	}
 	r := newRetrier(f, RetryConfig{MaxAttempts: 1, BreakerThreshold: -1, Sleep: noSleep})
 	for i := 1; i <= 8; i++ {
-		_, ferr := r.do(fmt.Sprintf("http://bad.example.com/%d", i))
+		_, ferr := r.do(context.Background(), fmt.Sprintf("http://bad.example.com/%d", i))
 		if ferr == nil || ferr.Reason == FailBreakerOpen {
 			t.Fatalf("url %d: breaker engaged while disabled: %+v", i, ferr)
 		}
@@ -237,8 +237,8 @@ func TestRetrierFinishReleasesOpenBreakers(t *testing.T) {
 	f.fails["http://bad.example.com/2"] = -1
 	before := mBreakerOpen.Value()
 	r := newRetrier(f, RetryConfig{MaxAttempts: 1, BreakerThreshold: 2, Sleep: noSleep})
-	r.do("http://bad.example.com/1")
-	r.do("http://bad.example.com/2")
+	r.do(context.Background(), "http://bad.example.com/1")
+	r.do(context.Background(), "http://bad.example.com/2")
 	if mBreakerOpen.Value() != before+1 {
 		t.Fatal("breaker did not open")
 	}

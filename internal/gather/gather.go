@@ -7,6 +7,7 @@ package gather
 
 import (
 	"container/heap"
+	"context"
 	"hash/fnv"
 	"runtime"
 	"sort"
@@ -114,8 +115,11 @@ func (f *frontier) Pop() any {
 	return it
 }
 
-// Crawl runs a focused crawl over w.
-func Crawl(w *web.Web, cfg CrawlConfig) CrawlResult {
+// Crawl runs a focused crawl over w. The context bounds the whole
+// crawl: cancellation or deadline expiry propagates into every fetch
+// attempt, and the crawl stops expanding the frontier once ctx is done,
+// returning the pages gathered so far.
+func Crawl(ctx context.Context, w *web.Web, cfg CrawlConfig) CrawlResult {
 	maxPages := cfg.MaxPages
 	if maxPages <= 0 {
 		maxPages = 1000
@@ -177,11 +181,11 @@ func Crawl(w *web.Web, cfg CrawlConfig) CrawlResult {
 		push(s, 0, 1)
 	}
 
-	for fr.Len() > 0 && len(res.Pages) < maxPages {
+	for fr.Len() > 0 && len(res.Pages) < maxPages && ctx.Err() == nil {
 		it := heap.Pop(&fr).(*frontierItem)
 		delete(queued, it.url)
 		mFrontier.Set(int64(fr.Len()))
-		page, ferr := rt.do(it.url)
+		page, ferr := rt.do(ctx, it.url)
 		if ferr != nil {
 			res.Failed = append(res.Failed, *ferr)
 			continue

@@ -1,6 +1,7 @@
 package gather
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"testing"
@@ -38,7 +39,7 @@ func urls(pages []*web.Page) []string {
 
 func TestCrawlVisitsReachablePages(t *testing.T) {
 	w := chainWeb()
-	res := Crawl(w, CrawlConfig{Seeds: []string{"u:seed"}})
+	res := Crawl(context.Background(), w, CrawlConfig{Seeds: []string{"u:seed"}})
 	if len(res.Pages) != 6 {
 		t.Fatalf("visited %v, want all 6", urls(res.Pages))
 	}
@@ -46,7 +47,7 @@ func TestCrawlVisitsReachablePages(t *testing.T) {
 
 func TestCrawlMaxPages(t *testing.T) {
 	w := chainWeb()
-	res := Crawl(w, CrawlConfig{Seeds: []string{"u:seed"}, MaxPages: 3})
+	res := Crawl(context.Background(), w, CrawlConfig{Seeds: []string{"u:seed"}, MaxPages: 3})
 	if len(res.Pages) != 3 {
 		t.Fatalf("got %d pages, want 3", len(res.Pages))
 	}
@@ -54,7 +55,7 @@ func TestCrawlMaxPages(t *testing.T) {
 
 func TestCrawlMaxDepth(t *testing.T) {
 	w := chainWeb()
-	res := Crawl(w, CrawlConfig{Seeds: []string{"u:seed"}, MaxDepth: 1})
+	res := Crawl(context.Background(), w, CrawlConfig{Seeds: []string{"u:seed"}, MaxDepth: 1})
 	// Depth 0 = seed, depth 1 = biz1, noise1. deep pages unreachable.
 	if len(res.Pages) != 3 {
 		t.Fatalf("depth-1 crawl got %v", urls(res.Pages))
@@ -63,7 +64,7 @@ func TestCrawlMaxDepth(t *testing.T) {
 
 func TestFocusedCrawlPrioritizesTopic(t *testing.T) {
 	w := chainWeb()
-	res := Crawl(w, CrawlConfig{
+	res := Crawl(context.Background(), w, CrawlConfig{
 		Seeds: []string{"u:seed"},
 		Topic: []string{"merger", "acquisition", "deal"},
 	})
@@ -79,7 +80,7 @@ func TestFocusedCrawlPrioritizesTopic(t *testing.T) {
 
 func TestFocusedCrawlPrunesIrrelevant(t *testing.T) {
 	w := chainWeb()
-	res := Crawl(w, CrawlConfig{
+	res := Crawl(context.Background(), w, CrawlConfig{
 		Seeds:        []string{"u:seed"},
 		Topic:        []string{"merger", "acquisition", "deal"},
 		MinRelevance: 0.3,
@@ -95,7 +96,7 @@ func TestCrawlDeduplicatesContent(t *testing.T) {
 	w := web.New()
 	w.AddPage(web.Page{URL: "u:a", Text: "identical content here", Links: []string{"u:b"}})
 	w.AddPage(web.Page{URL: "u:b", Text: "Identical   CONTENT here", Links: nil})
-	res := Crawl(w, CrawlConfig{Seeds: []string{"u:a"}})
+	res := Crawl(context.Background(), w, CrawlConfig{Seeds: []string{"u:a"}})
 	if len(res.Pages) != 1 || res.Duplicates != 1 {
 		t.Fatalf("dedup failed: pages=%v dups=%d", urls(res.Pages), res.Duplicates)
 	}
@@ -108,8 +109,8 @@ func TestCrawlDeterministic(t *testing.T) {
 		w.AddPage(web.Page{URL: d.URL, Host: d.Host, Title: d.Title, Text: d.Text(), Links: d.Links})
 	}
 	cfg := CrawlConfig{Seeds: []string{docs[0].URL}, Topic: []string{"merger", "revenue", "ceo"}}
-	a := Crawl(w, cfg)
-	b := Crawl(w, cfg)
+	a := Crawl(context.Background(), w, cfg)
+	b := Crawl(context.Background(), w, cfg)
 	if fmt.Sprint(urls(a.Pages)) != fmt.Sprint(urls(b.Pages)) {
 		t.Fatal("crawl order not deterministic")
 	}
@@ -117,7 +118,7 @@ func TestCrawlDeterministic(t *testing.T) {
 
 func TestCrawlBadSeed(t *testing.T) {
 	w := chainWeb()
-	res := Crawl(w, CrawlConfig{Seeds: []string{"u:missing"}})
+	res := Crawl(context.Background(), w, CrawlConfig{Seeds: []string{"u:missing"}})
 	if len(res.Pages) != 0 {
 		t.Fatalf("pages from missing seed: %v", urls(res.Pages))
 	}
@@ -128,7 +129,7 @@ func TestCrawlHandlesCycles(t *testing.T) {
 	w.AddPage(web.Page{URL: "u:a", Text: "alpha page", Links: []string{"u:b", "u:a"}})
 	w.AddPage(web.Page{URL: "u:b", Text: "beta page", Links: []string{"u:a", "u:c"}})
 	w.AddPage(web.Page{URL: "u:c", Text: "gamma page", Links: []string{"u:b"}})
-	res := Crawl(w, CrawlConfig{Seeds: []string{"u:a"}})
+	res := Crawl(context.Background(), w, CrawlConfig{Seeds: []string{"u:a"}})
 	if len(res.Pages) != 3 {
 		t.Fatalf("cyclic graph crawl = %v", urls(res.Pages))
 	}
@@ -138,7 +139,7 @@ func TestCrawlBrokenLinks(t *testing.T) {
 	w := web.New()
 	w.AddPage(web.Page{URL: "u:a", Text: "alpha page", Links: []string{"u:missing", "u:b"}})
 	w.AddPage(web.Page{URL: "u:b", Text: "beta page"})
-	res := Crawl(w, CrawlConfig{Seeds: []string{"u:a"}})
+	res := Crawl(context.Background(), w, CrawlConfig{Seeds: []string{"u:a"}})
 	if len(res.Pages) != 2 {
 		t.Fatalf("broken link crawl = %v", urls(res.Pages))
 	}
@@ -146,7 +147,7 @@ func TestCrawlBrokenLinks(t *testing.T) {
 
 func TestCrawlMultipleSeedsNoDoubleVisit(t *testing.T) {
 	w := chainWeb()
-	res := Crawl(w, CrawlConfig{Seeds: []string{"u:seed", "u:biz1", "u:seed"}})
+	res := Crawl(context.Background(), w, CrawlConfig{Seeds: []string{"u:seed", "u:biz1", "u:seed"}})
 	seen := map[string]bool{}
 	for _, u := range urls(res.Pages) {
 		if seen[u] {
@@ -172,7 +173,7 @@ func TestCollectMergesAndDedups(t *testing.T) {
 
 func TestCrawlSourceAdapter(t *testing.T) {
 	w := chainWeb()
-	res := Crawl(w, CrawlConfig{Seeds: []string{"u:seed"}, MaxPages: 2})
+	res := Crawl(context.Background(), w, CrawlConfig{Seeds: []string{"u:seed"}, MaxPages: 2})
 	src := CrawlSource{SourceName: "focused", Result: res}
 	if src.Name() != "focused" || len(src.Documents()) != 2 {
 		t.Fatalf("adapter broken: %s %d", src.Name(), len(src.Documents()))
@@ -215,7 +216,7 @@ func TestCrawlFrontierGaugeZeroedOnReturn(t *testing.T) {
 	// frontier gauge must read 0 afterwards, not the size sampled at
 	// the last pop.
 	w := chainWeb()
-	res := Crawl(w, CrawlConfig{Seeds: []string{"u:seed"}, MaxPages: 2})
+	res := Crawl(context.Background(), w, CrawlConfig{Seeds: []string{"u:seed"}, MaxPages: 2})
 	if len(res.Pages) != 2 {
 		t.Fatalf("pages = %v", urls(res.Pages))
 	}
@@ -237,7 +238,7 @@ func TestCrawlRediscoveryRaisesQueuedPriority(t *testing.T) {
 		Links: []string{"u:t"}})
 	w.AddPage(web.Page{URL: "u:t", Text: "the merger target report"})
 	w.AddPage(web.Page{URL: "u:c", Text: "boring filler column"})
-	res := Crawl(w, CrawlConfig{Seeds: []string{"u:seed"}, Topic: []string{"merger"}})
+	res := Crawl(context.Background(), w, CrawlConfig{Seeds: []string{"u:seed"}, Topic: []string{"merger"}})
 	pos := map[string]int{}
 	for i, u := range urls(res.Pages) {
 		pos[u] = i
@@ -259,13 +260,13 @@ func TestCrawlWithInjectedFaultsMatchesFaultFree(t *testing.T) {
 		w.AddPage(web.Page{URL: d.URL, Host: d.Host, Title: d.Title, Text: d.Text(), Links: d.Links})
 	}
 	cfg := CrawlConfig{Seeds: []string{docs[0].URL}, Topic: []string{"merger", "revenue", "ceo"}}
-	base := Crawl(w, cfg)
+	base := Crawl(context.Background(), w, cfg)
 
 	faulty := cfg
 	faulty.Fetcher = web.NewFaultFetcher(w, web.FaultConfig{Seed: 9, TransientRate: 0.3, MaxTransient: 3})
 	faulty.Retry = RetryConfig{MaxAttempts: 5, Sleep: func(time.Duration) {}}
 	retriesBefore := mRetries.Value()
-	got := Crawl(w, faulty)
+	got := Crawl(context.Background(), w, faulty)
 	if fmt.Sprint(urls(got.Pages)) != fmt.Sprint(urls(base.Pages)) {
 		t.Fatalf("faulty crawl diverged:\nbase  %v\nfaulty %v", urls(base.Pages), urls(got.Pages))
 	}
@@ -282,7 +283,7 @@ func TestCrawlWithInjectedFaultsMatchesFaultFree(t *testing.T) {
 	// Determinism: a fresh injector with the same seed reproduces the
 	// same retry count.
 	faulty.Fetcher = web.NewFaultFetcher(w, web.FaultConfig{Seed: 9, TransientRate: 0.3, MaxTransient: 3})
-	rerun := Crawl(w, faulty)
+	rerun := Crawl(context.Background(), w, faulty)
 	if rerun.Retries != got.Retries {
 		t.Fatalf("retries not deterministic: %d vs %d", got.Retries, rerun.Retries)
 	}
@@ -298,7 +299,7 @@ func TestCrawlDegradesGracefullyAndReportsFailures(t *testing.T) {
 	f.pages["u:seed"].Links = []string{"u:ok", "u:flaky", "u:gone"}
 	f.fails["u:flaky"] = -1
 	w := web.New()
-	res := Crawl(w, CrawlConfig{
+	res := Crawl(context.Background(), w, CrawlConfig{
 		Seeds:   []string{"u:seed"},
 		Fetcher: f,
 		Retry:   RetryConfig{MaxAttempts: 2, Sleep: func(time.Duration) {}},
@@ -327,7 +328,7 @@ func BenchmarkCrawl(b *testing.B) {
 	cfg := CrawlConfig{Seeds: []string{docs[0].URL}, Topic: []string{"merger", "revenue", "ceo"}}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		Crawl(w, cfg)
+		Crawl(context.Background(), w, cfg)
 	}
 }
 

@@ -1,6 +1,7 @@
 package gather
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -76,11 +77,11 @@ func TestCrawlNearDupSkipsSyndicatedCopies(t *testing.T) {
 	w.AddPage(web.Page{URL: "u:other",
 		Text: "A completely different story about the botanical garden and its orchid catalogue."})
 
-	plain := Crawl(w, CrawlConfig{Seeds: []string{"u:orig"}})
+	plain := Crawl(context.Background(), w, CrawlConfig{Seeds: []string{"u:orig"}})
 	if len(plain.Pages) != 3 {
 		t.Fatalf("exact dedup dropped a near-dup: %v", urls(plain.Pages))
 	}
-	near := Crawl(w, CrawlConfig{Seeds: []string{"u:orig"}, NearDupThreshold: 0.7})
+	near := Crawl(context.Background(), w, CrawlConfig{Seeds: []string{"u:orig"}, NearDupThreshold: 0.7})
 	if len(near.Pages) != 2 || near.Duplicates != 1 {
 		t.Fatalf("near-dup crawl = %v (dups %d)", urls(near.Pages), near.Duplicates)
 	}

@@ -85,6 +85,13 @@ type Options struct {
 	// CacheSize is the query-result cache capacity in entries; 0 means
 	// DefaultCacheSize, negative disables caching.
 	CacheSize int
+	// RouteSeed, when non-zero, replaces the per-process random shard
+	// routing with a deterministic hash seeded by this value, so the
+	// same documents land on the same shards across process restarts.
+	// Ranked results are identical either way; a fixed seed matters
+	// only when shard placement itself must be reproducible (debugging
+	// a specific shard, comparing shard-level stats across runs).
+	RouteSeed uint64
 }
 
 // Index is a positional inverted index over added documents, sharded by
@@ -94,7 +101,7 @@ type Options struct {
 // documents added so far.
 type Index struct {
 	shards []*shard
-	seed   maphash.Seed
+	route  func(docID string) uint64
 	gen    atomic.Uint64 // bumped on every Add; versions cache entries
 	cache  *queryCache   // nil when disabled
 }
@@ -112,7 +119,7 @@ func NewWithOptions(o Options) *Index {
 	if n < 1 {
 		n = 1
 	}
-	ix := &Index{shards: make([]*shard, n), seed: maphash.MakeSeed()}
+	ix := &Index{shards: make([]*shard, n), route: routeFunc(o.RouteSeed)}
 	for i := range ix.shards {
 		ix.shards[i] = newShard()
 	}
@@ -139,12 +146,41 @@ func (ix *Index) Len() int {
 	return n
 }
 
+// routeFunc builds the docID → hash routing function. Seed 0 keeps the
+// historical behavior — a fresh random maphash seed per index, which is
+// fast and well-mixed but differs between processes. A non-zero seed
+// selects a seeded FNV-1a hash with a splitmix64 finalizer instead, so
+// shard placement reproduces exactly across restarts.
+func routeFunc(seed uint64) func(string) uint64 {
+	if seed == 0 {
+		//etaplint:ignore determinism -- sanctioned site: random per-process shard routing is the documented default; RouteSeed opts into the reproducible path
+		s := maphash.MakeSeed()
+		return func(docID string) uint64 { return maphash.String(s, docID) }
+	}
+	return func(docID string) uint64 {
+		// FNV-1a over the ID, seed-perturbed, then finalized with
+		// splitmix64 so low-entropy IDs still spread across shards.
+		h := uint64(14695981039346656037)
+		for i := 0; i < len(docID); i++ {
+			h ^= uint64(docID[i])
+			h *= 1099511628211
+		}
+		h ^= seed
+		h ^= h >> 30
+		h *= 0xbf58476d1ce4e9b9
+		h ^= h >> 27
+		h *= 0x94d049bb133111eb
+		h ^= h >> 31
+		return h
+	}
+}
+
 // shardFor routes a document ID to its owning shard.
 func (ix *Index) shardFor(docID string) *shard {
 	if len(ix.shards) == 1 {
 		return ix.shards[0]
 	}
-	return ix.shards[maphash.String(ix.seed, docID)%uint64(len(ix.shards))]
+	return ix.shards[ix.route(docID)%uint64(len(ix.shards))]
 }
 
 // terms normalizes text into index terms: lower-cased stemmed word
@@ -220,6 +256,8 @@ func ParseQuery(q string) Query {
 // Search ranks documents matching the query and returns the top k (all
 // matches when k <= 0). Multi-token phrases require adjacency; terms and
 // phrases combine conjunctively; ranking is BM25 over all query tokens.
+//
+//etaplint:ignore context-plumbing -- purely in-memory lookup: no I/O to cancel, and a ctx parameter would suggest otherwise
 func (ix *Index) Search(query string, k int) []Hit {
 	return ix.SearchQuery(ParseQuery(query), k)
 }
@@ -227,6 +265,8 @@ func (ix *Index) Search(query string, k int) []Hit {
 // SearchQuery is Search over a pre-parsed query: cache lookup first,
 // then a parallel fan-out across shards merged through a bounded top-k
 // heap. Results are identical — order and score — for any shard count.
+//
+//etaplint:ignore context-plumbing -- purely in-memory lookup: no I/O to cancel, and a ctx parameter would suggest otherwise
 func (ix *Index) SearchQuery(q Query, k int) []Hit {
 	mQueries.Inc()
 
@@ -311,6 +351,7 @@ func (ix *Index) resolve(allTerms []string, phrases [][]string, k int) []Hit {
 	if len(ix.shards) == 1 {
 		perShard[0] = ix.shards[0].search(allTerms, phrases, distinct, idfs, avgLen)
 	} else {
+		//etaplint:ignore determinism -- metrics-only timing: the timestamp feeds the fan-out histogram, never a result
 		start := time.Now()
 		var wg sync.WaitGroup
 		for i, s := range ix.shards {

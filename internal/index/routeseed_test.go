@@ -1,0 +1,86 @@
+package index
+
+import (
+	"fmt"
+	"testing"
+)
+
+// goldenRoutes pins shard assignments for RouteSeed 42 over 4 shards.
+// Routing with a configured seed is a pure function of (docID, seed),
+// so these values must hold in every process — a change here means
+// shard placement stopped being reproducible across restarts.
+var goldenRoutes = map[string]int{
+	"u:a":                                 2,
+	"u:b":                                 1,
+	"u:c":                                 0,
+	"doc-1":                               3,
+	"doc-2":                               3,
+	"doc-3":                               0,
+	"doc-4":                               0,
+	"https://news.example.com/ceo-change": 0,
+	"https://biz.example.com/merger":      1,
+	"":                                    1,
+}
+
+func TestRouteSeedStableAcrossRestarts(t *testing.T) {
+	ix := NewWithOptions(Options{Shards: 4, RouteSeed: 42})
+	for docID, want := range goldenRoutes {
+		if got := int(ix.route(docID) % 4); got != want {
+			t.Errorf("route(%q) -> shard %d, want %d", docID, got, want)
+		}
+	}
+	// A second index built independently (a "restarted process" as far
+	// as the routing function is concerned) must agree everywhere.
+	ix2 := NewWithOptions(Options{Shards: 4, RouteSeed: 42})
+	for i := 0; i < 1000; i++ {
+		id := fmt.Sprintf("doc-%d", i)
+		if ix.route(id) != ix2.route(id) {
+			t.Fatalf("route(%q) differs between two indexes with the same seed", id)
+		}
+	}
+}
+
+func TestRouteSeedSpreadsShards(t *testing.T) {
+	ix := NewWithOptions(Options{Shards: 4, RouteSeed: 42})
+	var counts [4]int
+	const n = 10000
+	for i := 0; i < n; i++ {
+		counts[ix.route(fmt.Sprintf("doc-%d", i))%4]++
+	}
+	for s, c := range counts {
+		// Each shard should hold roughly a quarter; allow wide slack —
+		// this guards against degenerate routing (everything on one
+		// shard), not statistical perfection.
+		if c < n/8 || c > n/2 {
+			t.Errorf("shard %d holds %d of %d docs; routing is badly skewed: %v", s, c, n, counts)
+		}
+	}
+}
+
+// TestRouteSeedSearchEquivalence checks that a seeded index ranks
+// identically to the default randomly-routed index: shard placement
+// must never reach the results.
+func TestRouteSeedSearchEquivalence(t *testing.T) {
+	build := func(o Options) *Index {
+		ix := NewWithOptions(o)
+		for i := 0; i < 200; i++ {
+			ix.Add(fmt.Sprintf("doc-%d", i),
+				fmt.Sprintf("company %d announced a merger with firm %d", i, i%7))
+		}
+		return ix
+	}
+	seeded := build(Options{Shards: 4, RouteSeed: 42})
+	random := build(Options{Shards: 4})
+	for _, q := range []string{"merger", "company announced", "firm"} {
+		a := seeded.Search(q, 10)
+		b := random.Search(q, 10)
+		if len(a) != len(b) {
+			t.Fatalf("query %q: %d vs %d hits", q, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Errorf("query %q hit %d: %+v vs %+v", q, i, a[i], b[i])
+			}
+		}
+	}
+}

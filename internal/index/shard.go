@@ -141,6 +141,7 @@ func (s *shard) search(allTerms []string, phrases [][]string, distinct []string,
 			den := tf + bm25K1*(1-bm25B+bm25B*s.docLen[d]/avgLen)
 			score += idf[i] * tf * (bm25K1 + 1) / den
 		}
+		//etaplint:ignore determinism -- per-shard hit order is irrelevant: the merge ranks by hitBetter (score desc, DocID asc), a strict total order, so insertion order cannot reach the output
 		hits = append(hits, Hit{DocID: s.ids[d], Score: score})
 	}
 	return hits

@@ -1,0 +1,156 @@
+package lint
+
+import (
+	"regexp"
+	"strconv"
+	"sync"
+	"testing"
+)
+
+// The golden harness: each testdata package is loaded under a virtual
+// import path (so path-scoped rules apply) and run against one rule.
+// Expected findings are declared in the source as trailing
+// `// want "regexp"` comments on the offending line, or as
+// `// want:LINE "regexp"` anywhere in the file for declarations whose
+// trailing-comment position would change the rule's behavior (value
+// specs treat trailing comments as documentation).
+
+// wantRe matches a want comment: an optional absolute line, then the
+// quoted message pattern.
+var wantRe = regexp.MustCompile(`^//\s*want(?::(\d+))?\s+"(.*)"$`)
+
+// expectation is one parsed want comment.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+var (
+	loaderOnce sync.Once
+	loaderVal  *Loader
+	loaderErr  error
+)
+
+// sharedLoader returns one Loader for the whole test binary so the
+// source importer's dependency cache is reused across testdata loads.
+func sharedLoader(t *testing.T) *Loader {
+	t.Helper()
+	loaderOnce.Do(func() { loaderVal, loaderErr = NewLoader(".") })
+	if loaderErr != nil {
+		t.Fatalf("NewLoader: %v", loaderErr)
+	}
+	return loaderVal
+}
+
+// loadGolden loads one testdata package under a virtual import path.
+func loadGolden(t *testing.T, dir, importPath string) *Package {
+	t.Helper()
+	p, err := sharedLoader(t).LoadAs(dir, importPath)
+	if err != nil {
+		t.Fatalf("LoadAs(%s): %v", dir, err)
+	}
+	return p
+}
+
+// collectWants parses every want comment in the package.
+func collectWants(t *testing.T, p *Package) []*expectation {
+	t.Helper()
+	var wants []*expectation
+	for _, file := range p.Files {
+		for _, group := range file.Comments {
+			for _, c := range group.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := p.Fset.Position(c.Pos())
+				line := pos.Line
+				if m[1] != "" {
+					n, err := strconv.Atoi(m[1])
+					if err != nil {
+						t.Fatalf("%s: bad want line %q", pos, m[1])
+					}
+					line = n
+				}
+				re, err := regexp.Compile(m[2])
+				if err != nil {
+					t.Fatalf("%s: bad want pattern %q: %v", pos, m[2], err)
+				}
+				wants = append(wants, &expectation{file: pos.Filename, line: line, re: re})
+			}
+		}
+	}
+	if len(wants) == 0 {
+		t.Fatalf("package %s declares no want comments", p.Path)
+	}
+	return wants
+}
+
+// checkGolden runs the rule over the package and diffs findings
+// against the want comments.
+func checkGolden(t *testing.T, p *Package, ruleName string, severity Severity) {
+	t.Helper()
+	rules, err := SelectRules(ruleName)
+	if err != nil {
+		t.Fatalf("SelectRules(%s): %v", ruleName, err)
+	}
+	findings := Run([]*Package{p}, rules)
+	wants := collectWants(t, p)
+	for _, f := range findings {
+		if f.Rule != ruleName {
+			t.Errorf("finding from unexpected rule %s at %s: %s", f.Rule, f.Pos, f.Message)
+			continue
+		}
+		if f.Severity != severity {
+			t.Errorf("%s: severity %s, want %s", f.Pos, f.Severity, severity)
+		}
+		matched := false
+		for _, w := range wants {
+			if !w.hit && w.file == f.Pos.Filename && w.line == f.Pos.Line && w.re.MatchString(f.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected finding at %s: %s [%s]", f.Pos, f.Message, f.Rule)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("missing finding at %s:%d matching %q", w.file, w.line, w.re)
+		}
+	}
+}
+
+func TestGoldenDeterminism(t *testing.T) {
+	p := loadGolden(t, "testdata/src/determinism/pkg", "etap/internal/corpus/goldenpkg")
+	checkGolden(t, p, "determinism", SeverityError)
+}
+
+func TestGoldenMetricDiscipline(t *testing.T) {
+	p := loadGolden(t, "testdata/src/metrics/pkg", "etap/internal/goldenmetrics")
+	checkGolden(t, p, "metric-discipline", SeverityError)
+}
+
+func TestGoldenErrorSwallowing(t *testing.T) {
+	p := loadGolden(t, "testdata/src/errors/pkg", "etap/internal/goldenerrors")
+	checkGolden(t, p, "error-swallowing", SeverityError)
+}
+
+func TestGoldenContextPlumbing(t *testing.T) {
+	p := loadGolden(t, "testdata/src/contextrule/pkg", "etap/internal/goldenctx")
+	checkGolden(t, p, "context-plumbing", SeverityError)
+}
+
+func TestGoldenMutexDiscipline(t *testing.T) {
+	p := loadGolden(t, "testdata/src/mutex/pkg", "etap/goldenmutex")
+	checkGolden(t, p, "mutex-discipline", SeverityError)
+}
+
+func TestGoldenDocComments(t *testing.T) {
+	p := loadGolden(t, "testdata/src/doccomments/pkg", "etap/goldendoc")
+	checkGolden(t, p, "doc-comments", SeverityWarning)
+}

@@ -1,0 +1,210 @@
+// Package lint is ETAP's repo-aware static-analysis framework. It
+// enforces the invariants the pipeline's correctness rests on but that
+// `go vet` cannot see: bit-deterministic output from the synthetic web
+// and training pipeline, metric series that match the OPERATIONS.md
+// catalog, no silently swallowed errors, context plumbed through
+// I/O-shaped call paths, a uniform lock discipline, and doc comments on
+// every exported symbol.
+//
+// The framework is stdlib-only: packages are parsed with go/parser and
+// type-checked with go/types using the source importer, so the module's
+// zero-external-dependency constraint holds. Rules implement the Rule
+// interface and produce positioned Findings with a severity and rule
+// ID. A finding can be suppressed at its source line with an annotated
+// comment:
+//
+//	//etaplint:ignore <rule>[,<rule>...] -- <reason>
+//
+// placed on the offending line, on the line directly above it, or
+// inside the declaration's doc-comment group. The reason is mandatory;
+// a suppression without one is itself reported.
+//
+// cmd/etaplint is the command-line front end; LINTING.md catalogues the
+// shipped rules.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Severity classifies how a finding gates CI: errors always fail the
+// build, warnings fail at the default threshold, infos are advisory.
+type Severity int
+
+// Severity levels, ordered from least to most severe.
+const (
+	SeverityInfo Severity = iota
+	SeverityWarning
+	SeverityError
+)
+
+// String returns the lower-case severity name.
+func (s Severity) String() string {
+	switch s {
+	case SeverityInfo:
+		return "info"
+	case SeverityWarning:
+		return "warning"
+	case SeverityError:
+		return "error"
+	}
+	return fmt.Sprintf("severity(%d)", int(s))
+}
+
+// ParseSeverity parses a severity name as printed by String.
+func ParseSeverity(s string) (Severity, error) {
+	switch strings.ToLower(s) {
+	case "info":
+		return SeverityInfo, nil
+	case "warning", "warn":
+		return SeverityWarning, nil
+	case "error":
+		return SeverityError, nil
+	}
+	return 0, fmt.Errorf("lint: unknown severity %q (want info, warning, or error)", s)
+}
+
+// Finding is one positioned diagnostic produced by a rule.
+type Finding struct {
+	// Rule is the reporting rule's ID (e.g. "determinism").
+	Rule string
+	// Severity classifies the finding; see Severity.
+	Severity Severity
+	// Pos locates the finding (file, line, column).
+	Pos token.Position
+	// Message describes the violation and how to fix it.
+	Message string
+}
+
+// Rule is one analysis pass over a type-checked package.
+type Rule interface {
+	// Name is the stable rule ID used in reports, -rules selection,
+	// and suppression comments.
+	Name() string
+	// Doc is a one-line description of what the rule enforces.
+	Doc() string
+	// Check analyzes the package and returns its findings.
+	Check(p *Package) []Finding
+}
+
+// Package is one loaded, type-checked lint target.
+type Package struct {
+	// Path is the package's import path. Rules scope themselves by
+	// matching path segments (e.g. only under internal/corpus); golden
+	// tests load testdata packages under a virtual path so scoped rules
+	// apply.
+	Path string
+	// Dir is the directory the package was loaded from.
+	Dir string
+	// Fset positions every node in Files.
+	Fset *token.FileSet
+	// Files are the package's parsed non-test files, with comments.
+	Files []*ast.File
+	// Types is the type-checked package.
+	Types *types.Package
+	// Info carries the type-checker's expression, object, and
+	// selection facts for Files.
+	Info *types.Info
+}
+
+// pos resolves a node's position within the package's file set.
+func (p *Package) pos(n ast.Node) token.Position {
+	return p.Fset.Position(n.Pos())
+}
+
+// calleeFunc resolves a call expression to the function or method
+// object it invokes, or nil for builtins, conversions, and indirect
+// calls through function values.
+func (p *Package) calleeFunc(call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := p.Info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := p.Info.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+// isPkgFunc reports whether fn is the package-level function
+// pkgPath.name (not a method).
+func isPkgFunc(fn *types.Func, pkgPath, name string) bool {
+	if fn == nil || fn.Pkg() == nil || fn.Name() != name || fn.Pkg().Path() != pkgPath {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() == nil
+}
+
+// pathHasSegment reports whether the import path contains seg as a
+// complete segment sequence ("internal/corpus" matches
+// "etap/internal/corpus" but not "etap/internal/corpusgen").
+func pathHasSegment(path, seg string) bool {
+	if path == seg || strings.HasPrefix(path, seg+"/") || strings.HasSuffix(path, "/"+seg) {
+		return true
+	}
+	return strings.Contains(path, "/"+seg+"/")
+}
+
+// inspect walks every file in the package, invoking fn with each node
+// and the stack of its ancestors (outermost first, excluding n itself).
+// Returning false prunes the node's children.
+func (p *Package) inspect(fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			keep := fn(n, stack)
+			if keep {
+				stack = append(stack, n)
+			}
+			return keep
+		})
+	}
+}
+
+// Run applies the rules to each package, filters findings through the
+// packages' suppression comments, reports malformed suppressions, and
+// returns the surviving findings sorted by position.
+func Run(pkgs []*Package, rules []Rule) []Finding {
+	var out []Finding
+	for _, p := range pkgs {
+		sup, supFindings := collectSuppressions(p)
+		for _, r := range rules {
+			for _, f := range r.Check(p) {
+				if !sup.covers(f) {
+					out = append(out, f)
+				}
+			}
+		}
+		out = append(out, supFindings...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Rule != b.Rule {
+			return a.Rule < b.Rule
+		}
+		return a.Message < b.Message
+	})
+	return out
+}

@@ -1,0 +1,233 @@
+// Package loading: pattern expansion over the module tree, parsing
+// with comments, and type checking through the stdlib source importer
+// (go/types + go/importer), which resolves both standard-library and
+// module-internal imports from source — no external tooling needed.
+
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Loader parses and type-checks lint targets. One Loader shares a file
+// set and an importer across Load calls, so dependencies type-checked
+// for one package are reused for the next.
+type Loader struct {
+	fset *token.FileSet
+	imp  types.Importer
+	// ModRoot is the directory containing go.mod.
+	ModRoot string
+	// ModPath is the module path declared in go.mod.
+	ModPath string
+}
+
+// NewLoader locates the enclosing module starting from dir (walking
+// upward to the go.mod) and returns a Loader rooted there.
+func NewLoader(dir string) (*Loader, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	root := abs
+	for {
+		if _, err := os.Stat(filepath.Join(root, "go.mod")); err == nil {
+			break
+		}
+		parent := filepath.Dir(root)
+		if parent == root {
+			return nil, fmt.Errorf("lint: no go.mod found above %s", abs)
+		}
+		root = parent
+	}
+	modPath, err := readModulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	return &Loader{
+		fset:    fset,
+		imp:     importer.ForCompiler(fset, "source", nil),
+		ModRoot: root,
+		ModPath: modPath,
+	}, nil
+}
+
+// readModulePath extracts the module path from a go.mod file.
+func readModulePath(path string) (string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.Trim(strings.TrimSpace(rest), `"`), nil
+		}
+	}
+	return "", fmt.Errorf("lint: no module directive in %s", path)
+}
+
+// Expand resolves package patterns to directories. A trailing "/..."
+// walks the prefix directory recursively; other patterns name a single
+// directory. Directories named testdata or vendor, and directories
+// whose name starts with "." or "_", are skipped during walks — the
+// same pruning the go tool applies. Patterns are relative to the
+// current working directory.
+func (l *Loader) Expand(patterns []string) ([]string, error) {
+	seen := map[string]bool{}
+	var dirs []string
+	add := func(dir string) {
+		if !seen[dir] {
+			seen[dir] = true
+			dirs = append(dirs, dir)
+		}
+	}
+	for _, pat := range patterns {
+		if base, ok := strings.CutSuffix(pat, "/..."); ok {
+			if base == "." || base == "" {
+				base = "."
+			}
+			err := filepath.WalkDir(base, func(path string, d os.DirEntry, err error) error {
+				if err != nil {
+					return err
+				}
+				if !d.IsDir() {
+					return nil
+				}
+				name := d.Name()
+				if path != base && (name == "testdata" || name == "vendor" ||
+					strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+					return filepath.SkipDir
+				}
+				ok, err := hasGoFiles(path)
+				if err != nil {
+					return err
+				}
+				if ok {
+					add(path)
+				}
+				return nil
+			})
+			if err != nil {
+				return nil, fmt.Errorf("lint: expanding %s: %w", pat, err)
+			}
+			continue
+		}
+		ok, err := hasGoFiles(pat)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %s: %w", pat, err)
+		}
+		if !ok {
+			return nil, fmt.Errorf("lint: %s: no Go files", pat)
+		}
+		add(pat)
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+// hasGoFiles reports whether dir directly contains at least one
+// non-test Go file.
+func hasGoFiles(dir string) (bool, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return false, err
+	}
+	for _, e := range ents {
+		if !e.IsDir() && isLintedFile(e.Name()) {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// isLintedFile reports whether name is a Go source file the linter
+// analyzes. Test files are excluded: they legitimately use wall clocks,
+// ad-hoc randomness, and discarded errors, and are not part of the
+// shipped pipeline.
+func isLintedFile(name string) bool {
+	return strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go")
+}
+
+// Load parses and type-checks the package in dir under its real import
+// path (module path + directory relative to the module root).
+func (l *Loader) Load(dir string) (*Package, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	rel, err := filepath.Rel(l.ModRoot, abs)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return nil, fmt.Errorf("lint: %s is outside module %s", dir, l.ModRoot)
+	}
+	importPath := l.ModPath
+	if rel != "." {
+		importPath = l.ModPath + "/" + filepath.ToSlash(rel)
+	}
+	return l.LoadAs(dir, importPath)
+}
+
+// LoadAs parses and type-checks the package in dir under the given
+// import path. Golden tests use it to present testdata packages to
+// path-scoped rules as if they lived in the pipeline (e.g. a testdata
+// directory loaded as etap/internal/corpus).
+func (l *Loader) LoadAs(dir, importPath string) (*Package, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range ents {
+		if e.IsDir() || !isLintedFile(e.Name()) {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, e.Name()), nil,
+			parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %w", err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("lint: %s: no Go files", dir)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	var typeErrs []string
+	conf := types.Config{
+		Importer: l.imp,
+		Error:    func(err error) { typeErrs = append(typeErrs, err.Error()) },
+	}
+	pkg, err := conf.Check(importPath, l.fset, files, info)
+	if len(typeErrs) > 0 {
+		return nil, fmt.Errorf("lint: type-checking %s:\n\t%s", dir, strings.Join(typeErrs, "\n\t"))
+	}
+	if err != nil {
+		// The Error hook above collects every diagnostic, so err should
+		// always be reflected in typeErrs — keep this as a backstop.
+		return nil, fmt.Errorf("lint: type-checking %s: %w", dir, err)
+	}
+	return &Package{
+		Path:  importPath,
+		Dir:   dir,
+		Fset:  l.fset,
+		Files: files,
+		Types: pkg,
+		Info:  info,
+	}, nil
+}

@@ -1,0 +1,58 @@
+// Reporters: the human-facing text format (one go-style positioned
+// line per finding) and a machine-readable JSON array for tooling.
+
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// WriteText renders findings one per line as
+// "file:line:col: severity: message [rule]".
+func WriteText(w io.Writer, findings []Finding) error {
+	for _, f := range findings {
+		_, err := fmt.Fprintf(w, "%s:%d:%d: %s: %s [%s]\n",
+			f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Severity, f.Message, f.Rule)
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// JSONFinding is the stable wire shape of one finding in -json output.
+type JSONFinding struct {
+	// Rule is the reporting rule's ID.
+	Rule string `json:"rule"`
+	// Severity is the severity name ("info", "warning", "error").
+	Severity string `json:"severity"`
+	// File is the path of the file containing the finding.
+	File string `json:"file"`
+	// Line is the 1-based source line.
+	Line int `json:"line"`
+	// Col is the 1-based source column.
+	Col int `json:"col"`
+	// Message describes the violation.
+	Message string `json:"message"`
+}
+
+// WriteJSON renders findings as an indented JSON array of JSONFinding
+// objects ("[]" when there are none).
+func WriteJSON(w io.Writer, findings []Finding) error {
+	out := make([]JSONFinding, 0, len(findings))
+	for _, f := range findings {
+		out = append(out, JSONFinding{
+			Rule:     f.Rule,
+			Severity: f.Severity.String(),
+			File:     f.Pos.Filename,
+			Line:     f.Pos.Line,
+			Col:      f.Pos.Column,
+			Message:  f.Message,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

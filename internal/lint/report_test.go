@@ -1,0 +1,82 @@
+package lint
+
+import (
+	"encoding/json"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func sampleFindings() []Finding {
+	return []Finding{
+		{
+			Rule:     "determinism",
+			Severity: SeverityError,
+			Pos:      token.Position{Filename: "a.go", Line: 10, Column: 2},
+			Message:  "call to time.Now",
+		},
+		{
+			Rule:     "doc-comments",
+			Severity: SeverityWarning,
+			Pos:      token.Position{Filename: "b.go", Line: 3, Column: 1},
+			Message:  "exported function F has no doc comment",
+		},
+	}
+}
+
+func TestWriteTextFormat(t *testing.T) {
+	var b strings.Builder
+	if err := WriteText(&b, sampleFindings()); err != nil {
+		t.Fatalf("WriteText: %v", err)
+	}
+	want := "a.go:10:2: error: call to time.Now [determinism]\n" +
+		"b.go:3:1: warning: exported function F has no doc comment [doc-comments]\n"
+	if b.String() != want {
+		t.Errorf("WriteText output:\n%s\nwant:\n%s", b.String(), want)
+	}
+}
+
+// TestWriteJSONSchema locks the wire shape of -json output: an array
+// of objects with exactly the documented keys and values.
+func TestWriteJSONSchema(t *testing.T) {
+	var b strings.Builder
+	if err := WriteJSON(&b, sampleFindings()); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	var raw []map[string]any
+	if err := json.Unmarshal([]byte(b.String()), &raw); err != nil {
+		t.Fatalf("output is not a JSON array: %v", err)
+	}
+	if len(raw) != 2 {
+		t.Fatalf("decoded %d objects, want 2", len(raw))
+	}
+	wantKeys := []string{"rule", "severity", "file", "line", "col", "message"}
+	for i, obj := range raw {
+		if len(obj) != len(wantKeys) {
+			t.Errorf("object %d has %d keys, want %d: %v", i, len(obj), len(wantKeys), obj)
+		}
+		for _, k := range wantKeys {
+			if _, ok := obj[k]; !ok {
+				t.Errorf("object %d missing key %q", i, k)
+			}
+		}
+	}
+	if raw[0]["rule"] != "determinism" || raw[0]["severity"] != "error" ||
+		raw[0]["file"] != "a.go" || raw[0]["line"] != float64(10) ||
+		raw[0]["col"] != float64(2) || raw[0]["message"] != "call to time.Now" {
+		t.Errorf("object 0 fields wrong: %v", raw[0])
+	}
+	if raw[1]["severity"] != "warning" {
+		t.Errorf("object 1 severity = %v, want warning", raw[1]["severity"])
+	}
+}
+
+func TestWriteJSONEmpty(t *testing.T) {
+	var b strings.Builder
+	if err := WriteJSON(&b, nil); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	if got := strings.TrimSpace(b.String()); got != "[]" {
+		t.Errorf("empty findings encode as %q, want []", got)
+	}
+}

@@ -1,0 +1,150 @@
+// The context-plumbing rule: the fetch/crawl/search surfaces are the
+// pipeline's I/O-shaped entry points — production deployments need
+// cancellation and deadlines to propagate through them. Exported
+// functions and interface methods named for those operations must take
+// a context.Context first, and internal packages must not mint root
+// contexts (context.Background/TODO) that sever the caller's chain.
+
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"unicode"
+)
+
+// contextVerbs are the CamelCase words marking an I/O-shaped exported
+// surface. A name matches only on an exact word boundary: Fetch and
+// SearchQuery match, Fetcher does not.
+var contextVerbs = []string{"Fetch", "Crawl", "Search"}
+
+type contextPlumbingRule struct{}
+
+func (contextPlumbingRule) Name() string { return "context-plumbing" }
+
+func (contextPlumbingRule) Doc() string {
+	return "exported fetch/crawl/search surfaces must take context.Context first; internal code must not mint root contexts"
+}
+
+func (r contextPlumbingRule) Check(p *Package) []Finding {
+	if !pathHasSegment(p.Path, "internal") {
+		return nil
+	}
+	var out []Finding
+	add := func(n ast.Node, format string, args ...any) {
+		out = append(out, Finding{
+			Rule:     r.Name(),
+			Severity: SeverityError,
+			Pos:      p.pos(n),
+			Message:  fmt.Sprintf(format, args...),
+		})
+	}
+	p.inspect(func(n ast.Node, stack []ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			fn := p.calleeFunc(n)
+			if isPkgFunc(fn, "context", "Background") || isPkgFunc(fn, "context", "TODO") {
+				add(n, "context.%s mints a root context, severing the caller's cancellation and deadlines; thread the caller's context through instead", fn.Name())
+			}
+		case *ast.FuncDecl:
+			if !n.Name.IsExported() || !nameHasVerb(n.Name.Name) {
+				return true
+			}
+			if n.Recv != nil && !exportedReceiver(n.Recv) {
+				return true
+			}
+			if !firstParamIsContext(p, n.Type) {
+				kind := "function"
+				if n.Recv != nil {
+					kind = "method"
+				}
+				add(n, "exported %s %s performs fetch/crawl/search work but does not take context.Context as its first parameter", kind, n.Name.Name)
+			}
+		case *ast.InterfaceType:
+			for _, m := range n.Methods.List {
+				ft, ok := m.Type.(*ast.FuncType)
+				if !ok {
+					continue
+				}
+				for _, name := range m.Names {
+					if name.IsExported() && nameHasVerb(name.Name) && !firstParamIsContext(p, ft) {
+						add(m, "interface method %s performs fetch/crawl/search work but does not take context.Context as its first parameter", name.Name)
+					}
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// nameHasVerb reports whether the identifier contains one of the
+// context verbs as a complete CamelCase word.
+func nameHasVerb(name string) bool {
+	for _, verb := range contextVerbs {
+		for start := 0; ; {
+			i := indexFrom(name, verb, start)
+			if i < 0 {
+				break
+			}
+			end := i + len(verb)
+			if end == len(name) || !unicode.IsLower(rune(name[end])) {
+				return true
+			}
+			start = i + 1
+		}
+	}
+	return false
+}
+
+// indexFrom is strings.Index starting the scan at offset start.
+func indexFrom(s, sub string, start int) int {
+	for i := start; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}
+
+// exportedReceiver reports whether the method receiver names an
+// exported type — unexported receivers are not part of the package API.
+func exportedReceiver(recv *ast.FieldList) bool {
+	if len(recv.List) != 1 {
+		return false
+	}
+	t := recv.List[0].Type
+	for {
+		switch tt := ast.Unparen(t).(type) {
+		case *ast.StarExpr:
+			t = tt.X
+		case *ast.IndexExpr:
+			t = tt.X
+		case *ast.IndexListExpr:
+			t = tt.X
+		case *ast.Ident:
+			return tt.IsExported()
+		default:
+			return false
+		}
+	}
+}
+
+// firstParamIsContext reports whether the function type's first
+// parameter is context.Context.
+func firstParamIsContext(p *Package, ft *ast.FuncType) bool {
+	if ft.Params == nil || len(ft.Params.List) == 0 {
+		return false
+	}
+	first := ft.Params.List[0]
+	tv, ok := p.Info.Types[first.Type]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	named, ok := tv.Type.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Pkg().Path() == "context" && named.Obj().Name() == "Context"
+}

@@ -1,0 +1,118 @@
+// The doc-comments rule: every exported symbol carries a godoc
+// comment. This absorbs the retired cmd/doclint — same semantics: a
+// declaration is documented when it, or its enclosing const/var/type
+// block, has a doc comment (a trailing line comment also documents a
+// const/var spec, matching how godoc renders grouped declarations);
+// methods on unexported receiver types are skipped. Applied to every
+// library package — main packages have no godoc surface and are
+// exempt.
+
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+)
+
+type docCommentsRule struct{}
+
+func (docCommentsRule) Name() string { return "doc-comments" }
+
+func (docCommentsRule) Doc() string {
+	return "every exported symbol in library packages must carry a godoc comment"
+}
+
+func (r docCommentsRule) Check(p *Package) []Finding {
+	if p.Types != nil && p.Types.Name() == "main" {
+		return nil
+	}
+	var out []Finding
+	report := func(pos token.Pos, kind, name string) {
+		out = append(out, Finding{
+			Rule:     r.Name(),
+			Severity: SeverityWarning,
+			Pos:      p.Fset.Position(pos),
+			Message:  fmt.Sprintf("exported %s %s has no doc comment", kind, name),
+		})
+	}
+	for _, file := range p.Files {
+		for _, decl := range file.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				r.checkFunc(d, report)
+			case *ast.GenDecl:
+				r.checkGen(d, report)
+			}
+		}
+	}
+	return out
+}
+
+// checkFunc flags undocumented exported functions and methods. Methods
+// on unexported receiver types are skipped — they are not part of the
+// package's godoc surface.
+func (docCommentsRule) checkFunc(d *ast.FuncDecl, report func(token.Pos, string, string)) {
+	if !d.Name.IsExported() || d.Doc != nil {
+		return
+	}
+	kind, name := "function", d.Name.Name
+	if d.Recv != nil {
+		if len(d.Recv.List) != 1 {
+			return
+		}
+		recv := receiverTypeName(d.Recv.List[0].Type)
+		if recv == "" || !ast.IsExported(recv) {
+			return
+		}
+		kind, name = "method", recv+"."+name
+	}
+	report(d.Pos(), kind, name)
+}
+
+// checkGen flags undocumented exported types, constants and variables.
+// A doc comment on the enclosing const/var/type block covers every
+// spec inside it, and a trailing line comment documents a value spec,
+// matching how godoc renders grouped declarations.
+func (docCommentsRule) checkGen(d *ast.GenDecl, report func(token.Pos, string, string)) {
+	for _, spec := range d.Specs {
+		switch s := spec.(type) {
+		case *ast.TypeSpec:
+			if s.Name.IsExported() && s.Doc == nil && d.Doc == nil {
+				report(s.Pos(), "type", s.Name.Name)
+			}
+		case *ast.ValueSpec:
+			if s.Doc != nil || d.Doc != nil || s.Comment != nil {
+				continue
+			}
+			kind := "variable"
+			if d.Tok == token.CONST {
+				kind = "constant"
+			}
+			for _, n := range s.Names {
+				if n.IsExported() {
+					report(n.Pos(), kind, n.Name)
+				}
+			}
+		}
+	}
+}
+
+// receiverTypeName unwraps a method receiver type expression down to
+// its type name (handling pointers and generic instantiations).
+func receiverTypeName(expr ast.Expr) string {
+	for {
+		switch t := ast.Unparen(expr).(type) {
+		case *ast.Ident:
+			return t.Name
+		case *ast.StarExpr:
+			expr = t.X
+		case *ast.IndexExpr:
+			expr = t.X
+		case *ast.IndexListExpr:
+			expr = t.X
+		default:
+			return ""
+		}
+	}
+}

@@ -1,0 +1,194 @@
+// The error-swallowing rule: internal packages may not discard error
+// returns, neither by assigning them to the blank identifier nor by
+// calling a fallible function as a bare statement. Writers documented
+// to never fail (strings.Builder, bytes.Buffer, the hash interfaces)
+// are exempt — including through fmt.Fprint* — so the rule points at
+// real losses, not idioms.
+
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+type errorSwallowingRule struct{}
+
+func (errorSwallowingRule) Name() string { return "error-swallowing" }
+
+func (errorSwallowingRule) Doc() string {
+	return "internal packages must not discard error returns via `_ =` or bare calls"
+}
+
+func (r errorSwallowingRule) Check(p *Package) []Finding {
+	if !pathHasSegment(p.Path, "internal") {
+		return nil
+	}
+	var out []Finding
+	add := func(n ast.Node, format string, args ...any) {
+		out = append(out, Finding{
+			Rule:     r.Name(),
+			Severity: SeverityError,
+			Pos:      p.pos(n),
+			Message:  fmt.Sprintf(format, args...),
+		})
+	}
+	p.inspect(func(n ast.Node, stack []ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ExprStmt:
+			call, ok := ast.Unparen(n.X).(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if errIdx := errorResultIndex(p, call); errIdx >= 0 && !neverFails(p, call) {
+				add(n, "%s returns an error that is silently discarded; handle it or assign and check it", types.ExprString(call.Fun))
+			}
+			return true
+		case *ast.AssignStmt:
+			r.checkAssign(p, n, add)
+		}
+		return true
+	})
+	return out
+}
+
+// checkAssign flags blank-identifier assignments whose discarded value
+// is an error.
+func (r errorSwallowingRule) checkAssign(p *Package, as *ast.AssignStmt, add func(ast.Node, string, ...any)) {
+	// Multi-value form: a, _ := f().
+	if len(as.Rhs) == 1 && len(as.Lhs) > 1 {
+		call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+		var results *types.Tuple
+		if tv, tvOK := p.Info.Types[as.Rhs[0]]; tvOK {
+			if tup, tupOK := tv.Type.(*types.Tuple); tupOK {
+				results = tup
+			}
+		}
+		if results == nil {
+			return
+		}
+		for i, lhs := range as.Lhs {
+			if !isBlank(lhs) || i >= results.Len() {
+				continue
+			}
+			if implementsError(results.At(i).Type()) && !(ok && neverFails(p, call)) {
+				add(as, "error result of %s discarded via blank identifier; handle it or propagate it", rhsName(as.Rhs[0]))
+			}
+		}
+		return
+	}
+	// Pairwise form: _ = f().
+	for i, lhs := range as.Lhs {
+		if !isBlank(lhs) || i >= len(as.Rhs) {
+			continue
+		}
+		tv, ok := p.Info.Types[as.Rhs[i]]
+		if !ok || tv.Type == nil || !implementsError(tv.Type) {
+			continue
+		}
+		if call, isCall := ast.Unparen(as.Rhs[i]).(*ast.CallExpr); isCall && neverFails(p, call) {
+			continue
+		}
+		add(as, "error value of %s discarded via blank identifier; handle it or propagate it", rhsName(as.Rhs[i]))
+	}
+}
+
+// rhsName renders a compact name for the discarded expression.
+func rhsName(e ast.Expr) string {
+	if call, ok := ast.Unparen(e).(*ast.CallExpr); ok {
+		return types.ExprString(call.Fun)
+	}
+	return types.ExprString(e)
+}
+
+// isBlank reports whether the expression is the blank identifier.
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}
+
+// errorResultIndex returns the index of the first error in the call's
+// result types, or -1 when the call cannot fail.
+func errorResultIndex(p *Package, call *ast.CallExpr) int {
+	tv, ok := p.Info.Types[call]
+	if !ok || tv.Type == nil {
+		return -1
+	}
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if implementsError(t.At(i).Type()) {
+				return i
+			}
+		}
+	default:
+		if implementsError(t) {
+			return 0
+		}
+	}
+	return -1
+}
+
+// implementsError reports whether t satisfies the error interface.
+func implementsError(t types.Type) bool {
+	errType, ok := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	if !ok {
+		return false
+	}
+	return types.Implements(t, errType) || types.Implements(types.NewPointer(t), errType)
+}
+
+// neverFails reports whether the call's error return is documented to
+// always be nil: methods on strings.Builder, bytes.Buffer, and the
+// hash.* implementations, plus fmt.Fprint* writing to one of those.
+// The receiver is judged by the receiver expression's static type, so
+// a Write promoted through an embedded io.Writer (hash.Hash64, say)
+// still counts as the never-fail interface it was called on.
+func neverFails(p *Package, call *ast.CallExpr) bool {
+	fn := p.calleeFunc(call)
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if tv, tvOK := p.Info.Types[sel.X]; tvOK && tv.Type != nil && isNeverFailWriter(tv.Type) {
+			return true
+		}
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		return isNeverFailWriter(sig.Recv().Type())
+	}
+	if fn.Pkg().Path() == "fmt" && strings.HasPrefix(fn.Name(), "Fprint") && len(call.Args) > 0 {
+		if tv, ok := p.Info.Types[call.Args[0]]; ok && tv.Type != nil {
+			return isNeverFailWriter(tv.Type)
+		}
+	}
+	return false
+}
+
+// isNeverFailWriter reports whether t (possibly behind pointers) is a
+// writer documented to never return a non-nil error.
+func isNeverFailWriter(t types.Type) bool {
+	for {
+		ptr, ok := t.(*types.Pointer)
+		if !ok {
+			break
+		}
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	pkg, name := named.Obj().Pkg().Path(), named.Obj().Name()
+	switch {
+	case pkg == "strings" && name == "Builder":
+		return true
+	case pkg == "bytes" && name == "Buffer":
+		return true
+	case pkg == "hash" || strings.HasPrefix(pkg, "hash/"):
+		return true
+	}
+	return false
+}

@@ -1,0 +1,100 @@
+// The metric-discipline rule: every series registered against an
+// obs.Registry must carry a compile-time-constant name matching the
+// OPERATIONS.md catalog's etap_ naming scheme, follow the Prometheus
+// suffix conventions per kind, and be registered outside loops (the
+// registry deduplicates, but per-iteration registration hides the
+// series from the catalog and burns lock acquisitions on hot paths).
+
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"regexp"
+)
+
+// metricNameRe is the catalog naming scheme: etap_ prefix, lower-case
+// snake case.
+var metricNameRe = regexp.MustCompile(`^etap_[a-z][a-z0-9_]*$`)
+
+// registryMethods maps obs.Registry registration methods to the metric
+// kind they create.
+var registryMethods = map[string]string{
+	"Counter":   "counter",
+	"Gauge":     "gauge",
+	"GaugeFunc": "gauge",
+	"Histogram": "histogram",
+}
+
+type metricDisciplineRule struct{}
+
+func (metricDisciplineRule) Name() string { return "metric-discipline" }
+
+func (metricDisciplineRule) Doc() string {
+	return "obs series names must be compile-time constants matching ^etap_[a-z0-9_]+$, with kind-correct suffixes, registered outside loops"
+}
+
+func (r metricDisciplineRule) Check(p *Package) []Finding {
+	var out []Finding
+	add := func(n ast.Node, format string, args ...any) {
+		out = append(out, Finding{
+			Rule:     r.Name(),
+			Severity: SeverityError,
+			Pos:      p.pos(n),
+			Message:  fmt.Sprintf(format, args...),
+		})
+	}
+	p.inspect(func(n ast.Node, stack []ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := p.calleeFunc(call)
+		kind, ok := isRegistryMethod(fn)
+		if !ok || len(call.Args) == 0 {
+			return true
+		}
+		for _, anc := range stack {
+			switch anc.(type) {
+			case *ast.ForStmt, *ast.RangeStmt:
+				add(call, "metric registered inside a loop; register once at package level and reuse the handle")
+			}
+		}
+		nameArg := call.Args[0]
+		tv, ok := p.Info.Types[nameArg]
+		if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+			add(nameArg, "series name must be a compile-time constant string so the OPERATIONS.md catalog can be checked against the source")
+			return true
+		}
+		name := constant.StringVal(tv.Value)
+		if !metricNameRe.MatchString(name) {
+			add(nameArg, "series name %q does not match the catalog naming scheme ^etap_[a-z][a-z0-9_]*$", name)
+			return true
+		}
+		hasTotal := len(name) > len("_total") && name[len(name)-len("_total"):] == "_total"
+		if kind == "counter" && !hasTotal {
+			add(nameArg, "counter %q must end in _total (Prometheus counter convention)", name)
+		}
+		if kind != "counter" && hasTotal {
+			add(nameArg, "%s %q must not end in _total; that suffix is reserved for counters", kind, name)
+		}
+		return true
+	})
+	return out
+}
+
+// isRegistryMethod reports whether fn is a metric-registration method
+// on the obs package's Registry, and which kind it registers.
+func isRegistryMethod(fn *types.Func) (kind string, ok bool) {
+	if fn == nil || fn.Pkg() == nil || !pathHasSegment(fn.Pkg().Path(), "internal/obs") {
+		return "", false
+	}
+	sig, sigOK := fn.Type().(*types.Signature)
+	if !sigOK || sig.Recv() == nil {
+		return "", false
+	}
+	kind, ok = registryMethods[fn.Name()]
+	return kind, ok
+}

@@ -1,0 +1,217 @@
+// The mutex-discipline rule: the concurrent index/gather/serve layers
+// follow one locking idiom — locks live behind pointer receivers and a
+// critical section either defers its unlock or provably releases
+// before every return. Two checks enforce it: no value receivers on
+// types holding a sync.Mutex/RWMutex (the receiver copy duplicates the
+// lock), and no return while a lock is held without a deferred unlock
+// (the linear-flow approximation catches the common leak shapes).
+
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// mutexMethods maps the fully qualified sync lock/unlock methods to
+// the lock class ("w" or "r") and balance delta.
+var mutexMethods = map[string]struct {
+	class string
+	delta int
+}{
+	"(*sync.Mutex).Lock":      {"w", +1},
+	"(*sync.Mutex).Unlock":    {"w", -1},
+	"(*sync.RWMutex).Lock":    {"w", +1},
+	"(*sync.RWMutex).Unlock":  {"w", -1},
+	"(*sync.RWMutex).RLock":   {"r", +1},
+	"(*sync.RWMutex).RUnlock": {"r", -1},
+}
+
+type mutexDisciplineRule struct{}
+
+func (mutexDisciplineRule) Name() string { return "mutex-discipline" }
+
+func (mutexDisciplineRule) Doc() string {
+	return "no value receivers on mutex-holding types; no return while a lock is held without a deferred unlock"
+}
+
+func (r mutexDisciplineRule) Check(p *Package) []Finding {
+	var out []Finding
+	add := func(pos token.Position, format string, args ...any) {
+		out = append(out, Finding{
+			Rule:     r.Name(),
+			Severity: SeverityError,
+			Pos:      pos,
+			Message:  fmt.Sprintf(format, args...),
+		})
+	}
+	for _, file := range p.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			r.checkValueReceiver(p, fd, add)
+			if fd.Body != nil {
+				r.checkLockFlow(p, fd.Body, add)
+			}
+		}
+	}
+	// Function literals get their own independent flow analysis.
+	p.inspect(func(n ast.Node, stack []ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			r.checkLockFlow(p, lit.Body, add)
+		}
+		return true
+	})
+	return out
+}
+
+// checkValueReceiver flags methods whose value receiver copies a
+// mutex held (directly or embedded) in the receiver struct.
+func (r mutexDisciplineRule) checkValueReceiver(p *Package, fd *ast.FuncDecl, add func(token.Position, string, ...any)) {
+	if fd.Recv == nil || len(fd.Recv.List) != 1 {
+		return
+	}
+	recvType := fd.Recv.List[0].Type
+	if _, isPtr := ast.Unparen(recvType).(*ast.StarExpr); isPtr {
+		return
+	}
+	tv, ok := p.Info.Types[recvType]
+	if !ok || tv.Type == nil {
+		return
+	}
+	lockField := mutexFieldName(tv.Type)
+	if lockField == "" {
+		return
+	}
+	add(p.pos(fd), "method %s has a value receiver but the receiver type holds %s; the lock is copied on every call — use a pointer receiver", fd.Name.Name, lockField)
+}
+
+// mutexFieldName returns a description of the first sync.Mutex/RWMutex
+// field found in t's underlying struct, or "" when there is none.
+func mutexFieldName(t types.Type) string {
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return ""
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		named, ok := f.Type().(*types.Named)
+		if !ok || named.Obj().Pkg() == nil {
+			continue
+		}
+		if named.Obj().Pkg().Path() == "sync" {
+			if name := named.Obj().Name(); name == "Mutex" || name == "RWMutex" {
+				return fmt.Sprintf("field %s sync.%s", f.Name(), name)
+			}
+		}
+	}
+	return ""
+}
+
+// lockEvent is one lock-relevant point in a function body, ordered by
+// source position.
+type lockEvent struct {
+	pos   token.Pos
+	key   string // rendered receiver expression + lock class
+	delta int    // +1 lock, -1 unlock, 0 return
+}
+
+// checkLockFlow walks one function body (excluding nested function
+// literals) and flags returns that occur while a lock is held with no
+// deferred unlock in scope. The analysis is linear in source order — a
+// deliberate approximation that matches the repo's straight-line
+// critical sections; genuinely branchy lock handoffs can suppress with
+// a reason.
+func (r mutexDisciplineRule) checkLockFlow(p *Package, body *ast.BlockStmt, add func(token.Position, string, ...any)) {
+	var events []lockEvent
+	deferredUnlock := map[string]bool{}
+
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.DeferStmt:
+			if key, delta, ok := r.lockCall(p, n.Call); ok && delta < 0 {
+				deferredUnlock[key] = true
+			}
+			// A deferred closure that unlocks (defer func() { ...;
+			// mu.Unlock() }()) also counts as defer discipline.
+			if lit, isLit := ast.Unparen(n.Call.Fun).(*ast.FuncLit); isLit {
+				ast.Inspect(lit.Body, func(m ast.Node) bool {
+					if call, isCall := m.(*ast.CallExpr); isCall {
+						if key, delta, ok := r.lockCall(p, call); ok && delta < 0 {
+							deferredUnlock[key] = true
+						}
+					}
+					return true
+				})
+			}
+			return false
+		case *ast.CallExpr:
+			if key, delta, ok := r.lockCall(p, n); ok {
+				events = append(events, lockEvent{pos: n.Pos(), key: key, delta: delta})
+			}
+		case *ast.ReturnStmt:
+			events = append(events, lockEvent{pos: n.Pos(), key: "", delta: 0})
+		}
+		return true
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			return true
+		}
+		return walk(n)
+	})
+
+	sort.Slice(events, func(i, j int) bool { return events[i].pos < events[j].pos })
+	balance := map[string]int{}
+	for _, ev := range events {
+		if ev.delta != 0 {
+			balance[ev.key] += ev.delta
+			continue
+		}
+		for key, b := range balance {
+			if b > 0 && !deferredUnlock[key] {
+				add(p.Fset.Position(ev.pos), "return while %s is locked and no deferred unlock is in scope; this path leaks the lock", keyExpr(key))
+			}
+		}
+	}
+}
+
+// lockCall resolves a call to a sync mutex lock/unlock method,
+// returning the balance key (receiver expression + class) and delta.
+func (r mutexDisciplineRule) lockCall(p *Package, call *ast.CallExpr) (key string, delta int, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", 0, false
+	}
+	fn, isFn := p.Info.Uses[sel.Sel].(*types.Func)
+	if !isFn {
+		return "", 0, false
+	}
+	m, found := mutexMethods[fn.FullName()]
+	if !found {
+		return "", 0, false
+	}
+	return types.ExprString(sel.X) + "\x00" + m.class, m.delta, true
+}
+
+// keyExpr renders a balance key back to its receiver expression for
+// messages.
+func keyExpr(key string) string {
+	for i := 0; i < len(key); i++ {
+		if key[i] == 0 {
+			if key[i+1:] == "r" {
+				return key[:i] + " (read lock)"
+			}
+			return key[:i]
+		}
+	}
+	return key
+}

@@ -1,0 +1,63 @@
+// The built-in rule registry: the six repo-specific rules cmd/etaplint
+// ships, in report order. LINTING.md documents each with rationale,
+// example violations, and suppression guidance.
+
+package lint
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Rules returns the full built-in rule set.
+func Rules() []Rule {
+	return []Rule{
+		determinismRule{},
+		metricDisciplineRule{},
+		errorSwallowingRule{},
+		contextPlumbingRule{},
+		mutexDisciplineRule{},
+		docCommentsRule{},
+	}
+}
+
+// RuleNames returns the built-in rule IDs, sorted.
+func RuleNames() []string {
+	var names []string
+	for _, r := range Rules() {
+		names = append(names, r.Name())
+	}
+	sort.Strings(names)
+	return names
+}
+
+// SelectRules resolves a comma-separated rule list ("" or "all" means
+// every rule) against the registry, erroring on unknown IDs.
+func SelectRules(spec string) ([]Rule, error) {
+	all := Rules()
+	spec = strings.TrimSpace(spec)
+	if spec == "" || spec == "all" {
+		return all, nil
+	}
+	byName := map[string]Rule{}
+	for _, r := range all {
+		byName[r.Name()] = r
+	}
+	var out []Rule
+	for _, name := range strings.Split(spec, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		r, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("lint: unknown rule %q (have %s)", name, strings.Join(RuleNames(), ", "))
+		}
+		out = append(out, r)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("lint: empty rule selection %q", spec)
+	}
+	return out, nil
+}

@@ -1,0 +1,125 @@
+// Suppression comments: `//etaplint:ignore rule[,rule] -- reason`
+// silences matching findings on the comment's own line and on the line
+// after its comment group. The reason is mandatory — a suppression is
+// an auditable exception, not an off switch — and malformed directives
+// are themselves reported as findings.
+
+package lint
+
+import (
+	"strings"
+)
+
+// ignorePrefix introduces a suppression directive. Both the directive
+// form (no space after //) and a regular comment form are accepted.
+const ignorePrefix = "etaplint:ignore"
+
+// suppressionAll is the reserved rule name matching every rule.
+const suppressionAll = "all"
+
+// directive is one parsed suppression comment.
+type directive struct {
+	rules map[string]bool
+}
+
+// suppressions indexes parsed directives by file and the source lines
+// they cover.
+type suppressions map[string]map[int][]directive
+
+// covers reports whether a finding is silenced by a directive at its
+// line that names its rule (or "all").
+func (s suppressions) covers(f Finding) bool {
+	for _, d := range s[f.Pos.Filename][f.Pos.Line] {
+		if d.rules[f.Rule] || d.rules[suppressionAll] {
+			return true
+		}
+	}
+	return false
+}
+
+// collectSuppressions parses every suppression directive in the
+// package. It returns the line-coverage index plus one finding per
+// malformed directive (missing rule list or missing " -- reason").
+func collectSuppressions(p *Package) (suppressions, []Finding) {
+	sup := suppressions{}
+	var malformed []Finding
+	for _, file := range p.Files {
+		for _, group := range file.Comments {
+			groupHasDirective := false
+			for _, c := range group.List {
+				text, ok := directiveText(c.Text)
+				if !ok {
+					continue
+				}
+				groupHasDirective = true
+				pos := p.Fset.Position(c.Pos())
+				d, ok := parseDirective(text)
+				if !ok {
+					malformed = append(malformed, Finding{
+						Rule:     "suppression",
+						Severity: SeverityError,
+						Pos:      pos,
+						Message:  "malformed suppression: want //etaplint:ignore <rule>[,<rule>...] -- <reason>",
+					})
+					continue
+				}
+				addDirective(sup, pos.Filename, pos.Line, d)
+			}
+			if groupHasDirective {
+				// A directive inside a doc-comment group covers the
+				// declaration that follows the group.
+				end := p.Fset.Position(group.End())
+				for _, c := range group.List {
+					if text, ok := directiveText(c.Text); ok {
+						if d, ok := parseDirective(text); ok {
+							addDirective(sup, end.Filename, end.Line+1, d)
+						}
+					}
+				}
+			}
+		}
+	}
+	return sup, malformed
+}
+
+// addDirective records a directive as covering one file line.
+func addDirective(sup suppressions, file string, line int, d directive) {
+	byLine := sup[file]
+	if byLine == nil {
+		byLine = map[int][]directive{}
+		sup[file] = byLine
+	}
+	byLine[line] = append(byLine[line], d)
+}
+
+// directiveText extracts the payload after the ignore marker, or
+// reports that the comment is not a suppression directive.
+func directiveText(comment string) (string, bool) {
+	text := strings.TrimPrefix(comment, "//")
+	text = strings.TrimLeft(text, " \t")
+	rest, ok := strings.CutPrefix(text, ignorePrefix)
+	if !ok {
+		return "", false
+	}
+	return strings.TrimSpace(rest), true
+}
+
+// parseDirective splits "rule1,rule2 -- reason" into a directive,
+// rejecting empty rule lists and missing reasons.
+func parseDirective(text string) (directive, bool) {
+	rulesPart, reason, found := strings.Cut(text, "--")
+	if !found || strings.TrimSpace(reason) == "" {
+		return directive{}, false
+	}
+	d := directive{rules: map[string]bool{}}
+	for _, r := range strings.Split(rulesPart, ",") {
+		r = strings.TrimSpace(r)
+		if r != "" {
+			d.rules[r] = true
+		}
+	}
+	if len(d.rules) == 0 {
+		return directive{}, false
+	}
+	return d, true
+}

@@ -1,0 +1,55 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestSuppressionDirectives loads the suppress testdata package and
+// checks the full directive surface: a named ignore and an "all"
+// ignore silence their findings, a doc-group directive covers the
+// declaration after the group, an unsuppressed violation survives, and
+// a directive without a reason is itself reported.
+func TestSuppressionDirectives(t *testing.T) {
+	p := loadGolden(t, "testdata/src/suppress/pkg", "etap/internal/goldensup")
+	rules, err := SelectRules("error-swallowing,context-plumbing")
+	if err != nil {
+		t.Fatalf("SelectRules: %v", err)
+	}
+	findings := Run([]*Package{p}, rules)
+
+	byRule := map[string][]Finding{}
+	for _, f := range findings {
+		byRule[f.Rule] = append(byRule[f.Rule], f)
+	}
+
+	// The suppressed Cleanup/CleanupAll discards and the doc-group
+	// suppressed Fetch must not appear; Unsuppressed and the discard
+	// under the malformed directive must.
+	if got := len(byRule["error-swallowing"]); got != 2 {
+		t.Errorf("error-swallowing findings = %d, want 2 (Unsuppressed and Malformed):\n%s", got, dump(findings))
+	}
+	if got := len(byRule["context-plumbing"]); got != 0 {
+		t.Errorf("context-plumbing findings = %d, want 0 (Fetch is doc-group suppressed):\n%s", got, dump(findings))
+	}
+	if got := len(byRule["suppression"]); got != 1 {
+		t.Errorf("suppression findings = %d, want 1 (the reason-less directive):\n%s", got, dump(findings))
+	}
+	for _, f := range byRule["suppression"] {
+		if !strings.Contains(f.Message, "malformed suppression") {
+			t.Errorf("suppression finding message = %q, want a malformed-suppression report", f.Message)
+		}
+		if f.Severity != SeverityError {
+			t.Errorf("suppression finding severity = %s, want error", f.Severity)
+		}
+	}
+}
+
+// dump renders findings for failure messages.
+func dump(findings []Finding) string {
+	var b strings.Builder
+	if err := WriteText(&b, findings); err != nil {
+		return err.Error()
+	}
+	return b.String()
+}

@@ -1,0 +1,39 @@
+// Package goldenctx exercises the context-plumbing rule: exported
+// fetch/crawl/search surfaces must take context.Context first, and
+// internal code must not mint root contexts.
+package goldenctx
+
+import "context"
+
+// Client is an I/O-shaped surface.
+type Client struct{}
+
+// Fetch lacks the context parameter.
+func (c *Client) Fetch(url string) error { // want "method Fetch"
+	return nil
+}
+
+// Search takes context first.
+func (c *Client) Search(ctx context.Context, q string) error {
+	return ctx.Err()
+}
+
+// Fetcher abstracts page retrieval.
+type Fetcher interface {
+	// Fetch retrieves one URL.
+	Fetch(url string) error // want "interface method Fetch"
+}
+
+// Prefetcher sounds similar but Fetch is not a complete word in it, so
+// the rule leaves it alone.
+func Prefetcher() {}
+
+// Crawl is the package-level crawl entry point.
+func Crawl(ctx context.Context, seeds []string) error {
+	return ctx.Err()
+}
+
+// Root severs the caller's cancellation chain.
+func Root() context.Context {
+	return context.Background() // want "mints a root context"
+}

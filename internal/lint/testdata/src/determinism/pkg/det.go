@@ -1,0 +1,79 @@
+// Package goldenpkg exercises the determinism rule: wall clocks,
+// global randomness, per-process hash seeds, and map-order leaks are
+// violations; seeded sources, per-key accumulation, and the
+// collect-then-sort idiom are clean.
+package goldenpkg
+
+import (
+	"hash/maphash"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Stamp reads the wall clock.
+func Stamp() time.Time {
+	return time.Now() // want "call to time.Now"
+}
+
+// Roll draws from the shared global source.
+func Roll() int {
+	return rand.Intn(6) // want "global rand.Intn"
+}
+
+// RollSeeded draws from a seeded source threaded in as a parameter —
+// the sanctioned alternative.
+func RollSeeded(r *rand.Rand) int {
+	return r.Intn(6)
+}
+
+// Seeded mints a fresh random hash seed per process.
+func Seeded() maphash.Seed {
+	return maphash.MakeSeed() // want "maphash.MakeSeed draws a fresh random seed"
+}
+
+// Collect leaks map iteration order into its result slice.
+func Collect(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want "nondeterministic order"
+	}
+	return out
+}
+
+// CollectSorted restores determinism by sorting after the loop.
+func CollectSorted(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// First lets iteration order pick the returned key.
+func First(m map[string]int) string {
+	for k := range m {
+		return k // want "iteration order pick the result"
+	}
+	return ""
+}
+
+// Pick lets iteration order pick the winning entry.
+func Pick(m map[string]int) int {
+	best := 0
+	for _, v := range m {
+		best = v
+		break // want "iteration order pick the winning entry"
+	}
+	return best
+}
+
+// Group accumulates into per-key slots, which is order-independent.
+func Group(m map[string][]int) map[string][]int {
+	out := map[string][]int{}
+	for k, vs := range m {
+		out[k] = append(out[k], vs...)
+	}
+	return out
+}

@@ -1,0 +1,25 @@
+// Package goldendoc exercises the doc-comments rule. Constant and
+// variable expectations use absolute want lines because a trailing
+// comment on a value spec would itself count as documentation.
+//
+// want:9 "exported constant MaxDepth has no doc comment"
+// want:11 "exported variable Debug has no doc comment"
+package goldendoc
+
+const MaxDepth = 3
+
+var Debug = false
+
+// Documented carries a doc comment.
+const Documented = 1
+
+type Widget struct{} // want "exported type Widget has no doc comment"
+
+// Run is documented.
+func Run() {}
+
+func Walk() {} // want "exported function Walk has no doc comment"
+
+func (w Widget) Spin() {} // want "exported method Widget.Spin has no doc comment"
+
+func (w Widget) reset() {}

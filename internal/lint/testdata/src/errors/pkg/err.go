@@ -1,0 +1,42 @@
+// Package goldenerrors exercises the error-swallowing rule: blank
+// discards and bare fallible calls are violations; never-fail writers
+// and properly handled errors are clean.
+package goldenerrors
+
+import (
+	"fmt"
+	"os"
+	"strings"
+)
+
+// Drop discards an error via blank assignment.
+func Drop(path string) {
+	_ = os.Remove(path) // want "discarded via blank identifier"
+}
+
+// Bare calls a fallible function as a bare statement.
+func Bare(path string) {
+	os.Remove(path) // want "silently discarded"
+}
+
+// DropPair discards the error half of a multi-value call.
+func DropPair(path string) []byte {
+	data, _ := os.ReadFile(path) // want "discarded via blank identifier"
+	return data
+}
+
+// Builder writes through never-fail writers, which are exempt.
+func Builder() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "x=%d", 1)
+	b.WriteString("done")
+	return b.String()
+}
+
+// Checked handles its error.
+func Checked(path string) error {
+	if err := os.Remove(path); err != nil {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,33 @@
+// Package goldenmetrics exercises the metric-discipline rule: catalog
+// naming, kind-correct suffixes, constant names, and registration
+// outside loops.
+package goldenmetrics
+
+import "etap/internal/obs"
+
+// Good is a conforming counter.
+var Good = obs.Default.Counter("etap_golden_events_total", "Events seen.")
+
+// GoodGauge is a conforming gauge.
+var GoodGauge = obs.Default.Gauge("etap_golden_depth", "Current depth.")
+
+// BadPrefix breaks the etap_ naming scheme.
+var BadPrefix = obs.Default.Counter("golden_events_total", "Events seen.") // want "does not match the catalog naming scheme"
+
+// BadCounter lacks the _total suffix.
+var BadCounter = obs.Default.Counter("etap_golden_events", "Events seen.") // want "must end in _total"
+
+// BadGauge carries the counter-only suffix.
+var BadGauge = obs.Default.Gauge("etap_golden_depth_total", "Current depth.") // want "must not end in _total"
+
+// Register builds a series name at run time.
+func Register(name string) {
+	obs.Default.Counter(name, "Dynamic series.") // want "compile-time constant"
+}
+
+// RegisterAll registers the same series once per iteration.
+func RegisterAll(names []string) {
+	for range names {
+		obs.Default.Counter("etap_golden_loop_total", "Loop series.") // want "inside a loop"
+	}
+}

@@ -1,0 +1,42 @@
+// Package goldenmutex exercises the mutex-discipline rule: value
+// receivers on lock-holding types and returns under a held lock are
+// violations; the defer idiom and balanced unlock paths are clean.
+package goldenmutex
+
+import "sync"
+
+// Counter holds a mutex.
+type Counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Get copies the lock through its value receiver.
+func (c Counter) Get() int { // want "value receiver"
+	return c.n
+}
+
+// Inc follows the defer idiom.
+func (c *Counter) Inc() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+}
+
+// Peek returns while holding the lock on one path.
+func (c *Counter) Peek() int {
+	c.mu.Lock()
+	if c.n > 0 {
+		return c.n // want "return while c.mu is locked"
+	}
+	c.mu.Unlock()
+	return 0
+}
+
+// Balanced unlocks before every return.
+func (c *Counter) Balanced() int {
+	c.mu.Lock()
+	n := c.n
+	c.mu.Unlock()
+	return n
+}

@@ -1,0 +1,37 @@
+// Package goldensup exercises suppression directives: annotated
+// ignores silence findings, the "all" rule name matches every rule, a
+// doc-group directive covers the declaration that follows, and a
+// directive without a reason is itself reported.
+package goldensup
+
+import "os"
+
+// Cleanup discards an error under an annotated suppression.
+func Cleanup(path string) {
+	//etaplint:ignore error-swallowing -- best-effort cleanup in a test fixture
+	os.Remove(path)
+}
+
+// CleanupAll suppresses via the reserved "all" rule name.
+func CleanupAll(path string) {
+	//etaplint:ignore all -- best-effort cleanup in a test fixture
+	os.Remove(path)
+}
+
+// Unsuppressed discards with no directive in sight.
+func Unsuppressed(path string) {
+	os.Remove(path)
+}
+
+// Malformed sits above a directive that names no reason, which is
+// reported and silences nothing.
+func Malformed(path string) {
+	//etaplint:ignore error-swallowing
+	os.Remove(path)
+}
+
+// Fetch lacks a context parameter but is excused from its doc-comment
+// group.
+//
+//etaplint:ignore context-plumbing -- legacy surface kept for compatibility
+func Fetch(url string) error { return nil }

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"sort"
 	"strconv"
@@ -297,7 +298,11 @@ func (r *Registry) Snapshot() map[string]any {
 // it at GET /metrics.
 func (r *Registry) ServeMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	_ = r.WritePrometheus(w)
+	if err := r.WritePrometheus(w); err != nil {
+		// The response is already streaming; the scraper sees a
+		// truncated exposition — typically the peer hung up.
+		slog.Debug("obs: writing /metrics response", "err", err)
+	}
 }
 
 // ServeVars is an http.HandlerFunc rendering the JSON snapshot — mount
@@ -306,5 +311,7 @@ func (r *Registry) ServeVars(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	_ = enc.Encode(r.Snapshot())
+	if err := enc.Encode(r.Snapshot()); err != nil {
+		slog.Debug("obs: writing /debug/vars response", "err", err)
+	}
 }

@@ -72,6 +72,7 @@ func ByOrientation(events []Event) []Ranked {
 }
 
 func rankBy(events []Event, less func(a, b Event) bool) []Ranked {
+	//etaplint:ignore determinism -- metrics-only timing: the timestamp feeds the latency histogram, never a ranking
 	defer rankDur.ObserveSince(time.Now())
 	rankItems.Add(uint64(len(events)))
 	sorted := append([]Event(nil), events...)

@@ -91,12 +91,19 @@ func ResolvePeriod(expr string, ref Date) (Date, bool) {
 			}
 		}
 	}
-	// Quarter expressions: "Q4 2004", "the fourth quarter".
+	// Quarter expressions: "Q4 2004", "the fourth quarter". The list is
+	// ordered so an expression naming two quarters resolves the same way
+	// every run (the first listed match wins).
 	if out.Month == 0 {
-		for q, m := range map[string]int{"q1": 2, "q2": 5, "q3": 8, "q4": 11,
-			"first": 2, "second": 5, "third": 8, "fourth": 11} {
-			if strings.Contains(lower, q) && (strings.Contains(lower, "quarter") || q[0] == 'q') {
-				out.Month = m
+		for _, qm := range []struct {
+			q string
+			m int
+		}{
+			{"q1", 2}, {"q2", 5}, {"q3", 8}, {"q4", 11},
+			{"first", 2}, {"second", 5}, {"third", 8}, {"fourth", 11},
+		} {
+			if strings.Contains(lower, qm.q) && (strings.Contains(lower, "quarter") || qm.q[0] == 'q') {
+				out.Month = qm.m
 				break
 			}
 		}

@@ -22,6 +22,7 @@ package serve
 
 import (
 	"encoding/json"
+	"log/slog"
 	"math"
 	"net/http"
 	"runtime"
@@ -142,7 +143,11 @@ func (s *Server) SaveLeads(path string) (uint64, error) {
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(v)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// The status line is already sent, so all that can be done is
+		// note the truncated body — typically the peer hung up.
+		slog.Debug("serve: writing JSON response", "err", err)
+	}
 }
 
 func writeError(w http.ResponseWriter, status int, msg string) {

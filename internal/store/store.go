@@ -165,11 +165,14 @@ func (s *Store) SaveFile(path string) error {
 		return err
 	}
 	if err := s.WriteJSONL(f); err != nil {
+		//etaplint:ignore error-swallowing -- best-effort cleanup on an already-failing path; the write error is what the caller needs
 		f.Close()
+		//etaplint:ignore error-swallowing -- best-effort cleanup on an already-failing path; the write error is what the caller needs
 		os.Remove(tmp)
 		return err
 	}
 	if err := f.Close(); err != nil {
+		//etaplint:ignore error-swallowing -- best-effort cleanup on an already-failing path; the close error is what the caller needs
 		os.Remove(tmp)
 		return err
 	}

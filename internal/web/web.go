@@ -152,6 +152,8 @@ func (w *Web) URLs() []string { return append([]string(nil), w.order...) }
 // Search runs a search-engine query and returns the top-k pages, like
 // "we gathered the top 200 documents returned by the search engine ...
 // for each query".
+//
+//etaplint:ignore context-plumbing -- purely in-memory lookup over the frozen web: no I/O to cancel
 func (w *Web) Search(query string, k int) []*Page {
 	hits := w.ix.Search(query, k)
 	out := make([]*Page, 0, len(hits))
@@ -176,6 +178,8 @@ type Result struct {
 // SearchWithSnippets is Search plus a contextual snippet per hit: the
 // window of the page text around the first query-term match, trimmed to
 // word boundaries.
+//
+//etaplint:ignore context-plumbing -- purely in-memory lookup over the frozen web: no I/O to cancel
 func (w *Web) SearchWithSnippets(query string, k int) []Result {
 	pages := w.Search(query, k)
 	q := index.ParseQuery(query)
