@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: ci vet build lint test race bench bench-index doccheck examples fmt-check
+.PHONY: ci vet build lint test race race-alert bench bench-index bench-alert doccheck examples fmt-check
 
 ci: vet build lint race
 
@@ -29,6 +29,13 @@ test:
 race:
 	$(GO) test -race ./...
 
+# The streaming subsystem is the most concurrency-dense code in the
+# repo (worker pool, per-subscriber delivery lanes, SSE fan-out,
+# SIGTERM drain); CI runs its tests race-enabled as a dedicated step so
+# a regression there is named in the job log, not buried in `race`.
+race-alert:
+	$(GO) test -race -count=1 ./internal/alert ./internal/serve ./cmd/etapd
+
 # One pass over every benchmark (quality numbers + observability overhead).
 bench:
 	$(GO) test -run xxx -bench . -benchtime 1x ./...
@@ -38,6 +45,12 @@ bench:
 # corpus, and writes the machine-readable report to BENCH_index.json.
 bench-index:
 	ETAP_BENCH_INDEX=$(CURDIR)/BENCH_index.json $(GO) test ./internal/index -run TestIndexBenchHarness -v
+
+# Ingest-throughput harness: pushes a trigger-dense synthetic document
+# stream through the alert manager at one worker and at GOMAXPROCS
+# workers, and writes the machine-readable report to BENCH_alert.json.
+bench-alert:
+	ETAP_BENCH_ALERT=$(CURDIR)/BENCH_alert.json $(GO) test ./internal/alert -run TestAlertBenchHarness -v
 
 # Doc-comment lint: every exported symbol must carry a godoc comment.
 # Now served by etaplint's doc-comments rule over the whole repository

@@ -1,0 +1,281 @@
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"etap/internal/alert"
+	"etap/internal/gather"
+	"etap/internal/rank"
+	"etap/internal/serve"
+	"etap/internal/store"
+	"etap/internal/web"
+)
+
+// triggerPipeline is a deterministic stand-in for a trained system:
+// any page mentioning "acquire" yields one merger event for Globex.
+// The snippet ID derives from the URL so the lead store sees a stable
+// identity, while the alert fingerprint (driver+company+text) decides
+// novelty.
+type triggerPipeline struct{}
+
+func (triggerPipeline) ExtractAllEvents(pages []*web.Page, _ float64) []rank.Event {
+	var events []rank.Event
+	for _, p := range pages {
+		if strings.Contains(p.Text, "acquire") {
+			events = append(events, rank.Event{
+				SnippetID: p.URL + "#0",
+				Driver:    "mergers-acquisitions",
+				Company:   "Globex",
+				Score:     0.93,
+				Text:      "Globex will acquire Initech for $12M.",
+			})
+		}
+	}
+	return events
+}
+
+// flakyWebhook is a real HTTP endpoint that rejects the first fail
+// requests with 500 before accepting, so delivery exercises the retry
+// path over the wire.
+type flakyWebhook struct {
+	mu        sync.Mutex
+	fail      int
+	attempts  int
+	delivered []alert.Alert
+	done      chan struct{} // closed on first successful delivery
+}
+
+func (f *flakyWebhook) handler(w http.ResponseWriter, r *http.Request) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.attempts++
+	if f.attempts <= f.fail {
+		http.Error(w, "outage", http.StatusInternalServerError)
+		return
+	}
+	var a alert.Alert
+	if err := json.NewDecoder(r.Body).Decode(&a); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	f.delivered = append(f.delivered, a)
+	if len(f.delivered) == 1 {
+		close(f.done)
+	}
+	w.WriteHeader(http.StatusOK)
+}
+
+func (f *flakyWebhook) stats() (attempts, delivered int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.attempts, len(f.delivered)
+}
+
+func e2eManager(t *testing.T, api *serve.Server, subs *alert.Subscriptions) *alert.Manager {
+	t.Helper()
+	w := web.New()
+	w.Freeze()
+	return alert.NewManager(triggerPipeline{}, api, w, alert.Config{
+		Subscriptions: subs,
+		Retry: gather.RetryConfig{
+			MaxAttempts:    4,
+			Sleep:          func(time.Duration) {},
+			AttemptTimeout: -1,
+		},
+		Log: quietLog(),
+	})
+}
+
+// TestAlertPipelineSurvivesSIGTERM is the streaming kill test: a live
+// daemon takes a subscription and a document over HTTP, delivers the
+// resulting alert to a webhook (after transient failures force
+// retries) and to an SSE client, then dies to a real SIGTERM. A second
+// life reloads the checkpointed subscription set and lead store, seeds
+// dedup from the leads, and replaying the same document must not alert
+// again.
+func TestAlertPipelineSurvivesSIGTERM(t *testing.T) {
+	dir := t.TempDir()
+	leadsPath := filepath.Join(dir, "leads.jsonl")
+	subsPath := filepath.Join(dir, "subs.jsonl")
+
+	hook := &flakyWebhook{fail: 2, done: make(chan struct{})}
+	webhookSrv := httptest.NewServer(http.HandlerFunc(hook.handler))
+	defer webhookSrv.Close()
+
+	log := quietLog()
+	st := store.New()
+	api := serve.New(nil, st)
+	subs := alert.NewSubscriptions()
+	m := e2eManager(t, api, subs)
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM)
+	defer stop()
+	m.Start(ctx)
+	api.AttachAlerts(m)
+	leadsCP := leadsCheckpointer(api, leadsPath, log)
+	subsCP := subsCheckpointer(subs, subsPath, log)
+	srv := &http.Server{Handler: api, ReadHeaderTimeout: 5 * time.Second}
+	done := make(chan error, 1)
+	go func() { done <- serveUntilShutdown(ctx, log, srv, ln, 5*time.Second, m, leadsCP, subsCP) }()
+
+	base := "http://" + ln.Addr().String()
+
+	// Subscribe to Globex merger events, delivered to the flaky hook.
+	body := strings.NewReader(`{"company":"Globex","driver":"mergers-acquisitions","minScore":0.5,"webhook":"` + webhookSrv.URL + `"}`)
+	resp, err := http.Post(base+"/subscriptions", "application/json", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var created alert.Subscription
+	if err := json.NewDecoder(resp.Body).Decode(&created); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated || created.ID == "" {
+		t.Fatalf("subscription create: status %d, id %q", resp.StatusCode, created.ID)
+	}
+
+	// Attach a live SSE client before ingesting.
+	sseCtx, sseCancel := context.WithCancel(context.Background())
+	defer sseCancel()
+	sseReq, err := http.NewRequestWithContext(sseCtx, http.MethodGet, base+"/alerts/stream", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sseResp, err := http.DefaultClient.Do(sseReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sseResp.Body.Close()
+	sseFrames := make(chan string, 4)
+	go func() {
+		sc := bufio.NewScanner(sseResp.Body)
+		for sc.Scan() {
+			if line := sc.Text(); strings.HasPrefix(line, "data: ") {
+				sseFrames <- strings.TrimPrefix(line, "data: ")
+			}
+		}
+	}()
+
+	// Ingest a document carrying a trigger-event sentence.
+	doc := `{"url":"https://news.example/globex","title":"Globex to buy Initech","text":"Globex announced it will acquire Initech for $12M."}`
+	resp, err = http.Post(base+"/ingest", "application/json", strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("ingest status %d", resp.StatusCode)
+	}
+
+	// The webhook must see the alert after riding out two 500s.
+	select {
+	case <-hook.done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("webhook never delivered")
+	}
+	attempts, delivered := hook.stats()
+	if attempts != 3 || delivered != 1 {
+		t.Fatalf("webhook attempts=%d delivered=%d, want 3 and 1", attempts, delivered)
+	}
+	if hook.delivered[0].Subscription != created.ID || hook.delivered[0].Event.Company != "Globex" {
+		t.Fatalf("webhook alert = %+v", hook.delivered[0])
+	}
+
+	// The SSE client sees the same alert.
+	select {
+	case frame := <-sseFrames:
+		var a alert.Alert
+		if err := json.Unmarshal([]byte(frame), &a); err != nil {
+			t.Fatalf("bad SSE frame %q: %v", frame, err)
+		}
+		if a.Event.Company != "Globex" || a.Event.Driver != "mergers-acquisitions" {
+			t.Fatalf("SSE alert = %+v", a)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("no SSE frame")
+	}
+
+	// Drop the stream (a live SSE connection would hold the drain open),
+	// then kill the daemon for real.
+	sseCancel()
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("shutdown: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("daemon did not shut down after SIGTERM")
+	}
+
+	// Second life: reload everything the first life checkpointed.
+	st2, err := store.LoadFile(leadsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := st2.Find(store.Query{}); len(got) != 1 || got[0].Company != "Globex" {
+		t.Fatalf("reloaded leads = %+v", got)
+	}
+	subs2, err := alert.LoadSubscriptions(subsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if subs2.Len() != 1 {
+		t.Fatalf("reloaded %d subscriptions", subs2.Len())
+	}
+	if _, err := subs2.Get(created.ID); err != nil {
+		t.Fatalf("subscription %s lost across SIGTERM: %v", created.ID, err)
+	}
+
+	api2 := serve.NewWithRegistry(nil, st2, nil)
+	m2 := e2eManager(t, api2, subs2)
+	var seen []rank.Event
+	for _, l := range st2.Find(store.Query{}) {
+		seen = append(seen, l.Event)
+	}
+	m2.SeedEvents(seen)
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	defer cancel2()
+	m2.Start(ctx2)
+	defer m2.Close()
+
+	// Replaying the same document after the restart must not re-alert:
+	// the dedup set was rebuilt from the persisted leads.
+	if err := m2.Enqueue(alert.Document{
+		URL:  "https://news.example/globex",
+		Text: "Globex announced it will acquire Initech for $12M.",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	fctx, fcancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer fcancel()
+	if err := m2.Flush(fctx); err != nil {
+		t.Fatal(err)
+	}
+	if attempts, delivered := hook.stats(); delivered != 1 {
+		t.Fatalf("replay re-alerted: attempts=%d delivered=%d", attempts, delivered)
+	}
+	if got := st2.Find(store.Query{}); len(got) != 1 {
+		t.Fatalf("replay duplicated leads: %d", len(got))
+	}
+}

@@ -1,9 +1,8 @@
 // Lifecycle hardening for etapd: signal-driven graceful shutdown with
-// a drain timeout, and lead-store checkpointing (periodic and
-// on-shutdown) so a SIGTERM never loses a review. Before this layer
-// the daemon ended in a bare ListenAndServe and the store was only
-// written once at startup — every POST /leads/review since then died
-// with the process.
+// a drain timeout, and revision-gated checkpointing (periodic and
+// on-shutdown) for every durable store the daemon owns — the lead
+// store and, with the alert subsystem enabled, the subscription set.
+// A SIGTERM never loses a review or a subscription.
 package main
 
 import (
@@ -16,30 +15,27 @@ import (
 	"sync/atomic"
 	"time"
 
+	"etap/internal/alert"
 	"etap/internal/obs"
 	"etap/internal/serve"
 )
 
-// Checkpoint activity reports into the process-wide registry; the age
-// gauge is registered per checkpointer so it can close over the last
-// save time.
-var (
-	mCheckpoints = obs.Default.Counter("etap_store_checkpoints_total",
-		"Lead-store checkpoints written (periodic and on shutdown).")
-	mCheckpointErrors = obs.Default.Counter("etap_store_checkpoint_errors_total",
-		"Lead-store checkpoints that failed.")
-	mCheckpointSkips = obs.Default.Counter("etap_store_checkpoint_skips_total",
-		"Checkpoint ticks skipped because the store had not changed.")
-)
-
-// checkpointer persists the lead store through the serve layer,
-// skipping writes when the store revision hasn't moved since the last
+// checkpointer persists one named store through a revision/save pair,
+// skipping writes when the revision hasn't moved since the last
 // successful save. Safe for concurrent use: the periodic loop and the
-// shutdown path share one mutex.
+// shutdown path share one mutex. Checkpoint activity reports into the
+// process-wide registry labeled by store name, so leads and
+// subscriptions chart separately.
 type checkpointer struct {
-	srv  *serve.Server
+	name string
 	path string
 	log  *slog.Logger
+	rev  func() uint64
+	dump func(path string) (uint64, error)
+
+	saves *obs.Counter
+	fails *obs.Counter
+	skips *obs.Counter
 
 	mu       sync.Mutex
 	saved    bool
@@ -47,15 +43,35 @@ type checkpointer struct {
 	lastSave atomic.Int64 // unix nanos of the last successful save (start time before any)
 }
 
-// newCheckpointer wires a checkpointer for the store behind srv and
-// registers the checkpoint-age gauge.
-func newCheckpointer(srv *serve.Server, path string, log *slog.Logger) *checkpointer {
-	c := &checkpointer{srv: srv, path: path, log: log}
+// newCheckpointer wires a checkpointer for one store: rev reports the
+// mutation count, dump writes a snapshot and returns the revision it
+// captured. The checkpoint-age gauge is registered per store name.
+func newCheckpointer(name, path string, rev func() uint64, dump func(string) (uint64, error), log *slog.Logger) *checkpointer {
+	c := &checkpointer{
+		name: name, path: path, log: log, rev: rev, dump: dump,
+		saves: obs.Default.Counter("etap_store_checkpoints_total",
+			"Checkpoints written (periodic and on shutdown), by store.", "store", name),
+		fails: obs.Default.Counter("etap_store_checkpoint_errors_total",
+			"Checkpoints that failed, by store.", "store", name),
+		skips: obs.Default.Counter("etap_store_checkpoint_skips_total",
+			"Checkpoint ticks skipped because the store had not changed, by store.", "store", name),
+	}
 	c.lastSave.Store(time.Now().UnixNano())
 	obs.Default.GaugeFunc("etap_store_checkpoint_age_seconds",
-		"Seconds since the lead store was last checkpointed (process start before the first).",
-		func() float64 { return time.Since(time.Unix(0, c.lastSave.Load())).Seconds() })
+		"Seconds since the store was last checkpointed (process start before the first).",
+		func() float64 { return time.Since(time.Unix(0, c.lastSave.Load())).Seconds() },
+		"store", name)
 	return c
+}
+
+// leadsCheckpointer checkpoints the lead store behind the serve layer.
+func leadsCheckpointer(srv *serve.Server, path string, log *slog.Logger) *checkpointer {
+	return newCheckpointer("leads", path, srv.Revision, srv.SaveLeads, log)
+}
+
+// subsCheckpointer checkpoints the alert subscription set.
+func subsCheckpointer(subs *alert.Subscriptions, path string, log *slog.Logger) *checkpointer {
+	return newCheckpointer("subscriptions", path, subs.Revision, subs.SaveFile, log)
 }
 
 // save writes a checkpoint unless the store is unchanged since the
@@ -64,22 +80,22 @@ func newCheckpointer(srv *serve.Server, path string, log *slog.Logger) *checkpoi
 func (c *checkpointer) save(reason string) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if c.saved && c.srv.Revision() == c.savedRev {
-		mCheckpointSkips.Inc()
+	if c.saved && c.rev() == c.savedRev {
+		c.skips.Inc()
 		return nil
 	}
 	start := time.Now()
-	rev, err := c.srv.SaveLeads(c.path)
+	rev, err := c.dump(c.path)
 	if err != nil {
-		mCheckpointErrors.Inc()
-		c.log.Error("lead-store checkpoint failed", "path", c.path, "reason", reason, "err", err)
+		c.fails.Inc()
+		c.log.Error("checkpoint failed", "store", c.name, "path", c.path, "reason", reason, "err", err)
 		return err
 	}
 	c.saved, c.savedRev = true, rev
 	c.lastSave.Store(time.Now().UnixNano())
-	mCheckpoints.Inc()
-	c.log.Info("lead store checkpointed",
-		"path", c.path, "reason", reason, "revision", rev, "elapsed", time.Since(start))
+	c.saves.Inc()
+	c.log.Info("store checkpointed",
+		"store", c.name, "path", c.path, "reason", reason, "revision", rev, "elapsed", time.Since(start))
 	return nil
 }
 
@@ -101,10 +117,12 @@ func (c *checkpointer) run(ctx context.Context, interval time.Duration) {
 
 // serveUntilShutdown runs srv on ln until ctx is canceled (SIGTERM or
 // SIGINT in production), then drains in-flight requests for at most
-// drain and writes a final lead-store checkpoint — the zero-lead-loss
-// path the kill test exercises. A nil cp means no durable store is
-// configured.
-func serveUntilShutdown(ctx context.Context, log *slog.Logger, srv *http.Server, ln net.Listener, drain time.Duration, cp *checkpointer) error {
+// drain, winds down the alert manager (queued documents finish
+// processing, delivery lanes drain), and writes a final checkpoint per
+// store — the zero-loss path the kill tests exercise. A nil manager
+// means the streaming subsystem is disabled; cps may be empty when no
+// durable stores are configured.
+func serveUntilShutdown(ctx context.Context, log *slog.Logger, srv *http.Server, ln net.Listener, drain time.Duration, m *alert.Manager, cps ...*checkpointer) error {
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
 	select {
@@ -122,12 +140,26 @@ func serveUntilShutdown(ctx context.Context, log *slog.Logger, srv *http.Server,
 		log.Warn("shutdown: drain incomplete, closing", "err", err)
 		_ = srv.Close()
 	}
-	// Checkpoint after the drain so reviews accepted during it land on
-	// disk too.
-	if cp != nil {
-		if err := cp.save("shutdown"); err != nil {
-			return err
+	// The listener is quiet: no new documents can arrive, so closing
+	// the manager drains accepted documents into the lead store before
+	// the checkpoints below snapshot it.
+	if m != nil {
+		m.Close()
+		log.Info("shutdown: alert manager drained")
+	}
+	// Checkpoint after the drain so mutations accepted during it land
+	// on disk too.
+	var firstErr error
+	for _, cp := range cps {
+		if cp == nil {
+			continue
 		}
+		if err := cp.save("shutdown"); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if firstErr != nil {
+		return firstErr
 	}
 	log.Info("shutdown complete")
 	return nil

@@ -49,7 +49,7 @@ func TestShutdownCheckpointSurvivesSIGTERM(t *testing.T) {
 	}
 	log := quietLog()
 	api := serve.New(nil, st)
-	cp := newCheckpointer(api, path, log)
+	cp := leadsCheckpointer(api, path, log)
 
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -59,7 +59,7 @@ func TestShutdownCheckpointSurvivesSIGTERM(t *testing.T) {
 	defer stop()
 	srv := &http.Server{Handler: api, ReadHeaderTimeout: 5 * time.Second}
 	done := make(chan error, 1)
-	go func() { done <- serveUntilShutdown(ctx, log, srv, ln, 5*time.Second, cp) }()
+	go func() { done <- serveUntilShutdown(ctx, log, srv, ln, 5*time.Second, nil, cp) }()
 
 	base := "http://" + ln.Addr().String()
 	// Review a lead through the live API: an unsaved store mutation.
@@ -118,14 +118,14 @@ func TestCheckpointerSkipsWhenUnchanged(t *testing.T) {
 		t.Fatal(err)
 	}
 	api := serve.New(nil, st)
-	cp := newCheckpointer(api, path, quietLog())
+	cp := leadsCheckpointer(api, path, quietLog())
 
-	skips0 := mCheckpointSkips.Value()
-	saves0 := mCheckpoints.Value()
+	skips0 := cp.skips.Value()
+	saves0 := cp.saves.Value()
 	if err := cp.save("test"); err != nil {
 		t.Fatal(err)
 	}
-	if mCheckpoints.Value() != saves0+1 {
+	if cp.saves.Value() != saves0+1 {
 		t.Fatal("first save did not write")
 	}
 	// Unchanged store: the next two saves are skips.
@@ -135,10 +135,10 @@ func TestCheckpointerSkipsWhenUnchanged(t *testing.T) {
 	if err := cp.save("test"); err != nil {
 		t.Fatal(err)
 	}
-	if got := mCheckpointSkips.Value() - skips0; got != 2 {
+	if got := cp.skips.Value() - skips0; got != 2 {
 		t.Fatalf("skips = %d, want 2", got)
 	}
-	if mCheckpoints.Value() != saves0+1 {
+	if cp.saves.Value() != saves0+1 {
 		t.Fatal("no-op save rewrote the file")
 	}
 	// A mutation re-arms the checkpointer.
@@ -151,7 +151,7 @@ func TestCheckpointerSkipsWhenUnchanged(t *testing.T) {
 	if err := cp.save("test"); err != nil {
 		t.Fatal(err)
 	}
-	if mCheckpoints.Value() != saves0+2 {
+	if cp.saves.Value() != saves0+2 {
 		t.Fatal("post-mutation save skipped")
 	}
 }

@@ -9,13 +9,22 @@
 //	      [-extract] [-log-level info] [-pprof]
 //	      [-index-shards N] [-query-cache N] [-index-seed N]
 //	      [-shutdown-timeout 10s] [-checkpoint-interval 30s]
+//	      [-alerts] [-subscriptions subs.jsonl]
+//	      [-ingest-workers N] [-ingest-queue N]
+//
+// Streaming (default on, -alerts=false disables): POST /ingest feeds
+// documents through the extraction pipeline incrementally, deduped
+// trigger events land in the lead store, and matching subscribers
+// (CRUD under /subscriptions, persisted to -subscriptions) get webhook
+// and GET /alerts/stream SSE alerts. A full ingest queue answers 429.
 //
 // Lifecycle: SIGTERM or SIGINT triggers a graceful shutdown — the
 // listener stops accepting, in-flight requests drain for up to
-// -shutdown-timeout, and the lead store is checkpointed to -leads so
-// reviews made through the API survive the restart. While running, the
-// store is also checkpointed every -checkpoint-interval (skipped when
-// nothing changed).
+// -shutdown-timeout, queued documents finish processing, and the lead
+// store and subscription set are checkpointed so reviews, streamed
+// leads, and subscriptions survive the restart. While running, both
+// stores are also checkpointed every -checkpoint-interval (skipped
+// when nothing changed).
 //
 // Observability:
 //
@@ -49,7 +58,9 @@ import (
 	"time"
 
 	"etap"
+	"etap/internal/alert"
 	"etap/internal/obs"
+	"etap/internal/rank"
 	"etap/internal/serve"
 	"etap/internal/store"
 )
@@ -67,6 +78,11 @@ type options struct {
 	routeSeed  uint64
 	drain      time.Duration
 	checkpoint time.Duration
+
+	alerts        bool
+	subsPath      string
+	ingestWorkers int
+	ingestQueue   int
 }
 
 func main() {
@@ -83,6 +99,11 @@ func main() {
 		routeSeed  = flag.Uint64("index-seed", 0, "deterministic shard-routing seed (0 = random per process)")
 		drain      = flag.Duration("shutdown-timeout", 10*time.Second, "grace period for in-flight requests on SIGTERM/SIGINT")
 		checkpoint = flag.Duration("checkpoint-interval", 30*time.Second, "how often to checkpoint the lead store to -leads (0 disables periodic saves)")
+
+		alerts        = flag.Bool("alerts", true, "enable the streaming subsystem (/ingest, /subscriptions, /alerts/stream)")
+		subsPath      = flag.String("subscriptions", "", "JSONL subscription store to load (and keep checkpointing)")
+		ingestWorkers = flag.Int("ingest-workers", 0, "ingest worker-pool size (0 = default 2)")
+		ingestQueue   = flag.Int("ingest-queue", 0, "ingest queue capacity before 429s (0 = default 64)")
 	)
 	flag.Parse()
 
@@ -106,6 +127,11 @@ func main() {
 		routeSeed:  *routeSeed,
 		drain:      *drain,
 		checkpoint: *checkpoint,
+
+		alerts:        *alerts,
+		subsPath:      *subsPath,
+		ingestWorkers: *ingestWorkers,
+		ingestQueue:   *ingestQueue,
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -182,6 +208,46 @@ func run(ctx context.Context, log *slog.Logger, opts options) error {
 	}
 
 	api := serve.New(sys, st)
+
+	// Streaming subsystem: incremental ingestion, subscriptions, and
+	// alert delivery over the same system, web, and lead store.
+	var manager *alert.Manager
+	var subsCP *checkpointer
+	if opts.alerts {
+		subs := alert.NewSubscriptions()
+		if opts.subsPath != "" {
+			subs, err = alert.LoadSubscriptions(opts.subsPath)
+			if err != nil {
+				return fmt.Errorf("loading subscriptions: %w", err)
+			}
+			log.Info("subscriptions loaded", "path", opts.subsPath, "subscriptions", subs.Len())
+		}
+		manager = alert.NewManager(sys, api, w, alert.Config{
+			Workers:       opts.ingestWorkers,
+			QueueSize:     opts.ingestQueue,
+			Subscriptions: subs,
+			Log:           log,
+		})
+		// Everything already in the lead store has been alerted (or
+		// predates alerting): seed the dedup set so a restart — or a
+		// re-crawl replayed through /ingest — never re-alerts it.
+		var seen []rank.Event
+		for _, l := range st.Find(store.Query{}) {
+			seen = append(seen, l.Event)
+		}
+		manager.SeedEvents(seen)
+		manager.Start(ctx)
+		api.AttachAlerts(manager)
+		log.Info("alert subsystem enabled",
+			"subscriptions", subs.Len(), "seeded_events", len(seen))
+		if opts.subsPath != "" {
+			subsCP = subsCheckpointer(subs, opts.subsPath, log)
+			if opts.checkpoint > 0 {
+				go subsCP.run(ctx, opts.checkpoint)
+			}
+		}
+	}
+
 	mux := http.NewServeMux()
 	mux.Handle("/", api)
 	if opts.pprofOn {
@@ -195,7 +261,7 @@ func run(ctx context.Context, log *slog.Logger, opts options) error {
 
 	var cp *checkpointer
 	if opts.leadsPath != "" {
-		cp = newCheckpointer(api, opts.leadsPath, log)
+		cp = leadsCheckpointer(api, opts.leadsPath, log)
 		if opts.checkpoint > 0 {
 			go cp.run(ctx, opts.checkpoint)
 		}
@@ -213,7 +279,7 @@ func run(ctx context.Context, log *slog.Logger, opts options) error {
 		IdleTimeout:       2 * time.Minute,
 	}
 	log.Info("serving", "addr", ln.Addr().String(), "startup", time.Since(start))
-	return serveUntilShutdown(ctx, log, srv, ln, opts.drain, cp)
+	return serveUntilShutdown(ctx, log, srv, ln, opts.drain, manager, cp, subsCP)
 }
 
 // purePositives samples the per-driver labeled snippets used alongside

@@ -42,6 +42,7 @@ package etap
 import (
 	"context"
 
+	"etap/internal/alert"
 	"etap/internal/classify"
 	"etap/internal/core"
 	"etap/internal/corpus"
@@ -232,6 +233,35 @@ func DefaultRevenueLexicon() Lexicon { return rank.DefaultRevenueLexicon() }
 // (Turney's method, the paper's cited alternative to manual lexicons).
 func InduceLexicon(w *Web, posSeeds, negSeeds, candidates []string) Lexicon {
 	return rank.InduceLexicon(w.Index(), posSeeds, negSeeds, candidates)
+}
+
+// AlertManager is the streaming subsystem: incremental document
+// ingestion through a bounded worker pool, fingerprint-deduplicated
+// trigger events, and at-least-once alert delivery to subscribers.
+type AlertManager = alert.Manager
+
+// AlertConfig tunes the streaming subsystem (worker pool, queue
+// bounds, delivery retry policy, subscription set).
+type AlertConfig = alert.Config
+
+// Subscription is a standing request for alerts matching a company,
+// driver and minimum score, delivered to a webhook URL.
+type Subscription = alert.Subscription
+
+// Alert is one delivered trigger event, tagged with the subscription
+// it matched.
+type Alert = alert.Alert
+
+// IngestDocument is one document submitted to the streaming ingest
+// path. (The etap.Document name is taken by the synthetic-web corpus
+// document.)
+type IngestDocument = alert.Document
+
+// NewAlertManager wires the streaming subsystem over a trained system,
+// an event sink (internal/serve's server implements it over the lead
+// store) and a frozen web that accepts incremental pages.
+func NewAlertManager(sys *System, sink alert.Sink, w *Web, cfg AlertConfig) *AlertManager {
+	return alert.NewManager(sys, sink, w, cfg)
 }
 
 // Metrics is a binary confusion matrix with precision/recall/F1.

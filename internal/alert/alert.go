@@ -1,0 +1,392 @@
+// Package alert is ETAP's streaming subsystem — the "Electronic
+// Trigger Alert Program" finally living up to its name. The batch
+// pipeline crawls, extracts, and serves a static ranked list; this
+// package makes it proactive, the production shape Sedano's news
+// stream processor takes: documents arrive one at a time, flow through
+// the same snippet → annotate → classify → rank path, are deduplicated
+// against everything already alerted, and matching subscribers are
+// notified while the news is fresh.
+//
+// The manager owns three stages, each independently bounded:
+//
+//	ingest    a bounded queue + worker pool; a full queue rejects the
+//	          document (the HTTP layer answers 429) instead of buffering
+//	          without limit
+//	dedup     a fingerprint set (company + driver + snippet text) seeded
+//	          from the checkpointed lead store, so re-ingestion — and a
+//	          restart — never re-alerts an event already seen
+//	delivery  per-subscriber queues with at-least-once webhook delivery
+//	          under the crawler's retry/backoff/breaker policy, a
+//	          dead-letter buffer for what delivery gave up on, and an
+//	          SSE broadcast for live watchers
+package alert
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"log/slog"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"etap/internal/gather"
+	"etap/internal/obs"
+	"etap/internal/rank"
+	"etap/internal/web"
+)
+
+// Document is one unit of the ingest stream — the body of POST
+// /ingest.
+type Document struct {
+	URL   string `json:"url"`
+	Title string `json:"title,omitempty"`
+	Text  string `json:"text"`
+}
+
+// Pipeline extracts trigger events from pages across every trained
+// driver. core.System implements it (ExtractAllEvents).
+type Pipeline interface {
+	ExtractAllEvents(pages []*web.Page, threshold float64) []rank.Event
+}
+
+// Sink receives freshly extracted events. serve.Server implements it
+// over the lead store, so streamed and batch-extracted leads land in
+// the same place.
+type Sink interface {
+	AddLeads(events []rank.Event, now time.Time) int
+}
+
+// Indexer adds ingested pages to the searchable web. *web.Web
+// implements it (Ingest); a duplicate URL must return
+// web.ErrDuplicatePage.
+type Indexer interface {
+	Ingest(p web.Page) error
+}
+
+// Config tunes the manager. The zero value selects the defaults noted
+// per field.
+type Config struct {
+	// Workers is the ingest worker-pool size; 0 means 2.
+	Workers int
+	// QueueSize bounds the ingest queue; 0 means 64. A full queue
+	// rejects with ErrQueueFull (HTTP 429).
+	QueueSize int
+	// Threshold is the classifier-score floor for trigger events;
+	// 0 means 0.5.
+	Threshold float64
+	// SubscriberQueue bounds each subscriber's delivery queue; 0 means
+	// 16. A full queue dead-letters the alert.
+	SubscriberQueue int
+	// DeadLetterCap bounds the dead-letter buffer; 0 means 128. When
+	// full, the oldest entry is dropped.
+	DeadLetterCap int
+	// SSEBuffer is the per-client SSE frame buffer; 0 means 16.
+	SSEBuffer int
+	// Retry tunes webhook delivery (attempts, backoff, breaker); the
+	// zero value means gather's documented defaults.
+	Retry gather.RetryConfig
+	// Clock supplies timestamps (alert times, lead FirstSeen); nil
+	// means time.Now. Tests inject a fixed clock for determinism.
+	Clock func() time.Time
+	// Registry receives the etap_alert_* series; nil means obs.Default.
+	Registry *obs.Registry
+	// Subscriptions is the initial subscription set (typically loaded
+	// from a checkpoint); nil starts empty.
+	Subscriptions *Subscriptions
+	// Deliverer pushes alerts to webhook endpoints; nil means
+	// WebhookDeliverer over http.DefaultClient. Tests inject recorders
+	// and fault injectors.
+	Deliverer Deliverer
+	// Log receives structured progress and drop reports; nil means
+	// slog.Default.
+	Log *slog.Logger
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.QueueSize <= 0 {
+		c.QueueSize = 64
+	}
+	if c.Threshold <= 0 {
+		c.Threshold = 0.5
+	}
+	if c.Clock == nil {
+		//etaplint:ignore determinism -- wall-clock default for production; tests inject a fixed Clock
+		c.Clock = time.Now
+	}
+	if c.Subscriptions == nil {
+		c.Subscriptions = NewSubscriptions()
+	}
+	if c.Deliverer == nil {
+		c.Deliverer = &WebhookDeliverer{}
+	}
+	if c.Log == nil {
+		c.Log = slog.Default()
+	}
+	return c
+}
+
+// ErrQueueFull reports an ingest queue at capacity — the backpressure
+// signal the HTTP layer translates to 429.
+var ErrQueueFull = errors.New("alert: ingest queue full")
+
+// ErrClosed reports an enqueue after Close.
+var ErrClosed = errors.New("alert: manager closed")
+
+// ErrNotStarted reports an enqueue before Start.
+var ErrNotStarted = errors.New("alert: manager not started")
+
+// Manager runs the streaming subsystem: the ingest pool, the dedup
+// set, the dispatcher, and the SSE broadcaster.
+type Manager struct {
+	cfg      Config
+	met      *metrics
+	pipeline Pipeline
+	sink     Sink
+	indexer  Indexer
+	subs     *Subscriptions
+	dedup    *dedup
+	disp     *dispatcher
+	bcast    *Broadcaster
+
+	queue   chan Document
+	pending atomic.Int64 // documents accepted but not fully processed
+	wg      sync.WaitGroup
+	started atomic.Bool
+
+	// closeMu serializes Enqueue's send against Close's channel close:
+	// enqueues hold the read side, so Close cannot close the queue
+	// between the closed check and the send.
+	closeMu sync.RWMutex
+	closed  bool
+}
+
+// NewManager wires a manager over the extraction pipeline, the lead
+// sink, and the searchable web. Any of the three may be nil in tests
+// exercising a subset of the path.
+func NewManager(pipeline Pipeline, sink Sink, indexer Indexer, cfg Config) *Manager {
+	cfg = cfg.withDefaults()
+	met := newMetrics(cfg.Registry)
+	return &Manager{
+		cfg:      cfg,
+		met:      met,
+		pipeline: pipeline,
+		sink:     sink,
+		indexer:  indexer,
+		subs:     cfg.Subscriptions,
+		dedup:    newDedup(),
+		disp:     newDispatcher(cfg, met, cfg.Deliverer),
+		bcast:    newBroadcaster(cfg.SSEBuffer, met),
+		queue:    make(chan Document, cfg.QueueSize),
+	}
+}
+
+// Start launches the ingest workers. ctx bounds all delivery attempts:
+// cancelling it makes in-flight webhook deliveries abort instead of
+// sitting through backoff.
+func (m *Manager) Start(ctx context.Context) {
+	if !m.started.CompareAndSwap(false, true) {
+		return
+	}
+	for i := 0; i < m.cfg.Workers; i++ {
+		m.wg.Add(1)
+		go func() {
+			defer m.wg.Done()
+			for doc := range m.queue {
+				m.met.queueDepth.Set(int64(len(m.queue)))
+				m.process(ctx, doc)
+				m.pending.Add(-1)
+			}
+		}()
+	}
+}
+
+// SeedEvents marks events as already alerted without delivering
+// anything — how a restart recovers dedup state from the checkpointed
+// lead store before the first document arrives.
+func (m *Manager) SeedEvents(events []rank.Event) {
+	m.dedup.seed(events)
+}
+
+// Subscriptions exposes the subscription set (for the CRUD API and the
+// checkpointer).
+func (m *Manager) Subscriptions() *Subscriptions { return m.subs }
+
+// Broadcaster exposes the SSE fan-out (for the /alerts/stream
+// handler).
+func (m *Manager) Broadcaster() *Broadcaster { return m.bcast }
+
+// DeadLetters returns a copy of the dead-letter buffer, oldest first.
+func (m *Manager) DeadLetters() []DeadLetter { return m.disp.dead.list() }
+
+// Unsubscribe deletes a subscription and retires its delivery worker.
+func (m *Manager) Unsubscribe(id string) error {
+	if err := m.subs.Delete(id); err != nil {
+		return err
+	}
+	m.disp.stop(id)
+	return nil
+}
+
+// Enqueue offers one document to the ingest queue. A full queue
+// returns ErrQueueFull immediately — the caller decides whether to
+// shed or retry.
+func (m *Manager) Enqueue(doc Document) error {
+	if doc.URL == "" {
+		return errors.New("alert: document without URL")
+	}
+	if doc.Text == "" {
+		return errors.New("alert: document without text")
+	}
+	if !m.started.Load() {
+		return ErrNotStarted
+	}
+	m.closeMu.RLock()
+	defer m.closeMu.RUnlock()
+	if m.closed {
+		return ErrClosed
+	}
+	select {
+	case m.queue <- doc:
+		m.pending.Add(1)
+		m.met.ingested.Inc()
+		m.met.queueDepth.Set(int64(len(m.queue)))
+		return nil
+	default:
+		m.met.rejected.Inc()
+		return ErrQueueFull
+	}
+}
+
+// process runs one document through the streaming pipeline: index,
+// extract, dedup, store, fan out.
+func (m *Manager) process(ctx context.Context, doc Document) {
+	start := m.cfg.Clock()
+	defer func() {
+		m.met.ingestDur.Observe(m.cfg.Clock().Sub(start).Seconds())
+	}()
+	page := web.Page{URL: doc.URL, Host: web.HostOf(doc.URL), Title: doc.Title, Text: doc.Text}
+	if m.indexer != nil {
+		if err := m.indexer.Ingest(page); err != nil {
+			if !errors.Is(err, web.ErrDuplicatePage) {
+				m.cfg.Log.Warn("alert: indexing ingested document", "url", doc.URL, "err", err)
+				return
+			}
+			// A replayed URL is expected on a stream: extraction still
+			// runs (the text may differ), and the fingerprint dedup
+			// decides what, if anything, is new.
+			m.met.dupDocs.Inc()
+		}
+	}
+	var events []rank.Event
+	if m.pipeline != nil {
+		events = m.pipeline.ExtractAllEvents([]*web.Page{&page}, m.cfg.Threshold)
+	}
+	m.met.events.Add(uint64(len(events)))
+	fresh, dropped := m.dedup.filter(events)
+	m.met.dedupHits.Add(uint64(dropped))
+	if len(fresh) == 0 {
+		return
+	}
+	now := m.cfg.Clock()
+	if m.sink != nil {
+		m.sink.AddLeads(fresh, now)
+	}
+	for _, ev := range fresh {
+		m.fanOut(ctx, ev, now.Unix())
+	}
+}
+
+// fanOut broadcasts one fresh event to the SSE stream and enqueues it
+// to every matching webhook subscriber.
+func (m *Manager) fanOut(ctx context.Context, ev rank.Event, now int64) {
+	if frame, err := json.Marshal(Alert{Event: ev, Time: now}); err == nil {
+		m.bcast.Broadcast(frame)
+	}
+	for _, sub := range m.subs.List() {
+		if sub.WebhookURL == "" || !sub.Matches(ev) {
+			continue
+		}
+		m.disp.dispatch(ctx, sub, Alert{Subscription: sub.ID, Event: ev, Time: now})
+	}
+}
+
+// Health reports the subsystem's load for /healthz.
+type Health struct {
+	// QueueDepth and QueueCap describe the ingest queue; depth at cap
+	// means new documents are being rejected.
+	QueueDepth int `json:"ingest_queue_depth"`
+	QueueCap   int `json:"ingest_queue_cap"`
+	// DeadLetters is the dead-letter buffer occupancy.
+	DeadLetters int `json:"dead_letters"`
+	// Subscriptions is the live subscription count.
+	Subscriptions int `json:"subscriptions"`
+	// SSEClients is the connected /alerts/stream count.
+	SSEClients int `json:"sse_clients"`
+}
+
+// Reasons the subsystem reports itself degraded.
+const (
+	DegradedQueueSaturated = "ingest-queue-saturated"
+	DegradedDeadLetters    = "dead-letters-pending"
+)
+
+// Degraded lists why the subsystem is unhealthy; empty means healthy.
+func (h Health) Degraded() []string {
+	var out []string
+	if h.QueueCap > 0 && h.QueueDepth >= h.QueueCap {
+		out = append(out, DegradedQueueSaturated)
+	}
+	if h.DeadLetters > 0 {
+		out = append(out, DegradedDeadLetters)
+	}
+	return out
+}
+
+// Health snapshots the subsystem's load.
+func (m *Manager) Health() Health {
+	return Health{
+		QueueDepth:    len(m.queue),
+		QueueCap:      cap(m.queue),
+		DeadLetters:   m.disp.dead.len(),
+		Subscriptions: m.subs.Len(),
+		SSEClients:    m.bcast.Clients(),
+	}
+}
+
+// Flush blocks until every accepted document is fully processed and
+// every dispatched alert is terminal (delivered or dead-lettered), or
+// ctx expires. A test helper and a shutdown aid; new documents may
+// keep arriving while it waits.
+func (m *Manager) Flush(ctx context.Context) error {
+	for m.pending.Load() > 0 || m.disp.pending.Load() > 0 {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(time.Millisecond):
+		}
+	}
+	return nil
+}
+
+// Close drains and stops the subsystem: the ingest queue stops
+// accepting, workers finish what was queued, and delivery workers
+// drain their lanes (in-flight webhook attempts still honour the
+// Start context). Idempotent.
+func (m *Manager) Close() {
+	m.closeMu.Lock()
+	if m.closed {
+		m.closeMu.Unlock()
+		return
+	}
+	m.closed = true
+	close(m.queue)
+	m.closeMu.Unlock()
+	if m.started.Load() {
+		m.wg.Wait()
+	}
+	m.disp.close()
+}

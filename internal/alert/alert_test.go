@@ -1,0 +1,521 @@
+package alert
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"etap/internal/gather"
+	"etap/internal/obs"
+	"etap/internal/rank"
+	"etap/internal/web"
+)
+
+// fixedClock is a deterministic Clock for tests.
+func fixedClock() time.Time { return time.Unix(1_700_000_000, 0) }
+
+// stubPipeline emits one event per page whose text contains "merger",
+// attributed to Acme with the page text as snippet.
+type stubPipeline struct{ score float64 }
+
+func (p *stubPipeline) ExtractAllEvents(pages []*web.Page, threshold float64) []rank.Event {
+	score := p.score
+	if score == 0 {
+		score = 0.9
+	}
+	var out []rank.Event
+	for _, pg := range pages {
+		if !strings.Contains(pg.Text, "merger") {
+			continue
+		}
+		if score < threshold {
+			continue
+		}
+		out = append(out, rank.Event{
+			SnippetID: pg.URL + "#0",
+			Text:      pg.Text,
+			Driver:    "mergers-acquisitions",
+			Company:   "Acme",
+			Score:     score,
+		})
+	}
+	return out
+}
+
+// recordSink records every AddLeads call.
+type recordSink struct {
+	mu     sync.Mutex
+	events []rank.Event
+}
+
+func (s *recordSink) AddLeads(events []rank.Event, _ time.Time) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.events = append(s.events, events...)
+	return len(events)
+}
+
+func (s *recordSink) len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.events)
+}
+
+// scriptDeliverer is a hand-scripted Deliverer: per-subscription
+// remaining transient failures (-1 = forever), optional permanent
+// failures, and a delivery log.
+type scriptDeliverer struct {
+	mu        sync.Mutex
+	fails     map[string]int // remaining transient failures by sub ID
+	permanent map[string]bool
+	delivered []Alert
+	attempts  int
+}
+
+func newScriptDeliverer() *scriptDeliverer {
+	return &scriptDeliverer{fails: map[string]int{}, permanent: map[string]bool{}}
+}
+
+func (d *scriptDeliverer) Deliver(_ context.Context, sub Subscription, a Alert) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.attempts++
+	if d.permanent[sub.ID] {
+		return &PermanentError{Err: errors.New("endpoint rejected the alert")}
+	}
+	if n := d.fails[sub.ID]; n != 0 {
+		if n > 0 {
+			d.fails[sub.ID] = n - 1
+		}
+		return errors.New("endpoint unreachable")
+	}
+	d.delivered = append(d.delivered, a)
+	return nil
+}
+
+func (d *scriptDeliverer) deliveredAlerts() []Alert {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return append([]Alert(nil), d.delivered...)
+}
+
+func noSleep(time.Duration) {}
+
+// newTestManager wires a manager over stubs with a private registry
+// and deterministic clock; the caller owns Close.
+func newTestManager(t *testing.T, cfg Config, deliver Deliverer) (*Manager, *recordSink) {
+	t.Helper()
+	sink := &recordSink{}
+	w := web.New()
+	w.Freeze()
+	cfg.Clock = fixedClock
+	cfg.Registry = obs.NewRegistry()
+	cfg.Deliverer = deliver
+	if cfg.Retry.IsZero() {
+		cfg.Retry = gather.RetryConfig{MaxAttempts: 3, Sleep: noSleep, AttemptTimeout: -1}
+	}
+	m := NewManager(&stubPipeline{}, sink, w, cfg)
+	m.Start(context.Background())
+	t.Cleanup(m.Close)
+	return m, sink
+}
+
+func flush(t *testing.T, m *Manager) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := m.Flush(ctx); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+}
+
+func TestIngestExtractsStoresAndDelivers(t *testing.T) {
+	deliver := newScriptDeliverer()
+	m, sink := newTestManager(t, Config{}, deliver)
+	sub, err := m.Subscriptions().Add(Subscription{
+		Company: "Acme", MinScore: 0.5, WebhookURL: "http://crm.example.com/hook",
+	})
+	if err != nil {
+		t.Fatalf("subscribe: %v", err)
+	}
+	if err := m.Enqueue(Document{URL: "http://news.example.com/1", Text: "Acme announced a merger today."}); err != nil {
+		t.Fatalf("enqueue: %v", err)
+	}
+	flush(t, m)
+	if sink.len() != 1 {
+		t.Fatalf("sink got %d events, want 1", sink.len())
+	}
+	got := deliver.deliveredAlerts()
+	if len(got) != 1 {
+		t.Fatalf("delivered %d alerts, want 1: %+v", len(got), got)
+	}
+	if got[0].Subscription != sub.ID || got[0].Event.Company != "Acme" {
+		t.Fatalf("alert = %+v", got[0])
+	}
+	if got[0].Time != fixedClock().Unix() {
+		t.Fatalf("alert time = %d", got[0].Time)
+	}
+}
+
+func TestReingestionIsIdempotent(t *testing.T) {
+	deliver := newScriptDeliverer()
+	m, sink := newTestManager(t, Config{}, deliver)
+	if _, err := m.Subscriptions().Add(Subscription{WebhookURL: "http://crm.example.com/hook"}); err != nil {
+		t.Fatalf("subscribe: %v", err)
+	}
+	doc := Document{URL: "http://news.example.com/1", Text: "Acme announced a merger today."}
+	for i := 0; i < 3; i++ {
+		if err := m.Enqueue(doc); err != nil {
+			t.Fatalf("enqueue %d: %v", i, err)
+		}
+		flush(t, m)
+	}
+	// Same story syndicated under a fresh URL: still one alert.
+	if err := m.Enqueue(Document{URL: "http://mirror.example.com/1", Text: doc.Text}); err != nil {
+		t.Fatalf("enqueue mirror: %v", err)
+	}
+	flush(t, m)
+	if sink.len() != 1 {
+		t.Fatalf("sink got %d events, want 1", sink.len())
+	}
+	if n := len(deliver.deliveredAlerts()); n != 1 {
+		t.Fatalf("delivered %d alerts, want 1", n)
+	}
+}
+
+func TestSeedEventsSuppressesRedelivery(t *testing.T) {
+	deliver := newScriptDeliverer()
+	m, sink := newTestManager(t, Config{}, deliver)
+	m.SeedEvents([]rank.Event{{
+		Text: "Acme announced a merger today.", Driver: "mergers-acquisitions", Company: "Acme",
+	}})
+	if err := m.Enqueue(Document{URL: "http://news.example.com/1", Text: "Acme announced a merger today."}); err != nil {
+		t.Fatalf("enqueue: %v", err)
+	}
+	flush(t, m)
+	if sink.len() != 0 || len(deliver.deliveredAlerts()) != 0 {
+		t.Fatalf("seeded event re-alerted: sink=%d delivered=%d", sink.len(), len(deliver.deliveredAlerts()))
+	}
+}
+
+func TestEnqueueBackpressure(t *testing.T) {
+	deliver := newScriptDeliverer()
+	sink := &recordSink{}
+	cfg := Config{QueueSize: 1, Workers: 1, Clock: fixedClock,
+		Registry: obs.NewRegistry(), Deliverer: deliver,
+		Retry: gather.RetryConfig{MaxAttempts: 1, Sleep: noSleep, AttemptTimeout: -1}}
+	m := NewManager(&stubPipeline{}, sink, nil, cfg)
+	// Not started: the queue fills and then rejects.
+	if err := m.Enqueue(Document{URL: "http://n/1", Text: "a merger"}); err != ErrNotStarted {
+		t.Fatalf("enqueue before start: %v", err)
+	}
+	m.Start(context.Background())
+	defer m.Close()
+	// Stall the single worker with a slow pipeline? Simpler: enqueue
+	// faster than one bounded slot drains is racy, so drive the queue
+	// state directly: fill the channel while workers are busy cannot be
+	// forced deterministically here — instead verify the closed path
+	// and the validation errors, and leave saturation to the health
+	// test, which controls the queue without workers.
+	if err := m.Enqueue(Document{Text: "no url"}); err == nil {
+		t.Fatal("document without URL accepted")
+	}
+	if err := m.Enqueue(Document{URL: "http://n/2"}); err == nil {
+		t.Fatal("document without text accepted")
+	}
+	m.Close()
+	if err := m.Enqueue(Document{URL: "http://n/3", Text: "x"}); err != ErrClosed {
+		t.Fatalf("enqueue after close: %v", err)
+	}
+}
+
+func TestQueueFullRejects(t *testing.T) {
+	deliver := newScriptDeliverer()
+	cfg := Config{QueueSize: 2, Workers: 1, Clock: fixedClock,
+		Registry: obs.NewRegistry(), Deliverer: deliver,
+		Retry: gather.RetryConfig{MaxAttempts: 1, Sleep: noSleep, AttemptTimeout: -1}}
+	m := NewManager(&stubPipeline{}, &recordSink{}, nil, cfg)
+	// Never started: no worker drains, so the third enqueue must see a
+	// full queue and bounce — after Start below, the queued documents
+	// process normally.
+	m.started.Store(true)
+	if err := m.Enqueue(Document{URL: "http://n/1", Text: "a"}); err != nil {
+		t.Fatalf("enqueue 1: %v", err)
+	}
+	if err := m.Enqueue(Document{URL: "http://n/2", Text: "b"}); err != nil {
+		t.Fatalf("enqueue 2: %v", err)
+	}
+	if err := m.Enqueue(Document{URL: "http://n/3", Text: "c"}); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("enqueue 3: %v, want ErrQueueFull", err)
+	}
+	if h := m.Health(); h.QueueDepth != 2 || h.QueueCap != 2 {
+		t.Fatalf("health = %+v", h)
+	}
+	if d := m.Health().Degraded(); len(d) != 1 || d[0] != DegradedQueueSaturated {
+		t.Fatalf("degraded = %v", d)
+	}
+	m.started.Store(false)
+	m.Start(context.Background())
+	defer m.Close()
+	flush(t, m)
+}
+
+func TestDeliveryRetriesThenSucceeds(t *testing.T) {
+	deliver := newScriptDeliverer()
+	m, _ := newTestManager(t, Config{}, deliver)
+	sub, _ := m.Subscriptions().Add(Subscription{WebhookURL: "http://crm.example.com/hook"})
+	deliver.fails[sub.ID] = 2
+	if err := m.Enqueue(Document{URL: "http://n/1", Text: "a merger closed"}); err != nil {
+		t.Fatalf("enqueue: %v", err)
+	}
+	flush(t, m)
+	if n := len(deliver.deliveredAlerts()); n != 1 {
+		t.Fatalf("delivered %d alerts, want 1", n)
+	}
+	if deliver.attempts != 3 {
+		t.Fatalf("attempts = %d, want 3", deliver.attempts)
+	}
+	if len(m.DeadLetters()) != 0 {
+		t.Fatalf("dead letters: %+v", m.DeadLetters())
+	}
+}
+
+func TestDeliveryExhaustionDeadLetters(t *testing.T) {
+	deliver := newScriptDeliverer()
+	m, _ := newTestManager(t, Config{}, deliver)
+	sub, _ := m.Subscriptions().Add(Subscription{WebhookURL: "http://dead.example.com/hook"})
+	deliver.fails[sub.ID] = -1
+	if err := m.Enqueue(Document{URL: "http://n/1", Text: "a merger collapsed"}); err != nil {
+		t.Fatalf("enqueue: %v", err)
+	}
+	flush(t, m)
+	dead := m.DeadLetters()
+	if len(dead) != 1 {
+		t.Fatalf("dead letters = %+v, want 1", dead)
+	}
+	if dead[0].Reason != gather.FailExhausted || dead[0].Attempts != 3 {
+		t.Fatalf("dead letter = %+v", dead[0])
+	}
+	if dead[0].Alert.Subscription != sub.ID {
+		t.Fatalf("dead letter = %+v", dead[0])
+	}
+	if d := m.Health().Degraded(); len(d) != 1 || d[0] != DegradedDeadLetters {
+		t.Fatalf("degraded = %v", d)
+	}
+}
+
+func TestPermanentDeliveryFailureSkipsRetries(t *testing.T) {
+	deliver := newScriptDeliverer()
+	m, _ := newTestManager(t, Config{}, deliver)
+	sub, _ := m.Subscriptions().Add(Subscription{WebhookURL: "http://bad.example.com/hook"})
+	deliver.permanent[sub.ID] = true
+	if err := m.Enqueue(Document{URL: "http://n/1", Text: "a merger approved"}); err != nil {
+		t.Fatalf("enqueue: %v", err)
+	}
+	flush(t, m)
+	dead := m.DeadLetters()
+	if len(dead) != 1 || dead[0].Reason != gather.FailNotFound {
+		t.Fatalf("dead letters = %+v", dead)
+	}
+	if deliver.attempts != 1 {
+		t.Fatalf("attempts = %d, want 1 (no retries on permanent)", deliver.attempts)
+	}
+}
+
+func TestSubscriptionFiltersAndFanOut(t *testing.T) {
+	deliver := newScriptDeliverer()
+	m, _ := newTestManager(t, Config{}, deliver)
+	matching, _ := m.Subscriptions().Add(Subscription{
+		Company: "Acme", Driver: "mergers-acquisitions", WebhookURL: "http://a.example.com/h"})
+	if _, err := m.Subscriptions().Add(Subscription{
+		Company: "Globex", WebhookURL: "http://b.example.com/h"}); err != nil {
+		t.Fatalf("subscribe: %v", err)
+	}
+	if _, err := m.Subscriptions().Add(Subscription{
+		MinScore: 0.95, WebhookURL: "http://c.example.com/h"}); err != nil {
+		t.Fatalf("subscribe: %v", err)
+	}
+	if err := m.Enqueue(Document{URL: "http://n/1", Text: "Acme finalized the merger."}); err != nil {
+		t.Fatalf("enqueue: %v", err)
+	}
+	flush(t, m)
+	got := deliver.deliveredAlerts()
+	if len(got) != 1 || got[0].Subscription != matching.ID {
+		t.Fatalf("delivered = %+v, want only %s", got, matching.ID)
+	}
+}
+
+func TestUnsubscribeStopsDelivery(t *testing.T) {
+	deliver := newScriptDeliverer()
+	m, _ := newTestManager(t, Config{}, deliver)
+	sub, _ := m.Subscriptions().Add(Subscription{WebhookURL: "http://a.example.com/h"})
+	if err := m.Unsubscribe(sub.ID); err != nil {
+		t.Fatalf("unsubscribe: %v", err)
+	}
+	if err := m.Unsubscribe(sub.ID); !errors.Is(err, ErrUnknownSubscription) {
+		t.Fatalf("double unsubscribe: %v", err)
+	}
+	if err := m.Enqueue(Document{URL: "http://n/1", Text: "another merger"}); err != nil {
+		t.Fatalf("enqueue: %v", err)
+	}
+	flush(t, m)
+	if n := len(deliver.deliveredAlerts()); n != 0 {
+		t.Fatalf("delivered %d alerts after unsubscribe", n)
+	}
+}
+
+func TestSSEBroadcast(t *testing.T) {
+	deliver := newScriptDeliverer()
+	m, _ := newTestManager(t, Config{}, deliver)
+	ch, cancel := m.Broadcaster().Subscribe()
+	defer cancel()
+	if err := m.Enqueue(Document{URL: "http://n/1", Text: "a merger signed"}); err != nil {
+		t.Fatalf("enqueue: %v", err)
+	}
+	flush(t, m)
+	select {
+	case frame := <-ch:
+		if !strings.Contains(string(frame), "merger signed") {
+			t.Fatalf("frame = %s", frame)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("no SSE frame within 2s")
+	}
+	if m.Health().SSEClients != 1 {
+		t.Fatalf("sse clients = %d", m.Health().SSEClients)
+	}
+	cancel()
+	cancel() // idempotent
+	if m.Health().SSEClients != 0 {
+		t.Fatalf("sse clients after cancel = %d", m.Health().SSEClients)
+	}
+}
+
+func TestSubscriptionPersistenceRoundTrip(t *testing.T) {
+	ss := NewSubscriptions()
+	a, _ := ss.Add(Subscription{Company: "Acme", MinScore: 0.7, WebhookURL: "http://a/h", Created: 100})
+	b, _ := ss.Add(Subscription{Driver: "new-offices"})
+	if a.ID != "sub-1" || b.ID != "sub-2" {
+		t.Fatalf("assigned IDs %q, %q", a.ID, b.ID)
+	}
+	path := filepath.Join(t.TempDir(), "subs.jsonl")
+	rev, err := ss.SaveFile(path)
+	if err != nil || rev != ss.Revision() {
+		t.Fatalf("save: rev=%d err=%v", rev, err)
+	}
+	loaded, err := LoadSubscriptions(path)
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if got := loaded.List(); len(got) != 2 || got[0] != a || got[1] != b {
+		t.Fatalf("round trip = %+v", got)
+	}
+	// Auto-assignment resumes past the loaded IDs.
+	c, _ := loaded.Add(Subscription{})
+	if c.ID != "sub-3" {
+		t.Fatalf("resumed ID = %q", c.ID)
+	}
+	// Missing file: empty set.
+	empty, err := LoadSubscriptions(filepath.Join(t.TempDir(), "missing.jsonl"))
+	if err != nil || empty.Len() != 0 {
+		t.Fatalf("missing file: %d, %v", empty.Len(), err)
+	}
+}
+
+func TestSubscriptionValidation(t *testing.T) {
+	ss := NewSubscriptions()
+	if _, err := ss.Add(Subscription{MinScore: 1.5}); err == nil {
+		t.Fatal("out-of-range minScore accepted")
+	}
+	if _, err := ss.Add(Subscription{WebhookURL: "not a url"}); err == nil {
+		t.Fatal("relative webhook accepted")
+	}
+	if _, err := ss.Add(Subscription{ID: "x"}); err != nil {
+		t.Fatalf("explicit ID rejected: %v", err)
+	}
+	if _, err := ss.Add(Subscription{ID: "x"}); err == nil {
+		t.Fatal("duplicate ID accepted")
+	}
+	if _, err := ss.Get("nope"); !errors.Is(err, ErrUnknownSubscription) {
+		t.Fatal("unknown get")
+	}
+}
+
+func TestFingerprintIgnoresURLAndAliases(t *testing.T) {
+	base := rank.Event{SnippetID: "http://a/1#0", Text: "Acme bought Globex.",
+		Driver: "mergers-acquisitions", Company: "Acme Inc."}
+	mirrored := base
+	mirrored.SnippetID = "http://b/9#3"
+	if Fingerprint(base) != Fingerprint(mirrored) {
+		t.Fatal("fingerprint depends on snippet ID")
+	}
+	aliased := base
+	aliased.Company = "Acme Incorporated"
+	if Fingerprint(base) != Fingerprint(aliased) {
+		t.Fatal("fingerprint not canonical over company aliases")
+	}
+	other := base
+	other.Driver = "new-offices"
+	if Fingerprint(base) == Fingerprint(other) {
+		t.Fatal("fingerprint collides across drivers")
+	}
+}
+
+func TestHealthDegradedTable(t *testing.T) {
+	cases := []struct {
+		name string
+		h    Health
+		want []string
+	}{
+		{"healthy", Health{QueueDepth: 3, QueueCap: 64}, nil},
+		{"saturated", Health{QueueDepth: 64, QueueCap: 64}, []string{DegradedQueueSaturated}},
+		{"dead letters", Health{QueueCap: 64, DeadLetters: 2}, []string{DegradedDeadLetters}},
+		{"both", Health{QueueDepth: 64, QueueCap: 64, DeadLetters: 1},
+			[]string{DegradedQueueSaturated, DegradedDeadLetters}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := tc.h.Degraded()
+			if fmt.Sprint(got) != fmt.Sprint(tc.want) {
+				t.Fatalf("Degraded() = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestConcurrentIngestIsRaceClean(t *testing.T) {
+	deliver := newScriptDeliverer()
+	m, sink := newTestManager(t, Config{Workers: 4, QueueSize: 256, SubscriberQueue: 256}, deliver)
+	if _, err := m.Subscriptions().Add(Subscription{WebhookURL: "http://crm.example.com/h"}); err != nil {
+		t.Fatalf("subscribe: %v", err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				doc := Document{
+					URL:  fmt.Sprintf("http://stream.example.com/%d-%d", g, i),
+					Text: fmt.Sprintf("Story %d-%d: a merger was announced.", g, i),
+				}
+				for m.Enqueue(doc) == ErrQueueFull {
+					time.Sleep(time.Millisecond)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	flush(t, m)
+	if sink.len() != 80 {
+		t.Fatalf("sink got %d events, want 80", sink.len())
+	}
+	if n := len(deliver.deliveredAlerts()); n != 80 {
+		t.Fatalf("delivered %d alerts, want 80", n)
+	}
+}

@@ -1,0 +1,139 @@
+package alert
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"etap/internal/gather"
+	"etap/internal/obs"
+	"etap/internal/web"
+)
+
+// benchDocCount is the document stream the ingest harness pushes
+// through the manager; every document carries a distinct trigger
+// sentence so each one exercises the full extract-dedup-store-fanout
+// path rather than short-circuiting at the fingerprint.
+const benchDocCount = 2000
+
+// runIngest pushes docs documents through a manager with the given
+// worker-pool size and one matching subscriber, returning the wall time
+// from first Enqueue to a drained Flush plus the stored-event and
+// delivered-alert counts.
+func runIngest(tb testing.TB, workers, docs int) (time.Duration, int, int) {
+	tb.Helper()
+	sink := &recordSink{}
+	w := web.New()
+	w.Freeze()
+	deliver := newScriptDeliverer()
+	subs := NewSubscriptions()
+	if _, err := subs.Add(Subscription{
+		Company: "Acme", Driver: "mergers-acquisitions",
+		WebhookURL: "https://crm.example/hook",
+	}); err != nil {
+		tb.Fatal(err)
+	}
+	m := NewManager(&stubPipeline{}, sink, w, Config{
+		Workers:         workers,
+		QueueSize:       docs + 8,
+		SubscriberQueue: docs + 8,
+		Registry:        obs.NewRegistry(),
+		Subscriptions:   subs,
+		Deliverer:       deliver,
+		Retry:           gather.RetryConfig{MaxAttempts: 1, Sleep: noSleep, AttemptTimeout: -1},
+	})
+	m.Start(context.Background())
+	defer m.Close()
+
+	start := time.Now()
+	for i := 0; i < docs; i++ {
+		err := m.Enqueue(Document{
+			URL:  fmt.Sprintf("https://bench.example/doc-%d", i),
+			Text: fmt.Sprintf("Acme announced merger number %d with a regional competitor.", i),
+		})
+		if err != nil {
+			tb.Fatal(err)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	if err := m.Flush(ctx); err != nil {
+		tb.Fatal(err)
+	}
+	return time.Since(start), sink.len(), len(deliver.deliveredAlerts())
+}
+
+// BenchmarkIngest measures end-to-end ingest throughput (enqueue →
+// extract → dedup → store → fan-out → deliver) at one worker and at
+// GOMAXPROCS workers.
+func BenchmarkIngest(b *testing.B) {
+	for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				runIngest(b, workers, 500)
+			}
+		})
+	}
+}
+
+// alertBenchReport is the schema of BENCH_alert.json — the ingest
+// throughput record for the streaming subsystem, refreshed by
+// `make bench-alert`.
+type alertBenchReport struct {
+	GeneratedAt string  `json:"generated_at"`
+	GoMaxProcs  int     `json:"gomaxprocs"`
+	Docs        int     `json:"docs"`
+	Workers     int     `json:"workers"`
+	SingleDPS   float64 `json:"single_worker_docs_per_sec"`
+	PooledDPS   float64 `json:"pooled_docs_per_sec"`
+	Speedup     float64 `json:"speedup"`
+	Stored      int     `json:"events_stored"`
+	Delivered   int     `json:"alerts_delivered"`
+}
+
+// TestAlertBenchHarness measures single-worker vs pooled ingest
+// throughput over a synthetic trigger-dense document stream and writes
+// BENCH_alert.json to the path named by ETAP_BENCH_ALERT. Skipped
+// unless that variable is set — run it via `make bench-alert`.
+func TestAlertBenchHarness(t *testing.T) {
+	out := os.Getenv("ETAP_BENCH_ALERT")
+	if out == "" {
+		t.Skip("set ETAP_BENCH_ALERT=<output path> (or run `make bench-alert`)")
+	}
+	workers := runtime.GOMAXPROCS(0)
+
+	singleDur, stored1, delivered1 := runIngest(t, 1, benchDocCount)
+	pooledDur, storedN, deliveredN := runIngest(t, workers, benchDocCount)
+	if stored1 != benchDocCount || storedN != benchDocCount {
+		t.Fatalf("stored %d/%d events, want %d each", stored1, storedN, benchDocCount)
+	}
+	if delivered1 != benchDocCount || deliveredN != benchDocCount {
+		t.Fatalf("delivered %d/%d alerts, want %d each", delivered1, deliveredN, benchDocCount)
+	}
+
+	dps := func(d time.Duration) float64 { return float64(benchDocCount) / d.Seconds() }
+	rep := alertBenchReport{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoMaxProcs:  workers,
+		Docs:        benchDocCount,
+		Workers:     workers,
+		SingleDPS:   dps(singleDur),
+		PooledDPS:   dps(pooledDur),
+		Speedup:     singleDur.Seconds() / pooledDur.Seconds(),
+		Stored:      storedN,
+		Delivered:   deliveredN,
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("ingest: 1 worker %.0f docs/s, %d workers %.0f docs/s (%.2fx), %d alerts delivered",
+		rep.SingleDPS, workers, rep.PooledDPS, rep.Speedup, rep.Delivered)
+}

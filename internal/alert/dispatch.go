@@ -1,0 +1,246 @@
+// Delivery fan-out: one bounded queue and one worker per subscriber,
+// so a slow or dead webhook endpoint delays only its own subscriber.
+// Each worker owns a gather.RetryPolicy — the same retry/backoff/
+// circuit-breaker engine the crawler uses — keyed by endpoint host,
+// giving webhook delivery at-least-once semantics with exponential
+// backoff and a breaker that stops hammering a dead endpoint. Alerts
+// that exhaust their retry budget (or find their queue full) land in a
+// bounded dead-letter buffer instead of vanishing.
+package alert
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+
+	"etap/internal/gather"
+	"etap/internal/rank"
+	"etap/internal/web"
+)
+
+// Alert is one delivered notification: the event, the subscription it
+// matched, and when it fired (Unix seconds).
+type Alert struct {
+	Subscription string     `json:"subscription,omitempty"`
+	Event        rank.Event `json:"event"`
+	Time         int64      `json:"time"`
+}
+
+// Deliverer pushes one alert to a subscriber's endpoint. Failures are
+// retried unless wrapped in PermanentError; implementations must
+// honour ctx (each attempt runs under the retry policy's per-attempt
+// deadline).
+type Deliverer interface {
+	Deliver(ctx context.Context, sub Subscription, a Alert) error
+}
+
+// PermanentError marks a delivery failure retrying cannot fix — a 4xx
+// response, a malformed endpoint. The dispatcher abandons the alert
+// without burning its retry budget or the endpoint's breaker.
+type PermanentError struct{ Err error }
+
+// Error implements error.
+func (e *PermanentError) Error() string { return "permanent: " + e.Err.Error() }
+
+// Unwrap exposes the underlying error.
+func (e *PermanentError) Unwrap() error { return e.Err }
+
+// deliveryTransient classifies delivery errors for the retry policy:
+// everything is retryable except an explicit PermanentError and
+// parent-context cancellation (shutdown must not sit through backoff).
+func deliveryTransient(err error) bool {
+	var pe *PermanentError
+	return !errors.As(err, &pe) && !errors.Is(err, context.Canceled)
+}
+
+// DeadLetter is one alert the dispatcher gave up on, and why.
+type DeadLetter struct {
+	Alert Alert `json:"alert"`
+	// Reason classifies the failure: gather.FailExhausted,
+	// gather.FailBreakerOpen, gather.FailNotFound, or "queue-full".
+	Reason string `json:"reason"`
+	// Err is the last underlying error's message, when any.
+	Err string `json:"err,omitempty"`
+	// Attempts is how many delivery attempts were made.
+	Attempts int `json:"attempts"`
+}
+
+// ReasonQueueFull marks an alert dead-lettered because its
+// subscriber's queue was full — backpressure, not endpoint failure.
+const ReasonQueueFull = "queue-full"
+
+// deadLetters is a bounded FIFO of abandoned alerts; when full, the
+// oldest entry is dropped to admit the newest.
+type deadLetters struct {
+	mu      sync.Mutex
+	buf     []DeadLetter
+	cap     int
+	dropped int
+	met     *metrics
+}
+
+func newDeadLetters(cap int, met *metrics) *deadLetters {
+	if cap <= 0 {
+		cap = 128
+	}
+	return &deadLetters{cap: cap, met: met}
+}
+
+func (d *deadLetters) add(dl DeadLetter) {
+	d.mu.Lock()
+	d.buf = append(d.buf, dl)
+	if len(d.buf) > d.cap {
+		d.buf = d.buf[1:]
+		d.dropped++
+	}
+	depth := len(d.buf)
+	d.mu.Unlock()
+	d.met.deadTotal.Inc()
+	d.met.deadDepth.Set(int64(depth))
+}
+
+// list returns a copy of the buffer, oldest first.
+func (d *deadLetters) list() []DeadLetter {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return append([]DeadLetter(nil), d.buf...)
+}
+
+func (d *deadLetters) len() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.buf)
+}
+
+// dispatcher routes alerts to per-subscriber workers.
+type dispatcher struct {
+	cfg     Config
+	met     *metrics
+	deliver Deliverer
+	dead    *deadLetters
+
+	mu      sync.Mutex
+	workers map[string]*subWorker
+	closed  bool
+
+	pending atomic.Int64 // alerts enqueued but not yet terminal
+	wg      sync.WaitGroup
+}
+
+// subWorker is one subscriber's delivery lane: a bounded queue drained
+// by a single goroutine owning the subscriber's retry policy.
+type subWorker struct {
+	sub Subscription
+	ch  chan Alert
+}
+
+func newDispatcher(cfg Config, met *metrics, deliver Deliverer) *dispatcher {
+	return &dispatcher{
+		cfg:     cfg,
+		met:     met,
+		deliver: deliver,
+		dead:    newDeadLetters(cfg.DeadLetterCap, met),
+		workers: make(map[string]*subWorker),
+	}
+}
+
+// dispatch offers the alert to its subscriber's queue, spawning the
+// worker on first use. A full queue dead-letters the alert instead of
+// blocking the ingest pipeline.
+func (d *dispatcher) dispatch(ctx context.Context, sub Subscription, a Alert) {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		d.dead.add(DeadLetter{Alert: a, Reason: ReasonQueueFull, Err: "dispatcher closed"})
+		return
+	}
+	w := d.workers[sub.ID]
+	if w == nil {
+		size := d.cfg.SubscriberQueue
+		if size <= 0 {
+			size = 16
+		}
+		w = &subWorker{sub: sub, ch: make(chan Alert, size)}
+		d.workers[sub.ID] = w
+		d.wg.Add(1)
+		go d.run(ctx, w)
+	}
+	select {
+	case w.ch <- a:
+		d.pending.Add(1)
+		d.met.fanout.Inc()
+		d.met.subQueue.Add(1)
+		d.mu.Unlock()
+	default:
+		d.mu.Unlock()
+		d.met.subDropped.Inc()
+		d.dead.add(DeadLetter{Alert: a, Reason: ReasonQueueFull})
+	}
+}
+
+// run drains one subscriber's queue. Each worker owns its policy:
+// breaker state and the jitter stream are per-subscriber, and
+// RetryPolicy is not safe for concurrent use.
+func (d *dispatcher) run(ctx context.Context, w *subWorker) {
+	defer d.wg.Done()
+	policy := gather.NewRetryPolicy(d.cfg.Retry, d.met.policy, deliveryTransient)
+	defer policy.Close()
+	for a := range w.ch {
+		d.met.subQueue.Add(-1)
+		d.attempt(ctx, policy, w.sub, a)
+		d.pending.Add(-1)
+	}
+}
+
+// attempt runs one delivery under the subscriber's retry policy, keyed
+// by the webhook endpoint's host so one dead endpoint trips one
+// breaker.
+func (d *dispatcher) attempt(ctx context.Context, policy *gather.RetryPolicy, sub Subscription, a Alert) {
+	start := d.cfg.Clock()
+	out := policy.Execute(ctx, web.HostOf(sub.WebhookURL), func(ctx context.Context) error {
+		d.met.attempts.Inc()
+		return d.deliver.Deliver(ctx, sub, a)
+	})
+	d.met.deliveryDur.Observe(d.cfg.Clock().Sub(start).Seconds())
+	if out.Err == nil && out.Reason == "" {
+		d.met.deliveries.Inc()
+		return
+	}
+	d.met.failures.Inc()
+	dl := DeadLetter{Alert: a, Reason: out.Reason, Attempts: out.Attempts}
+	if out.Err != nil {
+		dl.Err = out.Err.Error()
+	}
+	d.dead.add(dl)
+}
+
+// stop removes one subscriber's worker, letting it drain in the
+// background; used when a subscription is deleted.
+func (d *dispatcher) stop(id string) {
+	d.mu.Lock()
+	w := d.workers[id]
+	delete(d.workers, id)
+	d.mu.Unlock()
+	if w != nil {
+		close(w.ch)
+	}
+}
+
+// close stops accepting alerts, drains every queue, and waits for the
+// workers (and their breaker state) to wind down.
+func (d *dispatcher) close() {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return
+	}
+	d.closed = true
+	workers := d.workers
+	d.workers = make(map[string]*subWorker)
+	d.mu.Unlock()
+	for _, w := range workers {
+		close(w.ch)
+	}
+	d.wg.Wait()
+}

@@ -1,0 +1,77 @@
+// Event fingerprinting: the dedup key that makes re-ingestion
+// idempotent. The paper's program alerts a salesperson once per
+// trigger event; a stream that replays a document (re-crawl, retried
+// POST, restarted feed) must not alert twice. The fingerprint hashes
+// what makes an event the same event — the canonical company, the
+// sales driver, and the snippet text — so the same news re-ingested
+// under any URL stays one alert, while a new event for the same
+// company fires again.
+package alert
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sync"
+
+	"etap/internal/rank"
+)
+
+// Fingerprint derives the stable dedup key of an event: an FNV-1a hash
+// over driver, canonical company, and snippet text. Snippet IDs are
+// deliberately excluded — they embed the document URL, and the same
+// story syndicated under two URLs is still one trigger event.
+func Fingerprint(ev rank.Event) string {
+	h := fnv.New64a()
+	h.Write([]byte(ev.Driver))
+	h.Write([]byte{0})
+	h.Write([]byte(rank.Canonical(ev.Company)))
+	h.Write([]byte{0})
+	h.Write([]byte(ev.Text))
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// dedup is a concurrency-safe fingerprint set.
+type dedup struct {
+	mu   sync.Mutex
+	seen map[string]bool
+}
+
+func newDedup() *dedup {
+	return &dedup{seen: make(map[string]bool)}
+}
+
+// filter returns the events whose fingerprints are fresh, marking them
+// seen, and the count of duplicates dropped. Within one call a
+// repeated fingerprint counts as a duplicate too.
+func (d *dedup) filter(events []rank.Event) (fresh []rank.Event, dropped int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for _, ev := range events {
+		fp := Fingerprint(ev)
+		if d.seen[fp] {
+			dropped++
+			continue
+		}
+		d.seen[fp] = true
+		fresh = append(fresh, ev)
+	}
+	return fresh, dropped
+}
+
+// seed marks events as already alerted without emitting anything —
+// how a restarted process recovers its dedup state from the
+// checkpointed lead store.
+func (d *dedup) seed(events []rank.Event) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for _, ev := range events {
+		d.seen[Fingerprint(ev)] = true
+	}
+}
+
+// size returns the number of distinct fingerprints seen.
+func (d *dedup) size() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.seen)
+}

@@ -1,0 +1,94 @@
+// Alert-subsystem instrumentation: every stage of the streaming path —
+// ingestion, extraction, dedup, fan-out, delivery, dead-lettering, SSE —
+// reports into an etap_alert_* series so an operator can see the
+// pipeline breathe (and tell a quiet stream from a wedged one).
+package alert
+
+import (
+	"etap/internal/gather"
+	"etap/internal/obs"
+)
+
+// metrics bundles the alert series for one manager. Registration is
+// get-or-create, so managers sharing a registry share series.
+type metrics struct {
+	ingested    *obs.Counter   // documents accepted into the queue
+	rejected    *obs.Counter   // documents bounced on a full queue
+	dupDocs     *obs.Counter   // re-ingested URLs (web already held them)
+	ingestDur   *obs.Histogram // per-document pipeline latency
+	queueDepth  *obs.Gauge     // ingest queue occupancy
+	events      *obs.Counter   // trigger events extracted from the stream
+	dedupHits   *obs.Counter   // events dropped by fingerprint dedup
+	fanout      *obs.Counter   // alerts enqueued to subscriber queues
+	subQueue    *obs.Gauge     // occupancy summed over subscriber queues
+	subDropped  *obs.Counter   // alerts bounced on a full subscriber queue
+	attempts    *obs.Counter   // delivery attempts (first tries + retries)
+	deliveries  *obs.Counter   // successful deliveries
+	failures    *obs.Counter   // deliveries abandoned after retry exhaustion
+	deliveryDur *obs.Histogram // per-delivery wall time including retries
+	deadTotal   *obs.Counter   // dead-lettered alerts, cumulative
+	deadDepth   *obs.Gauge     // dead-letter buffer occupancy
+	sseClients  *obs.Gauge     // connected SSE streams
+	sseDropped  *obs.Counter   // SSE frames dropped on slow clients
+	policy      gather.PolicyMetrics
+}
+
+func newMetrics(reg *obs.Registry) *metrics {
+	if reg == nil {
+		reg = obs.Default
+	}
+	return &metrics{
+		ingested: reg.Counter("etap_alert_ingested_docs_total",
+			"Documents accepted by POST /ingest."),
+		rejected: reg.Counter("etap_alert_ingest_rejected_total",
+			"Documents rejected because the ingest queue was full."),
+		dupDocs: reg.Counter("etap_alert_duplicate_docs_total",
+			"Re-ingested documents whose URL the web already held."),
+		ingestDur: reg.Histogram("etap_alert_ingest_duration_seconds",
+			"Per-document streaming-pipeline latency (index, extract, dedup, store).", nil),
+		queueDepth: reg.Gauge("etap_alert_ingest_queue_depth",
+			"Documents waiting in the ingest queue."),
+		events: reg.Counter("etap_alert_events_total",
+			"Trigger events extracted from ingested documents."),
+		dedupHits: reg.Counter("etap_alert_dedup_hits_total",
+			"Events dropped because their fingerprint was already seen."),
+		fanout: reg.Counter("etap_alert_fanout_total",
+			"Alerts enqueued to subscriber delivery queues."),
+		subQueue: reg.Gauge("etap_alert_subscriber_queue_depth",
+			"Alerts waiting across all subscriber delivery queues."),
+		subDropped: reg.Counter("etap_alert_subscriber_dropped_total",
+			"Alerts dead-lettered because a subscriber queue was full."),
+		attempts: reg.Counter("etap_alert_delivery_attempts_total",
+			"Webhook delivery attempts, including retries."),
+		deliveries: reg.Counter("etap_alert_deliveries_total",
+			"Alerts delivered successfully."),
+		failures: reg.Counter("etap_alert_delivery_failures_total",
+			"Alerts abandoned after exhausting the retry budget."),
+		deliveryDur: reg.Histogram("etap_alert_delivery_duration_seconds",
+			"Per-alert delivery wall time including retries and backoff.", nil),
+		deadTotal: reg.Counter("etap_alert_dead_letters_total",
+			"Alerts moved to the dead-letter buffer, cumulative."),
+		deadDepth: reg.Gauge("etap_alert_dead_letters",
+			"Alerts currently held in the dead-letter buffer."),
+		sseClients: reg.Gauge("etap_alert_sse_clients",
+			"Connected /alerts/stream clients."),
+		sseDropped: reg.Counter("etap_alert_sse_dropped_total",
+			"SSE frames dropped because a client buffer was full."),
+		policy: gather.PolicyMetrics{
+			Retries: reg.Counter("etap_alert_delivery_retries_total",
+				"Webhook delivery retries after transient failures."),
+			BackoffSleeps: reg.Counter("etap_alert_backoff_sleeps_total",
+				"Backoff sleeps taken between delivery attempts."),
+			Backoff: reg.Histogram("etap_alert_backoff_seconds",
+				"Backoff durations slept between delivery attempts.", nil),
+			Failures: reg.Counter("etap_alert_endpoint_failures_total",
+				"Delivery executions that ended in failure (feeds the breaker)."),
+			BreakerTrips: reg.Counter("etap_alert_breaker_trips_total",
+				"Webhook-endpoint circuit-breaker trips."),
+			BreakerOpen: reg.Gauge("etap_alert_breaker_open",
+				"Webhook endpoints with an open circuit breaker."),
+			BreakerShortCircuits: reg.Counter("etap_alert_breaker_short_circuits_total",
+				"Deliveries short-circuited by an open endpoint breaker."),
+		},
+	}
+}

@@ -1,0 +1,68 @@
+// SSE broadcasting: the live view of the alert stream. Webhook
+// delivery is the durable at-least-once path; the broadcaster is the
+// ephemeral one — a fan-out of JSON frames to whoever has
+// GET /alerts/stream open right now. Slow clients lose frames rather
+// than stall the pipeline: each client gets a bounded buffer and a
+// drop counter, never backpressure.
+package alert
+
+import "sync"
+
+// Broadcaster fans frames out to subscribed channels. Safe for
+// concurrent use.
+type Broadcaster struct {
+	mu      sync.Mutex
+	clients map[chan []byte]bool
+	buffer  int
+	met     *metrics
+}
+
+func newBroadcaster(buffer int, met *metrics) *Broadcaster {
+	if buffer <= 0 {
+		buffer = 16
+	}
+	return &Broadcaster{clients: make(map[chan []byte]bool), buffer: buffer, met: met}
+}
+
+// Subscribe registers a client and returns its frame channel plus a
+// cancel function. The channel is closed by cancel (exactly once;
+// cancel is idempotent).
+func (b *Broadcaster) Subscribe() (<-chan []byte, func()) {
+	ch := make(chan []byte, b.buffer)
+	b.mu.Lock()
+	b.clients[ch] = true
+	b.mu.Unlock()
+	b.met.sseClients.Inc()
+	var once sync.Once
+	cancel := func() {
+		once.Do(func() {
+			b.mu.Lock()
+			delete(b.clients, ch)
+			b.mu.Unlock()
+			close(ch)
+			b.met.sseClients.Dec()
+		})
+	}
+	return ch, cancel
+}
+
+// Broadcast offers a frame to every client, dropping it for clients
+// whose buffers are full.
+func (b *Broadcaster) Broadcast(frame []byte) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for ch := range b.clients {
+		select {
+		case ch <- frame:
+		default:
+			b.met.sseDropped.Inc()
+		}
+	}
+}
+
+// Clients returns the number of connected clients.
+func (b *Broadcaster) Clients() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.clients)
+}

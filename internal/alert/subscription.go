@@ -1,0 +1,263 @@
+// Subscriptions: the standing interests alerts are matched against. A
+// subscription names what a salesperson cares about — a company, a
+// sales driver, a minimum score, any combination — and where matching
+// alerts go (a webhook URL, the SSE stream, or both). The set persists
+// as JSONL through the same atomic write+rename discipline as the lead
+// store, so subscriptions survive restarts via the checkpointer.
+package alert
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"sync"
+
+	"etap/internal/rank"
+)
+
+// Subscription is one standing alert interest. Zero-valued filter
+// fields match everything, so an empty subscription is a firehose.
+type Subscription struct {
+	// ID is assigned by the set ("sub-1", "sub-2", ...) unless the
+	// creator supplies one.
+	ID string `json:"id"`
+	// Company filters by subject company, matched through canonical
+	// alias resolution (rank.SameCompany); empty matches any company,
+	// including events with none attributed.
+	Company string `json:"company,omitempty"`
+	// Driver filters by sales-driver ID; empty matches all drivers.
+	Driver string `json:"driver,omitempty"`
+	// MinScore is the classifier-score floor; events below it are not
+	// delivered.
+	MinScore float64 `json:"minScore,omitempty"`
+	// WebhookURL, when set, receives matching alerts as HTTP POSTs with
+	// at-least-once delivery. Empty means SSE-only.
+	WebhookURL string `json:"webhook,omitempty"`
+	// Created is when the subscription entered the set (Unix seconds).
+	Created int64 `json:"created"`
+}
+
+// Matches reports whether an event satisfies the subscription's
+// filters.
+func (s Subscription) Matches(ev rank.Event) bool {
+	if s.Driver != "" && s.Driver != ev.Driver {
+		return false
+	}
+	if s.Company != "" && !rank.SameCompany(s.Company, ev.Company) {
+		return false
+	}
+	return ev.Score >= s.MinScore
+}
+
+// Validate rejects subscriptions the dispatcher cannot act on.
+func (s Subscription) Validate() error {
+	if s.MinScore < 0 || s.MinScore > 1 {
+		return errors.New("alert: minScore must be in [0, 1]")
+	}
+	if s.WebhookURL != "" && !strings.Contains(s.WebhookURL, "://") {
+		return fmt.Errorf("alert: webhook %q is not an absolute URL", s.WebhookURL)
+	}
+	return nil
+}
+
+// ErrUnknownSubscription reports an ID the set does not hold.
+var ErrUnknownSubscription = errors.New("alert: unknown subscription")
+
+// Subscriptions is a concurrency-safe subscription set with JSONL
+// persistence and a revision counter for checkpoint gating.
+type Subscriptions struct {
+	mu    sync.RWMutex
+	byID  map[string]Subscription
+	order []string // insertion order, for deterministic iteration
+	next  int      // next auto-assigned ID suffix
+	rev   uint64   // mutation count, for revision-gated checkpoints
+}
+
+// NewSubscriptions returns an empty set.
+func NewSubscriptions() *Subscriptions {
+	return &Subscriptions{byID: make(map[string]Subscription)}
+}
+
+// Add inserts a subscription, assigning an ID when none is supplied,
+// and returns the stored value. A duplicate ID is an error.
+func (ss *Subscriptions) Add(s Subscription) (Subscription, error) {
+	if err := s.Validate(); err != nil {
+		return Subscription{}, err
+	}
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	if s.ID == "" {
+		for {
+			ss.next++
+			s.ID = fmt.Sprintf("sub-%d", ss.next)
+			if _, taken := ss.byID[s.ID]; !taken {
+				break
+			}
+		}
+	} else if _, dup := ss.byID[s.ID]; dup {
+		return Subscription{}, fmt.Errorf("alert: subscription %q already exists", s.ID)
+	}
+	ss.byID[s.ID] = s
+	ss.order = append(ss.order, s.ID)
+	ss.rev++
+	return s, nil
+}
+
+// Get returns the subscription with the given ID.
+func (ss *Subscriptions) Get(id string) (Subscription, error) {
+	ss.mu.RLock()
+	defer ss.mu.RUnlock()
+	s, ok := ss.byID[id]
+	if !ok {
+		return Subscription{}, fmt.Errorf("%s: %w", id, ErrUnknownSubscription)
+	}
+	return s, nil
+}
+
+// Delete removes a subscription.
+func (ss *Subscriptions) Delete(id string) error {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	if _, ok := ss.byID[id]; !ok {
+		return fmt.Errorf("%s: %w", id, ErrUnknownSubscription)
+	}
+	delete(ss.byID, id)
+	for i, oid := range ss.order {
+		if oid == id {
+			ss.order = append(ss.order[:i], ss.order[i+1:]...)
+			break
+		}
+	}
+	ss.rev++
+	return nil
+}
+
+// List returns all subscriptions in insertion order.
+func (ss *Subscriptions) List() []Subscription {
+	ss.mu.RLock()
+	defer ss.mu.RUnlock()
+	out := make([]Subscription, 0, len(ss.order))
+	for _, id := range ss.order {
+		out = append(out, ss.byID[id])
+	}
+	return out
+}
+
+// Len returns the subscription count.
+func (ss *Subscriptions) Len() int {
+	ss.mu.RLock()
+	defer ss.mu.RUnlock()
+	return len(ss.order)
+}
+
+// Revision returns the mutation count: a checkpointer can skip saves
+// when it hasn't moved.
+func (ss *Subscriptions) Revision() uint64 {
+	ss.mu.RLock()
+	defer ss.mu.RUnlock()
+	return ss.rev
+}
+
+// WriteJSONL streams every subscription, in insertion order, one JSON
+// object per line.
+func (ss *Subscriptions) WriteJSONL(w io.Writer) error {
+	ss.mu.RLock()
+	defer ss.mu.RUnlock()
+	return ss.writeJSONLLocked(w)
+}
+
+// writeJSONLLocked is WriteJSONL with the read lock already held —
+// RLock does not nest safely (a queued writer between two RLocks
+// deadlocks), so SaveFile reads the revision and writes the snapshot
+// under one acquisition.
+func (ss *Subscriptions) writeJSONLLocked(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, id := range ss.order {
+		if err := enc.Encode(ss.byID[id]); err != nil {
+			return fmt.Errorf("alert: encoding subscription %s: %w", id, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadSubscriptions loads a set from a JSONL stream. Duplicate IDs keep
+// the first occurrence. Auto-assignment resumes past the highest
+// "sub-N" ID seen, so reloaded sets never reissue a live ID.
+func ReadSubscriptions(r io.Reader) (*Subscriptions, error) {
+	ss := NewSubscriptions()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var s Subscription
+		if err := json.Unmarshal(sc.Bytes(), &s); err != nil {
+			return nil, fmt.Errorf("alert: line %d: %w", line, err)
+		}
+		if s.ID == "" {
+			return nil, fmt.Errorf("alert: line %d: subscription without ID", line)
+		}
+		if _, dup := ss.byID[s.ID]; dup {
+			continue
+		}
+		ss.byID[s.ID] = s
+		ss.order = append(ss.order, s.ID)
+		var n int
+		if _, err := fmt.Sscanf(s.ID, "sub-%d", &n); err == nil && n > ss.next {
+			ss.next = n
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("alert: reading subscriptions: %w", err)
+	}
+	return ss, nil
+}
+
+// SaveFile writes the set to path atomically (write + rename), the
+// same discipline as the lead store, and returns the revision the
+// snapshot captured.
+func (ss *Subscriptions) SaveFile(path string) (uint64, error) {
+	ss.mu.RLock()
+	defer ss.mu.RUnlock()
+	rev := ss.rev
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return 0, err
+	}
+	if err := ss.writeJSONLLocked(f); err != nil {
+		//etaplint:ignore error-swallowing -- best-effort cleanup on an already-failing path; the write error is what the caller needs
+		f.Close()
+		//etaplint:ignore error-swallowing -- best-effort cleanup on an already-failing path; the write error is what the caller needs
+		os.Remove(tmp)
+		return 0, err
+	}
+	if err := f.Close(); err != nil {
+		//etaplint:ignore error-swallowing -- best-effort cleanup on an already-failing path; the close error is what the caller needs
+		os.Remove(tmp)
+		return 0, err
+	}
+	return rev, os.Rename(tmp, path)
+}
+
+// LoadSubscriptions reads a set previously written with SaveFile. A
+// missing file yields an empty set (first run).
+func LoadSubscriptions(path string) (*Subscriptions, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return NewSubscriptions(), nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadSubscriptions(f)
+}

@@ -1,0 +1,58 @@
+// Webhook delivery: alerts leave the process as JSON POSTs — the CRM
+// integration surface the paper's "automatically generated sales
+// leads" imply. Transport failures and 5xx responses are transient
+// (the retry policy's problem); 4xx responses are the subscriber's
+// configuration being wrong, which no retry fixes.
+package alert
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// WebhookDeliverer POSTs alerts to each subscription's WebhookURL.
+type WebhookDeliverer struct {
+	// Client is the HTTP client; nil means http.DefaultClient. Attempt
+	// deadlines come from the retry policy's context, so the client
+	// needs no timeout of its own.
+	Client *http.Client
+}
+
+// Deliver implements Deliverer.
+func (wd *WebhookDeliverer) Deliver(ctx context.Context, sub Subscription, a Alert) error {
+	body, err := json.Marshal(a)
+	if err != nil {
+		return &PermanentError{Err: fmt.Errorf("alert: encoding alert: %w", err)}
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, sub.WebhookURL, bytes.NewReader(body))
+	if err != nil {
+		return &PermanentError{Err: fmt.Errorf("alert: webhook %s: %w", sub.WebhookURL, err)}
+	}
+	req.Header.Set("Content-Type", "application/json")
+	client := wd.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return fmt.Errorf("alert: posting to %s: %w", sub.WebhookURL, err)
+	}
+	// Drain so the connection is reusable; the body content is the
+	// subscriber's business.
+	//etaplint:ignore error-swallowing -- response body content is irrelevant; only the status code matters
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+	//etaplint:ignore error-swallowing -- nothing to do about a close error on a drained response
+	resp.Body.Close()
+	switch {
+	case resp.StatusCode >= 200 && resp.StatusCode < 300:
+		return nil
+	case resp.StatusCode >= 400 && resp.StatusCode < 500:
+		return &PermanentError{Err: fmt.Errorf("alert: webhook %s answered %s", sub.WebhookURL, resp.Status)}
+	default:
+		return fmt.Errorf("alert: webhook %s answered %s", sub.WebhookURL, resp.Status)
+	}
+}

@@ -454,6 +454,26 @@ func (s *System) ExtractEvents(driverID string, pages []*web.Page, threshold flo
 	return events, nil
 }
 
+// ExtractAllEvents runs event identification across every trained
+// driver — the per-document unit of work of the streaming ingest path
+// (internal/alert), where a document's driver is not known in advance.
+// Drivers run in sorted-ID order so the event stream is deterministic.
+func (s *System) ExtractAllEvents(pages []*web.Page, threshold float64) []rank.Event {
+	ids := s.Drivers()
+	sort.Strings(ids)
+	var events []rank.Event
+	for _, id := range ids {
+		evs, err := s.ExtractEvents(id, pages, threshold)
+		if err != nil {
+			// Drivers() only names trained drivers, so this cannot
+			// happen; guard anyway rather than drop events silently.
+			continue
+		}
+		events = append(events, evs...)
+	}
+	return events
+}
+
 // scorePage splits one page into snippets and scores each against the
 // driver classifier — the per-page unit of work shared by the
 // sequential and parallel extractors. When metrics are enabled it

@@ -3,9 +3,14 @@
 // circuit breaker — the failure-handling skeleton production
 // business-news pipelines treat as first-class. Everything is
 // deterministic given the configuration seeds: the breaker is
-// fetch-indexed rather than wall-clock-timed and the jitter stream is
+// attempt-indexed rather than wall-clock-timed and the jitter stream is
 // seeded, so a crawl against a seeded fault injector reproduces
 // exactly.
+//
+// The policy itself is operation-agnostic: RetryPolicy applies the same
+// retry/backoff/breaker machinery to any keyed operation, which is how
+// the alert subsystem's webhook delivery (internal/alert) shares this
+// exact failure-handling stack with the crawler.
 package gather
 
 import (
@@ -37,11 +42,26 @@ var (
 		"Fetches skipped without an attempt because the host's breaker was open.")
 )
 
-// RetryConfig tunes fetch retry, backoff, and the per-host circuit
-// breaker used by Crawl. The zero value selects the defaults noted per
-// field.
+// gatherPolicyMetrics wires the crawl's retry policy into the
+// etap_gather_* series above.
+func gatherPolicyMetrics() PolicyMetrics {
+	return PolicyMetrics{
+		Retries:              mRetries,
+		BackoffSleeps:        mBackoffSleeps,
+		Backoff:              mBackoff,
+		Failures:             mFetchFailures,
+		BreakerTrips:         mBreakerTrips,
+		BreakerOpen:          mBreakerOpen,
+		BreakerShortCircuits: mBreakerShortCircuits,
+	}
+}
+
+// RetryConfig tunes retry, backoff, and the per-key circuit breaker of
+// a RetryPolicy (Crawl applies it per fetch, keyed by host; the alert
+// dispatcher per webhook delivery, keyed by endpoint host). The zero
+// value selects the defaults noted per field.
 type RetryConfig struct {
-	// MaxAttempts is the fetch attempts per URL including the first;
+	// MaxAttempts is the attempts per operation including the first;
 	// 0 means 4, negative means a single attempt (no retries).
 	MaxAttempts int
 	// BaseBackoff is the pause after the first failure, doubling each
@@ -49,7 +69,7 @@ type RetryConfig struct {
 	BaseBackoff time.Duration
 	// MaxBackoff caps the pause; 0 means 2s.
 	MaxBackoff time.Duration
-	// AttemptTimeout bounds each fetch attempt via a context deadline;
+	// AttemptTimeout bounds each attempt via a context deadline;
 	// 0 means 1s, negative disables the per-attempt deadline.
 	AttemptTimeout time.Duration
 	// JitterSeed seeds the deterministic backoff jitter (a factor in
@@ -57,9 +77,9 @@ type RetryConfig struct {
 	// schedule.
 	JitterSeed int64
 	// BreakerThreshold is the consecutive failure count that opens a
-	// host's breaker; 0 means 5, negative disables the breaker.
+	// key's breaker; 0 means 5, negative disables the breaker.
 	BreakerThreshold int
-	// BreakerCooldown is how many fetches to an open host are skipped
+	// BreakerCooldown is how many operations on an open key are skipped
 	// before a single half-open probe is allowed through; 0 means 8.
 	BreakerCooldown int
 	// Sleep replaces time.Sleep for backoff pauses (tests inject a
@@ -105,15 +125,15 @@ func (c RetryConfig) withDefaults() RetryConfig {
 	return c
 }
 
-// Failure reasons recorded in FetchError.Reason.
+// Failure reasons recorded in FetchError.Reason and Outcome.Reason.
 const (
 	// FailNotFound marks a permanent failure (dead link or gone host).
 	FailNotFound = "not-found"
-	// FailExhausted marks a URL abandoned after MaxAttempts transient
-	// failures.
+	// FailExhausted marks an operation abandoned after MaxAttempts
+	// transient failures.
 	FailExhausted = "transient-exhausted"
-	// FailBreakerOpen marks a URL skipped without an attempt because
-	// its host's circuit breaker was open.
+	// FailBreakerOpen marks an operation skipped without an attempt
+	// because its key's circuit breaker was open.
 	FailBreakerOpen = "breaker-open"
 )
 
@@ -135,8 +155,8 @@ type FetchError struct {
 	Err string
 }
 
-// hostBreaker tracks one host's health. State is fetch-indexed, not
-// timed: an open breaker skips the next cooldown fetches to the host,
+// hostBreaker tracks one key's health. State is attempt-indexed, not
+// timed: an open breaker skips the next cooldown operations on the key,
 // then admits a single half-open probe — success closes it, failure
 // re-opens a full cooldown. Deterministic by construction.
 type hostBreaker struct {
@@ -145,23 +165,230 @@ type hostBreaker struct {
 	cooldown int // skips remaining before the half-open probe
 }
 
+// PolicyMetrics names the obs series a RetryPolicy reports into. Any
+// nil field disables that series, so callers wire only what they
+// catalog (the crawl reports etap_gather_*, webhook delivery
+// etap_alert_*).
+type PolicyMetrics struct {
+	// Retries counts attempts beyond the first.
+	Retries *obs.Counter
+	// BackoffSleeps counts backoff pauses taken.
+	BackoffSleeps *obs.Counter
+	// Backoff observes the pause durations in seconds.
+	Backoff *obs.Histogram
+	// Failures counts operations abandoned (permanent, exhausted, or
+	// breaker-open).
+	Failures *obs.Counter
+	// BreakerTrips counts breaker open transitions.
+	BreakerTrips *obs.Counter
+	// BreakerOpen gauges breakers currently open.
+	BreakerOpen *obs.Gauge
+	// BreakerShortCircuits counts operations skipped on an open breaker.
+	BreakerShortCircuits *obs.Counter
+}
+
+// Outcome reports how one RetryPolicy.Execute ended.
+type Outcome struct {
+	// Attempts is how many attempts ran (0 when the breaker
+	// short-circuited the operation).
+	Attempts int
+	// Reason classifies a failure (FailNotFound, FailExhausted,
+	// FailBreakerOpen); empty on success.
+	Reason string
+	// Err is the terminal error; nil on success.
+	Err error
+}
+
+// RetryPolicy applies retry with exponential backoff and seeded
+// jitter, a per-attempt timeout, and a per-key circuit breaker to
+// arbitrary operations. It is the policy engine behind the crawler's
+// fetch path and the alert dispatcher's webhook delivery. Not safe for
+// concurrent use: each sequential loop (a crawl, a per-subscriber
+// delivery worker) owns its own policy.
+type RetryPolicy struct {
+	cfg       RetryConfig
+	met       PolicyMetrics
+	transient func(error) bool
+	breakers  map[string]*hostBreaker
+	jitter    *rand.Rand
+	retries   int
+}
+
+// NewRetryPolicy builds a policy from cfg reporting into met.
+// transient classifies retryable errors; nil means web.IsTransient.
+func NewRetryPolicy(cfg RetryConfig, met PolicyMetrics, transient func(error) bool) *RetryPolicy {
+	cfg = cfg.withDefaults()
+	if transient == nil {
+		transient = web.IsTransient
+	}
+	return &RetryPolicy{
+		cfg:       cfg,
+		met:       met,
+		transient: transient,
+		breakers:  make(map[string]*hostBreaker),
+		jitter:    rand.New(rand.NewSource(cfg.JitterSeed)),
+	}
+}
+
+// Retries returns the total attempts beyond the first across all
+// Execute calls.
+func (p *RetryPolicy) Retries() int { return p.retries }
+
+// Execute runs op under key's circuit breaker with retry, backoff and
+// the per-attempt timeout, deriving each attempt's deadline from ctx.
+// A permanent error (one transient reports false for) aborts
+// immediately with FailNotFound; transient errors retry up to
+// MaxAttempts and then fail with FailExhausted.
+func (p *RetryPolicy) Execute(ctx context.Context, key string, op func(context.Context) error) Outcome {
+	br := p.breakers[key]
+	if br == nil {
+		br = &hostBreaker{}
+		p.breakers[key] = br
+	}
+	if br.open {
+		if br.cooldown > 0 {
+			br.cooldown--
+			incCounter(p.met.BreakerShortCircuits)
+			return Outcome{Reason: FailBreakerOpen,
+				Err: errBreakerOpen{key: key}}
+		}
+		// Cooldown spent: fall through as the half-open probe.
+	}
+	var lastErr error
+	for attempt := 1; attempt <= p.cfg.MaxAttempts; attempt++ {
+		if attempt > 1 {
+			p.retries++
+			incCounter(p.met.Retries)
+			p.pause(attempt)
+		}
+		err := p.attempt(ctx, op)
+		if err == nil {
+			p.onSuccess(br)
+			return Outcome{Attempts: attempt}
+		}
+		lastErr = err
+		if !p.transient(err) {
+			// Permanent: the peer answered, the target is gone. No
+			// breaker impact and no point retrying.
+			incCounter(p.met.Failures)
+			return Outcome{Attempts: attempt, Reason: FailNotFound, Err: err}
+		}
+	}
+	p.onFailure(br)
+	incCounter(p.met.Failures)
+	return Outcome{Attempts: p.cfg.MaxAttempts, Reason: FailExhausted, Err: lastErr}
+}
+
+// errBreakerOpen is the terminal error of a short-circuited operation.
+type errBreakerOpen struct{ key string }
+
+func (e errBreakerOpen) Error() string {
+	return "circuit breaker open for " + e.key
+}
+
+// attempt runs one operation under the per-attempt deadline, derived
+// from the caller's context so crawl- or delivery-level cancellation
+// propagates into in-flight attempts.
+func (p *RetryPolicy) attempt(ctx context.Context, op func(context.Context) error) error {
+	if p.cfg.AttemptTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, p.cfg.AttemptTimeout)
+		defer cancel()
+	}
+	return op(ctx)
+}
+
+// pause sleeps the exponential backoff for the given attempt (2 is the
+// first retry), jittered by a seeded factor in [0.5, 1.5) and capped
+// at MaxBackoff.
+func (p *RetryPolicy) pause(attempt int) {
+	d := p.cfg.BaseBackoff
+	for i := 2; i < attempt; i++ {
+		d *= 2
+		if d >= p.cfg.MaxBackoff {
+			break
+		}
+	}
+	if d > p.cfg.MaxBackoff {
+		d = p.cfg.MaxBackoff
+	}
+	d = time.Duration(float64(d) * (0.5 + p.jitter.Float64()))
+	if d > p.cfg.MaxBackoff {
+		d = p.cfg.MaxBackoff
+	}
+	incCounter(p.met.BackoffSleeps)
+	if p.met.Backoff != nil {
+		p.met.Backoff.Observe(d.Seconds())
+	}
+	p.cfg.Sleep(d)
+}
+
+// onSuccess resets the key's failure streak and closes an open
+// breaker (a successful half-open probe).
+func (p *RetryPolicy) onSuccess(br *hostBreaker) {
+	br.fails = 0
+	if br.open {
+		br.open = false
+		addGauge(p.met.BreakerOpen, -1)
+	}
+}
+
+// onFailure advances the key's breaker: a failed half-open probe
+// re-opens a full cooldown; enough consecutive failures while closed
+// trip it open.
+func (p *RetryPolicy) onFailure(br *hostBreaker) {
+	if p.cfg.BreakerThreshold < 0 {
+		return
+	}
+	if br.open {
+		br.cooldown = p.cfg.BreakerCooldown
+		incCounter(p.met.BreakerTrips)
+		return
+	}
+	br.fails++
+	if br.fails >= p.cfg.BreakerThreshold {
+		br.open = true
+		br.cooldown = p.cfg.BreakerCooldown
+		incCounter(p.met.BreakerTrips)
+		addGauge(p.met.BreakerOpen, 1)
+	}
+}
+
+// Close releases the policy's breaker state: breakers die with their
+// owner (a crawl, a delivery worker), so open ones stop counting
+// toward the process-wide gauge.
+func (p *RetryPolicy) Close() {
+	for _, br := range p.breakers {
+		if br.open {
+			br.open = false
+			addGauge(p.met.BreakerOpen, -1)
+		}
+	}
+}
+
+func incCounter(c *obs.Counter) {
+	if c != nil {
+		c.Inc()
+	}
+}
+
+func addGauge(g *obs.Gauge, delta int64) {
+	if g != nil {
+		g.Add(delta)
+	}
+}
+
 // retrier wraps a Fetcher with the full robustness stack for one
 // crawl. Not safe for concurrent use (the crawl loop is sequential).
 type retrier struct {
-	fetch    web.Fetcher
-	cfg      RetryConfig
-	breakers map[string]*hostBreaker
-	jitter   *rand.Rand
-	retries  int
+	fetch  web.Fetcher
+	policy *RetryPolicy
 }
 
 func newRetrier(fetch web.Fetcher, cfg RetryConfig) *retrier {
-	cfg = cfg.withDefaults()
 	return &retrier{
-		fetch:    fetch,
-		cfg:      cfg,
-		breakers: make(map[string]*hostBreaker),
-		jitter:   rand.New(rand.NewSource(cfg.JitterSeed)),
+		fetch:  fetch,
+		policy: NewRetryPolicy(cfg, gatherPolicyMetrics(), nil),
 	}
 }
 
@@ -171,122 +398,26 @@ func newRetrier(fetch web.Fetcher, cfg RetryConfig) *retrier {
 // was abandoned.
 func (r *retrier) do(ctx context.Context, url string) (*web.Page, *FetchError) {
 	host := web.HostOf(url)
-	br := r.breakers[host]
-	if br == nil {
-		br = &hostBreaker{}
-		r.breakers[host] = br
-	}
-	if br.open {
-		if br.cooldown > 0 {
-			br.cooldown--
-			mBreakerShortCircuits.Inc()
-			return nil, &FetchError{URL: url, Host: host, Reason: FailBreakerOpen,
-				Err: "circuit breaker open for host " + host}
-		}
-		// Cooldown spent: fall through as the half-open probe.
-	}
-	var lastErr error
-	for attempt := 1; attempt <= r.cfg.MaxAttempts; attempt++ {
-		if attempt > 1 {
-			r.retries++
-			mRetries.Inc()
-			r.pause(attempt)
-		}
-		page, err := r.attempt(ctx, url)
+	var page *web.Page
+	out := r.policy.Execute(ctx, host, func(ctx context.Context) error {
+		p, err := r.fetch.Fetch(ctx, url)
 		if err == nil {
-			r.onSuccess(br)
-			return page, nil
+			page = p
 		}
-		lastErr = err
-		if !web.IsTransient(err) {
-			// Permanent: the host answered, the page is gone. No
-			// breaker impact and no point retrying.
-			mFetchFailures.Inc()
-			return nil, &FetchError{URL: url, Host: host, Attempts: attempt,
-				Reason: FailNotFound, Err: err.Error()}
-		}
+		return err
+	})
+	if out.Err == nil {
+		return page, nil
 	}
-	r.onFailure(br)
-	mFetchFailures.Inc()
-	return nil, &FetchError{URL: url, Host: host, Attempts: r.cfg.MaxAttempts,
-		Reason: FailExhausted, Err: lastErr.Error()}
+	return nil, &FetchError{URL: url, Host: host, Attempts: out.Attempts,
+		Reason: out.Reason, Err: out.Err.Error()}
 }
 
-// attempt runs one fetch under the per-attempt deadline, derived from
-// the caller's context so crawl-level cancellation propagates into
-// in-flight fetches.
-func (r *retrier) attempt(ctx context.Context, url string) (*web.Page, error) {
-	if r.cfg.AttemptTimeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, r.cfg.AttemptTimeout)
-		defer cancel()
-	}
-	return r.fetch.Fetch(ctx, url)
-}
+// retries reports the fetch attempts beyond the first this crawl made.
+func (r *retrier) retries() int { return r.policy.Retries() }
 
-// pause sleeps the exponential backoff for the given attempt (2 is the
-// first retry), jittered by a seeded factor in [0.5, 1.5) and capped
-// at MaxBackoff.
-func (r *retrier) pause(attempt int) {
-	d := r.cfg.BaseBackoff
-	for i := 2; i < attempt; i++ {
-		d *= 2
-		if d >= r.cfg.MaxBackoff {
-			break
-		}
-	}
-	if d > r.cfg.MaxBackoff {
-		d = r.cfg.MaxBackoff
-	}
-	d = time.Duration(float64(d) * (0.5 + r.jitter.Float64()))
-	if d > r.cfg.MaxBackoff {
-		d = r.cfg.MaxBackoff
-	}
-	mBackoffSleeps.Inc()
-	mBackoff.Observe(d.Seconds())
-	r.cfg.Sleep(d)
-}
-
-// onSuccess resets the host's failure streak and closes an open
-// breaker (a successful half-open probe).
-func (r *retrier) onSuccess(br *hostBreaker) {
-	br.fails = 0
-	if br.open {
-		br.open = false
-		mBreakerOpen.Dec()
-	}
-}
-
-// onFailure advances the host's breaker: a failed half-open probe
-// re-opens a full cooldown; enough consecutive failures while closed
-// trip it open.
-func (r *retrier) onFailure(br *hostBreaker) {
-	if r.cfg.BreakerThreshold < 0 {
-		return
-	}
-	if br.open {
-		br.cooldown = r.cfg.BreakerCooldown
-		mBreakerTrips.Inc()
-		return
-	}
-	br.fails++
-	if br.fails >= r.cfg.BreakerThreshold {
-		br.open = true
-		br.cooldown = r.cfg.BreakerCooldown
-		mBreakerTrips.Inc()
-		mBreakerOpen.Inc()
-	}
-}
-
-// finish releases the crawl's breaker state: breakers die with the
-// crawl, so open ones stop counting toward the process-wide gauge.
-func (r *retrier) finish() {
-	for _, br := range r.breakers {
-		if br.open {
-			mBreakerOpen.Dec()
-		}
-	}
-}
+// finish releases the crawl's breaker state.
+func (r *retrier) finish() { r.policy.Close() }
 
 // FetchOptions bundles the crawl-time fetch robustness knobs a System
 // threads into each crawl (core.Config.Fetch): retry/backoff/breaker

@@ -66,8 +66,8 @@ func TestRetrierRecoversFromTransientFailures(t *testing.T) {
 	if page.Text != "alpha" || len(f.calls) != 3 {
 		t.Fatalf("page=%v calls=%v", page, f.calls)
 	}
-	if r.retries != 2 {
-		t.Fatalf("retries = %d, want 2", r.retries)
+	if r.retries() != 2 {
+		t.Fatalf("retries = %d, want 2", r.retries())
 	}
 }
 

@@ -217,7 +217,7 @@ func Crawl(ctx context.Context, w *web.Web, cfg CrawlConfig) CrawlResult {
 			push(l, it.depth+1, score)
 		}
 	}
-	res.Retries = rt.retries
+	res.Retries = rt.retries()
 	return res
 }
 

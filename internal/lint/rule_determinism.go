@@ -22,6 +22,10 @@ var determinismScope = []string{
 	"internal/noise",
 	"internal/train",
 	"internal/rank",
+	// The streaming path feeds the same stores as batch extraction, and
+	// its idempotency rests on replayable fingerprints — so it answers
+	// to the same rules.
+	"internal/alert",
 }
 
 // globalRandFuncs are the math/rand (and math/rand/v2) package-level

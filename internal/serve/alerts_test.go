@@ -1,0 +1,455 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"etap/internal/alert"
+	"etap/internal/gather"
+	"etap/internal/obs"
+	"etap/internal/rank"
+	"etap/internal/store"
+	"etap/internal/web"
+)
+
+// gatePipeline is an alert.Pipeline whose extraction blocks until
+// released — the deterministic way to hold the ingest queue full. It
+// emits one Acme event per page containing "merger".
+type gatePipeline struct {
+	entered chan string
+	release chan struct{}
+}
+
+func (p *gatePipeline) ExtractAllEvents(pages []*web.Page, _ float64) []rank.Event {
+	if p.entered != nil {
+		p.entered <- pages[0].URL
+		<-p.release
+	}
+	var out []rank.Event
+	for _, pg := range pages {
+		if strings.Contains(pg.Text, "merger") {
+			out = append(out, rank.Event{
+				SnippetID: pg.URL + "#0", Text: pg.Text,
+				Driver: "mergers-acquisitions", Company: "Acme", Score: 0.9,
+			})
+		}
+	}
+	return out
+}
+
+// failDeliverer always fails permanently — the shortest path to a
+// dead letter.
+type failDeliverer struct{}
+
+func (failDeliverer) Deliver(context.Context, alert.Subscription, alert.Alert) error {
+	return &alert.PermanentError{Err: errors.New("endpoint gone")}
+}
+
+func testClock() time.Time { return time.Unix(1_750_000_000, 0) }
+
+// alertServer wires a Server and a manager over the given pipeline and
+// deliverer; the server itself is the lead sink.
+func alertServer(t *testing.T, pipeline alert.Pipeline, deliver alert.Deliverer, cfg alert.Config) (*Server, *alert.Manager) {
+	t.Helper()
+	srv := NewWithRegistry(nil, store.New(), obs.NewRegistry())
+	w := web.New()
+	w.Freeze()
+	cfg.Clock = testClock
+	cfg.Registry = obs.NewRegistry()
+	cfg.Deliverer = deliver
+	if cfg.Retry.IsZero() {
+		cfg.Retry = gather.RetryConfig{MaxAttempts: 2, Sleep: func(time.Duration) {}, AttemptTimeout: -1}
+	}
+	m := alert.NewManager(pipeline, srv, w, cfg)
+	m.Start(context.Background())
+	t.Cleanup(m.Close)
+	srv.AttachAlerts(m)
+	return srv, m
+}
+
+func postJSON(t *testing.T, srv http.Handler, path string, v any) *httptest.ResponseRecorder {
+	t.Helper()
+	body, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := httptest.NewRequest(http.MethodPost, path, bytes.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	return rec
+}
+
+func mustFlush(t *testing.T, m *alert.Manager) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := m.Flush(ctx); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+}
+
+func leadCount(t *testing.T, srv http.Handler) int {
+	t.Helper()
+	rec, body := get(t, srv, "/leads?top=1000")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/leads: %d", rec.Code)
+	}
+	var leads []store.Lead
+	if err := json.Unmarshal(body, &leads); err != nil {
+		t.Fatal(err)
+	}
+	return len(leads)
+}
+
+func TestIngestEndpointAcceptsAndStores(t *testing.T) {
+	srv, m := alertServer(t, &gatePipeline{}, failDeliverer{}, alert.Config{})
+	rec := postJSON(t, srv, "/ingest", alert.Document{
+		URL: "http://news.example.com/1", Text: "Acme completed the merger.",
+	})
+	if rec.Code != http.StatusAccepted {
+		t.Fatalf("ingest: %d %s", rec.Code, rec.Body)
+	}
+	mustFlush(t, m)
+	if n := leadCount(t, srv); n != 1 {
+		t.Fatalf("leads = %d, want 1", n)
+	}
+	// Malformed body and invalid documents are client errors.
+	req := httptest.NewRequest(http.MethodPost, "/ingest", strings.NewReader("{not json"))
+	rr := httptest.NewRecorder()
+	srv.ServeHTTP(rr, req)
+	if rr.Code != http.StatusBadRequest {
+		t.Fatalf("bad body: %d", rr.Code)
+	}
+	if rec := postJSON(t, srv, "/ingest", alert.Document{Text: "no url"}); rec.Code != http.StatusBadRequest {
+		t.Fatalf("no url: %d", rec.Code)
+	}
+}
+
+// TestIngestIdempotency is the regression test for the satellite
+// requirement: ingesting the same document twice — and replaying
+// batch-extracted events — must not duplicate trigger events in
+// /leads.
+func TestIngestIdempotency(t *testing.T) {
+	srv, sys := testServer(t) // trained system over the synthetic corpus
+	w := sys.Web()
+	m := alert.NewManager(sys, srv, w, alert.Config{
+		Clock:     testClock,
+		Registry:  obs.NewRegistry(),
+		Deliverer: failDeliverer{},
+		Retry:     gather.RetryConfig{MaxAttempts: 1, Sleep: func(time.Duration) {}, AttemptTimeout: -1},
+	})
+	m.Start(context.Background())
+	defer m.Close()
+	srv.AttachAlerts(m)
+
+	// Batch phase: extract over the whole corpus and store the leads,
+	// then seed the manager the way etapd does at startup.
+	events := sys.ExtractAllEvents(pagesOf(w), 0.5)
+	if len(events) == 0 {
+		t.Fatal("batch extraction found no events")
+	}
+	srv.AddLeads(events, testClock())
+	m.SeedEvents(events)
+	baseline := leadCount(t, srv)
+
+	// Replay a slice of the original corpus through the ingest path:
+	// every URL is a duplicate, every event already fingerprinted.
+	urls := w.URLs()
+	for _, u := range urls[:min(len(urls), 40)] {
+		p, _ := w.Page(u)
+		rec := postJSON(t, srv, "/ingest", alert.Document{URL: p.URL, Title: p.Title, Text: p.Text})
+		if rec.Code != http.StatusAccepted {
+			t.Fatalf("re-ingest %s: %d", u, rec.Code)
+		}
+	}
+	mustFlush(t, m)
+	if n := leadCount(t, srv); n != baseline {
+		t.Fatalf("re-ingesting the corpus changed /leads: %d -> %d", baseline, n)
+	}
+
+	// A brand-new document alerts once, then re-ingestion of it is a
+	// no-op too.
+	doc := alert.Document{
+		URL:  "http://stream.example.com/fresh",
+		Text: "Acme Corp announced that a new chief executive officer was appointed to lead Acme Corp.",
+	}
+	for i := 0; i < 2; i++ {
+		if rec := postJSON(t, srv, "/ingest", doc); rec.Code != http.StatusAccepted {
+			t.Fatalf("ingest %d: %d", i, rec.Code)
+		}
+		mustFlush(t, m)
+	}
+	after := leadCount(t, srv)
+	if after < baseline || after > baseline+2 {
+		t.Fatalf("fresh document: leads %d -> %d", baseline, after)
+	}
+	second := leadCount(t, srv)
+	if second != after {
+		t.Fatalf("second ingest of the same document changed /leads: %d -> %d", after, second)
+	}
+}
+
+func pagesOf(w *web.Web) []*web.Page {
+	var out []*web.Page
+	for _, u := range w.URLs() {
+		p, _ := w.Page(u)
+		out = append(out, p)
+	}
+	return out
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// TestHealthzDegradation drives /healthz through the table of
+// streaming-subsystem states: healthy, ingest queue saturated, and
+// dead letters pending.
+func TestHealthzDegradation(t *testing.T) {
+	type check struct {
+		name       string
+		setup      func(t *testing.T) (http.Handler, func())
+		wantCode   int
+		wantStatus string
+		wantReason string
+	}
+	cases := []check{
+		{
+			name: "healthy with idle manager",
+			setup: func(t *testing.T) (http.Handler, func()) {
+				srv, _ := alertServer(t, &gatePipeline{}, failDeliverer{}, alert.Config{})
+				return srv, func() {}
+			},
+			wantCode:   http.StatusOK,
+			wantStatus: "ok",
+		},
+		{
+			name: "ingest queue saturated",
+			setup: func(t *testing.T) (http.Handler, func()) {
+				gate := &gatePipeline{entered: make(chan string, 8), release: make(chan struct{})}
+				srv, _ := alertServer(t, gate, failDeliverer{}, alert.Config{QueueSize: 1, Workers: 1})
+				// First document occupies the worker inside the gate;
+				// the second fills the 1-slot queue.
+				if rec := postJSON(t, srv, "/ingest", alert.Document{URL: "http://n/1", Text: "a"}); rec.Code != http.StatusAccepted {
+					t.Fatalf("ingest 1: %d", rec.Code)
+				}
+				<-gate.entered
+				if rec := postJSON(t, srv, "/ingest", alert.Document{URL: "http://n/2", Text: "b"}); rec.Code != http.StatusAccepted {
+					t.Fatalf("ingest 2: %d", rec.Code)
+				}
+				// And a third bounces with 429 — the backpressure path.
+				if rec := postJSON(t, srv, "/ingest", alert.Document{URL: "http://n/3", Text: "c"}); rec.Code != http.StatusTooManyRequests {
+					t.Fatalf("ingest 3: %d, want 429", rec.Code)
+				}
+				// Closing release lets every gated extraction proceed;
+				// entered is buffered so later documents never block on it.
+				return srv, func() { close(gate.release) }
+			},
+			wantCode:   http.StatusServiceUnavailable,
+			wantStatus: "degraded",
+			wantReason: alert.DegradedQueueSaturated,
+		},
+		{
+			name: "dead letters pending",
+			setup: func(t *testing.T) (http.Handler, func()) {
+				srv, m := alertServer(t, &gatePipeline{}, failDeliverer{}, alert.Config{})
+				if rec := postJSON(t, srv, "/subscriptions", alert.Subscription{WebhookURL: "http://dead.example.com/h"}); rec.Code != http.StatusCreated {
+					t.Fatalf("subscribe: %d", rec.Code)
+				}
+				if rec := postJSON(t, srv, "/ingest", alert.Document{URL: "http://n/1", Text: "the merger"}); rec.Code != http.StatusAccepted {
+					t.Fatalf("ingest: %d", rec.Code)
+				}
+				mustFlush(t, m)
+				return srv, func() {}
+			},
+			wantCode:   http.StatusServiceUnavailable,
+			wantStatus: "degraded",
+			wantReason: alert.DegradedDeadLetters,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			srv, release := tc.setup(t)
+			defer release()
+			rec, body := get(t, srv, "/healthz")
+			if rec.Code != tc.wantCode {
+				t.Fatalf("code = %d, want %d (%s)", rec.Code, tc.wantCode, body)
+			}
+			var h Health
+			if err := json.Unmarshal(body, &h); err != nil {
+				t.Fatal(err)
+			}
+			if h.Status != tc.wantStatus {
+				t.Fatalf("status = %q, want %q", h.Status, tc.wantStatus)
+			}
+			if h.Alerts == nil {
+				t.Fatal("healthz missing alerts block")
+			}
+			if tc.wantReason != "" {
+				found := false
+				for _, r := range h.Degraded {
+					if r == tc.wantReason {
+						found = true
+					}
+				}
+				if !found {
+					t.Fatalf("degraded = %v, want %q", h.Degraded, tc.wantReason)
+				}
+			}
+		})
+	}
+}
+
+func TestSubscriptionCRUDOverHTTP(t *testing.T) {
+	srv, _ := alertServer(t, &gatePipeline{}, failDeliverer{}, alert.Config{})
+	// Empty list first.
+	rec, body := get(t, srv, "/subscriptions")
+	if rec.Code != http.StatusOK || strings.TrimSpace(string(body)) != "[]" {
+		t.Fatalf("empty list: %d %s", rec.Code, body)
+	}
+	rec = postJSON(t, srv, "/subscriptions", alert.Subscription{
+		Company: "Acme", Driver: "mergers-acquisitions", MinScore: 0.6,
+		WebhookURL: "http://crm.example.com/hook",
+	})
+	if rec.Code != http.StatusCreated {
+		t.Fatalf("create: %d %s", rec.Code, rec.Body)
+	}
+	var created alert.Subscription
+	if err := json.Unmarshal(rec.Body.Bytes(), &created); err != nil {
+		t.Fatal(err)
+	}
+	if created.ID == "" {
+		t.Fatalf("created = %+v", created)
+	}
+	// Get it back.
+	rec, body = get(t, srv, "/subscriptions/"+created.ID)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("get: %d", rec.Code)
+	}
+	var got alert.Subscription
+	if err := json.Unmarshal(body, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got != created {
+		t.Fatalf("get = %+v, want %+v", got, created)
+	}
+	// Invalid subscription is a 400.
+	if rec := postJSON(t, srv, "/subscriptions", alert.Subscription{MinScore: 7}); rec.Code != http.StatusBadRequest {
+		t.Fatalf("invalid create: %d", rec.Code)
+	}
+	// Delete, then both get and delete 404.
+	req := httptest.NewRequest(http.MethodDelete, "/subscriptions/"+created.ID, nil)
+	rr := httptest.NewRecorder()
+	srv.ServeHTTP(rr, req)
+	if rr.Code != http.StatusOK {
+		t.Fatalf("delete: %d", rr.Code)
+	}
+	if rec, _ := get(t, srv, "/subscriptions/"+created.ID); rec.Code != http.StatusNotFound {
+		t.Fatalf("get after delete: %d", rec.Code)
+	}
+	rr = httptest.NewRecorder()
+	srv.ServeHTTP(rr, httptest.NewRequest(http.MethodDelete, "/subscriptions/"+created.ID, nil))
+	if rr.Code != http.StatusNotFound {
+		t.Fatalf("double delete: %d", rr.Code)
+	}
+}
+
+func TestAlertStreamSSE(t *testing.T) {
+	srv, m := alertServer(t, &gatePipeline{}, failDeliverer{}, alert.Config{})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, ts.URL+"/alerts/stream", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content type = %q", ct)
+	}
+	reader := bufio.NewReader(resp.Body)
+	// The opening comment arrives before any alert.
+	line, err := reader.ReadString('\n')
+	if err != nil || !strings.HasPrefix(line, ": connected") {
+		t.Fatalf("opening frame = %q, %v", line, err)
+	}
+	// Wait for the subscriber to register before publishing, so the
+	// broadcast cannot race the subscription.
+	deadline := time.Now().Add(2 * time.Second)
+	for m.Health().SSEClients == 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	rec := postJSON(t, srv, "/ingest", alert.Document{
+		URL: "http://news.example.com/live", Text: "A merger, live on the stream.",
+	})
+	if rec.Code != http.StatusAccepted {
+		t.Fatalf("ingest: %d", rec.Code)
+	}
+	mustFlush(t, m)
+	dataCh := make(chan string, 1)
+	go func() {
+		for {
+			l, err := reader.ReadString('\n')
+			if err != nil {
+				return
+			}
+			if strings.HasPrefix(l, "data: ") {
+				dataCh <- l
+				return
+			}
+		}
+	}()
+	select {
+	case l := <-dataCh:
+		var a alert.Alert
+		if err := json.Unmarshal([]byte(strings.TrimPrefix(strings.TrimSpace(l), "data: ")), &a); err != nil {
+			t.Fatalf("frame %q: %v", l, err)
+		}
+		if !strings.Contains(a.Event.Text, "live on the stream") {
+			t.Fatalf("alert = %+v", a)
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("no SSE data frame within 3s")
+	}
+}
+
+func TestAddLeadsBumpsRevision(t *testing.T) {
+	srv := NewWithRegistry(nil, store.New(), obs.NewRegistry())
+	before := srv.Revision()
+	if n := srv.AddLeads(nil, testClock()); n != 0 || srv.Revision() != before {
+		t.Fatalf("empty AddLeads: n=%d rev=%d", n, srv.Revision())
+	}
+	ev := []rank.Event{{SnippetID: "s#0", Driver: "d", Score: 0.8, Text: "x"}}
+	if n := srv.AddLeads(ev, testClock()); n != 1 {
+		t.Fatalf("AddLeads = %d", n)
+	}
+	if srv.Revision() != before+1 {
+		t.Fatalf("revision = %d, want %d", srv.Revision(), before+1)
+	}
+	// Re-adding refreshes but still counts as a mutation.
+	if n := srv.AddLeads(ev, testClock()); n != 0 {
+		t.Fatalf("dup AddLeads = %d", n)
+	}
+	if srv.Revision() != before+2 {
+		t.Fatalf("revision after dup = %d", srv.Revision())
+	}
+	_ = fmt.Sprint() // keep fmt imported alongside table helpers
+}

@@ -32,6 +32,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"etap/internal/alert"
 	"etap/internal/core"
 	"etap/internal/obs"
 	"etap/internal/rank"
@@ -49,9 +50,10 @@ type Server struct {
 	leads *store.Store
 	rev   atomic.Uint64 // store mutation count, bumped under mu
 
-	reg   *obs.Registry
-	start time.Time
-	mux   *http.ServeMux
+	reg    *obs.Registry
+	start  time.Time
+	mux    *http.ServeMux
+	alerts *alert.Manager // nil until AttachAlerts
 }
 
 // New builds the server over the process-wide metrics registry. Either
@@ -154,7 +156,9 @@ func writeError(w http.ResponseWriter, status int, msg string) {
 	writeJSON(w, status, map[string]string{"error": msg})
 }
 
-// Health is the /healthz readiness document.
+// Health is the /healthz readiness document. With an alert manager
+// attached it carries the streaming subsystem's load too, and Status
+// degrades (with the response code) when that subsystem is unhealthy.
 type Health struct {
 	Status        string  `json:"status"`
 	Leads         int     `json:"leads"`
@@ -163,6 +167,10 @@ type Health struct {
 	Goroutines    int     `json:"goroutines"`
 	HeapAllocB    uint64  `json:"heap_alloc_bytes"`
 	NumGC         uint32  `json:"num_gc"`
+	// Alerts reports the streaming subsystem; absent without one.
+	Alerts *alert.Health `json:"alerts,omitempty"`
+	// Degraded lists why Status is "degraded" (see alert.Health).
+	Degraded []string `json:"degraded,omitempty"`
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
@@ -175,7 +183,7 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	}
 	var ms runtime.MemStats
 	runtime.ReadMemStats(&ms)
-	writeJSON(w, http.StatusOK, Health{
+	h := Health{
 		Status:        "ok",
 		Leads:         n,
 		Drivers:       drivers,
@@ -183,7 +191,20 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 		Goroutines:    runtime.NumGoroutine(),
 		HeapAllocB:    ms.HeapAlloc,
 		NumGC:         ms.NumGC,
-	})
+	}
+	status := http.StatusOK
+	if s.alerts != nil {
+		ah := s.alerts.Health()
+		h.Alerts = &ah
+		if reasons := ah.Degraded(); len(reasons) > 0 {
+			// Still serving — readiness probes should route traffic
+			// away until the stream drains, hence 503 over 200.
+			h.Status = "degraded"
+			h.Degraded = reasons
+			status = http.StatusServiceUnavailable
+		}
+	}
+	writeJSON(w, status, h)
 }
 
 func (s *Server) handleDrivers(w http.ResponseWriter, _ *http.Request) {

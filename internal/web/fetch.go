@@ -55,7 +55,7 @@ func IsTransient(err error) bool {
 // Fetch implements Fetcher over the page store: a lookup never fails
 // transiently, and a missing page is ErrNotFound.
 func (w *Web) Fetch(_ context.Context, url string) (*Page, error) {
-	p, ok := w.pages[url]
+	p, ok := w.Page(url)
 	if !ok {
 		return nil, fmt.Errorf("%s: %w", url, ErrNotFound)
 	}

@@ -5,6 +5,7 @@
 package web
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sort"
@@ -24,9 +25,13 @@ type Page struct {
 	Links []string
 }
 
-// Web is an immutable-after-build page store with a search index.
-// Concurrent reads are safe once Freeze has been called.
+// Web is a page store with a search index. The build phase (AddPage,
+// AddPages, Freeze) is single-owner; after Freeze the web is immutable
+// through the build API but still accepts incremental additions through
+// Ingest — the streaming path new documents arrive on. All readers and
+// Ingest are safe for concurrent use.
 type Web struct {
+	mu     sync.RWMutex
 	pages  map[string]*Page
 	order  []string // insertion order, for deterministic iteration
 	ix     *index.Index
@@ -57,11 +62,21 @@ func New(opts ...Option) *Web {
 }
 
 // AddPage stores and indexes a page. Pages must have unique URLs; adding
-// after Freeze or re-adding a URL panics.
+// after Freeze or re-adding a URL panics. Use Ingest for post-freeze
+// additions.
 func (w *Web) AddPage(p Page) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
 	if w.frozen {
 		panic("web: AddPage after Freeze")
 	}
+	w.store(p)
+	w.ix.Add(p.URL, p.Title+" "+p.Text)
+}
+
+// store validates and records a page in the page table without
+// indexing it. Callers hold the write lock.
+func (w *Web) store(p Page) *Page {
 	if p.URL == "" {
 		panic("web: page without URL")
 	}
@@ -74,7 +89,7 @@ func (w *Web) AddPage(p Page) {
 	cp := p
 	w.pages[p.URL] = &cp
 	w.order = append(w.order, p.URL)
-	w.ix.Add(p.URL, p.Title+" "+p.Text)
+	return &cp
 }
 
 // AddPages bulk-loads pages: page-store bookkeeping (ordering,
@@ -83,29 +98,21 @@ func (w *Web) AddPage(p Page) {
 // feeding the sharded index concurrently. Behaviour is identical to
 // calling AddPage for each page in order; only the load parallelizes.
 func (w *Web) AddPages(pages []Page) {
-	if w.frozen {
-		panic("web: AddPages after Freeze")
-	}
 	// Sequential phase: validate and store so order and duplicate
 	// detection don't depend on scheduling.
+	w.mu.Lock()
+	if w.frozen {
+		w.mu.Unlock()
+		panic("web: AddPages after Freeze")
+	}
 	stored := make([]*Page, 0, len(pages))
 	for _, p := range pages {
-		if p.URL == "" {
-			panic("web: page without URL")
-		}
-		if _, dup := w.pages[p.URL]; dup {
-			panic("web: duplicate URL " + p.URL)
-		}
-		if p.Host == "" {
-			p.Host = HostOf(p.URL)
-		}
-		cp := p
-		w.pages[p.URL] = &cp
-		w.order = append(w.order, p.URL)
-		stored = append(stored, &cp)
+		stored = append(stored, w.store(p))
 	}
+	w.mu.Unlock()
 	// Concurrent phase: the index hashes documents to shards, so
-	// workers rarely contend on a shard lock.
+	// workers rarely contend on a shard lock. index.Add is safe for
+	// concurrent use, so no web lock is held here.
 	workers := runtime.GOMAXPROCS(0)
 	if workers > len(stored) {
 		workers = len(stored)
@@ -134,28 +141,80 @@ func (w *Web) AddPages(pages []Page) {
 	wg.Wait()
 }
 
-// Freeze marks the web immutable; searches and lookups remain available.
-func (w *Web) Freeze() { w.frozen = true }
+// ErrDuplicatePage reports an Ingest of a URL the web already holds —
+// the signal the streaming path uses to treat re-ingestion as a no-op
+// instead of double-indexing.
+var ErrDuplicatePage = errors.New("web: page already present")
+
+// Ingest adds one page after the build phase — the incremental path
+// streaming ingestion uses. Unlike AddPage it is safe to call
+// concurrently with readers and with other Ingests, works after
+// Freeze, and reports a duplicate URL as ErrDuplicatePage instead of
+// panicking (re-ingestion must be idempotent, not fatal). The page is
+// visible to Page/URLs and searchable once Ingest returns.
+func (w *Web) Ingest(p Page) error {
+	if p.URL == "" {
+		return errors.New("web: page without URL")
+	}
+	w.mu.Lock()
+	if _, dup := w.pages[p.URL]; dup {
+		w.mu.Unlock()
+		return fmt.Errorf("%s: %w", p.URL, ErrDuplicatePage)
+	}
+	if p.Host == "" {
+		p.Host = HostOf(p.URL)
+	}
+	cp := p
+	w.pages[p.URL] = &cp
+	w.order = append(w.order, p.URL)
+	w.mu.Unlock()
+	// The index is internally synchronized; holding the web lock
+	// through tokenization would serialize concurrent ingests. The
+	// page table already holds the URL, so a racing duplicate Ingest
+	// fails above rather than double-indexing.
+	w.ix.Add(p.URL, p.Title+" "+p.Text)
+	return nil
+}
+
+// Freeze marks the web immutable through the build API (AddPage,
+// AddPages); searches, lookups, and streaming Ingest remain available.
+func (w *Web) Freeze() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.frozen = true
+}
 
 // Len returns the number of pages.
-func (w *Web) Len() int { return len(w.order) }
+func (w *Web) Len() int {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	return len(w.order)
+}
 
 // Page returns the page at url.
 func (w *Web) Page(url string) (*Page, bool) {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
 	p, ok := w.pages[url]
 	return p, ok
 }
 
 // URLs returns all page URLs in insertion order.
-func (w *Web) URLs() []string { return append([]string(nil), w.order...) }
+func (w *Web) URLs() []string {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	return append([]string(nil), w.order...)
+}
 
 // Search runs a search-engine query and returns the top-k pages, like
 // "we gathered the top 200 documents returned by the search engine ...
 // for each query".
 //
-//etaplint:ignore context-plumbing -- purely in-memory lookup over the frozen web: no I/O to cancel
+//etaplint:ignore context-plumbing -- purely in-memory lookup over the web: no I/O to cancel
 func (w *Web) Search(query string, k int) []*Page {
 	hits := w.ix.Search(query, k)
+	w.mu.RLock()
+	defer w.mu.RUnlock()
 	out := make([]*Page, 0, len(hits))
 	for _, h := range hits {
 		out = append(out, w.pages[h.DocID])
@@ -179,7 +238,7 @@ type Result struct {
 // window of the page text around the first query-term match, trimmed to
 // word boundaries.
 //
-//etaplint:ignore context-plumbing -- purely in-memory lookup over the frozen web: no I/O to cancel
+//etaplint:ignore context-plumbing -- purely in-memory lookup over the web: no I/O to cancel
 func (w *Web) SearchWithSnippets(query string, k int) []Result {
 	pages := w.Search(query, k)
 	q := index.ParseQuery(query)
@@ -235,10 +294,12 @@ func resultSnippet(text string, queryTerms []string) string {
 
 // Hosts returns the distinct hosts, sorted.
 func (w *Web) Hosts() []string {
+	w.mu.RLock()
 	set := map[string]bool{}
 	for _, u := range w.order {
 		set[w.pages[u].Host] = true
 	}
+	w.mu.RUnlock()
 	out := make([]string, 0, len(set))
 	for h := range set {
 		out = append(out, h)

@@ -1,8 +1,10 @@
 package web
 
 import (
+	"errors"
 	"fmt"
 	"strings"
+	"sync"
 	"testing"
 
 	"etap/internal/index"
@@ -197,5 +199,91 @@ func TestWithIndexOptions(t *testing.T) {
 	}
 	if hits := w.Search("merger", 0); len(hits) != 1 {
 		t.Fatalf("search on sharded web: %v", hits)
+	}
+}
+
+// TestIngestAfterFreeze covers the streaming path: a frozen web still
+// accepts incremental pages, which become visible to lookups and
+// searchable, while duplicates report ErrDuplicatePage instead of
+// panicking.
+func TestIngestAfterFreeze(t *testing.T) {
+	w := New()
+	w.AddPage(Page{URL: "http://a.example.com/1", Text: "seed page"})
+	w.Freeze()
+
+	if err := w.Ingest(Page{URL: "http://a.example.com/2", Text: "fresh merger announcement"}); err != nil {
+		t.Fatalf("Ingest after Freeze: %v", err)
+	}
+	if w.Len() != 2 {
+		t.Fatalf("Len() = %d, want 2", w.Len())
+	}
+	if p, ok := w.Page("http://a.example.com/2"); !ok || p.Host != "a.example.com" {
+		t.Fatalf("ingested page lookup: %v %v", p, ok)
+	}
+	if hits := w.Search("merger", 0); len(hits) != 1 || hits[0].URL != "http://a.example.com/2" {
+		t.Fatalf("ingested page not searchable: %v", hits)
+	}
+
+	err := w.Ingest(Page{URL: "http://a.example.com/2", Text: "fresh merger announcement"})
+	if !errors.Is(err, ErrDuplicatePage) {
+		t.Fatalf("duplicate ingest: %v", err)
+	}
+	if w.Len() != 2 {
+		t.Fatalf("duplicate ingest changed Len to %d", w.Len())
+	}
+	if err := w.Ingest(Page{Text: "no url"}); err == nil {
+		t.Fatal("ingest without URL accepted")
+	}
+}
+
+// TestIngestConcurrentWithReaders drives Ingest from several
+// goroutines while readers hammer Page/Search/URLs — the -race guard
+// for the streaming web.
+func TestIngestConcurrentWithReaders(t *testing.T) {
+	w := New()
+	w.AddPage(Page{URL: "http://c.example.com/seed", Text: "seed acquisition story"})
+	w.Freeze()
+
+	const writers, perWriter = 4, 25
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				w.Page("http://c.example.com/seed")
+				w.Search("acquisition", 5)
+				w.URLs()
+				w.Len()
+			}
+		}()
+	}
+	var iwg sync.WaitGroup
+	for g := 0; g < writers; g++ {
+		iwg.Add(1)
+		go func(g int) {
+			defer iwg.Done()
+			for i := 0; i < perWriter; i++ {
+				url := fmt.Sprintf("http://c.example.com/%d-%d", g, i)
+				if err := w.Ingest(Page{URL: url, Text: "acquisition update"}); err != nil {
+					t.Errorf("Ingest %s: %v", url, err)
+				}
+			}
+		}(g)
+	}
+	iwg.Wait()
+	close(stop)
+	wg.Wait()
+	if got := w.Len(); got != 1+writers*perWriter {
+		t.Fatalf("Len() = %d, want %d", got, 1+writers*perWriter)
+	}
+	if hits := w.Search("acquisition", 0); len(hits) != 1+writers*perWriter {
+		t.Fatalf("search sees %d pages", len(hits))
 	}
 }
