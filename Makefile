@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: ci vet build lint test race race-alert bench bench-index bench-alert doccheck examples fmt-check
+.PHONY: ci vet build lint test race race-alert race-trace bench bench-index bench-alert bench-trace doccheck examples fmt-check
 
 ci: vet build lint race
 
@@ -36,6 +36,13 @@ race:
 race-alert:
 	$(GO) test -race -count=1 ./internal/alert ./internal/serve ./cmd/etapd
 
+# The tracing path touches every concurrent layer at once (ingest
+# workers, subscriber lanes, the tracer's ring store, histogram
+# read/write interleavings, SSE fan-out); this runs those tests
+# race-enabled, including the end-to-end acceptance trace.
+race-trace:
+	$(GO) test -race -count=1 -run 'Trace|DTrace|Lag|Histogram|SSE|Broadcast|Disconnect|Cancel' ./internal/obs ./internal/alert ./internal/serve ./cmd/etapd
+
 # One pass over every benchmark (quality numbers + observability overhead).
 bench:
 	$(GO) test -run xxx -bench . -benchtime 1x ./...
@@ -51,6 +58,12 @@ bench-index:
 # workers, and writes the machine-readable report to BENCH_alert.json.
 bench-alert:
 	ETAP_BENCH_ALERT=$(CURDIR)/BENCH_alert.json $(GO) test ./internal/alert -run TestAlertBenchHarness -v
+
+# Tracing-overhead harness: runs the same ingest stream with tracing
+# off and on (tail sampling at 0.25), fails if the median per-round
+# slowdown exceeds 5%, and writes the report to BENCH_trace.json.
+bench-trace:
+	ETAP_BENCH_TRACE=$(CURDIR)/BENCH_trace.json $(GO) test ./internal/alert -count=1 -run TestTraceBenchHarness -v
 
 # Doc-comment lint: every exported symbol must carry a godoc comment.
 # Now served by etaplint's doc-comments rule over the whole repository

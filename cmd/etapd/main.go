@@ -11,12 +11,23 @@
 //	      [-shutdown-timeout 10s] [-checkpoint-interval 30s]
 //	      [-alerts] [-subscriptions subs.jsonl]
 //	      [-ingest-workers N] [-ingest-queue N]
+//	      [-trace-sample 0.1] [-trace-store 256] [-lag-slo 0]
 //
 // Streaming (default on, -alerts=false disables): POST /ingest feeds
 // documents through the extraction pipeline incrementally, deduped
 // trigger events land in the lead store, and matching subscribers
 // (CRUD under /subscriptions, persisted to -subscriptions) get webhook
 // and GET /alerts/stream SSE alerts. A full ingest queue answers 429.
+//
+// Tracing (with -alerts): every accepted document gets a trace ID
+// (echoed by the 202) following it through extraction, matching, and
+// each webhook attempt (outgoing W3C traceparent header). Completed
+// traces are tail-sampled — errors and the slow tail always retained,
+// healthy traces at -trace-sample — into a -trace-store-entry ring
+// served at GET /debug/traces (and /debug/traces/{id}); -trace-store 0
+// disables tracing. Log lines carry trace_id/span_id when in scope.
+// -lag-slo sets a p99 budget on delivery lag (ingest accept → webhook
+// 2xx); exceeding it degrades /healthz.
 //
 // Lifecycle: SIGTERM or SIGINT triggers a graceful shutdown — the
 // listener stops accepting, in-flight requests drain for up to
@@ -28,10 +39,13 @@
 //
 // Observability:
 //
-//	GET /metrics      Prometheus text exposition (pipeline + HTTP metrics)
-//	GET /debug/vars   JSON snapshot of the same registry
-//	GET /healthz      readiness: drivers, store size, uptime, runtime stats
-//	GET /debug/pprof/ Go profiler endpoints (only with -pprof)
+//	GET /metrics           Prometheus text exposition (pipeline + HTTP metrics)
+//	GET /debug/vars        JSON snapshot of the same registry
+//	GET /healthz           readiness: drivers, store size, uptime, runtime stats
+//	GET /debug/build       build identity (version, go, VCS revision)
+//	GET /debug/traces      recent per-document traces (with -alerts)
+//	GET /debug/traces/{id} one trace's full span tree (with -alerts)
+//	GET /debug/pprof/      Go profiler endpoints (only with -pprof)
 //
 // Logs are structured (log/slog, text to stderr); -log-level selects
 // debug|info|warn|error. Per-request access logs are emitted at debug.
@@ -83,6 +97,9 @@ type options struct {
 	subsPath      string
 	ingestWorkers int
 	ingestQueue   int
+	traceSample   float64
+	traceStore    int
+	lagSLO        time.Duration
 }
 
 func main() {
@@ -104,6 +121,9 @@ func main() {
 		subsPath      = flag.String("subscriptions", "", "JSONL subscription store to load (and keep checkpointing)")
 		ingestWorkers = flag.Int("ingest-workers", 0, "ingest worker-pool size (0 = default 2)")
 		ingestQueue   = flag.Int("ingest-queue", 0, "ingest queue capacity before 429s (0 = default 64)")
+		traceSample   = flag.Float64("trace-sample", 0.1, "fraction of healthy traces retained (errors and the slow tail always kept)")
+		traceStore    = flag.Int("trace-store", 256, "retained-trace ring capacity (0 disables per-document tracing)")
+		lagSLO        = flag.Duration("lag-slo", 0, "p99 delivery-lag budget, ingest accept to webhook 2xx (0 disables the /healthz check)")
 	)
 	flag.Parse()
 
@@ -112,7 +132,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "etapd:", err)
 		os.Exit(2)
 	}
-	log := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+	log := slog.New(obs.NewTraceHandler(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level})))
 	slog.SetDefault(log)
 
 	opts := options{
@@ -132,6 +152,9 @@ func main() {
 		subsPath:      *subsPath,
 		ingestWorkers: *ingestWorkers,
 		ingestQueue:   *ingestQueue,
+		traceSample:   *traceSample,
+		traceStore:    *traceStore,
+		lagSLO:        *lagSLO,
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -222,11 +245,21 @@ func run(ctx context.Context, log *slog.Logger, opts options) error {
 			}
 			log.Info("subscriptions loaded", "path", opts.subsPath, "subscriptions", subs.Len())
 		}
+		var tracer *obs.Tracer
+		if opts.traceStore > 0 {
+			tracer = obs.NewTracer(obs.TracerConfig{
+				Capacity:   opts.traceStore,
+				SampleRate: opts.traceSample,
+			})
+			api.AttachTracer(tracer)
+		}
 		manager = alert.NewManager(sys, api, w, alert.Config{
 			Workers:       opts.ingestWorkers,
 			QueueSize:     opts.ingestQueue,
 			Subscriptions: subs,
 			Log:           log,
+			Tracer:        tracer,
+			LagSLO:        opts.lagSLO,
 		})
 		// Everything already in the lead store has been alerted (or
 		// predates alerting): seed the dedup set so a restart — or a

@@ -1,0 +1,229 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"etap/internal/alert"
+	"etap/internal/gather"
+	"etap/internal/obs"
+	"etap/internal/serve"
+	"etap/internal/store"
+	"etap/internal/web"
+)
+
+var traceparentRE = regexp.MustCompile(`^00-([0-9a-f]{32})-([0-9a-f]{16})-01$`)
+
+// tracingWebhook is a real HTTP endpoint recording each attempt's
+// traceparent header, failing the first `fail` attempts with 500.
+type tracingWebhook struct {
+	mu           sync.Mutex
+	fail         int
+	attempts     int
+	traceparents []string
+	delivered    []alert.Alert
+	done         chan struct{}
+}
+
+func (f *tracingWebhook) handler(w http.ResponseWriter, r *http.Request) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.attempts++
+	f.traceparents = append(f.traceparents, r.Header.Get("traceparent"))
+	if f.attempts <= f.fail {
+		http.Error(w, "outage", http.StatusInternalServerError)
+		return
+	}
+	var a alert.Alert
+	if err := json.NewDecoder(r.Body).Decode(&a); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	f.delivered = append(f.delivered, a)
+	if len(f.delivered) == 1 {
+		close(f.done)
+	}
+	w.WriteHeader(http.StatusOK)
+}
+
+func (f *tracingWebhook) snapshot() (parents []string, delivered []alert.Alert) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]string(nil), f.traceparents...), append([]alert.Alert(nil), f.delivered...)
+}
+
+// TestTraceEndToEnd is the acceptance path: one document followable
+// end to end. POST /ingest answers with a trace ID; the eventual
+// webhook (after two forced 500s) carries a matching W3C traceparent
+// with a fresh span ID per attempt; GET /debug/traces/{id} shows the
+// full span tree; the delivery-lag histogram is populated; and an
+// absurdly tight -lag-slo degrades /healthz with the documented reason.
+// Run with -race (make race-trace / CI's tracing step).
+func TestTraceEndToEnd(t *testing.T) {
+	hook := &tracingWebhook{fail: 2, done: make(chan struct{})}
+	webhookSrv := httptest.NewServer(http.HandlerFunc(hook.handler))
+	defer webhookSrv.Close()
+
+	reg := obs.NewRegistry()
+	tracer := obs.NewTracer(obs.TracerConfig{SampleRate: 1, Registry: reg})
+	api := serve.NewWithRegistry(nil, store.New(), reg)
+	api.AttachTracer(tracer)
+	w := web.New()
+	w.Freeze()
+	m := alert.NewManager(triggerPipeline{}, api, w, alert.Config{
+		Registry: reg,
+		Tracer:   tracer,
+		LagSLO:   time.Nanosecond, // any real delivery lag exceeds this
+		Retry: gather.RetryConfig{
+			MaxAttempts:    4,
+			Sleep:          func(time.Duration) {},
+			AttemptTimeout: -1,
+		},
+		Log: quietLog(),
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	m.Start(ctx)
+	defer m.Close()
+	api.AttachAlerts(m)
+	apiSrv := httptest.NewServer(api)
+	defer apiSrv.Close()
+
+	// Subscribe, delivery to the traceparent-recording hook.
+	resp, err := http.Post(apiSrv.URL+"/subscriptions", "application/json",
+		strings.NewReader(`{"company":"Globex","webhook":"`+webhookSrv.URL+`"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("subscription create: %d", resp.StatusCode)
+	}
+
+	// Ingest: the 202 must name the trace.
+	resp, err = http.Post(apiSrv.URL+"/ingest", "application/json",
+		strings.NewReader(`{"url":"https://news.example/globex","text":"Globex will acquire Initech."}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var accepted map[string]string
+	if err := json.NewDecoder(resp.Body).Decode(&accepted); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("ingest: %d", resp.StatusCode)
+	}
+	traceID := accepted["trace_id"]
+	if !regexp.MustCompile(`^[0-9a-f]{32}$`).MatchString(traceID) {
+		t.Fatalf("202 trace_id = %q, want 32 hex digits", traceID)
+	}
+
+	select {
+	case <-hook.done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("webhook never delivered")
+	}
+	fctx, fcancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer fcancel()
+	if err := m.Flush(fctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// Every attempt carried a traceparent joined to OUR trace, each with
+	// its own span ID.
+	parents, delivered := hook.snapshot()
+	if len(parents) != 3 {
+		t.Fatalf("webhook saw %d attempts, want 3", len(parents))
+	}
+	spanIDs := map[string]bool{}
+	for i, tp := range parents {
+		mm := traceparentRE.FindStringSubmatch(tp)
+		if mm == nil {
+			t.Fatalf("attempt %d traceparent %q is not W3C-formed", i, tp)
+		}
+		if mm[1] != traceID {
+			t.Fatalf("attempt %d trace ID %s, want %s", i, mm[1], traceID)
+		}
+		spanIDs[mm[2]] = true
+	}
+	if len(spanIDs) != 3 {
+		t.Fatalf("attempts shared span IDs: %v", spanIDs)
+	}
+	if len(delivered) != 1 || delivered[0].TraceID != traceID {
+		t.Fatalf("delivered = %+v, want one alert carrying trace %s", delivered, traceID)
+	}
+
+	// The span tree is browsable and complete.
+	resp, err = http.Get(apiSrv.URL + "/debug/traces/" + traceID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tv obs.TraceView
+	if err := json.NewDecoder(resp.Body).Decode(&tv); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/traces/{id}: %d", resp.StatusCode)
+	}
+	counts := map[string]int{}
+	for _, sp := range tv.Spans {
+		counts[sp.Name]++
+	}
+	for _, want := range []string{"ingest", "index", "extract", "dedup", "store", "dispatch"} {
+		if counts[want] == 0 {
+			t.Errorf("trace missing %q span; have %v", want, counts)
+		}
+	}
+	if counts["webhook"] != 3 {
+		t.Errorf("trace has %d webhook spans, want one per attempt (3); %v", counts["webhook"], counts)
+	}
+
+	// The lag histogram is populated and the 1ns SLO degrades /healthz.
+	resp, err = http.Get(apiSrv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(metrics), "etap_alert_delivery_lag_seconds_count 1") {
+		t.Error("/metrics missing etap_alert_delivery_lag_seconds_count 1")
+	}
+	if !strings.Contains(string(metrics), "etap_alert_subscriber_queue_wait_seconds_count") {
+		t.Error("/metrics missing the subscriber queue-wait histogram")
+	}
+
+	resp, err = http.Get(apiSrv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health serve.Health
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("/healthz = %d, want 503 with the lag SLO blown", resp.StatusCode)
+	}
+	found := false
+	for _, r := range health.Degraded {
+		if r == alert.DegradedDeliveryLag {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("degradation reasons %v missing %q", health.Degraded, alert.DegradedDeliveryLag)
+	}
+	if health.Alerts == nil || health.Alerts.DeliveryLagP99 <= 0 {
+		t.Fatalf("health alerts block = %+v, want a positive p99 lag", health.Alerts)
+	}
+}

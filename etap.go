@@ -298,3 +298,17 @@ func WithTrace(ctx context.Context, tr *Trace) context.Context {
 func StartSpan(ctx context.Context, stage string) *Span {
 	return obs.StartSpan(ctx, stage)
 }
+
+// Tracer mints and retains per-document distributed traces: one span
+// tree per ingested document, tail-sampled so errors and the slow tail
+// are always kept. Share one tracer between the alert manager (which
+// mints traces) and the HTTP server (which browses them at
+// /debug/traces).
+type Tracer = obs.Tracer
+
+// TracerConfig tunes a Tracer; the zero value selects the documented
+// defaults (256 retained traces, wall clock, crypto-seeded IDs).
+type TracerConfig = obs.TracerConfig
+
+// NewTracer builds a per-document tracer.
+func NewTracer(cfg TracerConfig) *Tracer { return obs.NewTracer(cfg) }

@@ -26,6 +26,7 @@ import (
 	"encoding/json"
 	"errors"
 	"log/slog"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -48,6 +49,15 @@ type Document struct {
 // driver. core.System implements it (ExtractAllEvents).
 type Pipeline interface {
 	ExtractAllEvents(pages []*web.Page, threshold float64) []rank.Event
+}
+
+// TracedPipeline is the optional Pipeline extension the manager
+// prefers when per-document tracing is on: implementations contribute
+// extraction spans to the document trace carried by ctx. core.System
+// implements it (ExtractAllEventsTraced).
+type TracedPipeline interface {
+	Pipeline
+	ExtractAllEventsTraced(ctx context.Context, pages []*web.Page, threshold float64) []rank.Event
 }
 
 // Sink receives freshly extracted events. serve.Server implements it
@@ -101,6 +111,15 @@ type Config struct {
 	// Log receives structured progress and drop reports; nil means
 	// slog.Default.
 	Log *slog.Logger
+	// Tracer mints one distributed trace per accepted document,
+	// following it through extraction, matching, and every webhook
+	// delivery; nil disables per-document tracing. Share the tracer
+	// with serve.Server.AttachTracer so the traces are browsable.
+	Tracer *obs.Tracer
+	// LagSLO is the p99 delivery-lag budget (ingest accept → webhook
+	// 2xx). When the observed p99 exceeds it, Health reports the
+	// subsystem degraded; 0 disables the check.
+	LagSLO time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -152,7 +171,7 @@ type Manager struct {
 	disp     *dispatcher
 	bcast    *Broadcaster
 
-	queue   chan Document
+	queue   chan ingestItem
 	pending atomic.Int64 // documents accepted but not fully processed
 	wg      sync.WaitGroup
 	started atomic.Bool
@@ -180,9 +199,23 @@ func NewManager(pipeline Pipeline, sink Sink, indexer Indexer, cfg Config) *Mana
 		dedup:    newDedup(),
 		disp:     newDispatcher(cfg, met, cfg.Deliverer),
 		bcast:    newBroadcaster(cfg.SSEBuffer, met),
-		queue:    make(chan Document, cfg.QueueSize),
+		queue:    make(chan ingestItem, cfg.QueueSize),
 	}
 }
+
+// ingestItem is one queued document plus its per-document trace and
+// accept timestamp. The trace must ride the queue with the document:
+// worker goroutines run under the Start context, not the HTTP
+// request's, so a context value would not survive the hop.
+type ingestItem struct {
+	doc        Document
+	tr         *obs.DTrace
+	root       *obs.DSpan
+	acceptedAt time.Time // Clock at Enqueue; the delivery-lag SLO's zero point
+}
+
+// traceID returns the item's hex trace ID, "" when tracing is off.
+func (it ingestItem) traceID() string { return it.tr.ID() }
 
 // Start launches the ingest workers. ctx bounds all delivery attempts:
 // cancelling it makes in-flight webhook deliveries abort instead of
@@ -195,9 +228,9 @@ func (m *Manager) Start(ctx context.Context) {
 		m.wg.Add(1)
 		go func() {
 			defer m.wg.Done()
-			for doc := range m.queue {
+			for it := range m.queue {
 				m.met.queueDepth.Set(int64(len(m.queue)))
-				m.process(ctx, doc)
+				m.process(ctx, it)
 				m.pending.Add(-1)
 			}
 		}()
@@ -235,82 +268,124 @@ func (m *Manager) Unsubscribe(id string) error {
 // returns ErrQueueFull immediately — the caller decides whether to
 // shed or retry.
 func (m *Manager) Enqueue(doc Document) error {
+	_, err := m.EnqueueTraced(doc)
+	return err
+}
+
+// EnqueueTraced is Enqueue returning the document's hex trace ID ("" when
+// the manager has no Tracer) — the value POST /ingest echoes in its
+// 202 response. A queue-full rejection still returns the ID: the trace
+// ends in error status, so the rejection is findable in /debug/traces.
+func (m *Manager) EnqueueTraced(doc Document) (string, error) {
 	if doc.URL == "" {
-		return errors.New("alert: document without URL")
+		return "", errors.New("alert: document without URL")
 	}
 	if doc.Text == "" {
-		return errors.New("alert: document without text")
+		return "", errors.New("alert: document without text")
 	}
 	if !m.started.Load() {
-		return ErrNotStarted
+		return "", ErrNotStarted
 	}
 	m.closeMu.RLock()
 	defer m.closeMu.RUnlock()
 	if m.closed {
-		return ErrClosed
+		return "", ErrClosed
 	}
+	tr, root := m.cfg.Tracer.StartTrace("ingest")
+	root.SetAttr("url", doc.URL)
+	it := ingestItem{doc: doc, tr: tr, root: root, acceptedAt: m.cfg.Clock()}
 	select {
-	case m.queue <- doc:
+	case m.queue <- it:
 		m.pending.Add(1)
 		m.met.ingested.Inc()
 		m.met.queueDepth.Set(int64(len(m.queue)))
-		return nil
+		return it.traceID(), nil
 	default:
 		m.met.rejected.Inc()
-		return ErrQueueFull
+		root.Fail(ErrQueueFull.Error())
+		root.End()
+		return it.traceID(), ErrQueueFull
 	}
 }
 
 // process runs one document through the streaming pipeline: index,
-// extract, dedup, store, fan out.
-func (m *Manager) process(ctx context.Context, doc Document) {
+// extract, dedup, store, fan out. Each stage contributes a span to the
+// document's trace (when tracing is on).
+func (m *Manager) process(ctx context.Context, it ingestItem) {
+	doc := it.doc
+	ctx = obs.ContextWithDSpan(ctx, it.root)
+	defer it.root.End()
 	start := m.cfg.Clock()
 	defer func() {
 		m.met.ingestDur.Observe(m.cfg.Clock().Sub(start).Seconds())
 	}()
 	page := web.Page{URL: doc.URL, Host: web.HostOf(doc.URL), Title: doc.Title, Text: doc.Text}
 	if m.indexer != nil {
+		_, isp := obs.StartDSpan(ctx, "index")
 		if err := m.indexer.Ingest(page); err != nil {
 			if !errors.Is(err, web.ErrDuplicatePage) {
-				m.cfg.Log.Warn("alert: indexing ingested document", "url", doc.URL, "err", err)
+				isp.Fail(err.Error())
+				isp.End()
+				it.root.Fail("index: " + err.Error())
+				m.cfg.Log.WarnContext(ctx, "alert: indexing ingested document", "url", doc.URL, "err", err)
 				return
 			}
 			// A replayed URL is expected on a stream: extraction still
 			// runs (the text may differ), and the fingerprint dedup
 			// decides what, if anything, is new.
+			isp.SetAttr("duplicate", "true")
 			m.met.dupDocs.Inc()
 		}
+		isp.End()
 	}
 	var events []rank.Event
+	ectx, esp := obs.StartDSpan(ctx, "extract")
 	if m.pipeline != nil {
-		events = m.pipeline.ExtractAllEvents([]*web.Page{&page}, m.cfg.Threshold)
+		if tp, ok := m.pipeline.(TracedPipeline); ok {
+			events = tp.ExtractAllEventsTraced(ectx, []*web.Page{&page}, m.cfg.Threshold)
+		} else {
+			events = m.pipeline.ExtractAllEvents([]*web.Page{&page}, m.cfg.Threshold)
+		}
 	}
+	esp.SetAttr("events", strconv.Itoa(len(events)))
+	esp.End()
 	m.met.events.Add(uint64(len(events)))
+	_, dsp := obs.StartDSpan(ctx, "dedup")
 	fresh, dropped := m.dedup.filter(events)
+	dsp.SetAttr("fresh", strconv.Itoa(len(fresh)))
+	dsp.SetAttr("dropped", strconv.Itoa(dropped))
+	dsp.End()
 	m.met.dedupHits.Add(uint64(dropped))
 	if len(fresh) == 0 {
 		return
 	}
 	now := m.cfg.Clock()
 	if m.sink != nil {
-		m.sink.AddLeads(fresh, now)
+		_, ssp := obs.StartDSpan(ctx, "store")
+		added := m.sink.AddLeads(fresh, now)
+		ssp.SetAttr("added", strconv.Itoa(added))
+		ssp.End()
 	}
 	for _, ev := range fresh {
-		m.fanOut(ctx, ev, now.Unix())
+		m.fanOut(ctx, ev, now, it)
 	}
 }
 
 // fanOut broadcasts one fresh event to the SSE stream and enqueues it
-// to every matching webhook subscriber.
-func (m *Manager) fanOut(ctx context.Context, ev rank.Event, now int64) {
-	if frame, err := json.Marshal(Alert{Event: ev, Time: now}); err == nil {
+// to every matching webhook subscriber, stamping the document's trace
+// ID into every frame and alert.
+func (m *Manager) fanOut(ctx context.Context, ev rank.Event, now time.Time, it ingestItem) {
+	a := Alert{Event: ev, Time: now.Unix(), TraceID: it.traceID()}
+	if frame, err := json.Marshal(a); err == nil {
 		m.bcast.Broadcast(frame)
 	}
 	for _, sub := range m.subs.List() {
 		if sub.WebhookURL == "" || !sub.Matches(ev) {
 			continue
 		}
-		m.disp.dispatch(ctx, sub, Alert{Subscription: sub.ID, Event: ev, Time: now})
+		a := a
+		a.Subscription = sub.ID
+		m.disp.dispatch(ctx, sub, a, it.acceptedAt)
 	}
 }
 
@@ -326,12 +401,19 @@ type Health struct {
 	Subscriptions int `json:"subscriptions"`
 	// SSEClients is the connected /alerts/stream count.
 	SSEClients int `json:"sse_clients"`
+	// DeliveryLagP99 is the observed p99 end-to-end delivery lag in
+	// seconds (ingest accept → webhook 2xx); 0 until a delivery lands.
+	DeliveryLagP99 float64 `json:"delivery_lag_p99_seconds"`
+	// DeliveryLagSLO is the configured p99 budget in seconds; 0 means
+	// the SLO check is off.
+	DeliveryLagSLO float64 `json:"delivery_lag_slo_seconds,omitempty"`
 }
 
 // Reasons the subsystem reports itself degraded.
 const (
 	DegradedQueueSaturated = "ingest-queue-saturated"
 	DegradedDeadLetters    = "dead-letters-pending"
+	DegradedDeliveryLag    = "delivery-lag-slo-exceeded"
 )
 
 // Degraded lists why the subsystem is unhealthy; empty means healthy.
@@ -343,17 +425,22 @@ func (h Health) Degraded() []string {
 	if h.DeadLetters > 0 {
 		out = append(out, DegradedDeadLetters)
 	}
+	if h.DeliveryLagSLO > 0 && h.DeliveryLagP99 > h.DeliveryLagSLO {
+		out = append(out, DegradedDeliveryLag)
+	}
 	return out
 }
 
 // Health snapshots the subsystem's load.
 func (m *Manager) Health() Health {
 	return Health{
-		QueueDepth:    len(m.queue),
-		QueueCap:      cap(m.queue),
-		DeadLetters:   m.disp.dead.len(),
-		Subscriptions: m.subs.Len(),
-		SSEClients:    m.bcast.Clients(),
+		QueueDepth:     len(m.queue),
+		QueueCap:       cap(m.queue),
+		DeadLetters:    m.disp.dead.len(),
+		Subscriptions:  m.subs.Len(),
+		SSEClients:     m.bcast.Clients(),
+		DeliveryLagP99: m.met.deliveryLag.Quantile(0.99),
+		DeliveryLagSLO: m.cfg.LagSLO.Seconds(),
 	}
 }
 

@@ -11,20 +11,26 @@ package alert
 import (
 	"context"
 	"errors"
+	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"etap/internal/gather"
+	"etap/internal/obs"
 	"etap/internal/rank"
 	"etap/internal/web"
 )
 
 // Alert is one delivered notification: the event, the subscription it
-// matched, and when it fired (Unix seconds).
+// matched, and when it fired (Unix seconds). TraceID carries the
+// originating document's trace, when tracing is on — the same ID the
+// 202 response returned and /debug/traces serves.
 type Alert struct {
 	Subscription string     `json:"subscription,omitempty"`
 	Event        rank.Event `json:"event"`
 	Time         int64      `json:"time"`
+	TraceID      string     `json:"trace_id,omitempty"`
 }
 
 // Deliverer pushes one alert to a subscriber's endpoint. Failures are
@@ -64,6 +70,9 @@ type DeadLetter struct {
 	Err string `json:"err,omitempty"`
 	// Attempts is how many delivery attempts were made.
 	Attempts int `json:"attempts"`
+	// TraceID joins the entry to its document's trace (mirrors
+	// Alert.TraceID, lifted out for grep-ability).
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // ReasonQueueFull marks an alert dead-lettered because its
@@ -88,6 +97,9 @@ func newDeadLetters(cap int, met *metrics) *deadLetters {
 }
 
 func (d *deadLetters) add(dl DeadLetter) {
+	if dl.TraceID == "" {
+		dl.TraceID = dl.Alert.TraceID
+	}
 	d.mu.Lock()
 	d.buf = append(d.buf, dl)
 	if len(d.buf) > d.cap {
@@ -132,7 +144,18 @@ type dispatcher struct {
 // by a single goroutine owning the subscriber's retry policy.
 type subWorker struct {
 	sub Subscription
-	ch  chan Alert
+	ch  chan queuedAlert
+}
+
+// queuedAlert is one alert in flight through a subscriber lane, with
+// its open dispatch span and timing anchors. The span rides the queue,
+// not a context: the worker goroutine runs under the FIRST dispatch
+// call's context, which must not leak span identity onto later alerts.
+type queuedAlert struct {
+	a          Alert
+	sp         *obs.DSpan // "dispatch" span; open until delivery is terminal
+	acceptedAt time.Time  // Clock at ingest accept (delivery-lag zero point)
+	enqueuedAt time.Time  // Clock at lane enqueue (queue-wait zero point)
 }
 
 func newDispatcher(cfg Config, met *metrics, deliver Deliverer) *dispatcher {
@@ -147,11 +170,16 @@ func newDispatcher(cfg Config, met *metrics, deliver Deliverer) *dispatcher {
 
 // dispatch offers the alert to its subscriber's queue, spawning the
 // worker on first use. A full queue dead-letters the alert instead of
-// blocking the ingest pipeline.
-func (d *dispatcher) dispatch(ctx context.Context, sub Subscription, a Alert) {
+// blocking the ingest pipeline. acceptedAt anchors the delivery-lag
+// SLO (the ingest-accept instant, not the dispatch instant).
+func (d *dispatcher) dispatch(ctx context.Context, sub Subscription, a Alert, acceptedAt time.Time) {
+	_, sp := obs.StartDSpan(ctx, "dispatch")
+	sp.SetAttr("subscription", sub.ID)
 	d.mu.Lock()
 	if d.closed {
 		d.mu.Unlock()
+		sp.Fail("dispatcher closed")
+		sp.End()
 		d.dead.add(DeadLetter{Alert: a, Reason: ReasonQueueFull, Err: "dispatcher closed"})
 		return
 	}
@@ -161,13 +189,14 @@ func (d *dispatcher) dispatch(ctx context.Context, sub Subscription, a Alert) {
 		if size <= 0 {
 			size = 16
 		}
-		w = &subWorker{sub: sub, ch: make(chan Alert, size)}
+		w = &subWorker{sub: sub, ch: make(chan queuedAlert, size)}
 		d.workers[sub.ID] = w
 		d.wg.Add(1)
 		go d.run(ctx, w)
 	}
+	qa := queuedAlert{a: a, sp: sp, acceptedAt: acceptedAt, enqueuedAt: d.cfg.Clock()}
 	select {
-	case w.ch <- a:
+	case w.ch <- qa:
 		d.pending.Add(1)
 		d.met.fanout.Inc()
 		d.met.subQueue.Add(1)
@@ -175,6 +204,8 @@ func (d *dispatcher) dispatch(ctx context.Context, sub Subscription, a Alert) {
 	default:
 		d.mu.Unlock()
 		d.met.subDropped.Inc()
+		sp.Fail(ReasonQueueFull)
+		sp.End()
 		d.dead.add(DeadLetter{Alert: a, Reason: ReasonQueueFull})
 	}
 }
@@ -186,29 +217,51 @@ func (d *dispatcher) run(ctx context.Context, w *subWorker) {
 	defer d.wg.Done()
 	policy := gather.NewRetryPolicy(d.cfg.Retry, d.met.policy, deliveryTransient)
 	defer policy.Close()
-	for a := range w.ch {
+	qw := d.met.queueWait(w.sub.ID)
+	for qa := range w.ch {
 		d.met.subQueue.Add(-1)
-		d.attempt(ctx, policy, w.sub, a)
+		wait := d.cfg.Clock().Sub(qa.enqueuedAt)
+		qw.Observe(wait.Seconds())
+		qa.sp.SetAttr("queue_wait", wait.String())
+		d.attempt(ctx, policy, w.sub, qa)
 		d.pending.Add(-1)
 	}
 }
 
 // attempt runs one delivery under the subscriber's retry policy, keyed
 // by the webhook endpoint's host so one dead endpoint trips one
-// breaker.
-func (d *dispatcher) attempt(ctx context.Context, policy *gather.RetryPolicy, sub Subscription, a Alert) {
+// breaker. Each try gets its own "webhook" span, put on the attempt's
+// context so the deliverer can stamp the outgoing traceparent.
+func (d *dispatcher) attempt(ctx context.Context, policy *gather.RetryPolicy, sub Subscription, qa queuedAlert) {
 	start := d.cfg.Clock()
 	out := policy.Execute(ctx, web.HostOf(sub.WebhookURL), func(ctx context.Context) error {
 		d.met.attempts.Inc()
-		return d.deliver.Deliver(ctx, sub, a)
+		asp := qa.sp.Child("webhook")
+		err := d.deliver.Deliver(obs.ContextWithDSpan(ctx, asp), sub, qa.a)
+		if err != nil {
+			asp.Fail(err.Error())
+		}
+		asp.End()
+		return err
 	})
 	d.met.deliveryDur.Observe(d.cfg.Clock().Sub(start).Seconds())
+	qa.sp.SetAttr("attempts", strconv.Itoa(out.Attempts))
 	if out.Err == nil && out.Reason == "" {
 		d.met.deliveries.Inc()
+		d.met.deliveryLag.Observe(d.cfg.Clock().Sub(qa.acceptedAt).Seconds())
+		qa.sp.End()
 		return
 	}
 	d.met.failures.Inc()
-	dl := DeadLetter{Alert: a, Reason: out.Reason, Attempts: out.Attempts}
+	reason := out.Reason
+	if reason == "" && out.Err != nil {
+		reason = out.Err.Error()
+	}
+	qa.sp.Fail(reason)
+	qa.sp.End()
+	d.cfg.Log.WarnContext(obs.ContextWithDSpan(ctx, qa.sp), "alert: delivery abandoned",
+		"subscription", sub.ID, "reason", reason, "attempts", out.Attempts)
+	dl := DeadLetter{Alert: qa.a, Reason: out.Reason, Attempts: out.Attempts}
 	if out.Err != nil {
 		dl.Err = out.Err.Error()
 	}

@@ -12,6 +12,7 @@ import (
 // metrics bundles the alert series for one manager. Registration is
 // get-or-create, so managers sharing a registry share series.
 type metrics struct {
+	reg         *obs.Registry  // kept for per-subscriber series minted later
 	ingested    *obs.Counter   // documents accepted into the queue
 	rejected    *obs.Counter   // documents bounced on a full queue
 	dupDocs     *obs.Counter   // re-ingested URLs (web already held them)
@@ -26,6 +27,7 @@ type metrics struct {
 	deliveries  *obs.Counter   // successful deliveries
 	failures    *obs.Counter   // deliveries abandoned after retry exhaustion
 	deliveryDur *obs.Histogram // per-delivery wall time including retries
+	deliveryLag *obs.Histogram // ingest accept → webhook 2xx, end to end
 	deadTotal   *obs.Counter   // dead-lettered alerts, cumulative
 	deadDepth   *obs.Gauge     // dead-letter buffer occupancy
 	sseClients  *obs.Gauge     // connected SSE streams
@@ -33,11 +35,21 @@ type metrics struct {
 	policy      gather.PolicyMetrics
 }
 
+// queueWait returns the per-subscriber queue-wait histogram — how long
+// alerts sat in subID's delivery queue before their worker picked them
+// up. Registered once per worker (get-or-create), never in the drain
+// loop.
+func (m *metrics) queueWait(subID string) *obs.Histogram {
+	return m.reg.Histogram("etap_alert_subscriber_queue_wait_seconds",
+		"Alert wait time in a subscriber's delivery queue.", nil, "subscription", subID)
+}
+
 func newMetrics(reg *obs.Registry) *metrics {
 	if reg == nil {
 		reg = obs.Default
 	}
 	return &metrics{
+		reg: reg,
 		ingested: reg.Counter("etap_alert_ingested_docs_total",
 			"Documents accepted by POST /ingest."),
 		rejected: reg.Counter("etap_alert_ingest_rejected_total",
@@ -66,6 +78,8 @@ func newMetrics(reg *obs.Registry) *metrics {
 			"Alerts abandoned after exhausting the retry budget."),
 		deliveryDur: reg.Histogram("etap_alert_delivery_duration_seconds",
 			"Per-alert delivery wall time including retries and backoff.", nil),
+		deliveryLag: reg.Histogram("etap_alert_delivery_lag_seconds",
+			"End-to-end lag from ingest accept to webhook 2xx.", nil),
 		deadTotal: reg.Counter("etap_alert_dead_letters_total",
 			"Alerts moved to the dead-letter buffer, cumulative."),
 		deadDepth: reg.Gauge("etap_alert_dead_letters",

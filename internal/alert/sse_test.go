@@ -1,0 +1,193 @@
+package alert
+
+import (
+	"bytes"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"etap/internal/obs"
+)
+
+func newTestBroadcaster(buffer int) (*Broadcaster, *metrics) {
+	met := newMetrics(obs.NewRegistry())
+	return newBroadcaster(buffer, met), met
+}
+
+func TestBroadcastDeliversToEveryClient(t *testing.T) {
+	b, _ := newTestBroadcaster(4)
+	ch1, cancel1 := b.Subscribe()
+	ch2, cancel2 := b.Subscribe()
+	defer cancel1()
+	defer cancel2()
+	b.Broadcast([]byte("frame"))
+	for i, ch := range []<-chan []byte{ch1, ch2} {
+		select {
+		case f := <-ch:
+			if string(f) != "frame" {
+				t.Fatalf("client %d got %q", i, f)
+			}
+		case <-time.After(time.Second):
+			t.Fatalf("client %d never got the frame", i)
+		}
+	}
+}
+
+func TestSlowConsumerDropsFramesNotPipeline(t *testing.T) {
+	b, met := newTestBroadcaster(2)
+	slow, cancelSlow := b.Subscribe()
+	fast, cancelFast := b.Subscribe()
+	defer cancelSlow()
+	defer cancelFast()
+
+	// The slow client never reads; its 2-slot buffer fills, then drops.
+	done := make(chan struct{})
+	var got int
+	go func() {
+		defer close(done)
+		for range 5 {
+			select {
+			case <-fast:
+				got++
+			case <-time.After(time.Second):
+				return
+			}
+		}
+	}()
+	for i := 0; i < 5; i++ {
+		b.Broadcast([]byte(fmt.Sprintf("f%d", i)))
+		// Give the fast reader a beat so its buffer never fills.
+		time.Sleep(time.Millisecond)
+	}
+	<-done
+	if got != 5 {
+		t.Fatalf("fast client got %d frames, want 5", got)
+	}
+	if len(slow) != 2 {
+		t.Fatalf("slow client buffered %d frames, want its full 2", len(slow))
+	}
+	if drops := met.sseDropped.Value(); drops != 3 {
+		t.Fatalf("dropped counter = %d, want 3", drops)
+	}
+}
+
+func TestCancelIsIdempotentAndCleansUp(t *testing.T) {
+	b, met := newTestBroadcaster(2)
+	ch, cancel := b.Subscribe()
+	if b.Clients() != 1 || met.sseClients.Value() != 1 {
+		t.Fatalf("clients = %d gauge = %d, want 1/1", b.Clients(), met.sseClients.Value())
+	}
+	cancel()
+	cancel() // second cancel must not double-close or double-decrement
+	if b.Clients() != 0 {
+		t.Fatalf("clients = %d after cancel, want 0", b.Clients())
+	}
+	if met.sseClients.Value() != 0 {
+		t.Fatalf("gauge = %d after double cancel, want 0", met.sseClients.Value())
+	}
+	if _, ok := <-ch; ok {
+		t.Fatal("channel still open after cancel")
+	}
+	// Broadcasting after cancel must not panic (send on closed channel).
+	b.Broadcast([]byte("late"))
+}
+
+func TestCancelRacesBroadcastWithoutLeaks(t *testing.T) {
+	b, _ := newTestBroadcaster(1)
+	before := runtime.NumGoroutine()
+	var wg sync.WaitGroup
+	for i := 0; i < 50; i++ {
+		ch, cancel := b.Subscribe()
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			for range ch { // drain until cancel closes it
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			b.Broadcast([]byte("x"))
+			cancel()
+		}()
+	}
+	wg.Wait()
+	if b.Clients() != 0 {
+		t.Fatalf("clients = %d after all cancels, want 0", b.Clients())
+	}
+	// Drained readers must all have exited; allow scheduler slack.
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if after := runtime.NumGoroutine(); after > before {
+		t.Fatalf("goroutines grew %d -> %d: reader leak", before, after)
+	}
+}
+
+func TestSSEFrameCarriesTraceID(t *testing.T) {
+	tracer := obs.NewTracer(obs.TracerConfig{SampleRate: 1, Seed: 5, Registry: obs.NewRegistry()})
+	deliver := newScriptDeliverer()
+	m, _ := newTestManager(t, Config{Tracer: tracer}, deliver)
+	ch, cancel := m.Broadcaster().Subscribe()
+	defer cancel()
+
+	id, err := m.EnqueueTraced(Document{URL: "https://n.example/a", Text: "a merger closed"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id == "" {
+		t.Fatal("EnqueueTraced returned no trace ID with a tracer configured")
+	}
+	flush(t, m)
+	select {
+	case frame := <-ch:
+		if !bytes.Contains(frame, []byte(`"trace_id":"`+id+`"`)) {
+			t.Fatalf("SSE frame missing trace_id %s: %s", id, frame)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("no SSE frame after flush")
+	}
+}
+
+func TestEnqueueWithoutTracerReturnsEmptyID(t *testing.T) {
+	deliver := newScriptDeliverer()
+	m, _ := newTestManager(t, Config{}, deliver)
+	id, err := m.EnqueueTraced(Document{URL: "https://n.example/a", Text: "a merger closed"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != "" {
+		t.Fatalf("trace ID %q without a tracer, want empty", id)
+	}
+	flush(t, m)
+	// Alerts must not carry a bogus trace field.
+	for _, a := range deliver.deliveredAlerts() {
+		if a.TraceID != "" {
+			t.Fatalf("untraced alert carries TraceID %q", a.TraceID)
+		}
+	}
+}
+
+func TestSSEFramesAreValidEventStream(t *testing.T) {
+	// A frame with a newline would break SSE framing; JSON marshaling
+	// guarantees none, pinned here.
+	deliver := newScriptDeliverer()
+	m, _ := newTestManager(t, Config{}, deliver)
+	ch, cancel := m.Broadcaster().Subscribe()
+	defer cancel()
+	if err := m.Enqueue(Document{URL: "https://n.example/b", Text: "big merger news"}); err != nil {
+		t.Fatal(err)
+	}
+	flush(t, m)
+	select {
+	case frame := <-ch:
+		if strings.ContainsAny(string(frame), "\n\r") {
+			t.Fatalf("frame contains newline: %q", frame)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("no frame")
+	}
+}

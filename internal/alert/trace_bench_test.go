@@ -1,0 +1,217 @@
+package alert
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"etap/internal/gather"
+	"etap/internal/obs"
+	"etap/internal/rank"
+	"etap/internal/web"
+)
+
+// workPipeline emulates a trained extraction pass at realistic cost:
+// per document it tokenizes, hashes every token repeatedly, and scores
+// the text — a couple hundred microseconds of real CPU per document,
+// the same order as the real per-snippet classify/extract stages — so
+// the tracing overhead is measured against representative stage work
+// rather than a near-free stub (which would inflate the percentage).
+type workPipeline struct{}
+
+func (workPipeline) ExtractAllEvents(pages []*web.Page, threshold float64) []rank.Event {
+	var out []rank.Event
+	for _, pg := range pages {
+		toks := strings.Fields(pg.Text)
+		var acc uint64
+		for round := 0; round < 2400; round++ {
+			for _, tok := range toks {
+				h := fnv.New64a()
+				h.Write([]byte(tok))
+				acc ^= h.Sum64()
+			}
+		}
+		score := 0.8 + float64(acc%100)/1000 // 0.8..0.899, always a trigger
+		if score < threshold {
+			continue
+		}
+		out = append(out, rank.Event{
+			SnippetID: pg.URL + "#0",
+			Text:      pg.Text,
+			Driver:    "mergers-acquisitions",
+			Company:   "Acme",
+			Score:     score,
+		})
+	}
+	return out
+}
+
+// runTracedIngest is runIngest over the work pipeline with an optional
+// tracer, returning wall time from first Enqueue to a drained Flush.
+func runTracedIngest(tb testing.TB, docs int, tracer *obs.Tracer) time.Duration {
+	tb.Helper()
+	sink := &recordSink{}
+	w := web.New()
+	w.Freeze()
+	deliver := newScriptDeliverer()
+	subs := NewSubscriptions()
+	if _, err := subs.Add(Subscription{
+		Company: "Acme", Driver: "mergers-acquisitions",
+		WebhookURL: "https://crm.example/hook",
+	}); err != nil {
+		tb.Fatal(err)
+	}
+	m := NewManager(workPipeline{}, sink, w, Config{
+		Workers:         runtime.GOMAXPROCS(0),
+		QueueSize:       docs + 8,
+		SubscriberQueue: docs + 8,
+		Registry:        obs.NewRegistry(),
+		Subscriptions:   subs,
+		Deliverer:       deliver,
+		Tracer:          tracer,
+		Retry:           gather.RetryConfig{MaxAttempts: 1, Sleep: noSleep, AttemptTimeout: -1},
+	})
+	m.Start(context.Background())
+	defer m.Close()
+
+	start := time.Now()
+	for i := 0; i < docs; i++ {
+		err := m.Enqueue(Document{
+			URL:  fmt.Sprintf("https://bench.example/doc-%d", i),
+			Text: fmt.Sprintf("Acme announced merger number %d with a regional competitor in the enterprise software market.", i),
+		})
+		if err != nil {
+			tb.Fatal(err)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	if err := m.Flush(ctx); err != nil {
+		tb.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	if sink.len() != docs {
+		tb.Fatalf("stored %d events, want %d", sink.len(), docs)
+	}
+	return elapsed
+}
+
+// traceBenchReport is the schema of BENCH_trace.json — the tracing
+// overhead record, refreshed by `make bench-trace`.
+type traceBenchReport struct {
+	GeneratedAt  string  `json:"generated_at"`
+	GoMaxProcs   int     `json:"gomaxprocs"`
+	Docs         int     `json:"docs"`
+	SampleRate   float64 `json:"sample_rate"`
+	BaselineDPS  float64 `json:"baseline_docs_per_sec"`
+	TracedDPS    float64 `json:"traced_docs_per_sec"`
+	OverheadPct  float64 `json:"overhead_pct"`
+	TracesKept   int     `json:"traces_retained"`
+	OverheadGate float64 `json:"overhead_gate_pct"`
+}
+
+// traceOverheadGate is the acceptance ceiling: steady-state ingest with
+// sampling enabled must cost no more than this much throughput.
+const traceOverheadGate = 5.0
+
+// TestTraceBenchHarness measures ingest throughput with tracing off
+// versus tracing on (sample rate 0.25) over the realistic work
+// pipeline, asserts the overhead stays under the gate, and writes
+// BENCH_trace.json to the path named by ETAP_BENCH_TRACE. Skipped
+// unless that variable is set — run it via `make bench-trace`.
+func TestTraceBenchHarness(t *testing.T) {
+	out := os.Getenv("ETAP_BENCH_TRACE")
+	if out == "" {
+		t.Skip("set ETAP_BENCH_TRACE=<output path> (or run `make bench-trace`)")
+	}
+	const (
+		docs   = 600
+		rounds = 16
+		sample = 0.25
+	)
+	// Each round runs the two modes back to back and records the traced:
+	// baseline duration ratio. Adjacent runs land in the same noise
+	// window — GC pauses, scheduler churn, and (on shared vCPUs) steal
+	// time hit both about equally — so the ratio is far steadier than
+	// either duration, and the median across rounds rejects the rounds
+	// where a burst straddled only one mode. A warmup round per mode is
+	// discarded so cold caches and lazy runtime setup don't count.
+	best := func(d, prev time.Duration) time.Duration {
+		if prev == 0 || d < prev {
+			return d
+		}
+		return prev
+	}
+	newTracer := func() *obs.Tracer {
+		return obs.NewTracer(obs.TracerConfig{
+			SampleRate: sample,
+			Capacity:   256,
+			Registry:   obs.NewRegistry(),
+		})
+	}
+	runTracedIngest(t, docs, nil)
+	runTracedIngest(t, docs, newTracer())
+	var baseBest, tracedBest time.Duration
+	var ratios []float64
+	var kept int
+	for r := 0; r < rounds; r++ {
+		// Force a collection before each timed run so one mode never
+		// pays down GC debt the other accrued, and alternate which mode
+		// goes first so any residual order effect cancels across rounds.
+		var base, traced time.Duration
+		tracer := newTracer()
+		if r%2 == 0 {
+			runtime.GC()
+			base = runTracedIngest(t, docs, nil)
+			runtime.GC()
+			traced = runTracedIngest(t, docs, tracer)
+		} else {
+			runtime.GC()
+			traced = runTracedIngest(t, docs, tracer)
+			runtime.GC()
+			base = runTracedIngest(t, docs, nil)
+		}
+		baseBest = best(base, baseBest)
+		tracedBest = best(traced, tracedBest)
+		ratios = append(ratios, traced.Seconds()/base.Seconds())
+		kept = tracer.Len()
+	}
+	sort.Float64s(ratios)
+	median := ratios[len(ratios)/2]
+
+	dps := func(d time.Duration) float64 { return float64(docs) / d.Seconds() }
+	overhead := (median - 1) * 100
+	rep := traceBenchReport{
+		GeneratedAt:  time.Now().UTC().Format(time.RFC3339),
+		GoMaxProcs:   runtime.GOMAXPROCS(0),
+		Docs:         docs,
+		SampleRate:   sample,
+		BaselineDPS:  dps(baseBest),
+		TracedDPS:    dps(tracedBest),
+		OverheadPct:  overhead,
+		TracesKept:   kept,
+		OverheadGate: traceOverheadGate,
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("ingest: baseline %.0f docs/s, traced %.0f docs/s, overhead %.2f%% (gate %.0f%%), %d traces retained",
+		rep.BaselineDPS, rep.TracedDPS, overhead, traceOverheadGate, kept)
+	if overhead > traceOverheadGate {
+		t.Fatalf("tracing overhead %.2f%% exceeds the %.0f%% gate", overhead, traceOverheadGate)
+	}
+	if kept == 0 {
+		t.Fatal("no traces retained at sample rate 0.25 — the traced run measured nothing")
+	}
+}

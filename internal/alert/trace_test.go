@@ -1,0 +1,300 @@
+package alert
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"etap/internal/gather"
+	"etap/internal/obs"
+	"etap/internal/rank"
+	"etap/internal/web"
+)
+
+// tracedManager wires a test manager sharing one tracer and registry so
+// assertions can inspect both.
+func tracedManager(t *testing.T, cfg Config, deliver Deliverer) (*Manager, *obs.Tracer, *obs.Registry) {
+	t.Helper()
+	reg := obs.NewRegistry()
+	tracer := obs.NewTracer(obs.TracerConfig{SampleRate: 1, Seed: 11, Registry: reg})
+	cfg.Tracer = tracer
+	m, _ := newTestManager(t, cfg, deliver)
+	return m, tracer, reg
+}
+
+func spanNames(tv obs.TraceView) map[string]int {
+	out := map[string]int{}
+	for _, sp := range tv.Spans {
+		out[sp.Name]++
+	}
+	return out
+}
+
+func TestTraceFollowsDocumentThroughDelivery(t *testing.T) {
+	deliver := newScriptDeliverer()
+	m, tracer, _ := tracedManager(t, Config{}, deliver)
+	if _, err := m.Subscriptions().Add(Subscription{ID: "s1", WebhookURL: "https://hook.example/a"}); err != nil {
+		t.Fatal(err)
+	}
+	id, err := m.EnqueueTraced(Document{URL: "https://n.example/a", Text: "a merger closed"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	flush(t, m)
+
+	tv, ok := tracer.Get(id)
+	if !ok {
+		t.Fatalf("trace %s not retained after delivery", id)
+	}
+	names := spanNames(tv)
+	for _, want := range []string{"ingest", "index", "extract", "dedup", "store", "dispatch", "webhook"} {
+		if names[want] == 0 {
+			t.Errorf("trace missing %q span; have %v", want, names)
+		}
+	}
+	if tv.Status != "error" && tv.Status != "ok" {
+		t.Fatalf("bad status %q", tv.Status)
+	}
+	if tv.Status != "ok" {
+		t.Fatalf("clean delivery traced as %q", tv.Status)
+	}
+	// The delivered alert carries the trace ID end to end.
+	deliv := deliver.deliveredAlerts()
+	if len(deliv) != 1 || deliv[0].TraceID != id {
+		t.Fatalf("delivered alerts = %+v, want one with trace %s", deliv, id)
+	}
+}
+
+func TestRetriedDeliveryGetsSpanPerAttempt(t *testing.T) {
+	deliver := newScriptDeliverer()
+	deliver.fails["s1"] = 2 // two transient failures, then success
+	m, tracer, _ := tracedManager(t, Config{}, deliver)
+	if _, err := m.Subscriptions().Add(Subscription{ID: "s1", WebhookURL: "https://hook.example/a"}); err != nil {
+		t.Fatal(err)
+	}
+	id, err := m.EnqueueTraced(Document{URL: "https://n.example/a", Text: "a merger closed"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	flush(t, m)
+	tv, ok := tracer.Get(id)
+	if !ok {
+		t.Fatalf("trace %s not retained", id)
+	}
+	names := spanNames(tv)
+	if names["webhook"] != 3 {
+		t.Fatalf("webhook spans = %d, want 3 (two failures + success); spans %v", names["webhook"], names)
+	}
+	// The failed attempts are error spans; the delivery as a whole is ok.
+	var failed int
+	for _, sp := range tv.Spans {
+		if sp.Name == "webhook" && sp.Status == "error" {
+			failed++
+		}
+	}
+	if failed != 2 {
+		t.Fatalf("failed webhook spans = %d, want 2", failed)
+	}
+	if tv.Status != "error" {
+		t.Fatalf("trace status = %q; a trace with failed spans reports error", tv.Status)
+	}
+}
+
+func TestDeadLetterCarriesTraceID(t *testing.T) {
+	deliver := newScriptDeliverer()
+	deliver.permanent["s1"] = true
+	m, tracer, _ := tracedManager(t, Config{}, deliver)
+	if _, err := m.Subscriptions().Add(Subscription{ID: "s1", WebhookURL: "https://hook.example/a"}); err != nil {
+		t.Fatal(err)
+	}
+	id, err := m.EnqueueTraced(Document{URL: "https://n.example/a", Text: "a merger closed"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	flush(t, m)
+	dead := m.DeadLetters()
+	if len(dead) != 1 {
+		t.Fatalf("dead letters = %d, want 1", len(dead))
+	}
+	if dead[0].TraceID != id {
+		t.Fatalf("dead letter trace = %q, want %q", dead[0].TraceID, id)
+	}
+	// An abandoned delivery is an errored trace — always retained, even
+	// at sample rate 0.
+	tv, ok := tracer.Get(id)
+	if !ok {
+		t.Fatal("dead-lettered trace not retained")
+	}
+	if tv.Status != "error" {
+		t.Fatalf("dead-lettered trace status = %q, want error", tv.Status)
+	}
+}
+
+func TestQueueFullRejectionTracedAsError(t *testing.T) {
+	tracer := obs.NewTracer(obs.TracerConfig{SampleRate: 0, Seed: 3, Registry: obs.NewRegistry()})
+	// No workers draining: queue size 1, manager started but with a
+	// blocked pipeline? Simpler: fill the queue faster than the workers
+	// drain by never starting... Enqueue requires Start. Use a pipeline
+	// that blocks until released.
+	release := make(chan struct{})
+	blocker := &blockingPipeline{release: release}
+	sink := &recordSink{}
+	w := web.New()
+	w.Freeze()
+	m := NewManager(blocker, sink, w, Config{
+		Workers:   1,
+		QueueSize: 1,
+		Clock:     fixedClock,
+		Registry:  obs.NewRegistry(),
+		Deliverer: newScriptDeliverer(),
+		Tracer:    tracer,
+	})
+	m.Start(context.Background())
+	// LIFO: release the blocked worker first, then Close can drain.
+	defer m.Close()
+	defer close(release)
+
+	// First document occupies the worker; second fills the queue; the
+	// third must bounce with a traced rejection.
+	var lastID string
+	var lastErr error
+	for i := 0; i < 8; i++ {
+		lastID, lastErr = m.EnqueueTraced(Document{URL: "https://n.example/a", Text: "merger"})
+		if lastErr != nil {
+			break
+		}
+	}
+	if lastErr != ErrQueueFull {
+		t.Fatalf("never hit ErrQueueFull; last err %v", lastErr)
+	}
+	if lastID == "" {
+		t.Fatal("rejection returned no trace ID")
+	}
+	tv, ok := tracer.Get(lastID)
+	if !ok {
+		t.Fatal("rejected document's trace not retained (errors bypass sampling)")
+	}
+	if tv.Status != "error" {
+		t.Fatalf("rejection trace status = %q, want error", tv.Status)
+	}
+}
+
+// blockingPipeline parks every extraction until release closes.
+type blockingPipeline struct{ release chan struct{} }
+
+func (p *blockingPipeline) ExtractAllEvents(pages []*web.Page, threshold float64) []rank.Event {
+	<-p.release
+	return nil
+}
+
+func TestDeliveryLagObservedAndHealthSLO(t *testing.T) {
+	// Stepping clock: every reading advances 10ms, so each delivered
+	// alert accrues a nonzero accept→2xx lag.
+	var mu sync.Mutex
+	now := time.Unix(1_700_000_000, 0)
+	clock := func() time.Time {
+		mu.Lock()
+		defer mu.Unlock()
+		now = now.Add(10 * time.Millisecond)
+		return now
+	}
+	deliver := newScriptDeliverer()
+	sink := &recordSink{}
+	w := web.New()
+	w.Freeze()
+	reg := obs.NewRegistry()
+	m := NewManager(&stubPipeline{}, sink, w, Config{
+		Clock:     clock,
+		Registry:  reg,
+		Deliverer: deliver,
+		Retry:     gather.RetryConfig{MaxAttempts: 3, Sleep: noSleep, AttemptTimeout: -1},
+		LagSLO:    time.Millisecond, // any observed lag exceeds this
+	})
+	m.Start(context.Background())
+	defer m.Close()
+	if _, err := m.Subscriptions().Add(Subscription{ID: "s1", WebhookURL: "https://hook.example/a"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Enqueue(Document{URL: "https://n.example/a", Text: "a merger closed"}); err != nil {
+		t.Fatal(err)
+	}
+	flush(t, m)
+
+	h := m.Health()
+	if h.DeliveryLagP99 <= 0 {
+		t.Fatalf("DeliveryLagP99 = %v, want > 0 after a delivery", h.DeliveryLagP99)
+	}
+	if h.DeliveryLagSLO != 0.001 {
+		t.Fatalf("DeliveryLagSLO = %v, want 0.001", h.DeliveryLagSLO)
+	}
+	reasons := h.Degraded()
+	found := false
+	for _, r := range reasons {
+		if r == DegradedDeliveryLag {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("degradation reasons %v missing %q", reasons, DegradedDeliveryLag)
+	}
+
+	// Lag under budget: healthy.
+	under := Health{DeliveryLagP99: 0.1, DeliveryLagSLO: 1}
+	for _, r := range under.Degraded() {
+		if r == DegradedDeliveryLag {
+			t.Fatal("lag under budget reported degraded")
+		}
+	}
+	// SLO off (0): never degraded on lag.
+	off := Health{DeliveryLagP99: 99, DeliveryLagSLO: 0}
+	for _, r := range off.Degraded() {
+		if r == DegradedDeliveryLag {
+			t.Fatal("disabled SLO reported degraded")
+		}
+	}
+}
+
+func TestQueueWaitHistogramRegistered(t *testing.T) {
+	deliver := newScriptDeliverer()
+	sink := &recordSink{}
+	w := web.New()
+	w.Freeze()
+	reg := obs.NewRegistry()
+	m := NewManager(&stubPipeline{}, sink, w, Config{
+		Clock:     fixedClock,
+		Registry:  reg,
+		Deliverer: deliver,
+		Retry:     gather.RetryConfig{MaxAttempts: 3, Sleep: noSleep, AttemptTimeout: -1},
+	})
+	m.Start(context.Background())
+	defer m.Close()
+	if _, err := m.Subscriptions().Add(Subscription{ID: "s1", WebhookURL: "https://hook.example/a"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Enqueue(Document{URL: "https://n.example/a", Text: "a merger closed"}); err != nil {
+		t.Fatal(err)
+	}
+	flush(t, m)
+	snap := reg.Snapshot()
+	key := `etap_alert_subscriber_queue_wait_seconds{subscription="s1"}`
+	hs, ok := snap[key].(obs.HistogramSnapshot)
+	if !ok {
+		t.Fatalf("snapshot missing %s; keys present: %v", key, keysOf(snap))
+	}
+	if hs.Count != 1 {
+		t.Fatalf("queue-wait count = %d, want 1", hs.Count)
+	}
+	lag, ok := snap["etap_alert_delivery_lag_seconds"].(obs.HistogramSnapshot)
+	if !ok || lag.Count != 1 {
+		t.Fatalf("delivery-lag histogram = %+v ok=%v, want count 1", lag, ok)
+	}
+}
+
+func keysOf(m map[string]any) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

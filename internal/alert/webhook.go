@@ -12,6 +12,8 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+
+	"etap/internal/obs"
 )
 
 // WebhookDeliverer POSTs alerts to each subscription's WebhookURL.
@@ -33,6 +35,11 @@ func (wd *WebhookDeliverer) Deliver(ctx context.Context, sub Subscription, a Ale
 		return &PermanentError{Err: fmt.Errorf("alert: webhook %s: %w", sub.WebhookURL, err)}
 	}
 	req.Header.Set("Content-Type", "application/json")
+	// W3C trace context: the receiver can join its logs to the trace the
+	// 202 response named. Each retry carries a fresh span ID.
+	if sc, ok := obs.SpanContextFrom(ctx); ok {
+		req.Header.Set("traceparent", sc.TraceParent())
+	}
 	client := wd.Client
 	if client == nil {
 		client = http.DefaultClient

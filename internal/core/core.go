@@ -15,6 +15,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strconv"
 	"time"
 
 	"etap/internal/annotate"
@@ -459,16 +460,31 @@ func (s *System) ExtractEvents(driverID string, pages []*web.Page, threshold flo
 // (internal/alert), where a document's driver is not known in advance.
 // Drivers run in sorted-ID order so the event stream is deterministic.
 func (s *System) ExtractAllEvents(pages []*web.Page, threshold float64) []rank.Event {
+	//etaplint:ignore context-plumbing -- compatibility wrapper; no cancellation crosses this boundary
+	return s.ExtractAllEventsTraced(context.Background(), pages, threshold)
+}
+
+// ExtractAllEventsTraced is ExtractAllEvents contributing one
+// per-driver extraction span to the document trace carried by ctx —
+// a no-op without one, so the batch path pays nothing. The streaming
+// ingest worker (internal/alert) calls this form.
+func (s *System) ExtractAllEventsTraced(ctx context.Context, pages []*web.Page, threshold float64) []rank.Event {
 	ids := s.Drivers()
 	sort.Strings(ids)
 	var events []rank.Event
 	for _, id := range ids {
+		_, sp := obs.StartDSpan(ctx, "extract")
+		sp.SetAttr("driver", id)
 		evs, err := s.ExtractEvents(id, pages, threshold)
 		if err != nil {
 			// Drivers() only names trained drivers, so this cannot
 			// happen; guard anyway rather than drop events silently.
+			sp.Fail(err.Error())
+			sp.End()
 			continue
 		}
+		sp.SetAttr("events", strconv.Itoa(len(evs)))
+		sp.End()
 		events = append(events, evs...)
 	}
 	return events

@@ -26,6 +26,10 @@ var determinismScope = []string{
 	// its idempotency rests on replayable fingerprints — so it answers
 	// to the same rules.
 	"internal/alert",
+	// Tracing decides retention from clocks and a sampling stream; both
+	// must be injectable (TracerConfig.Clock/Seed) for replayable tests,
+	// so undeclared wall-clock or global-rand reads are findings here.
+	"internal/obs",
 }
 
 // globalRandFuncs are the math/rand (and math/rand/v2) package-level

@@ -1,0 +1,103 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestHistogramSumNeverLagsCount pins the Observe write order (sum,
+// then count, then bucket) against the render-side read order (buckets,
+// then count, then sum). With every observation equal to 1.0, any
+// (count, sum) pair read in render order must satisfy sum >= count —
+// the rendered average can never undercount. Run with -race; before the
+// ordering fix, Observe bumped count before sum and a concurrent scrape
+// could see count=N with sum=N-1.
+func TestHistogramSumNeverLagsCount(t *testing.T) {
+	h := newHistogram([]float64{0.5, 2})
+	const (
+		writers = 4
+		perG    = 5000
+	)
+	stop := make(chan struct{})
+	readerDone := make(chan struct{})
+	go func() {
+		defer close(readerDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			// Render-side order: buckets, then count, then sum.
+			cum := h.snapshotBuckets()
+			count := h.Count()
+			sum := h.Sum()
+			if sum < float64(count) {
+				t.Errorf("sum %v lags count %d", sum, count)
+				return
+			}
+			// The +Inf bucket (== count) must dominate every finite one.
+			for i, c := range cum {
+				if c > count {
+					t.Errorf("bucket[%d]=%d exceeds count %d", i, c, count)
+					return
+				}
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < perG; j++ {
+				h.Observe(1.0)
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	<-readerDone
+
+	wantCount := uint64(writers * perG)
+	if got := h.Count(); got != wantCount {
+		t.Fatalf("final count = %d, want %d", got, wantCount)
+	}
+	if got := h.Sum(); got != float64(wantCount) {
+		t.Fatalf("final sum = %v, want %d", got, wantCount)
+	}
+}
+
+// TestHistogramExpositionConsistentUnderWrites scrapes the Prometheus
+// text while writers hammer the histogram and checks each scrape's
+// internal consistency (every rendered bucket <= rendered count).
+func TestHistogramExpositionConsistentUnderWrites(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("etap_test_obs_seconds", "test series", []float64{1})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 20000; i++ {
+			h.Observe(0.5)
+		}
+	}()
+	for i := 0; i < 50; i++ {
+		var b strings.Builder
+		if err := reg.WritePrometheus(&b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	<-done
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+	if !strings.Contains(text, "etap_test_obs_seconds_count 20000") {
+		t.Fatalf("final exposition missing count:\n%s", text)
+	}
+	if !strings.Contains(text, "etap_test_obs_seconds_sum 10000") {
+		t.Fatalf("final exposition missing sum:\n%s", text)
+	}
+}

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"context"
 	"fmt"
 	"log/slog"
 	"strings"
@@ -20,4 +21,39 @@ func ParseLogLevel(s string) (slog.Level, error) {
 		return slog.LevelError, nil
 	}
 	return 0, fmt.Errorf("obs: unknown log level %q (want debug|info|warn|error)", s)
+}
+
+// traceHandler decorates records with the trace position carried by
+// their context.
+type traceHandler struct {
+	slog.Handler
+}
+
+// NewTraceHandler wraps a slog handler so every record logged with a
+// context carrying a DSpan gains trace_id and span_id attributes —
+// log lines become joinable against GET /debug/traces/{id}. Records
+// without a span pass through untouched.
+func NewTraceHandler(h slog.Handler) slog.Handler {
+	return traceHandler{Handler: h}
+}
+
+// Handle implements slog.Handler.
+func (t traceHandler) Handle(ctx context.Context, r slog.Record) error {
+	if sc, ok := SpanContextFrom(ctx); ok {
+		r.AddAttrs(
+			slog.String("trace_id", sc.TraceID.String()),
+			slog.String("span_id", sc.SpanID.String()),
+		)
+	}
+	return t.Handler.Handle(ctx, r)
+}
+
+// WithAttrs implements slog.Handler, preserving the wrapper.
+func (t traceHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	return traceHandler{Handler: t.Handler.WithAttrs(attrs)}
+}
+
+// WithGroup implements slog.Handler, preserving the wrapper.
+func (t traceHandler) WithGroup(name string) slog.Handler {
+	return traceHandler{Handler: t.Handler.WithGroup(name)}
 }

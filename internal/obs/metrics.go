@@ -57,11 +57,14 @@ func (g *Gauge) Value() int64 { return g.v.Load() }
 // Buckets are upper bounds in increasing order; an implicit +Inf bucket
 // always exists (the total count).
 //
-// Bucket, count and sum are separate atomics, not one locked record, so
-// a scrape concurrent with Observe can see a sum slightly out of step
-// with count. Count vs. buckets stays monotonic: Observe bumps count
-// before the bucket and renders read buckets before count, so the
-// exposed +Inf is never less than a finite cumulative bucket.
+// Bucket, count and sum are separate atomics, not one locked record,
+// but update and read orders are arranged so a scrape concurrent with
+// Observe still sees a coherent triplet: Observe writes sum, then
+// count, then the bucket, while renders read buckets, then count, then
+// sum. Every observation visible in a bucket is therefore in the
+// exposed +Inf, and every counted observation has its value in the
+// exposed sum — the rendered average never undercounts, however the
+// scrape races Observe (TestHistogramSumNeverLagsCount).
 type Histogram struct {
 	bounds  []float64
 	buckets []atomic.Uint64 // one per bound; +Inf is implicit via count
@@ -75,20 +78,20 @@ func newHistogram(bounds []float64) *Histogram {
 
 // Observe records one value.
 func (h *Histogram) Observe(v float64) {
-	// count before bucket: renders read buckets before count, so every
-	// observation visible in a bucket is also in the exposed +Inf.
+	// sum before count before bucket — the reverse of the render-side
+	// read order; see the type comment for the invariant this buys.
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			break
+		}
+	}
 	h.count.Add(1)
 	for i, b := range h.bounds {
 		if v <= b {
 			h.buckets[i].Add(1)
 			break
-		}
-	}
-	for {
-		old := h.sum.Load()
-		next := math.Float64bits(math.Float64frombits(old) + v)
-		if h.sum.CompareAndSwap(old, next) {
-			return
 		}
 	}
 }
@@ -120,6 +123,40 @@ func (h *Histogram) snapshotBuckets() []uint64 {
 
 // Bounds returns the bucket upper bounds (shared; do not mutate).
 func (h *Histogram) Bounds() []float64 { return h.bounds }
+
+// Quantile estimates the q-th quantile (0 < q <= 1) the way Prometheus
+// histogram_quantile does: find the bucket holding the target rank and
+// interpolate linearly within its bounds. Observations past the last
+// finite bucket clamp to that bound. Returns 0 on an empty histogram
+// and the mean when the histogram has no buckets.
+func (h *Histogram) Quantile(q float64) float64 {
+	cum := h.snapshotBuckets()
+	count := h.count.Load()
+	if count == 0 {
+		return 0
+	}
+	if len(h.bounds) == 0 {
+		return h.Sum() / float64(count)
+	}
+	target := uint64(math.Ceil(q * float64(count)))
+	if target < 1 {
+		target = 1
+	}
+	var prev uint64
+	lower := 0.0
+	for i, c := range cum {
+		if c >= target {
+			upper := h.bounds[i]
+			frac := float64(target-prev) / float64(c-prev)
+			return lower + frac*(upper-lower)
+		}
+		prev = c
+		lower = h.bounds[i]
+	}
+	// Target rank sits in the +Inf bucket; the last finite bound is the
+	// best estimate available.
+	return h.bounds[len(h.bounds)-1]
+}
 
 // ExponentialBuckets returns n upper bounds starting at start, each
 // factor times the previous — the standard latency bucket layout.

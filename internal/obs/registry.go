@@ -282,8 +282,11 @@ func (r *Registry) Snapshot() map[string]any {
 			case func() float64:
 				out[key] = v()
 			case *Histogram:
+				// Buckets, then count, then sum — the read order Observe's
+				// write order is arranged against (see Histogram).
 				cum := v.snapshotBuckets()
-				hs := HistogramSnapshot{Count: v.Count(), Sum: v.Sum()}
+				count := v.Count()
+				hs := HistogramSnapshot{Count: count, Sum: v.Sum()}
 				for i, bound := range v.Bounds() {
 					hs.Buckets = append(hs.Buckets, BucketSnapshot{LE: bound, Count: cum[i]})
 				}

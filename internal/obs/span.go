@@ -63,6 +63,7 @@ func NewTrace(name string, reg *Registry) *Trace {
 	if reg == nil {
 		reg = Default
 	}
+	//etaplint:ignore determinism -- metrics-only timing; the trace start anchors wall-time accounting
 	return &Trace{Name: name, reg: reg, start: time.Now(), stages: map[string]*StageStats{}}
 }
 
@@ -83,6 +84,7 @@ func TraceFrom(ctx context.Context) *Trace {
 // Span measures one stage invocation: wall time plus an item count.
 type Span struct {
 	tr    *Trace
+	d     *DSpan // per-document span when ctx carried one; usually nil
 	dur   *Histogram
 	items *Counter
 	stage string
@@ -93,7 +95,10 @@ type Span struct {
 
 // StartSpan begins measuring a pipeline stage. The span records into
 // the trace attached to ctx (if any) and into that trace's registry —
-// or Default when ctx carries no trace. Always pair with End:
+// or Default when ctx carries no trace. When ctx also carries a
+// per-document DSpan, a child DSpan opens under it and ends with this
+// span, so batch instrumentation feeds the distributed span tree with
+// no extra call sites. Always pair with End:
 //
 //	sp := obs.StartSpan(ctx, "classify")
 //	defer sp.End()
@@ -103,11 +108,17 @@ func StartSpan(ctx context.Context, stage string) *Span {
 	if tr != nil {
 		reg = tr.reg
 	}
+	var d *DSpan
+	if cur := DSpanFrom(ctx); cur != nil {
+		d = cur.Child(stage)
+	}
 	return &Span{
 		tr:    tr,
+		d:     d,
 		dur:   StageDuration(reg, stage),
 		items: StageItems(reg, stage),
 		stage: stage,
+		//etaplint:ignore determinism -- metrics-only timing; the span start anchors the stage histogram
 		start: time.Now(),
 	}
 }
@@ -136,6 +147,7 @@ func (s *Span) End() {
 	if s.tr != nil {
 		s.tr.record(s.stage, s.n, elapsed)
 	}
+	s.d.End()
 }
 
 func (t *Trace) record(stage string, items int64, d time.Duration) {

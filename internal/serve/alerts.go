@@ -65,9 +65,15 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad document: "+err.Error())
 		return
 	}
-	switch err := s.alerts.Enqueue(doc); {
+	switch id, err := s.alerts.EnqueueTraced(doc); {
 	case err == nil:
-		writeJSON(w, http.StatusAccepted, map[string]string{"queued": doc.URL})
+		resp := map[string]string{"queued": doc.URL}
+		if id != "" {
+			// The handle for GET /debug/traces/{id} — and the trace ID the
+			// eventual webhook's traceparent header will carry.
+			resp["trace_id"] = id
+		}
+		writeJSON(w, http.StatusAccepted, resp)
 	case errors.Is(err, alert.ErrQueueFull):
 		// Backpressure: the client should retry later, not buffer here.
 		w.Header().Set("Retry-After", "1")

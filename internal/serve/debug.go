@@ -1,0 +1,99 @@
+// Debug surfaces: per-document traces and build identity. These are
+// operator endpoints — JSON meant for curl and jq during an incident
+// ("why was this alert slow?"), not for subscribers.
+//
+//	GET /debug/traces        recent trace summaries (?status=, ?min=)
+//	GET /debug/traces/{id}   one trace's full span tree
+//	GET /debug/build         build identity (version, go, VCS revision)
+package serve
+
+import (
+	"net/http"
+	"runtime"
+	"runtime/debug"
+	"time"
+
+	"etap/internal/obs"
+)
+
+// AttachTracer mounts the trace browser over a tracer — the same
+// tracer the alert manager mints traces into. Call before serving.
+func (s *Server) AttachTracer(t *obs.Tracer) {
+	s.tracer = t
+	s.handle("GET", "/debug/traces", s.handleTraces)
+	s.handle("GET", "/debug/traces/{id}", s.handleTrace)
+}
+
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	var f obs.TraceFilter
+	switch status := q.Get("status"); status {
+	case "", "ok", "error":
+		f.Status = status
+	default:
+		writeError(w, http.StatusBadRequest, "bad status: want ok or error")
+		return
+	}
+	if v := q.Get("min"); v != "" {
+		d, err := time.ParseDuration(v)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad min: want a duration like 250ms")
+			return
+		}
+		f.MinDuration = d
+	}
+	list := s.tracer.List(f)
+	if list == nil {
+		list = []obs.TraceSummary{}
+	}
+	writeJSON(w, http.StatusOK, list)
+}
+
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	tv, ok := s.tracer.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown trace (evicted, sampled out, or never existed)")
+		return
+	}
+	writeJSON(w, http.StatusOK, tv)
+}
+
+// buildIdentity reads the binary's own build metadata: module version,
+// Go version, and the VCS revision stamped by `go build`.
+func buildIdentity() map[string]string {
+	id := map[string]string{
+		"version":    "unknown",
+		"go_version": runtime.Version(),
+		"revision":   "unknown",
+	}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return id
+	}
+	if bi.Main.Version != "" {
+		id["version"] = bi.Main.Version
+	}
+	for _, kv := range bi.Settings {
+		switch kv.Key {
+		case "vcs.revision":
+			id["revision"] = kv.Value
+		case "vcs.modified":
+			id["modified"] = kv.Value
+		}
+	}
+	return id
+}
+
+// registerBuildInfo publishes the standard build-identity gauge
+// (constant 1; the information lives in the labels) and mounts
+// GET /debug/build serving the same facts as JSON.
+func (s *Server) registerBuildInfo() {
+	id := buildIdentity()
+	s.reg.GaugeFunc("etap_build_info",
+		"Build identity; constant 1, the labels carry the facts.",
+		func() float64 { return 1 },
+		"version", id["version"], "go_version", id["go_version"], "revision", id["revision"])
+	s.handle("GET", "/debug/build", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, id)
+	})
+}

@@ -1,0 +1,209 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"etap/internal/alert"
+	"etap/internal/obs"
+	"etap/internal/store"
+)
+
+func TestDebugBuildEndpoint(t *testing.T) {
+	srv := NewWithRegistry(nil, store.New(), obs.NewRegistry())
+	rec, body := get(t, srv, "/debug/build")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/debug/build: %d %s", rec.Code, body)
+	}
+	var id map[string]string
+	if err := json.Unmarshal(body, &id); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"version", "go_version", "revision"} {
+		if id[key] == "" {
+			t.Errorf("/debug/build missing %q: %v", key, id)
+		}
+	}
+	if !strings.HasPrefix(id["go_version"], "go") {
+		t.Errorf("go_version = %q, want a goX.Y value", id["go_version"])
+	}
+}
+
+func TestBuildInfoGaugeInMetrics(t *testing.T) {
+	srv := NewWithRegistry(nil, store.New(), obs.NewRegistry())
+	rec, body := get(t, srv, "/metrics")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/metrics: %d", rec.Code)
+	}
+	text := string(body)
+	if !strings.Contains(text, "etap_build_info{") {
+		t.Fatalf("/metrics missing etap_build_info:\n%.500s", text)
+	}
+	for _, label := range []string{`go_version="go`, `version="`, `revision="`} {
+		if !strings.Contains(text, label) {
+			t.Errorf("etap_build_info missing label %s", label)
+		}
+	}
+	// The gauge's value is the constant 1.
+	for _, line := range strings.Split(text, "\n") {
+		if strings.HasPrefix(line, "etap_build_info{") && !strings.HasSuffix(line, " 1") {
+			t.Errorf("etap_build_info value line = %q, want trailing 1", line)
+		}
+	}
+}
+
+// tracedAlertServer is alertServer plus an attached tracer the manager
+// mints traces into.
+func tracedAlertServer(t *testing.T, deliver alert.Deliverer) (*Server, *alert.Manager, *obs.Tracer) {
+	t.Helper()
+	tracer := obs.NewTracer(obs.TracerConfig{SampleRate: 1, Seed: 9, Registry: obs.NewRegistry()})
+	srv, m := alertServer(t, &gatePipeline{}, deliver, alert.Config{Tracer: tracer})
+	srv.AttachTracer(tracer)
+	return srv, m, tracer
+}
+
+func TestIngestReturnsTraceIDAndDebugTracesServesIt(t *testing.T) {
+	srv, m, _ := tracedAlertServer(t, recordDeliverer{delivered: make(chan alert.Alert, 4)})
+	rec := postJSON(t, srv, "/ingest", alert.Document{
+		URL: "http://news.example.com/1", Text: "Acme completed the merger.",
+	})
+	if rec.Code != http.StatusAccepted {
+		t.Fatalf("ingest: %d %s", rec.Code, rec.Body)
+	}
+	var resp map[string]string
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	id := resp["trace_id"]
+	if len(id) != 32 {
+		t.Fatalf("202 trace_id = %q, want 32 hex digits", id)
+	}
+	mustFlush(t, m)
+
+	// The listing carries the trace.
+	lrec, lbody := get(t, srv, "/debug/traces")
+	if lrec.Code != http.StatusOK {
+		t.Fatalf("/debug/traces: %d", lrec.Code)
+	}
+	var list []obs.TraceSummary
+	if err := json.Unmarshal(lbody, &list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 1 || list[0].ID != id {
+		t.Fatalf("trace list = %+v, want one entry %s", list, id)
+	}
+
+	// The detail view resolves the full span tree.
+	drec, dbody := get(t, srv, "/debug/traces/"+id)
+	if drec.Code != http.StatusOK {
+		t.Fatalf("/debug/traces/{id}: %d %s", drec.Code, dbody)
+	}
+	var tv obs.TraceView
+	if err := json.Unmarshal(dbody, &tv); err != nil {
+		t.Fatal(err)
+	}
+	if tv.ID != id || len(tv.Spans) == 0 {
+		t.Fatalf("trace view = %+v, want spans for %s", tv, id)
+	}
+}
+
+// recordDeliverer accepts every alert, reporting it on a channel.
+type recordDeliverer struct{ delivered chan alert.Alert }
+
+func (d recordDeliverer) Deliver(_ context.Context, _ alert.Subscription, a alert.Alert) error {
+	select {
+	case d.delivered <- a:
+	default:
+	}
+	return nil
+}
+
+func TestDebugTracesFiltersAndErrors(t *testing.T) {
+	srv, m, _ := tracedAlertServer(t, failDeliverer{})
+	if _, err := m.Subscriptions().Add(alert.Subscription{ID: "s1", WebhookURL: "https://hook.example/a"}); err != nil {
+		t.Fatal(err)
+	}
+	// One errored trace (delivery dead-letters) and one clean no-match.
+	postJSON(t, srv, "/ingest", alert.Document{URL: "http://news.example.com/1", Text: "Acme completed the merger."})
+	postJSON(t, srv, "/ingest", alert.Document{URL: "http://news.example.com/2", Text: "nothing to see"})
+	mustFlush(t, m)
+
+	rec, body := get(t, srv, "/debug/traces?status=error")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status filter: %d", rec.Code)
+	}
+	var errList []obs.TraceSummary
+	if err := json.Unmarshal(body, &errList); err != nil {
+		t.Fatal(err)
+	}
+	if len(errList) != 1 || errList[0].Status != "error" {
+		t.Fatalf("error-filtered list = %+v, want exactly the dead-lettered trace", errList)
+	}
+
+	// min= parses Go durations.
+	if rec, _ := get(t, srv, "/debug/traces?min=1ms"); rec.Code != http.StatusOK {
+		t.Fatalf("min filter: %d", rec.Code)
+	}
+
+	// Bad parameters are 400s, not panics or empty 200s.
+	if rec, _ := get(t, srv, "/debug/traces?status=bogus"); rec.Code != http.StatusBadRequest {
+		t.Fatalf("bad status: %d, want 400", rec.Code)
+	}
+	if rec, _ := get(t, srv, "/debug/traces?min=bogus"); rec.Code != http.StatusBadRequest {
+		t.Fatalf("bad min: %d, want 400", rec.Code)
+	}
+
+	// Unknown trace ID is a 404.
+	if rec, _ := get(t, srv, "/debug/traces/ffffffffffffffffffffffffffffffff"); rec.Code != http.StatusNotFound {
+		t.Fatalf("unknown trace: %d, want 404", rec.Code)
+	}
+}
+
+func TestDebugTracesEmptyListIsJSONArray(t *testing.T) {
+	srv := NewWithRegistry(nil, store.New(), obs.NewRegistry())
+	srv.AttachTracer(obs.NewTracer(obs.TracerConfig{Registry: obs.NewRegistry()}))
+	rec, body := get(t, srv, "/debug/traces")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/debug/traces: %d", rec.Code)
+	}
+	if got := strings.TrimSpace(string(body)); got != "[]" {
+		t.Fatalf("empty listing = %q, want []", got)
+	}
+}
+
+// TestAlertStreamDisconnectCleansUpSubscriber pins the SSE handler's
+// cleanup: when the client's request context ends, the handler returns
+// and its broadcaster subscription is removed — no goroutine or client
+// entry leaks behind a closed connection.
+func TestAlertStreamDisconnectCleansUpSubscriber(t *testing.T) {
+	srv, m := alertServer(t, &gatePipeline{}, failDeliverer{}, alert.Config{})
+	ctx, cancel := context.WithCancel(context.Background())
+	req := httptest.NewRequest(http.MethodGet, "/alerts/stream", nil).WithContext(ctx)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		srv.ServeHTTP(httptest.NewRecorder(), req)
+	}()
+	// Wait for the subscription to register, then hang up.
+	deadline := time.Now().Add(2 * time.Second)
+	for m.Broadcaster().Clients() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if m.Broadcaster().Clients() != 1 {
+		t.Fatal("stream handler never subscribed")
+	}
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("stream handler did not return after client disconnect")
+	}
+	if got := m.Broadcaster().Clients(); got != 0 {
+		t.Fatalf("clients = %d after disconnect, want 0", got)
+	}
+}

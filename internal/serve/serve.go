@@ -13,6 +13,9 @@
 //	GET  /healthz                      readiness: drivers, store size, uptime, runtime
 //	GET  /metrics                      Prometheus text exposition of the registry
 //	GET  /debug/vars                   JSON snapshot of the registry
+//	GET  /debug/build                  build identity (version, go, VCS revision)
+//	GET  /debug/traces                 recent per-document traces (AttachTracer)
+//	GET  /debug/traces/{id}            one trace's full span tree (AttachTracer)
 //
 // Every endpoint is instrumented: per-endpoint request counters,
 // response-code counters, and latency histograms report into the
@@ -54,6 +57,7 @@ type Server struct {
 	start  time.Time
 	mux    *http.ServeMux
 	alerts *alert.Manager // nil until AttachAlerts
+	tracer *obs.Tracer    // nil until AttachTracer
 }
 
 // New builds the server over the process-wide metrics registry. Either
@@ -74,6 +78,7 @@ func NewWithRegistry(sys *core.System, leads *store.Store, reg *obs.Registry) *S
 	}
 	s := &Server{sys: sys, leads: leads, reg: reg, start: time.Now(), mux: http.NewServeMux()}
 	s.registerRuntimeMetrics()
+	s.registerBuildInfo()
 	s.handle("GET", "/healthz", s.handleHealth)
 	s.handle("GET", "/drivers", s.handleDrivers)
 	s.handle("GET", "/leads", s.handleLeads)
