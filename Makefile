@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: ci vet build lint test race race-alert race-trace bench bench-index bench-alert bench-trace doccheck examples fmt-check
+.PHONY: ci vet build lint test race race-alert race-trace race-index bench bench-index bench-alert bench-trace doccheck examples fmt-check
 
 ci: vet build lint race
 
@@ -43,15 +43,26 @@ race-alert:
 race-trace:
 	$(GO) test -race -count=1 -run 'Trace|DTrace|Lag|Histogram|SSE|Broadcast|Disconnect|Cancel' ./internal/obs ./internal/alert ./internal/serve ./cmd/etapd
 
+# The persistent segment index juggles concurrent writer lanes, a flush
+# goroutine, a background merger and in-flight searches over retiring
+# segments; this runs its concurrency, crash-recovery and golden tests
+# race-enabled as a dedicated CI step.
+race-index:
+	$(GO) test -race -count=1 -run 'Segment|Crash|Concurrent|Postings' ./internal/index
+
 # One pass over every benchmark (quality numbers + observability overhead).
 bench:
 	$(GO) test -run xxx -bench . -benchtime 1x ./...
 
-# Index scaling harness: measures sequential vs sharded bulk add and
-# single-shard vs sharded vs cached search over a 50k-doc synthetic
-# corpus, and writes the machine-readable report to BENCH_index.json.
+# Index scaling harness: measures the segment engine against the
+# in-RAM baseline over a 50k-doc synthetic corpus — concurrent bulk add
+# at 1/2/4/8 writers, cold start (manifest re-open vs rebuild), and
+# mmap-served vs cached search — and writes the machine-readable report
+# to BENCH_index.json. Doubles as the perf regression gate: the run
+# fails if concurrent bulk add loses to sequential at any writer count
+# or segment-served rankings diverge from the in-RAM engine's.
 bench-index:
-	ETAP_BENCH_INDEX=$(CURDIR)/BENCH_index.json $(GO) test ./internal/index -run TestIndexBenchHarness -v
+	ETAP_BENCH_INDEX=$(CURDIR)/BENCH_index.json $(GO) test ./internal/index -count=1 -run TestIndexBenchHarness -v
 
 # Ingest-throughput harness: pushes a trigger-dense synthetic document
 # stream through the alert manager at one worker and at GOMAXPROCS

@@ -8,6 +8,7 @@
 //	etapd [-addr :8080] [-seed N] [-load-models dir] [-leads leads.jsonl]
 //	      [-extract] [-log-level info] [-pprof]
 //	      [-index-shards N] [-query-cache N] [-index-seed N]
+//	      [-index-dir dir] [-segment-flush-docs N] [-merge-factor N]
 //	      [-shutdown-timeout 10s] [-checkpoint-interval 30s]
 //	      [-alerts] [-subscriptions subs.jsonl]
 //	      [-ingest-workers N] [-ingest-queue N]
@@ -28,6 +29,14 @@
 // disables tracing. Log lines carry trace_id/span_id when in scope.
 // -lag-slo sets a p99 budget on delivery lag (ingest accept → webhook
 // 2xx); exceeding it degrades /healthz.
+//
+// Index persistence: by default the search index is rebuilt in RAM at
+// startup. With -index-dir it is backed by immutable on-disk segments
+// under that directory (format specified in STORAGE.md): a restart
+// re-opens committed segments instead of re-indexing the corpus,
+// -segment-flush-docs sets the per-writer memtable size sealed into
+// each segment, and -merge-factor the tiered background-merge fan-in.
+// Graceful shutdown flushes all in-memory batches before exit.
 //
 // Lifecycle: SIGTERM or SIGINT triggers a graceful shutdown — the
 // listener stops accepting, in-flight requests drain for up to
@@ -90,6 +99,9 @@ type options struct {
 	shards     int
 	cacheSize  int
 	routeSeed  uint64
+	indexDir   string
+	flushDocs  int
+	mergeFac   int
 	drain      time.Duration
 	checkpoint time.Duration
 
@@ -114,6 +126,9 @@ func main() {
 		shards     = flag.Int("index-shards", 0, "search-index shard count (0 = GOMAXPROCS)")
 		cacheSize  = flag.Int("query-cache", 0, "query-result cache entries (0 = default, negative = disabled)")
 		routeSeed  = flag.Uint64("index-seed", 0, "deterministic shard-routing seed (0 = random per process)")
+		indexDir   = flag.String("index-dir", "", "persistent segment-index directory (empty = in-RAM index; see STORAGE.md)")
+		flushDocs  = flag.Int("segment-flush-docs", 0, "per-writer memtable docs before a segment flush (0 = default; with -index-dir)")
+		mergeFac   = flag.Int("merge-factor", 0, "tiered segment-merge fan-in (0 = default; with -index-dir)")
 		drain      = flag.Duration("shutdown-timeout", 10*time.Second, "grace period for in-flight requests on SIGTERM/SIGINT")
 		checkpoint = flag.Duration("checkpoint-interval", 30*time.Second, "how often to checkpoint the lead store to -leads (0 disables periodic saves)")
 
@@ -145,6 +160,9 @@ func main() {
 		shards:     *shards,
 		cacheSize:  *cacheSize,
 		routeSeed:  *routeSeed,
+		indexDir:   *indexDir,
+		flushDocs:  *flushDocs,
+		mergeFac:   *mergeFac,
 		drain:      *drain,
 		checkpoint: *checkpoint,
 
@@ -174,12 +192,27 @@ func run(ctx context.Context, log *slog.Logger, opts options) error {
 	start := time.Now()
 	seed := opts.seed
 	gen := etap.NewWorldGenerator(etap.WorldConfig{Seed: seed})
-	cfg := etap.Config{Seed: seed, Shards: opts.shards, CacheSize: opts.cacheSize, RouteSeed: opts.routeSeed}
-	w := etap.BuildWebWith(gen.World(), cfg)
+	cfg := etap.Config{
+		Seed: seed, Shards: opts.shards, CacheSize: opts.cacheSize, RouteSeed: opts.routeSeed,
+		IndexDir: opts.indexDir, SegmentFlushDocs: opts.flushDocs, MergeFactor: opts.mergeFac,
+	}
+	w, err := etap.BuildWebEngine(gen.World(), cfg)
+	if err != nil {
+		return fmt.Errorf("opening index: %w", err)
+	}
+	// Closing the web flushes the persistent index's memtables and
+	// commits its manifest, so everything indexed this run re-opens
+	// instead of re-indexing next run; a no-op for the in-RAM engine.
+	defer func() {
+		if cerr := w.Close(); cerr != nil {
+			log.Error("index close", "err", cerr)
+		}
+	}()
 	sys := etap.NewSystem(w, cfg)
 	st0 := w.Index().IndexStats()
 	log.Info("world built", "pages", w.Len(), "seed", seed,
 		"index_shards", st0.Shards, "index_postings", st0.Postings,
+		"index_segments", st0.Segments, "index_dir", opts.indexDir,
 		"elapsed", time.Since(start))
 
 	for _, d := range etap.DefaultDrivers() {
@@ -208,7 +241,6 @@ func run(ctx context.Context, log *slog.Logger, opts options) error {
 	}
 
 	var st *store.Store
-	var err error
 	if opts.leadsPath != "" {
 		st, err = store.LoadFile(opts.leadsPath)
 		if err != nil {

@@ -47,6 +47,7 @@ import (
 	"etap/internal/core"
 	"etap/internal/corpus"
 	"etap/internal/gather"
+	"etap/internal/index"
 	"etap/internal/ner"
 	"etap/internal/obs"
 	"etap/internal/rank"
@@ -113,6 +114,10 @@ func GenerateWorld(cfg WorldConfig) []Document { return corpus.NewGenerator(cfg)
 // Web is the page store with a search-engine view.
 type Web = web.Web
 
+// SearchEngine is the query surface shared by the in-RAM sharded index
+// and the persistent segment index backing a Web (see Web.Index).
+type SearchEngine = index.Engine
+
 // Page is one web page.
 type Page = web.Page
 
@@ -128,6 +133,16 @@ func BuildWeb(docs []Document) *Web { return core.BuildWeb(docs) }
 // The index bulk-loads concurrently; page order and ranked search
 // results are identical to BuildWeb for any shard count.
 func BuildWebWith(docs []Document, cfg Config) *Web { return core.BuildWebWith(docs, cfg) }
+
+// BuildWebEngine is BuildWebWith honouring the Config's persistence
+// knobs: with IndexDir set, the web is backed by the on-disk segment
+// index rooted there — documents committed in a previous run re-open
+// instead of re-indexing, and the returned web must be Closed to flush
+// and release the index. With IndexDir empty it is exactly BuildWebWith.
+// Ranked results are identical for either engine.
+func BuildWebEngine(docs []Document, cfg Config) (*Web, error) {
+	return core.BuildWebEngine(docs, cfg)
+}
 
 // BuildWebFromHTML renders every document to HTML and recovers text,
 // title and links through the HTML extractor — the path a real crawl

@@ -130,6 +130,19 @@ type Config struct {
 	// The zero value means gather's documented defaults and no injected
 	// faults.
 	Fetch gather.FetchOptions
+	// IndexDir, when non-empty, backs webs built by BuildWebEngine with
+	// the persistent segment index rooted at this directory instead of
+	// the in-RAM sharded index: documents committed there survive
+	// restarts and are re-opened, not re-indexed. Ranked results are
+	// identical to the in-RAM engine's. Empty keeps the in-RAM index.
+	IndexDir string
+	// SegmentFlushDocs is the per-writer memtable size, in documents,
+	// at which the persistent index seals and flushes a segment; 0
+	// means index.DefaultFlushDocs. Only meaningful with IndexDir.
+	SegmentFlushDocs int
+	// MergeFactor is the persistent index's tiered merge fan-in; 0
+	// means index.DefaultMergeFactor. Only meaningful with IndexDir.
+	MergeFactor int
 }
 
 func (c Config) withDefaults() Config {

@@ -68,6 +68,44 @@ func BuildWebWith(docs []corpus.Document, cfg Config) *web.Web {
 	return w
 }
 
+// BuildWebEngine is BuildWebWith honouring the Config's persistence
+// knobs: with IndexDir set the web is backed by the on-disk segment
+// index (opened or created there), so documents already committed from
+// a previous run are served without re-indexing — only the page table
+// is rebuilt from docs. With IndexDir empty it is exactly BuildWebWith.
+// Callers owning a persistent web must Close it to flush and release
+// the index.
+func BuildWebEngine(docs []corpus.Document, cfg Config) (*web.Web, error) {
+	if cfg.IndexDir == "" {
+		return BuildWebWith(docs, cfg), nil
+	}
+	eng, err := index.OpenSegmentIndex(index.SegmentOptions{
+		Dir:         cfg.IndexDir,
+		FlushDocs:   cfg.SegmentFlushDocs,
+		MergeFactor: cfg.MergeFactor,
+		Writers:     cfg.Shards,
+		CacheSize:   cfg.CacheSize,
+		RouteSeed:   cfg.RouteSeed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	w := web.New(web.WithEngine(eng))
+	pages := make([]web.Page, len(docs))
+	for i, d := range docs {
+		pages[i] = web.Page{
+			URL:   d.URL,
+			Host:  d.Host,
+			Title: d.Title,
+			Text:  d.Text(),
+			Links: d.Links,
+		}
+	}
+	w.AddPages(pages)
+	w.Freeze()
+	return w, nil
+}
+
 // BuildWebFromHTML exercises the full gathering path a real deployment
 // takes: every document is rendered to the HTML a crawler would fetch,
 // then the page text, title and links are recovered with internal/htmlx.

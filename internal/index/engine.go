@@ -1,0 +1,182 @@
+package index
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Engine is the search surface shared by the in-RAM sharded index
+// (Index) and the on-disk segment index (SegmentIndex). internal/web
+// stores an Engine, so every consumer of the search substrate — smart
+// queries, PMI-IR co-occurrence statistics, streaming ingest — works
+// identically against either implementation; ranked results are
+// bit-identical between the two (golden-tested).
+type Engine interface {
+	// Add indexes a document; it is safe for concurrent use. Adding
+	// the same docID twice panics — use Has for idempotent callers.
+	Add(docID, text string)
+	// Has reports whether docID is already indexed.
+	Has(docID string) bool
+	// Search ranks documents matching the query string and returns the
+	// top k (all matches when k <= 0).
+	//etaplint:ignore context-plumbing -- in-memory and page-cache lookup: no cancellable I/O, and a ctx parameter would suggest otherwise
+	Search(query string, k int) []Hit
+	// SearchQuery is Search over a pre-parsed query.
+	//etaplint:ignore context-plumbing -- in-memory and page-cache lookup: no cancellable I/O, and a ctx parameter would suggest otherwise
+	SearchQuery(q Query, k int) []Hit
+	// DocFreq returns the document frequency of one term.
+	DocFreq(term string) int
+	// CoDocFreq counts documents containing both terms.
+	CoDocFreq(a, b string) int
+	// CoNearFreq counts documents where the terms occur within window
+	// positions of each other.
+	CoNearFreq(a, b string, window int) int
+	// Len returns the number of indexed documents.
+	Len() int
+	// IndexStats returns a point-in-time operational summary.
+	IndexStats() Stats
+}
+
+// Both engines must satisfy the shared surface.
+var (
+	_ Engine = (*Index)(nil)
+	_ Engine = (*SegmentIndex)(nil)
+)
+
+// part is one independently searchable slice of an engine: an in-RAM
+// shard, an active or sealed memtable, or an immutable on-disk segment.
+// A document lives entirely within one part, so conjunctive matching,
+// phrase adjacency and per-document scoring are part-local; only
+// corpus-wide statistics are aggregated across parts before scoring.
+// Implementations synchronize internally (or are immutable).
+type part interface {
+	// snapshotStats returns the part's contribution to corpus-wide BM25
+	// statistics: document count, summed document length, and document
+	// frequency for each of the distinct query terms.
+	snapshotStats(distinct []string) partStats
+	// searchPart resolves a query against this part's documents using
+	// caller-supplied global idf values and average document length.
+	searchPart(allTerms []string, phrases [][]string, distinct []string, idf []float64, avgLen float64) []Hit
+	// docFreq returns the part-local document frequency of one term.
+	docFreq(t string) int
+	// coDocFreq counts part-local documents containing both terms.
+	coDocFreq(ta, tb string) int
+	// coNearFreq counts part-local documents with the terms within
+	// window positions.
+	coNearFreq(ta, tb string, window int32) int
+	// size reports document, term-entry and posting counts for Stats.
+	size() (docs, terms, postings int)
+}
+
+// partStats is one part's contribution to the corpus-wide statistics
+// BM25 needs before per-part scoring can run.
+type partStats struct {
+	docs     int
+	totalLen float64
+	df       []int // parallel to the distinct-terms slice passed in
+}
+
+// resolveParts answers a parsed-and-flattened query against a set of
+// parts: phase 1 aggregates corpus-wide statistics (document count,
+// total length, per-term document frequency), phase 2 matches and
+// scores every part with those shared statistics, and the results merge
+// through a bounded top-k heap. Because every per-document scoring
+// input (tf, docLen, idf, avgLen) and the summation order (sorted
+// distinct terms) are part-independent, ranked output — order and
+// score — is identical for any partitioning of the same documents.
+// With parallel set, phase 2 fans out across parts concurrently.
+func resolveParts(parts []part, allTerms []string, phrases [][]string, k int, parallel bool) []Hit {
+	// Distinct query tokens in sorted order — the shared scoring basis.
+	seen := map[string]bool{}
+	distinct := make([]string, 0, len(allTerms))
+	for _, t := range allTerms {
+		if !seen[t] {
+			seen[t] = true
+			distinct = append(distinct, t)
+		}
+	}
+	sort.Strings(distinct)
+
+	// Phase 1: aggregate corpus-wide statistics across parts.
+	nDocs, totalLen := 0, 0.0
+	df := make([]int, len(distinct))
+	for _, p := range parts {
+		st := p.snapshotStats(distinct)
+		nDocs += st.docs
+		totalLen += st.totalLen
+		for i, d := range st.df {
+			df[i] += d
+		}
+	}
+	var scanned uint64
+	for _, d := range df {
+		if d == 0 {
+			// Conjunctive semantics: a term absent from the whole corpus
+			// empties the result.
+			return nil
+		}
+		scanned += uint64(d)
+	}
+	mPostings.Add(scanned)
+
+	idfs := make([]float64, len(distinct))
+	for i, d := range df {
+		idfs[i] = idf(nDocs, d)
+	}
+	avgLen := totalLen / maxf(1, float64(nDocs))
+
+	// Phase 2: match + score each part with the shared statistics.
+	perPart := make([][]Hit, len(parts))
+	if !parallel || len(parts) == 1 {
+		for i, p := range parts {
+			perPart[i] = p.searchPart(allTerms, phrases, distinct, idfs, avgLen)
+		}
+	} else {
+		//etaplint:ignore determinism -- metrics-only timing: the timestamp feeds the fan-out histogram, never a result
+		start := time.Now()
+		var wg sync.WaitGroup
+		for i, p := range parts {
+			wg.Add(1)
+			go func(i int, p part) {
+				defer wg.Done()
+				perPart[i] = p.searchPart(allTerms, phrases, distinct, idfs, avgLen)
+			}(i, p)
+		}
+		wg.Wait()
+		mFanout.ObserveSince(start)
+	}
+
+	// Merge: bounded heap keeps only the k best across parts.
+	merger := newTopK(k)
+	for _, hs := range perPart {
+		for _, h := range hs {
+			merger.push(h)
+		}
+	}
+	return merger.results()
+}
+
+// flattenQuery normalizes a parsed query for resolution: single-token
+// phrases degrade to terms, and allTerms collects every token (terms
+// plus phrase members) for conjunctive matching and scoring.
+func flattenQuery(q Query) (allTerms []string, phrases [][]string) {
+	allTerms = append([]string(nil), q.Terms...)
+	for _, p := range q.Phrases {
+		if len(p) == 1 {
+			allTerms = append(allTerms, p[0])
+		} else {
+			phrases = append(phrases, p)
+			allTerms = append(allTerms, p...)
+		}
+	}
+	return allTerms, phrases
+}
+
+// maxf avoids importing math for one two-value max on the hot path.
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -29,13 +29,9 @@ package index
 
 import (
 	"hash/maphash"
-	"math"
 	"runtime"
-	"sort"
 	"strings"
-	"sync"
 	"sync/atomic"
-	"time"
 
 	"etap/internal/obs"
 	"etap/internal/textproc"
@@ -211,6 +207,14 @@ func (ix *Index) Add(docID, text string) {
 	ix.gen.Add(1)
 }
 
+// Has reports whether docID is already indexed. It is safe for
+// concurrent use and lets idempotent loaders (a web re-opened over a
+// persistent engine, replayed ingest streams) skip documents instead
+// of tripping the duplicate-Add panic.
+func (ix *Index) Has(docID string) bool {
+	return ix.shardFor(docID).has(docID)
+}
+
 // BM25 parameters (standard defaults).
 const (
 	bm25K1 = 1.2
@@ -270,17 +274,7 @@ func (ix *Index) Search(query string, k int) []Hit {
 func (ix *Index) SearchQuery(q Query, k int) []Hit {
 	mQueries.Inc()
 
-	// Single-token phrases degrade to terms.
-	allTerms := append([]string(nil), q.Terms...)
-	var phrases [][]string
-	for _, p := range q.Phrases {
-		if len(p) == 1 {
-			allTerms = append(allTerms, p[0])
-		} else {
-			phrases = append(phrases, p)
-			allTerms = append(allTerms, p...)
-		}
-	}
+	allTerms, phrases := flattenQuery(q)
 	if len(allTerms) == 0 {
 		return nil
 	}
@@ -294,7 +288,7 @@ func (ix *Index) SearchQuery(q Query, k int) []Hit {
 		}
 	}
 
-	hits := ix.resolve(allTerms, phrases, k)
+	hits := resolveParts(ix.parts(), allTerms, phrases, k, true)
 	if ix.cache != nil {
 		// Versioned under the generation read before resolving: if an
 		// Add raced the search, the entry is already stale and the next
@@ -304,75 +298,14 @@ func (ix *Index) SearchQuery(q Query, k int) []Hit {
 	return hits
 }
 
-// resolve answers a parsed query against the shards.
-func (ix *Index) resolve(allTerms []string, phrases [][]string, k int) []Hit {
-	// Distinct query tokens in sorted order — the shared scoring basis.
-	seen := map[string]bool{}
-	distinct := make([]string, 0, len(allTerms))
-	for _, t := range allTerms {
-		if !seen[t] {
-			seen[t] = true
-			distinct = append(distinct, t)
-		}
+// parts adapts the shard slice to the engine-neutral part interface the
+// shared resolver operates on.
+func (ix *Index) parts() []part {
+	parts := make([]part, len(ix.shards))
+	for i, s := range ix.shards {
+		parts[i] = s
 	}
-	sort.Strings(distinct)
-
-	// Phase 1: aggregate corpus-wide statistics (document count, total
-	// length, per-term document frequency) across shards.
-	nDocs, totalLen := 0, 0.0
-	df := make([]int, len(distinct))
-	for _, s := range ix.shards {
-		st := s.snapshotStats(distinct)
-		nDocs += st.docs
-		totalLen += st.totalLen
-		for i, d := range st.df {
-			df[i] += d
-		}
-	}
-	var scanned uint64
-	for _, d := range df {
-		if d == 0 {
-			// Conjunctive semantics: a term absent from the whole corpus
-			// empties the result.
-			return nil
-		}
-		scanned += uint64(d)
-	}
-	mPostings.Add(scanned)
-
-	idfs := make([]float64, len(distinct))
-	for i, d := range df {
-		idfs[i] = idf(nDocs, d)
-	}
-	avgLen := totalLen / math.Max(1, float64(nDocs))
-
-	// Phase 2: fan out matching + scoring across shards in parallel.
-	perShard := make([][]Hit, len(ix.shards))
-	if len(ix.shards) == 1 {
-		perShard[0] = ix.shards[0].search(allTerms, phrases, distinct, idfs, avgLen)
-	} else {
-		//etaplint:ignore determinism -- metrics-only timing: the timestamp feeds the fan-out histogram, never a result
-		start := time.Now()
-		var wg sync.WaitGroup
-		for i, s := range ix.shards {
-			wg.Add(1)
-			go func(i int, s *shard) {
-				defer wg.Done()
-				perShard[i] = s.search(allTerms, phrases, distinct, idfs, avgLen)
-			}(i, s)
-		}
-		wg.Wait()
-		mFanout.ObserveSince(start)
-	}
-
-	// Merge: bounded heap keeps only the k best across shards.
-	merger := newTopK(k)
-	for _, hs := range perShard {
-		for _, h := range hs {
-			merger.push(h)
-		}
-	}
-	return merger.results()
+	return parts
 }
 
 // DocFreq returns the document frequency of a term (normalized like
@@ -437,6 +370,9 @@ type Stats struct {
 	// CacheEntries is the number of live query-cache entries; zero when
 	// the cache is disabled.
 	CacheEntries int
+	// Segments is the number of committed on-disk segments; always zero
+	// for the in-RAM engine.
+	Segments int
 }
 
 // IndexStats returns current index statistics.

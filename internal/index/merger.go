@@ -1,0 +1,273 @@
+package index
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// The background merger keeps the segment count logarithmic in corpus
+// size under the tiered policy: a segment of d documents belongs to
+// tier floor(log_mergeFactor(max(d/flushDocs, 1))), and whenever any
+// tier accumulates mergeFactor segments, the mergeFactor oldest of
+// that tier are compacted into one segment of (roughly) the next tier.
+// Lower tiers merge first — they are the cheapest merges and the ones
+// query fan-out pays for most often. Merge commits use exactly the
+// same write-tmp / fsync / rename / manifest-commit protocol as
+// flushes; input segments are only retired after the merged segment is
+// committed, and their files are only deleted once the last in-flight
+// search releases them (STORAGE.md §6).
+
+// mergeLoop runs until Close, compacting whenever a flush (or reopen)
+// kicks it and the policy finds an overflowing tier.
+func (si *SegmentIndex) mergeLoop() {
+	defer close(si.mergeDone)
+	for {
+		select {
+		case <-si.stopCh:
+			return
+		case <-si.kickCh:
+			for si.mergeOnce() {
+				select {
+				case <-si.stopCh:
+					return
+				default:
+				}
+			}
+		}
+	}
+}
+
+// tierOf buckets a segment by document count: tier 0 holds fresh
+// flushes up to flushDocs*mergeFactor docs, each higher tier covers
+// the next mergeFactor multiple.
+func (si *SegmentIndex) tierOf(docs int) int {
+	tier := 0
+	limit := si.flushDocs * si.mergeFactor
+	for docs >= limit && tier < 62 {
+		tier++
+		limit *= si.mergeFactor
+	}
+	return tier
+}
+
+// pickMerge selects the next merge under the tiered policy: the
+// mergeFactor oldest segments of the lowest overflowing tier. Called
+// with si.mu held.
+func (si *SegmentIndex) pickMerge() []*segment {
+	tiers := make(map[int][]*segment)
+	lowest := -1
+	for _, s := range si.segs {
+		t := si.tierOf(len(s.ids))
+		tiers[t] = append(tiers[t], s)
+		if len(tiers[t]) >= si.mergeFactor && (lowest < 0 || t < lowest) {
+			lowest = t
+		}
+	}
+	if lowest < 0 {
+		return nil
+	}
+	// si.segs is ordered by commit, and IDs are monotonic, so the first
+	// mergeFactor entries of the tier are the oldest.
+	return tiers[lowest][:si.mergeFactor]
+}
+
+// mergeOnce runs a single merge if the policy demands one, reporting
+// whether it did any work. A failed merge leaves the inputs live and
+// untouched, records the error, and stops further attempts until the
+// next kick.
+func (si *SegmentIndex) mergeOnce() bool {
+	si.mu.RLock()
+	inputs := si.pickMerge()
+	si.mu.RUnlock()
+	if inputs == nil {
+		return false
+	}
+
+	//etaplint:ignore determinism -- metrics-only timing: the timestamp feeds the merge-duration histogram, never a result
+	start := time.Now()
+
+	si.manifestMu.Lock()
+	id := si.man.NextID
+	file := segmentFileName(id)
+	tmpPath := filepath.Join(si.dir, file+tmpSuffix)
+	ws, err := writeMergedSegment(tmpPath, inputs)
+	if err == nil {
+		if err = os.Rename(tmpPath, filepath.Join(si.dir, file)); err == nil {
+			err = syncDir(si.dir)
+		}
+	}
+	if err != nil {
+		si.manifestMu.Unlock()
+		si.noteErr(err)
+		mSegMergeFailures.Inc()
+		return false
+	}
+	seg, err := installSegment(filepath.Join(si.dir, file), id, ws)
+	if err != nil {
+		si.manifestMu.Unlock()
+		si.noteErr(err)
+		mSegMergeFailures.Inc()
+		return false
+	}
+	retire := make(map[uint64]bool, len(inputs))
+	for _, in := range inputs {
+		retire[in.id] = true
+	}
+	next := si.man
+	next.NextID = id + 1
+	next.Generation++
+	next.Segments = make([]manifestSegment, 0, len(si.man.Segments)+1-len(inputs))
+	for _, ent := range si.man.Segments {
+		if !retire[ent.ID] {
+			next.Segments = append(next.Segments, ent)
+		}
+	}
+	next.Segments = append(next.Segments, manifestSegment{
+		ID: id, File: file, Docs: ws.meta.docs, Bytes: ws.meta.bytes, CRC32: ws.meta.crc,
+	})
+	if err := commitManifest(si.dir, next); err != nil {
+		si.manifestMu.Unlock()
+		si.destroySegment(seg, false)
+		si.noteErr(err)
+		mSegMergeFailures.Inc()
+		return false
+	}
+	si.man = next
+	si.manifestMu.Unlock()
+
+	// Swap the view: merged segment in, inputs out, atomically. Mark
+	// inputs retired under the same lock — snapshots pin segments under
+	// the read lock, so no new reader can acquire an input afterwards.
+	si.mu.Lock()
+	kept := si.segs[:0]
+	for _, s := range si.segs {
+		if !retire[s.id] {
+			kept = append(kept, s)
+		}
+	}
+	si.segs = append(kept, seg)
+	for _, in := range inputs {
+		in.retired.Store(true)
+	}
+	si.mu.Unlock()
+
+	// Destroy inputs with no in-flight readers; the rest are destroyed
+	// by their last reader's release (mmap keeps bytes readable even
+	// after the unlink).
+	for _, in := range inputs {
+		if in.refs.Load() == 0 {
+			si.destroySegment(in, true)
+		}
+	}
+
+	mSegMerges.Inc()
+	mSegMergeDur.ObserveSince(start)
+	si.updateGauges()
+	return true
+}
+
+// writeMergedSegment concatenates committed segments (ascending ID
+// order = commit order) into one merged segment file. The merge never
+// decodes postings: part-local doc IDs are dense and ascending, and no
+// document spans segments, so each input's delta-encoded list shifted
+// by the running doc base is already the correct tail of the merged
+// list. Only two spots in the bytes change — the leading document
+// count becomes the sum of the inputs' counts, and each portion's
+// first doc delta is re-based against the previous portion's last
+// document — so a merge is a byte copy with per-term patching, not a
+// decode/re-encode (STORAGE.md §7). The output is byte-identical to
+// encoding the concatenated postings from scratch, which keeps the
+// deterministic-layout property across merges.
+func writeMergedSegment(path string, inputs []*segment) (writtenSegment, error) {
+	nDocs := 0
+	totalLen := 0.0
+	for _, in := range inputs {
+		nDocs += len(in.ids)
+		totalLen += in.totalLen
+	}
+	ids := make([]string, 0, nDocs)
+	docLens := make([]float64, 0, nDocs)
+	for _, in := range inputs {
+		ids = append(ids, in.ids...)
+		docLens = append(docLens, in.docLens...)
+	}
+	terms := mergedTerms(inputs)
+
+	var raw []byte
+	emit := func(t string, scratch []byte) ([]byte, int, error) {
+		df := 0
+		for _, in := range inputs {
+			df += in.dict[t].df
+		}
+		scratch = binary.AppendUvarint(scratch, uint64(df))
+		prevLast := int32(0) // last absolute doc ID written so far
+		base := int32(0)
+		for _, in := range inputs {
+			e, ok := in.dict[t]
+			if !ok || e.df == 0 {
+				base += int32(len(in.ids))
+				continue
+			}
+			var err error
+			raw, err = in.rawPostings(e, raw)
+			if err != nil {
+				return nil, 0, fmt.Errorf("merge %s term %q: %w", in.path, t, err)
+			}
+			count, off, err := readUvarint(raw, 0)
+			if err != nil {
+				return nil, 0, fmt.Errorf("merge %s term %q count: %w", in.path, t, err)
+			}
+			if count != uint64(e.df) {
+				return nil, 0, fmt.Errorf("merge %s term %q: postings count %d, dictionary df %d", in.path, t, count, e.df)
+			}
+			first, rest, err := readUvarint(raw, off)
+			if err != nil {
+				return nil, 0, fmt.Errorf("merge %s term %q first doc: %w", in.path, t, err)
+			}
+			last, err := postingsLastDoc(raw, off, count)
+			if err != nil {
+				return nil, 0, fmt.Errorf("merge %s term %q: %w", in.path, t, err)
+			}
+			scratch = binary.AppendUvarint(scratch, uint64(base+int32(first)-prevLast))
+			scratch = append(scratch, raw[rest:]...)
+			prevLast = base + last
+			base += int32(len(in.ids))
+		}
+		return scratch, df, nil
+	}
+	return writeSegmentFrame(path, ids, docLens, totalLen, terms, emit)
+}
+
+// mergedTerms unions the inputs' sorted term lists into one sorted,
+// duplicate-free list by k-way min selection (k = mergeFactor, small).
+func mergedTerms(inputs []*segment) []string {
+	total := 0
+	for _, in := range inputs {
+		total += len(in.terms)
+	}
+	out := make([]string, 0, total)
+	idx := make([]int, len(inputs))
+	for {
+		best := ""
+		found := false
+		for i, in := range inputs {
+			if idx[i] < len(in.terms) {
+				if t := in.terms[idx[i]]; !found || t < best {
+					best, found = t, true
+				}
+			}
+		}
+		if !found {
+			return out
+		}
+		for i, in := range inputs {
+			if idx[i] < len(in.terms) && in.terms[idx[i]] == best {
+				idx[i]++
+			}
+		}
+		out = append(out, best)
+	}
+}

@@ -1,0 +1,28 @@
+//go:build !unix
+
+package index
+
+import (
+	"fmt"
+	"os"
+)
+
+// openSegmentData opens a committed segment for random access on
+// platforms without mmap support: a kept-open file handle serving
+// pread. Search behaviour is identical to the mmap path, only paging
+// economics differ.
+func openSegmentData(path string) (segmentData, int64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		cerr := f.Close()
+		if cerr != nil {
+			return nil, 0, fmt.Errorf("stat %s: %w (and close: %v)", path, err, cerr)
+		}
+		return nil, 0, err
+	}
+	return f, fi.Size(), nil
+}

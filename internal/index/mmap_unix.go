@@ -1,0 +1,69 @@
+//go:build unix
+
+package index
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"syscall"
+)
+
+// openSegmentData maps a committed segment file read-only. The file
+// descriptor is closed immediately after mapping — the mapping keeps
+// the inode alive, so a concurrent merge can unlink the path while
+// searches still read the old bytes (the same immutability trick the
+// manifest commit protocol relies on, see STORAGE.md §5).
+func openSegmentData(path string) (segmentData, int64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer func() {
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, 0, err
+	}
+	size := fi.Size()
+	if size == 0 {
+		return nil, 0, fmt.Errorf("segment %s is empty", path)
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, 0, fmt.Errorf("mmap %s: %w", path, err)
+	}
+	mMmapBytes.Add(size)
+	return &mmapReader{data: data}, size, nil
+}
+
+// mmapReader serves ReadAt straight from a read-only mapping.
+type mmapReader struct {
+	data []byte
+}
+
+// ReadAt implements io.ReaderAt over the mapping.
+func (m *mmapReader) ReadAt(p []byte, off int64) (int, error) {
+	if off < 0 || off > int64(len(m.data)) {
+		return 0, fmt.Errorf("mmap read at %d outside segment of %d bytes", off, len(m.data))
+	}
+	n := copy(p, m.data[off:])
+	if n < len(p) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+// Close unmaps the segment.
+func (m *mmapReader) Close() error {
+	if m.data == nil {
+		return nil
+	}
+	mMmapBytes.Add(-int64(len(m.data)))
+	err := syscall.Munmap(m.data)
+	m.data = nil
+	return err
+}

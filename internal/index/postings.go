@@ -1,0 +1,267 @@
+package index
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// This file holds the postings-list machinery shared by every part
+// implementation: the varint delta codec segment files store postings
+// in (see STORAGE.md §3), and the match-and-score algorithm that turns
+// fetched postings into BM25 hits. Keeping the algorithm in one place
+// is what makes the in-RAM and on-disk engines bit-identical: a shard,
+// a memtable and a segment all resolve queries through the exact same
+// arithmetic, differing only in where the postings bytes come from.
+
+// appendPostings delta-encodes one term's postings list onto buf:
+//
+//	uvarint(docCount)
+//	per posting, in ascending Doc order:
+//	  uvarint(doc - prevDoc)     // prevDoc starts at 0
+//	  uvarint(len(positions))
+//	  per position, ascending:
+//	    uvarint(pos - prevPos)   // prevPos starts at 0 per posting
+//
+// Document IDs are part-local and strictly increasing, so deltas after
+// the first are always positive; the first delta is the raw ID.
+func appendPostings(buf []byte, pl []Posting) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(pl)))
+	prevDoc := int32(0)
+	for _, p := range pl {
+		buf = binary.AppendUvarint(buf, uint64(p.Doc-prevDoc))
+		prevDoc = p.Doc
+		buf = binary.AppendUvarint(buf, uint64(len(p.Positions)))
+		prevPos := int32(0)
+		for _, pos := range p.Positions {
+			buf = binary.AppendUvarint(buf, uint64(pos-prevPos))
+			prevPos = pos
+		}
+	}
+	return buf
+}
+
+// decodePostings reverses appendPostings. It returns an error (never
+// panics) on truncated or corrupt input so a damaged segment surfaces
+// as a recoverable condition, not a crash.
+func decodePostings(data []byte) ([]Posting, error) {
+	n, off, err := readUvarint(data, 0)
+	if err != nil {
+		return nil, fmt.Errorf("postings count: %w", err)
+	}
+	pl := make([]Posting, 0, n)
+	prevDoc := int32(0)
+	for i := uint64(0); i < n; i++ {
+		docDelta, o, err := readUvarint(data, off)
+		if err != nil {
+			return nil, fmt.Errorf("doc delta %d: %w", i, err)
+		}
+		off = o
+		doc := prevDoc + int32(docDelta)
+		prevDoc = doc
+		posCount, o, err := readUvarint(data, off)
+		if err != nil {
+			return nil, fmt.Errorf("position count %d: %w", i, err)
+		}
+		off = o
+		positions := make([]int32, 0, posCount)
+		prevPos := int32(0)
+		for j := uint64(0); j < posCount; j++ {
+			d, o, err := readUvarint(data, off)
+			if err != nil {
+				return nil, fmt.Errorf("position delta %d/%d: %w", i, j, err)
+			}
+			off = o
+			pos := prevPos + int32(d)
+			prevPos = pos
+			positions = append(positions, pos)
+		}
+		pl = append(pl, Posting{Doc: doc, Positions: positions})
+	}
+	if off != len(data) {
+		return nil, fmt.Errorf("postings list has %d trailing bytes", len(data)-off)
+	}
+	return pl, nil
+}
+
+// postingsLastDoc scans an encoded postings list (off pointing just
+// past the leading count) and returns the last document ID, validating
+// that exactly count postings fill the buffer. It parses varint
+// boundaries only — no postings are materialised — which is what lets
+// segment merges run as byte copies.
+func postingsLastDoc(data []byte, off int, count uint64) (int32, error) {
+	doc := int32(0)
+	for i := uint64(0); i < count; i++ {
+		d, o, err := readUvarint(data, off)
+		if err != nil {
+			return 0, fmt.Errorf("doc delta %d: %w", i, err)
+		}
+		off = o
+		doc += int32(d)
+		posCount, o, err := readUvarint(data, off)
+		if err != nil {
+			return 0, fmt.Errorf("position count %d: %w", i, err)
+		}
+		off = o
+		for j := uint64(0); j < posCount; j++ {
+			for {
+				if off >= len(data) {
+					return 0, fmt.Errorf("truncated position delta %d/%d", i, j)
+				}
+				b := data[off]
+				off++
+				if b < 0x80 {
+					break
+				}
+			}
+		}
+	}
+	if off != len(data) {
+		return 0, fmt.Errorf("postings list has %d trailing bytes", len(data)-off)
+	}
+	return doc, nil
+}
+
+// readUvarint decodes one uvarint at off, returning the value and the
+// next offset. Unlike binary.Uvarint it reports truncation as an error.
+func readUvarint(data []byte, off int) (uint64, int, error) {
+	v, n := binary.Uvarint(data[off:])
+	if n <= 0 {
+		return 0, 0, fmt.Errorf("truncated uvarint at offset %d", off)
+	}
+	return v, off + n, nil
+}
+
+// matchAndScore resolves a query against one part's fetched postings:
+// conjunctive intersection over allTerms, phrase adjacency filtering,
+// then BM25 scoring with the caller-supplied global idf values and
+// average document length. post must hold an entry for every term in
+// allTerms, distinct and the phrases (nil/absent means the term does
+// not occur in this part). The returned hits are unordered; the caller
+// merges and ranks across parts. Scores are bit-identical regardless
+// of how documents are partitioned because every per-document input
+// (tf, docLen, idf, avgLen) and the summation order (sorted distinct
+// terms) are partition-independent.
+func matchAndScore(post map[string][]Posting, docLen []float64, ids []string, allTerms []string, phrases [][]string, distinct []string, idf []float64, avgLen float64) []Hit {
+	required := make([][]Posting, 0, len(allTerms))
+	for _, t := range allTerms {
+		pl := post[t]
+		if len(pl) == 0 {
+			return nil // conjunctive: this part holds no matching docs
+		}
+		required = append(required, pl)
+	}
+	if len(required) == 0 {
+		return nil
+	}
+
+	// Intersect candidate doc sets.
+	candidates := docSet(required[0])
+	for _, pl := range required[1:] {
+		next := docSet(pl)
+		for d := range candidates {
+			if !next[d] {
+				delete(candidates, d)
+			}
+		}
+		if len(candidates) == 0 {
+			return nil
+		}
+	}
+
+	// Phrase filter.
+	for _, p := range phrases {
+		for d := range candidates {
+			if !phraseInPostings(post, p, d) {
+				delete(candidates, d)
+			}
+		}
+		if len(candidates) == 0 {
+			return nil
+		}
+	}
+
+	// BM25 over the distinct query tokens, in sorted term order so the
+	// floating-point summation is deterministic and partition-independent.
+	hits := make([]Hit, 0, len(candidates))
+	for d := range candidates {
+		score := 0.0
+		for i, t := range distinct {
+			pl := post[t]
+			idx := sort.Search(len(pl), func(j int) bool { return pl[j].Doc >= d })
+			if idx >= len(pl) || pl[idx].Doc != d {
+				continue
+			}
+			tf := float64(len(pl[idx].Positions))
+			den := tf + bm25K1*(1-bm25B+bm25B*docLen[d]/avgLen)
+			score += idf[i] * tf * (bm25K1 + 1) / den
+		}
+		//etaplint:ignore determinism -- per-part hit order is irrelevant: the merge ranks by hitBetter (score desc, DocID asc), a strict total order, so insertion order cannot reach the output
+		hits = append(hits, Hit{DocID: ids[d], Score: score})
+	}
+	return hits
+}
+
+// phraseInPostings reports whether the phrase occurs contiguously in
+// part-local doc d, given the part's fetched postings.
+func phraseInPostings(post map[string][]Posting, phrase []string, d int32) bool {
+	// Gather position lists for each phrase token in doc d.
+	lists := make([][]int32, len(phrase))
+	for i, t := range phrase {
+		pl := post[t]
+		idx := sort.Search(len(pl), func(j int) bool { return pl[j].Doc >= d })
+		if idx >= len(pl) || pl[idx].Doc != d {
+			return false
+		}
+		lists[i] = pl[idx].Positions
+	}
+	// For each start position of token 0, check the chain.
+	for _, p0 := range lists[0] {
+		ok := true
+		for i := 1; i < len(lists); i++ {
+			if !contains32(lists[i], p0+int32(i)) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+// countCoDoc counts documents present in both postings lists — the
+// whole-document co-occurrence the PMI-IR lexicon induction uses.
+func countCoDoc(pa, pb []Posting) int {
+	da := docSet(pa)
+	n := 0
+	for _, p := range pb {
+		if da[p.Doc] {
+			n++
+		}
+	}
+	return n
+}
+
+// countCoNear counts documents where the two postings lists have a
+// position pair within the window — Turney's NEAR operator.
+func countCoNear(pa, pb []Posting, window int32) int {
+	n := 0
+	i, j := 0, 0
+	for i < len(pa) && j < len(pb) {
+		switch {
+		case pa[i].Doc < pb[j].Doc:
+			i++
+		case pa[i].Doc > pb[j].Doc:
+			j++
+		default:
+			if positionsNear(pa[i].Positions, pb[j].Positions, window) {
+				n++
+			}
+			i++
+			j++
+		}
+	}
+	return n
+}

@@ -1,0 +1,17 @@
+package index
+
+import "io"
+
+// segmentData is the read path under an open segment: a random-access
+// view of the file's bytes plus a Close that releases it. On Unix the
+// view is an mmap — postings pages fault in on demand and compete for
+// page cache instead of heap, which is what lets the index grow past
+// RAM — elsewhere it degrades to pread on a kept-open file handle.
+// Either way segment readers only see io.ReaderAt, so the search path
+// is identical across platforms.
+type segmentData interface {
+	io.ReaderAt
+	// Close releases the mapping or file handle. The caller guarantees
+	// no ReadAt is in flight or issued afterwards.
+	Close() error
+}

@@ -2,16 +2,15 @@ package index
 
 import (
 	"math"
-	"sort"
 	"sync"
 )
 
-// shard is one slice of the index: a term→postings map over the subset
-// of documents whose ID hashes to it. A document lives entirely within
-// one shard, so conjunctive matching, phrase adjacency and per-document
-// scoring never cross shard boundaries; only document frequencies and
-// length statistics must be aggregated globally (SearchQuery does that
-// before fanning out).
+// shard is one slice of the in-RAM index: a term→postings map over the
+// subset of documents whose ID hashes to it. A document lives entirely
+// within one shard, so conjunctive matching, phrase adjacency and
+// per-document scoring never cross shard boundaries; only document
+// frequencies and length statistics must be aggregated globally
+// (resolveParts does that before fanning out).
 //
 // Each shard carries its own RWMutex: Add takes the write lock of the
 // owning shard only, searches take read locks, so bulk loading
@@ -57,137 +56,44 @@ func (s *shard) add(docID string, ts []string) {
 	}
 }
 
-// stats is the shard's contribution to the corpus-wide statistics BM25
-// needs: document count, summed document length, and per-term document
-// frequencies for the query's distinct terms.
-type shardStats struct {
-	docs     int
-	totalLen float64
-	df       []int // parallel to the distinct-terms slice passed in
+// has reports whether the shard holds docID.
+func (s *shard) has(docID string) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	_, ok := s.byID[docID]
+	return ok
 }
 
 // snapshotStats reads the shard's corpus statistics under the read lock.
-func (s *shard) snapshotStats(distinct []string) shardStats {
+func (s *shard) snapshotStats(distinct []string) partStats {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	st := shardStats{docs: len(s.ids), totalLen: s.totalLen, df: make([]int, len(distinct))}
+	st := partStats{docs: len(s.ids), totalLen: s.totalLen, df: make([]int, len(distinct))}
 	for i, t := range distinct {
 		st.df[i] = len(s.postings[t])
 	}
 	return st
 }
 
-// search resolves the query against this shard's documents: conjunctive
-// intersection, phrase adjacency filtering, then BM25 scoring with the
-// caller-supplied global idf values and average document length. The
-// returned hits are unordered; the caller merges and ranks across
-// shards. Scores are bit-identical regardless of shard count because
-// every per-document input (tf, docLen, idf, avgLen) and the summation
-// order (sorted distinct terms) are shard-independent.
-func (s *shard) search(allTerms []string, phrases [][]string, distinct []string, idf []float64, avgLen float64) []Hit {
+// searchPart resolves the query against this shard's documents through
+// the shared matchAndScore algorithm, under the read lock. The fetched
+// postings map holds references into the shard's live postings slices;
+// it never escapes the lock.
+func (s *shard) searchPart(allTerms []string, phrases [][]string, distinct []string, idf []float64, avgLen float64) []Hit {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-
-	required := make([][]Posting, 0, len(allTerms))
-	for _, t := range allTerms {
-		pl, ok := s.postings[t]
-		if !ok {
-			return nil // conjunctive: this shard holds no matching docs
-		}
-		required = append(required, pl)
+	fetched := make(map[string][]Posting, len(distinct)+len(phrases))
+	for _, t := range distinct {
+		fetched[t] = s.postings[t]
 	}
-	if len(required) == 0 {
-		return nil
-	}
-
-	// Intersect candidate doc sets.
-	candidates := docSet(required[0])
-	for _, pl := range required[1:] {
-		next := docSet(pl)
-		for d := range candidates {
-			if !next[d] {
-				delete(candidates, d)
-			}
-		}
-		if len(candidates) == 0 {
-			return nil
-		}
-	}
-
-	// Phrase filter.
-	for _, p := range phrases {
-		for d := range candidates {
-			if !s.phraseIn(p, d) {
-				delete(candidates, d)
-			}
-		}
-		if len(candidates) == 0 {
-			return nil
-		}
-	}
-
-	// BM25 over the distinct query tokens, in sorted term order so the
-	// floating-point summation is deterministic and shard-independent.
-	hits := make([]Hit, 0, len(candidates))
-	for d := range candidates {
-		score := 0.0
-		for i, t := range distinct {
-			pl := s.postings[t]
-			idx := sort.Search(len(pl), func(j int) bool { return pl[j].Doc >= d })
-			if idx >= len(pl) || pl[idx].Doc != d {
-				continue
-			}
-			tf := float64(len(pl[idx].Positions))
-			den := tf + bm25K1*(1-bm25B+bm25B*s.docLen[d]/avgLen)
-			score += idf[i] * tf * (bm25K1 + 1) / den
-		}
-		//etaplint:ignore determinism -- per-shard hit order is irrelevant: the merge ranks by hitBetter (score desc, DocID asc), a strict total order, so insertion order cannot reach the output
-		hits = append(hits, Hit{DocID: s.ids[d], Score: score})
-	}
-	return hits
-}
-
-// phraseIn reports whether the phrase occurs contiguously in doc d.
-// Callers hold at least the read lock.
-func (s *shard) phraseIn(phrase []string, d int32) bool {
-	// Gather position lists for each phrase token in doc d.
-	lists := make([][]int32, len(phrase))
-	for i, t := range phrase {
-		pl := s.postings[t]
-		idx := sort.Search(len(pl), func(j int) bool { return pl[j].Doc >= d })
-		if idx >= len(pl) || pl[idx].Doc != d {
-			return false
-		}
-		lists[i] = pl[idx].Positions
-	}
-	// For each start position of token 0, check the chain.
-	for _, p0 := range lists[0] {
-		ok := true
-		for i := 1; i < len(lists); i++ {
-			if !contains32(lists[i], p0+int32(i)) {
-				ok = false
-				break
-			}
-		}
-		if ok {
-			return true
-		}
-	}
-	return false
+	return matchAndScore(fetched, s.docLen, s.ids, allTerms, phrases, distinct, idf, avgLen)
 }
 
 // coDocFreq counts this shard's documents containing both terms.
 func (s *shard) coDocFreq(ta, tb string) int {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	da := docSet(s.postings[ta])
-	n := 0
-	for _, p := range s.postings[tb] {
-		if da[p.Doc] {
-			n++
-		}
-	}
-	return n
+	return countCoDoc(s.postings[ta], s.postings[tb])
 }
 
 // coNearFreq counts this shard's documents where the two terms occur
@@ -195,25 +101,7 @@ func (s *shard) coDocFreq(ta, tb string) int {
 func (s *shard) coNearFreq(ta, tb string, window int32) int {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	pa := s.postings[ta]
-	pb := s.postings[tb]
-	n := 0
-	i, j := 0, 0
-	for i < len(pa) && j < len(pb) {
-		switch {
-		case pa[i].Doc < pb[j].Doc:
-			i++
-		case pa[i].Doc > pb[j].Doc:
-			j++
-		default:
-			if positionsNear(pa[i].Positions, pb[j].Positions, window) {
-				n++
-			}
-			i++
-			j++
-		}
-	}
-	return n
+	return countCoNear(s.postings[ta], s.postings[tb], window)
 }
 
 // docFreq returns the shard-local document frequency of one term.
@@ -237,8 +125,16 @@ func (s *shard) size() (docs, terms, postings int) {
 }
 
 func contains32(sorted []int32, v int32) bool {
-	i := sort.Search(len(sorted), func(j int) bool { return sorted[j] >= v })
-	return i < len(sorted) && sorted[i] == v
+	lo, hi := 0, len(sorted)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if sorted[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(sorted) && sorted[lo] == v
 }
 
 func docSet(pl []Posting) map[int32]bool {

@@ -8,6 +8,7 @@ package lint
 import (
 	"fmt"
 	"go/ast"
+	"go/build"
 	"go/importer"
 	"go/parser"
 	"go/token"
@@ -188,6 +189,15 @@ func (l *Loader) LoadAs(dir, importPath string) (*Package, error) {
 	var files []*ast.File
 	for _, e := range ents {
 		if e.IsDir() || !isLintedFile(e.Name()) {
+			continue
+		}
+		// Honour build constraints (//go:build lines and _GOOS/_GOARCH
+		// suffixes) for the host platform, the way the compiler would —
+		// otherwise platform-variant pairs like the segment index's mmap
+		// backends type-check as duplicate declarations.
+		if ok, err := build.Default.MatchFile(dir, e.Name()); err != nil {
+			return nil, fmt.Errorf("lint: %s: %w", e.Name(), err)
+		} else if !ok {
 			continue
 		}
 		f, err := parser.ParseFile(l.fset, filepath.Join(dir, e.Name()), nil,

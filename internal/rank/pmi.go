@@ -1,10 +1,17 @@
 package rank
 
-import (
-	"math"
+import "math"
 
-	"etap/internal/index"
-)
+// CorpusStats is the slice of the search engine PMI-IR needs:
+// document-frequency and proximity co-occurrence counts. Both the
+// in-RAM index and the persistent segment index satisfy it.
+type CorpusStats interface {
+	// DocFreq returns the document frequency of one term.
+	DocFreq(term string) int
+	// CoNearFreq counts documents where the terms occur within window
+	// positions of each other.
+	CoNearFreq(a, b string, window int) int
+}
 
 // InduceLexicon builds a semantic-orientation lexicon automatically from
 // seed words using the PMI-IR method of Turney [14], which the paper
@@ -16,7 +23,7 @@ import (
 // with PMI estimated from NEAR co-occurrence counts in the search index
 // (Turney's NEAR operator, here "within 10 tokens"), with add-0.01
 // smoothing as in Turney's work.
-func InduceLexicon(ix *index.Index, posSeeds, negSeeds, candidates []string) Lexicon {
+func InduceLexicon(ix CorpusStats, posSeeds, negSeeds, candidates []string) Lexicon {
 	const (
 		smoothing  = 0.01
 		nearWindow = 10

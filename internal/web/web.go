@@ -34,7 +34,7 @@ type Web struct {
 	mu     sync.RWMutex
 	pages  map[string]*Page
 	order  []string // insertion order, for deterministic iteration
-	ix     *index.Index
+	ix     index.Engine
 	frozen bool
 }
 
@@ -42,13 +42,23 @@ type Web struct {
 type Option func(*webOptions)
 
 type webOptions struct {
-	index index.Options
+	index  index.Options
+	engine index.Engine
 }
 
 // WithIndexOptions selects the search-index configuration (shard count,
 // query-cache capacity) for webs built with New.
 func WithIndexOptions(o index.Options) Option {
 	return func(wo *webOptions) { wo.index = o }
+}
+
+// WithEngine backs the web with a caller-supplied search engine — in
+// practice a persistent index.SegmentIndex — instead of a fresh in-RAM
+// index. A reopened engine may already hold documents; the build and
+// ingest paths then repair the page table without re-indexing (ranked
+// results are identical either way). Overrides WithIndexOptions.
+func WithEngine(e index.Engine) Option {
+	return func(wo *webOptions) { wo.engine = e }
 }
 
 // New returns an empty Web. With no options the search index uses its
@@ -58,7 +68,11 @@ func New(opts ...Option) *Web {
 	for _, o := range opts {
 		o(&wo)
 	}
-	return &Web{pages: make(map[string]*Page), ix: index.NewWithOptions(wo.index)}
+	ix := wo.engine
+	if ix == nil {
+		ix = index.NewWithOptions(wo.index)
+	}
+	return &Web{pages: make(map[string]*Page), ix: ix}
 }
 
 // AddPage stores and indexes a page. Pages must have unique URLs; adding
@@ -71,6 +85,17 @@ func (w *Web) AddPage(p Page) {
 		panic("web: AddPage after Freeze")
 	}
 	w.store(p)
+	w.indexPage(&p)
+}
+
+// indexPage indexes one stored page, skipping documents a reopened
+// persistent engine already holds — rebuilding the page table over a
+// recovered index must not re-index (and must not trip the engine's
+// duplicate panic).
+func (w *Web) indexPage(p *Page) {
+	if w.ix.Has(p.URL) {
+		return
+	}
 	w.ix.Add(p.URL, p.Title+" "+p.Text)
 }
 
@@ -119,7 +144,7 @@ func (w *Web) AddPages(pages []Page) {
 	}
 	if workers <= 1 {
 		for _, p := range stored {
-			w.ix.Add(p.URL, p.Title+" "+p.Text)
+			w.indexPage(p)
 		}
 		return
 	}
@@ -130,7 +155,7 @@ func (w *Web) AddPages(pages []Page) {
 		go func() {
 			defer wg.Done()
 			for p := range jobs {
-				w.ix.Add(p.URL, p.Title+" "+p.Text)
+				w.indexPage(p)
 			}
 		}()
 	}
@@ -167,7 +192,15 @@ func (w *Web) Ingest(p Page) error {
 	cp := p
 	w.pages[p.URL] = &cp
 	w.order = append(w.order, p.URL)
+	already := w.ix.Has(p.URL)
 	w.mu.Unlock()
+	if already {
+		// A reopened persistent engine recovered this document before
+		// the page table knew it: keep the just-stored page (repairing
+		// the table) but skip re-indexing, and report the duplicate so
+		// streaming callers treat the re-ingestion as a no-op.
+		return fmt.Errorf("%s: %w", p.URL, ErrDuplicatePage)
+	}
 	// The index is internally synchronized; holding the web lock
 	// through tokenization would serialize concurrent ingests. The
 	// page table already holds the URL, so a racing duplicate Ingest
@@ -217,14 +250,30 @@ func (w *Web) Search(query string, k int) []*Page {
 	defer w.mu.RUnlock()
 	out := make([]*Page, 0, len(hits))
 	for _, h := range hits {
-		out = append(out, w.pages[h.DocID])
+		if p, ok := w.pages[h.DocID]; ok {
+			// A persistent engine can briefly know documents the page
+			// table does not (recovered index, table still rebuilding);
+			// those hits are dropped rather than returned as nils.
+			out = append(out, p)
+		}
 	}
 	return out
 }
 
-// Index exposes the underlying index for co-occurrence statistics
-// (PMI-IR lexicon induction).
-func (w *Web) Index() *index.Index { return w.ix }
+// Index exposes the underlying search engine for co-occurrence
+// statistics (PMI-IR lexicon induction) and operational stats.
+func (w *Web) Index() index.Engine { return w.ix }
+
+// Close releases the underlying search engine when it holds external
+// resources (a persistent segment index flushes its memtables and
+// closes its files); webs over the in-RAM index return nil. The web
+// must not be used after Close.
+func (w *Web) Close() error {
+	if c, ok := w.ix.(interface{ Close() error }); ok {
+		return c.Close()
+	}
+	return nil
+}
 
 // Result is one search hit with its result snippet — the few words
 // around the best query match, the way the paper's Figure 5 screenshot

@@ -194,11 +194,75 @@ func TestAddPagesDuplicatePanics(t *testing.T) {
 func TestWithIndexOptions(t *testing.T) {
 	w := New(WithIndexOptions(index.Options{Shards: 3, CacheSize: -1}))
 	w.AddPage(Page{URL: "http://x.example.com/", Text: "merger news"})
-	if got := w.Index().Shards(); got != 3 {
-		t.Fatalf("Shards() = %d, want 3", got)
+	if got := w.Index().IndexStats().Shards; got != 3 {
+		t.Fatalf("IndexStats().Shards = %d, want 3", got)
 	}
 	if hits := w.Search("merger", 0); len(hits) != 1 {
 		t.Fatalf("search on sharded web: %v", hits)
+	}
+}
+
+// TestWithEngineSegmentBacked drives the full persistent lifecycle
+// through the web layer: a segment-backed web indexes, searches and
+// ingests like the in-RAM one; after Close a new web over the reopened
+// engine repairs its page table from the same pages without
+// re-indexing (no duplicate-add panic, Ingest reports
+// ErrDuplicatePage), and searches serve from the recovered segments.
+func TestWithEngineSegmentBacked(t *testing.T) {
+	dir := t.TempDir()
+	open := func() *index.SegmentIndex {
+		eng, err := index.OpenSegmentIndex(index.SegmentOptions{Dir: dir, FlushDocs: 2, Writers: 2})
+		if err != nil {
+			t.Fatalf("open segment index: %v", err)
+		}
+		return eng
+	}
+
+	w := New(WithEngine(open()))
+	pages := []Page{
+		{URL: "http://a.example.com/1", Title: "New CEO at Acme", Text: "Acme named a new CEO on Friday."},
+		{URL: "http://a.example.com/2", Title: "Weather", Text: "The weather stayed pleasant."},
+		{URL: "http://b.example.net/x", Title: "Merger news", Text: "IBM acquired Daksh in a landmark deal."},
+	}
+	w.AddPages(pages)
+	w.Freeze()
+	if err := w.Ingest(Page{URL: "http://c.example.org/s", Text: "streamed acquisition update"}); err != nil {
+		t.Fatalf("ingest: %v", err)
+	}
+	if hits := w.Search("acquisition", 0); len(hits) != 1 || hits[0].URL != "http://c.example.org/s" {
+		t.Fatalf("pre-close search: %v", hits)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	// Restart: the engine recovers the four documents from the manifest;
+	// the caller rebuilds the page table over it.
+	eng := open()
+	if eng.Len() != 4 {
+		t.Fatalf("reopened engine holds %d docs, want 4", eng.Len())
+	}
+	w2 := New(WithEngine(eng))
+	w2.AddPages(pages) // must repair the table without re-indexing
+	w2.Freeze()
+	err := w2.Ingest(Page{URL: "http://c.example.org/s", Text: "streamed acquisition update"})
+	if !errors.Is(err, ErrDuplicatePage) {
+		t.Fatalf("re-ingest of recovered doc: %v", err)
+	}
+	if w2.Len() != 4 {
+		t.Fatalf("repaired table holds %d pages, want 4", w2.Len())
+	}
+	if p, ok := w2.Page("http://c.example.org/s"); !ok || p.Text != "streamed acquisition update" {
+		t.Fatalf("repaired page lookup: %+v %v", p, ok)
+	}
+	if hits := w2.Search(`"new ceo"`, 10); len(hits) != 1 || hits[0].URL != "http://a.example.com/1" {
+		t.Fatalf("post-restart search: %v", hits)
+	}
+	if st := w2.Index().IndexStats(); st.Segments == 0 {
+		t.Fatalf("expected committed segments after restart, stats = %+v", st)
+	}
+	if err := w2.Close(); err != nil {
+		t.Fatalf("close reopened: %v", err)
 	}
 }
 
