@@ -11,7 +11,8 @@
 //	      [-index-dir dir] [-segment-flush-docs N] [-merge-factor N]
 //	      [-shutdown-timeout 10s] [-checkpoint-interval 30s]
 //	      [-alerts] [-subscriptions subs.jsonl]
-//	      [-ingest-workers N] [-ingest-queue N]
+//	      [-ingest-workers N] [-ingest-queue N] [-ingest-partitions N]
+//	      [-wal-dir dir] [-wal-fsync-batch N]
 //	      [-trace-sample 0.1] [-trace-store 256] [-lag-slo 0]
 //
 // Streaming (default on, -alerts=false disables): POST /ingest feeds
@@ -19,6 +20,18 @@
 // trigger events land in the lead store, and matching subscribers
 // (CRUD under /subscriptions, persisted to -subscriptions) get webhook
 // and GET /alerts/stream SSE alerts. A full ingest queue answers 429.
+//
+// Ingest durability: with -wal-dir, every accepted document is
+// appended to a write-ahead log (length+CRC framed, group-commit
+// fsynced; -wal-fsync-batch caps appends acknowledged per fsync)
+// BEFORE the 202 is returned, documents are routed by URL hash to
+// -ingest-partitions ordered consumer lanes (default: the worker
+// count) that advance committed offsets only after processing, and
+// startup replays the uncommitted tail — a crash, even SIGKILL, loses
+// no accepted document (fingerprint dedup keeps the replay from
+// re-alerting). The on-disk format is specified in STORAGE.md §9 and
+// the recovery runbook lives in OPERATIONS.md. Without -wal-dir,
+// ingest is memory-only (the pre-WAL behaviour).
 //
 // Tracing (with -alerts): every accepted document gets a trace ID
 // (echoed by the 202) following it through extraction, matching, and
@@ -109,6 +122,9 @@ type options struct {
 	subsPath      string
 	ingestWorkers int
 	ingestQueue   int
+	ingestParts   int
+	walDir        string
+	walFsyncBatch int
 	traceSample   float64
 	traceStore    int
 	lagSLO        time.Duration
@@ -135,7 +151,10 @@ func main() {
 		alerts        = flag.Bool("alerts", true, "enable the streaming subsystem (/ingest, /subscriptions, /alerts/stream)")
 		subsPath      = flag.String("subscriptions", "", "JSONL subscription store to load (and keep checkpointing)")
 		ingestWorkers = flag.Int("ingest-workers", 0, "ingest worker-pool size (0 = default 2)")
-		ingestQueue   = flag.Int("ingest-queue", 0, "ingest queue capacity before 429s (0 = default 64)")
+		ingestQueue   = flag.Int("ingest-queue", 0, "per-partition ingest queue capacity before 429s (0 = default 64)")
+		ingestParts   = flag.Int("ingest-partitions", 0, "ingest partition count, one ordered consumer lane each (0 = worker count)")
+		walDir        = flag.String("wal-dir", "", "ingest write-ahead-log directory; accepted documents are durable before the 202 (empty = no WAL)")
+		walFsyncBatch = flag.Int("wal-fsync-batch", 0, "max WAL appends acknowledged per fsync; 1 = fsync every append (0 = default 64; with -wal-dir)")
 		traceSample   = flag.Float64("trace-sample", 0.1, "fraction of healthy traces retained (errors and the slow tail always kept)")
 		traceStore    = flag.Int("trace-store", 256, "retained-trace ring capacity (0 disables per-document tracing)")
 		lagSLO        = flag.Duration("lag-slo", 0, "p99 delivery-lag budget, ingest accept to webhook 2xx (0 disables the /healthz check)")
@@ -170,6 +189,9 @@ func main() {
 		subsPath:      *subsPath,
 		ingestWorkers: *ingestWorkers,
 		ingestQueue:   *ingestQueue,
+		ingestParts:   *ingestParts,
+		walDir:        *walDir,
+		walFsyncBatch: *walFsyncBatch,
 		traceSample:   *traceSample,
 		traceStore:    *traceStore,
 		lagSLO:        *lagSLO,
@@ -285,9 +307,24 @@ func run(ctx context.Context, log *slog.Logger, opts options) error {
 			})
 			api.AttachTracer(tracer)
 		}
+		var wal *alert.WAL
+		if opts.walDir != "" {
+			wal, err = alert.OpenWAL(alert.WALConfig{
+				Dir:        opts.walDir,
+				FsyncBatch: opts.walFsyncBatch,
+				Log:        log,
+			})
+			if err != nil {
+				return fmt.Errorf("opening ingest wal: %w", err)
+			}
+			log.Info("ingest wal open", "dir", opts.walDir,
+				"fsync_batch", opts.walFsyncBatch, "stats", wal.Stats())
+		}
 		manager = alert.NewManager(sys, api, w, alert.Config{
 			Workers:       opts.ingestWorkers,
+			Partitions:    opts.ingestParts,
 			QueueSize:     opts.ingestQueue,
+			WAL:           wal,
 			Subscriptions: subs,
 			Log:           log,
 			Tracer:        tracer,

@@ -1,0 +1,325 @@
+package main
+
+// The WAL crash test backs the ingest-durability contract with a real
+// SIGKILL: a child daemon 202s documents over HTTP while its pipeline
+// is stalled — so nothing past the WAL has happened when the parent
+// kills it -9 — and a second life must replay every accepted document
+// into exactly one alert each, with no redelivery of events the first
+// life already alerted and checkpointed.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"etap/internal/alert"
+	"etap/internal/gather"
+	"etap/internal/obs"
+	"etap/internal/rank"
+	"etap/internal/serve"
+	"etap/internal/store"
+	"etap/internal/web"
+)
+
+const (
+	walCrashEnvDir      = "ETAP_WAL_CRASH_DIR"
+	walCrashEnvAddrFile = "ETAP_WAL_CRASH_ADDRFILE"
+)
+
+// walCrashPipeline is triggerPipeline with per-document snippets: each
+// "acquire" page yields one Globex event whose text — and therefore
+// alert fingerprint — is unique to the page.
+type walCrashPipeline struct{}
+
+func (walCrashPipeline) ExtractAllEvents(pages []*web.Page, _ float64) []rank.Event {
+	var events []rank.Event
+	for _, p := range pages {
+		if strings.Contains(p.Text, "acquire") {
+			events = append(events, rank.Event{
+				SnippetID: p.URL + "#0",
+				Driver:    "mergers-acquisitions",
+				Company:   "Globex",
+				Score:     0.93,
+				Text:      p.Text,
+			})
+		}
+	}
+	return events
+}
+
+// stalledPipeline never returns: every consumed document parks its
+// partition consumer forever, freezing the child between the 202 (WAL
+// appended, fsynced) and any processing. That makes the parent's
+// SIGKILL land in exactly the window the WAL exists for.
+type stalledPipeline struct{}
+
+func (stalledPipeline) ExtractAllEvents([]*web.Page, float64) []rank.Event {
+	select {}
+}
+
+// crashManagerConfig is the alert configuration shared by every life
+// of the crashed daemon — partition count must match or committed
+// offsets would be collapsed.
+func crashManagerConfig(wal *alert.WAL, subs *alert.Subscriptions) alert.Config {
+	return alert.Config{
+		Workers:       2,
+		Partitions:    2,
+		WAL:           wal,
+		Subscriptions: subs,
+		Registry:      obs.NewRegistry(),
+		Retry: gather.RetryConfig{
+			MaxAttempts:    3,
+			Sleep:          func(time.Duration) {},
+			AttemptTimeout: -1,
+		},
+		Log: quietLog(),
+	}
+}
+
+// TestWALCrashChildProcess is the re-exec helper, not a test: it only
+// runs when the parent sets the crash-dir environment variable. It
+// serves POST /ingest with a stalled pipeline until SIGKILL reaps it.
+func TestWALCrashChildProcess(t *testing.T) {
+	dir := os.Getenv(walCrashEnvDir)
+	if dir == "" {
+		t.Skip("crash-test helper; runs only under TestWALCrashRecoverySIGKILL")
+	}
+	addrFile := os.Getenv(walCrashEnvAddrFile)
+	wal, err := alert.OpenWAL(alert.WALConfig{Dir: dir, Log: quietLog()})
+	if err != nil {
+		t.Fatalf("child open wal: %v", err)
+	}
+	api := serve.New(nil, store.New())
+	w := web.New()
+	w.Freeze()
+	m := alert.NewManager(stalledPipeline{}, api, w, crashManagerConfig(wal, nil))
+	m.Start(context.Background())
+	api.AttachAlerts(m)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("child listen: %v", err)
+	}
+	go func() {
+		srv := &http.Server{Handler: api, ReadHeaderTimeout: 5 * time.Second}
+		_ = srv.Serve(ln)
+	}()
+	// Publish the address atomically so the parent never reads a
+	// half-written file.
+	tmp := addrFile + ".tmp"
+	if err := os.WriteFile(tmp, []byte(ln.Addr().String()), 0o644); err != nil {
+		t.Fatalf("child addr file: %v", err)
+	}
+	if err := os.Rename(tmp, addrFile); err != nil {
+		t.Fatalf("child addr rename: %v", err)
+	}
+	select {} // hold everything in the stalled state until SIGKILL
+}
+
+// crashHook records webhook deliveries across all lives of the daemon.
+type crashHook struct {
+	mu        sync.Mutex
+	delivered []alert.Alert
+}
+
+func (h *crashHook) handler(w http.ResponseWriter, r *http.Request) {
+	var a alert.Alert
+	if err := json.NewDecoder(r.Body).Decode(&a); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	h.mu.Lock()
+	h.delivered = append(h.delivered, a)
+	h.mu.Unlock()
+	w.WriteHeader(http.StatusOK)
+}
+
+// fingerprints returns the sorted snippet IDs delivered so far — one
+// unique ID per source document under walCrashPipeline.
+func (h *crashHook) fingerprints() []string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]string, 0, len(h.delivered))
+	for _, a := range h.delivered {
+		out = append(out, a.Event.SnippetID)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func crashDoc(round, i int) alert.Document {
+	return alert.Document{
+		URL:   fmt.Sprintf("https://news.example/round%d-%d", round, i),
+		Title: fmt.Sprintf("Round %d story %d", round, i),
+		Text:  fmt.Sprintf("Round %d story %d: Globex will acquire Initech.", round, i),
+	}
+}
+
+func crashSubs(t *testing.T, webhook string) *alert.Subscriptions {
+	t.Helper()
+	subs := alert.NewSubscriptions()
+	if _, err := subs.Add(alert.Subscription{
+		ID: "crm", Company: "Globex", MinScore: 0.5, WebhookURL: webhook,
+	}); err != nil {
+		t.Fatalf("subscribe: %v", err)
+	}
+	return subs
+}
+
+func TestWALCrashRecoverySIGKILL(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns and SIGKILLs a child process")
+	}
+	dir := t.TempDir()
+	walDir := filepath.Join(dir, "wal")
+	leadsPath := filepath.Join(dir, "leads.jsonl")
+	const perRound = 4
+
+	hook := &crashHook{}
+	webhookSrv := httptest.NewServer(http.HandlerFunc(hook.handler))
+	defer webhookSrv.Close()
+
+	// Life 1 (in-process): round 1 is ingested, alerted, and its leads
+	// checkpointed — the WAL commits every offset on Close.
+	wal1, err := alert.OpenWAL(alert.WALConfig{Dir: walDir, Log: quietLog()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st1 := store.New()
+	api1 := serve.New(nil, st1)
+	w := web.New()
+	w.Freeze()
+	m1 := alert.NewManager(walCrashPipeline{}, api1, w, crashManagerConfig(wal1, crashSubs(t, webhookSrv.URL)))
+	m1.Start(context.Background())
+	for i := 0; i < perRound; i++ {
+		if err := m1.Enqueue(crashDoc(1, i)); err != nil {
+			t.Fatalf("round-1 enqueue %d: %v", i, err)
+		}
+	}
+	fctx, fcancel := context.WithTimeout(context.Background(), 10*time.Second)
+	if err := m1.Flush(fctx); err != nil {
+		t.Fatalf("round-1 flush: %v", err)
+	}
+	fcancel()
+	m1.Close()
+	if err := st1.SaveFile(leadsPath); err != nil {
+		t.Fatalf("checkpoint leads: %v", err)
+	}
+	if got := hook.fingerprints(); len(got) != perRound {
+		t.Fatalf("life 1 delivered %d alerts, want %d", len(got), perRound)
+	}
+
+	// Life 2 (child process, pipeline stalled): round 2 is 202'd over
+	// real HTTP — each document fsynced into the WAL before its response
+	// — and then the daemon dies to SIGKILL with nothing processed.
+	addrFile := filepath.Join(dir, "addr")
+	cmd := exec.Command(os.Args[0], "-test.run", "^TestWALCrashChildProcess$", "-test.count=1")
+	cmd.Env = append(os.Environ(),
+		walCrashEnvDir+"="+walDir,
+		walCrashEnvAddrFile+"="+addrFile,
+	)
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("start child: %v", err)
+	}
+	exited := make(chan error, 1)
+	go func() { exited <- cmd.Wait() }()
+	var base string
+	deadline := time.Now().Add(15 * time.Second)
+	for base == "" {
+		select {
+		case err := <-exited:
+			t.Fatalf("child exited before serving: %v", err)
+		default:
+		}
+		if b, err := os.ReadFile(addrFile); err == nil {
+			base = "http://" + string(b)
+		} else if time.Now().After(deadline) {
+			_ = cmd.Process.Kill()
+			t.Fatal("child never published its address")
+		} else {
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	accepted := make([]string, 0, perRound)
+	for i := 0; i < perRound; i++ {
+		doc := crashDoc(2, i)
+		body, err := json.Marshal(doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.Post(base+"/ingest", "application/json", strings.NewReader(string(body)))
+		if err != nil {
+			t.Fatalf("round-2 ingest %d: %v", i, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("round-2 ingest %d: status %d, want 202", i, resp.StatusCode)
+		}
+		accepted = append(accepted, doc.URL+"#0")
+	}
+	if err := cmd.Process.Kill(); err != nil {
+		t.Fatalf("kill child: %v", err)
+	}
+	<-exited // reaps; exit error "signal: killed" is the point
+
+	// Life 3 (in-process): reload the checkpointed leads, seed dedup
+	// from them, and let Start replay the killed child's WAL tail.
+	st3, err := store.LoadFile(leadsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var seen []rank.Event
+	for _, l := range st3.Find(store.Query{}) {
+		seen = append(seen, l.Event)
+	}
+	if len(seen) != perRound {
+		t.Fatalf("checkpoint carried %d leads, want %d", len(seen), perRound)
+	}
+	wal3, err := alert.OpenWAL(alert.WALConfig{Dir: walDir, Log: quietLog()})
+	if err != nil {
+		t.Fatalf("recovery open failed (torn wal?): %v", err)
+	}
+	api3 := serve.NewWithRegistry(nil, st3, obs.NewRegistry())
+	m3 := alert.NewManager(walCrashPipeline{}, api3, w, crashManagerConfig(wal3, crashSubs(t, webhookSrv.URL)))
+	m3.SeedEvents(seen)
+	m3.Start(context.Background())
+	fctx, fcancel = context.WithTimeout(context.Background(), 15*time.Second)
+	defer fcancel()
+	if err := m3.Flush(fctx); err != nil {
+		t.Fatalf("replay flush: %v", err)
+	}
+	m3.Close()
+
+	// Every 202'd document alerted at least once; round-1 documents
+	// exactly once across all lives; no fingerprint delivered twice.
+	got := hook.fingerprints()
+	want := make([]string, 0, 2*perRound)
+	for i := 0; i < perRound; i++ {
+		want = append(want, crashDoc(1, i).URL+"#0")
+	}
+	want = append(want, accepted...)
+	sort.Strings(want)
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("deliveries across lives = %v, want exactly %v", got, want)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] == got[i-1] {
+			t.Fatalf("fingerprint %q delivered more than once", got[i])
+		}
+	}
+	// And the replayed documents landed in the lead store alongside the
+	// reloaded checkpoint.
+	if leads := st3.Find(store.Query{}); len(leads) != 2*perRound {
+		t.Fatalf("recovered lead store holds %d leads, want %d", len(leads), 2*perRound)
+	}
+}

@@ -77,11 +77,23 @@ type Indexer interface {
 // Config tunes the manager. The zero value selects the defaults noted
 // per field.
 type Config struct {
-	// Workers is the ingest worker-pool size; 0 means 2.
+	// Workers is the ingest worker-pool size; 0 means 2. Each worker
+	// owns one partition (see Partitions), so this is also the default
+	// partition count.
 	Workers int
-	// QueueSize bounds the ingest queue; 0 means 64. A full queue
-	// rejects with ErrQueueFull (HTTP 429).
+	// Partitions is the ingest partition count: documents are routed by
+	// URL hash, each partition consumed in order by one worker so the
+	// WAL's committed offsets are exact watermarks. 0 means Workers.
+	Partitions int
+	// QueueSize bounds each partition's ingest queue; 0 means 64. A
+	// full partition rejects with ErrQueueFull (HTTP 429). Total ingest
+	// capacity is Partitions × QueueSize.
 	QueueSize int
+	// WAL, when non-nil, logs every accepted document durably before
+	// Enqueue returns, and Start replays whatever a previous life
+	// accepted but did not finish. The manager takes ownership: Close
+	// closes it.
+	WAL *WAL
 	// Threshold is the classifier-score floor for trigger events;
 	// 0 means 0.5.
 	Threshold float64
@@ -126,6 +138,9 @@ func (c Config) withDefaults() Config {
 	if c.Workers <= 0 {
 		c.Workers = 2
 	}
+	if c.Partitions <= 0 {
+		c.Partitions = c.Workers
+	}
 	if c.QueueSize <= 0 {
 		c.QueueSize = 64
 	}
@@ -155,8 +170,14 @@ var ErrQueueFull = errors.New("alert: ingest queue full")
 // ErrClosed reports an enqueue after Close.
 var ErrClosed = errors.New("alert: manager closed")
 
-// ErrNotStarted reports an enqueue before Start.
+// ErrNotStarted reports an enqueue before Start (including the window
+// where Start is still replaying the write-ahead log).
 var ErrNotStarted = errors.New("alert: manager not started")
+
+// ErrWAL reports a write-ahead-log failure during enqueue: the
+// document could not be made durable, so it was not accepted. The HTTP
+// layer translates it to 503 — the client should retry.
+var ErrWAL = errors.New("alert: write-ahead log failure")
 
 // Manager runs the streaming subsystem: the ingest pool, the dedup
 // set, the dispatcher, and the SSE broadcaster.
@@ -170,14 +191,16 @@ type Manager struct {
 	dedup    *dedup
 	disp     *dispatcher
 	bcast    *Broadcaster
+	wal      *WAL
 
-	queue   chan ingestItem
-	pending atomic.Int64 // documents accepted but not fully processed
-	wg      sync.WaitGroup
-	started atomic.Bool
+	parts    []*partition
+	pending  atomic.Int64 // documents accepted but not fully processed
+	wg       sync.WaitGroup
+	launched atomic.Bool // Start ran (consumers spawned, replay begun)
+	started  atomic.Bool // Enqueue is open (replay finished)
 
 	// closeMu serializes Enqueue's send against Close's channel close:
-	// enqueues hold the read side, so Close cannot close the queue
+	// enqueues hold the read side, so Close cannot close a partition
 	// between the closed check and the send.
 	closeMu sync.RWMutex
 	closed  bool
@@ -189,7 +212,7 @@ type Manager struct {
 func NewManager(pipeline Pipeline, sink Sink, indexer Indexer, cfg Config) *Manager {
 	cfg = cfg.withDefaults()
 	met := newMetrics(cfg.Registry)
-	return &Manager{
+	m := &Manager{
 		cfg:      cfg,
 		met:      met,
 		pipeline: pipeline,
@@ -197,10 +220,26 @@ func NewManager(pipeline Pipeline, sink Sink, indexer Indexer, cfg Config) *Mana
 		indexer:  indexer,
 		subs:     cfg.Subscriptions,
 		dedup:    newDedup(),
-		disp:     newDispatcher(cfg, met, cfg.Deliverer),
 		bcast:    newBroadcaster(cfg.SSEBuffer, met),
-		queue:    make(chan ingestItem, cfg.QueueSize),
+		wal:      cfg.WAL,
+		parts:    make([]*partition, cfg.Partitions),
 	}
+	m.disp = newDispatcher(cfg, met, cfg.Deliverer, m.subscriptionLive)
+	for i := range m.parts {
+		m.parts[i] = &partition{ch: make(chan ingestItem, cfg.QueueSize)}
+	}
+	if m.wal != nil {
+		m.wal.SetPartitions(cfg.Partitions)
+	}
+	return m
+}
+
+// subscriptionLive reports whether a subscription still exists — the
+// dispatcher's guard against resurrecting a delivery worker for an
+// unsubscribed endpoint.
+func (m *Manager) subscriptionLive(id string) bool {
+	_, err := m.subs.Get(id)
+	return err == nil
 }
 
 // ingestItem is one queued document plus its per-document trace and
@@ -212,29 +251,39 @@ type ingestItem struct {
 	tr         *obs.DTrace
 	root       *obs.DSpan
 	acceptedAt time.Time // Clock at Enqueue; the delivery-lag SLO's zero point
+	seq        uint64    // WAL sequence; 0 when the manager runs without a WAL
+	part       int       // owning partition (routeDoc of the URL)
 }
 
 // traceID returns the item's hex trace ID, "" when tracing is off.
 func (it ingestItem) traceID() string { return it.tr.ID() }
 
-// Start launches the ingest workers. ctx bounds all delivery attempts:
-// cancelling it makes in-flight webhook deliveries abort instead of
-// sitting through backoff.
+// Start launches the partition consumers and, when a WAL is attached,
+// synchronously replays every document a previous life accepted but
+// did not finish processing — Enqueue answers ErrNotStarted (HTTP 503)
+// until the replay is fully enqueued. ctx bounds all delivery
+// attempts: cancelling it makes in-flight webhook deliveries abort
+// instead of sitting through backoff.
 func (m *Manager) Start(ctx context.Context) {
-	if !m.started.CompareAndSwap(false, true) {
+	if !m.launched.CompareAndSwap(false, true) {
 		return
 	}
-	for i := 0; i < m.cfg.Workers; i++ {
+	for i, p := range m.parts {
 		m.wg.Add(1)
-		go func() {
-			defer m.wg.Done()
-			for it := range m.queue {
-				m.met.queueDepth.Set(int64(len(m.queue)))
-				m.process(ctx, it)
-				m.pending.Add(-1)
-			}
-		}()
+		go m.consume(ctx, i, p)
 	}
+	if m.wal != nil {
+		var replayed int
+		if err := m.replayWAL(&replayed); err != nil {
+			// Replay is best-effort beyond the point of damage: what was
+			// re-enqueued is processed; the rest needs the operator (see
+			// the OPERATIONS.md runbook).
+			m.cfg.Log.Error("alert: wal replay aborted", "replayed", replayed, "err", err)
+		} else if replayed > 0 {
+			m.cfg.Log.Info("alert: wal replay complete", "replayed", replayed)
+		}
+	}
+	m.started.Store(true)
 }
 
 // SeedEvents marks events as already alerted without delivering
@@ -276,6 +325,10 @@ func (m *Manager) Enqueue(doc Document) error {
 // the manager has no Tracer) — the value POST /ingest echoes in its
 // 202 response. A queue-full rejection still returns the ID: the trace
 // ends in error status, so the rejection is findable in /debug/traces.
+//
+// With a WAL attached, the document is appended to the log and fsynced
+// (group commit) before a nil error is returned: once the caller sees
+// success, a crash cannot lose the document.
 func (m *Manager) EnqueueTraced(doc Document) (string, error) {
 	if doc.URL == "" {
 		return "", errors.New("alert: document without URL")
@@ -294,18 +347,55 @@ func (m *Manager) EnqueueTraced(doc Document) (string, error) {
 	tr, root := m.cfg.Tracer.StartTrace("ingest")
 	root.SetAttr("url", doc.URL)
 	it := ingestItem{doc: doc, tr: tr, root: root, acceptedAt: m.cfg.Clock()}
-	select {
-	case m.queue <- it:
-		m.pending.Add(1)
-		m.met.ingested.Inc()
-		m.met.queueDepth.Set(int64(len(m.queue)))
-		return it.traceID(), nil
-	default:
+	it.part = routeDoc(doc.URL, len(m.parts))
+	p := m.parts[it.part]
+	// Credit gate: inflight is decremented at dequeue, so it bounds the
+	// channel occupancy — the send below can never block.
+	if p.inflight.Add(1) > int64(m.cfg.QueueSize) {
+		p.inflight.Add(-1)
 		m.met.rejected.Inc()
 		root.Fail(ErrQueueFull.Error())
 		root.End()
 		return it.traceID(), ErrQueueFull
 	}
+	// Append and send under the partition mutex so channel order equals
+	// sequence order; fsync AFTER releasing it so one slow flush doesn't
+	// serialize the partition (Sync group-commits across partitions).
+	p.mu.Lock()
+	if m.wal != nil {
+		seq, err := m.wal.Append(WALRecord{
+			URL: doc.URL, Title: doc.Title, Text: doc.Text,
+			At: it.acceptedAt.UnixNano(),
+		})
+		if err != nil {
+			p.mu.Unlock()
+			p.inflight.Add(-1)
+			m.met.walErrors.Inc()
+			root.Fail(err.Error())
+			root.End()
+			m.cfg.Log.Error("alert: wal append",
+				"url", doc.URL, "trace_id", it.traceID(), "err", err)
+			return it.traceID(), errors.Join(ErrWAL, err)
+		}
+		it.seq = seq
+	}
+	p.ch <- it
+	p.mu.Unlock()
+	m.pending.Add(1)
+	if m.wal != nil && it.seq > 0 {
+		if err := m.wal.Sync(it.seq); err != nil {
+			// The item is already queued and may be processed — delivery
+			// is at-least-once — but durability failed, so the caller
+			// must not treat the document as accepted.
+			m.met.walErrors.Inc()
+			m.cfg.Log.Error("alert: wal fsync",
+				"url", doc.URL, "trace_id", it.traceID(), "err", err)
+			return it.traceID(), errors.Join(ErrWAL, err)
+		}
+	}
+	m.met.ingested.Inc()
+	m.met.queueDepth.Set(m.queueDepth())
+	return it.traceID(), nil
 }
 
 // process runs one document through the streaming pipeline: index,
@@ -373,13 +463,25 @@ func (m *Manager) process(ctx context.Context, it ingestItem) {
 
 // fanOut broadcasts one fresh event to the SSE stream and enqueues it
 // to every matching webhook subscriber, stamping the document's trace
-// ID into every frame and alert.
+// ID into every frame and alert. Matching goes through the inverted
+// subscription index: Candidates prunes to the buckets that could
+// match (O(matching), not O(all subscribers)) and Matches confirms
+// each one, so the index is a cost optimization, never a correctness
+// dependency.
 func (m *Manager) fanOut(ctx context.Context, ev rank.Event, now time.Time, it ingestItem) {
 	a := Alert{Event: ev, Time: now.Unix(), TraceID: it.traceID()}
-	if frame, err := json.Marshal(a); err == nil {
+	if frame, err := json.Marshal(a); err != nil {
+		// The SSE frame is lost but webhook fan-out below still runs —
+		// say so instead of silently thinning the stream.
+		m.met.sseMarshal.Inc()
+		m.cfg.Log.WarnContext(ctx, "alert: marshaling SSE frame",
+			"trace_id", it.traceID(), "err", err)
+	} else {
 		m.bcast.Broadcast(frame)
 	}
-	for _, sub := range m.subs.List() {
+	cands := m.subs.Candidates(ev.Company, ev.Driver)
+	m.met.candidates.Observe(float64(len(cands)))
+	for _, sub := range cands {
 		if sub.WebhookURL == "" || !sub.Matches(ev) {
 			continue
 		}
@@ -434,8 +536,8 @@ func (h Health) Degraded() []string {
 // Health snapshots the subsystem's load.
 func (m *Manager) Health() Health {
 	return Health{
-		QueueDepth:     len(m.queue),
-		QueueCap:       cap(m.queue),
+		QueueDepth:     int(m.queueDepth()),
+		QueueCap:       len(m.parts) * m.cfg.QueueSize,
 		DeadLetters:    m.disp.dead.len(),
 		Subscriptions:  m.subs.Len(),
 		SSEClients:     m.bcast.Clients(),
@@ -459,10 +561,11 @@ func (m *Manager) Flush(ctx context.Context) error {
 	return nil
 }
 
-// Close drains and stops the subsystem: the ingest queue stops
-// accepting, workers finish what was queued, and delivery workers
-// drain their lanes (in-flight webhook attempts still honour the
-// Start context). Idempotent.
+// Close drains and stops the subsystem: the ingest partitions stop
+// accepting, consumers finish what was queued, delivery workers drain
+// their lanes (in-flight webhook attempts still honour the Start
+// context), and the attached WAL — every processed sequence committed
+// — is flushed and closed. Idempotent.
 func (m *Manager) Close() {
 	m.closeMu.Lock()
 	if m.closed {
@@ -470,10 +573,17 @@ func (m *Manager) Close() {
 		return
 	}
 	m.closed = true
-	close(m.queue)
+	for _, p := range m.parts {
+		close(p.ch)
+	}
 	m.closeMu.Unlock()
-	if m.started.Load() {
+	if m.launched.Load() {
 		m.wg.Wait()
 	}
 	m.disp.close()
+	if m.wal != nil {
+		if err := m.wal.Close(); err != nil {
+			m.cfg.Log.Warn("alert: closing wal", "err", err)
+		}
+	}
 }

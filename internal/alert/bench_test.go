@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"math/rand"
 	"os"
 	"runtime"
 	"testing"
@@ -11,6 +12,7 @@ import (
 
 	"etap/internal/gather"
 	"etap/internal/obs"
+	"etap/internal/rank"
 	"etap/internal/web"
 )
 
@@ -84,15 +86,133 @@ func BenchmarkIngest(b *testing.B) {
 // throughput record for the streaming subsystem, refreshed by
 // `make bench-alert`.
 type alertBenchReport struct {
-	GeneratedAt string  `json:"generated_at"`
-	GoMaxProcs  int     `json:"gomaxprocs"`
-	Docs        int     `json:"docs"`
-	Workers     int     `json:"workers"`
-	SingleDPS   float64 `json:"single_worker_docs_per_sec"`
-	PooledDPS   float64 `json:"pooled_docs_per_sec"`
-	Speedup     float64 `json:"speedup"`
-	Stored      int     `json:"events_stored"`
-	Delivered   int     `json:"alerts_delivered"`
+	GeneratedAt string           `json:"generated_at"`
+	GoMaxProcs  int              `json:"gomaxprocs"`
+	Docs        int              `json:"docs"`
+	Workers     int              `json:"workers"`
+	SingleDPS   float64          `json:"single_worker_docs_per_sec"`
+	PooledDPS   float64          `json:"pooled_docs_per_sec"`
+	Speedup     float64          `json:"speedup"`
+	Stored      int              `json:"events_stored"`
+	Delivered   int              `json:"alerts_delivered"`
+	Matching    matchBenchReport `json:"matching"`
+}
+
+// matchBenchReport records the subscription-matching scenario: the
+// same event stream matched by the old full scan and by the inverted
+// index, over a large skewed subscription population.
+type matchBenchReport struct {
+	Subs              int     `json:"subscriptions"`
+	Events            int     `json:"events"`
+	LinearNsPerEvent  float64 `json:"linear_ns_per_event"`
+	IndexedNsPerEvent float64 `json:"indexed_ns_per_event"`
+	Speedup           float64 `json:"speedup"`
+	AvgCandidates     float64 `json:"avg_candidates"`
+	ResultsIdentical  bool    `json:"results_identical"`
+}
+
+const (
+	matchSubCount   = 100_000
+	matchEventCount = 200
+)
+
+// buildMatchBench seeds a 100k-subscription population over a skewed
+// company distribution — a few hot companies hold most of the watchers,
+// with wildcard-company and driver-narrowed minorities — plus an event
+// stream drawn from the same skew.
+func buildMatchBench(tb testing.TB) (*Subscriptions, []rank.Event) {
+	tb.Helper()
+	rng := rand.New(rand.NewSource(2026))
+	companies := make([]string, 2000)
+	for i := range companies {
+		companies[i] = fmt.Sprintf("Company %d Inc", i)
+	}
+	// Min-of-three draws concentrates mass on low indices without
+	// needing a zipf table.
+	skew := func() string {
+		i := rng.Intn(len(companies))
+		for k := 0; k < 2; k++ {
+			if j := rng.Intn(len(companies)); j < i {
+				i = j
+			}
+		}
+		return companies[i]
+	}
+	drivers := []string{"mergers-acquisitions", "new-offices", "funding-rounds"}
+	ss := NewSubscriptions()
+	for i := 0; i < matchSubCount; i++ {
+		s := Subscription{Company: skew(), MinScore: 0.5}
+		switch r := rng.Intn(100); {
+		case r == 0:
+			s.Company = "" // watch every company: rare, and every event probes these
+		case r < 30:
+			s.Driver = drivers[rng.Intn(len(drivers))]
+		}
+		if _, err := ss.Add(s); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	events := make([]rank.Event, matchEventCount)
+	for i := range events {
+		events[i] = rank.Event{
+			SnippetID: fmt.Sprintf("bench#%d", i),
+			Company:   skew(),
+			Driver:    drivers[rng.Intn(len(drivers))],
+			Score:     0.9,
+		}
+	}
+	return ss, events
+}
+
+// runMatchBench times the full-scan matcher (what fanOut did before
+// the index: snapshot List, Matches everything) against the indexed
+// path (Candidates, then Matches) and asserts they select identical
+// subscribers in identical order for every event.
+func runMatchBench(tb testing.TB) matchBenchReport {
+	tb.Helper()
+	ss, events := buildMatchBench(tb)
+
+	linStart := time.Now()
+	linear := make([][]string, len(events))
+	for i, ev := range events {
+		linear[i] = linearMatch(ss, ev)
+	}
+	linDur := time.Since(linStart)
+
+	idxStart := time.Now()
+	indexed := make([][]string, len(events))
+	candidates := 0
+	for i, ev := range events {
+		cands := ss.Candidates(ev.Company, ev.Driver)
+		candidates += len(cands)
+		var ids []string
+		for _, s := range cands {
+			if s.Matches(ev) {
+				ids = append(ids, s.ID)
+			}
+		}
+		indexed[i] = ids
+	}
+	idxDur := time.Since(idxStart)
+
+	identical := true
+	for i := range events {
+		if fmt.Sprint(linear[i]) != fmt.Sprint(indexed[i]) {
+			identical = false
+			tb.Errorf("event %d: indexed matched %d subs, linear %d — sets diverge",
+				i, len(indexed[i]), len(linear[i]))
+		}
+	}
+	perEvent := func(d time.Duration) float64 { return float64(d.Nanoseconds()) / float64(len(events)) }
+	return matchBenchReport{
+		Subs:              matchSubCount,
+		Events:            len(events),
+		LinearNsPerEvent:  perEvent(linDur),
+		IndexedNsPerEvent: perEvent(idxDur),
+		Speedup:           linDur.Seconds() / idxDur.Seconds(),
+		AvgCandidates:     float64(candidates) / float64(len(events)),
+		ResultsIdentical:  identical,
+	}
 }
 
 // TestAlertBenchHarness measures single-worker vs pooled ingest
@@ -115,6 +235,11 @@ func TestAlertBenchHarness(t *testing.T) {
 		t.Fatalf("delivered %d/%d alerts, want %d each", delivered1, deliveredN, benchDocCount)
 	}
 
+	matching := runMatchBench(t)
+	if !matching.ResultsIdentical {
+		t.Fatal("indexed matching diverged from the linear scan")
+	}
+
 	dps := func(d time.Duration) float64 { return float64(benchDocCount) / d.Seconds() }
 	rep := alertBenchReport{
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
@@ -126,6 +251,7 @@ func TestAlertBenchHarness(t *testing.T) {
 		Speedup:     singleDur.Seconds() / pooledDur.Seconds(),
 		Stored:      storedN,
 		Delivered:   deliveredN,
+		Matching:    matching,
 	}
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -136,4 +262,7 @@ func TestAlertBenchHarness(t *testing.T) {
 	}
 	t.Logf("ingest: 1 worker %.0f docs/s, %d workers %.0f docs/s (%.2fx), %d alerts delivered",
 		rep.SingleDPS, workers, rep.PooledDPS, rep.Speedup, rep.Delivered)
+	t.Logf("matching: %d subs, linear %.0f ns/event vs indexed %.0f ns/event (%.1fx), %.1f avg candidates",
+		matching.Subs, matching.LinearNsPerEvent, matching.IndexedNsPerEvent,
+		matching.Speedup, matching.AvgCandidates)
 }

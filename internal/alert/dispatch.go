@@ -131,6 +131,13 @@ type dispatcher struct {
 	met     *metrics
 	deliver Deliverer
 	dead    *deadLetters
+	// live reports whether a subscription ID still exists. dispatch
+	// consults it before spawning a worker, closing the race where a
+	// concurrent Unsubscribe (subs.Delete then stop) lands between
+	// fanOut's subscription snapshot and the dispatch — without the
+	// check, dispatch would resurrect the retired worker and deliver to
+	// an endpoint the user just cancelled. nil means always live.
+	live func(id string) bool
 
 	mu      sync.Mutex
 	workers map[string]*subWorker
@@ -141,30 +148,38 @@ type dispatcher struct {
 }
 
 // subWorker is one subscriber's delivery lane: a bounded queue drained
-// by a single goroutine owning the subscriber's retry policy.
+// by a single goroutine owning the subscriber's retry policy. The lane
+// carries only the subscription's identity — each queued alert brings
+// its own dispatch-time Subscription snapshot, so an updated webhook
+// URL or threshold takes effect on the next matched alert, not on
+// worker restart.
 type subWorker struct {
-	sub Subscription
-	ch  chan queuedAlert
+	id string
+	ch chan queuedAlert
 }
 
 // queuedAlert is one alert in flight through a subscriber lane, with
 // its open dispatch span and timing anchors. The span rides the queue,
 // not a context: the worker goroutine runs under the FIRST dispatch
 // call's context, which must not leak span identity onto later alerts.
+// sub is the subscription as it was when the alert matched — delivery
+// must honour that snapshot, not whatever the worker saw at spawn.
 type queuedAlert struct {
 	a          Alert
+	sub        Subscription
 	sp         *obs.DSpan // "dispatch" span; open until delivery is terminal
 	acceptedAt time.Time  // Clock at ingest accept (delivery-lag zero point)
 	enqueuedAt time.Time  // Clock at lane enqueue (queue-wait zero point)
 }
 
-func newDispatcher(cfg Config, met *metrics, deliver Deliverer) *dispatcher {
+func newDispatcher(cfg Config, met *metrics, deliver Deliverer, live func(id string) bool) *dispatcher {
 	return &dispatcher{
 		cfg:     cfg,
 		met:     met,
 		deliver: deliver,
 		dead:    newDeadLetters(cfg.DeadLetterCap, met),
 		workers: make(map[string]*subWorker),
+		live:    live,
 	}
 }
 
@@ -185,16 +200,26 @@ func (d *dispatcher) dispatch(ctx context.Context, sub Subscription, a Alert, ac
 	}
 	w := d.workers[sub.ID]
 	if w == nil {
+		// Re-check liveness under d.mu before spawning: the snapshot the
+		// alert matched against may predate an Unsubscribe, and a worker
+		// created here would outlive the deletion.
+		if d.live != nil && !d.live(sub.ID) {
+			d.mu.Unlock()
+			d.met.delSubDrops.Inc()
+			sp.Fail("subscription deleted")
+			sp.End()
+			return
+		}
 		size := d.cfg.SubscriberQueue
 		if size <= 0 {
 			size = 16
 		}
-		w = &subWorker{sub: sub, ch: make(chan queuedAlert, size)}
+		w = &subWorker{id: sub.ID, ch: make(chan queuedAlert, size)}
 		d.workers[sub.ID] = w
 		d.wg.Add(1)
 		go d.run(ctx, w)
 	}
-	qa := queuedAlert{a: a, sp: sp, acceptedAt: acceptedAt, enqueuedAt: d.cfg.Clock()}
+	qa := queuedAlert{a: a, sub: sub, sp: sp, acceptedAt: acceptedAt, enqueuedAt: d.cfg.Clock()}
 	select {
 	case w.ch <- qa:
 		d.pending.Add(1)
@@ -217,22 +242,39 @@ func (d *dispatcher) run(ctx context.Context, w *subWorker) {
 	defer d.wg.Done()
 	policy := gather.NewRetryPolicy(d.cfg.Retry, d.met.policy, deliveryTransient)
 	defer policy.Close()
-	qw := d.met.queueWait(w.sub.ID)
+	qw := d.met.queueWait(w.id)
 	for qa := range w.ch {
 		d.met.subQueue.Add(-1)
 		wait := d.cfg.Clock().Sub(qa.enqueuedAt)
 		qw.Observe(wait.Seconds())
 		qa.sp.SetAttr("queue_wait", wait.String())
-		d.attempt(ctx, policy, w.sub, qa)
+		d.attempt(ctx, policy, qa)
 		d.pending.Add(-1)
 	}
+}
+
+// failureReason classifies a failed delivery outcome for the span, the
+// log line, and the dead-letter entry alike: the policy's reason when
+// it set one (exhausted, breaker-open, not-found), else the last
+// error's message — never empty for a failure, so /alerts/deadletters
+// entries always carry a usable classification.
+func failureReason(out gather.Outcome) string {
+	if out.Reason != "" {
+		return out.Reason
+	}
+	if out.Err != nil {
+		return out.Err.Error()
+	}
+	return ""
 }
 
 // attempt runs one delivery under the subscriber's retry policy, keyed
 // by the webhook endpoint's host so one dead endpoint trips one
 // breaker. Each try gets its own "webhook" span, put on the attempt's
-// context so the deliverer can stamp the outgoing traceparent.
-func (d *dispatcher) attempt(ctx context.Context, policy *gather.RetryPolicy, sub Subscription, qa queuedAlert) {
+// context so the deliverer can stamp the outgoing traceparent. The
+// subscription used is qa.sub — the dispatch-time snapshot.
+func (d *dispatcher) attempt(ctx context.Context, policy *gather.RetryPolicy, qa queuedAlert) {
+	sub := qa.sub
 	start := d.cfg.Clock()
 	out := policy.Execute(ctx, web.HostOf(sub.WebhookURL), func(ctx context.Context) error {
 		d.met.attempts.Inc()
@@ -253,15 +295,12 @@ func (d *dispatcher) attempt(ctx context.Context, policy *gather.RetryPolicy, su
 		return
 	}
 	d.met.failures.Inc()
-	reason := out.Reason
-	if reason == "" && out.Err != nil {
-		reason = out.Err.Error()
-	}
+	reason := failureReason(out)
 	qa.sp.Fail(reason)
 	qa.sp.End()
 	d.cfg.Log.WarnContext(obs.ContextWithDSpan(ctx, qa.sp), "alert: delivery abandoned",
 		"subscription", sub.ID, "reason", reason, "attempts", out.Attempts)
-	dl := DeadLetter{Alert: qa.a, Reason: out.Reason, Attempts: out.Attempts}
+	dl := DeadLetter{Alert: qa.a, Reason: reason, Attempts: out.Attempts}
 	if out.Err != nil {
 		dl.Err = out.Err.Error()
 	}

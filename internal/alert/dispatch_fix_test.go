@@ -1,0 +1,210 @@
+package alert
+
+// Regression tests for three dispatcher bugs: a worker resurrected
+// after Unsubscribe, delivery using the worker-spawn-time subscription
+// instead of the dispatch-time one, and dead letters losing their
+// failure classification when the retry policy reported none.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"etap/internal/gather"
+	"etap/internal/obs"
+)
+
+func TestFailureReasonTable(t *testing.T) {
+	cases := []struct {
+		name string
+		out  gather.Outcome
+		want string
+	}{
+		{"policy reason wins", gather.Outcome{Reason: gather.FailExhausted, Err: errors.New("boom")}, gather.FailExhausted},
+		{"breaker reason", gather.Outcome{Reason: gather.FailBreakerOpen}, gather.FailBreakerOpen},
+		{"permanent reason", gather.Outcome{Reason: gather.FailNotFound, Err: errors.New("410 gone")}, gather.FailNotFound},
+		{"error message fallback", gather.Outcome{Err: errors.New("connection reset")}, "connection reset"},
+		{"nothing to classify", gather.Outcome{}, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := failureReason(tc.out); got != tc.want {
+				t.Fatalf("failureReason(%+v) = %q, want %q", tc.out, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestDeadLetterCarriesComputedReason(t *testing.T) {
+	// End to end: an exhausted delivery's dead letter must carry the
+	// same classification the span and log line get — never empty.
+	deliver := newScriptDeliverer()
+	m, _ := newTestManager(t, Config{}, deliver)
+	sub, _ := m.Subscriptions().Add(Subscription{WebhookURL: "http://dead.example.com/hook"})
+	deliver.fails[sub.ID] = -1
+	if err := m.Enqueue(Document{URL: "http://n/1", Text: "a merger abandoned"}); err != nil {
+		t.Fatalf("enqueue: %v", err)
+	}
+	flush(t, m)
+	dead := m.DeadLetters()
+	if len(dead) != 1 {
+		t.Fatalf("dead letters = %+v, want 1", dead)
+	}
+	if dead[0].Reason == "" {
+		t.Fatal("dead letter with empty Reason")
+	}
+	if want := failureReason(gather.Outcome{Reason: gather.FailExhausted}); dead[0].Reason != want {
+		t.Fatalf("dead letter reason = %q, want %q", dead[0].Reason, want)
+	}
+}
+
+// subSnapshotDeliverer records the WebhookURL of the subscription each
+// delivery was handed — the probe for the stale-snapshot bug.
+type subSnapshotDeliverer struct {
+	mu   sync.Mutex
+	urls []string
+}
+
+func (d *subSnapshotDeliverer) Deliver(_ context.Context, sub Subscription, _ Alert) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.urls = append(d.urls, sub.WebhookURL)
+	return nil
+}
+
+func (d *subSnapshotDeliverer) seen() []string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return append([]string(nil), d.urls...)
+}
+
+func TestDeliveryUsesDispatchTimeSubscription(t *testing.T) {
+	deliver := &subSnapshotDeliverer{}
+	cfg := Config{
+		Clock:    fixedClock,
+		Registry: obs.NewRegistry(),
+		Retry:    gather.RetryConfig{MaxAttempts: 1, Sleep: noSleep, AttemptTimeout: -1},
+		Log:      quietTestLog(),
+	}.withDefaults()
+	met := newMetrics(cfg.Registry)
+	d := newDispatcher(cfg, met, deliver, nil)
+	defer d.close()
+
+	// Same subscription ID, different webhook between dispatches — the
+	// shape of a delete-and-recreate or an edited endpoint. The worker
+	// spawned by the first dispatch must not pin the first URL.
+	first := Subscription{ID: "sub-1", WebhookURL: "http://old.example.com/hook"}
+	second := Subscription{ID: "sub-1", WebhookURL: "http://new.example.com/hook"}
+	a := Alert{Subscription: "sub-1"}
+	d.dispatch(context.Background(), first, a, fixedClock())
+	waitFor(t, func() bool { return len(deliver.seen()) == 1 })
+	d.dispatch(context.Background(), second, a, fixedClock())
+	waitFor(t, func() bool { return len(deliver.seen()) == 2 })
+
+	got := deliver.seen()
+	if got[0] != first.WebhookURL || got[1] != second.WebhookURL {
+		t.Fatalf("deliveries used %v, want dispatch-time snapshots [%s %s]",
+			got, first.WebhookURL, second.WebhookURL)
+	}
+}
+
+func TestDispatchDropsDeletedSubscription(t *testing.T) {
+	// Deterministic replay of the resurrection race: fanOut snapshots
+	// the subscription, Unsubscribe deletes it and stops its worker,
+	// then dispatch runs with the stale snapshot. Without the liveness
+	// re-check it would spawn a fresh worker and deliver to the
+	// cancelled endpoint.
+	deliver := newScriptDeliverer()
+	m, _ := newTestManager(t, Config{}, deliver)
+	sub, _ := m.Subscriptions().Add(Subscription{WebhookURL: "http://gone.example.com/hook"})
+	if err := m.Unsubscribe(sub.ID); err != nil {
+		t.Fatalf("unsubscribe: %v", err)
+	}
+	m.disp.dispatch(context.Background(), sub, Alert{Subscription: sub.ID}, fixedClock())
+	m.disp.mu.Lock()
+	_, resurrected := m.disp.workers[sub.ID]
+	m.disp.mu.Unlock()
+	if resurrected {
+		t.Fatal("dispatch resurrected a worker for a deleted subscription")
+	}
+	if n := len(deliver.deliveredAlerts()); n != 0 {
+		t.Fatalf("delivered %d alerts to a deleted subscription", n)
+	}
+	if got := m.met.delSubDrops.Value(); got != 1 {
+		t.Fatalf("deleted-sub drop counter = %d, want 1", got)
+	}
+}
+
+func TestUnsubscribeRaceNeverResurrectsWorkers(t *testing.T) {
+	// -race stress: ingestion fanning out against subscribe/unsubscribe
+	// churn. The invariant under test: once Unsubscribe returns, no
+	// delivery for that ID may START later, and the dispatcher never
+	// holds a worker for an ID the subscription set lacks once the dust
+	// settles.
+	deliver := newScriptDeliverer()
+	m, _ := newTestManager(t, Config{Workers: 4, QueueSize: 256, SubscriberQueue: 64}, deliver)
+	stop := make(chan struct{})
+	var churn sync.WaitGroup
+	churn.Add(1)
+	go func() {
+		defer churn.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			sub, err := m.Subscriptions().Add(Subscription{
+				ID:         fmt.Sprintf("churn-%d", i),
+				Company:    "Acme",
+				WebhookURL: "http://churn.example.com/hook",
+			})
+			if err != nil {
+				continue
+			}
+			if err := m.Unsubscribe(sub.ID); err != nil {
+				return
+			}
+		}
+	}()
+	for i := 0; i < 50; i++ {
+		doc := Document{
+			URL:  fmt.Sprintf("http://stream.example.com/%d", i),
+			Text: fmt.Sprintf("Story %d: Acme merger talk.", i),
+		}
+		for errors.Is(m.Enqueue(doc), ErrQueueFull) {
+			time.Sleep(time.Millisecond)
+		}
+	}
+	flush(t, m)
+	close(stop)
+	churn.Wait()
+	flush(t, m)
+
+	m.disp.mu.Lock()
+	var orphans []string
+	for id := range m.disp.workers {
+		if _, err := m.Subscriptions().Get(id); err != nil {
+			orphans = append(orphans, id)
+		}
+	}
+	m.disp.mu.Unlock()
+	if len(orphans) > 0 {
+		t.Fatalf("dispatcher holds workers for deleted subscriptions: %v", orphans)
+	}
+}
+
+// waitFor polls until ok() or a 5s deadline.
+func waitFor(t *testing.T, ok func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !ok() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached within 5s")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

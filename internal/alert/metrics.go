@@ -32,6 +32,10 @@ type metrics struct {
 	deadDepth   *obs.Gauge     // dead-letter buffer occupancy
 	sseClients  *obs.Gauge     // connected SSE streams
 	sseDropped  *obs.Counter   // SSE frames dropped on slow clients
+	sseMarshal  *obs.Counter   // SSE frames lost to marshal failures
+	walErrors   *obs.Counter   // enqueues failed on WAL append/fsync
+	candidates  *obs.Histogram // subscription candidates probed per event
+	delSubDrops *obs.Counter   // dispatches dropped for deleted subscriptions
 	policy      gather.PolicyMetrics
 }
 
@@ -88,6 +92,14 @@ func newMetrics(reg *obs.Registry) *metrics {
 			"Connected /alerts/stream clients."),
 		sseDropped: reg.Counter("etap_alert_sse_dropped_total",
 			"SSE frames dropped because a client buffer was full."),
+		sseMarshal: reg.Counter("etap_alert_sse_marshal_errors_total",
+			"SSE broadcast frames lost because the alert failed to marshal."),
+		walErrors: reg.Counter("etap_alert_wal_errors_total",
+			"Ingest enqueues failed on a write-ahead-log append or fsync."),
+		candidates: reg.Histogram("etap_alert_match_candidates",
+			"Candidate subscriptions probed per fresh event (inverted-index pruning).", nil),
+		delSubDrops: reg.Counter("etap_alert_deleted_sub_drops_total",
+			"Alert dispatches dropped because their subscription was deleted."),
 		policy: gather.PolicyMetrics{
 			Retries: reg.Counter("etap_alert_delivery_retries_total",
 				"Webhook delivery retries after transient failures."),

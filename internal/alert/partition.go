@@ -1,0 +1,114 @@
+// Partitioned ingest: the consumer side of the write-ahead log.
+// Documents are routed by URL hash to N partitions; each partition is
+// consumed in order by exactly one goroutine, so "this partition has
+// processed sequence S" means every lower sequence routed to it is
+// done too — the property that makes the committed offset an exact
+// watermark instead of a guess.
+package alert
+
+import (
+	"context"
+	"hash/fnv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// partition is one ordered ingest lane: a bounded channel, its credit
+// counter, and the mutex that keeps WAL-sequence order and channel
+// order identical.
+type partition struct {
+	// mu is held across {WAL append, channel send} so items enter the
+	// channel in sequence order. The fsync happens OUTSIDE mu (see
+	// EnqueueTraced): holding a partition through a disk flush would
+	// serialize its throughput on fsync latency.
+	mu sync.Mutex
+	ch chan ingestItem
+	// inflight counts accepted-but-undequeued items; it is the credit
+	// gate (inflight > cap rejects with ErrQueueFull) and the source of
+	// Health.QueueDepth. Decremented at dequeue, mirroring the old
+	// single-channel len() semantics.
+	inflight atomic.Int64
+}
+
+// routeDoc picks the partition for a URL: FNV-1a over the URL modulo
+// the partition count. Deterministic across restarts, so a replayed
+// document lands on the same partition that owns its committed offset.
+func routeDoc(url string, parts int) int {
+	if parts <= 1 {
+		return 0
+	}
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(url)) //etaplint:ignore error-swallowing -- hash.Hash64 Write never fails
+	return int(h.Sum64() % uint64(parts))
+}
+
+// queueDepth sums accepted-but-undequeued items across partitions.
+func (m *Manager) queueDepth() int64 {
+	var n int64
+	for _, p := range m.parts {
+		n += p.inflight.Load()
+	}
+	return n
+}
+
+// consume is one partition's consumer loop: dequeue in order, process,
+// then — only after process returns — advance the partition's
+// committed offset so a crash replays anything unfinished.
+func (m *Manager) consume(ctx context.Context, part int, p *partition) {
+	defer m.wg.Done()
+	for it := range p.ch {
+		p.inflight.Add(-1)
+		m.met.queueDepth.Set(m.queueDepth())
+		m.process(ctx, it)
+		if m.wal != nil && it.seq > 0 {
+			m.wal.Commit(part, it.seq)
+		}
+		m.pending.Add(-1)
+	}
+}
+
+// replayWAL re-enqueues every logged document a previous life accepted
+// but did not finish processing. It runs inside Start, before Enqueue
+// opens for business: sends may block on partition capacity (the
+// consumers are already draining), and per-partition offsets above the
+// global replay floor are skipped here. Fingerprint dedup — seeded
+// from the checkpointed lead store — keeps the inevitable overlap from
+// re-alerting anything already delivered.
+func (m *Manager) replayWAL(replayed *int) error {
+	return m.wal.Replay(func(seq uint64, rec WALRecord) error {
+		part := routeDoc(rec.URL, len(m.parts))
+		if seq <= m.wal.CommittedOffset(part) {
+			return nil
+		}
+		doc := Document{URL: rec.URL, Title: rec.Title, Text: rec.Text}
+		tr, root := m.cfg.Tracer.StartTrace("ingest")
+		root.SetAttr("url", doc.URL)
+		root.SetAttr("replay", "true")
+		it := ingestItem{
+			doc:  doc,
+			tr:   tr,
+			root: root,
+			// The original accept time anchors the delivery-lag SLO: a
+			// crash does not reset the clock on the documents it delayed.
+			acceptedAt: time.Unix(0, rec.At),
+			seq:        seq,
+			part:       part,
+		}
+		p := m.parts[part]
+		m.pending.Add(1)
+		p.inflight.Add(1)
+		p.ch <- it
+		*replayed++
+		return nil
+	})
+}
+
+// WALStats exposes the attached log's counters (zero value when the
+// manager runs without a WAL) — surfaced for tests and operators.
+func (m *Manager) WALStats() WALStats {
+	if m.wal == nil {
+		return WALStats{}
+	}
+	return m.wal.Stats()
+}

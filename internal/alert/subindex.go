@@ -1,0 +1,118 @@
+// The inverted subscription index: the mirror image of the document
+// index. Where the document index maps terms → documents, this maps
+// (canonical company, driver) filter keys → subscription IDs, so
+// matching a fresh event probes at most four buckets — exact,
+// company-wildcard, driver-wildcard, full-firehose — instead of
+// scanning every subscription. Candidates are a superset (MinScore and
+// alias nuance are not keyed), so callers still confirm with
+// Subscription.Matches; correctness never depends on the index, only
+// cost does. The index lives inside Subscriptions, maintained under
+// its existing mutex by Add/Delete and rebuilt implicitly when a JSONL
+// checkpoint is loaded.
+package alert
+
+import (
+	"sort"
+
+	"etap/internal/rank"
+)
+
+// subKey is one index bucket: the canonicalized company filter and the
+// driver filter of a subscription. Empty fields are wildcards.
+type subKey struct {
+	company string // rank.Canonical of Subscription.Company; "" matches any
+	driver  string // Subscription.Driver verbatim; "" matches any
+}
+
+// keyOf buckets a subscription. Canonicalizing the company here means
+// an event's company needs canonicalizing once per lookup, not once
+// per subscription — the same trick SameCompany uses, amortized.
+func keyOf(s Subscription) subKey {
+	return subKey{company: rank.Canonical(s.Company), driver: s.Driver}
+}
+
+// indexInsertLocked adds id to its bucket. Caller holds ss.mu.
+func (ss *Subscriptions) indexInsertLocked(s Subscription) {
+	if ss.idx == nil {
+		ss.idx = make(map[subKey]map[string]struct{})
+		ss.seq = make(map[string]uint64)
+	}
+	k := keyOf(s)
+	bucket := ss.idx[k]
+	if bucket == nil {
+		bucket = make(map[string]struct{})
+		ss.idx[k] = bucket
+	}
+	bucket[s.ID] = struct{}{}
+	ss.seqN++
+	ss.seq[s.ID] = ss.seqN
+}
+
+// indexDeleteLocked removes id from its bucket. Caller holds ss.mu and
+// s is the stored value being deleted.
+func (ss *Subscriptions) indexDeleteLocked(s Subscription) {
+	k := keyOf(s)
+	if bucket := ss.idx[k]; bucket != nil {
+		delete(bucket, s.ID)
+		if len(bucket) == 0 {
+			delete(ss.idx, k)
+		}
+	}
+	delete(ss.seq, s.ID)
+}
+
+// Candidates returns every subscription whose company/driver filters
+// could match an event attributed to (company, driver) — the exact
+// bucket plus the wildcard buckets — in insertion order, mirroring
+// List's iteration so switching the matcher never reorders deliveries.
+// The result is a superset: callers must still confirm with Matches.
+func (ss *Subscriptions) Candidates(company, driver string) []Subscription {
+	c := rank.Canonical(company)
+	keys := [4]subKey{
+		{company: c, driver: driver},
+		{company: c, driver: ""},
+		{company: "", driver: driver},
+		{company: "", driver: ""},
+	}
+	ss.mu.RLock()
+	var ids []string
+	var probed [4]subKey
+	n := 0
+	for _, k := range keys {
+		// An empty event field collapses key pairs onto each other; skip
+		// already-probed buckets rather than yielding a candidate twice.
+		dup := false
+		for i := 0; i < n; i++ {
+			if probed[i] == k {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			continue
+		}
+		probed[n] = k
+		n++
+		ids = ss.bucketIDsLocked(k, ids)
+	}
+	seq := ss.seq
+	sort.Slice(ids, func(i, j int) bool { return seq[ids[i]] < seq[ids[j]] })
+	out := make([]Subscription, len(ids))
+	for i, id := range ids {
+		out[i] = ss.byID[id]
+	}
+	ss.mu.RUnlock()
+	return out
+}
+
+// bucketIDsLocked appends one bucket's member IDs to ids, sorted by
+// insertion sequence so the accumulation is deterministic bucket by
+// bucket. Caller holds ss.mu (read or write).
+func (ss *Subscriptions) bucketIDsLocked(k subKey, ids []string) []string {
+	var bucket []string
+	for id := range ss.idx[k] {
+		bucket = append(bucket, id)
+	}
+	sort.Slice(bucket, func(i, j int) bool { return ss.seq[bucket[i]] < ss.seq[bucket[j]] })
+	return append(ids, bucket...)
+}

@@ -75,11 +75,27 @@ type Subscriptions struct {
 	order []string // insertion order, for deterministic iteration
 	next  int      // next auto-assigned ID suffix
 	rev   uint64   // mutation count, for revision-gated checkpoints
+	// idx is the inverted subscription index (see subindex.go):
+	// (canonical company, driver) → member IDs, maintained by every
+	// mutation under mu so Candidates never sees a stale view.
+	idx map[subKey]map[string]struct{}
+	// seq records each subscription's insertion sequence so Candidates
+	// can restore insertion order after probing unordered buckets.
+	seq  map[string]uint64
+	seqN uint64
 }
 
 // NewSubscriptions returns an empty set.
 func NewSubscriptions() *Subscriptions {
 	return &Subscriptions{byID: make(map[string]Subscription)}
+}
+
+// insertLocked stores a subscription and indexes it. Caller holds mu
+// and has already resolved ID collisions.
+func (ss *Subscriptions) insertLocked(s Subscription) {
+	ss.byID[s.ID] = s
+	ss.order = append(ss.order, s.ID)
+	ss.indexInsertLocked(s)
 }
 
 // Add inserts a subscription, assigning an ID when none is supplied,
@@ -101,8 +117,7 @@ func (ss *Subscriptions) Add(s Subscription) (Subscription, error) {
 	} else if _, dup := ss.byID[s.ID]; dup {
 		return Subscription{}, fmt.Errorf("alert: subscription %q already exists", s.ID)
 	}
-	ss.byID[s.ID] = s
-	ss.order = append(ss.order, s.ID)
+	ss.insertLocked(s)
 	ss.rev++
 	return s, nil
 }
@@ -122,9 +137,11 @@ func (ss *Subscriptions) Get(id string) (Subscription, error) {
 func (ss *Subscriptions) Delete(id string) error {
 	ss.mu.Lock()
 	defer ss.mu.Unlock()
-	if _, ok := ss.byID[id]; !ok {
+	s, ok := ss.byID[id]
+	if !ok {
 		return fmt.Errorf("%s: %w", id, ErrUnknownSubscription)
 	}
+	ss.indexDeleteLocked(s)
 	delete(ss.byID, id)
 	for i, oid := range ss.order {
 		if oid == id {
@@ -208,8 +225,10 @@ func ReadSubscriptions(r io.Reader) (*Subscriptions, error) {
 		if _, dup := ss.byID[s.ID]; dup {
 			continue
 		}
-		ss.byID[s.ID] = s
-		ss.order = append(ss.order, s.ID)
+		// insertLocked also rebuilds the inverted index, so a reloaded
+		// checkpoint matches exactly like a freshly-built set. No lock is
+		// held: the set is not yet shared.
+		ss.insertLocked(s)
 		var n int
 		if _, err := fmt.Sscanf(s.ID, "sub-%d", &n); err == nil && n > ss.next {
 			ss.next = n

@@ -80,6 +80,12 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusTooManyRequests, err.Error())
 	case errors.Is(err, alert.ErrClosed), errors.Is(err, alert.ErrNotStarted):
 		writeError(w, http.StatusServiceUnavailable, err.Error())
+	case errors.Is(err, alert.ErrWAL):
+		// The document could not be made durable; it was NOT accepted.
+		// 503 (not 429): the log, not the client, is the problem, and a
+		// retry is safe — replay dedup absorbs any partial acceptance.
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, err.Error())
 	default:
 		writeError(w, http.StatusBadRequest, err.Error())
 	}
