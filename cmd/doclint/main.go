@@ -1,7 +1,8 @@
 // Command doclint is deprecated: the doc-comment check now lives in
 // the etaplint framework as the doc-comments rule, alongside the rest
-// of the repository's invariant checks. This shim forwards to it so
-// existing invocations keep working.
+// of the repository's invariant checks. This shim forwards to the
+// shared etaplint driver with the rule set pinned to doc-comments, so
+// existing invocations keep working with identical exit codes.
 //
 // Use instead:
 //
@@ -12,47 +13,24 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"os"
 
-	"etap/internal/lint"
+	"etap/internal/lint/cli"
 )
 
 func main() {
 	fmt.Fprintln(os.Stderr, "doclint: deprecated; forwarding to etaplint -rules doc-comments (see LINTING.md)")
-	if len(os.Args) < 2 {
-		fmt.Fprintln(os.Stderr, "usage: doclint <package-dir> [dir...]")
-		os.Exit(2)
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run forwards to the shared driver with the rule set pinned to
+// doc-comments, preserving doclint's historical requirement of at
+// least one package argument.
+func run(args []string, stdout, stderr io.Writer) int {
+	if len(args) == 0 {
+		fmt.Fprintln(stderr, "usage: doclint <package-dir> [dir...]")
+		return 2
 	}
-	loader, err := lint.NewLoader(".")
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "doclint:", err)
-		os.Exit(2)
-	}
-	rules, err := lint.SelectRules("doc-comments")
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "doclint:", err)
-		os.Exit(2)
-	}
-	dirs, err := loader.Expand(os.Args[1:])
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "doclint:", err)
-		os.Exit(2)
-	}
-	var pkgs []*lint.Package
-	for _, dir := range dirs {
-		p, err := loader.Load(dir)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "doclint:", err)
-			os.Exit(2)
-		}
-		pkgs = append(pkgs, p)
-	}
-	findings := lint.Run(pkgs, rules)
-	if err := lint.WriteText(os.Stdout, findings); err != nil {
-		fmt.Fprintln(os.Stderr, "doclint:", err)
-		os.Exit(2)
-	}
-	if len(findings) > 0 {
-		os.Exit(1)
-	}
+	return cli.Run("doclint", append([]string{"-rules", "doc-comments"}, args...), stdout, stderr)
 }

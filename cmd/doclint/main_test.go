@@ -1,0 +1,44 @@
+package main
+
+import (
+	"bytes"
+	"testing"
+
+	"etap/internal/lint/cli"
+)
+
+// TestForwardingParity pins the deprecation contract: for any package
+// set, doclint's exit code and findings output must match
+// `etaplint -rules doc-comments` exactly.
+func TestForwardingParity(t *testing.T) {
+	cases := []struct {
+		name string
+		dir  string
+	}{
+		{"violations", "../../internal/lint/testdata/src/doccomments/pkg"},
+		{"clean", "../../internal/snippet"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var docOut, docErr, lintOut, lintErr bytes.Buffer
+			docCode := run([]string{tc.dir}, &docOut, &docErr)
+			lintCode := cli.Run("etaplint", []string{"-rules", "doc-comments", tc.dir}, &lintOut, &lintErr)
+			if docCode != lintCode {
+				t.Fatalf("exit code: doclint=%d etaplint=%d\ndoclint stderr:\n%s\netaplint stderr:\n%s",
+					docCode, lintCode, docErr.String(), lintErr.String())
+			}
+			if docOut.String() != lintOut.String() {
+				t.Errorf("findings output diverges\ndoclint:\n%s\netaplint:\n%s", docOut.String(), lintOut.String())
+			}
+		})
+	}
+}
+
+// TestNoArgsUsage pins the historical no-argument behavior: usage
+// error, exit 2.
+func TestNoArgsUsage(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if code := run(nil, &out, &errBuf); code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+}

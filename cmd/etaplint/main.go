@@ -1,12 +1,16 @@
 // Command etaplint is ETAP's repo-aware static-analysis gate. It runs
-// the internal/lint rule set — determinism, metric-discipline,
-// error-swallowing, context-plumbing, mutex-discipline, doc-comments —
-// over the given packages and fails when any finding at or above the
-// severity threshold survives suppression.
+// the internal/lint rule set — the syntactic rules (determinism,
+// metric-discipline, error-swallowing, context-plumbing,
+// mutex-discipline, doc-comments) plus the flow-aware concurrency
+// rules (goroutine-lifecycle, lock-order, channel-discipline) built on
+// the per-function CFG and intra-package call graph — over the given
+// packages and fails when any finding at or above the severity
+// threshold survives suppression and the baseline.
 //
 // Usage:
 //
-//	etaplint [-json] [-rules r1,r2] [-severity error|warning|info] [packages]
+//	etaplint [-json] [-rules r1,r2] [-severity error|warning|info]
+//	         [-baseline file [-write-baseline]] [packages]
 //
 // Packages are directory patterns relative to the working directory;
 // "pkg/..." walks recursively (testdata and vendor are pruned, like
@@ -14,105 +18,35 @@
 //
 // Flags:
 //
-//	-json       emit findings as a JSON array instead of text
-//	-rules      comma-separated rule IDs to run (default: all)
-//	-severity   minimum severity that causes a non-zero exit
-//	            (default: warning; all findings are always printed)
-//	-list       print the available rules and exit
+//	-json            emit findings as a JSON array instead of text
+//	-rules           comma-separated rule IDs to run (default: all)
+//	-severity        minimum severity that causes a non-zero exit
+//	                 (default: warning; all findings are always printed)
+//	-list            print the available rules and exit
+//	-baseline        JSON findings baseline; findings recorded there are
+//	                 subtracted, so CI gates on "no new findings"
+//	-write-baseline  rewrite the -baseline file from the current
+//	                 findings and exit 0
 //
 // Exit status: 0 when no finding meets the threshold, 1 when at least
 // one does, 2 on usage or load errors. Suppress an individual finding
 // in source with `//etaplint:ignore <rule> -- <reason>`; see
-// LINTING.md for the rule catalog.
+// LINTING.md for the rule catalog. The actual driver lives in
+// internal/lint/cli, shared with the deprecated cmd/doclint shim.
 package main
 
 import (
-	"flag"
-	"fmt"
 	"io"
 	"os"
 
-	"etap/internal/lint"
+	"etap/internal/lint/cli"
 )
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-// run executes the linter and returns the process exit code.
+// run forwards to the shared driver (kept as a seam for tests).
 func run(args []string, stdout, stderr io.Writer) int {
-	fs := flag.NewFlagSet("etaplint", flag.ContinueOnError)
-	fs.SetOutput(stderr)
-	jsonOut := fs.Bool("json", false, "emit findings as JSON")
-	rulesSpec := fs.String("rules", "all", "comma-separated rule IDs to run")
-	severity := fs.String("severity", "warning", "minimum severity causing a non-zero exit (info, warning, error)")
-	list := fs.Bool("list", false, "print the available rules and exit")
-	if err := fs.Parse(args); err != nil {
-		return 2
-	}
-
-	rules, err := lint.SelectRules(*rulesSpec)
-	if err != nil {
-		fmt.Fprintln(stderr, "etaplint:", err)
-		return 2
-	}
-	if *list {
-		for _, r := range rules {
-			fmt.Fprintf(stdout, "%-18s %s\n", r.Name(), r.Doc())
-		}
-		return 0
-	}
-	threshold, err := lint.ParseSeverity(*severity)
-	if err != nil {
-		fmt.Fprintln(stderr, "etaplint:", err)
-		return 2
-	}
-
-	patterns := fs.Args()
-	if len(patterns) == 0 {
-		patterns = []string{"./..."}
-	}
-	loader, err := lint.NewLoader(".")
-	if err != nil {
-		fmt.Fprintln(stderr, "etaplint:", err)
-		return 2
-	}
-	dirs, err := loader.Expand(patterns)
-	if err != nil {
-		fmt.Fprintln(stderr, "etaplint:", err)
-		return 2
-	}
-	var pkgs []*lint.Package
-	for _, dir := range dirs {
-		p, err := loader.Load(dir)
-		if err != nil {
-			fmt.Fprintln(stderr, "etaplint:", err)
-			return 2
-		}
-		pkgs = append(pkgs, p)
-	}
-
-	findings := lint.Run(pkgs, rules)
-	if *jsonOut {
-		err = lint.WriteJSON(stdout, findings)
-	} else {
-		err = lint.WriteText(stdout, findings)
-	}
-	if err != nil {
-		fmt.Fprintln(stderr, "etaplint:", err)
-		return 2
-	}
-	failing := 0
-	for _, f := range findings {
-		if f.Severity >= threshold {
-			failing++
-		}
-	}
-	if failing > 0 {
-		if !*jsonOut {
-			fmt.Fprintf(stderr, "etaplint: %d finding(s) at or above severity %s\n", failing, threshold)
-		}
-		return 1
-	}
-	return 0
+	return cli.Run("etaplint", args, stdout, stderr)
 }

@@ -3,6 +3,8 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -59,6 +61,45 @@ func TestRunJSONOutput(t *testing.T) {
 		if f.Rule != "mutex-discipline" || f.File == "" || f.Line <= 0 || f.Message == "" {
 			t.Errorf("finding fields incomplete: %+v", f)
 		}
+	}
+}
+
+// TestRunBaselineGating pins the "no new findings" contract: writing a
+// baseline from a dirty package makes the next run exit 0, while an
+// empty baseline still fails it.
+func TestRunBaselineGating(t *testing.T) {
+	basePath := filepath.Join(t.TempDir(), "baseline.json")
+
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"-rules", "mutex-discipline", "-baseline", basePath, "-write-baseline", mutexTestdata}, &out, &errBuf); code != 0 {
+		t.Fatalf("write-baseline exit = %d, want 0\nstderr:\n%s", code, errBuf.String())
+	}
+	if !strings.Contains(errBuf.String(), "wrote baseline") {
+		t.Errorf("write-baseline produced no summary:\n%s", errBuf.String())
+	}
+
+	out.Reset()
+	errBuf.Reset()
+	if code := run([]string{"-rules", "mutex-discipline", "-baseline", basePath, mutexTestdata}, &out, &errBuf); code != 0 {
+		t.Fatalf("baselined run exit = %d, want 0\nstdout:\n%s\nstderr:\n%s", code, out.String(), errBuf.String())
+	}
+	if out.Len() != 0 {
+		t.Errorf("baselined run still printed findings:\n%s", out.String())
+	}
+
+	empty := filepath.Join(t.TempDir(), "empty.json")
+	if err := os.WriteFile(empty, []byte(`{"version":1,"findings":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	errBuf.Reset()
+	if code := run([]string{"-rules", "mutex-discipline", "-baseline", empty, mutexTestdata}, &out, &errBuf); code != 1 {
+		t.Fatalf("empty-baseline run exit = %d, want 1\nstderr:\n%s", code, errBuf.String())
+	}
+
+	// -write-baseline without -baseline is a usage error.
+	if code := run([]string{"-write-baseline", mutexTestdata}, &out, &errBuf); code != 2 {
+		t.Fatalf("-write-baseline without -baseline exit = %d, want 2", code)
 	}
 }
 

@@ -379,6 +379,7 @@ func (m *Manager) EnqueueTraced(doc Document) (string, error) {
 		}
 		it.seq = seq
 	}
+	//etaplint:ignore channel-discipline -- the credit gate above keeps channel occupancy strictly below capacity, so this send never blocks; it must stay inside p.mu so channel order equals WAL-sequence order
 	p.ch <- it
 	p.mu.Unlock()
 	m.pending.Add(1)

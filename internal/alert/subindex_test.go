@@ -63,7 +63,7 @@ func TestCandidatesMatchLinearScan(t *testing.T) {
 		{Company: "Acme", Driver: "mergers-acquisitions", Score: 0.95},
 		{Company: "Acme Inc.", Driver: "new-offices", Score: 0.55}, // alias form
 		{Company: "Globex", Driver: "funding-rounds", Score: 0.05},
-		{Company: "", Driver: "mergers-acquisitions", Score: 0.8},  // no company attributed
+		{Company: "", Driver: "mergers-acquisitions", Score: 0.8}, // no company attributed
 		{Company: "Nonesuch Corp", Driver: "new-offices", Score: 0.9},
 		{Company: "", Driver: "", Score: 1.0},
 	}

@@ -1,0 +1,100 @@
+// Findings baseline: a committed JSON snapshot of known findings so CI
+// can gate on "no new findings" while existing debt is paid down
+// incrementally. Entries are keyed by (rule, file, message) with an
+// occurrence count — line numbers are deliberately excluded so
+// unrelated edits that shift code do not invalidate the baseline.
+
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// BaselineEntry is one tolerated finding class: how many findings with
+// this exact rule, file, and message the baseline absorbs.
+type BaselineEntry struct {
+	Rule    string `json:"rule"`
+	File    string `json:"file"`
+	Message string `json:"message"`
+	Count   int    `json:"count"`
+}
+
+// Baseline is the on-disk findings-baseline format.
+type Baseline struct {
+	Version  int             `json:"version"`
+	Findings []BaselineEntry `json:"findings"`
+}
+
+// baselineVersion is the current on-disk format version.
+const baselineVersion = 1
+
+// baselineKey identifies a finding class for baseline matching.
+type baselineKey struct {
+	rule, file, message string
+}
+
+// NewBaseline aggregates findings into a baseline snapshot, sorted for
+// stable diffs.
+func NewBaseline(findings []Finding) *Baseline {
+	counts := map[baselineKey]int{}
+	for _, f := range findings {
+		counts[baselineKey{f.Rule, f.Pos.Filename, f.Message}]++
+	}
+	b := &Baseline{Version: baselineVersion, Findings: []BaselineEntry{}}
+	for k, n := range counts {
+		b.Findings = append(b.Findings, BaselineEntry{Rule: k.rule, File: k.file, Message: k.message, Count: n})
+	}
+	sort.Slice(b.Findings, func(i, j int) bool {
+		a, c := b.Findings[i], b.Findings[j]
+		if a.File != c.File {
+			return a.File < c.File
+		}
+		if a.Rule != c.Rule {
+			return a.Rule < c.Rule
+		}
+		return a.Message < c.Message
+	})
+	return b
+}
+
+// WriteBaseline serializes a baseline for the given findings.
+func WriteBaseline(w io.Writer, findings []Finding) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(NewBaseline(findings))
+}
+
+// ReadBaseline parses a baseline, rejecting unknown format versions.
+func ReadBaseline(r io.Reader) (*Baseline, error) {
+	var b Baseline
+	if err := json.NewDecoder(r).Decode(&b); err != nil {
+		return nil, fmt.Errorf("lint: parse baseline: %w", err)
+	}
+	if b.Version != baselineVersion {
+		return nil, fmt.Errorf("lint: baseline version %d, want %d", b.Version, baselineVersion)
+	}
+	return &b, nil
+}
+
+// Filter returns the findings the baseline does not absorb: each entry
+// soaks up at most Count matching findings, in input order, so only
+// net-new findings survive.
+func (b *Baseline) Filter(findings []Finding) []Finding {
+	budget := map[baselineKey]int{}
+	for _, e := range b.Findings {
+		budget[baselineKey{e.Rule, e.File, e.Message}] += e.Count
+	}
+	var fresh []Finding
+	for _, f := range findings {
+		k := baselineKey{f.Rule, f.Pos.Filename, f.Message}
+		if budget[k] > 0 {
+			budget[k]--
+			continue
+		}
+		fresh = append(fresh, f)
+	}
+	return fresh
+}

@@ -1,0 +1,65 @@
+package lint
+
+import (
+	"bytes"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// bl builds a finding for baseline tests.
+func bl(rule, file, message string, line int) Finding {
+	return Finding{Rule: rule, Severity: SeverityWarning, Message: message,
+		Pos: token.Position{Filename: file, Line: line}}
+}
+
+func TestBaselineRoundTrip(t *testing.T) {
+	findings := []Finding{
+		bl("channel-discipline", "a.go", "blocking send", 10),
+		bl("channel-discipline", "a.go", "blocking send", 40),
+		bl("lock-order", "b.go", "conflicting orders", 5),
+	}
+	var buf bytes.Buffer
+	if err := WriteBaseline(&buf, findings); err != nil {
+		t.Fatalf("WriteBaseline: %v", err)
+	}
+	b, err := ReadBaseline(&buf)
+	if err != nil {
+		t.Fatalf("ReadBaseline: %v", err)
+	}
+	if len(b.Findings) != 2 {
+		t.Fatalf("entries = %d, want 2 (duplicates aggregate by count):\n%+v", len(b.Findings), b.Findings)
+	}
+	if b.Findings[0].File != "a.go" || b.Findings[0].Count != 2 {
+		t.Errorf("first entry = %+v, want a.go count 2", b.Findings[0])
+	}
+	if fresh := b.Filter(findings); len(fresh) != 0 {
+		t.Errorf("round-tripped baseline leaves %d fresh finding(s), want 0", len(fresh))
+	}
+}
+
+func TestBaselineFilterCountsAndNewFindings(t *testing.T) {
+	base := NewBaseline([]Finding{bl("channel-discipline", "a.go", "blocking send", 10)})
+	now := []Finding{
+		// Same class, line moved: absorbed (line numbers are not keyed).
+		bl("channel-discipline", "a.go", "blocking send", 99),
+		// Second occurrence of the same class: over budget, fresh.
+		bl("channel-discipline", "a.go", "blocking send", 120),
+		// Different file: fresh.
+		bl("channel-discipline", "c.go", "blocking send", 10),
+	}
+	fresh := base.Filter(now)
+	if len(fresh) != 2 {
+		t.Fatalf("fresh = %d, want 2", len(fresh))
+	}
+	if fresh[0].Pos.Line != 120 || fresh[1].Pos.Filename != "c.go" {
+		t.Errorf("unexpected fresh findings: %+v", fresh)
+	}
+}
+
+func TestBaselineVersionCheck(t *testing.T) {
+	_, err := ReadBaseline(strings.NewReader(`{"version": 99, "findings": []}`))
+	if err == nil || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("ReadBaseline accepted unknown version, err = %v", err)
+	}
+}

@@ -1,0 +1,108 @@
+// The intra-package call graph: which declared function calls which,
+// keyed by go/types objects so methods, shadowing, and qualified names
+// resolve correctly. It is deliberately lightweight — static calls
+// only, no interface dispatch or function-value tracking — because the
+// concurrency rules use it for reachability questions ("is a
+// cancellation select reachable from this goroutine body?", "which
+// locks can this call acquire?") where a conservative under-approx of
+// dynamic calls is the right trade against false positives.
+
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CallSite is one static call made inside a function body.
+type CallSite struct {
+	// Callee is the invoked function or method; always non-nil.
+	Callee *types.Func
+	// Call is the call expression.
+	Call *ast.CallExpr
+}
+
+// FuncNode is one function declared in the package, with its body and
+// outgoing static calls.
+type FuncNode struct {
+	// Fn is the function's type-checker object.
+	Fn *types.Func
+	// Decl is the declaration; Body may be nil (e.g. assembly stubs).
+	Decl *ast.FuncDecl
+	// Calls are the static calls in Decl.Body, in source order,
+	// excluding calls inside nested function literals (a literal runs
+	// at its own time, not the caller's).
+	Calls []CallSite
+}
+
+// CallGraph indexes every function declared in one package.
+type CallGraph struct {
+	// Nodes maps the type-checker object of each declared function to
+	// its node.
+	Nodes map[*types.Func]*FuncNode
+}
+
+// NewCallGraph builds the package's intra-package static call graph.
+func NewCallGraph(p *Package) *CallGraph {
+	g := &CallGraph{Nodes: map[*types.Func]*FuncNode{}}
+	for _, file := range p.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, ok := p.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			g.Nodes[obj] = &FuncNode{
+				Fn:    obj,
+				Decl:  fd,
+				Calls: callsIn(p, fd.Body),
+			}
+		}
+	}
+	return g
+}
+
+// callsIn collects the static calls directly inside body, in source
+// order, not descending into nested function literals.
+func callsIn(p *Package, body ast.Node) []CallSite {
+	var out []CallSite
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == body {
+			return true
+		}
+		if _, isLit := n.(*ast.FuncLit); isLit {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if fn := p.calleeFunc(call); fn != nil {
+				out = append(out, CallSite{Callee: fn, Call: call})
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// Reach returns every in-package function transitively callable from
+// fn (excluding fn itself unless it is recursive).
+func (g *CallGraph) Reach(fn *types.Func) map[*types.Func]bool {
+	out := map[*types.Func]bool{}
+	var visit func(f *types.Func)
+	visit = func(f *types.Func) {
+		node := g.Nodes[f]
+		if node == nil {
+			return
+		}
+		for _, c := range node.Calls {
+			if !out[c.Callee] {
+				out[c.Callee] = true
+				visit(c.Callee)
+			}
+		}
+	}
+	visit(fn)
+	return out
+}

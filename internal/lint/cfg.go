@@ -1,0 +1,512 @@
+// The control-flow layer: a per-function CFG built from go/ast alone,
+// giving flow-aware rules (goroutine-lifecycle, lock-order,
+// channel-discipline) something better than source order to reason
+// over. Each function body becomes a graph of basic blocks with edges
+// for branches, loop back-edges, switch/select dispatch, labeled
+// break/continue/goto, explicit panic, and return. Deferred calls are
+// collected on the CFG (they run at every exit) rather than modeled as
+// edges. Nested function literals are NOT descended into — a literal's
+// body is its own CFG — and `go` statements keep only the spawn point;
+// the spawned body likewise gets its own graph.
+//
+// The builder is purely syntactic: it never consults go/types, so a
+// shadowed `panic` identifier would be misread as terminal. That
+// trade keeps construction allocation-light and dependency-free; the
+// rules that need symbol resolution layer it on top.
+
+package lint
+
+import (
+	"go/ast"
+)
+
+// CFG is the control-flow graph of one function body. Blocks[0] is
+// always Entry; Exit is a distinct empty block every return, panic,
+// and fall-off-the-end path reaches.
+type CFG struct {
+	// Entry is the block control enters first.
+	Entry *Block
+	// Exit is the single synthetic exit block; deferred calls
+	// conceptually run here.
+	Exit *Block
+	// Blocks lists every block in creation order (Entry first).
+	Blocks []*Block
+	// Defers are the defer statements collected anywhere in the body,
+	// in source order. They execute at Exit on every path.
+	Defers []*ast.DeferStmt
+}
+
+// Block is one straight-line run of statements: control enters at the
+// top and leaves through one of Succs.
+type Block struct {
+	// Index is the block's position in CFG.Blocks.
+	Index int
+	// Nodes holds the block's statements and control expressions in
+	// execution order. Control statements contribute their guard
+	// expression or themselves (e.g. an *ast.IfStmt's Cond, an
+	// *ast.RangeStmt for its per-iteration receive).
+	Nodes []ast.Node
+	// Succs are the blocks control may transfer to next.
+	Succs []*Block
+	// Preds are the blocks that may transfer control here.
+	Preds []*Block
+}
+
+// addSucc links b -> s exactly once.
+func (b *Block) addSucc(s *Block) {
+	for _, have := range b.Succs {
+		if have == s {
+			return
+		}
+	}
+	b.Succs = append(b.Succs, s)
+	s.Preds = append(s.Preds, b)
+}
+
+// Reachable returns the set of blocks reachable from Entry.
+func (c *CFG) Reachable() map[*Block]bool {
+	seen := map[*Block]bool{}
+	stack := []*Block{c.Entry}
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[b] {
+			continue
+		}
+		seen[b] = true
+		stack = append(stack, b.Succs...)
+	}
+	return seen
+}
+
+// cfgBuilder carries the under-construction graph plus the branch
+// targets currently in scope.
+type cfgBuilder struct {
+	cfg *CFG
+	// cur is the block new statements append to; nil after a terminal
+	// statement (return, panic, break, ...) until a join block opens.
+	cur *Block
+	// breakTargets / continueTargets stack the innermost-last targets
+	// for unlabeled break and continue.
+	breakTargets    []*Block
+	continueTargets []*Block
+	// labels maps label names to their targets for labeled
+	// break/continue/goto.
+	labels map[string]*labelTarget
+	// gotos are forward gotos waiting for their label block.
+	gotos []pendingGoto
+	// pendingLabel is the label of the LabeledStmt currently being
+	// built, consumed by the next loop/switch/select statement.
+	pendingLabel string
+}
+
+// labelTarget is the set of blocks a label can transfer control to.
+type labelTarget struct {
+	// start is the goto target (the labeled statement itself).
+	start *Block
+	// brk / cont are the labeled break/continue targets; nil when the
+	// labeled statement is not a loop/switch/select.
+	brk, cont *Block
+}
+
+// pendingGoto is a goto seen before (or after) its label declaration.
+type pendingGoto struct {
+	from  *Block
+	label string
+}
+
+// BuildCFG constructs the control-flow graph of one function body.
+// body may be any block statement (rules also build graphs for
+// function-literal bodies).
+func BuildCFG(body *ast.BlockStmt) *CFG {
+	b := &cfgBuilder{
+		cfg:    &CFG{},
+		labels: map[string]*labelTarget{},
+	}
+	b.cfg.Entry = b.newBlock()
+	b.cur = b.cfg.Entry
+	b.cfg.Exit = b.newBlock()
+	b.stmtList(body.List)
+	// Falling off the end of the body reaches Exit.
+	if b.cur != nil {
+		b.cur.addSucc(b.cfg.Exit)
+	}
+	// Resolve gotos now that every label has a block.
+	for _, g := range b.gotos {
+		if t := b.labels[g.label]; t != nil && g.from != nil {
+			g.from.addSucc(t.start)
+		}
+	}
+	return b.cfg
+}
+
+// newBlock appends a fresh empty block to the graph.
+func (b *cfgBuilder) newBlock() *Block {
+	blk := &Block{Index: len(b.cfg.Blocks)}
+	b.cfg.Blocks = append(b.cfg.Blocks, blk)
+	return blk
+}
+
+// current returns the append target, opening an (unreachable) block if
+// the previous statement was terminal — code after return/break still
+// gets a graph, it just has no predecessors.
+func (b *cfgBuilder) current() *Block {
+	if b.cur == nil {
+		b.cur = b.newBlock()
+	}
+	return b.cur
+}
+
+// takeLabel consumes the pending label for the statement being built.
+func (b *cfgBuilder) takeLabel() string {
+	l := b.pendingLabel
+	b.pendingLabel = ""
+	return l
+}
+
+// stmtList builds each statement in order.
+func (b *cfgBuilder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+// stmt dispatches one statement into the graph.
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+	case *ast.LabeledStmt:
+		// The labeled statement starts its own block so goto can target
+		// it; loop builders consume the label for break/continue.
+		start := b.newBlock()
+		b.current().addSucc(start)
+		b.cur = start
+		b.labels[s.Label.Name] = &labelTarget{start: start}
+		b.pendingLabel = s.Label.Name
+		b.stmt(s.Stmt)
+		b.pendingLabel = ""
+	case *ast.ReturnStmt:
+		b.current().Nodes = append(b.current().Nodes, s)
+		b.current().addSucc(b.cfg.Exit)
+		b.cur = nil
+	case *ast.BranchStmt:
+		b.branch(s)
+	case *ast.DeferStmt:
+		b.cfg.Defers = append(b.cfg.Defers, s)
+		b.current().Nodes = append(b.current().Nodes, s)
+	case *ast.ExprStmt:
+		b.current().Nodes = append(b.current().Nodes, s)
+		if isPanicCall(s.X) {
+			b.current().addSucc(b.cfg.Exit)
+			b.cur = nil
+		}
+	case *ast.IfStmt:
+		b.ifStmt(s)
+	case *ast.ForStmt:
+		b.forStmt(s)
+	case *ast.RangeStmt:
+		b.rangeStmt(s)
+	case *ast.SwitchStmt:
+		b.switchStmt(s.Init, s.Tag, nil, s.Body)
+	case *ast.TypeSwitchStmt:
+		b.switchStmt(s.Init, nil, s.Assign, s.Body)
+	case *ast.SelectStmt:
+		b.selectStmt(s)
+	case nil:
+		// skip
+	default:
+		// Assignments, sends, declarations, go statements, inc/dec,
+		// empty statements: straight-line.
+		b.current().Nodes = append(b.current().Nodes, s)
+	}
+}
+
+// branch routes break/continue/goto/fallthrough. Fallthrough is
+// handled by the switch builder (the next case body directly follows),
+// so here it is a no-op.
+func (b *cfgBuilder) branch(s *ast.BranchStmt) {
+	cur := b.current()
+	cur.Nodes = append(cur.Nodes, s)
+	switch s.Tok.String() {
+	case "break":
+		var t *Block
+		if s.Label != nil {
+			if lt := b.labels[s.Label.Name]; lt != nil {
+				t = lt.brk
+			}
+		} else if n := len(b.breakTargets); n > 0 {
+			t = b.breakTargets[n-1]
+		}
+		if t != nil {
+			cur.addSucc(t)
+		}
+		b.cur = nil
+	case "continue":
+		var t *Block
+		if s.Label != nil {
+			if lt := b.labels[s.Label.Name]; lt != nil {
+				t = lt.cont
+			}
+		} else {
+			// Switch/select scopes push a nil continue target; an
+			// unlabeled continue belongs to the nearest enclosing loop.
+			for i := len(b.continueTargets) - 1; i >= 0; i-- {
+				if b.continueTargets[i] != nil {
+					t = b.continueTargets[i]
+					break
+				}
+			}
+		}
+		if t != nil {
+			cur.addSucc(t)
+		}
+		b.cur = nil
+	case "goto":
+		if s.Label != nil {
+			b.gotos = append(b.gotos, pendingGoto{from: cur, label: s.Label.Name})
+		}
+		b.cur = nil
+	case "fallthrough":
+		// The switch builder wires the edge; keep building.
+	}
+}
+
+// ifStmt builds cond -> then / else -> join.
+func (b *cfgBuilder) ifStmt(s *ast.IfStmt) {
+	if s.Init != nil {
+		b.stmt(s.Init)
+	}
+	cond := b.current()
+	if s.Cond != nil {
+		cond.Nodes = append(cond.Nodes, s.Cond)
+	}
+	join := b.newBlock()
+
+	then := b.newBlock()
+	cond.addSucc(then)
+	b.cur = then
+	b.stmtList(s.Body.List)
+	if b.cur != nil {
+		b.cur.addSucc(join)
+	}
+
+	if s.Else != nil {
+		els := b.newBlock()
+		cond.addSucc(els)
+		b.cur = els
+		b.stmt(s.Else)
+		if b.cur != nil {
+			b.cur.addSucc(join)
+		}
+	} else {
+		cond.addSucc(join)
+	}
+	b.cur = join
+}
+
+// forStmt builds init -> cond -> body -> post -> cond, with the
+// loop-exit edge from cond (or none for `for {}`).
+func (b *cfgBuilder) forStmt(s *ast.ForStmt) {
+	label := b.takeLabel()
+	if s.Init != nil {
+		b.stmt(s.Init)
+	}
+	cond := b.newBlock()
+	b.current().addSucc(cond)
+	after := b.newBlock()
+	if s.Cond != nil {
+		cond.Nodes = append(cond.Nodes, s.Cond)
+		cond.addSucc(after)
+	}
+
+	// continue goes to the post statement when there is one.
+	contTarget := cond
+	var post *Block
+	if s.Post != nil {
+		post = b.newBlock()
+		b.cur = post
+		b.stmt(s.Post)
+		post.addSucc(cond)
+		contTarget = post
+	}
+
+	body := b.newBlock()
+	cond.addSucc(body)
+	b.pushLoop(label, after, contTarget)
+	b.cur = body
+	b.stmtList(s.Body.List)
+	if b.cur != nil {
+		b.cur.addSucc(contTarget)
+	}
+	b.popLoop()
+	b.cur = after
+}
+
+// rangeStmt builds head -> body -> head with the exit edge from head.
+// The RangeStmt node itself sits in the head block, standing for the
+// per-iteration element receive.
+func (b *cfgBuilder) rangeStmt(s *ast.RangeStmt) {
+	label := b.takeLabel()
+	head := b.newBlock()
+	b.current().addSucc(head)
+	head.Nodes = append(head.Nodes, s)
+	after := b.newBlock()
+	head.addSucc(after)
+
+	body := b.newBlock()
+	head.addSucc(body)
+	b.pushLoop(label, after, head)
+	b.cur = body
+	b.stmtList(s.Body.List)
+	if b.cur != nil {
+		b.cur.addSucc(head)
+	}
+	b.popLoop()
+	b.cur = after
+}
+
+// switchStmt builds tag -> each case -> join, including fallthrough
+// edges and the implicit no-default edge to join. Shared by value and
+// type switches (tag / assign: exactly one is non-nil).
+func (b *cfgBuilder) switchStmt(init ast.Stmt, tag ast.Expr, assign ast.Stmt, body *ast.BlockStmt) {
+	label := b.takeLabel()
+	if init != nil {
+		b.stmt(init)
+	}
+	head := b.current()
+	if tag != nil {
+		head.Nodes = append(head.Nodes, tag)
+	}
+	if assign != nil {
+		head.Nodes = append(head.Nodes, assign)
+	}
+	after := b.newBlock()
+
+	// Create every case block first so fallthrough can target the next.
+	var clauses []*ast.CaseClause
+	for _, cs := range body.List {
+		if cc, ok := cs.(*ast.CaseClause); ok {
+			clauses = append(clauses, cc)
+		}
+	}
+	caseBlocks := make([]*Block, len(clauses))
+	hasDefault := false
+	for i, cc := range clauses {
+		caseBlocks[i] = b.newBlock()
+		head.addSucc(caseBlocks[i])
+		if cc.List == nil {
+			hasDefault = true
+		}
+	}
+	if !hasDefault {
+		head.addSucc(after)
+	}
+
+	b.pushSwitch(label, after)
+	for i, cc := range clauses {
+		b.cur = caseBlocks[i]
+		for _, e := range cc.List {
+			caseBlocks[i].Nodes = append(caseBlocks[i].Nodes, e)
+		}
+		fallsThrough := false
+		for _, cs := range cc.Body {
+			if br, ok := cs.(*ast.BranchStmt); ok && br.Tok.String() == "fallthrough" {
+				fallsThrough = true
+			}
+			b.stmt(cs)
+		}
+		if b.cur != nil {
+			if fallsThrough && i+1 < len(caseBlocks) {
+				b.cur.addSucc(caseBlocks[i+1])
+			} else {
+				b.cur.addSucc(after)
+			}
+		}
+	}
+	b.popLoopOnlyBreak()
+	b.cur = after
+}
+
+// selectStmt builds head -> each comm clause -> join. A select without
+// a default has no edge skipping the cases: control cannot pass until
+// some comm fires — exactly the property the channel rule checks.
+func (b *cfgBuilder) selectStmt(s *ast.SelectStmt) {
+	label := b.takeLabel()
+	head := b.current()
+	head.Nodes = append(head.Nodes, s)
+	after := b.newBlock()
+
+	hasDefault := false
+	b.pushSwitch(label, after)
+	for _, cs := range s.Body.List {
+		cc, ok := cs.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		blk := b.newBlock()
+		head.addSucc(blk)
+		b.cur = blk
+		if cc.Comm != nil {
+			// The comm op (send or receive) executes when the case is
+			// chosen; it lives in the case block.
+			b.stmt(cc.Comm)
+		} else {
+			hasDefault = true
+		}
+		b.stmtList(cc.Body)
+		if b.cur != nil {
+			b.cur.addSucc(after)
+		}
+	}
+	_ = hasDefault // blocking semantics are the absence of other edges
+	b.popLoopOnlyBreak()
+	b.cur = after
+}
+
+// pushLoop enters a loop scope: break and continue targets, plus the
+// label's targets when the loop is labeled.
+func (b *cfgBuilder) pushLoop(label string, brk, cont *Block) {
+	b.breakTargets = append(b.breakTargets, brk)
+	b.continueTargets = append(b.continueTargets, cont)
+	if label != "" {
+		if lt := b.labels[label]; lt != nil {
+			lt.brk, lt.cont = brk, cont
+		}
+	}
+}
+
+// popLoop leaves a loop scope.
+func (b *cfgBuilder) popLoop() {
+	b.breakTargets = b.breakTargets[:len(b.breakTargets)-1]
+	b.continueTargets = b.continueTargets[:len(b.continueTargets)-1]
+}
+
+// pushSwitch enters a switch/select scope: break applies, continue
+// does not.
+func (b *cfgBuilder) pushSwitch(label string, brk *Block) {
+	b.breakTargets = append(b.breakTargets, brk)
+	b.continueTargets = append(b.continueTargets, nil)
+	if label != "" {
+		if lt := b.labels[label]; lt != nil {
+			lt.brk = brk
+		}
+	}
+}
+
+// popLoopOnlyBreak leaves a switch/select scope.
+func (b *cfgBuilder) popLoopOnlyBreak() {
+	b.popLoop()
+}
+
+// isPanicCall reports whether the expression is a direct call to the
+// panic builtin (syntactic: a shadowed panic would be misread, which
+// only makes the graph conservatively shorter).
+func isPanicCall(e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	return ok && id.Name == "panic"
+}

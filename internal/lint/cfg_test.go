@@ -1,0 +1,236 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// buildTestCFG parses one function body and builds its graph.
+func buildTestCFG(t *testing.T, body string) (*CFG, *token.FileSet) {
+	t.Helper()
+	src := "package p\nfunc f() {\n" + body + "\n}\n"
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "cfg_test_src.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	fd := f.Decls[len(f.Decls)-1].(*ast.FuncDecl)
+	return BuildCFG(fd.Body), fset
+}
+
+// blockWith returns the reachable block containing a node whose source
+// rendering contains substr, or nil.
+func blockWith(c *CFG, fset *token.FileSet, src, substr string) *Block {
+	lines := strings.Split(src, "\n")
+	for b := range c.Reachable() {
+		for _, n := range b.Nodes {
+			line := fset.Position(n.Pos()).Line
+			if line-1 < len(lines) && strings.Contains(lines[line-1], substr) {
+				return b
+			}
+		}
+	}
+	return nil
+}
+
+func TestCFGStraightLine(t *testing.T) {
+	c, _ := buildTestCFG(t, "x := 1\n_ = x\nreturn")
+	if len(c.Entry.Nodes) != 3 {
+		t.Fatalf("entry has %d nodes, want 3", len(c.Entry.Nodes))
+	}
+	if len(c.Entry.Succs) != 1 || c.Entry.Succs[0] != c.Exit {
+		t.Fatalf("entry should flow straight to exit, succs=%v", c.Entry.Succs)
+	}
+}
+
+func TestCFGIfElseJoins(t *testing.T) {
+	src := "x := 1\nif x > 0 {\nx = 2\n} else {\nx = 3\n}\n_ = x"
+	c, fset := buildTestCFG(t, src)
+	full := "package p\nfunc f() {\n" + src + "\n}\n"
+	then := blockWith(c, fset, full, "x = 2")
+	els := blockWith(c, fset, full, "x = 3")
+	join := blockWith(c, fset, full, "_ = x")
+	if then == nil || els == nil || join == nil {
+		t.Fatal("missing then/else/join blocks")
+	}
+	if then == els {
+		t.Fatal("then and else share a block")
+	}
+	if len(then.Succs) != 1 || then.Succs[0] != join || len(els.Succs) != 1 || els.Succs[0] != join {
+		t.Fatal("then/else do not join")
+	}
+}
+
+func TestCFGLoopBackEdge(t *testing.T) {
+	src := "for i := 0; i < 3; i++ {\n_ = i\n}\nreturn"
+	c, fset := buildTestCFG(t, src)
+	full := "package p\nfunc f() {\n" + src + "\n}\n"
+	body := blockWith(c, fset, full, "_ = i")
+	if body == nil {
+		t.Fatal("loop body block not found")
+	}
+	// The body must eventually lead back to a block that can re-enter it.
+	reached := map[*Block]bool{}
+	stack := []*Block{body}
+	backEdge := false
+	for len(stack) > 0 && !backEdge {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, s := range b.Succs {
+			if s == body {
+				backEdge = true
+				break
+			}
+			if !reached[s] {
+				reached[s] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	if !backEdge {
+		t.Fatal("no back edge re-entering the loop body")
+	}
+}
+
+func TestCFGPanicIsTerminal(t *testing.T) {
+	src := "x := 1\nif x > 0 {\npanic(\"boom\")\n}\n_ = x"
+	c, fset := buildTestCFG(t, src)
+	full := "package p\nfunc f() {\n" + src + "\n}\n"
+	pb := blockWith(c, fset, full, "panic")
+	if pb == nil {
+		t.Fatal("panic block not found")
+	}
+	if len(pb.Succs) != 1 || pb.Succs[0] != c.Exit {
+		t.Fatalf("panic block should only reach exit, succs=%d", len(pb.Succs))
+	}
+}
+
+func TestCFGDefersCollected(t *testing.T) {
+	c, _ := buildTestCFG(t, "defer println(1)\nif true {\ndefer println(2)\n}")
+	if len(c.Defers) != 2 {
+		t.Fatalf("collected %d defers, want 2", len(c.Defers))
+	}
+}
+
+func TestCFGSelectWithoutDefaultCannotSkip(t *testing.T) {
+	src := "ch := make(chan int)\nselect {\ncase <-ch:\nprintln(1)\n}\nprintln(2)"
+	c, fset := buildTestCFG(t, src)
+	full := "package p\nfunc f() {\n" + src + "\n}\n"
+	head := blockWith(c, fset, full, "select {")
+	after := blockWith(c, fset, full, "println(2)")
+	if head == nil || after == nil {
+		t.Fatal("select head or after block not found")
+	}
+	for _, s := range head.Succs {
+		if s == after {
+			t.Fatal("select without default has a direct edge past its cases")
+		}
+	}
+}
+
+func TestCFGSelectWithDefault(t *testing.T) {
+	src := "ch := make(chan int)\nselect {\ncase <-ch:\nprintln(1)\ndefault:\nprintln(3)\n}\nprintln(2)"
+	c, fset := buildTestCFG(t, src)
+	full := "package p\nfunc f() {\n" + src + "\n}\n"
+	def := blockWith(c, fset, full, "println(3)")
+	if def == nil {
+		t.Fatal("default case block not reachable")
+	}
+}
+
+func TestCFGBreakLeavesLoop(t *testing.T) {
+	src := "for {\nbreak\n}\nprintln(2)"
+	c, fset := buildTestCFG(t, src)
+	full := "package p\nfunc f() {\n" + src + "\n}\n"
+	after := blockWith(c, fset, full, "println(2)")
+	if after == nil {
+		t.Fatal("code after `for { break }` should be reachable")
+	}
+}
+
+func TestCFGInfiniteLoopWithoutBreak(t *testing.T) {
+	src := "for {\nprintln(1)\n}\nprintln(2)"
+	c, fset := buildTestCFG(t, src)
+	full := "package p\nfunc f() {\n" + src + "\n}\n"
+	if after := blockWith(c, fset, full, "println(2)"); after != nil {
+		t.Fatal("code after `for {}` must be unreachable")
+	}
+}
+
+func TestCFGLabeledBreak(t *testing.T) {
+	src := "outer:\nfor {\nfor {\nbreak outer\n}\n}\nprintln(2)"
+	c, fset := buildTestCFG(t, src)
+	full := "package p\nfunc f() {\n" + src + "\n}\n"
+	if after := blockWith(c, fset, full, "println(2)"); after == nil {
+		t.Fatal("labeled break should make the code after the outer loop reachable")
+	}
+}
+
+func TestCFGContinueInSwitchTargetsLoop(t *testing.T) {
+	src := "for i := 0; i < 3; i++ {\nswitch i {\ncase 0:\ncontinue\n}\nprintln(1)\n}\nprintln(2)"
+	c, fset := buildTestCFG(t, src)
+	full := "package p\nfunc f() {\n" + src + "\n}\n"
+	cont := blockWith(c, fset, full, "continue")
+	if cont == nil {
+		t.Fatal("continue block not found")
+	}
+	// The continue block must reach the loop's post statement (i++), not
+	// dead-end.
+	if len(cont.Succs) == 0 {
+		t.Fatal("continue inside switch has no successor")
+	}
+}
+
+func TestCFGGotoResolves(t *testing.T) {
+	src := "x := 0\nloop:\nx++\nif x < 3 {\ngoto loop\n}\nprintln(2)"
+	c, fset := buildTestCFG(t, src)
+	full := "package p\nfunc f() {\n" + src + "\n}\n"
+	gb := blockWith(c, fset, full, "goto loop")
+	target := blockWith(c, fset, full, "x++")
+	if gb == nil || target == nil {
+		t.Fatal("goto or target block not found")
+	}
+	found := false
+	for _, s := range gb.Succs {
+		if s == target {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("goto edge does not reach its label")
+	}
+}
+
+func TestCFGRangeLoop(t *testing.T) {
+	src := "xs := []int{1}\nfor _, x := range xs {\n_ = x\n}\nprintln(2)"
+	c, fset := buildTestCFG(t, src)
+	full := "package p\nfunc f() {\n" + src + "\n}\n"
+	body := blockWith(c, fset, full, "_ = x")
+	after := blockWith(c, fset, full, "println(2)")
+	if body == nil || after == nil {
+		t.Fatal("range body or after block missing")
+	}
+}
+
+func TestCFGSwitchFallthrough(t *testing.T) {
+	src := "switch 1 {\ncase 1:\nprintln(1)\nfallthrough\ncase 2:\nprintln(2)\n}"
+	c, fset := buildTestCFG(t, src)
+	full := "package p\nfunc f() {\n" + src + "\n}\n"
+	c1 := blockWith(c, fset, full, "println(1)")
+	c2 := blockWith(c, fset, full, "println(2)")
+	if c1 == nil || c2 == nil {
+		t.Fatal("case blocks missing")
+	}
+	found := false
+	for _, s := range c1.Succs {
+		if s == c2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("fallthrough edge missing")
+	}
+}

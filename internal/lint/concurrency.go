@@ -1,0 +1,598 @@
+// Shared semantic machinery for the flow-aware concurrency rules:
+// lock identity resolution (a sync.Mutex/RWMutex field or variable,
+// keyed by its go/types object so every instance of a type's lock
+// field maps to one node), a may-hold dataflow over the CFG, channel
+// object resolution with make-site and close-site facts, and the
+// cancellation-case classifier the goroutine and channel rules share.
+//
+// The analysis is computed once per package and cached on the Package,
+// so the three rules that consume it don't re-run the CFG and call
+// graph construction three times.
+
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// concInfo is the per-package concurrency analysis the flow-aware
+// rules share.
+type concInfo struct {
+	graph *CallGraph
+	// closes marks channel objects the package calls close() on.
+	closes map[types.Object]bool
+	// makes records, per channel object, whether every observed
+	// make(chan ...) site is buffered.
+	makes map[types.Object]*makeFacts
+	// cfgs caches one CFG per analyzed body.
+	cfgs map[*ast.BlockStmt]*CFG
+	// held caches, per analyzed body, the may-hold lock sets at each
+	// interesting node.
+	held map[*ast.BlockStmt]map[ast.Node][]lockAcq
+	// acquires lists, per declared function, the lock objects it
+	// acquires directly (Lock or RLock).
+	acquires map[*types.Func][]types.Object
+	// lockedCalls lists every static call made while at least one lock
+	// may be held.
+	lockedCalls []lockedCall
+}
+
+// makeFacts aggregates the make(chan ...) sites observed for one
+// channel object.
+type makeFacts struct {
+	buffered   int
+	unbuffered int
+}
+
+// lockAcq is one lock possibly held at a program point: the lock's
+// object plus where it was acquired.
+type lockAcq struct {
+	obj types.Object
+	pos token.Pos
+}
+
+// lockedCall is a static call made while a lock may be held.
+type lockedCall struct {
+	caller *types.Func
+	callee *types.Func
+	held   []lockAcq
+	pos    token.Pos
+}
+
+// concurrency returns the package's cached concurrency analysis,
+// computing it on first use.
+func (p *Package) concurrency() *concInfo {
+	if p.conc != nil {
+		return p.conc
+	}
+	ci := &concInfo{
+		graph:    NewCallGraph(p),
+		closes:   map[types.Object]bool{},
+		makes:    map[types.Object]*makeFacts{},
+		cfgs:     map[*ast.BlockStmt]*CFG{},
+		held:     map[*ast.BlockStmt]map[ast.Node][]lockAcq{},
+		acquires: map[*types.Func][]types.Object{},
+	}
+	ci.collectChannelFacts(p)
+	for _, node := range ci.graph.Nodes {
+		ci.analyzeLocks(p, node)
+	}
+	sort.Slice(ci.lockedCalls, func(i, j int) bool { return ci.lockedCalls[i].pos < ci.lockedCalls[j].pos })
+	p.conc = ci
+	return ci
+}
+
+// cfgFor returns the cached CFG for a body, building it on first use.
+func (ci *concInfo) cfgFor(body *ast.BlockStmt) *CFG {
+	if c := ci.cfgs[body]; c != nil {
+		return c
+	}
+	c := BuildCFG(body)
+	ci.cfgs[body] = c
+	return c
+}
+
+// collectChannelFacts records close() targets and make(chan) sites for
+// every resolvable channel object in the package, including inside
+// function literals and composite literals.
+func (ci *concInfo) collectChannelFacts(p *Package) {
+	p.inspect(func(n ast.Node, stack []ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && id.Name == "close" && len(n.Args) == 1 {
+				if isBuiltinUse(p, id) { // the builtin, not a shadowing decl
+					if obj := p.chanObject(n.Args[0]); obj != nil {
+						ci.closes[obj] = true
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			// ch := make(chan T[, n]) and ch = make(chan T[, n])
+			for i, rhs := range n.Rhs {
+				if i >= len(n.Lhs) {
+					break
+				}
+				buffered, ok := makeChanExpr(p, rhs)
+				if !ok {
+					continue
+				}
+				if obj := p.chanObject(n.Lhs[i]); obj != nil {
+					ci.recordMake(obj, buffered)
+				}
+			}
+		case *ast.CompositeLit:
+			// Struct{ch: make(chan T, n)}: the key identifier resolves to
+			// the field object.
+			for _, elt := range n.Elts {
+				kv, ok := elt.(*ast.KeyValueExpr)
+				if !ok {
+					continue
+				}
+				buffered, ok := makeChanExpr(p, kv.Value)
+				if !ok {
+					continue
+				}
+				if key, ok := kv.Key.(*ast.Ident); ok {
+					if obj := p.Info.Uses[key]; obj != nil {
+						ci.recordMake(obj, buffered)
+					}
+				}
+			}
+		case *ast.ValueSpec:
+			for i, v := range n.Values {
+				if i >= len(n.Names) {
+					break
+				}
+				buffered, ok := makeChanExpr(p, v)
+				if !ok {
+					continue
+				}
+				if obj := p.Info.Defs[n.Names[i]]; obj != nil {
+					ci.recordMake(obj, buffered)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// recordMake tallies one make site for a channel object.
+func (ci *concInfo) recordMake(obj types.Object, buffered bool) {
+	f := ci.makes[obj]
+	if f == nil {
+		f = &makeFacts{}
+		ci.makes[obj] = f
+	}
+	if buffered {
+		f.buffered++
+	} else {
+		f.unbuffered++
+	}
+}
+
+// makeChanExpr reports whether e is a make(chan ...) call and whether
+// it has a capacity argument.
+func makeChanExpr(p *Package, e ast.Expr) (buffered, ok bool) {
+	call, isCall := ast.Unparen(e).(*ast.CallExpr)
+	if !isCall {
+		return false, false
+	}
+	id, isIdent := ast.Unparen(call.Fun).(*ast.Ident)
+	if !isIdent || id.Name != "make" || !isBuiltinUse(p, id) || len(call.Args) == 0 {
+		return false, false
+	}
+	if tv, found := p.Info.Types[call.Args[0]]; found {
+		if _, isChan := tv.Type.Underlying().(*types.Chan); !isChan {
+			return false, false
+		}
+	} else {
+		return false, false
+	}
+	return len(call.Args) >= 2, true
+}
+
+// isBuiltinUse reports whether id resolves to a predeclared builtin
+// (go/types records builtins in Uses as *types.Builtin; any other
+// object means a shadowing declaration).
+func isBuiltinUse(p *Package, id *ast.Ident) bool {
+	obj := p.Info.Uses[id]
+	if obj == nil {
+		return true
+	}
+	_, ok := obj.(*types.Builtin)
+	return ok
+}
+
+// bufferedProof reports whether every observed make site for the
+// channel object is buffered (and at least one was observed).
+func (ci *concInfo) bufferedProof(obj types.Object) bool {
+	f := ci.makes[obj]
+	return f != nil && f.unbuffered == 0 && f.buffered > 0
+}
+
+// chanObject resolves a channel-valued expression to the variable or
+// field object that names it: `ch` -> var ch, `w.ch` -> field ch.
+// Returns nil for unresolvable shapes (function results, index
+// expressions over maps, ...).
+func (p *Package) chanObject(e ast.Expr) types.Object {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if obj := p.Info.Uses[e]; obj != nil {
+			return obj
+		}
+		return p.Info.Defs[e]
+	case *ast.SelectorExpr:
+		if obj := p.Info.Uses[e.Sel]; obj != nil {
+			return obj
+		}
+	}
+	return nil
+}
+
+// --- lock identity and may-hold dataflow ----------------------------------
+
+// lockMethod resolves a call to (*sync.Mutex)/(*sync.RWMutex)
+// Lock/RLock/Unlock/RUnlock. delta is +1 for acquire, -1 for release.
+// obj is the lock variable or field's object (nil when the receiver is
+// unresolvable, e.g. a function result).
+func lockMethod(p *Package, call *ast.CallExpr) (obj types.Object, delta int, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return nil, 0, false
+	}
+	fn, isFn := p.Info.Uses[sel.Sel].(*types.Func)
+	if !isFn {
+		return nil, 0, false
+	}
+	m, found := mutexMethods[fn.FullName()]
+	if !found {
+		return nil, 0, false
+	}
+	return p.chanObject(sel.X), m.delta, true
+}
+
+// lockName renders a lock object for diagnostics: "Type.field" for a
+// struct field, "var name" for a variable.
+func lockName(obj types.Object) string {
+	if obj == nil {
+		return "a mutex"
+	}
+	if v, ok := obj.(*types.Var); ok && v.IsField() {
+		// Walk the package scope for the named type owning the field so
+		// the message reads "partition.mu" instead of bare "mu".
+		if v.Pkg() != nil {
+			scope := v.Pkg().Scope()
+			for _, name := range scope.Names() {
+				tn, isType := scope.Lookup(name).(*types.TypeName)
+				if !isType {
+					continue
+				}
+				named, isNamed := tn.Type().(*types.Named)
+				if !isNamed {
+					continue
+				}
+				st, isStruct := named.Underlying().(*types.Struct)
+				if !isStruct {
+					continue
+				}
+				for i := 0; i < st.NumFields(); i++ {
+					if st.Field(i) == v {
+						return tn.Name() + "." + v.Name()
+					}
+				}
+			}
+		}
+		return v.Name()
+	}
+	return obj.Name()
+}
+
+// analyzeLocks runs the may-hold dataflow over one function's CFG and
+// records: the held set at every call/send/receive/range node, the
+// locks the function acquires, and the calls it makes under a lock.
+func (ci *concInfo) analyzeLocks(p *Package, node *FuncNode) {
+	body := node.Decl.Body
+	heldAt := ci.runLockFlow(p, ci.cfgFor(body))
+	ci.held[body] = heldAt
+
+	// Summarize for the call graph: direct acquisitions and calls made
+	// while holding something.
+	seenAcq := map[types.Object]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, isLit := n.(*ast.FuncLit); isLit && n != body {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if obj, delta, isLock := lockMethod(p, call); isLock && delta > 0 && obj != nil && !seenAcq[obj] {
+			seenAcq[obj] = true
+			ci.acquires[node.Fn] = append(ci.acquires[node.Fn], obj)
+		}
+		return true
+	})
+	for _, cs := range node.Calls {
+		if held := heldAt[cs.Call]; len(held) > 0 {
+			ci.lockedCalls = append(ci.lockedCalls, lockedCall{
+				caller: node.Fn, callee: cs.Callee, held: held, pos: cs.Call.Pos(),
+			})
+		}
+	}
+}
+
+// transfer walks one block node in AST order, recording the held set
+// before every call, send, receive, and range, and applying
+// lock/unlock effects as they execute. Nested function literals are
+// skipped (their bodies run at another time); deferred unlocks do not
+// release mid-body (the lock stays held until exit).
+func (ci *concInfo) transfer(p *Package, n ast.Node, state map[types.Object]token.Pos, heldAt map[ast.Node][]lockAcq) {
+	if d, isDefer := n.(*ast.DeferStmt); isDefer {
+		// The deferred call itself runs at exit; only record the held
+		// set for a deferred lock-method call's arguments evaluation —
+		// cheap approximation: skip entirely.
+		_ = d
+		return
+	}
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.SelectStmt:
+			// The head block carries the whole select node, but its comm
+			// ops and case bodies execute in their own CFG blocks.
+			return false
+		case *ast.CallExpr:
+			heldAt[m] = snapshotLocks(state)
+			// Arguments (possibly containing calls) were visited before
+			// this returns; effects apply after recording.
+			if obj, delta, isLock := lockMethod(p, m); isLock {
+				if obj == nil {
+					return true
+				}
+				if delta > 0 {
+					state[obj] = m.Pos()
+				} else {
+					delete(state, obj)
+				}
+			}
+		case *ast.SendStmt:
+			heldAt[m] = snapshotLocks(state)
+		case *ast.UnaryExpr:
+			if m.Op == token.ARROW {
+				heldAt[m] = snapshotLocks(state)
+			}
+		case *ast.RangeStmt:
+			heldAt[m] = snapshotLocks(state)
+			// Only the range expression belongs to this node's block;
+			// the body has its own blocks.
+			ast.Inspect(m.X, func(x ast.Node) bool {
+				if call, ok := x.(*ast.CallExpr); ok {
+					heldAt[call] = snapshotLocks(state)
+				}
+				return true
+			})
+			return false
+		}
+		return true
+	})
+}
+
+// snapshotLocks freezes the current held set, sorted for determinism.
+func snapshotLocks(state map[types.Object]token.Pos) []lockAcq {
+	if len(state) == 0 {
+		return nil
+	}
+	out := make([]lockAcq, 0, len(state))
+	for obj, pos := range state {
+		out = append(out, lockAcq{obj: obj, pos: pos})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].pos != out[j].pos {
+			return out[i].pos < out[j].pos
+		}
+		return lockName(out[i].obj) < lockName(out[j].obj)
+	})
+	return out
+}
+
+// copyLockState clones a block-entry state.
+func copyLockState(s map[types.Object]token.Pos) map[types.Object]token.Pos {
+	out := make(map[types.Object]token.Pos, len(s))
+	for k, v := range s {
+		out[k] = v
+	}
+	return out
+}
+
+// mergeLockState unions state into block b's entry state, reporting
+// whether anything changed (the fixpoint trigger).
+func mergeLockState(in map[*Block]map[types.Object]token.Pos, b *Block, state map[types.Object]token.Pos) bool {
+	have := in[b]
+	if have == nil {
+		in[b] = copyLockState(state)
+		return true
+	}
+	changed := false
+	for k, v := range state {
+		if _, ok := have[k]; !ok {
+			have[k] = v
+			changed = true
+		}
+	}
+	return changed
+}
+
+// heldFor returns the may-held locks recorded for a node inside body,
+// running the lock analysis for function-literal bodies on demand.
+func (ci *concInfo) heldFor(p *Package, body *ast.BlockStmt, n ast.Node) []lockAcq {
+	m, ok := ci.held[body]
+	if !ok {
+		// Function literals aren't call-graph nodes; analyze on demand.
+		m = ci.runLockFlow(p, ci.cfgFor(body))
+		ci.held[body] = m
+	}
+	return m[n]
+}
+
+// runLockFlow is the forward may-hold fixpoint over one CFG: block
+// entry states merge by union, and every interesting node gets its
+// held-before snapshot.
+func (ci *concInfo) runLockFlow(p *Package, cfg *CFG) map[ast.Node][]lockAcq {
+	heldAt := map[ast.Node][]lockAcq{}
+	in := map[*Block]map[types.Object]token.Pos{}
+	in[cfg.Entry] = map[types.Object]token.Pos{}
+	work := []*Block{cfg.Entry}
+	for len(work) > 0 {
+		b := work[len(work)-1]
+		work = work[:len(work)-1]
+		state := copyLockState(in[b])
+		for _, n := range b.Nodes {
+			ci.transfer(p, n, state, heldAt)
+		}
+		for _, s := range b.Succs {
+			if mergeLockState(in, s, state) {
+				work = append(work, s)
+			}
+		}
+	}
+	return heldAt
+}
+
+// acqClosure returns every lock acquired by fn or its in-package
+// transitive callees.
+func (ci *concInfo) acqClosure(fn *types.Func) []types.Object {
+	seen := map[types.Object]bool{}
+	var out []types.Object
+	add := func(f *types.Func) {
+		for _, obj := range ci.acquires[f] {
+			if !seen[obj] {
+				seen[obj] = true
+				out = append(out, obj)
+			}
+		}
+	}
+	add(fn)
+	for callee := range ci.graph.Reach(fn) {
+		add(callee)
+	}
+	sort.Slice(out, func(i, j int) bool { return lockName(out[i]) < lockName(out[j]) })
+	return out
+}
+
+// lockedReach returns, for each in-package function, an example locked
+// call site from which it is reachable (the caller already holds a
+// lock). Used to escalate channel findings that sit on a path under a
+// mutex.
+func (ci *concInfo) lockedReach() map[*types.Func]lockedCall {
+	out := map[*types.Func]lockedCall{}
+	for _, lc := range ci.lockedCalls {
+		if _, seen := out[lc.callee]; !seen {
+			out[lc.callee] = lc
+		}
+		for f := range ci.graph.Reach(lc.callee) {
+			if _, seen := out[f]; !seen {
+				out[f] = lc
+			}
+		}
+	}
+	return out
+}
+
+// --- cancellation classification ------------------------------------------
+
+// doneChanNames matches channel identifiers that conventionally signal
+// shutdown; a select case receiving from one counts as a cancellation
+// case.
+func isDoneChanName(name string) bool {
+	lower := strings.ToLower(name)
+	for _, w := range []string{"done", "stop", "quit", "close", "closing", "shutdown", "cancel", "exit"} {
+		if strings.Contains(lower, w) {
+			return true
+		}
+	}
+	return false
+}
+
+// isCtxDoneCall reports whether e is a call to context.Context.Done.
+func isCtxDoneCall(p *Package, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	fn := p.calleeFunc(call)
+	return fn != nil && fn.Name() == "Done" && fn.Pkg() != nil && fn.Pkg().Path() == "context"
+}
+
+// isTimeChan reports whether e produces a time-bounded channel:
+// time.After(...), time.Tick(...), or the C field of a Timer/Ticker.
+func isTimeChan(p *Package, e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.CallExpr:
+		fn := p.calleeFunc(e)
+		return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "time" &&
+			(fn.Name() == "After" || fn.Name() == "Tick")
+	case *ast.SelectorExpr:
+		if e.Sel.Name != "C" {
+			return false
+		}
+		if obj, ok := p.Info.Uses[e.Sel].(*types.Var); ok && obj.Pkg() != nil {
+			return obj.Pkg().Path() == "time"
+		}
+	}
+	return false
+}
+
+// isCancellationRecv reports whether a receive operand is a
+// cancellation signal: ctx.Done(), a done-named channel, or a
+// time-bounded channel.
+func isCancellationRecv(p *Package, e ast.Expr) bool {
+	if isCtxDoneCall(p, e) || isTimeChan(p, e) {
+		return true
+	}
+	if obj := p.chanObject(e); obj != nil && isDoneChanName(obj.Name()) {
+		return true
+	}
+	return false
+}
+
+// selectHasEscape reports whether a select statement has a default
+// case or a cancellation case — either way, the select cannot block
+// forever waiting on unready work channels alone.
+func selectHasEscape(p *Package, s *ast.SelectStmt) bool {
+	for _, cs := range s.Body.List {
+		cc, ok := cs.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		if cc.Comm == nil {
+			return true // default case
+		}
+		if recvOperand := commRecvOperand(cc.Comm); recvOperand != nil && isCancellationRecv(p, recvOperand) {
+			return true
+		}
+	}
+	return false
+}
+
+// commRecvOperand extracts the channel expression of a receive comm
+// clause (`<-ch`, `v := <-ch`, `v, ok := <-ch`), or nil for sends.
+func commRecvOperand(comm ast.Stmt) ast.Expr {
+	var expr ast.Expr
+	switch s := comm.(type) {
+	case *ast.ExprStmt:
+		expr = s.X
+	case *ast.AssignStmt:
+		if len(s.Rhs) == 1 {
+			expr = s.Rhs[0]
+		}
+	}
+	if u, ok := ast.Unparen(expr).(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+		return u.X
+	}
+	return nil
+}

@@ -154,3 +154,18 @@ func TestGoldenDocComments(t *testing.T) {
 	p := loadGolden(t, "testdata/src/doccomments/pkg", "etap/goldendoc")
 	checkGolden(t, p, "doc-comments", SeverityWarning)
 }
+
+func TestGoldenGoroutineLifecycle(t *testing.T) {
+	p := loadGolden(t, "testdata/src/goroutine/pkg", "etap/internal/goldengoroutine")
+	checkGolden(t, p, "goroutine-lifecycle", SeverityError)
+}
+
+func TestGoldenLockOrder(t *testing.T) {
+	p := loadGolden(t, "testdata/src/lockorder/pkg", "etap/goldenlockorder")
+	checkGolden(t, p, "lock-order", SeverityError)
+}
+
+func TestGoldenChannelDiscipline(t *testing.T) {
+	p := loadGolden(t, "testdata/src/channel/pkg", "etap/internal/goldenchan")
+	checkGolden(t, p, "channel-discipline", SeverityWarning)
+}

@@ -110,6 +110,10 @@ type Package struct {
 	// Info carries the type-checker's expression, object, and
 	// selection facts for Files.
 	Info *types.Info
+
+	// conc lazily caches the shared concurrency analysis (call graph,
+	// CFGs, lock dataflow) the flow-aware rules consume.
+	conc *concInfo
 }
 
 // pos resolves a node's position within the package's file set.

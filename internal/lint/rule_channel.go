@@ -1,0 +1,274 @@
+// The channel-discipline rule: finds sends, receives, selects, and
+// range loops in internal/... that can block forever. A blocking op is
+// acceptable when the analysis can see its escape hatch:
+//
+//   - the op is a select case and the select has a default or a
+//     cancellation case (ctx.Done(), a done/stop/quit channel, a
+//     time-bounded channel),
+//   - a send's channel has a buffered-capacity proof (every make site
+//     in the package gives it capacity) — unless a mutex is held, where
+//     capacity only defers the block,
+//   - a send's enclosing declared function spawns goroutine workers
+//     that range over the same channel (the worker-pool feeder shape:
+//     receivers provably exist for as long as the feed loop runs),
+//   - a receive's channel is a cancellation signal itself, or the
+//     package provably close()s it (termination by close),
+//   - a range loop's channel is close()d somewhere in the package.
+//
+// Ops that clear none of these are flagged, with the message escalated
+// when the CFG's may-hold analysis shows a mutex held at the op — or
+// when the call graph shows the op's function is reachable from a call
+// made under a lock — because a blocked goroutine holding a lock turns
+// one stall into a pile-up.
+
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+type channelDisciplineRule struct{}
+
+func (channelDisciplineRule) Name() string { return "channel-discipline" }
+
+func (channelDisciplineRule) Doc() string {
+	return "channel ops in internal/... must have a visible non-blocking escape: cancellation select, buffered proof (sends), or close discipline (receives/range)"
+}
+
+func (r channelDisciplineRule) Check(p *Package) []Finding {
+	if !pathHasSegment(p.Path, "internal") {
+		return nil
+	}
+	ci := p.concurrency()
+	lockedFns := ci.lockedReach()
+	var out []Finding
+	add := func(n ast.Node, format string, args ...any) {
+		out = append(out, Finding{
+			Rule:     r.Name(),
+			Severity: SeverityWarning,
+			Pos:      p.pos(n),
+			Message:  fmt.Sprintf(format, args...),
+		})
+	}
+
+	p.inspect(func(n ast.Node, stack []ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SelectStmt:
+			if !selectHasEscape(p, n) && !selectRecvHasCloseProof(p, ci, n) {
+				add(n, "select has no default case, no cancellation case, and no receive on a package-closed channel; every path through it can block forever%s", r.lockContext(p, ci, stack, n, lockedFns))
+			}
+		case *ast.SendStmt:
+			if isSelectComm(stack, n) {
+				return true
+			}
+			obj := p.chanObject(n.Chan)
+			held := r.heldAt(p, ci, stack, n)
+			if len(held) > 0 {
+				add(n, "blocking send on %s while %s is held (acquired at %s); a full channel stalls every other taker of the lock — use a select or move the send outside the critical section",
+					chanDesc(p, obj, n.Chan), lockName(held[0].obj), p.posOf(held[0].pos))
+				return true
+			}
+			if obj != nil && ci.bufferedProof(obj) {
+				return true
+			}
+			if hasLocalRangeWorker(p, stack, obj) {
+				return true
+			}
+			add(n, "blocking send on %s with no select around it, no buffered-capacity proof, and no local range workers; if the receiver is gone this goroutine leaks%s",
+				chanDesc(p, obj, n.Chan), r.reachContext(p, stack, lockedFns))
+		case *ast.UnaryExpr:
+			if n.Op != token.ARROW || isSelectComm(stack, n) {
+				return true
+			}
+			if isCancellationRecv(p, n.X) {
+				return true
+			}
+			obj := p.chanObject(n.X)
+			if obj != nil && ci.closes[obj] {
+				return true
+			}
+			held := r.heldAt(p, ci, stack, n)
+			if len(held) > 0 {
+				add(n, "blocking receive on %s while %s is held (acquired at %s); if the sender is gone every other taker of the lock stalls too — receive before locking or use a cancellation select",
+					chanDesc(p, obj, n.X), lockName(held[0].obj), p.posOf(held[0].pos))
+				return true
+			}
+			add(n, "blocking receive on %s with no cancellation path and no close() of it in this package; if the sender is gone this goroutine leaks%s",
+				chanDesc(p, obj, n.X), r.reachContext(p, stack, lockedFns))
+		case *ast.RangeStmt:
+			tv, ok := p.Info.Types[n.X]
+			if !ok || tv.Type == nil {
+				return true
+			}
+			if _, isChan := tv.Type.Underlying().(*types.Chan); !isChan {
+				return true
+			}
+			obj := p.chanObject(n.X)
+			if obj != nil && ci.closes[obj] {
+				return true
+			}
+			add(n, "range over %s never terminates: no close() of it anywhere in this package — close it on the producer's shutdown path%s",
+				chanDesc(p, obj, n.X), r.reachContext(p, stack, lockedFns))
+		}
+		return true
+	})
+	return out
+}
+
+// heldAt resolves the may-held lock set at a node, using the nearest
+// enclosing function or literal body.
+func (channelDisciplineRule) heldAt(p *Package, ci *concInfo, stack []ast.Node, n ast.Node) []lockAcq {
+	body := enclosingBody(stack)
+	if body == nil {
+		return nil
+	}
+	return ci.heldFor(p, body, n)
+}
+
+// lockContext renders the held-lock suffix for select findings.
+func (r channelDisciplineRule) lockContext(p *Package, ci *concInfo, stack []ast.Node, n ast.Node, lockedFns map[*types.Func]lockedCall) string {
+	if held := r.heldAt(p, ci, stack, n); len(held) > 0 {
+		return fmt.Sprintf(" — and %s is held here (acquired at %s)", lockName(held[0].obj), p.posOf(held[0].pos))
+	}
+	return r.reachContext(p, stack, lockedFns)
+}
+
+// reachContext notes when the op's enclosing function is reachable
+// from a call made while a mutex was held, per the call graph.
+func (channelDisciplineRule) reachContext(p *Package, stack []ast.Node, lockedFns map[*types.Func]lockedCall) string {
+	fn := enclosingFunc(p, stack)
+	if fn == nil {
+		return ""
+	}
+	lc, ok := lockedFns[fn]
+	if !ok {
+		return ""
+	}
+	return fmt.Sprintf(" — and %s is reachable while %s is held (call at %s)",
+		fn.Name(), lockName(lc.held[0].obj), p.posOf(lc.pos))
+}
+
+// posOf renders a token.Pos as short file:line for messages.
+func (p *Package) posOf(pos token.Pos) string {
+	position := p.Fset.Position(pos)
+	return fmt.Sprintf("%s:%d", shortFile(position.Filename), position.Line)
+}
+
+// chanDesc names a channel for diagnostics.
+func chanDesc(p *Package, obj types.Object, e ast.Expr) string {
+	if obj != nil {
+		return "channel " + obj.Name()
+	}
+	s := types.ExprString(e)
+	if len(s) > 40 {
+		s = s[:40] + "..."
+	}
+	return "channel " + s
+}
+
+// isSelectComm reports whether n is (part of) the comm statement of an
+// enclosing select case — those are judged at the select level.
+func isSelectComm(stack []ast.Node, n ast.Node) bool {
+	for _, a := range stack {
+		cc, ok := a.(*ast.CommClause)
+		if !ok || cc.Comm == nil {
+			continue
+		}
+		if n.Pos() >= cc.Comm.Pos() && n.End() <= cc.Comm.End() {
+			return true
+		}
+	}
+	return false
+}
+
+// selectRecvHasCloseProof reports whether any receive case of the
+// select reads a channel the package close()s — the close makes that
+// case eventually ready, so the select terminates.
+func selectRecvHasCloseProof(p *Package, ci *concInfo, s *ast.SelectStmt) bool {
+	for _, cs := range s.Body.List {
+		cc, ok := cs.(*ast.CommClause)
+		if !ok || cc.Comm == nil {
+			continue
+		}
+		if operand := commRecvOperand(cc.Comm); operand != nil {
+			if obj := p.chanObject(operand); obj != nil && ci.closes[obj] {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// hasLocalRangeWorker reports whether the outermost enclosing declared
+// function spawns a goroutine literal that ranges over the same
+// channel object — the worker-pool feeder shape, where the spawned
+// receivers provably outlive the feed loop (they exit only when the
+// feeder close()s the channel).
+func hasLocalRangeWorker(p *Package, stack []ast.Node, obj types.Object) bool {
+	if obj == nil {
+		return false
+	}
+	var body *ast.BlockStmt
+	for _, n := range stack {
+		if fd, ok := n.(*ast.FuncDecl); ok {
+			body = fd.Body
+			break
+		}
+	}
+	if body == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		g, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		lit, ok := g.Call.Fun.(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		ast.Inspect(lit.Body, func(m ast.Node) bool {
+			if r, ok := m.(*ast.RangeStmt); ok && p.chanObject(r.X) == obj {
+				found = true
+			}
+			return !found
+		})
+		return true
+	})
+	return found
+}
+
+// enclosingBody finds the nearest enclosing function or literal body.
+func enclosingBody(stack []ast.Node) *ast.BlockStmt {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch f := stack[i].(type) {
+		case *ast.FuncLit:
+			return f.Body
+		case *ast.FuncDecl:
+			return f.Body
+		}
+	}
+	return nil
+}
+
+// enclosingFunc finds the nearest enclosing *declared* function (nil
+// inside a bare literal), for call-graph reachability lookups.
+func enclosingFunc(p *Package, stack []ast.Node) *types.Func {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch f := stack[i].(type) {
+		case *ast.FuncLit:
+			return nil
+		case *ast.FuncDecl:
+			fn, _ := p.Info.Defs[f.Name].(*types.Func)
+			return fn
+		}
+	}
+	return nil
+}

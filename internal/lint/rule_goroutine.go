@@ -1,0 +1,160 @@
+// The goroutine-lifecycle rule: PR 8 fixed a real bug where an
+// unsubscribe race resurrected a delivery worker — a goroutine nobody
+// owned anymore. This rule makes ownership checkable: every `go`
+// statement in internal/... must tie the spawned goroutine to a
+// shutdown mechanism the analysis can see —
+//
+//   - a sync.WaitGroup the body calls Done (or Wait) on,
+//   - a cancellation select reachable in the spawned body (ctx.Done(),
+//     a done/stop/quit channel, a time-bounded channel, or a default
+//     case),
+//   - a receive from a cancellation channel,
+//   - a range loop over a channel (terminates when the producer
+//     closes; the channel-discipline rule checks the close exists), or
+//   - an allowlisted bounded-lifetime callee.
+//
+// The search is flow-aware: the spawned body is resolved through the
+// intra-package call graph, so a goroutine whose cancellation select
+// lives two calls deep still passes, and one that spawns a function
+// with no reachable shutdown path is flagged at the `go` statement.
+
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// goroutineAllowlist names functions with a provably bounded lifetime
+// that are acceptable `go` targets without visible shutdown plumbing.
+// Keyed by types.Func.FullName. Kept deliberately short: an entry here
+// is a reviewed claim that the callee always returns promptly.
+var goroutineAllowlist = map[string]string{
+	// (none currently; suppress with //etaplint:ignore and a reason for
+	// one-off bounded spawns, or add a reviewed entry here.)
+}
+
+type goroutineLifecycleRule struct{}
+
+func (goroutineLifecycleRule) Name() string { return "goroutine-lifecycle" }
+
+func (goroutineLifecycleRule) Doc() string {
+	return "every `go` statement in internal/... must be tied to a shutdown mechanism (WaitGroup, cancellation select, close-terminated range, or allowlisted bounded callee)"
+}
+
+func (r goroutineLifecycleRule) Check(p *Package) []Finding {
+	if !pathHasSegment(p.Path, "internal") {
+		return nil
+	}
+	ci := p.concurrency()
+	var out []Finding
+	p.inspect(func(n ast.Node, stack []ast.Node) bool {
+		g, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		if reason, tied := spawnEvidence(p, ci, g.Call); !tied {
+			out = append(out, Finding{
+				Rule:     r.Name(),
+				Severity: SeverityError,
+				Pos:      p.pos(g),
+				Message:  reason,
+			})
+		}
+		return true
+	})
+	return out
+}
+
+// spawnEvidence resolves a go statement's call to its spawned body and
+// searches it (transitively, through the intra-package call graph) for
+// lifecycle evidence. It returns tied=true when evidence is found,
+// else a message explaining what is missing.
+func spawnEvidence(p *Package, ci *concInfo, call *ast.CallExpr) (string, bool) {
+	const want = "tie it to a sync.WaitGroup, a cancellation select (ctx.Done()/done channel/default), a close-terminated range over a channel, or add it to the reviewed bounded-lifetime allowlist"
+	if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		if bodyHasLifecycleEvidence(p, ci, lit.Body, map[*types.Func]bool{}) {
+			return "", true
+		}
+		return "goroutine has no reachable shutdown mechanism: " + want, false
+	}
+	fn := p.calleeFunc(call)
+	if fn == nil {
+		return "goroutine spawns through a function value the analysis cannot resolve: " + want + ", or spawn a named function", false
+	}
+	if _, ok := goroutineAllowlist[fn.FullName()]; ok {
+		return "", true
+	}
+	node := ci.graph.Nodes[fn]
+	if node == nil {
+		return fmt.Sprintf("goroutine spawns %s, whose body is outside this package and not on the bounded-lifetime allowlist: %s", fn.FullName(), want), false
+	}
+	if bodyHasLifecycleEvidence(p, ci, node.Decl.Body, map[*types.Func]bool{fn: true}) {
+		return "", true
+	}
+	return fmt.Sprintf("goroutine %s has no reachable shutdown mechanism: %s", fn.Name(), want), false
+}
+
+// bodyHasLifecycleEvidence walks one body — including nested function
+// literals (a deferred closure calling wg.Done counts) — looking for
+// shutdown evidence, recursing into in-package callees.
+func bodyHasLifecycleEvidence(p *Package, ci *concInfo, body ast.Node, visited map[*types.Func]bool) bool {
+	found := false
+	var callees []*types.Func
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if fn := p.calleeFunc(n); fn != nil {
+				if isWaitGroupMethod(fn, "Done") || isWaitGroupMethod(fn, "Wait") {
+					found = true
+					return false
+				}
+				if ci.graph.Nodes[fn] != nil && !visited[fn] {
+					callees = append(callees, fn)
+				}
+			}
+		case *ast.SelectStmt:
+			if selectHasEscape(p, n) {
+				found = true
+				return false
+			}
+		case *ast.RangeStmt:
+			if tv, ok := p.Info.Types[n.X]; ok && tv.Type != nil {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					found = true
+					return false
+				}
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW && isCancellationRecv(p, n.X) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	if found {
+		return true
+	}
+	for _, fn := range callees {
+		if visited[fn] {
+			continue
+		}
+		visited[fn] = true
+		if bodyHasLifecycleEvidence(p, ci, ci.graph.Nodes[fn].Decl.Body, visited) {
+			return true
+		}
+	}
+	return false
+}
+
+// isWaitGroupMethod reports whether fn is (*sync.WaitGroup).<name>.
+func isWaitGroupMethod(fn *types.Func, name string) bool {
+	return fn.Name() == name && fn.Pkg() != nil && fn.Pkg().Path() == "sync" &&
+		fn.FullName() == "(*sync.WaitGroup)."+name
+}

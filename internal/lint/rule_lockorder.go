@@ -1,0 +1,224 @@
+// The lock-order rule: derives a per-package lock-acquisition graph —
+// an edge A -> B whenever lock B may be acquired while A is held,
+// either in the same function (via the CFG may-hold dataflow) or
+// through a call made under A that reaches a function acquiring B (via
+// the intra-package call graph) — and reports every cycle as a
+// potential deadlock. Locks are identified by the go/types object of
+// the mutex variable or field, so every instance of `partition.mu`
+// maps to one node; the analysis deliberately conflates instances
+// (lock-order bugs between two instances of the same field are the
+// classic shard-deadlock, but ordered multi-instance locking is rare
+// enough here that self-edges are excluded to keep the rule quiet).
+
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// lockEdge is one observed "B acquired while A held" fact.
+type lockEdge struct {
+	from, to types.Object
+	pos      token.Pos
+	// via describes a call-graph edge ("via call to flush"); empty for
+	// a same-function acquisition.
+	via string
+}
+
+type lockOrderRule struct{}
+
+func (lockOrderRule) Name() string { return "lock-order" }
+
+func (lockOrderRule) Doc() string {
+	return "the per-package lock-acquisition graph (including acquisitions reached through calls) must be cycle-free"
+}
+
+func (r lockOrderRule) Check(p *Package) []Finding {
+	ci := p.concurrency()
+
+	// Force the lock analysis for function-literal bodies too: they
+	// are not call-graph nodes, but their critical sections order locks
+	// all the same.
+	p.inspect(func(n ast.Node, stack []ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			ci.heldFor(p, lit.Body, nil)
+		}
+		return true
+	})
+
+	// Collect edges: first same-function (held set at each acquire),
+	// then cross-function (calls made under a lock, closed over the
+	// call graph).
+	edges := map[[2]types.Object]lockEdge{}
+	addEdge := func(e lockEdge) {
+		key := [2]types.Object{e.from, e.to}
+		if have, ok := edges[key]; !ok || e.pos < have.pos {
+			edges[key] = e
+		}
+	}
+	for _, heldAt := range ci.held {
+		for n, held := range heldAt {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			obj, delta, isLock := lockMethod(p, call)
+			if !isLock || delta <= 0 || obj == nil {
+				continue
+			}
+			for _, a := range held {
+				if a.obj != obj {
+					addEdge(lockEdge{from: a.obj, to: obj, pos: call.Pos()})
+				}
+			}
+		}
+	}
+	for _, lc := range ci.lockedCalls {
+		for _, b := range ci.acqClosure(lc.callee) {
+			for _, a := range lc.held {
+				if a.obj != b {
+					addEdge(lockEdge{
+						from: a.obj, to: b, pos: lc.pos,
+						via: fmt.Sprintf("via call to %s", lc.callee.Name()),
+					})
+				}
+			}
+		}
+	}
+	if len(edges) == 0 {
+		return nil
+	}
+
+	// Cycle detection over the acquisition graph.
+	adj := map[types.Object][]types.Object{}
+	for key := range edges {
+		adj[key[0]] = append(adj[key[0]], key[1])
+	}
+	sccs := stronglyConnected(adj)
+
+	var out []Finding
+	for _, scc := range sccs {
+		if len(scc) < 2 {
+			continue
+		}
+		inSCC := map[types.Object]bool{}
+		for _, o := range scc {
+			inSCC[o] = true
+		}
+		// Gather the edges internal to the cycle, ordered by position.
+		var cyc []lockEdge
+		for key, e := range edges {
+			if inSCC[key[0]] && inSCC[key[1]] {
+				cyc = append(cyc, e)
+			}
+		}
+		sort.Slice(cyc, func(i, j int) bool { return cyc[i].pos < cyc[j].pos })
+		var parts []string
+		for _, e := range cyc {
+			pos := p.Fset.Position(e.pos)
+			loc := fmt.Sprintf("%s:%d", shortFile(pos.Filename), pos.Line)
+			if e.via != "" {
+				loc = e.via + " at " + loc
+			} else {
+				loc = "at " + loc
+			}
+			parts = append(parts, fmt.Sprintf("%s -> %s (%s)", lockName(e.from), lockName(e.to), loc))
+		}
+		names := make([]string, len(scc))
+		for i, o := range scc {
+			names[i] = lockName(o)
+		}
+		sort.Strings(names)
+		out = append(out, Finding{
+			Rule:     r.Name(),
+			Severity: SeverityError,
+			Pos:      p.Fset.Position(cyc[0].pos),
+			Message: fmt.Sprintf("locks %s are acquired in conflicting orders — %s — two goroutines interleaving these paths can deadlock",
+				strings.Join(names, ", "), strings.Join(parts, "; ")),
+		})
+	}
+	return out
+}
+
+// shortFile trims a path to its final element for in-message
+// positions (the finding's own Pos carries the full path).
+func shortFile(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}
+
+// stronglyConnected returns the strongly connected components of the
+// lock graph (Tarjan), deterministically ordered by lock name.
+func stronglyConnected(adj map[types.Object][]types.Object) [][]types.Object {
+	// Deterministic node order.
+	nodes := make([]types.Object, 0, len(adj))
+	seen := map[types.Object]bool{}
+	addNode := func(o types.Object) {
+		if !seen[o] {
+			seen[o] = true
+			nodes = append(nodes, o)
+		}
+	}
+	for from, tos := range adj {
+		addNode(from)
+		for _, to := range tos {
+			addNode(to)
+		}
+	}
+	sort.Slice(nodes, func(i, j int) bool { return lockName(nodes[i]) < lockName(nodes[j]) })
+	for _, tos := range adj {
+		sort.Slice(tos, func(i, j int) bool { return lockName(tos[i]) < lockName(tos[j]) })
+	}
+
+	index := map[types.Object]int{}
+	low := map[types.Object]int{}
+	onStack := map[types.Object]bool{}
+	var stack []types.Object
+	var sccs [][]types.Object
+	next := 0
+
+	var strong func(v types.Object)
+	strong = func(v types.Object) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, w := range adj[v] {
+			if _, visited := index[w]; !visited {
+				strong(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			var scc []types.Object
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				scc = append(scc, w)
+				if w == v {
+					break
+				}
+			}
+			sccs = append(sccs, scc)
+		}
+	}
+	for _, v := range nodes {
+		if _, visited := index[v]; !visited {
+			strong(v)
+		}
+	}
+	return sccs
+}

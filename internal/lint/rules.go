@@ -1,6 +1,8 @@
-// The built-in rule registry: the six repo-specific rules cmd/etaplint
-// ships, in report order. LINTING.md documents each with rationale,
-// example violations, and suppression guidance.
+// The built-in rule registry: the repo-specific rules cmd/etaplint
+// ships, in report order — six syntactic rules plus the three
+// flow-aware concurrency rules built on the CFG/call-graph layer.
+// LINTING.md documents each with rationale, example violations, and
+// suppression guidance.
 
 package lint
 
@@ -18,6 +20,9 @@ func Rules() []Rule {
 		errorSwallowingRule{},
 		contextPlumbingRule{},
 		mutexDisciplineRule{},
+		goroutineLifecycleRule{},
+		lockOrderRule{},
+		channelDisciplineRule{},
 		docCommentsRule{},
 	}
 }

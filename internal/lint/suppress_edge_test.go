@@ -1,0 +1,96 @@
+package lint
+
+import (
+	"go/token"
+	"os"
+	"strings"
+	"testing"
+)
+
+// lineOf returns the 1-based line of the first source line containing
+// marker.
+func lineOf(t *testing.T, path, marker string) int {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read %s: %v", path, err)
+	}
+	for i, line := range strings.Split(string(data), "\n") {
+		if strings.Contains(line, marker) {
+			return i + 1
+		}
+	}
+	t.Fatalf("%s: marker %q not found", path, marker)
+	return 0
+}
+
+// TestSuppressionEdgeCases pins the line-coverage semantics of the
+// directive parser on three awkward shapes: a directive on the first
+// line of a file, a directive inside a struct field list, and two
+// stacked directives over one statement.
+func TestSuppressionEdgeCases(t *testing.T) {
+	p := loadGolden(t, "testdata/src/suppress/edge/pkg", "etap/internal/goldensupedge")
+	sup, malformed := collectSuppressions(p)
+	if len(malformed) != 0 {
+		t.Fatalf("malformed directives in edge testdata:\n%s", dump(malformed))
+	}
+	file := p.Fset.Position(p.Files[0].Pos()).Filename
+
+	at := func(rule string, line int) bool {
+		return sup.covers(Finding{Rule: rule, Pos: token.Position{Filename: file, Line: line}})
+	}
+
+	// First-line directive: its own comment group on line 1, so it
+	// covers line 1 and line 2, and nothing further down — in
+	// particular not the package clause or the rest of the file.
+	pkgLine := lineOf(t, file, "package goldensupedge")
+	if !at("error-swallowing", 1) {
+		t.Error("first-line directive does not cover line 1")
+	}
+	if !at("error-swallowing", 2) {
+		t.Error("first-line directive does not cover the line after its group (line 2)")
+	}
+	if at("error-swallowing", pkgLine) {
+		t.Error("first-line directive leaked coverage to the package clause")
+	}
+	if at("error-swallowing", lineOf(t, file, "func Unsuppressed")+1) {
+		t.Error("first-line directive leaked coverage deep into the file")
+	}
+
+	// Field-list directive: the directive is the field's doc group, so
+	// it covers the field line after it.
+	fieldLine := lineOf(t, file, "Fallible func() error")
+	if !at("doc-comments", fieldLine) {
+		t.Errorf("field-list directive does not cover the field line %d", fieldLine)
+	}
+	if at("error-swallowing", fieldLine) {
+		t.Error("field-list directive covers a rule it does not name")
+	}
+
+	// Stacked directives: both rules cover the statement after the
+	// group, and each directive still covers its own line.
+	stmtLine := lineOf(t, file, "stacked 2") + 1
+	if !at("error-swallowing", stmtLine) {
+		t.Errorf("stacked directive 1 does not cover statement line %d", stmtLine)
+	}
+	if !at("context-plumbing", stmtLine) {
+		t.Errorf("stacked directive 2 does not cover statement line %d", stmtLine)
+	}
+	if at("determinism", stmtLine) {
+		t.Error("stacked directives cover a rule neither names")
+	}
+
+	// End to end: with the directives honored, exactly one
+	// error-swallowing finding (Unsuppressed's) survives.
+	rules, err := SelectRules("error-swallowing")
+	if err != nil {
+		t.Fatalf("SelectRules: %v", err)
+	}
+	findings := Run([]*Package{p}, rules)
+	if len(findings) != 1 {
+		t.Fatalf("findings = %d, want 1 (only Unsuppressed):\n%s", len(findings), dump(findings))
+	}
+	if findings[0].Pos.Line != lineOf(t, file, "func Unsuppressed")+1 {
+		t.Errorf("surviving finding at line %d, want Unsuppressed's call", findings[0].Pos.Line)
+	}
+}

@@ -1,0 +1,139 @@
+// Package goldenchan exercises the channel-discipline rule: blocking
+// sends/receives with no visible escape, selects with no default or
+// cancellation case, channel ops under a held mutex, and range loops
+// over never-closed channels are violations. Cancellation selects,
+// buffered-capacity proofs, and close-disciplined channels are clean.
+package goldenchan
+
+import (
+	"context"
+	"sync"
+)
+
+// Feed sends on a channel with no make site in the package (no
+// buffered proof) and no select around the send.
+func Feed(ch chan int) {
+	ch <- 1 // want "blocking send"
+}
+
+// FeedCtx is the sanctioned shape: a select with a cancellation case.
+func FeedCtx(ctx context.Context, ch chan int) {
+	select {
+	case ch <- 1:
+	case <-ctx.Done():
+	}
+}
+
+// Box proves its channel's capacity at the make site, so the plain
+// send is acceptable.
+type Box struct{ ch chan int }
+
+// NewBox allocates the buffered channel.
+func NewBox() *Box { return &Box{ch: make(chan int, 8)} }
+
+// Put sends with a buffered-capacity proof.
+func (b *Box) Put() { b.ch <- 1 }
+
+// Locked sends while holding its mutex: the capacity proof does not
+// rescue it, because a full buffer blocks with the lock held.
+type Locked struct {
+	mu sync.Mutex
+	ch chan int
+}
+
+// NewLocked allocates the (buffered!) channel.
+func NewLocked() *Locked { return &Locked{ch: make(chan int, 1)} }
+
+// Send performs the send inside the critical section.
+func (l *Locked) Send() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.ch <- 1 // want "while Locked.mu is held"
+}
+
+// Wait blocks on a receive with no cancellation path and no close()
+// of the channel anywhere in the package.
+func Wait(ch chan int) int {
+	return <-ch // want "blocking receive"
+}
+
+// Consume is clean: the package closes the channel it receives from
+// (the closing goroutine captures the same variable, so the close
+// proof attaches to the same object).
+func Consume() {
+	ch := make(chan int)
+	go func() {
+		close(ch)
+	}()
+	<-ch
+}
+
+// ConsumeAliased shows the analysis' aliasing limit: the close happens
+// on closeIt's own parameter, a different object, so no proof carries
+// back to the caller's receive.
+func ConsumeAliased() {
+	ch := make(chan int)
+	go closeIt(ch)
+	<-ch // want "blocking receive"
+}
+
+// closeIt closes its parameter.
+func closeIt(ch chan int) {
+	close(ch)
+}
+
+// DrainForever ranges over a channel no one ever closes.
+func DrainForever(ch2 chan string) {
+	for range ch2 { // want "range over channel ch2 never terminates"
+	}
+}
+
+// DrainClosed is the clean worker-pool feeder: the spawned goroutine
+// ranges over the same channel (receiver-liveness proof for the send)
+// and the feeder closes it (termination proof for the range).
+func DrainClosed() {
+	jobs := make(chan int)
+	go func() {
+		for range jobs {
+		}
+	}()
+	for i := 0; i < 4; i++ {
+		jobs <- i
+	}
+	close(jobs)
+}
+
+// FeedWrongPool spawns workers, but they drain a different channel —
+// no receiver proof carries over to ch.
+func FeedWrongPool(ch, other chan int) {
+	defer close(other)
+	go func() {
+		for range other {
+		}
+	}()
+	ch <- 1 // want "blocking send"
+}
+
+// Shuttle's select has two work cases and no way out.
+func Shuttle(a, b chan int) {
+	select { // want "select has no default case"
+	case <-a:
+	case b <- 1:
+	}
+}
+
+// Offer is clean: the default case makes the select non-blocking.
+func Offer(ch chan int, v int) bool {
+	select {
+	case ch <- v:
+		return true
+	default:
+		return false
+	}
+}
+
+// WaitDone is clean: receiving from a done-named channel is a
+// cancellation wait by convention.
+func WaitDone(done chan struct{}) {
+	<-done
+}

@@ -1,0 +1,99 @@
+// Package goldengoroutine exercises the goroutine-lifecycle rule:
+// goroutines with no reachable shutdown mechanism are violations;
+// WaitGroup-tracked workers, cancellation selects (even ones buried a
+// few calls deep), and close-terminated range loops are clean.
+package goldengoroutine
+
+import (
+	"context"
+	"sync"
+)
+
+// work is a stand-in task.
+func work() {}
+
+// SpawnLeaky launches a goroutine nothing can ever stop.
+func SpawnLeaky() {
+	go func() { // want "no reachable shutdown mechanism"
+		for {
+			work()
+		}
+	}()
+}
+
+// SpawnTracked is the sanctioned worker-pool shape: WaitGroup Done in
+// a defer, work drained by a range the producer closes.
+func SpawnTracked(wg *sync.WaitGroup, jobs chan int) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for range jobs {
+			work()
+		}
+	}()
+}
+
+// SpawnCtx spawns a named function whose cancellation select sits two
+// calls deep — the call graph must find it.
+func SpawnCtx(ctx context.Context) {
+	go runLoop(ctx)
+}
+
+// runLoop delegates to inner.
+func runLoop(ctx context.Context) { inner(ctx) }
+
+// inner holds the actual cancellation select.
+func inner(ctx context.Context) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		default:
+			work()
+		}
+	}
+}
+
+// SpawnExternal spawns a function declared outside the package; the
+// analysis cannot see its body and it is not allowlisted.
+func SpawnExternal(m *sync.Mutex) {
+	go m.Lock() // want "outside this package"
+}
+
+// SpawnIndirect spawns through a function value the static analysis
+// cannot resolve.
+func SpawnIndirect(f func()) {
+	go f() // want "function value"
+}
+
+// SpawnRange is tied to its channel: the goroutine ends when the
+// producer closes ch.
+func SpawnRange(ch chan int) {
+	go func() {
+		for range ch {
+			work()
+		}
+	}()
+}
+
+// SpawnDoneChan waits on a conventional done channel — a cancellation
+// receive, not a leak.
+func SpawnDoneChan(done chan struct{}) {
+	go func() {
+		work()
+		<-done
+	}()
+}
+
+// SpawnNamedLeaky spawns a named in-package function with no shutdown
+// path at all.
+func SpawnNamedLeaky() {
+	go spin() // want "spin has no reachable shutdown mechanism"
+}
+
+// spin loops forever.
+func spin() {
+	for {
+		work()
+	}
+}

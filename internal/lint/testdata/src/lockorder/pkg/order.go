@@ -1,0 +1,86 @@
+// Package goldenlockorder exercises the lock-order rule: two package
+// mutexes taken in opposite orders form a cycle (A -> B in one
+// function, B -> A in another), as do two struct locks where one leg
+// of the cycle runs through an intra-package call. Locks that every
+// path acquires in one consistent order are clean.
+package goldenlockorder
+
+import "sync"
+
+var (
+	muA sync.Mutex
+	muB sync.Mutex
+)
+
+// TakeAB acquires muA then muB.
+func TakeAB() {
+	muA.Lock()
+	muB.Lock() // want "conflicting orders"
+	muB.Unlock()
+	muA.Unlock()
+}
+
+// TakeBA acquires muB then muA — the reverse order.
+func TakeBA() {
+	muB.Lock()
+	muA.Lock()
+	muA.Unlock()
+	muB.Unlock()
+}
+
+// Store and Cache deadlock through a call: Store.Flush holds Store.mu
+// across a call that takes Cache.mu, while Cache.Evict holds Cache.mu
+// across a direct acquisition of Store.mu.
+type Store struct {
+	mu    sync.Mutex
+	cache *Cache
+}
+
+// Cache is the second lock holder.
+type Cache struct {
+	mu    sync.Mutex
+	store *Store
+}
+
+// Flush holds Store.mu across a call into the cache.
+func (s *Store) Flush() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.cache.purge() // want "conflicting orders"
+}
+
+// purge acquires Cache.mu.
+func (c *Cache) purge() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+}
+
+// Evict holds Cache.mu and then takes Store.mu directly.
+func (c *Cache) Evict() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.store.mu.Lock()
+	c.store.mu.Unlock()
+}
+
+// Consistent order: every path takes muC before muD — no cycle.
+var (
+	muC sync.Mutex
+	muD sync.Mutex
+)
+
+// FirstCD acquires muC then muD.
+func FirstCD() {
+	muC.Lock()
+	muD.Lock()
+	muD.Unlock()
+	muC.Unlock()
+}
+
+// SecondCD also acquires muC then muD.
+func SecondCD() {
+	muC.Lock()
+	defer muC.Unlock()
+	muD.Lock()
+	defer muD.Unlock()
+}

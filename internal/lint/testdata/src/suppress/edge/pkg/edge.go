@@ -1,0 +1,33 @@
+//etaplint:ignore error-swallowing -- first-line directive: pins that a directive opening the file covers only its own line and the line after its comment group
+
+// Package goldensupedge pins suppression edge cases: a directive on
+// the first line of the file, a directive inside a struct field list,
+// and stacked directives covering one statement.
+package goldensupedge
+
+import "errors"
+
+// fallible is the violation generator for the tests below.
+func fallible() error { return errors.New("boom") }
+
+// Config exercises a directive attached inside a field list: the
+// directive's comment group is the field's doc, so it covers the field
+// line that follows it.
+type Config struct {
+	//etaplint:ignore doc-comments -- field-list directive: covers the Fallible field line below
+	Fallible func() error
+}
+
+// Stacked exercises two consecutive directives in one comment group:
+// each covers its own line and the statement after the group.
+func Stacked() {
+	//etaplint:ignore error-swallowing -- stacked 1: this call's error is deliberately best-effort
+	//etaplint:ignore context-plumbing -- stacked 2: both stacked directives must cover the next line
+	fallible()
+}
+
+// Unsuppressed keeps one live violation so the edge-case package still
+// proves the rule fires where no directive reaches.
+func Unsuppressed() {
+	fallible()
+}
