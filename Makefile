@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: ci vet build lint lint-bench test race race-alert race-trace race-index bench bench-index bench-alert bench-trace doccheck examples fmt-check
+.PHONY: ci vet build lint lint-bench test race race-alert race-trace race-index race-tenant bench bench-index bench-alert bench-trace doccheck examples fmt-check
 
 ci: vet build lint race
 
@@ -66,6 +66,13 @@ race-trace:
 # race-enabled as a dedicated CI step.
 race-index:
 	$(GO) test -race -count=1 -run 'Segment|Crash|Concurrent|Postings' ./internal/index
+
+# The multi-tenant path interleaves tenant CRUD, ICP-scoped /leads
+# reads, the tenant result cache, and alert fan-out with tenant-
+# filtered subscriptions; this runs the KB, tenant, serve, and alert
+# suites race-enabled as a dedicated CI step.
+race-tenant:
+	$(GO) test -race -count=1 ./internal/tenant ./internal/kb ./internal/serve ./internal/alert
 
 # One pass over every benchmark (quality numbers + observability overhead).
 bench:

@@ -4,9 +4,13 @@
 // -index it additionally builds the sharded search index over the
 // corpus and reports index statistics plus build time.
 //
+// With -kb it also generates the seed-deterministic company knowledge
+// base over the corpus company inventory and writes it as JSONL —
+// the file etapd loads with its own -kb flag.
+//
 // Usage:
 //
-//	corpusgen [-seed N] [-sample K] [-json]
+//	corpusgen [-seed N] [-sample K] [-json] [-kb kb.jsonl]
 //	          [-index] [-index-shards N] [-query-cache N]
 package main
 
@@ -19,6 +23,7 @@ import (
 
 	"etap/internal/core"
 	"etap/internal/corpus"
+	"etap/internal/kb"
 )
 
 func main() {
@@ -31,8 +36,19 @@ func main() {
 		doIndex   = flag.Bool("index", false, "build the search index and print its statistics")
 		shards    = flag.Int("index-shards", 0, "search-index shard count (0 = GOMAXPROCS)")
 		cacheSize = flag.Int("query-cache", 0, "query-result cache entries (0 = default, negative = disabled)")
+		kbPath    = flag.String("kb", "", "generate the company knowledge base from -seed and write it as JSONL to this path")
 	)
 	flag.Parse()
+
+	if *kbPath != "" {
+		k := kb.Generate(kb.Config{Seed: *seed})
+		if err := k.SaveFile(*kbPath); err != nil {
+			fmt.Fprintln(os.Stderr, "corpusgen:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("knowledge base: %d companies (seed %d) -> %s\n", k.Len(), *seed, *kbPath)
+		return
+	}
 
 	gen := corpus.NewGenerator(corpus.Config{
 		Seed:              *seed,

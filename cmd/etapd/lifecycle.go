@@ -1,8 +1,9 @@
 // Lifecycle hardening for etapd: signal-driven graceful shutdown with
 // a drain timeout, and revision-gated checkpointing (periodic and
 // on-shutdown) for every durable store the daemon owns — the lead
-// store and, with the alert subsystem enabled, the subscription set.
-// A SIGTERM never loses a review or a subscription.
+// store, the tenant registry, and, with the alert subsystem enabled,
+// the subscription set. A SIGTERM never loses a review, a
+// subscription, or an ICP profile.
 package main
 
 import (

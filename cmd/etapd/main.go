@@ -14,6 +14,7 @@
 //	      [-ingest-workers N] [-ingest-queue N] [-ingest-partitions N]
 //	      [-wal-dir dir] [-wal-fsync-batch N]
 //	      [-trace-sample 0.1] [-trace-store 256] [-lag-slo 0]
+//	      [-kb kb.jsonl] [-tenants tenants.jsonl]
 //
 // Streaming (default on, -alerts=false disables): POST /ingest feeds
 // documents through the extraction pipeline incrementally, deduped
@@ -43,6 +44,17 @@
 // -lag-slo sets a p99 budget on delivery lag (ingest accept → webhook
 // 2xx); exceeding it degrades /healthz.
 //
+// Multi-tenant ICP serving: the daemon always carries a company
+// knowledge base (industry, size, HQ, keywords, relationships) and a
+// tenant registry. -kb names the KB file — loaded when it exists,
+// otherwise generated from -seed and saved there; without the flag the
+// KB lives in RAM only (same bytes either way: generation is seed-
+// deterministic). Tenants CRUD under /tenants defines per-tenant
+// ideal-customer profiles; GET /leads?tenant={id} filters and re-ranks
+// against that tenant's ICP, and tenant-scoped alert subscriptions
+// apply the same ICP at fan-out time. -tenants names the profile store
+// (JSONL), checkpointed alongside leads and subscriptions.
+//
 // Index persistence: by default the search index is rebuilt in RAM at
 // startup. With -index-dir it is backed by immutable on-disk segments
 // under that directory (format specified in STORAGE.md): a restart
@@ -54,10 +66,10 @@
 // Lifecycle: SIGTERM or SIGINT triggers a graceful shutdown — the
 // listener stops accepting, in-flight requests drain for up to
 // -shutdown-timeout, queued documents finish processing, and the lead
-// store and subscription set are checkpointed so reviews, streamed
-// leads, and subscriptions survive the restart. While running, both
-// stores are also checkpointed every -checkpoint-interval (skipped
-// when nothing changed).
+// store, subscription set, and tenant registry are checkpointed so
+// reviews, streamed leads, subscriptions, and ICP profiles survive the
+// restart. While running, the stores are also checkpointed every
+// -checkpoint-interval (skipped when nothing changed).
 //
 // Observability:
 //
@@ -95,10 +107,12 @@ import (
 
 	"etap"
 	"etap/internal/alert"
+	"etap/internal/kb"
 	"etap/internal/obs"
 	"etap/internal/rank"
 	"etap/internal/serve"
 	"etap/internal/store"
+	"etap/internal/tenant"
 )
 
 // options collects the parsed command-line flags.
@@ -117,6 +131,9 @@ type options struct {
 	mergeFac   int
 	drain      time.Duration
 	checkpoint time.Duration
+
+	kbPath      string
+	tenantsPath string
 
 	alerts        bool
 	subsPath      string
@@ -147,6 +164,9 @@ func main() {
 		mergeFac   = flag.Int("merge-factor", 0, "tiered segment-merge fan-in (0 = default; with -index-dir)")
 		drain      = flag.Duration("shutdown-timeout", 10*time.Second, "grace period for in-flight requests on SIGTERM/SIGINT")
 		checkpoint = flag.Duration("checkpoint-interval", 30*time.Second, "how often to checkpoint the lead store to -leads (0 disables periodic saves)")
+
+		kbPath      = flag.String("kb", "", "company knowledge-base JSONL: loaded when present, else generated from -seed and saved (empty = in-RAM KB)")
+		tenantsPath = flag.String("tenants", "", "JSONL tenant-profile store to load (and keep checkpointing)")
 
 		alerts        = flag.Bool("alerts", true, "enable the streaming subsystem (/ingest, /subscriptions, /alerts/stream)")
 		subsPath      = flag.String("subscriptions", "", "JSONL subscription store to load (and keep checkpointing)")
@@ -184,6 +204,9 @@ func main() {
 		mergeFac:   *mergeFac,
 		drain:      *drain,
 		checkpoint: *checkpoint,
+
+		kbPath:      *kbPath,
+		tenantsPath: *tenantsPath,
 
 		alerts:        *alerts,
 		subsPath:      *subsPath,
@@ -286,6 +309,35 @@ func run(ctx context.Context, log *slog.Logger, opts options) error {
 
 	api := serve.New(sys, st)
 
+	// Knowledge base: load the persisted file when it exists, otherwise
+	// generate from the world seed (byte-deterministic, so a later load
+	// sees the same records) and persist it when a path was given.
+	kbase, err := loadOrGenerateKB(log, opts.kbPath, seed)
+	if err != nil {
+		return err
+	}
+	api.AttachKB(kbase)
+
+	// Tenant registry: ICP profiles behind /tenants, checkpointed like
+	// the lead store. Attached even without -tenants so the multi-tenant
+	// API works (profiles are just not durable then).
+	tenants := tenant.NewRegistry(tenant.Config{})
+	if opts.tenantsPath != "" {
+		tenants, err = tenant.LoadFile(opts.tenantsPath, tenant.Config{})
+		if err != nil {
+			return fmt.Errorf("loading tenants: %w", err)
+		}
+		log.Info("tenant registry loaded", "path", opts.tenantsPath, "tenants", tenants.Len())
+	}
+	api.AttachTenants(tenants)
+	var tenantsCP *checkpointer
+	if opts.tenantsPath != "" {
+		tenantsCP = newCheckpointer("tenants", opts.tenantsPath, tenants.Revision, tenants.SaveFile, log)
+		if opts.checkpoint > 0 {
+			go tenantsCP.run(ctx, opts.checkpoint)
+		}
+	}
+
 	// Streaming subsystem: incremental ingestion, subscriptions, and
 	// alert delivery over the same system, web, and lead store.
 	var manager *alert.Manager
@@ -326,6 +378,8 @@ func run(ctx context.Context, log *slog.Logger, opts options) error {
 			QueueSize:     opts.ingestQueue,
 			WAL:           wal,
 			Subscriptions: subs,
+			Tenants:       tenants,
+			KB:            kbase,
 			Log:           log,
 			Tracer:        tracer,
 			LagSLO:        opts.lagSLO,
@@ -381,7 +435,32 @@ func run(ctx context.Context, log *slog.Logger, opts options) error {
 		IdleTimeout:       2 * time.Minute,
 	}
 	log.Info("serving", "addr", ln.Addr().String(), "startup", time.Since(start))
-	return serveUntilShutdown(ctx, log, srv, ln, opts.drain, manager, cp, subsCP)
+	return serveUntilShutdown(ctx, log, srv, ln, opts.drain, manager, cp, subsCP, tenantsCP)
+}
+
+// loadOrGenerateKB resolves the company knowledge base: the persisted
+// file when path names one, otherwise a fresh seed-deterministic
+// generation — saved to path (when given) so the next start loads the
+// identical bytes instead of regenerating.
+func loadOrGenerateKB(log *slog.Logger, path string, seed int64) (*kb.KB, error) {
+	if path != "" {
+		if _, err := os.Stat(path); err == nil {
+			k, err := kb.LoadFile(path)
+			if err != nil {
+				return nil, fmt.Errorf("loading knowledge base: %w", err)
+			}
+			log.Info("knowledge base loaded", "path", path, "companies", k.Len())
+			return k, nil
+		}
+	}
+	k := kb.Generate(kb.Config{Seed: seed})
+	if path != "" {
+		if err := k.SaveFile(path); err != nil {
+			return nil, fmt.Errorf("saving knowledge base: %w", err)
+		}
+	}
+	log.Info("knowledge base generated", "seed", seed, "companies", k.Len(), "path", path)
+	return k, nil
 }
 
 // purePositives samples the per-driver labeled snippets used alongside

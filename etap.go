@@ -48,9 +48,11 @@ import (
 	"etap/internal/corpus"
 	"etap/internal/gather"
 	"etap/internal/index"
+	"etap/internal/kb"
 	"etap/internal/ner"
 	"etap/internal/obs"
 	"etap/internal/rank"
+	"etap/internal/tenant"
 	"etap/internal/train"
 	"etap/internal/web"
 )
@@ -278,6 +280,38 @@ type IngestDocument = alert.Document
 func NewAlertManager(sys *System, sink alert.Sink, w *Web, cfg AlertConfig) *AlertManager {
 	return alert.NewManager(sys, sink, w, cfg)
 }
+
+// KnowledgeBase is the deterministic synthetic company knowledge base:
+// one firmographic record (industry, size, HQ, keywords, inter-company
+// relationships) per canonical company identity in the corpus.
+type KnowledgeBase = kb.KB
+
+// KBCompany is one knowledge-base record.
+type KBCompany = kb.Company
+
+// KBConfig seeds knowledge-base generation; equal seeds produce
+// byte-identical knowledge bases.
+type KBConfig = kb.Config
+
+// GenerateKB builds the knowledge base over the corpus company
+// inventory from a generation seed.
+func GenerateKB(cfg KBConfig) *KnowledgeBase { return kb.Generate(cfg) }
+
+// TenantRegistry holds per-tenant ideal-customer profiles with CRUD,
+// JSONL persistence, and a monotonic revision for checkpointing.
+type TenantRegistry = tenant.Registry
+
+// TenantProfile is one tenant's ideal-customer profile: the industry,
+// size, location, and keyword criteria leads are filtered and
+// re-ranked against.
+type TenantProfile = tenant.Profile
+
+// TenantConfig wires a tenant registry (clock and metrics registry
+// injection).
+type TenantConfig = tenant.Config
+
+// NewTenantRegistry builds an empty tenant registry.
+func NewTenantRegistry(cfg TenantConfig) *TenantRegistry { return tenant.NewRegistry(cfg) }
 
 // Metrics is a binary confusion matrix with precision/recall/F1.
 type Metrics = classify.Metrics

@@ -32,8 +32,10 @@ import (
 	"time"
 
 	"etap/internal/gather"
+	"etap/internal/kb"
 	"etap/internal/obs"
 	"etap/internal/rank"
+	"etap/internal/tenant"
 	"etap/internal/web"
 )
 
@@ -132,6 +134,16 @@ type Config struct {
 	// 2xx). When the observed p99 exceeds it, Health reports the
 	// subsystem degraded; 0 disables the check.
 	LagSLO time.Duration
+	// Tenants, when non-nil, enables tenant-scoped subscriptions:
+	// fan-out additionally filters each tenant-tagged subscription
+	// through its tenant's ICP, looked up at dispatch time. Without a
+	// registry, tenant-scoped subscriptions deliver nothing (fail
+	// closed).
+	Tenants *tenant.Registry
+	// KB supplies company firmographics for tenant ICP filtering; nil
+	// means events resolve to no record, so ICPs with categorical
+	// criteria match nothing.
+	KB *kb.KB
 }
 
 func (c Config) withDefaults() Config {
@@ -486,10 +498,45 @@ func (m *Manager) fanOut(ctx context.Context, ev rank.Event, now time.Time, it i
 		if sub.WebhookURL == "" || !sub.Matches(ev) {
 			continue
 		}
+		if !m.tenantAllows(sub, ev) {
+			continue
+		}
 		a := a
 		a.Subscription = sub.ID
 		m.disp.dispatch(ctx, sub, a, it.acceptedAt)
 	}
+}
+
+// tenantAllows applies a tenant-scoped subscription's ICP filter. The
+// profile is looked up at dispatch time, never cached on the
+// subscription, so an ICP update applies to the very next event — a
+// stale profile can never route an alert. Missing registry or profile
+// fails closed: a tenant-scoped subscription without a resolvable ICP
+// delivers nothing.
+func (m *Manager) tenantAllows(sub Subscription, ev rank.Event) bool {
+	if sub.Tenant == "" {
+		return true
+	}
+	if m.cfg.Tenants == nil {
+		m.met.tenantMissing.Inc()
+		return false
+	}
+	p, _, err := m.cfg.Tenants.Get(sub.Tenant)
+	if err != nil {
+		m.met.tenantMissing.Inc()
+		return false
+	}
+	var c *kb.Company
+	if m.cfg.KB != nil {
+		if cc, ok := m.cfg.KB.Lookup(ev.Company); ok {
+			c = cc
+		}
+	}
+	if !p.MatchCompany(c) {
+		m.met.tenantFiltered.Inc()
+		return false
+	}
+	return true
 }
 
 // Health reports the subsystem's load for /healthz.

@@ -10,9 +10,13 @@ import (
 	"testing"
 	"time"
 
+	"strings"
+
 	"etap/internal/gather"
+	"etap/internal/kb"
 	"etap/internal/obs"
 	"etap/internal/rank"
+	"etap/internal/tenant"
 	"etap/internal/web"
 )
 
@@ -96,6 +100,10 @@ type alertBenchReport struct {
 	Stored      int              `json:"events_stored"`
 	Delivered   int              `json:"alerts_delivered"`
 	Matching    matchBenchReport `json:"matching"`
+	// TenantMatching layers tenant ICP filtering over the same
+	// population; candidates must not grow, proving the composed path
+	// stays O(candidates), not O(tenants × subscriptions).
+	TenantMatching tenantMatchReport `json:"tenant_matching"`
 }
 
 // matchBenchReport records the subscription-matching scenario: the
@@ -111,9 +119,27 @@ type matchBenchReport struct {
 	ResultsIdentical  bool    `json:"results_identical"`
 }
 
+// tenantMatchReport records the tenant-scoped matching scenario: the
+// match-bench population with half its subscriptions tenant-scoped
+// against a 1000-tenant ICP registry, matched through the inverted
+// index composed with dispatch-time ICP filtering.
+type tenantMatchReport struct {
+	Tenants       int     `json:"tenants"`
+	ScopedSubs    int     `json:"tenant_scoped_subscriptions"`
+	Events        int     `json:"events"`
+	NsPerEvent    float64 `json:"ns_per_event"`
+	AvgCandidates float64 `json:"avg_candidates"`
+	Matched       int     `json:"matched_deliveries"`
+	// CandidatesEqualBase is true when tenant scoping probed exactly as
+	// many candidates per event as the tenant-free scenario — the
+	// O(candidates) claim.
+	CandidatesEqualBase bool `json:"candidates_equal_base"`
+}
+
 const (
 	matchSubCount   = 100_000
 	matchEventCount = 200
+	benchTenants    = 1000
 )
 
 // buildMatchBench seeds a 100k-subscription population over a skewed
@@ -215,6 +241,85 @@ func runMatchBench(tb testing.TB) matchBenchReport {
 	}
 }
 
+// buildTenantBench layers a knowledge base covering every bench
+// company and a 1000-tenant ICP registry onto the match-bench
+// population, tenant-scoping roughly half the subscriptions by a
+// seeded draw. The returned manager only exists to expose tenantAllows
+// — it is never started.
+func buildTenantBench(tb testing.TB, ss *Subscriptions) (*Manager, int) {
+	tb.Helper()
+	var sb strings.Builder
+	for i := 0; i < 2000; i++ {
+		fmt.Fprintf(&sb,
+			"{\"key\":\"company %d\",\"name\":\"Company %d Inc\",\"industry\":%q,\"employees\":500,\"sizeBucket\":\"medium\",\"hq\":\"New York\",\"founded\":1990}\n",
+			i, i, kb.Industries[i%len(kb.Industries)])
+	}
+	k, err := kb.ReadJSONL(strings.NewReader(sb.String()))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	reg := tenant.NewRegistry(tenant.Config{Clock: fixedClock, Registry: obs.NewRegistry()})
+	for j := 0; j < benchTenants; j++ {
+		if _, err := reg.Add(tenant.Profile{
+			Name:       fmt.Sprintf("bench-tenant-%d", j),
+			Industries: []string{kb.Industries[j%len(kb.Industries)]},
+		}); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	rng := rand.New(rand.NewSource(2027))
+	scoped := 0
+	for _, s := range ss.List() {
+		if rng.Intn(2) == 0 {
+			continue
+		}
+		s.Tenant = fmt.Sprintf("tenant-%d", 1+rng.Intn(benchTenants))
+		if _, err := ss.Update(s.ID, s); err != nil {
+			tb.Fatal(err)
+		}
+		scoped++
+	}
+	m := NewManager(nil, nil, nil, Config{
+		Registry:      obs.NewRegistry(),
+		Subscriptions: ss,
+		Tenants:       reg,
+		KB:            k,
+		Clock:         fixedClock,
+	})
+	return m, scoped
+}
+
+// runTenantMatchBench times the composed matcher — inverted-index
+// Candidates, Matches, then dispatch-time tenant ICP filtering — over
+// the tenant-scoped population, recording the probe count so the
+// harness can assert tenant scoping added no candidates.
+func runTenantMatchBench(tb testing.TB) tenantMatchReport {
+	tb.Helper()
+	ss, events := buildMatchBench(tb)
+	m, scoped := buildTenantBench(tb, ss)
+
+	start := time.Now()
+	candidates, matched := 0, 0
+	for _, ev := range events {
+		cands := ss.Candidates(ev.Company, ev.Driver)
+		candidates += len(cands)
+		for _, s := range cands {
+			if s.Matches(ev) && m.tenantAllows(s, ev) {
+				matched++
+			}
+		}
+	}
+	dur := time.Since(start)
+	return tenantMatchReport{
+		Tenants:       benchTenants,
+		ScopedSubs:    scoped,
+		Events:        len(events),
+		NsPerEvent:    float64(dur.Nanoseconds()) / float64(len(events)),
+		AvgCandidates: float64(candidates) / float64(len(events)),
+		Matched:       matched,
+	}
+}
+
 // TestAlertBenchHarness measures single-worker vs pooled ingest
 // throughput over a synthetic trigger-dense document stream and writes
 // BENCH_alert.json to the path named by ETAP_BENCH_ALERT. Skipped
@@ -240,18 +345,29 @@ func TestAlertBenchHarness(t *testing.T) {
 		t.Fatal("indexed matching diverged from the linear scan")
 	}
 
+	tenantMatching := runTenantMatchBench(t)
+	// The O(candidates) claim: tenant scoping must not widen the probe
+	// set — per-event cost tracks candidates, never tenants ×
+	// subscriptions.
+	tenantMatching.CandidatesEqualBase = tenantMatching.AvgCandidates == matching.AvgCandidates
+	if !tenantMatching.CandidatesEqualBase {
+		t.Fatalf("tenant scoping changed the candidate count: %.1f vs %.1f per event",
+			tenantMatching.AvgCandidates, matching.AvgCandidates)
+	}
+
 	dps := func(d time.Duration) float64 { return float64(benchDocCount) / d.Seconds() }
 	rep := alertBenchReport{
-		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
-		GoMaxProcs:  workers,
-		Docs:        benchDocCount,
-		Workers:     workers,
-		SingleDPS:   dps(singleDur),
-		PooledDPS:   dps(pooledDur),
-		Speedup:     singleDur.Seconds() / pooledDur.Seconds(),
-		Stored:      storedN,
-		Delivered:   deliveredN,
-		Matching:    matching,
+		GeneratedAt:    time.Now().UTC().Format(time.RFC3339),
+		GoMaxProcs:     workers,
+		Docs:           benchDocCount,
+		Workers:        workers,
+		SingleDPS:      dps(singleDur),
+		PooledDPS:      dps(pooledDur),
+		Speedup:        singleDur.Seconds() / pooledDur.Seconds(),
+		Stored:         storedN,
+		Delivered:      deliveredN,
+		Matching:       matching,
+		TenantMatching: tenantMatching,
 	}
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -265,4 +381,7 @@ func TestAlertBenchHarness(t *testing.T) {
 	t.Logf("matching: %d subs, linear %.0f ns/event vs indexed %.0f ns/event (%.1fx), %.1f avg candidates",
 		matching.Subs, matching.LinearNsPerEvent, matching.IndexedNsPerEvent,
 		matching.Speedup, matching.AvgCandidates)
+	t.Logf("tenant matching: %d tenants, %d scoped subs, %.0f ns/event, %.1f avg candidates (equal to base: %v)",
+		tenantMatching.Tenants, tenantMatching.ScopedSubs, tenantMatching.NsPerEvent,
+		tenantMatching.AvgCandidates, tenantMatching.CandidatesEqualBase)
 }

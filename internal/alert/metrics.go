@@ -36,7 +36,11 @@ type metrics struct {
 	walErrors   *obs.Counter   // enqueues failed on WAL append/fsync
 	candidates  *obs.Histogram // subscription candidates probed per event
 	delSubDrops *obs.Counter   // dispatches dropped for deleted subscriptions
-	policy      gather.PolicyMetrics
+
+	tenantFiltered *obs.Counter // deliveries suppressed by a tenant's ICP
+	tenantMissing  *obs.Counter // tenant-scoped matches with no resolvable profile
+
+	policy gather.PolicyMetrics
 }
 
 // queueWait returns the per-subscriber queue-wait histogram — how long
@@ -100,6 +104,10 @@ func newMetrics(reg *obs.Registry) *metrics {
 			"Candidate subscriptions probed per fresh event (inverted-index pruning).", nil),
 		delSubDrops: reg.Counter("etap_alert_deleted_sub_drops_total",
 			"Alert dispatches dropped because their subscription was deleted."),
+		tenantFiltered: reg.Counter("etap_tenant_alert_filtered_total",
+			"Matched alerts suppressed because the tenant's ICP rejected the company."),
+		tenantMissing: reg.Counter("etap_tenant_alert_missing_total",
+			"Tenant-scoped matches dropped because no tenant registry or profile resolved (fail closed)."),
 		policy: gather.PolicyMetrics{
 			Retries: reg.Counter("etap_alert_delivery_retries_total",
 				"Webhook delivery retries after transient failures."),

@@ -37,6 +37,12 @@ type Subscription struct {
 	// WebhookURL, when set, receives matching alerts as HTTP POSTs with
 	// at-least-once delivery. Empty means SSE-only.
 	WebhookURL string `json:"webhook,omitempty"`
+	// Tenant, when set, scopes the subscription to a tenant: alerts are
+	// additionally filtered through the tenant's ICP (looked up at
+	// dispatch time, so a profile update applies to the very next
+	// event). The manager needs a tenant registry attached; without one
+	// a tenant-scoped subscription delivers nothing (fail closed).
+	Tenant string `json:"tenant,omitempty"`
 	// Created is when the subscription entered the set (Unix seconds).
 	Created int64 `json:"created"`
 }
@@ -61,7 +67,22 @@ func (s Subscription) Validate() error {
 	if s.WebhookURL != "" && !strings.Contains(s.WebhookURL, "://") {
 		return fmt.Errorf("alert: webhook %q is not an absolute URL", s.WebhookURL)
 	}
+	// A company filter that canonicalizes to nothing (punctuation or
+	// whitespace only) would be indexed as a wildcard but matched as an
+	// impossible filter — a subscription that silently never fires.
+	if s.Company != "" && rank.Canonical(s.Company) == "" {
+		return fmt.Errorf("alert: company %q canonicalizes to nothing and can never match", s.Company)
+	}
 	return nil
+}
+
+// canonicalized returns the subscription with its company filter in
+// the canonical form the fingerprint dedup and the inverted index use
+// (rank.Canonical), so what the API stores is exactly what matching
+// compares.
+func (s Subscription) canonicalized() Subscription {
+	s.Company = rank.Canonical(s.Company)
+	return s
 }
 
 // ErrUnknownSubscription reports an ID the set does not hold.
@@ -104,6 +125,7 @@ func (ss *Subscriptions) Add(s Subscription) (Subscription, error) {
 	if err := s.Validate(); err != nil {
 		return Subscription{}, err
 	}
+	s = s.canonicalized()
 	ss.mu.Lock()
 	defer ss.mu.Unlock()
 	if s.ID == "" {
@@ -118,6 +140,32 @@ func (ss *Subscriptions) Add(s Subscription) (Subscription, error) {
 		return Subscription{}, fmt.Errorf("alert: subscription %q already exists", s.ID)
 	}
 	ss.insertLocked(s)
+	ss.rev++
+	return s, nil
+}
+
+// Update replaces a subscription's filters in place, preserving its
+// ID, Created stamp, and insertion sequence — an updated subscription
+// keeps its position in the deterministic fan-out order — and
+// re-buckets it in the inverted index under the new filters.
+func (ss *Subscriptions) Update(id string, s Subscription) (Subscription, error) {
+	if err := s.Validate(); err != nil {
+		return Subscription{}, err
+	}
+	s = s.canonicalized()
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	old, ok := ss.byID[id]
+	if !ok {
+		return Subscription{}, fmt.Errorf("%s: %w", id, ErrUnknownSubscription)
+	}
+	s.ID = old.ID
+	s.Created = old.Created
+	seq := ss.seq[id]
+	ss.indexDeleteLocked(old)
+	ss.indexInsertLocked(s)
+	ss.seq[id] = seq
+	ss.byID[id] = s
 	ss.rev++
 	return s, nil
 }
@@ -224,6 +272,13 @@ func ReadSubscriptions(r io.Reader) (*Subscriptions, error) {
 		}
 		if _, dup := ss.byID[s.ID]; dup {
 			continue
+		}
+		// Older checkpoints may hold non-canonical company filters; adopt
+		// the canonical form unless it is empty while the raw is not — a
+		// degenerate filter is kept verbatim rather than silently widened
+		// to a firehose (it cannot match, but it also cannot over-match).
+		if c := rank.Canonical(s.Company); c != "" {
+			s.Company = c
 		}
 		// insertLocked also rebuilds the inverted index, so a reloaded
 		// checkpoint matches exactly like a freshly-built set. No lock is

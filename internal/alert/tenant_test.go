@@ -1,0 +1,230 @@
+package alert
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"etap/internal/kb"
+	"etap/internal/obs"
+	"etap/internal/tenant"
+)
+
+// testKB builds a two-company knowledge base matching the companies
+// the stub pipeline attributes events to.
+func testKB(t *testing.T) *kb.KB {
+	t.Helper()
+	k, err := kb.ReadJSONL(strings.NewReader(
+		`{"key":"acme","name":"Acme","industry":"retail","employees":50,"sizeBucket":"small","hq":"New York","founded":1990,"keywords":["commerce"]}
+{"key":"globex","name":"Globex","industry":"energy","employees":20000,"sizeBucket":"enterprise","hq":"Houston","founded":1975,"keywords":["power"]}
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+func testTenants(t *testing.T) *tenant.Registry {
+	t.Helper()
+	return tenant.NewRegistry(tenant.Config{
+		Clock:    func() time.Time { return time.Unix(1_700_000_000, 0) },
+		Registry: obs.NewRegistry(),
+	})
+}
+
+// TestSubscriptionCompanyCanonicalized is the regression test for the
+// canonicalization bug: a subscription created with a non-canonical
+// company form is stored in the same canonical form the fingerprint
+// and the inverted index use, so it can never silently fail to match —
+// and a company that canonicalizes to nothing is rejected outright
+// instead of being indexed as a wildcard it could never satisfy.
+func TestSubscriptionCompanyCanonicalized(t *testing.T) {
+	deliver := newScriptDeliverer()
+	m, _ := newTestManager(t, Config{}, deliver)
+	sub, err := m.Subscriptions().Add(Subscription{
+		Company: "Halcyon Dynamics, Inc.", WebhookURL: "http://crm.example.com/hook",
+	})
+	if err != nil {
+		t.Fatalf("subscribe: %v", err)
+	}
+	if sub.Company != "halcyon dynamics" {
+		t.Fatalf("stored company %q, want the canonical form %q", sub.Company, "halcyon dynamics")
+	}
+	// The stub pipeline attributes events to "Acme"; subscribe with a
+	// suffixed, punctuated form of the same identity and it must fire.
+	sub2, err := m.Subscriptions().Add(Subscription{
+		Company: "Acme, Corp.", WebhookURL: "http://crm.example.com/hook2",
+	})
+	if err != nil {
+		t.Fatalf("subscribe: %v", err)
+	}
+	if sub2.Company != "acme" {
+		t.Fatalf("stored company %q, want %q", sub2.Company, "acme")
+	}
+	if err := m.Enqueue(Document{URL: "http://news.example.com/c1", Text: "Acme announced a merger today."}); err != nil {
+		t.Fatal(err)
+	}
+	flush(t, m)
+	got := deliver.deliveredAlerts()
+	if len(got) != 1 || got[0].Subscription != sub2.ID {
+		t.Fatalf("delivered %+v, want exactly one alert for %s", got, sub2.ID)
+	}
+
+	// A filter that canonicalizes to nothing is a subscription that can
+	// never match any attributed event — reject it at create time.
+	if _, err := m.Subscriptions().Add(Subscription{Company: "()."}); err == nil {
+		t.Fatal("degenerate company filter accepted")
+	}
+	if _, err := m.Subscriptions().Update(sub.ID, Subscription{Company: "  ,  "}); err == nil {
+		t.Fatal("degenerate company filter accepted on update")
+	}
+}
+
+// TestSubscriptionUpdate checks Update preserves identity and fan-out
+// position while re-bucketing the inverted index under the new
+// filters.
+func TestSubscriptionUpdate(t *testing.T) {
+	ss := NewSubscriptions()
+	a, err := ss.Add(Subscription{Company: "Acme", Driver: "mergers-acquisitions", WebhookURL: "http://h/1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ss.Add(Subscription{Company: "Acme", WebhookURL: "http://h/2"}); err != nil {
+		t.Fatal(err)
+	}
+	rev := ss.Revision()
+	upd, err := ss.Update(a.ID, Subscription{Company: "Globex Inc", WebhookURL: "http://h/1b", MinScore: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if upd.ID != a.ID || upd.Created != a.Created {
+		t.Fatalf("update must preserve ID and Created: %+v vs %+v", upd, a)
+	}
+	if upd.Company != "globex" {
+		t.Fatalf("updated company %q, want canonical %q", upd.Company, "globex")
+	}
+	if ss.Revision() <= rev {
+		t.Fatal("update did not advance the revision")
+	}
+	// Old bucket no longer yields the subscription; new one does.
+	for _, c := range ss.Candidates("Acme", "mergers-acquisitions") {
+		if c.ID == a.ID {
+			t.Fatal("updated subscription still in its old index bucket")
+		}
+	}
+	found := false
+	for _, c := range ss.Candidates("Globex", "any-driver") {
+		if c.ID == a.ID {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("updated subscription missing from its new index bucket")
+	}
+	if _, err := ss.Update("nope", Subscription{}); err == nil {
+		t.Fatal("updating an unknown subscription succeeded")
+	}
+}
+
+// TestTenantScopedFanOut checks the composition of the inverted
+// subscription index with tenant ICP filtering: a tenant whose ICP
+// accepts the event's company receives the alert, a tenant whose ICP
+// rejects it does not, and a tenant-scoped subscription without a
+// resolvable profile fails closed.
+func TestTenantScopedFanOut(t *testing.T) {
+	k := testKB(t)
+	reg := testTenants(t)
+	retail, err := reg.Add(tenant.Profile{Name: "retail-buyer", Industries: []string{"retail"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	energy, err := reg.Add(tenant.Profile{Name: "energy-buyer", Industries: []string{"energy"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deliver := newScriptDeliverer()
+	m, _ := newTestManager(t, Config{Tenants: reg, KB: k}, deliver)
+	subRetail, err := m.Subscriptions().Add(Subscription{
+		Tenant: retail.ID, WebhookURL: "http://crm.example.com/retail",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Subscriptions().Add(Subscription{
+		Tenant: energy.ID, WebhookURL: "http://crm.example.com/energy",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Subscriptions().Add(Subscription{
+		Tenant: "tenant-999", WebhookURL: "http://crm.example.com/ghost",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// The stub pipeline attributes the event to Acme — a retail company
+	// in the KB — so only the retail tenant's subscription fires.
+	if err := m.Enqueue(Document{URL: "http://news.example.com/t1", Text: "Acme announced a merger today."}); err != nil {
+		t.Fatal(err)
+	}
+	flush(t, m)
+	got := deliver.deliveredAlerts()
+	if len(got) != 1 || got[0].Subscription != subRetail.ID {
+		t.Fatalf("delivered %+v, want exactly one alert for %s", got, subRetail.ID)
+	}
+}
+
+// TestTenantICPUpdateAppliesImmediately checks there is no stale-ICP
+// window: the profile is resolved at dispatch time, so an update that
+// excludes the event's industry suppresses the very next delivery.
+func TestTenantICPUpdateAppliesImmediately(t *testing.T) {
+	k := testKB(t)
+	reg := testTenants(t)
+	p, err := reg.Add(tenant.Profile{Industries: []string{"retail"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deliver := newScriptDeliverer()
+	m, _ := newTestManager(t, Config{Tenants: reg, KB: k}, deliver)
+	if _, err := m.Subscriptions().Add(Subscription{
+		Tenant: p.ID, WebhookURL: "http://crm.example.com/hook",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Enqueue(Document{URL: "http://news.example.com/u1", Text: "Acme announced a merger today."}); err != nil {
+		t.Fatal(err)
+	}
+	flush(t, m)
+	if n := len(deliver.deliveredAlerts()); n != 1 {
+		t.Fatalf("delivered %d alerts before the update, want 1", n)
+	}
+	// Retarget the ICP away from retail; the next Acme event must not
+	// be delivered.
+	if _, err := reg.Update(p.ID, tenant.Profile{Industries: []string{"energy"}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Enqueue(Document{URL: "http://news.example.com/u2", Text: "Acme merger expands with a second deal."}); err != nil {
+		t.Fatal(err)
+	}
+	flush(t, m)
+	if n := len(deliver.deliveredAlerts()); n != 1 {
+		t.Fatalf("delivered %d alerts after the ICP update, want still 1 (stale ICP delivery)", n)
+	}
+}
+
+// TestTenantScopedWithoutRegistryFailsClosed checks a tenant-scoped
+// subscription on a manager with no tenant registry delivers nothing.
+func TestTenantScopedWithoutRegistryFailsClosed(t *testing.T) {
+	deliver := newScriptDeliverer()
+	m, _ := newTestManager(t, Config{}, deliver)
+	if _, err := m.Subscriptions().Add(Subscription{
+		Tenant: "tenant-1", WebhookURL: "http://crm.example.com/hook",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Enqueue(Document{URL: "http://news.example.com/f1", Text: "Acme announced a merger today."}); err != nil {
+		t.Fatal(err)
+	}
+	flush(t, m)
+	if n := len(deliver.deliveredAlerts()); n != 0 {
+		t.Fatalf("delivered %d alerts with no tenant registry, want 0", n)
+	}
+}

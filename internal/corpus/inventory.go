@@ -1,0 +1,22 @@
+// The company inventory: the universe of company subjects the
+// generator can emit, exported so sibling generators (notably
+// internal/kb's synthetic knowledge base) describe exactly the
+// companies that appear in generated documents — no more, no less.
+package corpus
+
+import "etap/internal/gazetteer"
+
+// CompanyInventory returns every company subject the corpus generator
+// can attribute a trigger event to, in a fixed order: gazetteer cores
+// (emitted with a corporate suffix), well-known organizations, and the
+// deliberately out-of-gazetteer cores. Display forms vary by suffix,
+// but all variants of one entry share a canonical identity under
+// rank.Canonical — which is how a knowledge base keyed on this
+// inventory covers every surface form the corpus produces.
+func CompanyInventory() []string {
+	out := make([]string, 0, len(gazetteer.CompanyCores)+len(gazetteer.KnownOrgs)+len(gazetteer.UnknownOrgCores))
+	out = append(out, gazetteer.CompanyCores...)
+	out = append(out, gazetteer.KnownOrgs...)
+	out = append(out, gazetteer.UnknownOrgCores...)
+	return out
+}

@@ -1,0 +1,164 @@
+package kb
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+
+	"etap/internal/corpus"
+)
+
+// TestGenerateDeterministic pins the KB determinism contract: the same
+// seed produces a byte-identical knowledge base across two independent
+// generations, and a different seed produces a different one.
+func TestGenerateDeterministic(t *testing.T) {
+	serialize := func(k *KB) []byte {
+		var buf bytes.Buffer
+		if err := k.WriteJSONL(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a := serialize(Generate(Config{Seed: 7}))
+	b := serialize(Generate(Config{Seed: 7}))
+	if !bytes.Equal(a, b) {
+		t.Fatal("same seed produced different knowledge bases")
+	}
+	c := serialize(Generate(Config{Seed: 8}))
+	if bytes.Equal(a, c) {
+		t.Fatal("different seeds produced identical knowledge bases")
+	}
+}
+
+// TestSaveLoadRoundTrip checks that enrichment is stable across a
+// restart: a KB loaded from disk serializes to the same bytes as the
+// in-memory original, and lookups resolve identically.
+func TestSaveLoadRoundTrip(t *testing.T) {
+	k := Generate(Config{Seed: 3})
+	path := filepath.Join(t.TempDir(), "kb.jsonl")
+	if err := k.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want, got bytes.Buffer
+	if err := k.WriteJSONL(&want); err != nil {
+		t.Fatal(err)
+	}
+	if err := loaded.WriteJSONL(&got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want.Bytes(), got.Bytes()) {
+		t.Fatal("loaded KB serializes differently from the in-memory original")
+	}
+	if loaded.Len() != k.Len() {
+		t.Fatalf("loaded %d companies, generated %d", loaded.Len(), k.Len())
+	}
+	for _, c := range k.Companies() {
+		lc, ok := loaded.Lookup(c.Name)
+		if !ok {
+			t.Fatalf("loaded KB lost %q", c.Name)
+		}
+		if lc.Industry != c.Industry || lc.SizeBucket != c.SizeBucket || lc.HQ != c.HQ {
+			t.Fatalf("loaded record for %q diverged: %+v vs %+v", c.Name, lc, c)
+		}
+	}
+}
+
+// TestLookupCanonicalizes checks that every surface form of a company
+// name resolves to the same record.
+func TestLookupCanonicalizes(t *testing.T) {
+	k := Generate(Config{Seed: 1})
+	base, ok := k.Lookup("Halcyon")
+	if !ok {
+		t.Fatal("Halcyon missing from the KB")
+	}
+	for _, form := range []string{"Halcyon Systems Inc", "HALCYON", "Halcyon Systems, Ltd.", "halcyon corp"} {
+		c, ok := k.Lookup(form)
+		if !ok || c.Key != base.Key {
+			t.Fatalf("Lookup(%q) = %v, %v; want the Halcyon record", form, c, ok)
+		}
+	}
+	if _, ok := k.Lookup("No Such Company"); ok {
+		t.Fatal("unknown company resolved")
+	}
+}
+
+// TestCoversCorpusInventory checks the KB holds a record for every
+// company subject the corpus can emit.
+func TestCoversCorpusInventory(t *testing.T) {
+	k := Generate(Config{Seed: 1})
+	for _, name := range corpus.CompanyInventory() {
+		if _, ok := k.Lookup(name); !ok {
+			t.Fatalf("corpus company %q has no KB record", name)
+		}
+	}
+}
+
+// TestRecordInvariants checks per-record consistency: size bucket
+// matches headcount, industry is in the taxonomy, relations resolve.
+func TestRecordInvariants(t *testing.T) {
+	k := Generate(Config{Seed: 5})
+	industries := map[string]bool{}
+	for _, ind := range Industries {
+		industries[ind] = true
+	}
+	partners, parents := 0, 0
+	for _, c := range k.Companies() {
+		if got := SizeBucketFor(c.Employees); got != c.SizeBucket {
+			t.Fatalf("%s: bucket %q for %d employees, want %q", c.Key, c.SizeBucket, c.Employees, got)
+		}
+		if !industries[c.Industry] {
+			t.Fatalf("%s: industry %q not in the taxonomy", c.Key, c.Industry)
+		}
+		if len(c.Keywords) == 0 {
+			t.Fatalf("%s: no keywords", c.Key)
+		}
+		for _, r := range c.Related {
+			other, ok := k.Lookup(r.Company)
+			if !ok {
+				t.Fatalf("%s: relation to unknown company %q", c.Key, r.Company)
+			}
+			switch r.Kind {
+			case RelationPartner:
+				partners++
+				if !other.related(RelationPartner, c.Key) {
+					t.Fatalf("partnership %s → %s is not symmetric", c.Key, other.Key)
+				}
+			case RelationParent:
+				parents++
+				if other.Employees <= c.Employees {
+					t.Fatalf("%s: parent %s is not larger", c.Key, other.Key)
+				}
+				if !other.related(RelationSubsidiary, c.Key) {
+					t.Fatalf("parent %s missing subsidiary edge to %s", other.Key, c.Key)
+				}
+			case RelationSubsidiary:
+			default:
+				t.Fatalf("%s: unknown relation kind %q", c.Key, r.Kind)
+			}
+		}
+	}
+	if partners == 0 || parents == 0 {
+		t.Fatalf("relationship pass produced %d partner and %d parent edges; want both > 0", partners, parents)
+	}
+}
+
+// TestSizeBucketFor pins the bucket boundaries.
+func TestSizeBucketFor(t *testing.T) {
+	cases := []struct {
+		employees int
+		want      string
+	}{
+		{1, "micro"}, {10, "micro"}, {11, "small"}, {100, "small"},
+		{101, "medium"}, {1000, "medium"}, {1001, "large"},
+		{10000, "large"}, {10001, "enterprise"}, {200000, "enterprise"},
+	}
+	for _, c := range cases {
+		if got := SizeBucketFor(c.employees); got != c.want {
+			t.Fatalf("SizeBucketFor(%d) = %q, want %q", c.employees, got, c.want)
+		}
+	}
+}

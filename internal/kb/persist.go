@@ -1,0 +1,96 @@
+// JSONL persistence for the knowledge base: one company per line in
+// canonical-key order, written through the same atomic write+rename
+// discipline as the lead store, so the bytes on disk are a pure
+// function of the generation seed and a reloaded KB enriches leads
+// identically to the process that generated it.
+package kb
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// WriteJSONL streams every company, in canonical-key order, one JSON
+// object per line. Equal knowledge bases serialize to equal bytes —
+// the property the determinism tests pin.
+func (k *KB) WriteJSONL(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, key := range k.keys {
+		if err := enc.Encode(k.byKey[key]); err != nil {
+			return fmt.Errorf("kb: encoding company %s: %w", key, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSONL loads a knowledge base from a JSONL stream. Duplicate keys
+// keep the first occurrence; records are re-sorted by key so a loaded
+// KB serializes identically regardless of input order.
+func ReadJSONL(r io.Reader) (*KB, error) {
+	k := &KB{byKey: make(map[string]*Company)}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var c Company
+		if err := json.Unmarshal(sc.Bytes(), &c); err != nil {
+			return nil, fmt.Errorf("kb: line %d: %w", line, err)
+		}
+		if c.Key == "" {
+			return nil, fmt.Errorf("kb: line %d: company without key", line)
+		}
+		if _, dup := k.byKey[c.Key]; dup {
+			continue
+		}
+		cp := c
+		k.byKey[c.Key] = &cp
+		k.keys = append(k.keys, c.Key)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("kb: reading: %w", err)
+	}
+	sort.Strings(k.keys)
+	return k, nil
+}
+
+// SaveFile writes the knowledge base to path atomically (write +
+// rename).
+func (k *KB) SaveFile(path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := k.WriteJSONL(f); err != nil {
+		//etaplint:ignore error-swallowing -- best-effort cleanup on an already-failing path; the write error is what the caller needs
+		f.Close()
+		//etaplint:ignore error-swallowing -- best-effort cleanup on an already-failing path; the write error is what the caller needs
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		//etaplint:ignore error-swallowing -- best-effort cleanup on an already-failing path; the close error is what the caller needs
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// LoadFile reads a knowledge base previously written with SaveFile.
+func LoadFile(path string) (*KB, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadJSONL(f)
+}

@@ -30,6 +30,11 @@ var determinismScope = []string{
 	// must be injectable (TracerConfig.Clock/Seed) for replayable tests,
 	// so undeclared wall-clock or global-rand reads are findings here.
 	"internal/obs",
+	// The knowledge base is byte-deterministic by contract (same seed →
+	// identical JSONL), and tenant ICP ranking must reproduce across
+	// restarts — wall clocks and global rand would silently break both.
+	"internal/kb",
+	"internal/tenant",
 }
 
 // globalRandFuncs are the math/rand (and math/rand/v2) package-level

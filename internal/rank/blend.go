@@ -1,0 +1,67 @@
+// Blended ranking: combining the corpus-driven lead score with a
+// tenant's ICP-fit score into one ordering. Kept in rank (not tenant)
+// because it is pure scoring arithmetic with the same determinism
+// contract as ByScore: equal inputs produce an identical order, with
+// snippet-ID tie-breaks.
+package rank
+
+import "sort"
+
+// BlendWeights sets the mix between the base lead score and the ICP
+// score. Weights are used as given; DefaultBlend is the production mix.
+type BlendWeights struct {
+	// Base multiplies the lead's rank score.
+	Base float64
+	// ICP multiplies the tenant's ICP-fit score.
+	ICP float64
+}
+
+// DefaultBlend favors evidence strength over profile fit: a strong
+// trigger event at a mediocre-fit company still outranks a weak event
+// at a perfect-fit one.
+var DefaultBlend = BlendWeights{Base: 0.6, ICP: 0.4}
+
+// Blend combines a base score and an ICP score under the given weights.
+func Blend(base, icp float64, w BlendWeights) float64 {
+	return w.Base*base + w.ICP*icp
+}
+
+// BlendRanked is an event with its tenant-scoped scores and final rank.
+type BlendRanked struct {
+	Event
+	// Rank is the 1-based position in the blended order.
+	Rank int `json:"rank"`
+	// ICP is the tenant's ICP-fit score for this event's company.
+	ICP float64 `json:"icp"`
+	// Blended is the combined score the order sorts by.
+	Blended float64 `json:"blended"`
+}
+
+// ByBlend orders events by blended score, descending. icp supplies the
+// ICP-fit score per event. Ties break by base score (descending), then
+// snippet ID (ascending), so the order is deterministic for equal
+// inputs.
+func ByBlend(events []Event, icp func(Event) float64, w BlendWeights) []BlendRanked {
+	out := make([]BlendRanked, 0, len(events))
+	for _, ev := range events {
+		fit := icp(ev)
+		out = append(out, BlendRanked{
+			Event:   ev,
+			ICP:     fit,
+			Blended: Blend(ev.Score, fit, w),
+		})
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Blended != out[j].Blended {
+			return out[i].Blended > out[j].Blended
+		}
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].SnippetID < out[j].SnippetID
+	})
+	for i := range out {
+		out[i].Rank = i + 1
+	}
+	return out
+}

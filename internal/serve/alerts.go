@@ -8,6 +8,7 @@
 //	GET    /subscriptions       list subscriptions
 //	POST   /subscriptions       create a subscription
 //	GET    /subscriptions/{id}  fetch one subscription
+//	PUT    /subscriptions/{id}  replace a subscription's filters
 //	DELETE /subscriptions/{id}  delete a subscription
 //	GET    /alerts/stream       live alert feed (SSE)
 //	GET    /alerts/deadletters  alerts delivery gave up on
@@ -50,6 +51,7 @@ func (s *Server) AttachAlerts(m *alert.Manager) {
 	s.handle("GET", "/subscriptions", s.handleSubscriptionList)
 	s.handle("POST", "/subscriptions", s.handleSubscriptionCreate)
 	s.handle("GET", "/subscriptions/{id}", s.handleSubscriptionGet)
+	s.handle("PUT", "/subscriptions/{id}", s.handleSubscriptionUpdate)
 	s.handle("DELETE", "/subscriptions/{id}", s.handleSubscriptionDelete)
 	s.handle("GET", "/alerts/deadletters", s.handleDeadLetters)
 	s.handle("GET", "/alerts/stream", s.handleAlertStream)
@@ -121,6 +123,24 @@ func (s *Server) handleSubscriptionGet(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, sub)
+}
+
+func (s *Server) handleSubscriptionUpdate(w http.ResponseWriter, r *http.Request) {
+	var sub alert.Subscription
+	body := http.MaxBytesReader(w, r.Body, maxIngestBody)
+	if err := json.NewDecoder(body).Decode(&sub); err != nil {
+		writeError(w, http.StatusBadRequest, "bad subscription: "+err.Error())
+		return
+	}
+	stored, err := s.alerts.Subscriptions().Update(r.PathValue("id"), sub)
+	switch {
+	case err == nil:
+		writeJSON(w, http.StatusOK, stored)
+	case errors.Is(err, alert.ErrUnknownSubscription):
+		writeError(w, http.StatusNotFound, err.Error())
+	default:
+		writeError(w, http.StatusBadRequest, err.Error())
+	}
 }
 
 func (s *Server) handleSubscriptionDelete(w http.ResponseWriter, r *http.Request) {

@@ -6,7 +6,7 @@
 // Endpoints (all JSON unless noted):
 //
 //	GET  /drivers                      trained driver IDs
-//	GET  /leads?driver=&company=&min=&unreviewed=1&top=
+//	GET  /leads?driver=&company=&min=&unreviewed=1&top=&tenant=
 //	POST /leads/review?id=<snippetID>  mark a lead reviewed
 //	GET  /score?driver=&text=          classify one snippet
 //	GET  /companies?top=               company MRR ranking from the store
@@ -16,6 +16,12 @@
 //	GET  /debug/build                  build identity (version, go, VCS revision)
 //	GET  /debug/traces                 recent per-document traces (AttachTracer)
 //	GET  /debug/traces/{id}            one trace's full span tree (AttachTracer)
+//
+// With a tenant registry attached (AttachTenants), /tenants offers ICP
+// profile CRUD and /leads?tenant= serves the tenant-scoped,
+// ICP-filtered, blend-re-ranked view (see tenants.go). With a company
+// knowledge base attached (AttachKB), served leads carry their
+// subject's firmographic record.
 //
 // Every endpoint is instrumented: per-endpoint request counters,
 // response-code counters, and latency histograms report into the
@@ -37,9 +43,11 @@ import (
 
 	"etap/internal/alert"
 	"etap/internal/core"
+	"etap/internal/kb"
 	"etap/internal/obs"
 	"etap/internal/rank"
 	"etap/internal/store"
+	"etap/internal/tenant"
 )
 
 // Server wires a trained system and a lead store into an http.Handler.
@@ -58,6 +66,13 @@ type Server struct {
 	mux    *http.ServeMux
 	alerts *alert.Manager // nil until AttachAlerts
 	tracer *obs.Tracer    // nil until AttachTracer
+
+	kbase   *kb.KB           // nil until AttachKB
+	tenants *tenant.Registry // nil until AttachTenants
+	tcache  *tenant.Cache    // created by AttachTenants
+
+	tenantRequests *obs.Counter // tenant-scoped /leads requests
+	quotaClamps    *obs.Counter // responses truncated by a profile quota
 }
 
 // New builds the server over the process-wide metrics registry. Either
@@ -249,6 +264,10 @@ func (s *Server) handleLeads(w http.ResponseWriter, r *http.Request) {
 		}
 		top = n
 	}
+	if tenantID := q.Get("tenant"); tenantID != "" {
+		s.handleTenantLeads(w, q, tenantID, minScore, top)
+		return
+	}
 	s.mu.RLock()
 	results := s.leads.Find(store.Query{
 		Driver:     q.Get("driver"),
@@ -260,7 +279,7 @@ func (s *Server) handleLeads(w http.ResponseWriter, r *http.Request) {
 	if len(results) > top {
 		results = results[:top]
 	}
-	writeJSON(w, http.StatusOK, results)
+	writeJSON(w, http.StatusOK, s.enrichLeads(results))
 }
 
 func (s *Server) handleReview(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,234 @@
+// Multi-tenant endpoints: the HTTP face of internal/tenant and
+// internal/kb. Attaching a tenant registry mounts ICP CRUD and turns
+// /leads?tenant= into a tenant-scoped recommender — the base lead list
+// hard-filtered by the tenant's ICP over knowledge-base records, then
+// re-ranked by the blend of rank score and ICP fit, floored by the
+// profile's minScore and capped by its quota. Attaching a knowledge
+// base additionally stamps every served lead with its subject's
+// firmographic record.
+//
+//	GET    /tenants       list tenant ICP profiles
+//	POST   /tenants       create a profile (ID assigned when omitted)
+//	GET    /tenants/{id}  fetch one profile
+//	PUT    /tenants/{id}  replace a profile's ICP (revision bump
+//	                      invalidates its cached results)
+//	DELETE /tenants/{id}  delete a profile
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/url"
+
+	"etap/internal/kb"
+	"etap/internal/rank"
+	"etap/internal/store"
+	"etap/internal/tenant"
+)
+
+// AttachKB mounts a company knowledge base: every lead served by
+// /leads gains a "kb" field with its subject's firmographic record,
+// and tenant ICP filtering matches against those records. The KB is
+// immutable; no locking is added.
+func (s *Server) AttachKB(k *kb.KB) { s.kbase = k }
+
+// AttachTenants mounts the tenant API over a registry. Call before
+// serving; persistence (checkpointing the registry) stays with the
+// caller.
+func (s *Server) AttachTenants(reg *tenant.Registry) {
+	s.tenants = reg
+	s.tcache = tenant.NewCache(0, s.reg)
+	s.tenantRequests = s.reg.Counter("etap_tenant_lead_requests_total",
+		"Tenant-scoped /leads requests.")
+	s.quotaClamps = s.reg.Counter("etap_tenant_quota_clamps_total",
+		"Tenant lead responses truncated by the profile quota.")
+	s.handle("GET", "/tenants", s.handleTenantList)
+	s.handle("POST", "/tenants", s.handleTenantCreate)
+	s.handle("GET", "/tenants/{id}", s.handleTenantGet)
+	s.handle("PUT", "/tenants/{id}", s.handleTenantUpdate)
+	s.handle("DELETE", "/tenants/{id}", s.handleTenantDelete)
+}
+
+func (s *Server) handleTenantList(w http.ResponseWriter, _ *http.Request) {
+	profiles := s.tenants.List()
+	if profiles == nil {
+		profiles = []tenant.Profile{}
+	}
+	writeJSON(w, http.StatusOK, profiles)
+}
+
+func (s *Server) handleTenantCreate(w http.ResponseWriter, r *http.Request) {
+	var p tenant.Profile
+	body := http.MaxBytesReader(w, r.Body, maxIngestBody)
+	if err := json.NewDecoder(body).Decode(&p); err != nil {
+		writeError(w, http.StatusBadRequest, "bad profile: "+err.Error())
+		return
+	}
+	stored, err := s.tenants.Add(p)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusCreated, stored)
+}
+
+func (s *Server) handleTenantGet(w http.ResponseWriter, r *http.Request) {
+	p, _, err := s.tenants.Get(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, p)
+}
+
+func (s *Server) handleTenantUpdate(w http.ResponseWriter, r *http.Request) {
+	var p tenant.Profile
+	body := http.MaxBytesReader(w, r.Body, maxIngestBody)
+	if err := json.NewDecoder(body).Decode(&p); err != nil {
+		writeError(w, http.StatusBadRequest, "bad profile: "+err.Error())
+		return
+	}
+	stored, err := s.tenants.Update(r.PathValue("id"), p)
+	switch {
+	case err == nil:
+		writeJSON(w, http.StatusOK, stored)
+	case errors.Is(err, tenant.ErrUnknownTenant):
+		writeError(w, http.StatusNotFound, err.Error())
+	default:
+		writeError(w, http.StatusBadRequest, err.Error())
+	}
+}
+
+func (s *Server) handleTenantDelete(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if err := s.tenants.Delete(id); err != nil {
+		writeError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"deleted": id})
+}
+
+// TenantLead is one entry of a tenant-scoped /leads response: the
+// stored lead plus its ICP fit, the blended score the order sorts by,
+// its 1-based rank, and (with a knowledge base attached) the subject's
+// firmographic record.
+type TenantLead struct {
+	store.Lead
+	Rank    int         `json:"rank"`
+	ICP     float64     `json:"icp"`
+	Blended float64     `json:"blended"`
+	KB      *kb.Company `json:"kb,omitempty"`
+}
+
+// tenantQueryKey canonicalizes the cacheable query parameters.
+func tenantQueryKey(q url.Values, minScore float64, top int) string {
+	return fmt.Sprintf("d=%s&c=%s&min=%g&top=%d&u=%s",
+		q.Get("driver"), q.Get("company"), minScore, top, q.Get("unreviewed"))
+}
+
+// lookupKB resolves a lead's company to its knowledge-base record;
+// nil when no KB is attached or the company is unknown.
+func (s *Server) lookupKB(company string) *kb.Company {
+	if s.kbase == nil {
+		return nil
+	}
+	if c, ok := s.kbase.Lookup(company); ok {
+		return c
+	}
+	return nil
+}
+
+// handleTenantLeads serves /leads?tenant=: hard ICP filter over the
+// base query, blended re-rank, minScore floor, quota clamp, KB
+// enrichment. Results are memoized per (tenant, query) and
+// invalidated by profile or lead-store generation.
+func (s *Server) handleTenantLeads(w http.ResponseWriter, q url.Values, tenantID string, minScore float64, top int) {
+	if s.tenants == nil {
+		writeError(w, http.StatusBadRequest, "tenant filtering not enabled")
+		return
+	}
+	s.tenantRequests.Inc()
+	profile, profRev, err := s.tenants.Get(tenantID)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	key := tenantQueryKey(q, minScore, top)
+	if v, ok := s.tcache.Get(tenantID, key, profRev, s.rev.Load()); ok {
+		writeJSON(w, http.StatusOK, v)
+		return
+	}
+	// Snapshot the store and its revision under one read lock so the
+	// cache entry can never pair new results with an old generation.
+	s.mu.RLock()
+	storeRev := s.rev.Load()
+	results := s.leads.Find(store.Query{
+		Driver:     q.Get("driver"),
+		Company:    q.Get("company"),
+		MinScore:   minScore,
+		Unreviewed: q.Get("unreviewed") == "1",
+		Filter: func(l store.Lead) bool {
+			return profile.MatchCompany(s.lookupKB(l.Company))
+		},
+	})
+	s.mu.RUnlock()
+
+	byID := make(map[string]store.Lead, len(results))
+	events := make([]rank.Event, 0, len(results))
+	for _, l := range results {
+		byID[l.SnippetID] = l
+		events = append(events, l.Event)
+	}
+	ranked := rank.ByBlend(events, func(ev rank.Event) float64 {
+		return profile.Score(s.lookupKB(ev.Company), ev.Text)
+	}, rank.DefaultBlend)
+
+	out := make([]TenantLead, 0, len(ranked))
+	for _, br := range ranked {
+		if br.Blended < profile.MinScore {
+			continue
+		}
+		out = append(out, TenantLead{
+			Lead:    byID[br.SnippetID],
+			ICP:     br.ICP,
+			Blended: br.Blended,
+			KB:      s.lookupKB(br.Company),
+		})
+	}
+	limit := top
+	if profile.Quota > 0 && profile.Quota < limit {
+		limit = profile.Quota
+	}
+	if len(out) > limit {
+		out = out[:limit]
+		if limit < top {
+			s.quotaClamps.Inc()
+		}
+	}
+	// Ranks are positions in the final tenant-visible list.
+	for i := range out {
+		out[i].Rank = i + 1
+	}
+	s.tcache.Put(tenantID, key, profRev, storeRev, out)
+	writeJSON(w, http.StatusOK, out)
+}
+
+// enrichLeads wraps base /leads results with knowledge-base records
+// when a KB is attached; without one the input is returned as-is, so
+// single-tenant deployments see the original response shape.
+func (s *Server) enrichLeads(results []store.Lead) any {
+	if s.kbase == nil {
+		return results
+	}
+	type enriched struct {
+		store.Lead
+		KB *kb.Company `json:"kb,omitempty"`
+	}
+	out := make([]enriched, 0, len(results))
+	for _, l := range results {
+		out = append(out, enriched{Lead: l, KB: s.lookupKB(l.Company)})
+	}
+	return out
+}

@@ -1,0 +1,167 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"etap/internal/alert"
+	"etap/internal/kb"
+	"etap/internal/obs"
+	"etap/internal/tenant"
+)
+
+// countDeliverer counts successful deliveries per subscription.
+type countDeliverer struct {
+	mu sync.Mutex
+	n  map[string]int
+}
+
+func newCountDeliverer() *countDeliverer { return &countDeliverer{n: map[string]int{}} }
+
+func (d *countDeliverer) Deliver(_ context.Context, sub alert.Subscription, _ alert.Alert) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.n[sub.ID]++
+	return nil
+}
+
+func (d *countDeliverer) count(subID string) int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.n[subID]
+}
+
+// raceKB is a fixed two-industry knowledge base covering the company
+// the gate pipeline attributes events to.
+func raceKB(t *testing.T) *kb.KB {
+	t.Helper()
+	k, err := kb.ReadJSONL(strings.NewReader(
+		`{"key":"acme","name":"Acme","industry":"retail","employees":50,"sizeBucket":"small","hq":"New York","founded":1990,"keywords":["commerce"]}
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+// TestTenantConcurrentCRUDLeadsAndFanOut drives tenant CRUD, tenant-
+// scoped /leads reads, and alert fan-out with tenant-filtered
+// subscriptions concurrently — the -race scenario for the multi-tenant
+// path — then checks the no-stale-ICP property: once a profile update
+// excludes the event's industry, no later event is delivered under the
+// old ICP.
+func TestTenantConcurrentCRUDLeadsAndFanOut(t *testing.T) {
+	k := raceKB(t)
+	reg := tenant.NewRegistry(tenant.Config{
+		Clock:    testClock,
+		Registry: obs.NewRegistry(),
+	})
+	stable, err := reg.Add(tenant.Profile{Name: "stable", Industries: []string{"retail"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const iters = 50
+	deliver := newCountDeliverer()
+	srv, m := alertServer(t, &gatePipeline{}, deliver, alert.Config{
+		// SubscriberQueue must hold a full ingest burst: the stable
+		// subscription receives every event, and an overflowing lane
+		// dead-letters instead of delivering.
+		Workers: 4, QueueSize: 256, SubscriberQueue: 2 * iters, Tenants: reg, KB: k,
+	})
+	srv.AttachKB(k)
+	srv.AttachTenants(reg)
+	sub, err := m.Subscriptions().Add(alert.Subscription{
+		Tenant: stable.ID, WebhookURL: "http://crm.example.com/hook",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	// Tenant CRUD: scratch profiles churn while everything else runs.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < iters; i++ {
+			p, err := reg.Add(tenant.Profile{Name: fmt.Sprintf("scratch-%d", i), Industries: []string{"retail"}})
+			if err != nil {
+				t.Errorf("add: %v", err)
+				return
+			}
+			if _, err := reg.Update(p.ID, tenant.Profile{Industries: []string{"energy"}}); err != nil {
+				t.Errorf("update: %v", err)
+				return
+			}
+			if err := reg.Delete(p.ID); err != nil {
+				t.Errorf("delete: %v", err)
+				return
+			}
+		}
+	}()
+	// Tenant-scoped reads: every response must be 200 and decodable.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < iters; i++ {
+			req := httptest.NewRequest(http.MethodGet, "/leads?tenant="+stable.ID, nil)
+			rec := httptest.NewRecorder()
+			srv.ServeHTTP(rec, req)
+			if rec.Code != http.StatusOK {
+				t.Errorf("tenant read %d: status %d: %s", i, rec.Code, rec.Body.String())
+				return
+			}
+		}
+	}()
+	// Ingest: a stream of fresh merger events for the retail company.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < iters; i++ {
+			doc := alert.Document{
+				URL:  fmt.Sprintf("http://news.example.com/race/%d", i),
+				Text: fmt.Sprintf("Acme merger event %d.", i),
+			}
+			for {
+				err := m.Enqueue(doc)
+				if err == nil {
+					break
+				}
+				if err == alert.ErrQueueFull {
+					time.Sleep(time.Millisecond)
+					continue
+				}
+				t.Errorf("enqueue: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	mustFlush(t, m)
+	if got := deliver.count(sub.ID); got != iters {
+		t.Fatalf("delivered %d alerts to the stable tenant, want %d", got, iters)
+	}
+
+	// No stale ICP: retarget the profile away from retail, then ingest
+	// more events — none may be delivered under the old ICP.
+	if _, err := reg.Update(stable.ID, tenant.Profile{Industries: []string{"energy"}}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := m.Enqueue(alert.Document{
+			URL:  fmt.Sprintf("http://news.example.com/post-update/%d", i),
+			Text: fmt.Sprintf("Acme merger aftermath %d.", i),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustFlush(t, m)
+	if got := deliver.count(sub.ID); got != iters {
+		t.Fatalf("stale-ICP delivery: %d alerts after the update, want still %d", got, iters)
+	}
+}

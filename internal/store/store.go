@@ -81,6 +81,9 @@ type Query struct {
 	Company    string // canonical company match
 	MinScore   float64
 	Unreviewed bool // only leads not yet reviewed
+	// Filter, when non-nil, keeps only leads it returns true for —
+	// the hook tenant ICP filtering composes onto the base query.
+	Filter func(Lead) bool
 }
 
 // Find returns matching leads sorted by descending score (ties by
@@ -99,6 +102,9 @@ func (s *Store) Find(q Query) []Lead {
 			continue
 		}
 		if q.Unreviewed && l.Reviewed {
+			continue
+		}
+		if q.Filter != nil && !q.Filter(*l) {
 			continue
 		}
 		out = append(out, *l)

@@ -1,0 +1,116 @@
+// The per-tenant result cache. Entries are generation-invalidated
+// rather than TTL-evicted: each entry records the profile revision and
+// lead-store revision it was computed under, and a lookup only hits
+// when both still match — so an ICP update or a newly ingested lead
+// invalidates exactly the results it could have changed, with no
+// wall-clock dependence (the determinism lint covers this package).
+package tenant
+
+import (
+	"sync"
+
+	"etap/internal/obs"
+)
+
+// DefaultCacheSize bounds the cache when NewCache is given a
+// non-positive max.
+const DefaultCacheSize = 256
+
+type cacheEntry struct {
+	profileRev uint64
+	storeRev   uint64
+	val        any
+}
+
+// Cache memoizes tenant-scoped query results keyed by (tenant, query),
+// invalidated by profile and lead-store generation.
+type Cache struct {
+	mu      sync.Mutex
+	max     int
+	entries map[string]*cacheEntry
+	order   []string // insertion order, for deterministic eviction
+
+	hits     *obs.Counter
+	misses   *obs.Counter
+	entriesG *obs.Gauge
+}
+
+// NewCache returns a cache holding at most max entries (DefaultCacheSize
+// when max <= 0), registering its metrics on reg (obs.Default when nil).
+func NewCache(max int, reg *obs.Registry) *Cache {
+	if max <= 0 {
+		max = DefaultCacheSize
+	}
+	if reg == nil {
+		reg = obs.Default
+	}
+	return &Cache{
+		max:     max,
+		entries: make(map[string]*cacheEntry),
+		hits: reg.Counter("etap_tenant_cache_hits_total",
+			"Tenant result-cache lookups served from a still-valid entry."),
+		misses: reg.Counter("etap_tenant_cache_misses_total",
+			"Tenant result-cache lookups that missed or hit a stale generation."),
+		entriesG: reg.Gauge("etap_tenant_cache_entries",
+			"Tenant result-cache entries currently held."),
+	}
+}
+
+// key joins tenant and query with a byte neither can contain.
+func cacheKey(tenantID, query string) string { return tenantID + "\x00" + query }
+
+// Get returns the cached value for (tenantID, query) if it was computed
+// under the same profile and store revisions; a generation mismatch
+// counts as a miss and drops the stale entry.
+func (c *Cache) Get(tenantID, query string, profileRev, storeRev uint64) (any, bool) {
+	k := cacheKey(tenantID, query)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[k]
+	if ok && e.profileRev == profileRev && e.storeRev == storeRev {
+		c.hits.Inc()
+		return e.val, true
+	}
+	if ok {
+		c.removeLocked(k)
+	}
+	c.misses.Inc()
+	return nil, false
+}
+
+// Put stores a value computed under the given revisions, evicting the
+// oldest entry when full.
+func (c *Cache) Put(tenantID, query string, profileRev, storeRev uint64, val any) {
+	k := cacheKey(tenantID, query)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.entries[k]; ok {
+		e.profileRev, e.storeRev, e.val = profileRev, storeRev, val
+		return
+	}
+	for len(c.entries) >= c.max && len(c.order) > 0 {
+		c.removeLocked(c.order[0])
+	}
+	c.entries[k] = &cacheEntry{profileRev: profileRev, storeRev: storeRev, val: val}
+	c.order = append(c.order, k)
+	c.entriesG.Set(int64(len(c.entries)))
+}
+
+// removeLocked drops one entry; caller holds mu.
+func (c *Cache) removeLocked(k string) {
+	delete(c.entries, k)
+	for i, ok := range c.order {
+		if ok == k {
+			c.order = append(c.order[:i], c.order[i+1:]...)
+			break
+		}
+	}
+	c.entriesG.Set(int64(len(c.entries)))
+}
+
+// Len returns the number of live entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}

@@ -1,0 +1,82 @@
+// ICP matching: how a tenant profile judges a lead. Categorical
+// criteria (industry, size bucket, headquarters) are hard filters over
+// the company's knowledge-base record; keywords grade fit. The score
+// is deterministic — a pure function of (profile, KB record, lead
+// text) — so tenant-scoped rankings reproduce exactly across restarts.
+package tenant
+
+import (
+	"strings"
+
+	"etap/internal/kb"
+)
+
+// ICP score weights. Weights sum to 1 so the score stays in [0, 1]; an
+// empty criterion contributes its full weight (a tenant that doesn't
+// care about size isn't penalized for it).
+const (
+	weightIndustry = 0.35
+	weightSize     = 0.20
+	weightLocation = 0.20
+	weightKeywords = 0.25
+)
+
+// MatchCompany reports whether the company passes the profile's hard
+// categorical filters. A nil company (no knowledge-base record) fails
+// any profile with at least one categorical criterion: an ICP that
+// names industries must not receive leads of unknown industry.
+func (p Profile) MatchCompany(c *kb.Company) bool {
+	if len(p.Industries) > 0 && (c == nil || !containsLower(p.Industries, c.Industry)) {
+		return false
+	}
+	if len(p.SizeBuckets) > 0 && (c == nil || !containsLower(p.SizeBuckets, c.SizeBucket)) {
+		return false
+	}
+	if len(p.Locations) > 0 && (c == nil || !containsLower(p.Locations, c.HQ)) {
+		return false
+	}
+	return true
+}
+
+// Score grades how well a lead fits the profile, in [0, 1]. Each
+// categorical criterion contributes its weight when satisfied (or when
+// the criterion is empty); the keyword component is the fraction of
+// profile keywords found in the lead text or the company's
+// knowledge-base keywords.
+func (p Profile) Score(c *kb.Company, text string) float64 {
+	s := 0.0
+	if len(p.Industries) == 0 || (c != nil && containsLower(p.Industries, c.Industry)) {
+		s += weightIndustry
+	}
+	if len(p.SizeBuckets) == 0 || (c != nil && containsLower(p.SizeBuckets, c.SizeBucket)) {
+		s += weightSize
+	}
+	if len(p.Locations) == 0 || (c != nil && containsLower(p.Locations, c.HQ)) {
+		s += weightLocation
+	}
+	if len(p.Keywords) == 0 {
+		s += weightKeywords
+	} else {
+		lower := strings.ToLower(text)
+		hit := 0
+		for _, kw := range p.Keywords {
+			if strings.Contains(lower, kw) || (c != nil && containsLower(c.Keywords, kw)) {
+				hit++
+			}
+		}
+		s += weightKeywords * float64(hit) / float64(len(p.Keywords))
+	}
+	return s
+}
+
+// containsLower reports whether the lowercased needle list holds v
+// (compared case-insensitively; profile lists are stored lowercased).
+func containsLower(list []string, v string) bool {
+	v = strings.ToLower(v)
+	for _, s := range list {
+		if s == v {
+			return true
+		}
+	}
+	return false
+}
